@@ -1,0 +1,46 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipda::bench {
+
+size_t RunsPerPoint(size_t default_runs) {
+  const char* env = std::getenv("IPDA_BENCH_RUNS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return default_runs;
+}
+
+std::vector<size_t> NetworkSizes() { return {200, 300, 400, 500, 600}; }
+
+agg::RunConfig PaperRunConfig(size_t node_count, uint64_t seed) {
+  agg::RunConfig config;
+  config.deployment.area = net::Area{400.0, 400.0};
+  config.deployment.node_count = node_count;
+  config.range = 50.0;
+  config.phy.data_rate_bps = 1e6;
+  config.seed = seed;
+  return config;
+}
+
+agg::IpdaConfig PaperIpdaConfig(uint32_t slice_count) {
+  agg::IpdaConfig config;
+  config.slice_count = slice_count;
+  config.slice_range = 1.0;  // COUNT contributions are 1.
+  return config;
+}
+
+void PrintHeader(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment_id, description);
+  std::printf("runs/point=%zu (IPDA_BENCH_RUNS to change; paper used 50)\n",
+              RunsPerPoint());
+  std::printf("==============================================================\n");
+}
+
+void PrintFooter() { std::printf("\n"); }
+
+}  // namespace ipda::bench

@@ -1,0 +1,38 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one table or figure from the
+// paper's §IV. Monte-Carlo fidelity is controlled by the IPDA_BENCH_RUNS
+// environment variable (default 5 runs per point; the paper used 50).
+
+#ifndef IPDA_BENCH_BENCH_COMMON_H_
+#define IPDA_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "agg/runner.h"
+
+namespace ipda::bench {
+
+// Runs per sweep point (IPDA_BENCH_RUNS env override).
+size_t RunsPerPoint(size_t default_runs = 5);
+
+// The paper's x-axis: N in [200, 600].
+std::vector<size_t> NetworkSizes();
+
+// 400x400 m area, 50 m range, 1 Mbps — the §IV-B setup.
+agg::RunConfig PaperRunConfig(size_t node_count, uint64_t seed);
+
+// COUNT aggregation with slice noise matched to the data domain.
+agg::IpdaConfig PaperIpdaConfig(uint32_t slice_count);
+
+// Banner naming the experiment and its place in the paper.
+void PrintHeader(const char* experiment_id, const char* description);
+
+// Footer separating experiments in concatenated bench output.
+void PrintFooter();
+
+}  // namespace ipda::bench
+
+#endif  // IPDA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,182 @@
+// Energy and lifetime: what privacy + integrity cost in joules.
+//
+// The paper motivates in-network aggregation with energy ("save resource
+// consumptions and increase the lives time of WSNs") and lists efficiency
+// among the §II-D design goals. This bench prices one aggregation round
+// per protocol under the first-order radio model and converts the hottest
+// node's draw into a battery-lifetime estimate.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/kipda/kipda_protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "bench_common.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace ipda::bench {
+namespace {
+
+constexpr double kBatteryJ = 2.0;  // Mote-class energy budget (~2 J).
+constexpr size_t kNodes = 400;
+
+struct EnergyOutcome {
+  double total_j = 0.0;
+  double hottest_j = 0.0;  // Max per-node energy: the lifetime bound.
+};
+
+template <typename Traffic>
+EnergyOutcome Price(const Traffic& traffic,
+                    const net::CounterBoard& per_node) {
+  EnergyOutcome out;
+  out.total_j = traffic.TotalEnergyJ();
+  for (net::NodeId id = 0; id < per_node.node_count(); ++id) {
+    out.hottest_j = std::max(out.hottest_j,
+                             per_node.at(id).TotalEnergyJ());
+  }
+  return out;
+}
+
+int Run() {
+  PrintHeader("Energy & lifetime — what privacy and integrity cost",
+              "first-order radio model, one COUNT round at N=400");
+  const size_t runs = RunsPerPoint();
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+
+  stats::Summary tag_total, tag_hot, smart_total, smart_hot;
+  stats::Summary cpda_total, cpda_hot, kipda_total, kipda_hot;
+  stats::Summary ipda_total, ipda_hot;
+  stats::Summary tag_dur, smart_dur, cpda_dur, kipda_dur, ipda_dur;
+  for (size_t r = 0; r < runs; ++r) {
+    const auto config = PaperRunConfig(kNodes, 0xE66 + r * 211);
+
+    // Per-node boards are inside the runs; re-derive via a direct run of
+    // each protocol so we can read CounterBoard before teardown.
+    {
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::TagProtocol protocol(&network, function.get());
+      protocol.SetReadings(field->Sample(network.topology()));
+      protocol.Start();
+      simulator.RunUntil(protocol.Duration());
+      const auto priced =
+          Price(network.counters().Totals(), network.counters());
+      tag_total.Add(priced.total_j);
+      tag_hot.Add(priced.hottest_j);
+      tag_dur.Add(sim::ToSeconds(protocol.Duration()));
+    }
+    {
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::SmartConfig smart;
+      smart.slice_count = 3;
+      smart.slice_range = 1.0;
+      agg::SmartProtocol protocol(&network, function.get(), smart);
+      protocol.SetReadings(field->Sample(network.topology()));
+      protocol.Start();
+      simulator.RunUntil(protocol.Duration());
+      const auto priced =
+          Price(network.counters().Totals(), network.counters());
+      smart_total.Add(priced.total_j);
+      smart_hot.Add(priced.hottest_j);
+      smart_dur.Add(sim::ToSeconds(protocol.Duration()));
+    }
+    {
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::CpdaConfig cpda;
+      cpda.coeff_range = 10.0;
+      agg::CpdaProtocol protocol(&network, function.get(), cpda);
+      protocol.SetReadings(field->Sample(network.topology()));
+      protocol.Start();
+      simulator.RunUntil(protocol.Duration());
+      protocol.Finish();
+      const auto priced =
+          Price(network.counters().Totals(), network.counters());
+      cpda_total.Add(priced.total_j);
+      cpda_hot.Add(priced.hottest_j);
+      cpda_dur.Add(sim::ToSeconds(protocol.Duration()));
+    }
+    {
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::KipdaConfig kipda;
+      kipda.value_floor = 0.0;
+      kipda.value_ceiling = 2.0;  // COUNT-scale readings.
+      agg::KipdaProtocol protocol(&network, kipda);
+      protocol.SetReadings(field->Sample(network.topology()));
+      protocol.Start();
+      simulator.RunUntil(protocol.Duration());
+      const auto priced =
+          Price(network.counters().Totals(), network.counters());
+      kipda_total.Add(priced.total_j);
+      kipda_hot.Add(priced.hottest_j);
+      kipda_dur.Add(sim::ToSeconds(protocol.Duration()));
+    }
+    {
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::IpdaProtocol protocol(&network, function.get(),
+                                 PaperIpdaConfig(2));
+      protocol.SetReadings(field->Sample(network.topology()));
+      protocol.Start();
+      simulator.RunUntil(protocol.Duration());
+      protocol.Finish();
+      const auto priced =
+          Price(network.counters().Totals(), network.counters());
+      ipda_total.Add(priced.total_j);
+      ipda_hot.Add(priced.hottest_j);
+      ipda_dur.Add(sim::ToSeconds(protocol.Duration()));
+    }
+  }
+
+  // Idle listening (radio on, nothing received) usually dominates real
+  // mote budgets; 10 mW of listen power across the whole round shows how
+  // protocol DURATION — not just bytes — prices in.
+  constexpr double kIdleWatts = 0.010;
+  stats::Table table({"scheme", "network mJ/round", "hottest node mJ",
+                      "rounds on a 2 J battery",
+                      "+idle @10mW, mJ/node"});
+  auto add = [&](const char* name, stats::Summary& total,
+                 stats::Summary& hot, stats::Summary& duration) {
+    table.AddRow({name, stats::FormatDouble(total.mean() * 1e3, 2),
+                  stats::FormatDouble(hot.mean() * 1e3, 3),
+                  stats::FormatInt(static_cast<long long>(
+                      kBatteryJ / hot.mean())),
+                  stats::FormatDouble(
+                      kIdleWatts * duration.mean() * 1e3, 1)});
+  };
+  add("TAG", tag_total, tag_hot, tag_dur);
+  add("SMART J=3", smart_total, smart_hot, smart_dur);
+  add("CPDA deg=2", cpda_total, cpda_hot, cpda_dur);
+  add("KIPDA M=12", kipda_total, kipda_hot, kipda_dur);
+  add("iPDA l=2", ipda_total, ipda_hot, ipda_dur);
+  table.PrintTo(stdout);
+  std::printf(
+      "\nLifetime is bounded by the hottest node (a hop-1 aggregator that\n"
+      "hears and forwards the most). iPDA's overhead ratio in joules\n"
+      "tracks its byte ratio: privacy + integrity cost ~%.1fx TAG's\n"
+      "energy per round.\n",
+      ipda_total.mean() / tag_total.mean());
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

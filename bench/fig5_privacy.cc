@@ -1,0 +1,144 @@
+// Fig. 5: capacity of privacy preservation — average P_disclose vs. the
+// per-link compromise probability p_x, for 1000-node deployments with
+// average degree ~7 and ~17, and slice counts l = 2 and l = 3.
+//
+// Reproduced two ways:
+//   (1) the paper's closed form (Eq. 11) averaged over a concrete random
+//       topology, which is exactly what the paper plots; and
+//   (2) a message-level Monte-Carlo: real protocol runs tapped by the
+//       attack::Eavesdropper under sampled broken-link sets.
+// Paper shape: curves grow superlinearly in p_x, l=3 sits below l=2, and
+// density barely matters ("insensitive to network density").
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "analysis/privacy.h"
+#include "attack/eavesdropper.h"
+#include "bench_common.h"
+#include "crypto/link_security.h"
+#include "stats/series.h"
+#include "stats/summary.h"
+
+namespace ipda::bench {
+namespace {
+
+// Side length of the square giving the target mean degree for 1000 nodes
+// with 50 m range: d = (N-1) * pi r^2 / A.
+double SideForDegree(double degree) {
+  const double n = 1000.0;
+  const double r = 50.0;
+  const double area = (n - 1.0) * 3.14159265358979 * r * r / degree;
+  return std::sqrt(area);
+}
+
+struct RecordedSlice {
+  net::NodeId from;
+  net::NodeId to;
+  agg::TreeColor color;
+  agg::Vector value;
+};
+
+int Run() {
+  PrintHeader("Fig. 5 — capacity of privacy preservation",
+              "average P_disclose vs p_x; degree 7 & 17; l = 2, 3");
+  const size_t runs = RunsPerPoint();
+
+  // --- Part 1: Eq. (11) over random topologies (the paper's curves). ---
+  stats::SeriesSet analytic;
+  for (double degree : {7.0, 17.0}) {
+    const double side = SideForDegree(degree);
+    agg::RunConfig config = PaperRunConfig(1000, 0xF16'5);
+    config.deployment.area = net::Area{side, side};
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return 1;
+    std::printf("degree target %.0f: deployed avg degree %.1f "
+                "(side %.0f m)\n",
+                degree, topology->AverageDegree(), side);
+    for (uint32_t l : {2u, 3u}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "deg=%.0f l=%u", degree, l);
+      for (double px = 0.01; px <= 0.1001; px += 0.01) {
+        analytic.Add(name, px,
+                     analysis::AverageDisclosureProbability(*topology, px,
+                                                            l));
+      }
+    }
+  }
+  std::printf("\nAnalytic (Eq. 11) average P_disclose:\n");
+  analytic.ToTable("p_x", 4).PrintTo(stdout);
+
+  // --- Part 2: message-level Monte-Carlo cross-check (degree 17). ---
+  std::printf("\nMessage-level Monte-Carlo (protocol runs + eavesdropper"
+              ", degree 17):\n");
+  const double side = SideForDegree(17.0);
+  stats::SeriesSet empirical;
+  for (uint32_t l : {2u, 3u}) {
+    agg::RunConfig config = PaperRunConfig(1000, 0xF16'5u + l);
+    config.deployment.area = net::Area{side, side};
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return 1;
+    std::vector<crypto::Link> links;
+    for (net::NodeId a = 0; a < topology->node_count(); ++a) {
+      for (net::NodeId b : topology->neighbors(a)) {
+        if (a < b) links.emplace_back(a, b);
+      }
+    }
+    // One protocol run records all slice traffic; broken-link sets are
+    // then resampled cheaply.
+    std::vector<RecordedSlice> recorded;
+    auto function = agg::MakeCount();
+    auto field = agg::MakeConstantField(1.0);
+    agg::IpdaConfig ipda = PaperIpdaConfig(l);
+    ipda.impatient_join = true;  // Keep participation high at this scale.
+    agg::IpdaRunHooks hooks;
+    hooks.slice_observer = [&recorded](net::NodeId from, net::NodeId to,
+                                       agg::TreeColor color,
+                                       const agg::Vector& value) {
+      recorded.push_back({from, to, color, value});
+    };
+    auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+    if (!result.ok()) return 1;
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "empirical l=%u", l);
+    for (double px : {0.02, 0.05, 0.08, 0.1}) {
+      stats::Summary rate;
+      for (size_t trial = 0; trial < runs * 4; ++trial) {
+        util::Rng rng(util::Mix64(static_cast<uint64_t>(px * 1e6),
+                                  trial * 131 + l));
+        auto compromise =
+            crypto::UniformLinkCompromise(links.size(), px, rng);
+        std::vector<bool> broken(compromise.broken.begin(),
+                                 compromise.broken.end());
+        attack::Eavesdropper eve(topology->node_count(), links, broken);
+        auto observer = eve.Observer();
+        for (const auto& record : recorded) {
+          observer(record.from, record.to, record.color, record.value);
+        }
+        rate.Add(eve.Evaluate().disclosure_rate);
+      }
+      empirical.Add(name, px, rate.mean());
+    }
+  }
+  empirical.ToTable("p_x", 4).PrintTo(stdout);
+  std::printf(
+      "\nThe empirical rate sits a small factor above Eq. 11: the paper\n"
+      "puts E[n_l(i)] in the exponent, but px^n is convex in n (Jensen),\n"
+      "and nodes that happened to receive zero slices need only their\n"
+      "l-1 outgoing links broken. The message-level measurement prices\n"
+      "that tail in; curve shapes and the l=2 vs l=3 ordering match.\n");
+  std::printf("\nPaper spot check: regular graph, l=3, p_x=0.1 -> "
+              "P_disclose = %.4f (paper: 0.001)\n",
+              analysis::RegularDisclosureProbability(0.1, 3));
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -1,0 +1,99 @@
+// Fig. 6: red-tree vs blue-tree COUNT aggregates across network sizes,
+// without any attack, for l = 1 and l = 2, against the "perfect" line
+// (true sensor count). The paper uses this to justify Th = 5: the two
+// trees' results differ only by (small) loss noise.
+
+#include <cmath>
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "bench_common.h"
+#include "stats/series.h"
+#include "stats/summary.h"
+
+namespace ipda::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Fig. 6 — red vs blue tree aggregates (Th setting)",
+              "COUNT per tree vs network size, no attack; paper: Th=5 "
+              "suffices");
+  const size_t runs = RunsPerPoint();
+  stats::SeriesSet series;
+  stats::Summary all_diffs;
+  for (size_t n : NetworkSizes()) {
+    for (uint32_t l : {1u, 2u}) {
+      stats::Summary red, blue, diff;
+      for (size_t r = 0; r < runs; ++r) {
+        // Same seed across l values: paired deployments.
+        const auto config = PaperRunConfig(n, 0xF16'6u + r * 7919 + n);
+        auto function = agg::MakeCount();
+        auto field = agg::MakeConstantField(1.0);
+        auto result =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(l));
+        if (!result.ok()) return 1;
+        red.Add(result->stats.decision.acc_red[0]);
+        blue.Add(result->stats.decision.acc_blue[0]);
+        diff.Add(result->stats.decision.max_component_diff);
+        all_diffs.Add(result->stats.decision.max_component_diff);
+      }
+      char red_name[48], blue_name[48];
+      std::snprintf(red_name, sizeof(red_name), "red l=%u", l);
+      std::snprintf(blue_name, sizeof(blue_name), "blue l=%u", l);
+      series.Add(red_name, static_cast<double>(n), red.mean());
+      series.Add(blue_name, static_cast<double>(n), blue.mean());
+      char diff_name[48];
+      std::snprintf(diff_name, sizeof(diff_name), "|diff| l=%u", l);
+      series.Add(diff_name, static_cast<double>(n), diff.mean());
+    }
+    series.Add("perfect", static_cast<double>(n),
+               static_cast<double>(n - 1));
+  }
+  series.ToTable("N", 1).PrintTo(stdout);
+  std::printf(
+      "\nmax |S_red - S_blue| over all runs: %.2f  (mean %.2f)\n"
+      "With link-layer ARQ every delivered contribution reaches both\n"
+      "trees, so the trees agree exactly; losses are symmetric\n"
+      "non-participation.\n",
+      all_diffs.max(), all_diffs.mean());
+
+  // With retransmissions capped low, a few unicasts die on hidden-terminal
+  // collisions — the small asymmetric losses the paper's ns-2/802.11 stack
+  // exhibits, which is what Th exists to absorb.
+  std::printf("\nLossy regime (MAC retries capped at 1):\n");
+  stats::SeriesSet lossy;
+  stats::Summary lossy_diffs;
+  for (size_t n : NetworkSizes()) {
+    for (uint32_t l : {1u, 2u}) {
+      stats::Summary diff;
+      for (size_t r = 0; r < runs; ++r) {
+        auto config = PaperRunConfig(n, 0xF16'6bu + r * 7333 + n);
+        config.mac.max_retries = 1;
+        auto function = agg::MakeCount();
+        auto field = agg::MakeConstantField(1.0);
+        auto result =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(l));
+        if (!result.ok()) return 1;
+        diff.Add(result->stats.decision.max_component_diff);
+        lossy_diffs.Add(result->stats.decision.max_component_diff);
+      }
+      char diff_name[48];
+      std::snprintf(diff_name, sizeof(diff_name), "|diff| l=%u", l);
+      lossy.Add(diff_name, static_cast<double>(n), diff.mean());
+    }
+  }
+  lossy.ToTable("N", 2).PrintTo(stdout);
+  std::printf(
+      "\nlossy-regime max |S_red - S_blue| = %.2f (mean %.2f)\n"
+      "=> a small positive Th (paper: Th = 5) absorbs loss-induced\n"
+      "disagreement without masking real pollution.\n",
+      lossy_diffs.max(), lossy_diffs.mean());
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -1,0 +1,85 @@
+// Fig. 7: bandwidth consumption (total bytes transmitted network-wide per
+// aggregation round) vs network size for TAG, iPDA l=1, and iPDA l=2.
+// Paper shape: iPDA(l)/TAG ≈ (2l+1)/2 in messages once the network is
+// dense; below N≈300 iPDA's totals dip because non-participating nodes
+// stay silent.
+
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "analysis/overhead.h"
+#include "bench_common.h"
+#include "stats/series.h"
+#include "stats/summary.h"
+
+namespace ipda::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Fig. 7 — bandwidth consumption: iPDA vs TAG",
+              "total bytes transmitted per round vs network size");
+  const size_t runs = RunsPerPoint();
+  stats::SeriesSet series;
+  stats::SeriesSet ratios;
+  for (size_t n : NetworkSizes()) {
+    stats::Summary tag_bytes, ipda1_bytes, ipda2_bytes;
+    stats::Summary tag_msgs, ipda1_msgs, ipda2_msgs;
+    for (size_t r = 0; r < runs; ++r) {
+      const auto config = PaperRunConfig(n, 0xF16'7u + r * 104729 + n);
+      auto function = agg::MakeCount();
+      auto field = agg::MakeConstantField(1.0);
+
+      // Protocol traffic only: the paper's Fig. 4 message accounting
+      // excludes MAC acknowledgements.
+      auto protocol_frames = [](const net::NodeCounters& t) {
+        return static_cast<double>(t.frames_sent - t.ack_frames_sent);
+      };
+      auto protocol_bytes = [](const net::NodeCounters& t) {
+        return static_cast<double>(t.bytes_sent - t.ack_bytes_sent);
+      };
+
+      auto tag = agg::RunTag(config, *function, *field);
+      if (!tag.ok()) return 1;
+      tag_bytes.Add(protocol_bytes(tag->traffic));
+      tag_msgs.Add(protocol_frames(tag->traffic));
+
+      auto ipda1 =
+          agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
+      if (!ipda1.ok()) return 1;
+      ipda1_bytes.Add(protocol_bytes(ipda1->traffic));
+      ipda1_msgs.Add(protocol_frames(ipda1->traffic));
+
+      auto ipda2 =
+          agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
+      if (!ipda2.ok()) return 1;
+      ipda2_bytes.Add(protocol_bytes(ipda2->traffic));
+      ipda2_msgs.Add(protocol_frames(ipda2->traffic));
+    }
+    const double x = static_cast<double>(n);
+    series.Add("TAG", x, tag_bytes.mean());
+    series.Add("iPDA l=1", x, ipda1_bytes.mean());
+    series.Add("iPDA l=2", x, ipda2_bytes.mean());
+    ratios.Add("bytes l=1/TAG", x, ipda1_bytes.mean() / tag_bytes.mean());
+    ratios.Add("bytes l=2/TAG", x, ipda2_bytes.mean() / tag_bytes.mean());
+    ratios.Add("msgs l=1/TAG", x, ipda1_msgs.mean() / tag_msgs.mean());
+    ratios.Add("msgs l=2/TAG", x, ipda2_msgs.mean() / tag_msgs.mean());
+  }
+  std::printf("Total protocol bytes transmitted (mean over runs, MAC ACKs "
+              "excluded):\n");
+  series.ToTable("N", 0).PrintTo(stdout);
+  std::printf("\nOverhead ratios (theory: msgs (2l+1)/2 -> l=1: %.1f, "
+              "l=2: %.1f):\n",
+              analysis::OverheadRatio(1), analysis::OverheadRatio(2));
+  ratios.ToTable("N", 2).PrintTo(stdout);
+  const auto breakdown = analysis::EstimateBytes(2, 1, true);
+  std::printf("\nFrame-model byte prediction (l=2): iPDA/TAG = %.2f\n",
+              breakdown.byte_ratio);
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -1,0 +1,90 @@
+// Fig. 8(a)(b)(c): the three loss factors vs network size.
+//   (a) fraction of nodes covered by both aggregation trees;
+//   (b) fraction of nodes that participate (covered AND enough slice
+//       targets, l=2);
+//   (c) COUNT accuracy of iPDA (l=1, l=2) vs TAG.
+// Paper shape: all three rise steeply between N=200 and N=400 and saturate
+// near 1; TAG sits slightly above iPDA; factor (a) dominates in sparse
+// networks. The analytic coverage model (Eq. 9) is printed alongside (a).
+
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "analysis/coverage.h"
+#include "bench_common.h"
+#include "stats/series.h"
+#include "stats/summary.h"
+
+namespace ipda::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Fig. 8 — coverage, participation, accuracy",
+              "loss factors (a)/(b)/(c) of §IV-B-3 vs network size");
+  const size_t runs = RunsPerPoint();
+  stats::SeriesSet coverage, participation, accuracy;
+  for (size_t n : NetworkSizes()) {
+    const double sensors = static_cast<double>(n - 1);
+    stats::Summary covered1, covered2, part2, part1;
+    stats::Summary acc_tag, acc1, acc2, model_cov;
+    for (size_t r = 0; r < runs; ++r) {
+      const auto config = PaperRunConfig(n, 0xF16'8u + r * 15485863 + n);
+      auto function = agg::MakeCount();
+      auto field = agg::MakeConstantField(1.0);
+
+      auto tag = agg::RunTag(config, *function, *field);
+      if (!tag.ok()) return 1;
+      acc_tag.Add(tag->accuracy);
+
+      auto ipda1 =
+          agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
+      if (!ipda1.ok()) return 1;
+      covered1.Add(static_cast<double>(ipda1->stats.covered_both) /
+                   sensors);
+      part1.Add(static_cast<double>(ipda1->stats.participants) / sensors);
+      acc1.Add(ipda1->accuracy);
+
+      auto ipda2 =
+          agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
+      if (!ipda2.ok()) return 1;
+      covered2.Add(static_cast<double>(ipda2->stats.covered_both) /
+                   sensors);
+      part2.Add(static_cast<double>(ipda2->stats.participants) / sensors);
+      acc2.Add(ipda2->accuracy);
+
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) return 1;
+      model_cov.Add(analysis::ExpectedCoveredFraction(*topology, 0.5,
+                                                      0.5));
+    }
+    const double x = static_cast<double>(n);
+    coverage.Add("covered (l=1 run)", x, covered1.mean());
+    coverage.Add("covered (l=2 run)", x, covered2.mean());
+    coverage.Add("Eq.9 model", x, model_cov.mean());
+    participation.Add("participate l=1", x, part1.mean());
+    participation.Add("participate l=2", x, part2.mean());
+    participation.Add("covered l=2", x, covered2.mean());
+    accuracy.Add("TAG", x, acc_tag.mean());
+    accuracy.Add("iPDA l=1", x, acc1.mean());
+    accuracy.Add("iPDA l=2", x, acc2.mean());
+  }
+  std::printf("(a) fraction covered by both trees:\n");
+  coverage.ToTable("N").PrintTo(stdout);
+  std::printf("\n(b) fraction participating in aggregation:\n");
+  participation.ToTable("N").PrintTo(stdout);
+  std::printf("\n(c) COUNT accuracy:\n");
+  accuracy.ToTable("N").PrintTo(stdout);
+  std::printf(
+      "\nNote (matches §IV-B-3): Eq.9 assumes the HELLO flood reaches\n"
+      "everyone; the gap between the model and the protocol runs at low N\n"
+      "is flood stall, the dominant sparse-network loss. For accuracy >=\n"
+      "0.95 with l=2 the average degree must exceed ~18 (N >= 400).\n");
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

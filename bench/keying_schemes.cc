@@ -1,0 +1,147 @@
+// Key-management ablation (§IV-A-3: iPDA "can be built on top of any key
+// management scheme", but the scheme determines p_x).
+//
+// Compares pairwise master-key derivation against Eschenauer-Gligor random
+// predistribution at several ring sizes: how many links can be keyed at
+// all (unkeyed links shrink the slice-target pool), what that does to
+// participation/accuracy, and how far a 10-node-capture adversary sees
+// under each scheme (EG leaks third-party links; pairwise never does).
+
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "attack/eavesdropper.h"
+#include "crypto/link_security.h"
+#include "crypto/pairwise.h"
+#include "crypto/predistribution.h"
+#include "sim/simulator.h"
+#include "bench_common.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace ipda::bench {
+namespace {
+
+constexpr size_t kNodes = 400;
+constexpr size_t kCaptured = 10;
+
+struct SchemeOutcome {
+  double keyed_fraction = 1.0;
+  double participation = 0.0;
+  double accuracy = 0.0;
+  double capture_exposure = 0.0;  // Broken-link fraction, 10 captures.
+  double disclosure = 0.0;        // Empirical P_disclose under capture.
+};
+
+int RunScheme(uint64_t seed, const crypto::EgConfig* eg,
+              SchemeOutcome& out) {
+  agg::RunConfig config = PaperRunConfig(kNodes, seed);
+  auto topology = agg::BuildRunTopology(config);
+  if (!topology.ok()) return 1;
+  std::vector<crypto::Link> links;
+  for (net::NodeId a = 0; a < topology->node_count(); ++a) {
+    for (net::NodeId b : topology->neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
+    }
+  }
+  std::vector<crypto::LinkCrypto> cryptos;
+  for (net::NodeId id = 0; id < topology->node_count(); ++id) {
+    cryptos.emplace_back(id);
+  }
+
+  util::Rng rng(util::Mix64(seed, 0xE6));
+  crypto::LinkCompromiseReport capture;
+  std::optional<crypto::KeyPredistribution> predistribution;
+  if (eg == nullptr) {
+    crypto::PairwiseKeyScheme scheme(seed * 31 + 7);
+    scheme.Provision(links, cryptos);
+    out.keyed_fraction = 1.0;
+    capture = crypto::NodeCaptureUnderPairwise(
+        links, topology->node_count(), kCaptured, rng);
+  } else {
+    auto created = crypto::KeyPredistribution::Create(
+        *eg, topology->node_count(), seed * 131 + 3, rng);
+    if (!created.ok()) return 1;
+    predistribution = std::move(*created);
+    out.keyed_fraction = predistribution->Provision(links, cryptos);
+    capture = crypto::NodeCaptureUnderPredistribution(
+        links, *predistribution, kCaptured, rng);
+  }
+  out.capture_exposure = capture.fraction_broken;
+
+  std::vector<bool> broken(capture.broken.begin(), capture.broken.end());
+  attack::Eavesdropper eve(topology->node_count(), links, broken);
+
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeCount();
+  agg::IpdaConfig ipda = PaperIpdaConfig(2);
+  agg::IpdaProtocol protocol(&network, function.get(), ipda);
+  protocol.SetLinkCrypto(&cryptos);
+  protocol.SetSliceObserver(eve.Observer());
+  auto field = agg::MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+  out.participation = static_cast<double>(stats.participants) /
+                      static_cast<double>(kNodes - 1);
+  out.accuracy =
+      agg::AccuracyRatio(stats.decision.Agreed(),
+                         agg::Vector{static_cast<double>(kNodes - 1)});
+  out.disclosure = eve.Evaluate().disclosure_rate;
+  return 0;
+}
+
+int Run() {
+  PrintHeader("Key-management ablation — pairwise vs EG predistribution",
+              "keyable links, participation, 10-node-capture exposure");
+  const size_t runs = RunsPerPoint();
+  struct Row {
+    const char* name;
+    std::optional<crypto::EgConfig> eg;
+  };
+  const Row rows[] = {
+      {"pairwise master", std::nullopt},
+      {"EG P=10000 m=75", crypto::EgConfig{10000, 75}},
+      {"EG P=10000 m=150", crypto::EgConfig{10000, 150}},
+      {"EG P=1000 m=75", crypto::EgConfig{1000, 75}},
+  };
+  stats::Table table({"scheme", "keyed links", "participate", "accuracy",
+                      "capture exposure", "P_disclose"});
+  for (const Row& row : rows) {
+    stats::Summary keyed, part, acc, expo, leak;
+    for (size_t r = 0; r < runs; ++r) {
+      SchemeOutcome out;
+      if (RunScheme(0x4B + r * 53, row.eg ? &*row.eg : nullptr, out) !=
+          0) {
+        return 1;
+      }
+      keyed.Add(out.keyed_fraction);
+      part.Add(out.participation);
+      acc.Add(out.accuracy);
+      expo.Add(out.capture_exposure);
+      leak.Add(out.disclosure);
+    }
+    table.AddRow({row.name, stats::FormatDouble(keyed.mean(), 3),
+                  stats::FormatDouble(part.mean(), 3),
+                  stats::FormatDouble(acc.mean(), 3),
+                  stats::FormatDouble(expo.mean(), 4),
+                  stats::FormatDouble(leak.mean(), 4)});
+  }
+  table.PrintTo(stdout);
+  std::printf(
+      "\nPairwise keys every link and leaks only captured nodes' own\n"
+      "links; EG predistribution trades keyable-link coverage (hurting\n"
+      "slice-target choice) against storage, and captured rings expose\n"
+      "third-party links — the §IV-A-3 discussion, quantified.\n");
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -1,0 +1,179 @@
+// google-benchmark microbenchmarks for the primitives underneath the
+// simulation: cipher, sealing, slicing, event queue, topology build, and a
+// whole aggregation round.
+
+#include <benchmark/benchmark.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/cpda/interpolation.h"
+#include "agg/ipda/slicing.h"
+#include "agg/kipda/kipda_protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "crypto/ctr.h"
+#include "crypto/keystore.h"
+#include "crypto/xtea.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+#include "util/random.h"
+
+namespace ipda {
+namespace {
+
+void BM_XteaBlock(benchmark::State& state) {
+  const crypto::Key128 key = crypto::Key128::FromSeed(1);
+  uint64_t block = 0x0123456789abcdefULL;
+  for (auto _ : state) {
+    block = crypto::XteaEncryptBlock(key, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_XteaBlock);
+
+void BM_CtrCrypt(benchmark::State& state) {
+  const crypto::Key128 key = crypto::Key128::FromSeed(2);
+  util::Bytes payload(static_cast<size_t>(state.range(0)), 0x5a);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    crypto::CtrCrypt(key, ++nonce, payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CtrCrypt)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_LinkCryptoSealOpen(benchmark::State& state) {
+  crypto::LinkCrypto alice(1), bob(2);
+  const crypto::Key128 key = crypto::Key128::FromSeed(3);
+  alice.keystore().SetLinkKey(2, key);
+  bob.keystore().SetLinkKey(1, key);
+  const util::Bytes plaintext(26, 0x11);  // A slice-sized payload.
+  for (auto _ : state) {
+    auto wire = alice.Seal(2, plaintext);
+    auto opened = bob.Open(1, *wire);
+    benchmark::DoNotOptimize(opened->data());
+  }
+}
+BENCHMARK(BM_LinkCryptoSealOpen);
+
+void BM_SliceVector(benchmark::State& state) {
+  util::Rng rng(4);
+  const agg::Vector value{1.0, 25.0, 625.0};
+  const uint32_t l = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto slices = agg::SliceVector(value, l, 50.0, rng);
+    benchmark::DoNotOptimize(slices.data());
+  }
+}
+BENCHMARK(BM_SliceVector)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_CpdaInterpolation(benchmark::State& state) {
+  // Leader-side constant-term recovery for a degree-2 cluster.
+  util::Rng rng(6);
+  agg::MaskingPolynomial poly(17.0, 2, 100.0, rng);
+  const std::vector<double> xs{3.0, 8.0, 21.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(poly.Evaluate(x));
+  for (auto _ : state) {
+    auto constant = agg::InterpolateConstantTerm(xs, ys);
+    benchmark::DoNotOptimize(constant.ok());
+  }
+}
+BENCHMARK(BM_CpdaInterpolation);
+
+void BM_KipdaEncode(benchmark::State& state) {
+  agg::KipdaConfig config;
+  config.message_size = static_cast<size_t>(state.range(0));
+  config.real_positions = config.message_size / 4;
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto message = agg::KipdaEncode(config, 42.0, rng);
+    benchmark::DoNotOptimize(message.data());
+  }
+}
+BENCHMARK(BM_KipdaEncode)->Arg(12)->Arg(32);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (int i = 0; i < 1000; ++i) {
+      scheduler.ScheduleAt(sim::Microseconds(i * 7 % 997), [] {});
+    }
+    scheduler.RunAll();
+    benchmark::DoNotOptimize(scheduler.events_run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(5);
+  net::DeploymentConfig config;
+  config.node_count = n;
+  auto positions = net::UniformDeployment(config, rng);
+  for (auto _ : state) {
+    auto topology = net::Topology::Build(*positions, 50.0);
+    benchmark::DoNotOptimize(topology->node_count());
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(200)->Arg(600);
+
+void BM_FullIpdaRound(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    agg::RunConfig config;
+    config.deployment.node_count = n;
+    config.seed = ++seed;
+    auto result = agg::RunIpda(config, *function, *field, ipda);
+    benchmark::DoNotOptimize(result->accuracy);
+  }
+}
+BENCHMARK(BM_FullIpdaRound)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FullSmartRound(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::SmartConfig smart;
+  smart.slice_range = 1.0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    agg::RunConfig config;
+    config.deployment.node_count = n;
+    config.seed = ++seed;
+    auto result = agg::RunSmart(config, *function, *field, smart);
+    benchmark::DoNotOptimize(result->accuracy);
+  }
+}
+BENCHMARK(BM_FullSmartRound)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FullTagRound(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    agg::RunConfig config;
+    config.deployment.node_count = n;
+    config.seed = ++seed;
+    auto result = agg::RunTag(config, *function, *field);
+    benchmark::DoNotOptimize(result->accuracy);
+  }
+}
+BENCHMARK(BM_FullTagRound)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ipda
+
+BENCHMARK_MAIN();

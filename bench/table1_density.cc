@@ -1,0 +1,52 @@
+// Table I: network size vs. average node degree on the 400 m x 400 m
+// deployment with 50 m range. Paper values: 200→8.8, 300→13.7, 400→18.6,
+// 500→23.5, 600→28.4.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "net/topology.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace ipda::bench {
+namespace {
+
+constexpr double kPaperDegrees[] = {8.8, 13.7, 18.6, 23.5, 28.4};
+
+int Run() {
+  PrintHeader("Table I — network size vs. network density",
+              "average node degree of the random geometric deployment");
+  // Deployments are cheap; use a higher default for a tighter mean.
+  const size_t runs = RunsPerPoint() * 4;
+  stats::Table table({"nodes", "avg degree (ours)", "min", "max",
+                      "paper"});
+  size_t row = 0;
+  for (size_t n : NetworkSizes()) {
+    stats::Summary degrees;
+    for (size_t r = 0; r < runs; ++r) {
+      const auto config = PaperRunConfig(n, 0xA11CE + r * 977 + n);
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) {
+        std::fprintf(stderr, "topology failed: %s\n",
+                     topology.status().ToString().c_str());
+        return 1;
+      }
+      degrees.Add(topology->AverageDegree());
+    }
+    table.AddRow({stats::FormatInt(static_cast<long long>(n)),
+                  stats::FormatDouble(degrees.mean(), 1),
+                  stats::FormatDouble(degrees.min(), 1),
+                  stats::FormatDouble(degrees.max(), 1),
+                  stats::FormatDouble(kPaperDegrees[row], 1)});
+    ++row;
+  }
+  table.PrintTo(stdout);
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -1,0 +1,103 @@
+// Advanced metering infrastructure (AMI) scenario — the paper's motivating
+// application (§I): a utility collects total neighborhood consumption from
+// smart meters without learning any household's individual load, while a
+// dishonest participant who under-reports the aggregate gets caught.
+//
+// The example runs three billing intervals:
+//   interval 1: honest network, SUM of household loads accepted;
+//   interval 2: a compromised aggregator scales its subtree down 40%
+//               ("shift usage to cheaper intervals") — rejected;
+//   interval 3: honest again — service resumes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "attack/pollution.h"
+
+namespace {
+
+// Household load profile: base load plus a deterministic per-home variation
+// in [0.2, 3.0] kW — realistic evening-peak draws.
+class HouseholdLoadField : public ipda::agg::SensorField {
+ public:
+  explicit HouseholdLoadField(uint64_t interval) : interval_(interval) {}
+
+  double ReadingFor(ipda::net::NodeId id,
+                    const ipda::net::Topology&) const override {
+    ipda::util::Rng rng(ipda::util::Mix64(interval_, id));
+    const double base = 0.2;                      // Fridge, standby.
+    const double peak = rng.UniformDouble(0.0, 2.8);  // Stochastic use.
+    return base + peak;
+  }
+
+ private:
+  uint64_t interval_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ipda;
+
+  agg::RunConfig config;
+  config.deployment.node_count = 450;  // One meter per home + concentrator.
+  config.seed = 7;
+
+  auto function = agg::MakeSum();  // kWh per interval == kW x interval.
+  agg::IpdaConfig ipda;
+  ipda.slice_count = 2;
+  ipda.slice_range = 3.0;   // Slice noise spans the per-home load domain.
+  ipda.threshold = 8.0;     // Th in kW; >> loss noise, << any real fraud.
+
+  std::printf("Advanced metering: %zu meters reporting interval totals\n\n",
+              config.deployment.node_count - 1);
+
+  for (int interval = 1; interval <= 3; ++interval) {
+    HouseholdLoadField field(static_cast<uint64_t>(interval));
+    agg::IpdaRunHooks hooks;
+    size_t fired = 0;
+    if (interval == 2) {
+      attack::PollutionConfig fraud;
+      fraud.attackers = {77};          // A compromised in-network aggregator.
+      fraud.additive_delta = -120.0;   // Shave 120 kW off the total.
+      hooks.pollution = attack::MakePollutionHook(fraud, &fired);
+    }
+    config.seed = 7 + static_cast<uint64_t>(interval);
+    auto result = agg::RunIpda(config, *function, field, ipda, hooks);
+    if (!result.ok()) {
+      std::fprintf(stderr, "interval %d failed: %s\n", interval,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& decision = result->stats.decision;
+    const double truth = function->Finalize(result->true_acc);
+    std::printf("interval %d%s\n", interval,
+                interval == 2
+                    ? "  (meter 77 compromised, under-reports 120 kW)"
+                    : "");
+    std::printf("  tree totals: red %.1f kW, blue %.1f kW, |diff| %.2f\n",
+                decision.acc_red[0], decision.acc_blue[0],
+                decision.max_component_diff);
+    if (decision.accepted) {
+      std::printf("  ACCEPTED: billed total %.1f kW (true %.1f kW, "
+                  "error %.2f%%)\n\n",
+                  result->result, truth,
+                  100.0 * std::fabs(result->result - truth) /
+                      truth);
+    } else {
+      std::printf("  REJECTED: totals disagree beyond Th=%.0f kW — "
+                  "pollution detected%s\n\n",
+                  ipda.threshold,
+                  fired > 0 ? " (the fraud fired, as expected)" : "");
+    }
+  }
+
+  std::printf("Privacy note: every per-home reading left its meter as %u\n"
+              "encrypted random slices; no single link (or tree) ever\n"
+              "carried a household's load in recoverable form.\n",
+              2 * ipda.slice_count);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Private distribution survey: collect a HISTOGRAM of sensor readings
+// without exposing any individual value.
+//
+// Additive bucket counts ride through iPDA's slicing like any other
+// contribution vector, so the base station learns the shape of the
+// temperature distribution — useful for anomaly detection or HVAC
+// planning — while every per-sensor reading stays hidden behind encrypted
+// random slices. The integrity check covers the whole vector: tampering
+// with any bucket on one tree is caught.
+
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "attack/pollution.h"
+
+int main() {
+  using namespace ipda;
+
+  constexpr double kLo = 12.0;
+  constexpr double kHi = 32.0;
+  constexpr size_t kBuckets = 8;
+
+  agg::RunConfig config;
+  config.deployment.node_count = 450;
+  config.seed = 2718;
+
+  auto function = agg::MakeHistogram(kLo, kHi, kBuckets);
+  // A spatial gradient plus per-node spread: warm on one side of the
+  // field, cool on the other.
+  auto field = agg::MakeGradientField(14.0, 0.04, 0.0);
+
+  agg::IpdaConfig ipda;
+  ipda.slice_count = 2;
+  ipda.slice_range = 1.0;  // Bucket counts are 0/1 per sensor.
+  ipda.threshold = 5.0;
+
+  auto result = agg::RunIpda(config, *function, *field, ipda);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->stats.decision.accepted) {
+    std::fprintf(stderr, "rejected: trees disagree\n");
+    return 1;
+  }
+
+  const agg::Vector histogram = result->stats.decision.Agreed();
+  const auto bounds = agg::HistogramBucketLowerBounds(kLo, kHi, kBuckets);
+  const double width = (kHi - kLo) / static_cast<double>(kBuckets);
+
+  std::printf("private temperature survey over %zu sensors "
+              "(%zu participated):\n\n",
+              config.deployment.node_count - 1,
+              result->stats.participants);
+  double max_count = 1.0;
+  for (double c : histogram) max_count = c > max_count ? c : max_count;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const int bar =
+        static_cast<int>(histogram[b] / max_count * 40.0 + 0.5);
+    std::printf("  %5.1f-%5.1f C | %-40.*s %.0f (true %.0f)\n", bounds[b],
+                bounds[b] + width, bar,
+                "########################################", histogram[b],
+                result->true_acc[b]);
+  }
+  std::printf("\nper-sensor readings never left the motes in the clear;\n"
+              "the distribution was assembled from encrypted slices on "
+              "two\ndisjoint trees whose totals agreed within Th = %.0f.\n",
+              ipda.threshold);
+  return 0;
+}

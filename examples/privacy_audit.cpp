@@ -1,0 +1,108 @@
+// Privacy audit: how much does an eavesdropper actually learn?
+//
+// Runs the same deployment under (a) the TAG baseline, where a global
+// listener reads every leaf's exact value off the air, and (b) iPDA with
+// link encryption and l = 2 slicing, where the listener additionally
+// decrypts a fraction p_x of all links (key exposure, §IV-A-3). Prints the
+// fraction of sensors whose reading the adversary reconstructs, next to
+// the paper's Eq. (11) prediction.
+
+#include <cstdio>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/partial.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "analysis/privacy.h"
+#include "attack/eavesdropper.h"
+#include "crypto/link_security.h"
+
+int main() {
+  using namespace ipda;
+
+  agg::RunConfig config;
+  config.deployment.node_count = 500;
+  config.seed = 1234;
+  auto topology = agg::BuildRunTopology(config);
+  if (!topology.ok()) return 1;
+  const size_t sensors = topology->node_count() - 1;
+
+  auto function = agg::MakeSum();
+  auto field = agg::MakeUniformField(15.0, 35.0, 77);  // Temperatures.
+
+  std::printf("privacy audit: %zu sensors, avg degree %.1f\n\n", sensors,
+              topology->AverageDegree());
+
+  // (a) TAG: a passive listener needs no keys at all. Count leaf nodes
+  // whose exact reading appears verbatim in an overheard partial.
+  {
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    const auto readings = field->Sample(network.topology());
+    std::vector<bool> exposed(network.size(), false);
+    network.channel().SetOverhearHandler(
+        [&](const net::OverhearEvent& event) {
+          if (event.packet.type != net::PacketType::kAggregate) return;
+          auto partial = agg::DecodePartial(event.packet.payload);
+          if (!partial.ok()) return;
+          // A singleton subtree's partial IS the sender's raw reading.
+          for (net::NodeId id = 1; id < network.size(); ++id) {
+            if (event.packet.src == id &&
+                (*partial)[0] == readings[id]) {
+              exposed[id] = true;
+            }
+          }
+        });
+    agg::TagProtocol protocol(&network, function.get());
+    protocol.SetReadings(readings);
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    size_t count = 0;
+    for (bool e : exposed) count += e ? 1 : 0;
+    std::printf("TAG baseline (no crypto, no slicing):\n"
+                "  adversary reads %zu/%zu sensor values verbatim "
+                "(%.0f%% — every leaf)\n\n",
+                count, sensors,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(sensors));
+  }
+
+  // (b) iPDA under increasing key exposure p_x.
+  std::printf("iPDA (l = 2, link encryption) under key exposure p_x:\n");
+  std::printf("  p_x    disclosed    empirical rate   Eq.11 prediction\n");
+  auto fresh_topology = agg::BuildRunTopology(config);
+  if (!fresh_topology.ok()) return 1;
+  std::vector<crypto::Link> links;
+  for (net::NodeId a = 0; a < fresh_topology->node_count(); ++a) {
+    for (net::NodeId b : fresh_topology->neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
+    }
+  }
+  for (double px : {0.01, 0.05, 0.10, 0.25}) {
+    util::Rng rng(util::Mix64(config.seed, static_cast<uint64_t>(px * 1e4)));
+    auto compromise = crypto::UniformLinkCompromise(links.size(), px, rng);
+    std::vector<bool> broken(compromise.broken.begin(),
+                             compromise.broken.end());
+    attack::Eavesdropper eve(fresh_topology->node_count(), links, broken);
+    agg::IpdaConfig ipda;
+    ipda.slice_count = 2;
+    ipda.slice_range = 35.0;
+    ipda.threshold = 80.0;
+    agg::IpdaRunHooks hooks;
+    hooks.slice_observer = eve.Observer();
+    auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+    if (!result.ok()) return 1;
+    const auto report = eve.Evaluate();
+    std::printf("  %.2f   %4zu/%zu       %6.4f           %6.4f\n", px,
+                report.disclosed_count, report.observed_count,
+                report.disclosure_rate,
+                analysis::AverageDisclosureProbability(*fresh_topology, px,
+                                                       2));
+  }
+  std::printf("\nEvery disclosed value is verified against ground truth "
+              "inside the\nattack module; anything not listed stayed "
+              "information-theoretically\nhidden behind incomplete slice "
+              "sets.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "agg/cpda/interpolation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipda::agg {
+
+MaskingPolynomial::MaskingPolynomial(double value, size_t degree,
+                                     double coeff_range, util::Rng& rng) {
+  IPDA_CHECK_GT(coeff_range, 0.0);
+  coefficients_.reserve(degree + 1);
+  coefficients_.push_back(value);
+  for (size_t d = 0; d < degree; ++d) {
+    coefficients_.push_back(rng.UniformDouble(-coeff_range, coeff_range));
+  }
+}
+
+double MaskingPolynomial::Evaluate(double x) const {
+  // Horner.
+  double acc = 0.0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    acc = acc * x + coefficients_[i];
+  }
+  return acc;
+}
+
+namespace {
+
+util::Status ValidatePoints(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return util::InvalidArgumentError("xs/ys size mismatch");
+  }
+  if (xs.size() < 2) {
+    return util::InvalidArgumentError("need at least 2 points");
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == 0.0) {
+      return util::InvalidArgumentError("x = 0 not allowed");
+    }
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) {
+        return util::InvalidArgumentError("duplicate x points");
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Result<double> InterpolateConstantTerm(const std::vector<double>& xs,
+                                             const std::vector<double>& ys) {
+  IPDA_RETURN_IF_ERROR(ValidatePoints(xs, ys));
+  // P(0) = Σ_j y_j Π_{k≠j} x_k / (x_k − x_j).
+  double result = 0.0;
+  for (size_t j = 0; j < xs.size(); ++j) {
+    double weight = 1.0;
+    for (size_t k = 0; k < xs.size(); ++k) {
+      if (k == j) continue;
+      weight *= xs[k] / (xs[k] - xs[j]);
+    }
+    result += ys[j] * weight;
+  }
+  return result;
+}
+
+util::Result<std::vector<double>> InterpolateCoefficients(
+    const std::vector<double>& xs, const std::vector<double>& ys) {
+  IPDA_RETURN_IF_ERROR(ValidatePoints(xs, ys));
+  const size_t n = xs.size();
+  // Newton divided differences.
+  std::vector<double> divided = ys;
+  for (size_t level = 1; level < n; ++level) {
+    for (size_t i = n - 1; i >= level; --i) {
+      divided[i] = (divided[i] - divided[i - 1]) /
+                   (xs[i] - xs[i - level]);
+      if (i == level) break;
+    }
+  }
+  // Expand Newton form into monomial coefficients.
+  std::vector<double> coeffs(n, 0.0);
+  std::vector<double> basis{1.0};  // Π (x - x_k) so far.
+  for (size_t level = 0; level < n; ++level) {
+    for (size_t i = 0; i < basis.size(); ++i) {
+      coeffs[i] += divided[level] * basis[i];
+    }
+    if (level + 1 < n) {
+      // basis *= (x - xs[level]).
+      std::vector<double> next(basis.size() + 1, 0.0);
+      for (size_t i = 0; i < basis.size(); ++i) {
+        next[i + 1] += basis[i];
+        next[i] -= xs[level] * basis[i];
+      }
+      basis = std::move(next);
+    }
+  }
+  return coeffs;
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,54 @@
+// Polynomial masking and interpolation for CPDA (the cluster-based scheme
+// of PDA, INFOCOM 2007 — the paper's reference [11]).
+//
+// Within a cluster, member i hides its value v_i inside the polynomial
+//   p_i(x) = v_i + r_{i,1} x + ... + r_{i,deg} x^deg
+// with private random coefficients, and hands p_i(x_j) to member j (the
+// x_j are distinct public points, e.g. node ids). Each member sums what it
+// received; the summed evaluations lie on P(x) = Σ_i p_i(x), whose
+// constant term P(0) = Σ_i v_i is the cluster sum — recoverable by the
+// leader via Lagrange interpolation once it has deg+1 summed points, while
+// individual v_i stay hidden unless deg members collude.
+
+#ifndef IPDA_AGG_CPDA_INTERPOLATION_H_
+#define IPDA_AGG_CPDA_INTERPOLATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ipda::agg {
+
+// One member's masking polynomial.
+class MaskingPolynomial {
+ public:
+  // Degree-`degree` polynomial with constant term `value` and uniform
+  // random coefficients in [-coeff_range, coeff_range].
+  MaskingPolynomial(double value, size_t degree, double coeff_range,
+                    util::Rng& rng);
+
+  double Evaluate(double x) const;
+  size_t degree() const { return coefficients_.size() - 1; }
+  double value() const { return coefficients_[0]; }
+
+ private:
+  std::vector<double> coefficients_;  // [0] = constant term.
+};
+
+// Lagrange interpolation of the constant term P(0) from points
+// (xs[i], ys[i]). Requires >= 2 points, all xs distinct and nonzero.
+// With exactly deg+1 points of a degree-deg polynomial this is exact.
+util::Result<double> InterpolateConstantTerm(const std::vector<double>& xs,
+                                             const std::vector<double>& ys);
+
+// Full coefficient recovery (Newton form evaluated back to monomial
+// coefficients). Used by collusion analysis: deg+1 colluders holding
+// p_i(x_j) points can reconstruct p_i entirely, exposing v_i.
+util::Result<std::vector<double>> InterpolateCoefficients(
+    const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_CPDA_INTERPOLATION_H_

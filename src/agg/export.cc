@@ -1,0 +1,123 @@
+#include "agg/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ipda::agg {
+namespace {
+
+void AppendF(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out += buf;
+}
+
+const char* RoleFillColor(NodeRole role) {
+  switch (role) {
+    case NodeRole::kRedAggregator:
+      return "indianred1";
+    case NodeRole::kBlueAggregator:
+      return "steelblue1";
+    case NodeRole::kLeaf:
+      return "gray80";
+    case NodeRole::kBaseStation:
+      return "black";
+    case NodeRole::kExcluded:
+      return "khaki";
+    case NodeRole::kUndecided:
+      return "white";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string TopologyToDot(const net::Topology& topology) {
+  std::string out = "graph topology {\n  node [shape=point];\n";
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    const net::Point2D& p = topology.position(id);
+    AppendF(out, "  n%u [pos=\"%.1f,%.1f\"];\n", id, p.x, p.y);
+  }
+  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+    for (net::NodeId b : topology.neighbors(a)) {
+      if (a < b) AppendF(out, "  n%u -- n%u;\n", a, b);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string IpdaTreesToDot(const IpdaProtocol& protocol,
+                           const net::Topology& topology) {
+  std::string out =
+      "digraph ipda_trees {\n  node [shape=circle, style=filled, "
+      "width=0.15, label=\"\"];\n";
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    const net::Point2D& p = topology.position(id);
+    const NodeRole role = id == net::kBaseStationId
+                              ? NodeRole::kBaseStation
+                              : protocol.builder(id).role();
+    AppendF(out, "  n%u [pos=\"%.1f,%.1f\", fillcolor=%s];\n", id, p.x,
+            p.y, RoleFillColor(role));
+  }
+  for (net::NodeId id = 1; id < topology.node_count(); ++id) {
+    const TreeBuilder& builder = protocol.builder(id);
+    const NodeRole role = builder.role();
+    if (role != NodeRole::kRedAggregator &&
+        role != NodeRole::kBlueAggregator) {
+      continue;
+    }
+    AppendF(out, "  n%u -> n%u [color=%s];\n", id, builder.parent(),
+            role == NodeRole::kRedAggregator ? "red" : "blue");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string IpdaRolesToCsv(const IpdaProtocol& protocol,
+                           const net::Topology& topology) {
+  std::string out = "id,x,y,role,parent,hop,covered,participated\n";
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    const net::Point2D& p = topology.position(id);
+    if (id == net::kBaseStationId) {
+      AppendF(out, "%u,%.2f,%.2f,base-station,,0,1,0\n", id, p.x, p.y);
+      continue;
+    }
+    const TreeBuilder& builder = protocol.builder(id);
+    const NodeRole role = builder.role();
+    const bool is_aggregator = role == NodeRole::kRedAggregator ||
+                               role == NodeRole::kBlueAggregator;
+    AppendF(out, "%u,%.2f,%.2f,%s,", id, p.x, p.y, NodeRoleName(role));
+    if (is_aggregator) {
+      AppendF(out, "%u,%u,", builder.parent(), builder.hop());
+    } else {
+      out += ",,";
+    }
+    AppendF(out, "%d,%d\n", builder.covered() ? 1 : 0,
+            protocol.participated(id) ? 1 : 0);
+  }
+  return out;
+}
+
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::UnavailableError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(),
+                                     file);
+  const int close_result = std::fclose(file);
+  if (written != content.size() || close_result != 0) {
+    return util::UnavailableError("short write to " + path);
+  }
+  return util::OkStatus();
+}
+
+}  // namespace ipda::agg

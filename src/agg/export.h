@@ -1,0 +1,36 @@
+// Graphviz/CSV export of deployments and the constructed disjoint trees,
+// for debugging protocols and making paper-style pictures (cf. Fig. 1).
+
+#ifndef IPDA_AGG_EXPORT_H_
+#define IPDA_AGG_EXPORT_H_
+
+#include <string>
+
+#include "agg/ipda/protocol.h"
+#include "net/topology.h"
+#include "util/status.h"
+
+namespace ipda::agg {
+
+// Undirected connectivity graph with node positions (`pos` attributes are
+// meters; render with `neato -n`).
+std::string TopologyToDot(const net::Topology& topology);
+
+// The red and blue aggregation trees after a run: nodes colored by role
+// (red/blue aggregator, leaf gray, base station black, unreached hollow),
+// tree edges solid and child->parent directed. Call after the simulation
+// finished (roles final).
+std::string IpdaTreesToDot(const IpdaProtocol& protocol,
+                           const net::Topology& topology);
+
+// One CSV row per node: id,x,y,role,parent,hop,covered,participated.
+std::string IpdaRolesToCsv(const IpdaProtocol& protocol,
+                           const net::Topology& topology);
+
+// Writes `content` to `path` (overwrites).
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& content);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_EXPORT_H_

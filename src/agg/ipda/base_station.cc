@@ -1,0 +1,49 @@
+#include "agg/ipda/base_station.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipda::agg {
+
+Vector IntegrityDecision::Agreed() const {
+  Vector out(acc_red.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = (acc_red[i] + acc_blue[i]) / 2.0;
+  }
+  return out;
+}
+
+BaseStationAccumulator::BaseStationAccumulator(size_t arity)
+    : red_(arity, 0.0), blue_(arity, 0.0) {}
+
+void BaseStationAccumulator::Add(TreeColor color, const Vector& partial) {
+  IPDA_CHECK(color == TreeColor::kRed || color == TreeColor::kBlue);
+  AddInto(color == TreeColor::kRed ? red_ : blue_, partial);
+}
+
+const Vector& BaseStationAccumulator::acc(TreeColor color) const {
+  IPDA_CHECK(color == TreeColor::kRed || color == TreeColor::kBlue);
+  return color == TreeColor::kRed ? red_ : blue_;
+}
+
+IntegrityDecision BaseStationAccumulator::Decide(double threshold) const {
+  IntegrityDecision decision;
+  decision.acc_red = red_;
+  decision.acc_blue = blue_;
+  decision.threshold = threshold;
+  double diff = 0.0;
+  for (size_t i = 0; i < red_.size(); ++i) {
+    diff = std::max(diff, std::fabs(red_[i] - blue_[i]));
+  }
+  decision.max_component_diff = diff;
+  decision.accepted = diff <= threshold;
+  return decision;
+}
+
+void BaseStationAccumulator::Reset() {
+  red_.assign(red_.size(), 0.0);
+  blue_.assign(blue_.size(), 0.0);
+}
+
+}  // namespace ipda::agg

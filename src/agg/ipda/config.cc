@@ -1,0 +1,45 @@
+#include "agg/ipda/config.h"
+
+namespace ipda::agg {
+
+util::Status ValidateIpdaConfig(const IpdaConfig& config) {
+  if (config.slice_count == 0) {
+    return util::InvalidArgumentError("slice_count (l) must be >= 1");
+  }
+  if (config.k < 2) {
+    return util::InvalidArgumentError("k must be >= 2 (paper: k >= 2)");
+  }
+  if (config.threshold < 0.0) {
+    return util::InvalidArgumentError("threshold Th must be non-negative");
+  }
+  if (config.slice_range <= 0.0) {
+    return util::InvalidArgumentError("slice_range must be positive");
+  }
+  if (config.phase1_window <= 0 || config.slice_window <= 0 ||
+      config.slot <= 0) {
+    return util::InvalidArgumentError("phase windows must be positive");
+  }
+  if (config.max_depth == 0) {
+    return util::InvalidArgumentError("max_depth must be positive");
+  }
+  return util::OkStatus();
+}
+
+sim::SimTime IpdaSliceStart(const IpdaConfig& config) {
+  return config.phase1_window;
+}
+
+sim::SimTime IpdaReportStart(const IpdaConfig& config) {
+  // Margin after the slicing window so assembly sees every slice the MAC
+  // will ever deliver.
+  return IpdaSliceStart(config) + config.slice_window +
+         sim::Milliseconds(200);
+}
+
+sim::SimTime IpdaDuration(const IpdaConfig& config) {
+  return IpdaReportStart(config) +
+         config.slot * static_cast<sim::SimTime>(config.max_depth + 1) +
+         config.report_jitter_max + sim::Milliseconds(200);
+}
+
+}  // namespace ipda::agg

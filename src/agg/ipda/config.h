@@ -1,0 +1,60 @@
+// iPDA protocol parameters (§III).
+
+#ifndef IPDA_AGG_IPDA_CONFIG_H_
+#define IPDA_AGG_IPDA_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace ipda::agg {
+
+struct IpdaConfig {
+  // --- Paper parameters ---
+  uint32_t slice_count = 2;   // l: pieces per reading (paper recommends 2).
+  uint32_t k = 4;             // Aggregator budget for adaptive roles (§III-B).
+  bool adaptive_roles = false;  // Eq. (1) adaptive p_r/p_b; false = Eq. (2),
+                                // p_r = p_b = 0.5, the evaluation setting.
+  double threshold = 5.0;     // Th: |S_red - S_blue| acceptance bound.
+  double slice_range = 50.0;  // Random slices drawn uniform in +/- range.
+  bool encrypt_slices = true;  // Link-level encryption of slices (§III-C-1).
+
+  // --- Robustness extensions (not in the paper; ablation bench) ---
+  // Extra HELLO re-broadcasts per aggregator during Phase I. Covers HELLO
+  // collision losses; measurement shows it does NOT fix sparse-network
+  // coverage, because the dominant stall is color starvation, not loss.
+  uint32_t hello_repeats = 0;
+  sim::SimTime hello_repeat_interval = sim::Milliseconds(700);
+  // Impatient join: a node that heard only one color for `impatient_wait`
+  // joins that color's tree as an aggregator instead of waiting forever.
+  // This breaks the color-starvation deadlock (a frontier where every
+  // waiting node needs the *other* color can never unblock itself) and is
+  // the extension that actually recovers sparse-network coverage.
+  bool impatient_join = false;
+  sim::SimTime impatient_wait = sim::Milliseconds(900);
+
+  // --- Phase timing ---
+  sim::SimTime hello_jitter_max = sim::Milliseconds(40);
+  sim::SimTime decide_window = sim::Milliseconds(120);  // HELLO gather time.
+  sim::SimTime phase1_window = sim::Seconds(4);         // Tree construction.
+  sim::SimTime slice_window = sim::Milliseconds(800);   // Slicing spread.
+  sim::SimTime slot = sim::Milliseconds(100);           // Phase III slots.
+  uint32_t max_depth = 24;
+  sim::SimTime report_jitter_max = sim::Milliseconds(60);
+};
+
+util::Status ValidateIpdaConfig(const IpdaConfig& config);
+
+// Simulated time from protocol start until the base-station decision.
+sim::SimTime IpdaDuration(const IpdaConfig& config);
+
+// Start of Phase II (slicing) relative to protocol start.
+sim::SimTime IpdaSliceStart(const IpdaConfig& config);
+
+// Start of Phase III (tree reports) relative to protocol start.
+sim::SimTime IpdaReportStart(const IpdaConfig& config);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_IPDA_CONFIG_H_

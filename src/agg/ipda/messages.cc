@@ -1,0 +1,121 @@
+#include "agg/ipda/messages.h"
+
+#include "agg/partial.h"
+
+namespace ipda::agg {
+
+const char* TreeColorName(TreeColor color) {
+  switch (color) {
+    case TreeColor::kRed:
+      return "red";
+    case TreeColor::kBlue:
+      return "blue";
+    case TreeColor::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kUndecided:
+      return "undecided";
+    case NodeRole::kLeaf:
+      return "leaf";
+    case NodeRole::kRedAggregator:
+      return "red";
+    case NodeRole::kBlueAggregator:
+      return "blue";
+    case NodeRole::kBaseStation:
+      return "base-station";
+    case NodeRole::kExcluded:
+      return "excluded";
+  }
+  return "?";
+}
+
+bool RoleMatchesColor(NodeRole role, TreeColor color) {
+  switch (color) {
+    case TreeColor::kRed:
+      return role == NodeRole::kRedAggregator ||
+             role == NodeRole::kBaseStation;
+    case TreeColor::kBlue:
+      return role == NodeRole::kBlueAggregator ||
+             role == NodeRole::kBaseStation;
+    case TreeColor::kBoth:
+      return role == NodeRole::kBaseStation;
+  }
+  return false;
+}
+
+util::Bytes EncodeHelloMsg(const HelloMsg& msg) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(msg.color));
+  writer.WriteU16(static_cast<uint16_t>(msg.hop > 0xffff ? 0xffff : msg.hop));
+  writer.WriteU8(msg.query.has_value() ? 1 : 0);
+  util::Bytes out = writer.TakeBytes();
+  if (msg.query.has_value()) {
+    const util::Bytes query = EncodeQuery(*msg.query);
+    out.insert(out.end(), query.begin(), query.end());
+  }
+  return out;
+}
+
+util::Result<HelloMsg> DecodeHelloMsg(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t color, reader.ReadU8());
+  IPDA_ASSIGN_OR_RETURN(uint16_t hop, reader.ReadU16());
+  IPDA_ASSIGN_OR_RETURN(uint8_t has_query, reader.ReadU8());
+  if (color < 1 || color > 3) {
+    return util::InvalidArgumentError("bad HELLO color");
+  }
+  HelloMsg msg{static_cast<TreeColor>(color), hop, std::nullopt};
+  if (has_query != 0) {
+    util::Bytes rest(payload.begin() + 4, payload.end());
+    IPDA_ASSIGN_OR_RETURN(Query query, DecodeQuery(rest));
+    msg.query = query;
+  }
+  return msg;
+}
+
+util::Bytes EncodeSliceMsg(const SliceMsg& msg) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(msg.color));
+  util::Bytes body = EncodePartial(msg.slice);
+  util::Bytes out = writer.TakeBytes();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+util::Result<SliceMsg> DecodeSliceMsg(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t color, reader.ReadU8());
+  if (color != 1 && color != 2) {
+    return util::InvalidArgumentError("bad SLICE color");
+  }
+  util::Bytes rest(payload.begin() + 1, payload.end());
+  IPDA_ASSIGN_OR_RETURN(Vector slice, DecodePartial(rest));
+  return SliceMsg{static_cast<TreeColor>(color), std::move(slice)};
+}
+
+util::Bytes EncodeAggregateMsg(const AggregateMsg& msg) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(msg.color));
+  util::Bytes partial = EncodePartial(msg.partial);
+  util::Bytes out = writer.TakeBytes();
+  out.insert(out.end(), partial.begin(), partial.end());
+  return out;
+}
+
+util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t color, reader.ReadU8());
+  if (color != 1 && color != 2) {
+    return util::InvalidArgumentError("bad AGGREGATE color");
+  }
+  util::Bytes rest(payload.begin() + 1, payload.end());
+  IPDA_ASSIGN_OR_RETURN(Vector partial, DecodePartial(rest));
+  return AggregateMsg{static_cast<TreeColor>(color), std::move(partial)};
+}
+
+}  // namespace ipda::agg

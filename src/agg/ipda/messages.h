@@ -1,0 +1,77 @@
+// Wire formats for the three iPDA phases.
+//
+// HELLO carries the sender's tree color and hop count (Phase I); SLICE
+// carries one encrypted contribution-vector slice (Phase II); AGGREGATE
+// carries a colored partial so the base station can attribute it to the
+// red or blue tree (Phase III).
+
+#ifndef IPDA_AGG_IPDA_MESSAGES_H_
+#define IPDA_AGG_IPDA_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "agg/aggregate_function.h"
+#include "agg/query.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ipda::agg {
+
+// Aggregation-tree color. The base station broadcasts kBoth: it roots the
+// red and the blue tree simultaneously (§III-B).
+enum class TreeColor : uint8_t {
+  kRed = 1,
+  kBlue = 2,
+  kBoth = 3,
+};
+
+// Role a node assumes in Phase I.
+enum class NodeRole : uint8_t {
+  kUndecided = 0,
+  kLeaf = 1,
+  kRedAggregator = 2,
+  kBlueAggregator = 3,
+  kBaseStation = 4,
+  kExcluded = 5,  // Administratively barred (polluter localization rounds).
+};
+
+const char* TreeColorName(TreeColor color);
+const char* NodeRoleName(NodeRole role);
+
+// True if `role` aggregates on the tree of `color`.
+bool RoleMatchesColor(NodeRole role, TreeColor color);
+
+struct HelloMsg {
+  TreeColor color = TreeColor::kBoth;
+  uint32_t hop = 0;
+  // Piggybacked query spec (§III-A): dissemination and tree construction
+  // share the flood, exactly as in TAG.
+  std::optional<Query> query;
+};
+
+util::Bytes EncodeHelloMsg(const HelloMsg& msg);
+util::Result<HelloMsg> DecodeHelloMsg(const util::Bytes& payload);
+
+// Plaintext slice body (sealed by LinkCrypto before transmission). The
+// color says which tree the slice feeds — receivers of a single color
+// could infer it, but the base station aggregates on both trees.
+struct SliceMsg {
+  TreeColor color = TreeColor::kRed;
+  Vector slice;
+};
+
+util::Bytes EncodeSliceMsg(const SliceMsg& msg);
+util::Result<SliceMsg> DecodeSliceMsg(const util::Bytes& payload);
+
+struct AggregateMsg {
+  TreeColor color = TreeColor::kRed;
+  Vector partial;
+};
+
+util::Bytes EncodeAggregateMsg(const AggregateMsg& msg);
+util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_IPDA_MESSAGES_H_

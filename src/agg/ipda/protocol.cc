@@ -1,0 +1,352 @@
+#include "agg/ipda/protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "agg/partial.h"
+#include "crypto/pairwise.h"
+#include "net/packet.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ipda::agg {
+namespace {
+
+sim::SimTime UniformDelay(util::Rng& rng, sim::SimTime max) {
+  return static_cast<sim::SimTime>(
+      rng.UniformUint64(static_cast<uint64_t>(max) + 1));
+}
+
+}  // namespace
+
+IpdaProtocol::IpdaProtocol(net::Network* network,
+                           const AggregateFunction* function,
+                           IpdaConfig config)
+    : network_(network),
+      function_(function),
+      config_(config),
+      bs_acc_(function != nullptr ? function->arity() : 0) {
+  IPDA_CHECK(network != nullptr);
+  IPDA_CHECK(function != nullptr);
+  IPDA_CHECK(ValidateIpdaConfig(config).ok());
+  readings_.assign(network_->size(), 0.0);
+  states_.resize(network_->size());
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    NodeState& state = states_[id];
+    state.assembled.assign(function_->arity(), 0.0);
+    state.children.assign(function_->arity(), 0.0);
+    state.builder = std::make_unique<TreeBuilder>(
+        id, &config_, network_->node(id).rng().Fork("tree-builder"),
+        [this, id](sim::SimTime delay, std::function<void()> fn) {
+          network_->sim().After(delay, std::move(fn));
+        },
+        [this, id](const HelloMsg& hello) { OnJoined(id, hello); });
+  }
+}
+
+void IpdaProtocol::SetReadings(std::vector<double> readings) {
+  IPDA_CHECK_EQ(readings.size(), network_->size());
+  readings_ = std::move(readings);
+}
+
+void IpdaProtocol::SetQuery(const Query& query) {
+  IPDA_CHECK(!started_);
+  auto resolved = FunctionForQuery(query);
+  IPDA_CHECK(resolved.ok());
+  IPDA_CHECK_EQ((*resolved)->arity(), function_->arity());
+  query_ = query;
+}
+
+void IpdaProtocol::SetLinkCrypto(std::vector<crypto::LinkCrypto>* cryptos) {
+  IPDA_CHECK(!started_);
+  IPDA_CHECK(cryptos != nullptr);
+  IPDA_CHECK_EQ(cryptos->size(), network_->size());
+  cryptos_ = cryptos;
+}
+
+void IpdaProtocol::SetPollutionHook(PollutionHook hook) {
+  pollution_hook_ = std::move(hook);
+}
+
+void IpdaProtocol::SetSliceObserver(SliceObserver observer) {
+  slice_observer_ = std::move(observer);
+}
+
+void IpdaProtocol::SetExcludedNodes(const std::vector<net::NodeId>& nodes) {
+  IPDA_CHECK(!started_);
+  for (net::NodeId id : nodes) {
+    IPDA_CHECK_NE(id, net::kBaseStationId);
+    if (!states_[id].excluded) {
+      states_[id].excluded = true;
+      states_[id].builder->ForceRole(NodeRole::kExcluded);
+    }
+  }
+}
+
+void IpdaProtocol::ProvisionPairwiseKeys() {
+  owned_cryptos_.reserve(network_->size());
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    owned_cryptos_.emplace_back(id);
+  }
+  std::vector<crypto::Link> links;
+  const net::Topology& topology = network_->topology();
+  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+    for (net::NodeId b : topology.neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
+    }
+  }
+  const crypto::PairwiseKeyScheme scheme(
+      util::Mix64(network_->sim().seed(), 0x697044414b455953ULL));
+  scheme.Provision(links, owned_cryptos_);
+  cryptos_ = &owned_cryptos_;
+}
+
+void IpdaProtocol::Start() {
+  IPDA_CHECK(!started_);
+  started_ = true;
+  if (config_.encrypt_slices && cryptos_ == nullptr) {
+    ProvisionPairwiseKeys();
+  }
+
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    network_->node(id).SetReceiveHandler(
+        [this, id](const net::Packet& packet) { OnPacket(id, packet); });
+  }
+
+  // Base station roots both trees.
+  states_[net::kBaseStationId].builder->ForceRole(NodeRole::kBaseStation);
+  auto& bs = network_->base_station();
+  util::Rng bs_rng = bs.rng().Fork("ipda-start");
+  ScheduleHellos(net::kBaseStationId,
+                 HelloMsg{TreeColor::kBoth, 0, query_}, bs_rng);
+
+  // Phase II: every sensor attempts slicing at a jittered point inside the
+  // slice window. Nodes that turn out uncovered or target-starved no-op.
+  const sim::SimTime slice_start = IpdaSliceStart(config_);
+  for (net::NodeId id = 1; id < network_->size(); ++id) {
+    if (states_[id].excluded) continue;
+    util::Rng rng = network_->node(id).rng().Fork("slice-schedule");
+    const sim::SimTime at =
+        slice_start + UniformDelay(rng, config_.slice_window);
+    network_->sim().At(at, [this, id] { DoSlicing(id); });
+  }
+}
+
+void IpdaProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
+  NodeState& state = states_[self];
+  if (state.excluded) return;
+  switch (packet.type) {
+    case net::PacketType::kHello: {
+      auto hello = DecodeHelloMsg(packet.payload);
+      if (!hello.ok()) return;
+      if (hello->query.has_value() && !state.received_query.has_value()) {
+        state.received_query = hello->query;
+      }
+      state.builder->OnHello(packet.src, *hello);
+      break;
+    }
+    case net::PacketType::kSlice: {
+      util::Bytes plaintext;
+      if (config_.encrypt_slices) {
+        auto opened = crypto_for(self).Open(packet.src, packet.payload);
+        if (!opened.ok()) {
+          stats_.slice_decrypt_failures += 1;
+          return;
+        }
+        plaintext = std::move(*opened);
+      } else {
+        plaintext = packet.payload;
+      }
+      auto slice = DecodeSliceMsg(plaintext);
+      if (!slice.ok() || slice->slice.size() != function_->arity()) return;
+      if (self == net::kBaseStationId) {
+        bs_acc_.Add(slice->color, slice->slice);
+        return;
+      }
+      // Only the intended tree may absorb the slice.
+      if (!RoleMatchesColor(state.builder->role(), slice->color)) return;
+      AddInto(state.assembled, slice->slice);
+      break;
+    }
+    case net::PacketType::kAggregate: {
+      auto msg = DecodeAggregateMsg(packet.payload);
+      if (!msg.ok() || msg->partial.size() != function_->arity()) return;
+      if (self == net::kBaseStationId) {
+        bs_acc_.Add(msg->color, msg->partial);
+        return;
+      }
+      if (!RoleMatchesColor(state.builder->role(), msg->color)) return;
+      AddInto(state.children, msg->partial);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void IpdaProtocol::ScheduleHellos(net::NodeId self, const HelloMsg& hello,
+                                  util::Rng& rng) {
+  // Initial announcement plus optional repeats (hello_repeats > 0) while
+  // Phase I lasts; repeats re-seed stalled flood frontiers.
+  for (uint32_t i = 0; i <= config_.hello_repeats; ++i) {
+    const sim::SimTime at =
+        config_.hello_repeat_interval * static_cast<sim::SimTime>(i) +
+        UniformDelay(rng, config_.hello_jitter_max);
+    if (network_->sim().now() + at >= IpdaSliceStart(config_)) break;
+    network_->sim().After(at, [this, self, hello] {
+      network_->node(self).Broadcast(net::PacketType::kHello,
+                                     EncodeHelloMsg(hello));
+    });
+  }
+}
+
+void IpdaProtocol::OnJoined(net::NodeId self, const HelloMsg& hello) {
+  util::Rng rng = network_->node(self).rng().Fork("ipda-join");
+  // Rebroadcast HELLO — with the query we received — so deeper nodes can
+  // join this tree and learn what to compute.
+  HelloMsg rebroadcast = hello;
+  rebroadcast.query = states_[self].received_query;
+  ScheduleHellos(self, rebroadcast, rng);
+  // Aggregators report in Phase III at their depth slot.
+  const sim::SimTime slot_time =
+      ReportTime(IpdaReportStart(config_), config_.slot, config_.max_depth,
+                 hello.hop) +
+      UniformDelay(rng, config_.report_jitter_max);
+  const sim::SimTime at =
+      std::max(slot_time, network_->sim().now() + sim::Milliseconds(1));
+  network_->sim().At(at, [this, self] { Report(self); });
+}
+
+void IpdaProtocol::DoSlicing(net::NodeId self) {
+  NodeState& state = states_[self];
+  TreeBuilder& builder = *state.builder;
+  const NodeRole role = builder.role();
+  if (role != NodeRole::kLeaf && role != NodeRole::kRedAggregator &&
+      role != NodeRole::kBlueAggregator) {
+    return;  // Uncovered/undecided: sits out (loss factor (a)).
+  }
+
+  auto usable = [&](std::vector<net::NodeId> candidates) {
+    if (!config_.encrypt_slices) return candidates;
+    // A slice can only go where a link key exists (relevant under EG
+    // predistribution, where some links stay unkeyed).
+    std::vector<net::NodeId> filtered;
+    filtered.reserve(candidates.size());
+    for (net::NodeId id : candidates) {
+      if (crypto_for(self).keystore().HasLinkKey(id)) {
+        filtered.push_back(id);
+      }
+    }
+    return filtered;
+  };
+
+  util::Rng rng = network_->node(self).rng().Fork("slice-plan");
+  auto plan = PlanSlices(role, config_.slice_count,
+                         usable(builder.AggregatorNeighbors(TreeColor::kRed)),
+                         usable(builder.AggregatorNeighbors(TreeColor::kBlue)),
+                         rng);
+  if (!plan.ok()) {
+    return;  // Target-starved: sits out (loss factor (b)).
+  }
+
+  Vector contribution;
+  if (query_.has_value()) {
+    // Query-driven mode: compute what the *received* query asks for; a
+    // node the dissemination missed sits the round out.
+    if (!state.received_query.has_value()) return;
+    auto resolved = FunctionForQuery(*state.received_query);
+    if (!resolved.ok() || (*resolved)->arity() != function_->arity()) {
+      return;
+    }
+    contribution = (*resolved)->Contribution(readings_[self]);
+  } else {
+    contribution = function_->Contribution(readings_[self]);
+  }
+  DeliverSlices(self, TreeColor::kRed, plan->red, contribution, rng);
+  DeliverSlices(self, TreeColor::kBlue, plan->blue, contribution, rng);
+  state.participated = true;
+}
+
+void IpdaProtocol::DeliverSlices(net::NodeId self, TreeColor color,
+                                 const ColorPlan& plan,
+                                 const Vector& contribution, util::Rng& rng) {
+  const uint32_t l = config_.slice_count;
+  std::vector<Vector> slices =
+      SliceVector(contribution, l, config_.slice_range, rng);
+  size_t next = 0;
+  if (plan.keep_local) {
+    // d_ii never touches the air (§III-C-1, Fig. 2).
+    if (slice_observer_) slice_observer_(self, self, color, slices[next]);
+    AddInto(states_[self].assembled, slices[next++]);
+  }
+  for (net::NodeId target : plan.targets) {
+    IPDA_CHECK_LT(next, slices.size());
+    if (slice_observer_) slice_observer_(self, target, color, slices[next]);
+    const util::Bytes plaintext =
+        EncodeSliceMsg(SliceMsg{color, slices[next++]});
+    util::Bytes wire;
+    if (config_.encrypt_slices) {
+      auto sealed = crypto_for(self).Seal(target, plaintext);
+      IPDA_CHECK(sealed.ok());  // Targets were filtered for key presence.
+      wire = std::move(*sealed);
+    } else {
+      wire = plaintext;
+    }
+    network_->node(self).Unicast(target, net::PacketType::kSlice,
+                                 std::move(wire));
+    stats_.slices_sent += 1;
+  }
+  IPDA_CHECK_EQ(next, slices.size());
+}
+
+void IpdaProtocol::Report(net::NodeId self) {
+  NodeState& state = states_[self];
+  const NodeRole role = state.builder->role();
+  if (role != NodeRole::kRedAggregator &&
+      role != NodeRole::kBlueAggregator) {
+    return;
+  }
+  const TreeColor color = role == NodeRole::kRedAggregator
+                              ? TreeColor::kRed
+                              : TreeColor::kBlue;
+  Vector partial = state.assembled;
+  AddInto(partial, state.children);
+  if (pollution_hook_) pollution_hook_(self, color, partial);
+  network_->node(self).Unicast(state.builder->parent(),
+                               net::PacketType::kAggregate,
+                               EncodeAggregateMsg(AggregateMsg{color,
+                                                               partial}));
+  stats_.reports_sent += 1;
+}
+
+const IpdaStats& IpdaProtocol::Finish() {
+  if (finished_) return stats_;
+  finished_ = true;
+  for (net::NodeId id = 1; id < network_->size(); ++id) {
+    const NodeState& state = states_[id];
+    if (state.excluded) {
+      stats_.excluded += 1;
+      continue;
+    }
+    if (state.builder->covered()) stats_.covered_both += 1;
+    if (state.participated) stats_.participants += 1;
+    switch (state.builder->role()) {
+      case NodeRole::kRedAggregator:
+        stats_.red_aggregators += 1;
+        break;
+      case NodeRole::kBlueAggregator:
+        stats_.blue_aggregators += 1;
+        break;
+      case NodeRole::kLeaf:
+        stats_.leaves += 1;
+        break;
+      default:
+        stats_.undecided += 1;
+        break;
+    }
+  }
+  stats_.decision = bs_acc_.Decide(config_.threshold);
+  return stats_;
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,155 @@
+// iPDA protocol engine (§III): runs the three phases over a net::Network.
+//
+//   Phase I   disjoint tree construction  (TreeBuilder per node)
+//   Phase II  slicing + assembling        (SliceVector/PlanSlices + crypto)
+//   Phase III per-tree aggregation        (depth-slotted reports)
+//
+// The engine is attack-instrumentable: a pollution hook lets a compromised
+// aggregator tamper with its outgoing partial, and nodes can be excluded
+// per round for the §III-D polluter-localization procedure.
+
+#ifndef IPDA_AGG_IPDA_PROTOCOL_H_
+#define IPDA_AGG_IPDA_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/ipda/base_station.h"
+#include "agg/ipda/config.h"
+#include "agg/ipda/messages.h"
+#include "agg/ipda/slicing.h"
+#include "agg/ipda/tree_construction.h"
+#include "crypto/keystore.h"
+#include "net/network.h"
+
+namespace ipda::agg {
+
+struct IpdaStats {
+  // Phase I census.
+  size_t covered_both = 0;   // Heard both colors (Fig. 8a numerator).
+  size_t red_aggregators = 0;
+  size_t blue_aggregators = 0;
+  size_t leaves = 0;
+  size_t undecided = 0;      // Never covered; outside both trees.
+  size_t excluded = 0;
+  // Phase II.
+  size_t participants = 0;   // Contributed a full slice set (Fig. 8b).
+  size_t slices_sent = 0;    // Over-the-air slice transmissions.
+  size_t slice_decrypt_failures = 0;
+  // Phase III.
+  size_t reports_sent = 0;
+  // Base-station outcome.
+  IntegrityDecision decision;
+};
+
+class IpdaProtocol {
+ public:
+  // Invoked as (node, tree color, partial) just before a compromised
+  // aggregator transmits; mutate `partial` to pollute.
+  using PollutionHook =
+      std::function<void(net::NodeId, TreeColor, Vector& partial)>;
+
+  // Ground-truth tap for every slice a node produces: transmitted slices
+  // carry the target id; the locally kept slice (d_ii) reports
+  // to == from. Attack evaluations subscribe here to decide what a given
+  // link-compromise set would reveal.
+  using SliceObserver = std::function<void(
+      net::NodeId from, net::NodeId to, TreeColor color,
+      const Vector& slice)>;
+
+  // `network` and `function` must outlive the protocol.
+  IpdaProtocol(net::Network* network, const AggregateFunction* function,
+               IpdaConfig config = {});
+
+  IpdaProtocol(const IpdaProtocol&) = delete;
+  IpdaProtocol& operator=(const IpdaProtocol&) = delete;
+
+  // readings[id] is node id's sensor value; index 0 (base station) ignored.
+  void SetReadings(std::vector<double> readings);
+
+  // Disseminates `query` with the HELLO flood (§III-A). Sensors then
+  // derive their contribution from the query they actually received —
+  // one that never reaches a node keeps it out of the round. The query
+  // must describe the same aggregate as the constructor's function.
+  void SetQuery(const Query& query);
+
+  // Supplies externally provisioned link keys (e.g. EG predistribution).
+  // Indexed by node id; must outlive the protocol. Without this call the
+  // protocol provisions pairwise keys over every topology edge itself.
+  void SetLinkCrypto(std::vector<crypto::LinkCrypto>* cryptos);
+
+  void SetPollutionHook(PollutionHook hook);
+
+  void SetSliceObserver(SliceObserver observer);
+
+  // Nodes barred from this round (forced out of both trees and slicing).
+  void SetExcludedNodes(const std::vector<net::NodeId>& nodes);
+
+  // Installs handlers and schedules all three phases; afterwards advance
+  // the simulator to at least Duration(), then call Finish().
+  void Start();
+
+  sim::SimTime Duration() const { return IpdaDuration(config_); }
+
+  // Computes the base-station decision and the role census. Idempotent.
+  const IpdaStats& Finish();
+
+  const IpdaStats& stats() const { return stats_; }
+  const IpdaConfig& config() const { return config_; }
+
+  // Base-station answer (red/blue mean) after Finish().
+  double FinalizedResult() const {
+    return function_->Finalize(stats_.decision.Agreed());
+  }
+
+  // Introspection for tests and analyses.
+  const TreeBuilder& builder(net::NodeId id) const {
+    return *states_[id].builder;
+  }
+  bool participated(net::NodeId id) const {
+    return states_[id].participated;
+  }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<TreeBuilder> builder;
+    Vector assembled;  // r(j): kept slice + received slices.
+    Vector children;   // Partials folded in from tree children.
+    std::optional<Query> received_query;
+    bool participated = false;
+    bool excluded = false;
+  };
+
+  void ProvisionPairwiseKeys();
+  void OnPacket(net::NodeId self, const net::Packet& packet);
+  void ScheduleHellos(net::NodeId self, const HelloMsg& hello,
+                      util::Rng& rng);
+  void OnJoined(net::NodeId self, const HelloMsg& hello);
+  void DoSlicing(net::NodeId self);
+  void DeliverSlices(net::NodeId self, TreeColor color,
+                     const ColorPlan& plan, const Vector& contribution,
+                     util::Rng& rng);
+  void Report(net::NodeId self);
+  crypto::LinkCrypto& crypto_for(net::NodeId id) { return (*cryptos_)[id]; }
+
+  net::Network* network_;
+  const AggregateFunction* function_;
+  IpdaConfig config_;
+  std::optional<Query> query_;
+  std::vector<double> readings_;
+  std::vector<NodeState> states_;
+  BaseStationAccumulator bs_acc_;
+  std::vector<crypto::LinkCrypto> owned_cryptos_;
+  std::vector<crypto::LinkCrypto>* cryptos_ = nullptr;
+  PollutionHook pollution_hook_;
+  SliceObserver slice_observer_;
+  IpdaStats stats_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_IPDA_PROTOCOL_H_

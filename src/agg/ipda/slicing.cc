@@ -1,0 +1,74 @@
+#include "agg/ipda/slicing.h"
+
+#include "util/check.h"
+
+namespace ipda::agg {
+namespace {
+
+std::vector<net::NodeId> PickTargets(const std::vector<net::NodeId>& pool,
+                                     size_t count, util::Rng& rng) {
+  std::vector<net::NodeId> out;
+  out.reserve(count);
+  for (size_t idx : rng.SampleWithoutReplacement(pool.size(), count)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Vector> SliceVector(const Vector& value, uint32_t l, double range,
+                                util::Rng& rng) {
+  IPDA_CHECK_GE(l, 1u);
+  IPDA_CHECK_GT(range, 0.0);
+  std::vector<Vector> slices;
+  slices.reserve(l);
+  Vector remainder = value;
+  for (uint32_t i = 0; i + 1 < l; ++i) {
+    Vector slice(value.size());
+    for (size_t c = 0; c < value.size(); ++c) {
+      slice[c] = rng.UniformDouble(-range, range);
+      remainder[c] -= slice[c];
+    }
+    slices.push_back(std::move(slice));
+  }
+  slices.push_back(std::move(remainder));
+  return slices;
+}
+
+util::Result<SlicePlan> PlanSlices(
+    NodeRole role, uint32_t l, const std::vector<net::NodeId>& red_candidates,
+    const std::vector<net::NodeId>& blue_candidates, util::Rng& rng) {
+  IPDA_CHECK_GE(l, 1u);
+  size_t red_remote = l;
+  size_t blue_remote = l;
+  SlicePlan plan;
+  switch (role) {
+    case NodeRole::kRedAggregator:
+      plan.red.keep_local = true;
+      red_remote = l - 1;
+      break;
+    case NodeRole::kBlueAggregator:
+      plan.blue.keep_local = true;
+      blue_remote = l - 1;
+      break;
+    case NodeRole::kLeaf:
+      break;
+    default:
+      return util::FailedPreconditionError(
+          "only decided sensor roles can slice");
+  }
+  if (red_candidates.size() < red_remote) {
+    return util::FailedPreconditionError(
+        "not enough red aggregator neighbors for l slices");
+  }
+  if (blue_candidates.size() < blue_remote) {
+    return util::FailedPreconditionError(
+        "not enough blue aggregator neighbors for l slices");
+  }
+  plan.red.targets = PickTargets(red_candidates, red_remote, rng);
+  plan.blue.targets = PickTargets(blue_candidates, blue_remote, rng);
+  return plan;
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,195 @@
+#include "agg/ipda/tree_construction.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::agg {
+
+TreeBuilder::TreeBuilder(net::NodeId self, const IpdaConfig* config,
+                         util::Rng rng, ScheduleFn schedule, JoinedFn joined)
+    : self_(self),
+      config_(config),
+      rng_(std::move(rng)),
+      schedule_(std::move(schedule)),
+      joined_(std::move(joined)) {
+  IPDA_CHECK(config != nullptr);
+  IPDA_CHECK(schedule_ != nullptr);
+  IPDA_CHECK(joined_ != nullptr);
+}
+
+void TreeBuilder::ForceRole(NodeRole role) {
+  IPDA_CHECK(!decided());
+  role_ = role;
+}
+
+void TreeBuilder::OnHello(net::NodeId src, const HelloMsg& msg) {
+  auto [it, inserted] = heard_.try_emplace(
+      src, HeardEntry{msg.color, msg.hop, /*conflicted=*/false});
+  if (inserted) {
+    heard_order_.push_back(src);
+  } else {
+    if (it->second.conflicted) return;
+    if (it->second.color != msg.color) {
+      // Double-color advertisement: neighbors detect this over the shared
+      // medium and exclude the sender from both trees (§III-B).
+      if (it->second.color == TreeColor::kRed ||
+          it->second.color == TreeColor::kBoth) {
+        --n_red_;
+      }
+      if (it->second.color == TreeColor::kBlue ||
+          it->second.color == TreeColor::kBoth) {
+        --n_blue_;
+      }
+      it->second.conflicted = true;
+      return;
+    }
+    // Duplicate HELLO with consistent color: keep the better hop.
+    if (msg.hop < it->second.hop) it->second.hop = msg.hop;
+    return;
+  }
+
+  if (msg.color == TreeColor::kRed || msg.color == TreeColor::kBoth) {
+    ++n_red_;
+  }
+  if (msg.color == TreeColor::kBlue || msg.color == TreeColor::kBoth) {
+    ++n_blue_;
+  }
+
+  if (role_ == NodeRole::kBaseStation || role_ == NodeRole::kExcluded) {
+    return;
+  }
+  if (!decided() && covered() && !timer_armed_) {
+    timer_armed_ = true;
+    schedule_(config_->decide_window, [this] { Decide(); });
+  }
+  if (config_->impatient_join && !decided() && !covered() &&
+      !impatient_armed_) {
+    impatient_armed_ = true;
+    schedule_(config_->impatient_wait, [this] { ImpatientDecide(); });
+  }
+}
+
+void TreeBuilder::ImpatientDecide() {
+  // Extension (see IpdaConfig::impatient_join): still stuck with a single
+  // color after the wait — join that tree as an aggregator so the flood
+  // keeps moving. Slicing eligibility may still complete later if the
+  // other color eventually shows up in the neighborhood.
+  if (decided() || covered()) return;
+  if (n_red_ == 0 && n_blue_ == 0) return;  // Heard nothing: stay out.
+  const TreeColor color =
+      n_red_ > 0 ? TreeColor::kRed : TreeColor::kBlue;
+  net::NodeId best = net::kBroadcastId;
+  uint32_t best_hop = UINT32_MAX;
+  for (net::NodeId src : heard_order_) {
+    const HeardEntry& entry = heard_.at(src);
+    if (entry.conflicted) continue;
+    const bool matches =
+        entry.color == color || entry.color == TreeColor::kBoth;
+    if (matches && entry.hop < best_hop) {
+      best = src;
+      best_hop = entry.hop;
+    }
+  }
+  if (best == net::kBroadcastId) return;
+  role_ = color == TreeColor::kRed ? NodeRole::kRedAggregator
+                                   : NodeRole::kBlueAggregator;
+  parent_ = best;
+  hop_ = best_hop + 1;
+  joined_(HelloMsg{color, hop_, std::nullopt});
+}
+
+double TreeBuilder::ProbRed() const {
+  if (!config_->adaptive_roles) return 0.5;  // Eq. (2).
+  const double total = static_cast<double>(n_red_ + n_blue_);
+  if (total <= 0.0) return 0.0;
+  const double p =
+      total > static_cast<double>(config_->k)
+          ? static_cast<double>(config_->k) / total
+          : 1.0;
+  // Eq. (1): bias toward the under-represented color.
+  return p * static_cast<double>(n_blue_) / total;
+}
+
+double TreeBuilder::ProbBlue() const {
+  if (!config_->adaptive_roles) return 0.5;
+  const double total = static_cast<double>(n_red_ + n_blue_);
+  if (total <= 0.0) return 0.0;
+  const double p =
+      total > static_cast<double>(config_->k)
+          ? static_cast<double>(config_->k) / total
+          : 1.0;
+  return p * static_cast<double>(n_red_) / total;
+}
+
+void TreeBuilder::Decide() {
+  if (decided()) return;
+  if (!covered()) {
+    // A conflicted sender was blacklisted after the timer armed; wait for
+    // fresh HELLOs to restore coverage.
+    timer_armed_ = false;
+    return;
+  }
+
+  const double pr = ProbRed();
+  const double pb = ProbBlue();
+  const double u = rng_.UniformDouble();
+  TreeColor color;
+  if (u < pr) {
+    color = TreeColor::kRed;
+  } else if (u < pr + pb) {
+    color = TreeColor::kBlue;
+  } else {
+    role_ = NodeRole::kLeaf;
+    return;
+  }
+
+  // Parent: lowest-hop heard aggregator of our color; first-heard on ties.
+  net::NodeId best = net::kBroadcastId;
+  uint32_t best_hop = UINT32_MAX;
+  for (net::NodeId src : heard_order_) {
+    const HeardEntry& entry = heard_.at(src);
+    if (entry.conflicted) continue;
+    const bool matches =
+        entry.color == color || entry.color == TreeColor::kBoth;
+    if (matches && entry.hop < best_hop) {
+      best = src;
+      best_hop = entry.hop;
+    }
+  }
+  IPDA_CHECK_NE(best, net::kBroadcastId);
+
+  role_ = color == TreeColor::kRed ? NodeRole::kRedAggregator
+                                   : NodeRole::kBlueAggregator;
+  parent_ = best;
+  hop_ = best_hop + 1;
+  joined_(HelloMsg{color, hop_, std::nullopt});
+}
+
+net::NodeId TreeBuilder::parent() const {
+  IPDA_CHECK(role_ == NodeRole::kRedAggregator ||
+             role_ == NodeRole::kBlueAggregator);
+  return parent_;
+}
+
+uint32_t TreeBuilder::hop() const {
+  if (role_ == NodeRole::kBaseStation) return 0;
+  IPDA_CHECK(role_ == NodeRole::kRedAggregator ||
+             role_ == NodeRole::kBlueAggregator);
+  return hop_;
+}
+
+std::vector<net::NodeId> TreeBuilder::AggregatorNeighbors(
+    TreeColor color) const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId src : heard_order_) {
+    const HeardEntry& entry = heard_.at(src);
+    if (entry.conflicted) continue;
+    if (entry.color == color || entry.color == TreeColor::kBoth) {
+      out.push_back(src);
+    }
+  }
+  return out;
+}
+
+}  // namespace ipda::agg

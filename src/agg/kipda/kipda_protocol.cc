@@ -1,0 +1,212 @@
+#include "agg/kipda/kipda_protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "agg/partial.h"
+#include "net/packet.h"
+#include "util/check.h"
+
+namespace ipda::agg {
+namespace {
+
+util::Bytes EncodeKipdaHello(uint32_t level) {
+  util::ByteWriter writer;
+  writer.WriteU16(static_cast<uint16_t>(std::min(level, 0xffffu)));
+  return writer.TakeBytes();
+}
+
+util::Result<uint32_t> DecodeKipdaHello(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint16_t level, reader.ReadU16());
+  return static_cast<uint32_t>(level);
+}
+
+sim::SimTime UniformDelay(util::Rng& rng, sim::SimTime max) {
+  return static_cast<sim::SimTime>(
+      rng.UniformUint64(static_cast<uint64_t>(max) + 1));
+}
+
+// Identity element for the elementwise combine.
+double Identity(const KipdaConfig& config) {
+  return config.maximize ? config.value_floor : config.value_ceiling;
+}
+
+}  // namespace
+
+util::Status ValidateKipdaConfig(const KipdaConfig& config) {
+  if (config.message_size == 0 || config.message_size > 255) {
+    return util::InvalidArgumentError("message_size must be in [1, 255]");
+  }
+  if (config.real_positions == 0 ||
+      config.real_positions > config.message_size) {
+    return util::InvalidArgumentError(
+        "real_positions must be in [1, message_size]");
+  }
+  if (config.value_floor >= config.value_ceiling) {
+    return util::InvalidArgumentError("value range must be non-empty");
+  }
+  if (config.build_window <= 0 || config.slot <= 0 ||
+      config.max_depth == 0) {
+    return util::InvalidArgumentError("KIPDA windows must be positive");
+  }
+  return util::OkStatus();
+}
+
+std::vector<size_t> KipdaRealPositions(const KipdaConfig& config) {
+  util::Rng rng(config.secret_seed);
+  auto positions = rng.SampleWithoutReplacement(config.message_size,
+                                                config.real_positions);
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+Vector KipdaEncode(const KipdaConfig& config, double reading,
+                   util::Rng& rng) {
+  IPDA_DCHECK(reading >= config.value_floor &&
+              reading <= config.value_ceiling);
+  const auto real = KipdaRealPositions(config);
+  std::vector<bool> is_real(config.message_size, false);
+  for (size_t pos : real) is_real[pos] = true;
+
+  Vector message(config.message_size);
+  for (size_t pos = 0; pos < config.message_size; ++pos) {
+    if (is_real[pos]) {
+      // Dominated camouflage: can never beat any real reading in the
+      // aggregate extreme.
+      message[pos] = config.maximize
+                         ? rng.UniformDouble(config.value_floor, reading)
+                         : rng.UniformDouble(reading,
+                                             config.value_ceiling);
+    } else {
+      // Free camouflage over the whole range — may exceed every real
+      // reading, which is what hides the real one.
+      message[pos] =
+          rng.UniformDouble(config.value_floor, config.value_ceiling);
+    }
+  }
+  // The reading itself lands on a random secret position.
+  message[real[rng.UniformUint64(real.size())]] = reading;
+  return message;
+}
+
+void KipdaCombine(const KipdaConfig& config, Vector& acc,
+                  const Vector& in) {
+  IPDA_CHECK_EQ(acc.size(), in.size());
+  for (size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = config.maximize ? std::max(acc[i], in[i])
+                             : std::min(acc[i], in[i]);
+  }
+}
+
+double KipdaDecode(const KipdaConfig& config, const Vector& message) {
+  double result = Identity(config);
+  for (size_t pos : KipdaRealPositions(config)) {
+    result = config.maximize ? std::max(result, message[pos])
+                             : std::min(result, message[pos]);
+  }
+  return result;
+}
+
+KipdaProtocol::KipdaProtocol(net::Network* network, KipdaConfig config)
+    : network_(network), config_(config) {
+  IPDA_CHECK(network != nullptr);
+  IPDA_CHECK(ValidateKipdaConfig(config).ok());
+  readings_.assign(network_->size(), config.value_floor);
+  states_.resize(network_->size());
+  for (auto& state : states_) {
+    state.acc.assign(config_.message_size, Identity(config_));
+  }
+  stats_.collected.assign(config_.message_size, Identity(config_));
+}
+
+void KipdaProtocol::SetReadings(std::vector<double> readings) {
+  IPDA_CHECK_EQ(readings.size(), network_->size());
+  readings_ = std::move(readings);
+}
+
+sim::SimTime KipdaProtocol::Duration() const {
+  return config_.build_window +
+         config_.slot * static_cast<sim::SimTime>(config_.max_depth + 1) +
+         config_.report_jitter_max + sim::Milliseconds(200);
+}
+
+void KipdaProtocol::Start() {
+  IPDA_CHECK(!started_);
+  started_ = true;
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    network_->node(id).SetReceiveHandler(
+        [this, id](const net::Packet& packet) { OnPacket(id, packet); });
+  }
+  states_[net::kBaseStationId].joined = true;
+  auto& bs = network_->base_station();
+  util::Rng bs_rng = bs.rng().Fork("kipda-start");
+  network_->sim().After(
+      UniformDelay(bs_rng, config_.hello_jitter_max), [this] {
+        network_->base_station().Broadcast(net::PacketType::kHello,
+                                           EncodeKipdaHello(0));
+      });
+}
+
+void KipdaProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
+  NodeState& state = states_[self];
+  switch (packet.type) {
+    case net::PacketType::kHello: {
+      auto level = DecodeKipdaHello(packet.payload);
+      if (!level.ok()) return;
+      if (self != net::kBaseStationId && !state.joined) {
+        Join(self, packet.src, *level + 1);
+      }
+      break;
+    }
+    case net::PacketType::kAggregate: {
+      auto message = DecodePartial(packet.payload);
+      if (!message.ok() || message->size() != config_.message_size) {
+        return;
+      }
+      if (self == net::kBaseStationId) {
+        KipdaCombine(config_, stats_.collected, *message);
+        return;
+      }
+      KipdaCombine(config_, state.acc, *message);
+      state.has_children_data = true;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void KipdaProtocol::Join(net::NodeId self, net::NodeId parent,
+                         uint32_t level) {
+  NodeState& state = states_[self];
+  state.joined = true;
+  state.parent = parent;
+  state.level = level;
+  stats_.nodes_joined += 1;
+  util::Rng rng = network_->node(self).rng().Fork("kipda-join");
+  network_->sim().After(
+      UniformDelay(rng, config_.hello_jitter_max), [this, self, level] {
+        network_->node(self).Broadcast(net::PacketType::kHello,
+                                       EncodeKipdaHello(level));
+      });
+  const sim::SimTime slot_time =
+      ReportTime(config_.build_window, config_.slot, config_.max_depth,
+                 level) +
+      UniformDelay(rng, config_.report_jitter_max);
+  const sim::SimTime at =
+      std::max(slot_time, network_->sim().now() + sim::Milliseconds(1));
+  network_->sim().At(at, [this, self] { Report(self); });
+}
+
+void KipdaProtocol::Report(net::NodeId self) {
+  NodeState& state = states_[self];
+  util::Rng rng = network_->node(self).rng().Fork("kipda-encode");
+  Vector message = KipdaEncode(config_, readings_[self], rng);
+  KipdaCombine(config_, message, state.acc);
+  stats_.reports_sent += 1;
+  network_->node(self).Unicast(state.parent, net::PacketType::kAggregate,
+                               EncodePartial(message));
+}
+
+}  // namespace ipda::agg

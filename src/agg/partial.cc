@@ -1,0 +1,32 @@
+#include "agg/partial.h"
+
+#include <algorithm>
+
+namespace ipda::agg {
+
+util::Bytes EncodePartial(const Vector& acc) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(acc.size()));
+  for (double v : acc) writer.WriteF64(v);
+  return writer.TakeBytes();
+}
+
+util::Result<Vector> DecodePartial(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t count, reader.ReadU8());
+  Vector acc;
+  acc.reserve(count);
+  for (uint8_t i = 0; i < count; ++i) {
+    IPDA_ASSIGN_OR_RETURN(double v, reader.ReadF64());
+    acc.push_back(v);
+  }
+  return acc;
+}
+
+sim::SimTime ReportTime(sim::SimTime start, sim::SimTime slot,
+                        uint32_t max_depth, uint32_t hop) {
+  const uint32_t clamped = std::min(hop, max_depth);
+  return start + slot * static_cast<sim::SimTime>(max_depth - clamped);
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,28 @@
+// Wire codec for intermediate aggregation results and the level-slotted
+// report schedule shared by TAG and iPDA Phase III.
+
+#ifndef IPDA_AGG_PARTIAL_H_
+#define IPDA_AGG_PARTIAL_H_
+
+#include <cstdint>
+
+#include "agg/aggregate_function.h"
+#include "sim/time.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ipda::agg {
+
+// Payload: [u8 component-count][f64 x count].
+util::Bytes EncodePartial(const Vector& acc);
+util::Result<Vector> DecodePartial(const util::Bytes& payload);
+
+// When a node at tree depth `hop` transmits its partial: deeper nodes go
+// first so parents can fold children in before their own slot. Hops beyond
+// `max_depth` share the earliest slot.
+sim::SimTime ReportTime(sim::SimTime start, sim::SimTime slot,
+                        uint32_t max_depth, uint32_t hop);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_PARTIAL_H_

@@ -1,0 +1,89 @@
+#include "agg/query.h"
+
+namespace ipda::agg {
+
+util::Bytes EncodeQuery(const Query& query) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(query.kind));
+  writer.WriteU16(query.round);
+  writer.WriteF64(query.param_a);
+  writer.WriteF64(query.param_b);
+  writer.WriteU16(query.param_c);
+  return writer.TakeBytes();
+}
+
+util::Result<Query> DecodeQuery(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind < 1 || kind > 7) {
+    return util::InvalidArgumentError("bad query kind");
+  }
+  Query query;
+  query.kind = static_cast<QueryKind>(kind);
+  IPDA_ASSIGN_OR_RETURN(query.round, reader.ReadU16());
+  IPDA_ASSIGN_OR_RETURN(query.param_a, reader.ReadF64());
+  IPDA_ASSIGN_OR_RETURN(query.param_b, reader.ReadF64());
+  IPDA_ASSIGN_OR_RETURN(query.param_c, reader.ReadU16());
+  return query;
+}
+
+util::Result<std::unique_ptr<AggregateFunction>> FunctionForQuery(
+    const Query& query) {
+  switch (query.kind) {
+    case QueryKind::kCount:
+      return MakeCount();
+    case QueryKind::kSum:
+      return MakeSum();
+    case QueryKind::kAverage:
+      return MakeAverage();
+    case QueryKind::kVariance:
+      return MakeVariance();
+    case QueryKind::kMaxApprox:
+      if (query.param_a <= 0.0) {
+        return util::InvalidArgumentError("MAX query needs exponent > 0");
+      }
+      return MakePowerMeanExtremum(query.param_a);
+    case QueryKind::kMinApprox:
+      if (query.param_a <= 0.0) {
+        return util::InvalidArgumentError("MIN query needs exponent > 0");
+      }
+      return MakePowerMeanExtremum(-query.param_a);
+    case QueryKind::kHistogram:
+      if (query.param_c == 0 || query.param_a >= query.param_b) {
+        return util::InvalidArgumentError("bad histogram query params");
+      }
+      return MakeHistogram(query.param_a, query.param_b, query.param_c);
+  }
+  return util::InvalidArgumentError("unhandled query kind");
+}
+
+Query CountQuery(uint16_t round) {
+  return Query{QueryKind::kCount, round, 0.0, 0.0, 0};
+}
+
+Query SumQuery(uint16_t round) {
+  return Query{QueryKind::kSum, round, 0.0, 0.0, 0};
+}
+
+Query AverageQuery(uint16_t round) {
+  return Query{QueryKind::kAverage, round, 0.0, 0.0, 0};
+}
+
+Query VarianceQuery(uint16_t round) {
+  return Query{QueryKind::kVariance, round, 0.0, 0.0, 0};
+}
+
+Query MaxQuery(double exponent, uint16_t round) {
+  return Query{QueryKind::kMaxApprox, round, exponent, 0.0, 0};
+}
+
+Query MinQuery(double exponent, uint16_t round) {
+  return Query{QueryKind::kMinApprox, round, exponent, 0.0, 0};
+}
+
+Query HistogramQuery(double lo, double hi, uint16_t buckets,
+                     uint16_t round) {
+  return Query{QueryKind::kHistogram, round, lo, hi, buckets};
+}
+
+}  // namespace ipda::agg

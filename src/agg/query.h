@@ -1,0 +1,67 @@
+// Aggregation queries (§III-A: "Data aggregation is initiated by a base
+// station, which broadcasts a query to the whole network").
+//
+// The query spec rides inside every HELLO frame (as in TAG, where tree
+// construction and query dissemination are one flood), so each sensor
+// learns what to compute — function, parameters, round id — from the same
+// message that recruits it into the tree.
+
+#ifndef IPDA_AGG_QUERY_H_
+#define IPDA_AGG_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "agg/aggregate_function.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ipda::agg {
+
+enum class QueryKind : uint8_t {
+  kCount = 1,
+  kSum = 2,
+  kAverage = 3,
+  kVariance = 4,
+  kMaxApprox = 5,   // Power mean, exponent in param_a.
+  kMinApprox = 6,   // Power mean, exponent -param_a.
+  kHistogram = 7,   // [param_a, param_b) split into param_c buckets.
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kCount;
+  uint16_t round = 0;   // Aggregation round / epoch id.
+  double param_a = 0.0;
+  double param_b = 0.0;
+  uint16_t param_c = 0;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.kind == b.kind && a.round == b.round &&
+           a.param_a == b.param_a && a.param_b == b.param_b &&
+           a.param_c == b.param_c;
+  }
+};
+
+// Wire format: [u8 kind][u16 round][f64 a][f64 b][u16 c] = 21 bytes.
+util::Bytes EncodeQuery(const Query& query);
+util::Result<Query> DecodeQuery(const util::Bytes& payload);
+inline constexpr size_t kQueryWireBytes = 21;
+
+// Instantiates the aggregate function a sensor must run for `query`.
+// Fails on malformed parameters (e.g. zero histogram buckets).
+util::Result<std::unique_ptr<AggregateFunction>> FunctionForQuery(
+    const Query& query);
+
+// Convenience constructors.
+Query CountQuery(uint16_t round = 0);
+Query SumQuery(uint16_t round = 0);
+Query AverageQuery(uint16_t round = 0);
+Query VarianceQuery(uint16_t round = 0);
+Query MaxQuery(double exponent = 32.0, uint16_t round = 0);
+Query MinQuery(double exponent = 32.0, uint16_t round = 0);
+Query HistogramQuery(double lo, double hi, uint16_t buckets,
+                     uint16_t round = 0);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_QUERY_H_

@@ -1,0 +1,74 @@
+#include "agg/reading.h"
+
+namespace ipda::agg {
+
+std::vector<double> SensorField::Sample(
+    const net::Topology& topology) const {
+  std::vector<double> readings(topology.node_count(), 0.0);
+  for (net::NodeId id = 1; id < topology.node_count(); ++id) {
+    readings[id] = ReadingFor(id, topology);
+  }
+  return readings;
+}
+
+namespace {
+
+class ConstantField : public SensorField {
+ public:
+  explicit ConstantField(double value) : value_(value) {}
+  double ReadingFor(net::NodeId, const net::Topology&) const override {
+    return value_;
+  }
+
+ private:
+  double value_;
+};
+
+class UniformField : public SensorField {
+ public:
+  UniformField(double lo, double hi, uint64_t seed)
+      : lo_(lo), hi_(hi), seed_(seed) {}
+  double ReadingFor(net::NodeId id, const net::Topology&) const override {
+    util::Rng rng(util::Mix64(seed_, id));
+    return rng.UniformDouble(lo_, hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  uint64_t seed_;
+};
+
+class GradientField : public SensorField {
+ public:
+  GradientField(double base, double slope_x, double slope_y)
+      : base_(base), slope_x_(slope_x), slope_y_(slope_y) {}
+  double ReadingFor(net::NodeId id,
+                    const net::Topology& topology) const override {
+    const net::Point2D& p = topology.position(id);
+    return base_ + slope_x_ * p.x + slope_y_ * p.y;
+  }
+
+ private:
+  double base_;
+  double slope_x_;
+  double slope_y_;
+};
+
+}  // namespace
+
+std::unique_ptr<SensorField> MakeConstantField(double value) {
+  return std::make_unique<ConstantField>(value);
+}
+
+std::unique_ptr<SensorField> MakeUniformField(double lo, double hi,
+                                              uint64_t seed) {
+  return std::make_unique<UniformField>(lo, hi, seed);
+}
+
+std::unique_ptr<SensorField> MakeGradientField(double base, double slope_x,
+                                               double slope_y) {
+  return std::make_unique<GradientField>(base, slope_x, slope_y);
+}
+
+}  // namespace ipda::agg

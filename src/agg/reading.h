@@ -1,0 +1,43 @@
+// Sensor reading sources. Experiments need reproducible per-node readings;
+// examples model concrete phenomena (e.g. household meter loads).
+
+#ifndef IPDA_AGG_READING_H_
+#define IPDA_AGG_READING_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::agg {
+
+class SensorField {
+ public:
+  virtual ~SensorField() = default;
+
+  // Reading of node `id`. The topology gives position-dependent fields
+  // access to node coordinates.
+  virtual double ReadingFor(net::NodeId id,
+                            const net::Topology& topology) const = 0;
+
+  // Materializes a reading per node (index == NodeId). The base station
+  // (id 0) gets 0: it queries, it does not sense.
+  std::vector<double> Sample(const net::Topology& topology) const;
+};
+
+// Every sensor reads `value`.
+std::unique_ptr<SensorField> MakeConstantField(double value);
+
+// Independent uniform readings in [lo, hi], deterministic per (seed, id).
+std::unique_ptr<SensorField> MakeUniformField(double lo, double hi,
+                                              uint64_t seed);
+
+// Smooth spatial gradient: base + slope_x·x + slope_y·y — a plausible
+// temperature/irradiance field where nearby sensors agree.
+std::unique_ptr<SensorField> MakeGradientField(double base, double slope_x,
+                                               double slope_y);
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_READING_H_

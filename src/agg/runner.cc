@@ -1,0 +1,141 @@
+#include "agg/runner.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace ipda::agg {
+namespace {
+
+Vector TrueTotal(const AggregateFunction& function,
+                 const std::vector<double>& readings) {
+  Vector total(function.arity(), 0.0);
+  for (size_t id = 1; id < readings.size(); ++id) {
+    AddInto(total, function.Contribution(readings[id]));
+  }
+  return total;
+}
+
+}  // namespace
+
+util::Result<net::Topology> BuildRunTopology(const RunConfig& config) {
+  util::Rng rng = util::Rng(config.seed).Fork("deployment");
+  return net::Topology::RandomGeometric(config.deployment, config.range,
+                                        rng);
+}
+
+double AccuracyRatio(const Vector& collected, const Vector& truth) {
+  if (truth.empty() || truth[0] == 0.0) return 0.0;
+  return collected[0] / truth[0];
+}
+
+util::Result<TagRunResult> RunTag(const RunConfig& config,
+                                  const AggregateFunction& function,
+                                  const SensorField& field,
+                                  const TagConfig& tag_config) {
+  IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(topology), config.phy,
+                       config.mac);
+  TagProtocol protocol(&network, &function, tag_config);
+  const std::vector<double> readings = field.Sample(network.topology());
+  protocol.SetReadings(readings);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+
+  TagRunResult result;
+  result.stats = protocol.stats();
+  result.true_acc = TrueTotal(function, readings);
+  result.traffic = network.counters().Totals();
+  result.average_degree = network.topology().AverageDegree();
+  result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
+  result.result = protocol.FinalizedResult();
+  return result;
+}
+
+util::Result<SmartRunResult> RunSmart(
+    const RunConfig& config, const AggregateFunction& function,
+    const SensorField& field, const SmartConfig& smart_config,
+    SmartProtocol::SliceObserver slice_observer) {
+  IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(topology), config.phy,
+                       config.mac);
+  SmartProtocol protocol(&network, &function, smart_config);
+  const std::vector<double> readings = field.Sample(network.topology());
+  protocol.SetReadings(readings);
+  if (slice_observer) protocol.SetSliceObserver(std::move(slice_observer));
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+
+  SmartRunResult result;
+  result.stats = protocol.stats();
+  result.true_acc = TrueTotal(function, readings);
+  result.traffic = network.counters().Totals();
+  result.average_degree = network.topology().AverageDegree();
+  result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
+  result.result = protocol.FinalizedResult();
+  return result;
+}
+
+util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
+                                    const AggregateFunction& function,
+                                    const SensorField& field,
+                                    const CpdaConfig& cpda_config) {
+  IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(topology), config.phy,
+                       config.mac);
+  CpdaProtocol protocol(&network, &function, cpda_config);
+  const std::vector<double> readings = field.Sample(network.topology());
+  protocol.SetReadings(readings);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  protocol.Finish();
+
+  CpdaRunResult result;
+  result.stats = protocol.stats();
+  result.true_acc = TrueTotal(function, readings);
+  result.traffic = network.counters().Totals();
+  result.average_degree = network.topology().AverageDegree();
+  result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
+  result.result = protocol.FinalizedResult();
+  return result;
+}
+
+util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
+                                    const AggregateFunction& function,
+                                    const SensorField& field,
+                                    const IpdaConfig& ipda_config,
+                                    const IpdaRunHooks& hooks) {
+  IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(topology), config.phy,
+                       config.mac);
+  IpdaProtocol protocol(&network, &function, ipda_config);
+  const std::vector<double> readings = field.Sample(network.topology());
+  protocol.SetReadings(readings);
+  if (hooks.pollution) protocol.SetPollutionHook(hooks.pollution);
+  if (hooks.slice_observer) protocol.SetSliceObserver(hooks.slice_observer);
+  if (!hooks.excluded.empty()) protocol.SetExcludedNodes(hooks.excluded);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  protocol.Finish();
+
+  IpdaRunResult result;
+  result.stats = protocol.stats();
+  result.true_acc = TrueTotal(function, readings);
+  result.traffic = network.counters().Totals();
+  result.average_degree = network.topology().AverageDegree();
+  result.accuracy_red =
+      AccuracyRatio(result.stats.decision.acc_red, result.true_acc);
+  result.accuracy_blue =
+      AccuracyRatio(result.stats.decision.acc_blue, result.true_acc);
+  result.accuracy =
+      AccuracyRatio(result.stats.decision.Agreed(), result.true_acc);
+  result.result = protocol.FinalizedResult();
+  return result;
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,106 @@
+// One-call experiment runs: deployment → network → protocol → outcome.
+// Benches, examples, and integration tests all drive simulations through
+// these helpers so every experiment shares identical plumbing.
+
+#ifndef IPDA_AGG_RUNNER_H_
+#define IPDA_AGG_RUNNER_H_
+
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/cpda/cpda_protocol.h"
+#include "agg/ipda/protocol.h"
+#include "agg/reading.h"
+#include "agg/smart/smart_protocol.h"
+#include "agg/tag/tag_protocol.h"
+#include "net/network.h"
+#include "util/result.h"
+
+namespace ipda::agg {
+
+struct RunConfig {
+  net::DeploymentConfig deployment;  // Paper default: 400x400 m.
+  double range = 50.0;               // Paper: 50 m transmission range.
+  net::PhyConfig phy;                // Paper: 1 Mbps.
+  net::MacConfig mac;
+  uint64_t seed = 1;
+};
+
+// Deterministic topology for a RunConfig (same seed → same deployment).
+util::Result<net::Topology> BuildRunTopology(const RunConfig& config);
+
+// collected[0] / truth[0]; the paper's accuracy metric ("ratio of the
+// collected sum to the real sum", §IV-B-3). 1.0 = no data loss.
+double AccuracyRatio(const Vector& collected, const Vector& truth);
+
+struct TagRunResult {
+  TagStats stats;
+  Vector true_acc;            // Ground-truth total over all sensors.
+  net::NodeCounters traffic;  // Network-wide totals.
+  double average_degree = 0.0;
+  double accuracy = 0.0;
+  double result = 0.0;        // Finalized base-station answer.
+};
+
+util::Result<TagRunResult> RunTag(const RunConfig& config,
+                                  const AggregateFunction& function,
+                                  const SensorField& field,
+                                  const TagConfig& tag_config = {});
+
+struct SmartRunResult {
+  SmartStats stats;
+  Vector true_acc;
+  net::NodeCounters traffic;
+  double average_degree = 0.0;
+  double accuracy = 0.0;
+  double result = 0.0;
+};
+
+// SMART baseline (privacy, single tree, no integrity).
+util::Result<SmartRunResult> RunSmart(
+    const RunConfig& config, const AggregateFunction& function,
+    const SensorField& field, const SmartConfig& smart_config = {},
+    SmartProtocol::SliceObserver slice_observer = nullptr);
+
+struct CpdaRunResult {
+  CpdaStats stats;
+  Vector true_acc;
+  net::NodeCounters traffic;
+  double average_degree = 0.0;
+  double accuracy = 0.0;
+  double result = 0.0;
+};
+
+// CPDA baseline (cluster-based privacy, single tree, no integrity).
+util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
+                                    const AggregateFunction& function,
+                                    const SensorField& field,
+                                    const CpdaConfig& cpda_config = {});
+
+struct IpdaRunResult {
+  IpdaStats stats;
+  Vector true_acc;
+  net::NodeCounters traffic;
+  double average_degree = 0.0;
+  double accuracy_red = 0.0;   // Red-tree total vs truth.
+  double accuracy_blue = 0.0;  // Blue-tree total vs truth.
+  double accuracy = 0.0;       // Agreed (mean) total vs truth.
+  double result = 0.0;         // Finalized answer (valid when accepted).
+};
+
+// Optional per-run attack instrumentation.
+struct IpdaRunHooks {
+  IpdaProtocol::PollutionHook pollution;
+  IpdaProtocol::SliceObserver slice_observer;
+  std::vector<net::NodeId> excluded;
+};
+
+util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
+                                    const AggregateFunction& function,
+                                    const SensorField& field,
+                                    const IpdaConfig& ipda_config = {},
+                                    const IpdaRunHooks& hooks = {});
+
+}  // namespace ipda::agg
+
+#endif  // IPDA_AGG_RUNNER_H_

@@ -1,0 +1,193 @@
+#include "agg/tag/tag_protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "agg/partial.h"
+#include "net/packet.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ipda::agg {
+namespace {
+
+struct TagHello {
+  uint32_t level = 0;
+  std::optional<Query> query;
+};
+
+util::Bytes EncodeHello(const TagHello& hello) {
+  util::ByteWriter writer;
+  writer.WriteU16(static_cast<uint16_t>(std::min(hello.level, 0xffffu)));
+  writer.WriteU8(hello.query.has_value() ? 1 : 0);
+  util::Bytes out = writer.TakeBytes();
+  if (hello.query.has_value()) {
+    const util::Bytes query = EncodeQuery(*hello.query);
+    out.insert(out.end(), query.begin(), query.end());
+  }
+  return out;
+}
+
+util::Result<TagHello> DecodeHello(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  TagHello hello;
+  IPDA_ASSIGN_OR_RETURN(uint16_t level, reader.ReadU16());
+  hello.level = level;
+  IPDA_ASSIGN_OR_RETURN(uint8_t has_query, reader.ReadU8());
+  if (has_query != 0) {
+    util::Bytes rest(payload.begin() + 3, payload.end());
+    IPDA_ASSIGN_OR_RETURN(Query query, DecodeQuery(rest));
+    hello.query = query;
+  }
+  return hello;
+}
+
+}  // namespace
+
+util::Status ValidateTagConfig(const TagConfig& config) {
+  if (config.build_window <= 0 || config.slot <= 0) {
+    return util::InvalidArgumentError("TAG windows must be positive");
+  }
+  if (config.max_depth == 0) {
+    return util::InvalidArgumentError("TAG max_depth must be positive");
+  }
+  return util::OkStatus();
+}
+
+TagProtocol::TagProtocol(net::Network* network,
+                         const AggregateFunction* function, TagConfig config)
+    : network_(network), function_(function), config_(config) {
+  IPDA_CHECK(network != nullptr);
+  IPDA_CHECK(function != nullptr);
+  IPDA_CHECK(ValidateTagConfig(config).ok());
+  readings_.assign(network_->size(), 0.0);
+  states_.resize(network_->size());
+  for (auto& state : states_) {
+    state.acc.assign(function_->arity(), 0.0);
+  }
+  stats_.collected.assign(function_->arity(), 0.0);
+}
+
+void TagProtocol::SetReadings(std::vector<double> readings) {
+  IPDA_CHECK_EQ(readings.size(), network_->size());
+  readings_ = std::move(readings);
+}
+
+void TagProtocol::SetQuery(const Query& query) {
+  IPDA_CHECK(!started_);
+  auto resolved = FunctionForQuery(query);
+  IPDA_CHECK(resolved.ok());
+  IPDA_CHECK_EQ((*resolved)->arity(), function_->arity());
+  query_ = query;
+}
+
+util::Bytes TagProtocol::HelloPayload(net::NodeId self,
+                                      uint32_t level) const {
+  return EncodeHello(TagHello{level, states_[self].received_query});
+}
+
+sim::SimTime TagProtocol::Duration() const {
+  // Report phase ends after the level-0 slot plus margin for MAC delays.
+  return config_.build_window +
+         config_.slot * static_cast<sim::SimTime>(config_.max_depth + 1) +
+         config_.report_jitter_max + sim::Milliseconds(200);
+}
+
+void TagProtocol::Start() {
+  IPDA_CHECK(!started_);
+  started_ = true;
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    network_->node(id).SetReceiveHandler(
+        [this, id](const net::Packet& packet) { OnPacket(id, packet); });
+  }
+  // The base station roots the tree and kicks off the flood.
+  states_[net::kBaseStationId].joined = true;
+  states_[net::kBaseStationId].level = 0;
+  states_[net::kBaseStationId].received_query = query_;
+  auto& bs = network_->base_station();
+  const sim::SimTime jitter = static_cast<sim::SimTime>(
+      bs.rng().Fork("tag-hello").UniformUint64(
+          static_cast<uint64_t>(config_.hello_jitter_max) + 1));
+  network_->sim().After(jitter, [this] {
+    network_->base_station().Broadcast(
+        net::PacketType::kHello, HelloPayload(net::kBaseStationId, 0));
+  });
+}
+
+void TagProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
+  switch (packet.type) {
+    case net::PacketType::kHello: {
+      auto hello = DecodeHello(packet.payload);
+      if (!hello.ok()) return;  // Corrupt payloads are dropped silently.
+      if (self != net::kBaseStationId && !states_[self].joined) {
+        if (hello->query.has_value()) {
+          states_[self].received_query = hello->query;
+        }
+        Join(self, packet.src, hello->level + 1);
+      }
+      break;
+    }
+    case net::PacketType::kAggregate: {
+      auto partial = DecodePartial(packet.payload);
+      if (!partial.ok() || partial->size() != function_->arity()) return;
+      if (self == net::kBaseStationId) {
+        AddInto(stats_.collected, *partial);
+      } else {
+        AddInto(states_[self].acc, *partial);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TagProtocol::Join(net::NodeId self, net::NodeId parent, uint32_t level) {
+  NodeState& state = states_[self];
+  state.joined = true;
+  state.parent = parent;
+  state.level = level;
+  stats_.nodes_joined += 1;
+
+  auto& node = network_->node(self);
+  util::Rng rng = node.rng().Fork("tag-join");
+  const sim::SimTime hello_jitter = static_cast<sim::SimTime>(
+      rng.UniformUint64(static_cast<uint64_t>(config_.hello_jitter_max) + 1));
+  network_->sim().After(hello_jitter, [this, self, level] {
+    network_->node(self).Broadcast(net::PacketType::kHello,
+                                   HelloPayload(self, level));
+  });
+
+  const sim::SimTime report_jitter = static_cast<sim::SimTime>(
+      rng.UniformUint64(
+          static_cast<uint64_t>(config_.report_jitter_max) + 1));
+  const sim::SimTime slot_time =
+      ReportTime(config_.build_window, config_.slot, config_.max_depth,
+                 level) +
+      report_jitter;
+  const sim::SimTime at =
+      std::max(slot_time, network_->sim().now() + sim::Milliseconds(1));
+  network_->sim().At(at, [this, self] { Report(self); });
+}
+
+void TagProtocol::Report(net::NodeId self) {
+  NodeState& state = states_[self];
+  Vector partial = state.acc;
+  if (query_.has_value()) {
+    // Query-driven mode: contribute what the received query asks for. A
+    // node the dissemination missed still forwards its children's data.
+    if (state.received_query.has_value()) {
+      auto resolved = FunctionForQuery(*state.received_query);
+      if (resolved.ok() && (*resolved)->arity() == function_->arity()) {
+        AddInto(partial, (*resolved)->Contribution(readings_[self]));
+      }
+    }
+  } else {
+    AddInto(partial, function_->Contribution(readings_[self]));
+  }
+  stats_.reports_sent += 1;
+  network_->node(self).Unicast(state.parent, net::PacketType::kAggregate,
+                               EncodePartial(partial));
+}
+
+}  // namespace ipda::agg

@@ -1,0 +1,84 @@
+#include "analysis/coverage.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipda::analysis {
+
+double NodeIsolationProbability(size_t degree, double pb, double pr) {
+  IPDA_CHECK_GE(pb, 0.0);
+  IPDA_CHECK_GE(pr, 0.0);
+  const double d = static_cast<double>(degree);
+  const double isolated_from_red = std::pow(pb, d);
+  const double isolated_from_blue = std::pow(pr, d);
+  return 1.0 - (1.0 - isolated_from_red) * (1.0 - isolated_from_blue);
+}
+
+double CoverageLowerBound(const net::Topology& topology, double pb,
+                          double pr) {
+  double sum = 0.0;
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    sum += NodeIsolationProbability(topology.degree(id), pb, pr);
+  }
+  return 1.0 - sum;
+}
+
+double RegularCoverageLowerBound(size_t n, size_t d, double pb, double pr) {
+  return 1.0 -
+         static_cast<double>(n) * NodeIsolationProbability(d, pb, pr);
+}
+
+double ExpectedCoveredFraction(const net::Topology& topology, double pb,
+                               double pr) {
+  if (topology.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    sum += NodeIsolationProbability(topology.degree(id), pb, pr);
+  }
+  return 1.0 - sum / static_cast<double>(topology.node_count());
+}
+
+double RegularExpectedCoveredFraction(size_t d, double pb, double pr) {
+  return 1.0 - NodeIsolationProbability(d, pb, pr);
+}
+
+CoverageSample SimulateCoverage(const net::Topology& topology, double pb,
+                                double pr, size_t trials, util::Rng& rng) {
+  IPDA_CHECK_GT(trials, 0u);
+  const size_t n = topology.node_count();
+  CoverageSample sample;
+  size_t fully_covered_trials = 0;
+  double isolated_sum = 0.0;
+  double covered_fraction_sum = 0.0;
+  std::vector<uint8_t> color(n);  // 0 leaf, 1 red, 2 blue.
+  for (size_t t = 0; t < trials; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      const double u = rng.UniformDouble();
+      color[i] = u < pr ? 1 : (u < pr + pb ? 2 : 0);
+    }
+    size_t isolated = 0;
+    for (net::NodeId id = 0; id < n; ++id) {
+      bool has_red = false;
+      bool has_blue = false;
+      for (net::NodeId nb : topology.neighbors(id)) {
+        has_red = has_red || color[nb] == 1;
+        has_blue = has_blue || color[nb] == 2;
+        if (has_red && has_blue) break;
+      }
+      if (!has_red || !has_blue) ++isolated;
+    }
+    if (isolated == 0) ++fully_covered_trials;
+    isolated_sum += static_cast<double>(isolated);
+    covered_fraction_sum +=
+        static_cast<double>(n - isolated) / static_cast<double>(n);
+  }
+  sample.phi = static_cast<double>(fully_covered_trials) /
+               static_cast<double>(trials);
+  sample.mean_isolated = isolated_sum / static_cast<double>(trials);
+  sample.mean_covered_fraction =
+      covered_fraction_sum / static_cast<double>(trials);
+  return sample;
+}
+
+}  // namespace ipda::analysis

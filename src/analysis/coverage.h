@@ -1,0 +1,59 @@
+// Aggregation-tree coverage analysis (§IV-A-1, Eqs. 7-10).
+//
+// A node participates only if it has at least one red and one blue
+// aggregator within one hop. With random coloring, node i with degree d_i
+// is isolated from the red tree w.p. p_b^{d_i} (every neighbor went blue)
+// and vice versa; Eq. (9) combines them and Eq. (10) Markov-bounds the
+// probability that the whole graph is covered.
+
+#ifndef IPDA_ANALYSIS_COVERAGE_H_
+#define IPDA_ANALYSIS_COVERAGE_H_
+
+#include <cstddef>
+
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::analysis {
+
+// Eq. (9): p_i = 1 − (1 − p_b^d)(1 − p_r^d), the probability node i (with
+// `degree` neighbors) cannot reach both trees.
+double NodeIsolationProbability(size_t degree, double pb, double pr);
+
+// Eq. (10): Φ(G) ≥ 1 − Σ_i p_i over the actual degree sequence. Can be
+// negative for sparse graphs (the bound is then vacuous).
+double CoverageLowerBound(const net::Topology& topology, double pb,
+                          double pr);
+
+// Eq. (10) specialized to a d-regular graph of n nodes:
+// Φ(G) ≥ 1 − n·p_iso(d).
+//
+// NOTE on the paper's example (§IV-A-1, "Φ(G) ≥ 0.999 for N = 1000 and
+// d = 10"): Eq. (10) as printed gives 1 − 1000·p_iso(10) ≈ −0.95 — the
+// bound is vacuous there; the example only works for the *expected
+// fraction of covered nodes*, 1 − p_iso(10) ≈ 0.998. We expose both and
+// record the discrepancy in EXPERIMENTS.md.
+double RegularCoverageLowerBound(size_t n, size_t d, double pb, double pr);
+
+// Expected fraction of nodes covered by both trees: 1 − (Σ_i p_i)/N.
+// This is the quantity the paper's 0.999 example actually computes, and
+// the model behind Fig. 8a.
+double ExpectedCoveredFraction(const net::Topology& topology, double pb,
+                               double pr);
+double RegularExpectedCoveredFraction(size_t d, double pb, double pr);
+
+// Monte-Carlo ground truth for the same model: colors every node red with
+// probability pr / blue with pb (else leaf), counts nodes missing a color
+// among their neighbors, over `trials` independent colorings.
+struct CoverageSample {
+  double phi = 0.0;             // Fraction of trials with zero isolated.
+  double mean_isolated = 0.0;   // E[X].
+  double mean_covered_fraction = 0.0;  // Avg fraction of covered nodes.
+};
+
+CoverageSample SimulateCoverage(const net::Topology& topology, double pb,
+                                double pr, size_t trials, util::Rng& rng);
+
+}  // namespace ipda::analysis
+
+#endif  // IPDA_ANALYSIS_COVERAGE_H_

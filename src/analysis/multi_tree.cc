@@ -1,0 +1,61 @@
+#include "analysis/multi_tree.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipda::analysis {
+
+double MultiTreeIsolationProbability(size_t degree, size_t m) {
+  IPDA_CHECK_GE(m, 2u);
+  // Inclusion-exclusion: P(some color missing) =
+  //   Σ_{j=1..m} (-1)^{j+1} C(m, j) (1 - j/m)^d.
+  const double d = static_cast<double>(degree);
+  const double md = static_cast<double>(m);
+  double p = 0.0;
+  double binom = 1.0;  // C(m, j), built incrementally.
+  for (size_t j = 1; j <= m; ++j) {
+    binom = binom * (md - static_cast<double>(j) + 1.0) /
+            static_cast<double>(j);
+    const double term =
+        binom * std::pow(1.0 - static_cast<double>(j) / md, d);
+    p += (j % 2 == 1) ? term : -term;
+  }
+  // Clamp tiny negative round-off.
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+}
+
+double MultiTreeExpectedCoveredFraction(const net::Topology& topology,
+                                        size_t m) {
+  if (topology.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    sum += MultiTreeIsolationProbability(topology.degree(id), m);
+  }
+  return 1.0 - sum / static_cast<double>(topology.node_count());
+}
+
+size_t MultiTreeDegreeForCoverage(size_t m, double target) {
+  IPDA_CHECK_GT(target, 0.0);
+  IPDA_CHECK_LT(target, 1.0);
+  for (size_t d = 1; d < 10000; ++d) {
+    if (1.0 - MultiTreeIsolationProbability(d, m) >= target) return d;
+  }
+  return 10000;
+}
+
+double MultiTreeMessagesPerNode(size_t m, uint32_t l) {
+  return 1.0 + (static_cast<double>(m) * static_cast<double>(l) - 1.0) +
+         1.0;
+}
+
+double MultiTreeOverheadRatio(size_t m, uint32_t l) {
+  return MultiTreeMessagesPerNode(m, l) / 2.0;
+}
+
+size_t MultiTreePollutionTolerance(size_t m) {
+  IPDA_CHECK_GE(m, 2u);
+  return (m - 1) / 2;
+}
+
+}  // namespace ipda::analysis

@@ -1,0 +1,57 @@
+// Analysis of the m-tree generalization (§III-B: "the disjoint aggregation
+// tree construction phase can be easily generalized to build multiple
+// aggregation trees (m > 2). However, to achieve good coverage of disjoint
+// trees when m > 2, the network must be very dense.").
+//
+// The protocol implementation evaluates m = 2 (as the paper does); this
+// module quantifies the m > 2 trade-offs analytically:
+//   * coverage: a node participates iff every one of the m colors appears
+//     in its neighborhood — isolation grows quickly with m;
+//   * overhead: each sensor slices l pieces per tree, so messages scale
+//     as m·l + 1 per node;
+//   * integrity: with m >= 3 trees the base station can majority-vote and
+//     *keep* the agreeing result instead of rejecting the round, at the
+//     cost of tolerating ⌊(m-1)/2⌋ polluted trees.
+
+#ifndef IPDA_ANALYSIS_MULTI_TREE_H_
+#define IPDA_ANALYSIS_MULTI_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace ipda::analysis {
+
+// Probability a degree-d node misses at least one of m equiprobable
+// colors in its neighborhood (inclusion-exclusion over missing color
+// sets; each neighbor takes each color with probability 1/m). This is
+// exact; note that at m = 2 it differs from the paper's Eq. (9) by the
+// cross term (p_b p_r)^d, because Eq. (9) multiplies the two isolation
+// probabilities as if independent while the events are mutually
+// exclusive for d >= 1.
+double MultiTreeIsolationProbability(size_t degree, size_t m);
+
+// Expected fraction of nodes with all m colors in range.
+double MultiTreeExpectedCoveredFraction(const net::Topology& topology,
+                                        size_t m);
+
+// Average degree needed so a degree-d node is covered with probability at
+// least `target` (smallest d with 1 - p_iso >= target).
+size_t MultiTreeDegreeForCoverage(size_t m, double target);
+
+// Messages per sensor per round: 1 HELLO + m·l − 1 slices + 1 partial
+// (an aggregator keeps one slice of its own tree locally).
+double MultiTreeMessagesPerNode(size_t m, uint32_t l);
+
+// Overhead ratio vs TAG's 2 messages.
+double MultiTreeOverheadRatio(size_t m, uint32_t l);
+
+// Number of polluted trees a majority-voting base station tolerates while
+// still returning a result: floor((m-1)/2). m = 2 tolerates 0 (detect
+// and reject only), which is the paper's design point.
+size_t MultiTreePollutionTolerance(size_t m);
+
+}  // namespace ipda::analysis
+
+#endif  // IPDA_ANALYSIS_MULTI_TREE_H_

@@ -1,0 +1,43 @@
+#include "analysis/overhead.h"
+
+#include "crypto/keystore.h"
+#include "net/packet.h"
+
+namespace ipda::analysis {
+
+double TagMessagesPerNode() { return 2.0; }
+
+double IpdaMessagesPerNode(uint32_t l) {
+  return 2.0 * static_cast<double>(l) + 1.0;
+}
+
+double OverheadRatio(uint32_t l) {
+  return IpdaMessagesPerNode(l) / TagMessagesPerNode();
+}
+
+ByteBreakdown EstimateBytes(uint32_t l, size_t arity, bool encrypted) {
+  ByteBreakdown out;
+  // HELLO payload: 1B color + 2B hop (TAG's is 2B level; use iPDA's).
+  out.hello_frame = net::kFrameHeaderBytes + 3;
+  // Slice payload: 1B color + 1B count + 8B per component (+ nonce).
+  const size_t slice_plain = 2 + 8 * arity;
+  out.slice_frame = net::kFrameHeaderBytes + slice_plain +
+                    (encrypted ? crypto::kSealOverheadBytes : 0);
+  // Partial payload: 1B color + 1B count + 8B per component.
+  out.aggregate_frame = net::kFrameHeaderBytes + 2 + 8 * arity;
+
+  // TAG: HELLO + one partial (no color byte, but keep the same frame for a
+  // like-for-like comparison; one byte is noise at this scale).
+  out.per_node_tag = static_cast<double>(out.hello_frame) +
+                     static_cast<double>(out.aggregate_frame);
+  // iPDA: HELLO + (2l−1) slices + one partial.
+  out.per_node_ipda =
+      static_cast<double>(out.hello_frame) +
+      (2.0 * static_cast<double>(l) - 1.0) *
+          static_cast<double>(out.slice_frame) +
+      static_cast<double>(out.aggregate_frame);
+  out.byte_ratio = out.per_node_ipda / out.per_node_tag;
+  return out;
+}
+
+}  // namespace ipda::analysis

@@ -1,0 +1,38 @@
+// Communication-overhead analysis (§IV-A-2, Fig. 4).
+//
+// Per query round a TAG node sends 2 messages (HELLO + partial); an iPDA
+// node sends 2l+1 (HELLO + 2l−1 slices + partial), so the overhead ratio
+// is (2l+1)/2. Byte-level figures additionally depend on the frame model,
+// which this module prices out from net/packet.h constants.
+
+#ifndef IPDA_ANALYSIS_OVERHEAD_H_
+#define IPDA_ANALYSIS_OVERHEAD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipda::analysis {
+
+// Messages transmitted per participating node per round.
+double TagMessagesPerNode();                 // = 2.
+double IpdaMessagesPerNode(uint32_t l);      // = 2l+1.
+
+// iPDA-to-TAG message ratio (2l+1)/2.
+double OverheadRatio(uint32_t l);
+
+struct ByteBreakdown {
+  size_t hello_frame = 0;      // HELLO frame, headers included.
+  size_t slice_frame = 0;      // One encrypted slice frame.
+  size_t aggregate_frame = 0;  // One partial-result frame.
+  double per_node_tag = 0.0;   // Bytes a TAG node transmits per round.
+  double per_node_ipda = 0.0;  // Bytes an iPDA node transmits per round.
+  double byte_ratio = 0.0;     // per_node_ipda / per_node_tag.
+};
+
+// Prices one round under our frame model for an aggregate with `arity`
+// additive components, slicing factor l, and optional slice encryption.
+ByteBreakdown EstimateBytes(uint32_t l, size_t arity, bool encrypted);
+
+}  // namespace ipda::analysis
+
+#endif  // IPDA_ANALYSIS_OVERHEAD_H_

@@ -1,0 +1,55 @@
+#include "analysis/privacy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ipda::analysis {
+namespace {
+
+double Disclosure(double px, uint32_t l, double expected_incoming) {
+  const double outgoing_other_color = std::pow(px, static_cast<double>(l));
+  const double same_color_plus_incoming = std::pow(
+      px, static_cast<double>(l) - 1.0 + expected_incoming);
+  return 1.0 -
+         (1.0 - outgoing_other_color) * (1.0 - same_color_plus_incoming);
+}
+
+}  // namespace
+
+double ExpectedIncomingSliceLinks(const net::Topology& topology,
+                                  net::NodeId node, uint32_t l) {
+  IPDA_CHECK_GE(l, 1u);
+  double expected = 0.0;
+  const double transmitted = 2.0 * static_cast<double>(l) - 1.0;
+  for (net::NodeId neighbor : topology.neighbors(node)) {
+    const double dj = static_cast<double>(topology.degree(neighbor));
+    if (dj > 0.0) expected += transmitted / dj;
+  }
+  return expected;
+}
+
+double NodeDisclosureProbability(const net::Topology& topology,
+                                 net::NodeId node, double px, uint32_t l) {
+  IPDA_CHECK_GE(px, 0.0);
+  IPDA_CHECK_LE(px, 1.0);
+  return Disclosure(px, l, ExpectedIncomingSliceLinks(topology, node, l));
+}
+
+double AverageDisclosureProbability(const net::Topology& topology, double px,
+                                    uint32_t l) {
+  double sum = 0.0;
+  size_t counted = 0;
+  for (net::NodeId id = 0; id < topology.node_count(); ++id) {
+    if (topology.degree(id) == 0) continue;
+    sum += NodeDisclosureProbability(topology, id, px, l);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double RegularDisclosureProbability(double px, uint32_t l) {
+  return Disclosure(px, l, 2.0 * static_cast<double>(l) - 1.0);
+}
+
+}  // namespace ipda::analysis

@@ -1,0 +1,42 @@
+// Privacy-preservation capacity (§IV-A-3, Eq. 11).
+//
+// With per-link compromise probability p_x, node i's reading leaks iff the
+// adversary breaks the l outgoing different-color slice links, or the l−1
+// outgoing same-color links plus all E[n_l(i)] incoming slice links:
+//
+//   P_disclose^i(p_x) = 1 − (1 − p_x^l)(1 − p_x^{l−1+E[n_l(i)]}),
+//   E[n_l(i)] = Σ_{j∈N(i)} (2l−1)/d_j .
+//
+// Fig. 5 plots the network average over a 1000-node random deployment.
+
+#ifndef IPDA_ANALYSIS_PRIVACY_H_
+#define IPDA_ANALYSIS_PRIVACY_H_
+
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace ipda::analysis {
+
+// E[n_l(i)]: expected number of incoming slice links of node i when every
+// neighbor j spreads its 2l−1 transmitted slices uniformly over its d_j
+// neighbors.
+double ExpectedIncomingSliceLinks(const net::Topology& topology,
+                                  net::NodeId node, uint32_t l);
+
+// Eq. (11) for one node of the given topology.
+double NodeDisclosureProbability(const net::Topology& topology,
+                                 net::NodeId node, double px, uint32_t l);
+
+// Network average P_disclose(p_x) = (1/N) Σ_i P^i_disclose(p_x), the Fig. 5
+// y-axis. Nodes of degree 0 are skipped (they cannot slice at all).
+double AverageDisclosureProbability(const net::Topology& topology, double px,
+                                    uint32_t l);
+
+// d-regular closed form (E[n_l] = 2l−1): the paper's spot check
+// l=3, p_x=0.1 → 0.001.
+double RegularDisclosureProbability(double px, uint32_t l);
+
+}  // namespace ipda::analysis
+
+#endif  // IPDA_ANALYSIS_PRIVACY_H_

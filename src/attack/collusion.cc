@@ -1,0 +1,64 @@
+#include "attack/collusion.h"
+
+#include <algorithm>
+
+namespace ipda::attack {
+
+std::unique_ptr<Eavesdropper> MakeCollusionEavesdropper(
+    const net::Topology& topology, const CollusionConfig& config) {
+  std::vector<bool> colluder(topology.node_count(), false);
+  for (net::NodeId id : config.colluders) colluder[id] = true;
+
+  std::vector<crypto::Link> links;
+  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+    for (net::NodeId b : topology.neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
+    }
+  }
+  std::vector<bool> broken = BrokenByColluders(links, colluder);
+  return std::make_unique<Eavesdropper>(topology.node_count(),
+                                        std::move(links), std::move(broken));
+}
+
+CoordinatedPollution MakeCoordinatedPollution(const CollusionConfig& config,
+                                              double delta_per_tree) {
+  CoordinatedPollution out;
+  out.hit_red = std::make_shared<bool>(false);
+  out.hit_blue = std::make_shared<bool>(false);
+  // Only the first colluder reached on each tree injects, so the deltas on
+  // the two trees match exactly (the colluders coordinate out of band).
+  auto injected_red = std::make_shared<bool>(false);
+  auto injected_blue = std::make_shared<bool>(false);
+  std::vector<net::NodeId> colluders = config.colluders;
+  out.hook = [colluders, delta_per_tree, injected_red, injected_blue,
+              hit_red = out.hit_red, hit_blue = out.hit_blue](
+                 net::NodeId node, agg::TreeColor color,
+                 agg::Vector& partial) {
+    if (std::find(colluders.begin(), colluders.end(), node) ==
+        colluders.end()) {
+      return;
+    }
+    auto& injected =
+        color == agg::TreeColor::kRed ? *injected_red : *injected_blue;
+    if (injected) return;
+    injected = true;
+    for (double& component : partial) component += delta_per_tree;
+    (color == agg::TreeColor::kRed ? *hit_red : *hit_blue) = true;
+  };
+  return out;
+}
+
+std::vector<net::NodeId> SampleColluders(size_t node_count, size_t count,
+                                         util::Rng& rng) {
+  std::vector<net::NodeId> out;
+  if (node_count <= 1) return out;
+  const size_t sensors = node_count - 1;
+  for (size_t idx :
+       rng.SampleWithoutReplacement(sensors, std::min(count, sensors))) {
+    out.push_back(static_cast<net::NodeId>(idx + 1));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ipda::attack

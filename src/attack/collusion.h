@@ -1,0 +1,51 @@
+// Colluding-neighbor adversary — the paper's future-work direction (§VI).
+//
+// c captured nodes pool everything they hold: their link keys (so every
+// incident link leaks) and the slices addressed to them. Privacy-wise this
+// reduces to an Eavesdropper whose broken-link set is "links incident to a
+// colluder"; integrity-wise colluders on *both* trees can pollute
+// consistently (same delta on red and blue), which defeats the Th check —
+// quantified by benches as the scheme's documented limitation.
+
+#ifndef IPDA_ATTACK_COLLUSION_H_
+#define IPDA_ATTACK_COLLUSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "attack/eavesdropper.h"
+#include "attack/pollution.h"
+#include "crypto/pairwise.h"
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::attack {
+
+struct CollusionConfig {
+  std::vector<net::NodeId> colluders;
+};
+
+// Eavesdropper primed with the colluders' pooled key material.
+std::unique_ptr<Eavesdropper> MakeCollusionEavesdropper(
+    const net::Topology& topology, const CollusionConfig& config);
+
+// Coordinated pollution: every colluder applies the same additive delta on
+// whichever tree it sits, so when the colluder set covers both trees the
+// totals move together and |S_red − S_blue| stays under Th. Returns the
+// hook plus flags (set after the run) saying which trees were actually hit.
+struct CoordinatedPollution {
+  agg::IpdaProtocol::PollutionHook hook;
+  std::shared_ptr<bool> hit_red;
+  std::shared_ptr<bool> hit_blue;
+};
+
+CoordinatedPollution MakeCoordinatedPollution(
+    const CollusionConfig& config, double delta_per_tree);
+
+// Samples a random colluder set of size c from {1..N-1}.
+std::vector<net::NodeId> SampleColluders(size_t node_count, size_t count,
+                                         util::Rng& rng);
+
+}  // namespace ipda::attack
+
+#endif  // IPDA_ATTACK_COLLUSION_H_

@@ -1,0 +1,62 @@
+#include "attack/cpda_collusion.h"
+
+#include <utility>
+
+#include "agg/cpda/interpolation.h"
+
+namespace ipda::attack {
+
+CpdaCollusionAnalysis::CpdaCollusionAnalysis(
+    std::vector<net::NodeId> colluders, size_t poly_degree)
+    : colluders_(colluders.begin(), colluders.end()),
+      poly_degree_(poly_degree) {}
+
+agg::CpdaProtocol::ShareObserver CpdaCollusionAnalysis::Observer() {
+  return [this](net::NodeId from, net::NodeId to,
+                const agg::Vector& evaluation) {
+    if (from == to) return;                     // Kept share: never leaves.
+    if (colluders_.count(from) > 0) return;     // Colluder's own value.
+    if (colluders_.count(to) == 0) return;      // Honest recipient.
+    pooled_[from].push_back(
+        Point{static_cast<double>(to), evaluation});
+  };
+}
+
+CpdaCollusionReport CpdaCollusionAnalysis::Evaluate() const {
+  CpdaCollusionReport report;
+  report.victims_observed = pooled_.size();
+  const size_t needed = poly_degree_ + 1;
+  for (const auto& [victim, points] : pooled_) {
+    if (points.size() < needed) continue;
+    std::vector<double> xs;
+    xs.reserve(needed);
+    for (size_t i = 0; i < needed; ++i) xs.push_back(points[i].x);
+    const size_t arity = points.front().evaluation.size();
+    agg::Vector value(arity, 0.0);
+    bool ok = true;
+    for (size_t c = 0; c < arity && ok; ++c) {
+      std::vector<double> ys;
+      ys.reserve(needed);
+      for (size_t i = 0; i < needed; ++i) {
+        ys.push_back(points[i].evaluation[c]);
+      }
+      auto coeffs = agg::InterpolateCoefficients(xs, ys);
+      if (!coeffs.ok()) {
+        ok = false;
+        break;
+      }
+      value[c] = (*coeffs)[0];  // The private constant term.
+    }
+    if (!ok) continue;
+    report.victims_exposed += 1;
+    report.reconstructed[victim] = std::move(value);
+  }
+  report.exposure_rate =
+      report.victims_observed == 0
+          ? 0.0
+          : static_cast<double>(report.victims_exposed) /
+                static_cast<double>(report.victims_observed);
+  return report;
+}
+
+}  // namespace ipda::attack

@@ -1,0 +1,56 @@
+// Collusion attack against CPDA's polynomial masking.
+//
+// A CPDA member hands every co-member one evaluation of its degree-d
+// masking polynomial. Each point alone reveals nothing; but d+1 colluding
+// co-members pooling their points reconstruct the whole polynomial —
+// constant term (the private value) included. PDA documents this
+// threshold (d = 2 ⇒ 3-collusion); this module measures it on real
+// protocol runs via CpdaProtocol::ShareObserver.
+
+#ifndef IPDA_ATTACK_CPDA_COLLUSION_H_
+#define IPDA_ATTACK_CPDA_COLLUSION_H_
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/cpda/cpda_protocol.h"
+#include "net/topology.h"
+
+namespace ipda::attack {
+
+struct CpdaCollusionReport {
+  size_t victims_observed = 0;  // Non-colluders who shared with colluders.
+  size_t victims_exposed = 0;   // Enough pooled points to reconstruct.
+  double exposure_rate = 0.0;   // exposed / observed.
+  // Reconstructed contribution vectors; tests verify them against truth.
+  std::map<net::NodeId, agg::Vector> reconstructed;
+};
+
+class CpdaCollusionAnalysis {
+ public:
+  CpdaCollusionAnalysis(std::vector<net::NodeId> colluders,
+                        size_t poly_degree);
+
+  // Install via CpdaProtocol::SetShareObserver.
+  agg::CpdaProtocol::ShareObserver Observer();
+
+  // Pools the colluders' received points and reconstructs every victim
+  // with >= poly_degree+1 of them.
+  CpdaCollusionReport Evaluate() const;
+
+ private:
+  struct Point {
+    double x;
+    agg::Vector evaluation;
+  };
+
+  std::unordered_set<net::NodeId> colluders_;
+  size_t poly_degree_;
+  std::map<net::NodeId, std::vector<Point>> pooled_;  // Per victim.
+};
+
+}  // namespace ipda::attack
+
+#endif  // IPDA_ATTACK_CPDA_COLLUSION_H_

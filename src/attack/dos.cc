@@ -1,0 +1,44 @@
+#include "attack/dos.h"
+
+#include "util/check.h"
+
+namespace ipda::attack {
+
+PolluterLocalizer::PolluterLocalizer(size_t node_count)
+    : node_count_(node_count) {
+  IPDA_CHECK_GE(node_count, 2u);
+}
+
+util::Result<LocalizationResult> PolluterLocalizer::Locate(
+    const RoundFn& run_round, size_t max_rounds) {
+  std::vector<net::NodeId> suspects;
+  suspects.reserve(node_count_ - 1);
+  for (net::NodeId id = 1; id < node_count_; ++id) suspects.push_back(id);
+
+  LocalizationResult result;
+  uint64_t round = 0;
+  while (suspects.size() > 1 && round < max_rounds) {
+    // Exclude the first half of the suspect set this round.
+    const size_t half = suspects.size() / 2;
+    std::vector<net::NodeId> excluded(suspects.begin(),
+                                      suspects.begin() + half);
+    IPDA_ASSIGN_OR_RETURN(bool accepted, run_round(excluded, round));
+    ++round;
+    if (accepted) {
+      // Pollution vanished: the polluter sat this round out.
+      suspects = std::move(excluded);
+    } else {
+      // Still polluted: the polluter was active.
+      suspects.assign(suspects.begin() + half, suspects.end());
+    }
+    result.suspect_sizes.push_back(suspects.size());
+  }
+  result.rounds = round;
+  if (suspects.size() == 1) {
+    result.found = true;
+    result.suspect = suspects.front();
+  }
+  return result;
+}
+
+}  // namespace ipda::attack

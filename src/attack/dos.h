@@ -1,0 +1,50 @@
+// Persistent-polluter (DoS) mitigation: round-based localization (§III-D).
+//
+// A polluter that tampers every round forces the base station to reject
+// every result. The paper's countermeasure: vary which sensors participate
+// per round and bisect — if a round's result is rejected the polluter was
+// among the active half, otherwise among the excluded half — localizing
+// the malicious node in O(log N) rounds, after which it is excluded for
+// good.
+
+#ifndef IPDA_ATTACK_DOS_H_
+#define IPDA_ATTACK_DOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace ipda::attack {
+
+struct LocalizationResult {
+  bool found = false;
+  net::NodeId suspect = net::kBroadcastId;
+  size_t rounds = 0;                  // Aggregation rounds consumed.
+  std::vector<size_t> suspect_sizes;  // |suspect set| after each round.
+};
+
+// One aggregation round with the given nodes excluded; returns whether the
+// base station ACCEPTED the round's result.
+using RoundFn = std::function<util::Result<bool>(
+    const std::vector<net::NodeId>& excluded, uint64_t round_index)>;
+
+class PolluterLocalizer {
+ public:
+  explicit PolluterLocalizer(size_t node_count);
+
+  // Bisects the sensor id space {1..N-1}. Assumes a single non-colluding
+  // persistent polluter (the paper's §III-D setting). `max_rounds` bounds
+  // runaway loops when the assumption is violated.
+  util::Result<LocalizationResult> Locate(const RoundFn& run_round,
+                                          size_t max_rounds = 64);
+
+ private:
+  size_t node_count_;
+};
+
+}  // namespace ipda::attack
+
+#endif  // IPDA_ATTACK_DOS_H_

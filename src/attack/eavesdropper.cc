@@ -1,0 +1,116 @@
+#include "attack/eavesdropper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::attack {
+namespace {
+
+uint64_t PackLink(net::NodeId a, net::NodeId b) {
+  const net::NodeId lo = std::min(a, b);
+  const net::NodeId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+Eavesdropper::Eavesdropper(size_t node_count, std::vector<crypto::Link> links,
+                           std::vector<bool> broken)
+    : node_count_(node_count),
+      outgoing_(node_count),
+      incoming_(node_count) {
+  IPDA_CHECK_EQ(links.size(), broken.size());
+  for (size_t i = 0; i < links.size(); ++i) {
+    broken_[PackLink(links[i].first, links[i].second)] = broken[i];
+  }
+}
+
+agg::IpdaProtocol::SliceObserver Eavesdropper::Observer() {
+  return [this](net::NodeId from, net::NodeId to, agg::TreeColor color,
+                const agg::Vector& value) {
+    Record(from, to, color, value);
+  };
+}
+
+bool Eavesdropper::LinkBroken(net::NodeId a, net::NodeId b) const {
+  auto it = broken_.find(PackLink(a, b));
+  return it != broken_.end() && it->second;
+}
+
+void Eavesdropper::Record(net::NodeId from, net::NodeId to,
+                          agg::TreeColor color, const agg::Vector& value) {
+  IPDA_CHECK_LT(from, node_count_);
+  IPDA_CHECK_LT(to, node_count_);
+  outgoing_[from].push_back(SliceRecord{to, color, value, from == to});
+  if (from != to) incoming_[to].push_back(from);
+}
+
+DisclosureReport Eavesdropper::Evaluate() const {
+  DisclosureReport report;
+  report.disclosed.assign(node_count_, false);
+  for (net::NodeId node = 1; node < node_count_; ++node) {
+    const auto& out = outgoing_[node];
+    if (out.empty()) continue;
+    report.observed_count += 1;
+
+    // Incoming slice links all broken? (Needed to peel the kept d_ii.)
+    bool all_incoming_broken = true;
+    for (net::NodeId sender : incoming_[node]) {
+      if (!LinkBroken(sender, node)) {
+        all_incoming_broken = false;
+        break;
+      }
+    }
+
+    for (agg::TreeColor color : {agg::TreeColor::kRed,
+                                 agg::TreeColor::kBlue}) {
+      bool any = false;
+      bool kept_local = false;
+      bool all_tx_broken = true;
+      agg::Vector sum;
+      for (const SliceRecord& record : out) {
+        if (record.color != color) continue;
+        any = true;
+        if (sum.empty()) sum.assign(record.value.size(), 0.0);
+        if (record.kept_local) {
+          kept_local = true;
+          // Reconstructable only through the incoming-peel path; value
+          // still contributes to the (oracle-verified) reconstruction.
+          agg::AddInto(sum, record.value);
+          continue;
+        }
+        if (!LinkBroken(node, record.to)) {
+          all_tx_broken = false;
+          break;
+        }
+        agg::AddInto(sum, record.value);
+      }
+      if (!any || !all_tx_broken) continue;
+      if (kept_local && !all_incoming_broken) continue;
+      report.disclosed[node] = true;
+      report.reconstructed[node] = std::move(sum);
+      break;
+    }
+    if (report.disclosed[node]) report.disclosed_count += 1;
+  }
+  report.disclosure_rate =
+      report.observed_count == 0
+          ? 0.0
+          : static_cast<double>(report.disclosed_count) /
+                static_cast<double>(report.observed_count);
+  return report;
+}
+
+std::vector<bool> BrokenByColluders(const std::vector<crypto::Link>& links,
+                                    const std::vector<bool>& colluder) {
+  std::vector<bool> broken;
+  broken.reserve(links.size());
+  for (const auto& [a, b] : links) {
+    broken.push_back(colluder[a] || colluder[b]);
+  }
+  return broken;
+}
+
+}  // namespace ipda::attack

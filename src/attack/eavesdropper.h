@@ -1,0 +1,86 @@
+// Eavesdropping adversary evaluation (§II-C, §IV-A-3).
+//
+// The adversary is a global passive listener that can decrypt the subset of
+// links given by a LinkCompromiseReport (however produced — uniform p_x,
+// node capture, or collusion). Subscribed as the protocol's SliceObserver,
+// it records every slice's (from, to, color, value) and afterwards decides,
+// per node, whether the reading was disclosed:
+//
+//  * all l slices of one color were transmitted (leaf, or the other-color
+//    set of an aggregator) over broken links            → disclosed; or
+//  * the l-1 transmitted same-color slices AND every incoming slice link
+//    were broken (the kept d_ii then follows from the node's plaintext
+//    Phase-III partial: r(i) − Σ incoming)              → disclosed.
+//
+// This is exactly the case analysis behind the paper's Eq. (11).
+
+#ifndef IPDA_ATTACK_EAVESDROPPER_H_
+#define IPDA_ATTACK_EAVESDROPPER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/ipda/messages.h"
+#include "agg/ipda/protocol.h"
+#include "crypto/pairwise.h"
+#include "net/topology.h"
+
+namespace ipda::attack {
+
+struct DisclosureReport {
+  std::vector<bool> disclosed;  // Indexed by NodeId; [0] (BS) always false.
+  size_t disclosed_count = 0;
+  size_t observed_count = 0;    // Nodes that produced any slices.
+  // disclosed_count / observed_count (0 if nothing observed): the
+  // empirical P_disclose of Fig. 5.
+  double disclosure_rate = 0.0;
+  // For every disclosed node, the value the adversary reconstructed —
+  // tests verify it equals the true contribution.
+  std::unordered_map<net::NodeId, agg::Vector> reconstructed;
+};
+
+class Eavesdropper {
+ public:
+  // `links` + parallel `broken` flags define what the adversary can
+  // decrypt. Node count sizes the per-node tables.
+  Eavesdropper(size_t node_count, std::vector<crypto::Link> links,
+               std::vector<bool> broken);
+
+  // Returns the observer to install via IpdaProtocol::SetSliceObserver or
+  // IpdaRunHooks::slice_observer.
+  agg::IpdaProtocol::SliceObserver Observer();
+
+  // True if the adversary can decrypt traffic on (a, b) (symmetric).
+  bool LinkBroken(net::NodeId a, net::NodeId b) const;
+
+  // Evaluates disclosure over everything recorded so far.
+  DisclosureReport Evaluate() const;
+
+ private:
+  struct SliceRecord {
+    net::NodeId to;
+    agg::TreeColor color;
+    agg::Vector value;
+    bool kept_local;
+  };
+
+  void Record(net::NodeId from, net::NodeId to, agg::TreeColor color,
+              const agg::Vector& value);
+
+  size_t node_count_;
+  // Broken links as a hash set of packed (lo, hi) pairs.
+  std::unordered_map<uint64_t, bool> broken_;
+  std::vector<std::vector<SliceRecord>> outgoing_;  // Per source node.
+  std::vector<std::vector<net::NodeId>> incoming_;  // Slice senders per node.
+};
+
+// Convenience: broken set for a colluding-nodes adversary — every link
+// incident to a colluder leaks (the colluders hold those keys). Used by
+// attack/collusion.h.
+std::vector<bool> BrokenByColluders(const std::vector<crypto::Link>& links,
+                                    const std::vector<bool>& colluder);
+
+}  // namespace ipda::attack
+
+#endif  // IPDA_ATTACK_EAVESDROPPER_H_

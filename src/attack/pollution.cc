@@ -1,0 +1,27 @@
+#include "attack/pollution.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ipda::attack {
+
+agg::IpdaProtocol::PollutionHook MakePollutionHook(PollutionConfig config) {
+  return MakePollutionHook(std::move(config), nullptr);
+}
+
+agg::IpdaProtocol::PollutionHook MakePollutionHook(PollutionConfig config,
+                                                   size_t* fired) {
+  return [config = std::move(config), fired](
+             net::NodeId node, agg::TreeColor, agg::Vector& partial) {
+    if (std::find(config.attackers.begin(), config.attackers.end(), node) ==
+        config.attackers.end()) {
+      return;
+    }
+    for (double& component : partial) {
+      component = (component + config.additive_delta) * config.scale;
+    }
+    if (fired != nullptr) *fired += 1;
+  };
+}
+
+}  // namespace ipda::attack

@@ -1,0 +1,35 @@
+// Data-pollution attackers (§II-C): compromised aggregators that tamper
+// with the intermediate result they forward. Built as IpdaProtocol
+// PollutionHooks; the same hooks also pollute TAG-style baselines in
+// benches by post-processing, since TAG has no defense to exercise.
+
+#ifndef IPDA_ATTACK_POLLUTION_H_
+#define IPDA_ATTACK_POLLUTION_H_
+
+#include <vector>
+
+#include "agg/ipda/protocol.h"
+#include "net/topology.h"
+
+namespace ipda::attack {
+
+struct PollutionConfig {
+  std::vector<net::NodeId> attackers;
+  // partial[c] += additive_delta, then partial[c] *= scale, on every
+  // component c. Identity: delta 0, scale 1.
+  double additive_delta = 0.0;
+  double scale = 1.0;
+};
+
+// Hook that applies the tampering whenever an attacker transmits. The
+// returned hook also exposes how many times it fired through `fired`
+// (owned by the hook's shared state; optional).
+agg::IpdaProtocol::PollutionHook MakePollutionHook(PollutionConfig config);
+
+// Variant that counts activations into *fired (must outlive the run).
+agg::IpdaProtocol::PollutionHook MakePollutionHook(PollutionConfig config,
+                                                   size_t* fired);
+
+}  // namespace ipda::attack
+
+#endif  // IPDA_ATTACK_POLLUTION_H_

@@ -1,0 +1,29 @@
+#include "crypto/ctr.h"
+
+#include "crypto/xtea.h"
+
+namespace ipda::crypto {
+
+void CtrCrypt(const Key128& key, uint64_t nonce, util::Bytes& data) {
+  uint64_t counter = 0;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    // Standard CTR: block input is nonce + block index. Within one message
+    // inputs are distinct; across messages callers must supply well-mixed
+    // nonces (LinkCrypto derives them from per-link send counters).
+    const uint64_t keystream = XteaEncryptBlock(key, nonce + counter);
+    for (int i = 0; i < 8 && offset < data.size(); ++i, ++offset) {
+      data[offset] ^= static_cast<uint8_t>(keystream >> (8 * i));
+    }
+    ++counter;
+  }
+}
+
+util::Bytes CtrCryptCopy(const Key128& key, uint64_t nonce,
+                         const util::Bytes& data) {
+  util::Bytes out = data;
+  CtrCrypt(key, nonce, out);
+  return out;
+}
+
+}  // namespace ipda::crypto

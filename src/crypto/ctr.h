@@ -1,0 +1,25 @@
+// XTEA in counter mode: turns the 64-bit block cipher into a stream cipher
+// for arbitrary-length payloads. Encryption and decryption are the same
+// keystream XOR; the (nonce, counter) pair must never repeat under one key,
+// which LinkCrypto (crypto/keystore.h) enforces with per-link counters.
+
+#ifndef IPDA_CRYPTO_CTR_H_
+#define IPDA_CRYPTO_CTR_H_
+
+#include <cstdint>
+
+#include "crypto/key.h"
+#include "util/bytes.h"
+
+namespace ipda::crypto {
+
+// XORs `data` in place with the XTEA-CTR keystream for (key, nonce).
+void CtrCrypt(const Key128& key, uint64_t nonce, util::Bytes& data);
+
+// Convenience copy variant.
+util::Bytes CtrCryptCopy(const Key128& key, uint64_t nonce,
+                         const util::Bytes& data);
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_CTR_H_

@@ -1,0 +1,27 @@
+#include "crypto/key.h"
+
+#include <cstdio>
+
+namespace ipda::crypto {
+
+Key128 Key128::FromSeed(uint64_t seed) {
+  Key128 key;
+  uint64_t state = seed;
+  for (int i = 0; i < 4; i += 2) {
+    const uint64_t word = util::SplitMix64(state);
+    key.words[i] = static_cast<uint32_t>(word);
+    key.words[i + 1] = static_cast<uint32_t>(word >> 32);
+  }
+  return key;
+}
+
+Key128 Key128::Random(util::Rng& rng) { return FromSeed(rng.NextUint64()); }
+
+std::string Key128::ToHex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%08x%08x%08x%08x", words[0], words[1],
+                words[2], words[3]);
+  return std::string(buf);
+}
+
+}  // namespace ipda::crypto

@@ -1,0 +1,36 @@
+// 128-bit symmetric keys.
+
+#ifndef IPDA_CRYPTO_KEY_H_
+#define IPDA_CRYPTO_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace ipda::crypto {
+
+// Identifier of a key within a predistribution pool.
+using KeyId = uint32_t;
+constexpr KeyId kInvalidKeyId = UINT32_MAX;
+
+struct Key128 {
+  std::array<uint32_t, 4> words = {0, 0, 0, 0};
+
+  // Deterministically expands a 64-bit seed into key material.
+  static Key128 FromSeed(uint64_t seed);
+
+  // Fresh random key.
+  static Key128 Random(util::Rng& rng);
+
+  friend bool operator==(const Key128& a, const Key128& b) {
+    return a.words == b.words;
+  }
+
+  std::string ToHex() const;
+};
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_KEY_H_

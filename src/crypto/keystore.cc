@@ -1,0 +1,52 @@
+#include "crypto/keystore.h"
+
+#include <algorithm>
+
+#include "crypto/ctr.h"
+#include "util/random.h"
+
+namespace ipda::crypto {
+
+util::Result<Key128> KeyStore::GetLinkKey(PeerId peer) const {
+  auto it = keys_.find(peer);
+  if (it == keys_.end()) {
+    return util::NotFoundError("no link key for peer");
+  }
+  return it->second;
+}
+
+std::vector<PeerId> KeyStore::Peers() const {
+  std::vector<PeerId> out;
+  out.reserve(keys_.size());
+  for (const auto& [peer, key] : keys_) out.push_back(peer);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
+                                           const util::Bytes& plaintext) {
+  IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+  // Distinct per (direction, message): mixing (self, counter) can never
+  // collide with the peer's (peer, counter') stream under the shared key.
+  const uint64_t counter = send_counters_[peer]++;
+  const uint64_t nonce =
+      util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
+  util::ByteWriter writer;
+  writer.WriteU64(nonce);
+  util::Bytes body = CtrCryptCopy(key, nonce, plaintext);
+  util::Bytes wire = writer.TakeBytes();
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+util::Result<util::Bytes> LinkCrypto::Open(PeerId peer,
+                                           const util::Bytes& wire) {
+  IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+  util::ByteReader reader(wire);
+  IPDA_ASSIGN_OR_RETURN(uint64_t nonce, reader.ReadU64());
+  util::Bytes body(wire.begin() + kSealOverheadBytes, wire.end());
+  CtrCrypt(key, nonce, body);
+  return body;
+}
+
+}  // namespace ipda::crypto

@@ -1,0 +1,64 @@
+// Per-node key storage and the LinkCrypto facade protocols encrypt through.
+//
+// A KeyStore holds one symmetric key per neighbor link (however the key got
+// there — pairwise derivation or EG predistribution). LinkCrypto seals a
+// plaintext into [u64 nonce][ciphertext] wire format with a fresh per-link
+// nonce, and opens it on the other side. Sealing fails cleanly when no key
+// is shared with the peer, which is a real outcome under EG predistribution.
+
+#ifndef IPDA_CRYPTO_KEYSTORE_H_
+#define IPDA_CRYPTO_KEYSTORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/key.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ipda::crypto {
+
+// Node ids mirror net::NodeId without depending on the net library.
+using PeerId = uint32_t;
+
+class KeyStore {
+ public:
+  KeyStore() = default;
+
+  void SetLinkKey(PeerId peer, const Key128& key) { keys_[peer] = key; }
+  bool HasLinkKey(PeerId peer) const { return keys_.count(peer) > 0; }
+  util::Result<Key128> GetLinkKey(PeerId peer) const;
+  size_t link_count() const { return keys_.size(); }
+  std::vector<PeerId> Peers() const;
+
+ private:
+  std::unordered_map<PeerId, Key128> keys_;
+};
+
+// Stateful sealer/opener bound to one node's KeyStore.
+class LinkCrypto {
+ public:
+  explicit LinkCrypto(PeerId self) : self_(self) {}
+
+  KeyStore& keystore() { return keystore_; }
+  const KeyStore& keystore() const { return keystore_; }
+
+  // Encrypts `plaintext` for `peer`; wire format [u64 nonce][ciphertext].
+  util::Result<util::Bytes> Seal(PeerId peer, const util::Bytes& plaintext);
+
+  // Decrypts a Seal()ed message from `peer`.
+  util::Result<util::Bytes> Open(PeerId peer, const util::Bytes& wire);
+
+ private:
+  PeerId self_;
+  KeyStore keystore_;
+  std::unordered_map<PeerId, uint64_t> send_counters_;
+};
+
+// Extra bytes Seal() adds on top of the plaintext (the nonce).
+inline constexpr size_t kSealOverheadBytes = 8;
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_KEYSTORE_H_

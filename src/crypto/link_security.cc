@@ -1,0 +1,86 @@
+#include "crypto/link_security.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ipda::crypto {
+namespace {
+
+double Fraction(const std::vector<bool>& broken) {
+  if (broken.empty()) return 0.0;
+  size_t count = 0;
+  for (bool b : broken) count += b ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(broken.size());
+}
+
+}  // namespace
+
+LinkCompromiseReport UniformLinkCompromise(size_t link_count, double px,
+                                           util::Rng& rng) {
+  LinkCompromiseReport report;
+  report.broken.resize(link_count);
+  for (size_t i = 0; i < link_count; ++i) {
+    report.broken[i] = rng.Bernoulli(px);
+  }
+  report.fraction_broken = Fraction(report.broken);
+  return report;
+}
+
+LinkCompromiseReport NodeCaptureUnderPairwise(const std::vector<Link>& links,
+                                              size_t node_count,
+                                              size_t captured_count,
+                                              util::Rng& rng) {
+  IPDA_CHECK_LE(captured_count, node_count);
+  std::vector<bool> captured(node_count, false);
+  for (size_t idx : rng.SampleWithoutReplacement(node_count, captured_count)) {
+    captured[idx] = true;
+  }
+  LinkCompromiseReport report;
+  report.broken.reserve(links.size());
+  for (const auto& [a, b] : links) {
+    report.broken.push_back(captured[a] || captured[b]);
+  }
+  report.fraction_broken = Fraction(report.broken);
+  return report;
+}
+
+LinkCompromiseReport NodeCaptureUnderPredistribution(
+    const std::vector<Link>& links, const KeyPredistribution& scheme,
+    size_t captured_count, util::Rng& rng) {
+  const size_t node_count = scheme.node_count();
+  IPDA_CHECK_LE(captured_count, node_count);
+  std::vector<bool> captured(node_count, false);
+  std::unordered_set<KeyId> exposed;
+  for (size_t idx : rng.SampleWithoutReplacement(node_count, captured_count)) {
+    captured[idx] = true;
+    for (KeyId id : scheme.ring(static_cast<PeerId>(idx))) {
+      exposed.insert(id);
+    }
+  }
+  LinkCompromiseReport report;
+  report.broken.reserve(links.size());
+  for (const auto& [a, b] : links) {
+    if (captured[a] || captured[b]) {
+      report.broken.push_back(true);
+      continue;
+    }
+    const KeyId shared = scheme.SharedKeyId(a, b);
+    report.broken.push_back(shared != kInvalidKeyId &&
+                            exposed.count(shared) > 0);
+  }
+  report.fraction_broken = Fraction(report.broken);
+  return report;
+}
+
+double ExpectedEgLinkExposure(const EgConfig& config, size_t captured_count) {
+  // Probability a fixed pool key appears in at least one of c captured
+  // rings: 1 - prod_{j} C(P-1, m)/C(P, m) per ring = 1 - (1 - m/P)^c.
+  const double P = config.pool_size;
+  const double m = config.ring_size;
+  double miss = 1.0;
+  for (size_t i = 0; i < captured_count; ++i) miss *= (1.0 - m / P);
+  return 1.0 - miss;
+}
+
+}  // namespace ipda::crypto

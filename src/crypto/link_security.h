@@ -1,0 +1,56 @@
+// Adversarial link-compromise models.
+//
+// The paper condenses all key-management detail into p_x, "the probability
+// that an attacker can overhear the communication on a given link"
+// (§IV-A-3). This module provides that abstraction directly (for Fig. 5)
+// and also derives compromised-link sets from concrete adversaries:
+// node capture under pairwise keys, and node capture under EG
+// predistribution (where captured rings expose *other* nodes' links too).
+
+#ifndef IPDA_CRYPTO_LINK_SECURITY_H_
+#define IPDA_CRYPTO_LINK_SECURITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/pairwise.h"
+#include "crypto/predistribution.h"
+#include "util/random.h"
+
+namespace ipda::crypto {
+
+struct LinkCompromiseReport {
+  // Parallel to the input link list: true where the adversary can decrypt.
+  std::vector<bool> broken;
+  // Fraction of links broken (the empirical p_x).
+  double fraction_broken = 0.0;
+};
+
+// Each link is independently readable with probability px — the paper's
+// Fig. 5 abstraction.
+LinkCompromiseReport UniformLinkCompromise(size_t link_count, double px,
+                                           util::Rng& rng);
+
+// Adversary captures `captured_count` random nodes out of `node_count`.
+// Under pairwise keys only links incident to a captured node leak.
+LinkCompromiseReport NodeCaptureUnderPairwise(const std::vector<Link>& links,
+                                              size_t node_count,
+                                              size_t captured_count,
+                                              util::Rng& rng);
+
+// Same adversary under EG predistribution: the union of captured rings is
+// exposed, so any link whose shared key id falls in that union leaks, even
+// between two uncaptured nodes.
+LinkCompromiseReport NodeCaptureUnderPredistribution(
+    const std::vector<Link>& links, const KeyPredistribution& scheme,
+    size_t captured_count, util::Rng& rng);
+
+// Expected fraction of links an EG adversary reads per captured node ring:
+// 1 - (1 - m/P)^(c*m) approximation is avoided; this computes the exact
+// expectation 1 - C(P-m, c*m)/C(P, c*m) treating captured rings as a draw
+// of c*m distinct keys (an upper bound used as an analytic cross-check).
+double ExpectedEgLinkExposure(const EgConfig& config, size_t captured_count);
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_LINK_SECURITY_H_

@@ -1,0 +1,88 @@
+#include "crypto/predistribution.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ipda::crypto {
+
+util::Result<KeyPredistribution> KeyPredistribution::Create(
+    const EgConfig& config, size_t node_count, uint64_t pool_seed,
+    util::Rng& rng) {
+  if (config.ring_size == 0 || config.ring_size > config.pool_size) {
+    return util::InvalidArgumentError(
+        "ring size must be in [1, pool size]");
+  }
+  std::vector<std::vector<KeyId>> rings(node_count);
+  for (auto& ring : rings) {
+    std::vector<size_t> sample =
+        rng.SampleWithoutReplacement(config.pool_size, config.ring_size);
+    ring.reserve(sample.size());
+    for (size_t id : sample) ring.push_back(static_cast<KeyId>(id));
+    std::sort(ring.begin(), ring.end());
+  }
+  return KeyPredistribution(config, pool_seed, std::move(rings));
+}
+
+bool KeyPredistribution::NodeHoldsKey(PeerId node, KeyId id) const {
+  const auto& ring = rings_[node];
+  return std::binary_search(ring.begin(), ring.end(), id);
+}
+
+KeyId KeyPredistribution::SharedKeyId(PeerId a, PeerId b) const {
+  const auto& ra = rings_[a];
+  const auto& rb = rings_[b];
+  size_t i = 0, j = 0;
+  while (i < ra.size() && j < rb.size()) {
+    if (ra[i] == rb[j]) return ra[i];
+    if (ra[i] < rb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return kInvalidKeyId;
+}
+
+Key128 KeyPredistribution::PoolKey(KeyId id) const {
+  IPDA_CHECK_LT(id, config_.pool_size);
+  return Key128::FromSeed(util::Mix64(pool_seed_, id));
+}
+
+double KeyPredistribution::Provision(const std::vector<Link>& links,
+                                     std::vector<LinkCrypto>& cryptos) const {
+  if (links.empty()) return 1.0;
+  size_t secured = 0;
+  for (const auto& [a, b] : links) {
+    const KeyId shared = SharedKeyId(a, b);
+    if (shared == kInvalidKeyId) continue;
+    const Key128 key = PoolKey(shared);
+    cryptos[a].keystore().SetLinkKey(b, key);
+    cryptos[b].keystore().SetLinkKey(a, key);
+    ++secured;
+  }
+  return static_cast<double>(secured) / static_cast<double>(links.size());
+}
+
+std::vector<KeyId> KeyPredistribution::LinkKeyIds(
+    const std::vector<Link>& links) const {
+  std::vector<KeyId> out;
+  out.reserve(links.size());
+  for (const auto& [a, b] : links) out.push_back(SharedKeyId(a, b));
+  return out;
+}
+
+double KeyPredistribution::ShareProbability(const EgConfig& config) {
+  // 1 - C(P-m, m) / C(P, m) computed as a running product to stay in
+  // double range for large P.
+  const double P = config.pool_size;
+  const double m = config.ring_size;
+  if (2.0 * m > P) return 1.0;  // Rings must overlap.
+  double no_share = 1.0;
+  for (uint32_t i = 0; i < config.ring_size; ++i) {
+    no_share *= (P - m - i) / (P - i);
+  }
+  return 1.0 - no_share;
+}
+
+}  // namespace ipda::crypto

@@ -1,0 +1,74 @@
+// Eschenauer-Gligor random key predistribution (CCS 2002).
+//
+// A pool of P keys exists before deployment; every node is loaded with a
+// random ring of m of them. Two neighbors secure their link with the lowest
+// key id they share; if they share none, the link stays unkeyed. The
+// paper's privacy analysis (§IV-A-3) cites exactly this scheme as a source
+// of p_x: a third node whose ring also contains the link's key can decrypt
+// traffic it overhears.
+
+#ifndef IPDA_CRYPTO_PREDISTRIBUTION_H_
+#define IPDA_CRYPTO_PREDISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/key.h"
+#include "crypto/keystore.h"
+#include "crypto/pairwise.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ipda::crypto {
+
+struct EgConfig {
+  uint32_t pool_size = 10000;  // P.
+  uint32_t ring_size = 100;    // m keys per node.
+};
+
+class KeyPredistribution {
+ public:
+  // Validates the config and draws a ring for every node.
+  static util::Result<KeyPredistribution> Create(const EgConfig& config,
+                                                 size_t node_count,
+                                                 uint64_t pool_seed,
+                                                 util::Rng& rng);
+
+  const EgConfig& config() const { return config_; }
+  size_t node_count() const { return rings_.size(); }
+
+  // Sorted key ids loaded on `node`.
+  const std::vector<KeyId>& ring(PeerId node) const { return rings_[node]; }
+
+  bool NodeHoldsKey(PeerId node, KeyId id) const;
+
+  // Lowest common key id of the two rings, or kInvalidKeyId.
+  KeyId SharedKeyId(PeerId a, PeerId b) const;
+
+  // Key material for a pool key (derived from the pool seed).
+  Key128 PoolKey(KeyId id) const;
+
+  // Installs shared keys on both endpoints of every keyable link; returns
+  // the fraction of links that could be secured.
+  double Provision(const std::vector<Link>& links,
+                   std::vector<LinkCrypto>& cryptos) const;
+
+  // Which pool key (if any) secures each link, parallel to `links`.
+  std::vector<KeyId> LinkKeyIds(const std::vector<Link>& links) const;
+
+  // Closed form P(two random rings intersect) = 1 - C(P-m,m)/C(P,m).
+  static double ShareProbability(const EgConfig& config);
+
+ private:
+  KeyPredistribution(EgConfig config, uint64_t pool_seed,
+                     std::vector<std::vector<KeyId>> rings)
+      : config_(config), pool_seed_(pool_seed), rings_(std::move(rings)) {}
+
+  EgConfig config_;
+  uint64_t pool_seed_;
+  std::vector<std::vector<KeyId>> rings_;  // Sorted per node.
+};
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_PREDISTRIBUTION_H_

@@ -1,0 +1,36 @@
+#include "crypto/xtea.h"
+
+namespace ipda::crypto {
+namespace {
+
+constexpr uint32_t kDelta = 0x9e3779b9;
+
+}  // namespace
+
+uint64_t XteaEncryptBlock(const Key128& key, uint64_t block) {
+  uint32_t v0 = static_cast<uint32_t>(block);
+  uint32_t v1 = static_cast<uint32_t>(block >> 32);
+  uint32_t sum = 0;
+  for (int i = 0; i < kXteaRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+          (sum + key.words[(sum >> 11) & 3]);
+  }
+  return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+}
+
+uint64_t XteaDecryptBlock(const Key128& key, uint64_t block) {
+  uint32_t v0 = static_cast<uint32_t>(block);
+  uint32_t v1 = static_cast<uint32_t>(block >> 32);
+  uint32_t sum = kDelta * static_cast<uint32_t>(kXteaRounds);
+  for (int i = 0; i < kXteaRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+          (sum + key.words[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
+  }
+  return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+}
+
+}  // namespace ipda::crypto

@@ -1,0 +1,27 @@
+// XTEA block cipher (Needham & Wheeler, 1997), implemented from scratch.
+//
+// 64-bit blocks, 128-bit keys, 32 rounds. Chosen because it is the kind of
+// lightweight cipher actually deployed on sensor motes; iPDA's design is
+// cipher-agnostic ("can be built on top of any key management scheme"), so
+// any pseudorandom permutation serves the protocol.
+
+#ifndef IPDA_CRYPTO_XTEA_H_
+#define IPDA_CRYPTO_XTEA_H_
+
+#include <cstdint>
+
+#include "crypto/key.h"
+
+namespace ipda::crypto {
+
+inline constexpr int kXteaRounds = 32;
+
+// Encrypts one 64-bit block (v0 = low half, v1 = high half packed LE).
+uint64_t XteaEncryptBlock(const Key128& key, uint64_t block);
+
+// Inverse of XteaEncryptBlock.
+uint64_t XteaDecryptBlock(const Key128& key, uint64_t block);
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_XTEA_H_

@@ -1,0 +1,135 @@
+#include "net/channel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::net {
+
+Channel::Channel(sim::Simulator* sim, const Topology* topology,
+                 PhyConfig config, CounterBoard* counters)
+    : sim_(sim), topology_(topology), config_(config), counters_(counters) {
+  IPDA_CHECK(sim != nullptr);
+  IPDA_CHECK(topology != nullptr);
+  IPDA_CHECK(counters != nullptr);
+  IPDA_CHECK_GT(config_.data_rate_bps, 0.0);
+  const size_t n = topology_->node_count();
+  delivery_.resize(n);
+  active_rx_.resize(n);
+  tx_until_.assign(n, sim::kSimTimeZero);
+  failed_.assign(n, false);
+}
+
+void Channel::FailNode(NodeId id) {
+  IPDA_CHECK_LT(id, failed_.size());
+  failed_[id] = true;
+}
+
+void Channel::SetDeliveryHandler(NodeId id, DeliveryHandler handler) {
+  IPDA_CHECK_LT(id, delivery_.size());
+  delivery_[id] = std::move(handler);
+}
+
+void Channel::SetOverhearHandler(OverhearHandler handler) {
+  overhear_ = std::move(handler);
+}
+
+sim::SimTime Channel::AirTime(size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.data_rate_bps;
+  return sim::SecondsF(seconds);
+}
+
+sim::SimTime Channel::PropagationDelay(NodeId a, NodeId b) const {
+  const double meters = Distance(topology_->position(a),
+                                 topology_->position(b));
+  const sim::SimTime delay = sim::SecondsF(meters /
+                                           config_.propagation_speed);
+  // Never zero: reception must strictly follow the transmit decision.
+  return delay > 0 ? delay : sim::Nanoseconds(1);
+}
+
+void Channel::StartTransmission(NodeId sender, Packet packet) {
+  IPDA_CHECK_LT(sender, topology_->node_count());
+  if (failed_[sender]) return;  // Dead radio: nothing leaves the node.
+  packet.uid = next_uid_++;
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime airtime = AirTime(packet.size_bytes());
+
+  auto& sender_counters = counters_->at(sender);
+  sender_counters.frames_sent += 1;
+  sender_counters.bytes_sent += packet.size_bytes();
+  sender_counters.energy_tx_j +=
+      config_.energy.TxCost(packet.size_bytes(), topology_->range());
+  if (packet.type == PacketType::kAck) {
+    sender_counters.ack_frames_sent += 1;
+    sender_counters.ack_bytes_sent += packet.size_bytes();
+  }
+
+  // Half duplex: anything this node was receiving is now lost.
+  for (auto& rx : active_rx_[sender]) rx.lost_to_tx = true;
+  tx_until_[sender] = std::max(tx_until_[sender], now + airtime);
+
+  auto shared = std::make_shared<const Packet>(std::move(packet));
+  for (NodeId receiver : topology_->neighbors(sender)) {
+    const sim::SimTime prop = PropagationDelay(sender, receiver);
+    const uint64_t uid = shared->uid;
+    sim_->At(now + prop, [this, receiver, uid, shared] {
+      BeginReception(receiver, uid, shared);
+    });
+    sim_->At(now + prop + airtime, [this, receiver, uid] {
+      EndReception(receiver, uid);
+    });
+  }
+}
+
+bool Channel::IsBusy(NodeId id) const {
+  IPDA_CHECK_LT(id, active_rx_.size());
+  if (tx_until_[id] > sim_->now()) return true;
+  return !active_rx_[id].empty();
+}
+
+void Channel::BeginReception(NodeId receiver, uint64_t uid,
+                             std::shared_ptr<const Packet> packet) {
+  auto& actives = active_rx_[receiver];
+  ActiveReception rx{uid, std::move(packet)};
+  if (tx_until_[receiver] > sim_->now()) rx.lost_to_tx = true;
+  if (!actives.empty()) {
+    rx.collided = true;
+    for (auto& other : actives) other.collided = true;
+  }
+  actives.push_back(std::move(rx));
+}
+
+void Channel::EndReception(NodeId receiver, uint64_t uid) {
+  auto& actives = active_rx_[receiver];
+  for (size_t i = 0; i < actives.size(); ++i) {
+    if (actives[i].uid != uid) continue;
+    ActiveReception rx = std::move(actives[i]);
+    actives.erase(actives.begin() + static_cast<long>(i));
+    auto& rc = counters_->at(receiver);
+    // The radio listens for the whole frame whatever its fate.
+    rc.energy_rx_j += config_.energy.RxCost(rx.packet->size_bytes());
+    if (rx.lost_to_tx) {
+      rc.frames_missed_tx += 1;
+      return;
+    }
+    if (rx.collided) {
+      rc.frames_collided += 1;
+      return;
+    }
+    if (failed_[receiver]) return;  // Crashed mid-flight: frame vanishes.
+    if (overhear_) overhear_(OverhearEvent{receiver, *rx.packet});
+    if (rx.packet->dst == receiver || rx.packet->IsBroadcast()) {
+      rc.frames_delivered += 1;
+      rc.bytes_delivered += rx.packet->size_bytes();
+      if (delivery_[receiver]) delivery_[receiver](*rx.packet);
+    }
+    return;
+  }
+  // Reception record must exist; EndReception fires exactly once per Begin.
+  IPDA_CHECK(false);
+}
+
+}  // namespace ipda::net

@@ -1,0 +1,103 @@
+// Shared wireless medium with receiver-side collision modeling.
+//
+// A transmission physically reaches every topology neighbor of the sender.
+// At each receiver, two frames whose airtimes overlap corrupt each other
+// (no capture effect), and a half-duplex radio loses frames that arrive
+// while it is itself transmitting. Frames that abut exactly (end == start)
+// do not collide. This is the loss source the paper calls "factor (c)".
+
+#ifndef IPDA_NET_CHANNEL_H_
+#define IPDA_NET_CHANNEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/counters.h"
+#include "net/energy.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ipda::net {
+
+struct PhyConfig {
+  double data_rate_bps = 1e6;        // Paper: 1 Mbps.
+  double propagation_speed = 3e8;    // m/s.
+  EnergyModel energy;                // Per-frame radio energy accounting.
+};
+
+// Observer invoked for every frame that reaches a receiver intact,
+// regardless of addressing. This is the eavesdropping surface: attack
+// models subscribe here, exactly like an adversary parked next to a node.
+struct OverhearEvent {
+  NodeId receiver;
+  Packet packet;  // Note: ciphertext payload if the sender encrypted.
+};
+
+class Channel {
+ public:
+  using DeliveryHandler = std::function<void(const Packet&)>;
+  using OverhearHandler = std::function<void(const OverhearEvent&)>;
+
+  Channel(sim::Simulator* sim, const Topology* topology, PhyConfig config,
+          CounterBoard* counters);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // MAC layers register here to receive intact, addressed frames.
+  void SetDeliveryHandler(NodeId id, DeliveryHandler handler);
+
+  // Optional promiscuous tap (attack models, tracing).
+  void SetOverhearHandler(OverhearHandler handler);
+
+  // Begins transmitting `packet` from `sender` now. The caller (MAC) is
+  // responsible for carrier-sensing first; the channel faithfully models
+  // whatever overlap results.
+  void StartTransmission(NodeId sender, Packet packet);
+
+  // Carrier sense at `id`: any reception in progress, or own transmission.
+  bool IsBusy(NodeId id) const;
+
+  // Crash-fails a node: from now on it neither transmits nor receives.
+  // Upper layers are untouched — their timers fire into a dead radio,
+  // which is exactly what a mote crash looks like to the network.
+  void FailNode(NodeId id);
+  bool IsFailed(NodeId id) const { return failed_[id]; }
+
+  // Time to clock out `bytes` at the configured data rate.
+  sim::SimTime AirTime(size_t bytes) const;
+
+  sim::SimTime PropagationDelay(NodeId a, NodeId b) const;
+
+  const PhyConfig& config() const { return config_; }
+
+ private:
+  struct ActiveReception {
+    uint64_t uid;
+    std::shared_ptr<const Packet> packet;
+    bool collided = false;      // Overlapped another reception.
+    bool lost_to_tx = false;    // Receiver was transmitting.
+  };
+
+  void BeginReception(NodeId receiver, uint64_t uid,
+                      std::shared_ptr<const Packet> packet);
+  void EndReception(NodeId receiver, uint64_t uid);
+
+  sim::Simulator* sim_;
+  const Topology* topology_;
+  PhyConfig config_;
+  CounterBoard* counters_;
+  uint64_t next_uid_ = 1;
+  std::vector<DeliveryHandler> delivery_;
+  OverhearHandler overhear_;
+  std::vector<std::vector<ActiveReception>> active_rx_;  // Per receiver.
+  std::vector<sim::SimTime> tx_until_;                   // Per node.
+  std::vector<bool> failed_;                             // Crashed nodes.
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_CHANNEL_H_

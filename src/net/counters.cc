@@ -1,0 +1,30 @@
+#include "net/counters.h"
+
+namespace ipda::net {
+
+NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
+  frames_sent += other.frames_sent;
+  bytes_sent += other.bytes_sent;
+  ack_frames_sent += other.ack_frames_sent;
+  ack_bytes_sent += other.ack_bytes_sent;
+  frames_delivered += other.frames_delivered;
+  bytes_delivered += other.bytes_delivered;
+  frames_collided += other.frames_collided;
+  frames_missed_tx += other.frames_missed_tx;
+  mac_drops += other.mac_drops;
+  energy_tx_j += other.energy_tx_j;
+  energy_rx_j += other.energy_rx_j;
+  return *this;
+}
+
+NodeCounters CounterBoard::Totals() const {
+  NodeCounters total;
+  for (const auto& c : per_node_) total += c;
+  return total;
+}
+
+void CounterBoard::Reset() {
+  for (auto& c : per_node_) c = NodeCounters{};
+}
+
+}  // namespace ipda::net

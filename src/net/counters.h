@@ -1,0 +1,53 @@
+// Per-node and network-wide traffic counters.
+//
+// Fig. 7 plots total bytes transmitted; Fig. 8's accuracy loss partially
+// comes from collisions, so both are first-class counters here.
+
+#ifndef IPDA_NET_COUNTERS_H_
+#define IPDA_NET_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace ipda::net {
+
+struct NodeCounters {
+  uint64_t frames_sent = 0;      // All transmissions, ACKs included.
+  uint64_t bytes_sent = 0;
+  uint64_t ack_frames_sent = 0;  // MAC-layer ACK subset of the above.
+  uint64_t ack_bytes_sent = 0;
+  uint64_t frames_delivered = 0;   // Passed up to the application.
+  uint64_t bytes_delivered = 0;
+  uint64_t frames_collided = 0;    // Corrupted at this receiver.
+  uint64_t frames_missed_tx = 0;   // Lost because receiver was transmitting.
+  uint64_t mac_drops = 0;          // Gave up after max CSMA attempts.
+  double energy_tx_j = 0.0;        // Radio energy spent transmitting.
+  double energy_rx_j = 0.0;        // Radio energy spent receiving.
+
+  double TotalEnergyJ() const { return energy_tx_j + energy_rx_j; }
+
+  NodeCounters& operator+=(const NodeCounters& other);
+};
+
+class CounterBoard {
+ public:
+  explicit CounterBoard(size_t node_count) : per_node_(node_count) {}
+
+  NodeCounters& at(NodeId id) { return per_node_[id]; }
+  const NodeCounters& at(NodeId id) const { return per_node_[id]; }
+  size_t node_count() const { return per_node_.size(); }
+
+  // Sum over all nodes.
+  NodeCounters Totals() const;
+
+  void Reset();
+
+ private:
+  std::vector<NodeCounters> per_node_;
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_COUNTERS_H_

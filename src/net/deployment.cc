@@ -1,0 +1,71 @@
+#include "net/deployment.h"
+
+#include <cmath>
+
+namespace ipda::net {
+namespace {
+
+util::Status ValidateConfig(const DeploymentConfig& config) {
+  if (config.node_count < 2) {
+    return util::InvalidArgumentError("deployment needs at least 2 nodes");
+  }
+  if (config.area.width <= 0.0 || config.area.height <= 0.0) {
+    return util::InvalidArgumentError("deployment area must be positive");
+  }
+  return util::OkStatus();
+}
+
+Point2D BaseStationPosition(const DeploymentConfig& config, util::Rng& rng) {
+  switch (config.base_station) {
+    case BaseStationPlacement::kCenter:
+      return config.area.Center();
+    case BaseStationPlacement::kCorner:
+      return Point2D{0.0, 0.0};
+    case BaseStationPlacement::kRandom:
+      return Point2D{rng.UniformDouble(0.0, config.area.width),
+                     rng.UniformDouble(0.0, config.area.height)};
+  }
+  return config.area.Center();
+}
+
+}  // namespace
+
+util::Result<std::vector<Point2D>> UniformDeployment(
+    const DeploymentConfig& config, util::Rng& rng) {
+  IPDA_RETURN_IF_ERROR(ValidateConfig(config));
+  std::vector<Point2D> positions;
+  positions.reserve(config.node_count);
+  positions.push_back(BaseStationPosition(config, rng));
+  for (size_t i = 1; i < config.node_count; ++i) {
+    positions.push_back(Point2D{rng.UniformDouble(0.0, config.area.width),
+                                rng.UniformDouble(0.0, config.area.height)});
+  }
+  return positions;
+}
+
+util::Result<std::vector<Point2D>> GridDeployment(
+    const DeploymentConfig& config) {
+  IPDA_RETURN_IF_ERROR(ValidateConfig(config));
+  const size_t side =
+      static_cast<size_t>(std::floor(std::sqrt(
+          static_cast<double>(config.node_count))));
+  const size_t count = side * side;
+  const double dx = config.area.width / static_cast<double>(side + 1);
+  const double dy = config.area.height / static_cast<double>(side + 1);
+  std::vector<Point2D> positions;
+  positions.reserve(count);
+  for (size_t row = 0; row < side; ++row) {
+    for (size_t col = 0; col < side; ++col) {
+      positions.push_back(Point2D{dx * static_cast<double>(col + 1),
+                                  dy * static_cast<double>(row + 1)});
+    }
+  }
+  if (config.base_station == BaseStationPlacement::kCenter) {
+    positions[0] = config.area.Center();
+  } else if (config.base_station == BaseStationPlacement::kCorner) {
+    positions[0] = Point2D{0.0, 0.0};
+  }
+  return positions;
+}
+
+}  // namespace ipda::net

@@ -1,0 +1,42 @@
+// Sensor placement over the deployment area.
+//
+// The paper's evaluation deploys N nodes uniformly at random over a
+// 400 m x 400 m square; the base station is node 0. A grid layout is also
+// provided for tests that want predictable neighborhoods.
+
+#ifndef IPDA_NET_DEPLOYMENT_H_
+#define IPDA_NET_DEPLOYMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "net/geometry.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ipda::net {
+
+enum class BaseStationPlacement {
+  kCenter,   // Middle of the area (default; maximizes connectivity).
+  kCorner,   // Origin corner.
+  kRandom,   // Uniform like every other node.
+};
+
+struct DeploymentConfig {
+  Area area{400.0, 400.0};     // Meters; the paper's evaluation area.
+  size_t node_count = 400;     // Including the base station.
+  BaseStationPlacement base_station = BaseStationPlacement::kCenter;
+};
+
+// Uniform-random placement. positions[0] is the base station.
+util::Result<std::vector<Point2D>> UniformDeployment(
+    const DeploymentConfig& config, util::Rng& rng);
+
+// Evenly spaced grid (row-major), base station at index 0 per `config`.
+// node_count is rounded down to the largest full grid.
+util::Result<std::vector<Point2D>> GridDeployment(
+    const DeploymentConfig& config);
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_DEPLOYMENT_H_

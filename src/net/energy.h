@@ -1,0 +1,36 @@
+// First-order radio energy model (Heinzelman et al., the standard WSN
+// accounting): transmitting k bits over distance d costs
+//   E_tx = E_elec·k + ε_amp·k·d²,
+// receiving k bits costs E_rx = E_elec·k. The paper motivates aggregation
+// by energy ("save resource consumptions and increase the lifetime of
+// WSNs"); this model turns the byte counters into joules so protocols can
+// be compared on lifetime, not just bandwidth.
+
+#ifndef IPDA_NET_ENERGY_H_
+#define IPDA_NET_ENERGY_H_
+
+#include <cstddef>
+
+namespace ipda::net {
+
+struct EnergyModel {
+  double e_elec_j_per_bit = 50e-9;     // Electronics: 50 nJ/bit.
+  double e_amp_j_per_bit_m2 = 100e-12; // Amplifier: 100 pJ/bit/m².
+
+  // Cost of clocking out `bytes` at transmit power reaching `range` m.
+  double TxCost(size_t bytes, double range_m) const {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return e_elec_j_per_bit * bits +
+           e_amp_j_per_bit_m2 * bits * range_m * range_m;
+  }
+
+  // Cost of receiving `bytes` (paid for every frame on the air in range,
+  // corrupted or not — the radio listens regardless).
+  double RxCost(size_t bytes) const {
+    return e_elec_j_per_bit * static_cast<double>(bytes) * 8.0;
+  }
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_ENERGY_H_

@@ -1,0 +1,17 @@
+#include "net/geometry.h"
+
+#include <cmath>
+
+namespace ipda::net {
+
+double DistanceSquared(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+}  // namespace ipda::net

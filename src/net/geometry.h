@@ -1,0 +1,33 @@
+// 2-D geometry primitives for node placement.
+
+#ifndef IPDA_NET_GEOMETRY_H_
+#define IPDA_NET_GEOMETRY_H_
+
+namespace ipda::net {
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D& a, const Point2D& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+double DistanceSquared(const Point2D& a, const Point2D& b);
+double Distance(const Point2D& a, const Point2D& b);
+
+// Axis-aligned rectangle with corner at the origin.
+struct Area {
+  double width = 0.0;
+  double height = 0.0;
+
+  bool Contains(const Point2D& p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+  Point2D Center() const { return Point2D{width / 2.0, height / 2.0}; }
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_GEOMETRY_H_

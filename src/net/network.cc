@@ -1,0 +1,21 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace ipda::net {
+
+Network::Network(sim::Simulator* sim, Topology topology, PhyConfig phy_config,
+                 MacConfig mac_config)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      counters_(topology_.node_count()),
+      channel_(sim, &topology_, phy_config, &counters_) {
+  nodes_.reserve(topology_.node_count());
+  for (NodeId id = 0; id < topology_.node_count(); ++id) {
+    nodes_.push_back(std::make_unique<Node>(
+        id, sim, &channel_, &counters_, sim->ForkRng("node", id),
+        mac_config));
+  }
+}
+
+}  // namespace ipda::net

@@ -1,0 +1,31 @@
+#include "net/node.h"
+
+#include <utility>
+
+namespace ipda::net {
+
+Node::Node(NodeId id, sim::Simulator* sim, Channel* channel,
+           CounterBoard* counters, util::Rng rng,
+           const MacConfig& mac_config)
+    : id_(id),
+      sim_(sim),
+      rng_(std::move(rng)),
+      mac_(sim, channel, counters, id, rng_.Fork("mac"), mac_config) {}
+
+void Node::Broadcast(PacketType type, util::Bytes payload) {
+  Packet packet;
+  packet.dst = kBroadcastId;
+  packet.type = type;
+  packet.payload = std::move(payload);
+  Send(std::move(packet));
+}
+
+void Node::Unicast(NodeId dst, PacketType type, util::Bytes payload) {
+  Packet packet;
+  packet.dst = dst;
+  packet.type = type;
+  packet.payload = std::move(payload);
+  Send(std::move(packet));
+}
+
+}  // namespace ipda::net

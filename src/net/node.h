@@ -1,0 +1,54 @@
+// A sensor node: id + position + radio (MAC). Protocol logic attaches via
+// the receive handler rather than subclassing, so one Network instance can
+// host TAG, iPDA, or both across experiments.
+
+#ifndef IPDA_NET_NODE_H_
+#define IPDA_NET_NODE_H_
+
+#include <memory>
+
+#include "net/mac.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ipda::net {
+
+class Node {
+ public:
+  Node(NodeId id, sim::Simulator* sim, Channel* channel,
+       CounterBoard* counters, util::Rng rng, const MacConfig& mac_config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  bool IsBaseStation() const { return id_ == kBaseStationId; }
+
+  // Queues a frame; src is stamped with this node's id by the MAC.
+  void Send(Packet packet) { mac_.Send(std::move(packet)); }
+
+  // Convenience: broadcast `payload` with the given type.
+  void Broadcast(PacketType type, util::Bytes payload);
+  // Convenience: addressed frame (still physically overhearable).
+  void Unicast(NodeId dst, PacketType type, util::Bytes payload);
+
+  void SetReceiveHandler(CsmaMac::ReceiveHandler handler) {
+    mac_.SetReceiveHandler(std::move(handler));
+  }
+
+  CsmaMac& mac() { return mac_; }
+  util::Rng& rng() { return rng_; }
+  sim::Simulator& sim() { return *sim_; }
+
+ private:
+  NodeId id_;
+  sim::Simulator* sim_;
+  util::Rng rng_;
+  CsmaMac mac_;
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_NODE_H_

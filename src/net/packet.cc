@@ -1,0 +1,23 @@
+#include "net/packet.h"
+
+namespace ipda::net {
+
+std::string PacketTypeName(PacketType type) {
+  switch (type) {
+    case PacketType::kHello:
+      return "HELLO";
+    case PacketType::kSlice:
+      return "SLICE";
+    case PacketType::kAggregate:
+      return "AGGREGATE";
+    case PacketType::kQuery:
+      return "QUERY";
+    case PacketType::kControl:
+      return "CONTROL";
+    case PacketType::kAck:
+      return "ACK";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ipda::net

@@ -1,0 +1,50 @@
+// Over-the-air frame model with byte accounting.
+//
+// Every transmission is physically a broadcast; `dst` is a filter applied by
+// receivers (kBroadcastId accepts everywhere). `size_bytes()` drives both
+// airtime (1 Mbps in the paper) and the communication-overhead metrics of
+// Fig. 7, so the header size is part of the model, not cosmetics.
+
+#ifndef IPDA_NET_PACKET_H_
+#define IPDA_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.h"
+#include "util/bytes.h"
+
+namespace ipda::net {
+
+// Protocol-level frame kinds. The net layer does not interpret these; they
+// exist so protocol code and traces can dispatch without peeking payloads.
+enum class PacketType : uint8_t {
+  kHello = 1,        // Tree-construction flood (TAG and iPDA Phase I).
+  kSlice = 2,        // Encrypted data slice (iPDA Phase II).
+  kAggregate = 3,    // Intermediate aggregation result (Phase III / TAG).
+  kQuery = 4,        // Base-station query dissemination.
+  kControl = 5,      // Anything else (localization control, etc.).
+  kAck = 6,          // Link-layer acknowledgement (MAC-internal).
+};
+
+std::string PacketTypeName(PacketType type);
+
+// Fixed per-frame overhead: 2B frame control + 1B type + 4B src + 4B dst +
+// 2B sequence + 2B length + 2B CRC = 17 bytes, a TinyOS-like framing.
+constexpr size_t kFrameHeaderBytes = 17;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = kBroadcastId;
+  PacketType type = PacketType::kControl;
+  util::Bytes payload;
+  uint64_t uid = 0;  // Assigned by the channel at transmission time.
+  uint64_t seq = 0;  // Sender-MAC sequence; stable across retransmissions.
+
+  size_t size_bytes() const { return kFrameHeaderBytes + payload.size(); }
+  bool IsBroadcast() const { return dst == kBroadcastId; }
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_PACKET_H_

@@ -1,0 +1,120 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+
+namespace ipda::net {
+
+util::Result<Topology> Topology::Build(std::vector<Point2D> positions,
+                                       double range) {
+  if (range <= 0.0) {
+    return util::InvalidArgumentError("transmission range must be positive");
+  }
+  if (positions.empty()) {
+    return util::InvalidArgumentError("topology needs at least one node");
+  }
+  const size_t n = positions.size();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  const double range_sq = range * range;
+  // O(n^2) pair scan; fine for the paper's N <= 1000 scale.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (DistanceSquared(positions[i], positions[j]) <= range_sq) {
+        adjacency[i].push_back(static_cast<NodeId>(j));
+        adjacency[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  return Topology(std::move(positions), range, std::move(adjacency));
+}
+
+util::Result<Topology> Topology::RandomGeometric(
+    const DeploymentConfig& config, double range, util::Rng& rng) {
+  IPDA_ASSIGN_OR_RETURN(std::vector<Point2D> positions,
+                        UniformDeployment(config, rng));
+  return Build(std::move(positions), range);
+}
+
+util::Result<Topology> Topology::RegularRing(size_t n, size_t d) {
+  if (d == 0 || d % 2 != 0 || d >= n) {
+    return util::InvalidArgumentError(
+        "regular ring requires even degree d with 0 < d < n");
+  }
+  constexpr double kRadius = 1000.0;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  std::vector<Point2D> positions;
+  positions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double theta = kTwoPi * static_cast<double>(i) /
+                         static_cast<double>(n);
+    positions.push_back(
+        Point2D{kRadius * std::cos(theta), kRadius * std::sin(theta)});
+  }
+  std::vector<std::vector<NodeId>> adjacency(n);
+  const size_t half = d / 2;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 1; k <= half; ++k) {
+      const NodeId fwd = static_cast<NodeId>((i + k) % n);
+      adjacency[i].push_back(fwd);
+      adjacency[fwd].push_back(static_cast<NodeId>(i));
+    }
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  // Range is nominal here: adjacency was constructed directly.
+  return Topology(std::move(positions), 1.0, std::move(adjacency));
+}
+
+bool Topology::AreNeighbors(NodeId a, NodeId b) const {
+  IPDA_DCHECK(a < node_count() && b < node_count());
+  const auto& list = adjacency_[a];
+  return std::find(list.begin(), list.end(), b) != list.end();
+}
+
+double Topology::AverageDegree() const {
+  if (positions_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+size_t Topology::MinDegree() const {
+  size_t best = SIZE_MAX;
+  for (const auto& list : adjacency_) best = std::min(best, list.size());
+  return best == SIZE_MAX ? 0 : best;
+}
+
+size_t Topology::MaxDegree() const {
+  size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+std::vector<uint32_t> Topology::HopCounts() const {
+  std::vector<uint32_t> hops(node_count(), UINT32_MAX);
+  std::queue<NodeId> frontier;
+  hops[kBaseStationId] = 0;
+  frontier.push(kBaseStationId);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (hops[v] == UINT32_MAX) {
+        hops[v] = hops[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+bool Topology::IsConnected() const {
+  for (uint32_t h : HopCounts()) {
+    if (h == UINT32_MAX) return false;
+  }
+  return true;
+}
+
+}  // namespace ipda::net

@@ -1,0 +1,76 @@
+// Connectivity graph over deployed nodes.
+//
+// Two nodes share a (bidirectional) wireless link iff their distance is at
+// most the transmission range — the unit-disk model the paper assumes.
+// Node ids index into the position vector; id 0 is the base station.
+
+#ifndef IPDA_NET_TOPOLOGY_H_
+#define IPDA_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/deployment.h"
+#include "net/geometry.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ipda::net {
+
+using NodeId = uint32_t;
+constexpr NodeId kBaseStationId = 0;
+constexpr NodeId kBroadcastId = UINT32_MAX;
+
+class Topology {
+ public:
+  // Builds the unit-disk graph; range must be positive.
+  static util::Result<Topology> Build(std::vector<Point2D> positions,
+                                      double range);
+
+  // Uniform-random deployment + unit-disk graph in one call.
+  static util::Result<Topology> RandomGeometric(
+      const DeploymentConfig& config, double range, util::Rng& rng);
+
+  // A ring lattice where every node links to its d/2 nearest neighbors on
+  // each side: the "d-regular graph" used in the paper's analysis examples.
+  // Requires d even, 0 < d < n. Positions are placed on a circle.
+  static util::Result<Topology> RegularRing(size_t n, size_t d);
+
+  size_t node_count() const { return positions_.size(); }
+  double range() const { return range_; }
+  const std::vector<Point2D>& positions() const { return positions_; }
+  const Point2D& position(NodeId id) const { return positions_[id]; }
+
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_[id];
+  }
+  size_t degree(NodeId id) const { return adjacency_[id].size(); }
+  bool AreNeighbors(NodeId a, NodeId b) const;
+
+  // Mean degree over all nodes.
+  double AverageDegree() const;
+  size_t MinDegree() const;
+  size_t MaxDegree() const;
+
+  // True if every node can reach the base station.
+  bool IsConnected() const;
+
+  // Hop distance from the base station to every node (UINT32_MAX if
+  // unreachable).
+  std::vector<uint32_t> HopCounts() const;
+
+ private:
+  Topology(std::vector<Point2D> positions, double range,
+           std::vector<std::vector<NodeId>> adjacency)
+      : positions_(std::move(positions)),
+        range_(range),
+        adjacency_(std::move(adjacency)) {}
+
+  std::vector<Point2D> positions_;
+  double range_ = 0.0;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_TOPOLOGY_H_

@@ -1,0 +1,66 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::sim {
+
+EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
+  IPDA_CHECK_GE(at, now_);
+  IPDA_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  IPDA_CHECK_GE(delay, 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void Scheduler::SkipCancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Scheduler::RunOne() {
+  SkipCancelled();
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  pending_.erase(entry.id);
+  IPDA_CHECK_GE(entry.at, now_);
+  now_ = entry.at;
+  ++events_run_;
+  entry.fn();
+  return true;
+}
+
+size_t Scheduler::RunUntil(SimTime deadline) {
+  size_t n = 0;
+  for (;;) {
+    SkipCancelled();
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    if (!RunOne()) break;
+    ++n;
+  }
+  return n;
+}
+
+size_t Scheduler::RunAll() { return RunUntil(kSimTimeNever); }
+
+}  // namespace ipda::sim

@@ -1,0 +1,86 @@
+// Event queue for the discrete-event kernel.
+//
+// Events are closures ordered by (time, insertion sequence); ties at the
+// same timestamp run in scheduling order, which makes simulations
+// deterministic. Scheduled events can be cancelled through their EventId.
+
+#ifndef IPDA_SIM_SCHEDULER_H_
+#define IPDA_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ipda::sim {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Schedules `fn` at absolute time `at` (must be >= now). Returns a handle
+  // usable with Cancel().
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` after a non-negative delay from now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already ran, was already
+  // cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs the earliest pending event, advancing the clock. Returns false if
+  // the queue is empty.
+  bool RunOne();
+
+  // Runs events until the queue is empty or the clock would pass `deadline`
+  // (events at exactly `deadline` run). Returns the number of events run.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs everything. Returns the number of events run.
+  size_t RunAll();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return pending_.empty(); }
+  size_t pending() const { return pending_.size(); }
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops queue entries whose ids were cancelled. Ensures queue_.top() (when
+  // non-empty) is a live event.
+  void SkipCancelled();
+
+  SimTime now_ = kSimTimeZero;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<EventId> pending_;    // Scheduled, not yet run/cancelled.
+  std::unordered_set<EventId> cancelled_;  // Tombstones awaiting pop.
+};
+
+}  // namespace ipda::sim
+
+#endif  // IPDA_SIM_SCHEDULER_H_

@@ -1,0 +1,15 @@
+#include "sim/simulator.h"
+
+namespace ipda::sim {
+
+Simulator::Simulator(uint64_t seed) : seed_(seed), root_rng_(seed) {}
+
+util::Rng Simulator::ForkRng(std::string_view label) const {
+  return root_rng_.Fork(label);
+}
+
+util::Rng Simulator::ForkRng(std::string_view label, uint64_t index) const {
+  return root_rng_.Fork(label).Fork(index);
+}
+
+}  // namespace ipda::sim

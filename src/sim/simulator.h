@@ -1,0 +1,55 @@
+// Simulator: the per-run simulation context shared by every component.
+//
+// Owns the scheduler and the root Rng; components fork label-addressed
+// child streams so random draws stay independent across subsystems.
+
+#ifndef IPDA_SIM_SIMULATOR_H_
+#define IPDA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+#include "util/random.h"
+
+namespace ipda::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  SimTime now() const { return scheduler_.now(); }
+  uint64_t seed() const { return seed_; }
+
+  // Independent random stream for the named subsystem.
+  util::Rng ForkRng(std::string_view label) const;
+  // Independent random stream for (subsystem, index), e.g. per node.
+  util::Rng ForkRng(std::string_view label, uint64_t index) const;
+
+  // Convenience passthroughs.
+  EventId At(SimTime t, std::function<void()> fn) {
+    return scheduler_.ScheduleAt(t, std::move(fn));
+  }
+  EventId After(SimTime delay, std::function<void()> fn) {
+    return scheduler_.ScheduleAfter(delay, std::move(fn));
+  }
+  size_t RunUntil(SimTime deadline) { return scheduler_.RunUntil(deadline); }
+  size_t RunAll() { return scheduler_.RunAll(); }
+
+ private:
+  uint64_t seed_;
+  util::Rng root_rng_;
+  Scheduler scheduler_;
+};
+
+}  // namespace ipda::sim
+
+#endif  // IPDA_SIM_SIMULATOR_H_

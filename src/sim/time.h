@@ -1,0 +1,31 @@
+// Simulated time as integer nanoseconds. Integer time keeps event ordering
+// exact and runs bit-identical across platforms, unlike double seconds.
+
+#ifndef IPDA_SIM_TIME_H_
+#define IPDA_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ipda::sim {
+
+// A point or span on the simulation clock, in nanoseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kSimTimeZero = 0;
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime Nanoseconds(int64_t n) { return n; }
+constexpr SimTime Microseconds(int64_t n) { return n * 1000; }
+constexpr SimTime Milliseconds(int64_t n) { return n * 1000 * 1000; }
+constexpr SimTime Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+// Converts a real-valued second count; rounds toward zero.
+constexpr SimTime SecondsF(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace ipda::sim
+
+#endif  // IPDA_SIM_TIME_H_

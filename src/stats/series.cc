@@ -1,0 +1,50 @@
+#include "stats/series.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace ipda::stats {
+
+void SeriesSet::Add(const std::string& series, double x, double y) {
+  if (data_.find(series) == data_.end()) order_.push_back(series);
+  data_[series][x] = y;
+}
+
+std::vector<std::string> SeriesSet::SeriesNames() const { return order_; }
+
+std::vector<double> SeriesSet::XValues() const {
+  std::set<double> xs;
+  for (const auto& [name, points] : data_) {
+    for (const auto& [x, y] : points) xs.insert(x);
+  }
+  return std::vector<double>(xs.begin(), xs.end());
+}
+
+double SeriesSet::At(const std::string& series, double x) const {
+  auto it = data_.find(series);
+  if (it == data_.end()) return std::numeric_limits<double>::quiet_NaN();
+  auto jt = it->second.find(x);
+  if (jt == it->second.end()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return jt->second;
+}
+
+Table SeriesSet::ToTable(const std::string& x_label, int precision) const {
+  std::vector<std::string> columns{x_label};
+  for (const std::string& name : order_) columns.push_back(name);
+  Table table(std::move(columns));
+  for (double x : XValues()) {
+    std::vector<std::string> row;
+    row.push_back(FormatDouble(x, x == std::floor(x) ? 0 : precision));
+    for (const std::string& name : order_) {
+      const double y = At(name, x);
+      row.push_back(std::isnan(y) ? "-" : FormatDouble(y, precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ipda::stats

@@ -1,0 +1,39 @@
+// Named (x, y) series — the in-memory form of a paper figure. Benches fill
+// one SeriesSet per figure and render it as a column table whose first
+// column is x and one column per series, matching how the paper plots
+// multiple protocols over network size.
+
+#ifndef IPDA_STATS_SERIES_H_
+#define IPDA_STATS_SERIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/table.h"
+
+namespace ipda::stats {
+
+class SeriesSet {
+ public:
+  // x values are keyed exactly (benches use integer sweep points).
+  void Add(const std::string& series, double x, double y);
+
+  std::vector<std::string> SeriesNames() const;
+  std::vector<double> XValues() const;
+
+  // y for (series, x); NaN when absent.
+  double At(const std::string& series, double x) const;
+
+  // Tabulates: first column `x_label`, then one column per series (in
+  // first-insertion order).
+  Table ToTable(const std::string& x_label, int precision = 3) const;
+
+ private:
+  std::vector<std::string> order_;                    // Insertion order.
+  std::map<std::string, std::map<double, double>> data_;
+};
+
+}  // namespace ipda::stats
+
+#endif  // IPDA_STATS_SERIES_H_

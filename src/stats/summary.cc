@@ -1,0 +1,39 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipda::stats {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const { return count_ == 0 ? 0.0 : min_; }
+double Summary::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::stderr_mean() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Summary::ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+
+}  // namespace ipda::stats

@@ -1,0 +1,39 @@
+// Streaming summary statistics (Welford) and confidence intervals for
+// Monte-Carlo experiment aggregation.
+
+#ifndef IPDA_STATS_SUMMARY_H_
+#define IPDA_STATS_SUMMARY_H_
+
+#include <cstddef>
+
+namespace ipda::stats {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const;
+  double max() const;
+  // Sample variance (n−1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderr_mean() const;
+  // Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ipda::stats
+
+#endif  // IPDA_STATS_SUMMARY_H_

@@ -1,0 +1,88 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ipda::stats {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  IPDA_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  IPDA_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  append_row(columns_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  append_row(columns_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void Table::PrintTo(std::FILE* out) const {
+  const std::string text = ToText();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+std::string FormatInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatMeanCi(double mean, double ci, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, mean, precision,
+                ci);
+  return buf;
+}
+
+}  // namespace ipda::stats

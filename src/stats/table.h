@@ -1,0 +1,44 @@
+// Experiment table builder: benches assemble rows and print them aligned
+// (paper-style) and optionally as CSV for replotting.
+
+#ifndef IPDA_STATS_TABLE_H_
+#define IPDA_STATS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ipda::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Cells are preformatted strings; helpers below format numbers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return columns_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  // Aligned text rendering with a header rule.
+  std::string ToText() const;
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  void PrintTo(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string FormatInt(long long v);
+std::string FormatDouble(double v, int precision = 3);
+// Mean with 95% CI half-width, e.g. "0.962 ±0.011".
+std::string FormatMeanCi(double mean, double ci, int precision = 3);
+
+}  // namespace ipda::stats
+
+#endif  // IPDA_STATS_TABLE_H_

@@ -1,0 +1,272 @@
+// ipda_sim: command-line driver for one-off aggregation experiments.
+//
+//   $ ipda_sim --protocol=ipda --nodes=500 --function=average --l=2
+//              [--runs=10 --seed=1 --csv]
+//   $ ipda_sim --protocol=tag --nodes=300 --function=sum
+//   $ ipda_sim --nodes=400 --dot-out=/tmp/trees.dot   # Render with neato.
+//
+// Prints one row per run plus a summary; --csv switches to
+// machine-readable output.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "agg/aggregate_function.h"
+#include "agg/export.h"
+#include "agg/kipda/kipda_protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace ipda {
+namespace {
+
+std::unique_ptr<agg::AggregateFunction> MakeFunction(
+    const std::string& name) {
+  if (name == "count") return agg::MakeCount();
+  if (name == "sum") return agg::MakeSum();
+  if (name == "average") return agg::MakeAverage();
+  if (name == "variance") return agg::MakeVariance();
+  if (name == "max") return agg::MakePowerMeanExtremum(32.0);
+  if (name == "min") return agg::MakePowerMeanExtremum(-32.0);
+  return nullptr;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagSet flags;
+  flags.DefineString("protocol", "ipda",
+                     "ipda | tag | smart | cpda | kipda (max/min only)");
+  flags.DefineInt("nodes", 400, "deployment size incl. base station");
+  flags.DefineDouble("area", 400.0, "square side in meters");
+  flags.DefineDouble("range", 50.0, "radio range in meters");
+  flags.DefineString("function", "count",
+                     "count|sum|average|variance|max|min");
+  flags.DefineDouble("reading-lo", 15.0, "uniform sensor reading lower");
+  flags.DefineDouble("reading-hi", 30.0, "uniform sensor reading upper");
+  flags.DefineInt("l", 2, "iPDA slices per reading");
+  flags.DefineDouble("th", 5.0, "iPDA acceptance threshold Th");
+  flags.DefineDouble("slice-range", 0.0,
+                     "slice noise range (0 = auto from readings)");
+  flags.DefineBool("adaptive", false, "adaptive role probabilities (Eq.1)");
+  flags.DefineBool("impatient", false, "impatient-join extension");
+  flags.DefineBool("encrypt", true, "link-encrypt slices");
+  flags.DefineInt("runs", 5, "independent runs");
+  flags.DefineInt("seed", 1, "base seed (run i uses seed+i)");
+  flags.DefineBool("csv", false, "machine-readable output");
+  flags.DefineString("dot-out", "",
+                     "write the constructed trees as Graphviz DOT "
+                     "(ipda, first run only)");
+  flags.DefineString("roles-out", "",
+                     "write per-node roles as CSV (ipda, first run only)");
+  flags.DefineBool("help", false, "show usage");
+
+  if (auto status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.Usage(argv[0]).c_str(), stdout);
+    return 0;
+  }
+
+  const std::string protocol = flags.GetString("protocol");
+  auto function = MakeFunction(flags.GetString("function"));
+  if (function == nullptr) {
+    std::fprintf(stderr, "unknown --function=%s\n",
+                 flags.GetString("function").c_str());
+    return 2;
+  }
+  const bool counting = flags.GetString("function") == "count";
+  auto field = counting
+                   ? agg::MakeConstantField(1.0)
+                   : agg::MakeUniformField(
+                         flags.GetDouble("reading-lo"),
+                         flags.GetDouble("reading-hi"),
+                         static_cast<uint64_t>(flags.GetInt("seed")));
+
+  agg::RunConfig config;
+  config.deployment.node_count =
+      static_cast<size_t>(flags.GetInt("nodes"));
+  config.deployment.area =
+      net::Area{flags.GetDouble("area"), flags.GetDouble("area")};
+  config.range = flags.GetDouble("range");
+
+  agg::IpdaConfig ipda;
+  ipda.slice_count = static_cast<uint32_t>(flags.GetInt("l"));
+  ipda.threshold = flags.GetDouble("th");
+  ipda.adaptive_roles = flags.GetBool("adaptive");
+  ipda.impatient_join = flags.GetBool("impatient");
+  ipda.encrypt_slices = flags.GetBool("encrypt");
+  const double slice_range = flags.GetDouble("slice-range");
+  ipda.slice_range = slice_range > 0.0
+                         ? slice_range
+                         : (counting ? 1.0 : flags.GetDouble("reading-hi"));
+
+  const bool csv = flags.GetBool("csv");
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs"));
+  stats::Summary accuracy, bytes, result_summary;
+  size_t accepted = 0;
+  if (csv) {
+    std::printf("run,seed,result,truth,accuracy,accepted,bytes\n");
+  }
+  for (size_t r = 0; r < runs; ++r) {
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed")) + r;
+    double result_value = 0.0, truth = 0.0, acc = 0.0;
+    uint64_t run_bytes = 0;
+    bool run_accepted = true;
+    if (protocol == "tag") {
+      auto run = agg::RunTag(config, *function, *field);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      result_value = run->result;
+      truth = function->Finalize(run->true_acc);
+      acc = run->accuracy;
+      run_bytes = run->traffic.bytes_sent;
+    } else if (protocol == "smart") {
+      agg::SmartConfig smart;
+      smart.slice_count =
+          static_cast<uint32_t>(flags.GetInt("l")) + 1;  // J = l+1 pieces.
+      smart.slice_range = ipda.slice_range;
+      smart.encrypt_slices = ipda.encrypt_slices;
+      auto run = agg::RunSmart(config, *function, *field, smart);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      result_value = run->result;
+      truth = function->Finalize(run->true_acc);
+      acc = run->accuracy;
+      run_bytes = run->traffic.bytes_sent;
+    } else if (protocol == "cpda") {
+      agg::CpdaConfig cpda;
+      cpda.encrypt_shares = ipda.encrypt_slices;
+      auto run = agg::RunCpda(config, *function, *field, cpda);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      result_value = run->result;
+      truth = function->Finalize(run->true_acc);
+      acc = run->accuracy;
+      run_bytes = run->traffic.bytes_sent;
+    } else if (protocol == "kipda") {
+      const std::string fn = flags.GetString("function");
+      if (fn != "max" && fn != "min") {
+        std::fprintf(stderr, "kipda computes max or min only\n");
+        return 2;
+      }
+      auto topology = agg::BuildRunTopology(config);
+      if (!topology.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     topology.status().ToString().c_str());
+        return 1;
+      }
+      sim::Simulator simulator(config.seed);
+      net::Network network(&simulator, std::move(*topology));
+      agg::KipdaConfig kipda;
+      kipda.maximize = fn == "max";
+      kipda.value_floor = flags.GetDouble("reading-lo") - 1.0;
+      kipda.value_ceiling = flags.GetDouble("reading-hi") + 1.0;
+      const auto readings = field->Sample(network.topology());
+      agg::KipdaProtocol live(&network, kipda);
+      live.SetReadings(readings);
+      live.Start();
+      simulator.RunUntil(live.Duration());
+      result_value = live.FinalizedResult();
+      truth = kipda.maximize ? kipda.value_floor : kipda.value_ceiling;
+      for (size_t i = 1; i < readings.size(); ++i) {
+        truth = kipda.maximize ? std::max(truth, readings[i])
+                               : std::min(truth, readings[i]);
+      }
+      acc = truth != 0.0 ? result_value / truth : 0.0;
+      run_bytes = network.counters().Totals().bytes_sent;
+    } else if (protocol == "ipda") {
+      auto run = agg::RunIpda(config, *function, *field, ipda);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      result_value = run->result;
+      truth = function->Finalize(run->true_acc);
+      acc = run->accuracy;
+      run_bytes = run->traffic.bytes_sent;
+      run_accepted = run->stats.decision.accepted;
+      if (r == 0 && (!flags.GetString("dot-out").empty() ||
+                     !flags.GetString("roles-out").empty())) {
+        // Re-run with direct protocol access for the exports.
+        auto topology = agg::BuildRunTopology(config);
+        if (!topology.ok()) return 1;
+        sim::Simulator simulator(config.seed);
+        net::Network network(&simulator, std::move(*topology));
+        agg::IpdaProtocol live(&network, function.get(), ipda);
+        live.SetReadings(field->Sample(network.topology()));
+        live.Start();
+        simulator.RunUntil(live.Duration());
+        live.Finish();
+        if (const std::string path = flags.GetString("dot-out");
+            !path.empty()) {
+          auto status = agg::WriteTextFile(
+              path, agg::IpdaTreesToDot(live, network.topology()));
+          if (!status.ok()) {
+            std::fprintf(stderr, "%s\n", status.ToString().c_str());
+            return 1;
+          }
+        }
+        if (const std::string path = flags.GetString("roles-out");
+            !path.empty()) {
+          auto status = agg::WriteTextFile(
+              path, agg::IpdaRolesToCsv(live, network.topology()));
+          if (!status.ok()) {
+            std::fprintf(stderr, "%s\n", status.ToString().c_str());
+            return 1;
+          }
+        }
+      }
+    } else {
+      std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
+      return 2;
+    }
+    accuracy.Add(acc);
+    bytes.Add(static_cast<double>(run_bytes));
+    result_summary.Add(result_value);
+    accepted += run_accepted ? 1 : 0;
+    if (csv) {
+      std::printf("%zu,%llu,%.6f,%.6f,%.6f,%d,%llu\n", r,
+                  static_cast<unsigned long long>(config.seed),
+                  result_value, truth, acc, run_accepted ? 1 : 0,
+                  static_cast<unsigned long long>(run_bytes));
+    } else {
+      std::printf("run %2zu: %s = %.4f (truth %.4f, accuracy %.4f) %s, "
+                  "%llu bytes\n",
+                  r, function->name().c_str(), result_value, truth, acc,
+                  run_accepted ? "accepted" : "REJECTED",
+                  static_cast<unsigned long long>(run_bytes));
+    }
+  }
+  if (!csv) {
+    std::printf("\n%zu runs: accuracy %s, %zu accepted, mean %.1f bytes\n",
+                runs,
+                stats::FormatMeanCi(accuracy.mean(),
+                                    accuracy.ci95_halfwidth(), 4)
+                    .c_str(),
+                accepted, bytes.mean());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda
+
+int main(int argc, char** argv) { return ipda::Main(argc, argv); }

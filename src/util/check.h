@@ -1,0 +1,49 @@
+// Fail-fast invariant checking.
+//
+// Library code follows the no-exceptions rule: recoverable errors travel as
+// util::Status / util::Result<T>, while violated internal invariants abort
+// through these macros. CHECK is always on; DCHECK compiles out of release
+// builds.
+
+#ifndef IPDA_UTIL_CHECK_H_
+#define IPDA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipda::util::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ipda::util::internal
+
+#define IPDA_CHECK(expr)                                           \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::ipda::util::internal::CheckFailed(__FILE__, __LINE__,      \
+                                          #expr);                  \
+    }                                                              \
+  } while (false)
+
+#define IPDA_CHECK_OP(lhs, op, rhs) IPDA_CHECK((lhs)op(rhs))
+#define IPDA_CHECK_EQ(lhs, rhs) IPDA_CHECK_OP(lhs, ==, rhs)
+#define IPDA_CHECK_NE(lhs, rhs) IPDA_CHECK_OP(lhs, !=, rhs)
+#define IPDA_CHECK_LT(lhs, rhs) IPDA_CHECK_OP(lhs, <, rhs)
+#define IPDA_CHECK_LE(lhs, rhs) IPDA_CHECK_OP(lhs, <=, rhs)
+#define IPDA_CHECK_GT(lhs, rhs) IPDA_CHECK_OP(lhs, >, rhs)
+#define IPDA_CHECK_GE(lhs, rhs) IPDA_CHECK_OP(lhs, >=, rhs)
+
+#ifdef NDEBUG
+#define IPDA_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define IPDA_DCHECK(expr) IPDA_CHECK(expr)
+#endif
+
+#endif  // IPDA_UTIL_CHECK_H_

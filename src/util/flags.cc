@@ -1,0 +1,183 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace ipda::util {
+namespace {
+
+std::string TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void FlagSet::DefineString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  IPDA_CHECK(flags_.emplace(name, Flag{Type::kString, help, def, def}).second);
+  order_.push_back(name);
+}
+
+void FlagSet::DefineInt(const std::string& name, int64_t def,
+                        const std::string& help) {
+  IPDA_CHECK(flags_
+                 .emplace(name, Flag{Type::kInt, help,
+                                     std::to_string(def),
+                                     std::to_string(def)})
+                 .second);
+  order_.push_back(name);
+}
+
+void FlagSet::DefineDouble(const std::string& name, double def,
+                           const std::string& help) {
+  IPDA_CHECK(flags_
+                 .emplace(name, Flag{Type::kDouble, help,
+                                     std::to_string(def),
+                                     std::to_string(def)})
+                 .second);
+  order_.push_back(name);
+}
+
+void FlagSet::DefineBool(const std::string& name, bool def,
+                         const std::string& help) {
+  IPDA_CHECK(flags_
+                 .emplace(name, Flag{Type::kBool, help,
+                                     def ? "true" : "false",
+                                     def ? "true" : "false"})
+                 .second);
+  order_.push_back(name);
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return InvalidArgumentError("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kString:
+      break;
+    case Type::kInt: {
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name +
+                                    " expects an integer, got '" + value +
+                                    "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      (void)std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name +
+                                    " expects a number, got '" + value +
+                                    "'");
+      }
+      break;
+    }
+    case Type::kBool: {
+      if (value != "true" && value != "false" && value != "1" &&
+          value != "0") {
+        return InvalidArgumentError("flag --" + name +
+                                    " expects true/false, got '" + value +
+                                    "'");
+      }
+      break;
+    }
+  }
+  flag.value = value;
+  flag.set = true;
+  return OkStatus();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgumentError("unexpected positional argument '" + arg +
+                                  "'");
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      IPDA_RETURN_IF_ERROR(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    // --flag / --no-flag for bools; --key value otherwise.
+    auto it = flags_.find(arg);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      IPDA_RETURN_IF_ERROR(SetValue(arg, "true"));
+      continue;
+    }
+    if (arg.rfind("no-", 0) == 0) {
+      auto neg = flags_.find(arg.substr(3));
+      if (neg != flags_.end() && neg->second.type == Type::kBool) {
+        IPDA_RETURN_IF_ERROR(SetValue(arg.substr(3), "false"));
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + arg);
+    }
+    if (i + 1 >= argc) {
+      return InvalidArgumentError("flag --" + arg + " is missing a value");
+    }
+    IPDA_RETURN_IF_ERROR(SetValue(arg, argv[++i]));
+  }
+  return OkStatus();
+}
+
+const FlagSet::Flag& FlagSet::Require(const std::string& name,
+                                      Type type) const {
+  auto it = flags_.find(name);
+  IPDA_CHECK(it != flags_.end());
+  IPDA_CHECK(it->second.type == type);
+  return it->second;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  return Require(name, Type::kString).value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return std::strtoll(Require(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::strtod(Require(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const std::string& v = Require(name, Type::kBool).value;
+  return v == "true" || v == "1";
+}
+
+bool FlagSet::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  IPDA_CHECK(it != flags_.end());
+  return it->second.set;
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += "  --" + name + " (" + TypeName(static_cast<int>(flag.type)) +
+           ", default " + flag.default_value + "): " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace ipda::util

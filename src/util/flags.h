@@ -1,0 +1,69 @@
+// Minimal --key=value command-line parsing for the tools and examples.
+//
+// Supported forms: --key=value, --key value, --flag (bool true),
+// --no-flag (bool false). Unknown keys are an error so typos don't
+// silently fall back to defaults.
+
+#ifndef IPDA_UTIL_FLAGS_H_
+#define IPDA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::util {
+
+class FlagSet {
+ public:
+  FlagSet() = default;
+
+  // Declares a flag with its default and help text. Call before Parse.
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t def,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double def,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool def,
+                  const std::string& help);
+
+  // Parses argv (excluding argv[0]). Returns an error for unknown flags,
+  // malformed values, or missing values.
+  Status Parse(int argc, const char* const* argv);
+
+  // Typed access; aborts on undeclared names (programming error).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // True if the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  // Usage text listing every declared flag with default and help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;          // Current value, canonical string form.
+    std::string default_value;  // As declared; shown in Usage().
+    bool set = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& Require(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ipda::util
+
+#endif  // IPDA_UTIL_FLAGS_H_

@@ -1,0 +1,58 @@
+// Leveled logging to stderr. Simulation code logs sparingly; benches raise
+// the threshold to keep figure output clean.
+
+#ifndef IPDA_UTIL_LOGGING_H_
+#define IPDA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ipda::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped. Default kWarning
+// so library users are not spammed. Not thread-safe by design: the simulator
+// is single-threaded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style collector flushed to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ipda::util
+
+#define IPDA_LOG(level)                                              \
+  ::ipda::util::internal::LogMessage(::ipda::util::LogLevel::level,  \
+                                     __FILE__, __LINE__)
+
+#endif  // IPDA_UTIL_LOGGING_H_

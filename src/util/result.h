@@ -1,0 +1,79 @@
+// Result<T>: a value or a Status, never both. Minimal expected-style type so
+// library code can return errors without exceptions.
+
+#ifndef IPDA_UTIL_RESULT_H_
+#define IPDA_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ipda::util {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from both T and Status keeps call sites terse:
+  //   return InvalidArgumentError("...");
+  //   return computed_value;
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : state_(std::move(status)) {
+    IPDA_CHECK(!std::get<Status>(state_).ok());  // OK must carry a value.
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  // Status of the held error, or OK when a value is present.
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(state_);
+  }
+
+  // Value accessors; calling these on an error Result aborts.
+  const T& value() const& {
+    IPDA_CHECK(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    IPDA_CHECK(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    IPDA_CHECK(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace ipda::util
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs` (a declaration or existing lvalue).
+#define IPDA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  IPDA_ASSIGN_OR_RETURN_IMPL_(                                 \
+      IPDA_RESULT_CONCAT_(ipda_result_, __LINE__), lhs, expr)
+
+#define IPDA_RESULT_CONCAT_INNER_(a, b) a##b
+#define IPDA_RESULT_CONCAT_(a, b) IPDA_RESULT_CONCAT_INNER_(a, b)
+
+#define IPDA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // IPDA_UTIL_RESULT_H_

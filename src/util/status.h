@@ -1,0 +1,74 @@
+// Error propagation without exceptions: Status for fallible void operations,
+// Result<T> (in util/result.h) for fallible value-returning ones.
+
+#ifndef IPDA_UTIL_STATUS_H_
+#define IPDA_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ipda::util {
+
+// Broad error taxonomy; fine-grained context goes in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kInternal,
+};
+
+// Human-readable name for a StatusCode, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace ipda::util
+
+// Propagates a non-OK Status to the caller.
+#define IPDA_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::ipda::util::Status ipda_status_ = (expr);      \
+    if (!ipda_status_.ok()) return ipda_status_;     \
+  } while (false)
+
+#endif  // IPDA_UTIL_STATUS_H_

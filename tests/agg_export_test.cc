@@ -1,0 +1,119 @@
+#include "agg/export.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "sim/simulator.h"
+
+namespace ipda::agg {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunConfig config;
+    config.deployment.node_count = 120;
+    config.seed = 5150;
+    auto topology = BuildRunTopology(config);
+    ASSERT_TRUE(topology.ok());
+    simulator_ = std::make_unique<sim::Simulator>(config.seed);
+    network_ = std::make_unique<net::Network>(simulator_.get(),
+                                              std::move(*topology));
+    function_ = MakeCount();
+    IpdaConfig ipda;
+    ipda.slice_range = 1.0;
+    protocol_ = std::make_unique<IpdaProtocol>(network_.get(),
+                                               function_.get(), ipda);
+    auto field = MakeConstantField(1.0);
+    protocol_->SetReadings(field->Sample(network_->topology()));
+    protocol_->Start();
+    simulator_->RunUntil(protocol_->Duration());
+    protocol_->Finish();
+  }
+
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<AggregateFunction> function_;
+  std::unique_ptr<IpdaProtocol> protocol_;
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST_F(ExportTest, TopologyDotHasAllNodesAndSymmetricEdgesOnce) {
+  const std::string dot = TopologyToDot(network_->topology());
+  EXPECT_NE(dot.find("graph topology"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "[pos="), network_->size());
+  // Edge count: each undirected link appears exactly once.
+  size_t links = 0;
+  for (net::NodeId a = 0; a < network_->size(); ++a) {
+    links += network_->topology().degree(a);
+  }
+  links /= 2;
+  EXPECT_EQ(CountOccurrences(dot, " -- "), links);
+}
+
+TEST_F(ExportTest, TreesDotColorsEdgesByTree) {
+  const std::string dot = IpdaTreesToDot(*protocol_, network_->topology());
+  EXPECT_NE(dot.find("digraph ipda_trees"), std::string::npos);
+  const size_t red_edges = CountOccurrences(dot, "[color=red]");
+  const size_t blue_edges = CountOccurrences(dot, "[color=blue]");
+  EXPECT_EQ(red_edges, protocol_->stats().red_aggregators);
+  EXPECT_EQ(blue_edges, protocol_->stats().blue_aggregators);
+  // Base station rendered black.
+  EXPECT_NE(dot.find("fillcolor=black"), std::string::npos);
+}
+
+TEST_F(ExportTest, RolesCsvHasHeaderAndOneRowPerNode) {
+  const std::string csv = IpdaRolesToCsv(*protocol_, network_->topology());
+  EXPECT_EQ(CountOccurrences(csv, "\n"), network_->size() + 1);  // +header.
+  EXPECT_NE(csv.find("id,x,y,role,parent,hop,covered,participated"),
+            std::string::npos);
+  EXPECT_NE(csv.find("base-station"), std::string::npos);
+}
+
+TEST_F(ExportTest, RolesCsvCountsMatchStats) {
+  const std::string csv = IpdaRolesToCsv(*protocol_, network_->topology());
+  EXPECT_EQ(CountOccurrences(csv, ",red,"),
+            protocol_->stats().red_aggregators);
+  EXPECT_EQ(CountOccurrences(csv, ",blue,"),
+            protocol_->stats().blue_aggregators);
+}
+
+TEST_F(ExportTest, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/ipda_export_test.dot";
+  const std::string content = TopologyToDot(network_->topology());
+  ASSERT_TRUE(WriteTextFile(path, content).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string read;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    read.append(buf, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(read, content);
+}
+
+TEST_F(ExportTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(
+      WriteTextFile("/nonexistent-dir/file.dot", "x").ok());
+}
+
+}  // namespace
+}  // namespace ipda::agg

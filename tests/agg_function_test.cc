@@ -1,0 +1,189 @@
+#include "agg/aggregate_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ipda::agg {
+namespace {
+
+Vector Aggregate(const AggregateFunction& function,
+                 const std::vector<double>& readings) {
+  Vector acc(function.arity(), 0.0);
+  for (double r : readings) AddInto(acc, function.Contribution(r));
+  return acc;
+}
+
+TEST(AddInto, ComponentwiseSum) {
+  Vector a{1.0, 2.0};
+  AddInto(a, {0.5, -2.0});
+  EXPECT_EQ(a, (Vector{1.5, 0.0}));
+}
+
+TEST(AddInto, SizeMismatchAborts) {
+  Vector a{1.0};
+  EXPECT_DEATH(AddInto(a, {1.0, 2.0}), "CHECK failed");
+}
+
+TEST(Sum, ExactOverReadings) {
+  auto f = MakeSum();
+  EXPECT_EQ(f->arity(), 1u);
+  const Vector acc = Aggregate(*f, {1.5, 2.5, -1.0});
+  EXPECT_DOUBLE_EQ(f->Finalize(acc), 3.0);
+}
+
+TEST(Count, IgnoresReadingValues) {
+  auto f = MakeCount();
+  const Vector acc = Aggregate(*f, {100.0, -7.0, 0.0, 3.3});
+  EXPECT_DOUBLE_EQ(f->Finalize(acc), 4.0);
+}
+
+TEST(Average, TwoComponents) {
+  auto f = MakeAverage();
+  EXPECT_EQ(f->arity(), 2u);
+  const Vector acc = Aggregate(*f, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(f->Finalize(acc), 20.0);
+}
+
+TEST(Average, EmptyIsZero) {
+  auto f = MakeAverage();
+  EXPECT_DOUBLE_EQ(f->Finalize(Vector{0.0, 0.0}), 0.0);
+}
+
+TEST(Variance, MatchesDirectComputation) {
+  auto f = MakeVariance();
+  EXPECT_EQ(f->arity(), 3u);
+  const std::vector<double> readings{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                     9.0};
+  const Vector acc = Aggregate(*f, readings);
+  // Known population variance of this classic data set is 4.
+  EXPECT_DOUBLE_EQ(f->Finalize(acc), 4.0);
+}
+
+TEST(Variance, ConstantReadingsHaveZeroVariance) {
+  auto f = MakeVariance();
+  const Vector acc = Aggregate(*f, {5.0, 5.0, 5.0});
+  EXPECT_NEAR(f->Finalize(acc), 0.0, 1e-12);
+}
+
+TEST(PowerMean, ApproachesMaxForLargeK) {
+  auto f = MakePowerMeanExtremum(32.0);
+  const Vector acc = Aggregate(*f, {3.0, 7.0, 5.0});
+  EXPECT_NEAR(f->Finalize(acc), 7.0, 0.3);
+}
+
+TEST(PowerMean, ApproachesMinForLargeNegativeK) {
+  auto f = MakePowerMeanExtremum(-32.0);
+  const Vector acc = Aggregate(*f, {3.0, 7.0, 5.0});
+  EXPECT_NEAR(f->Finalize(acc), 3.0, 0.3);
+}
+
+TEST(PowerMean, TighterWithLargerK) {
+  const std::vector<double> readings{2.0, 9.0, 4.0};
+  auto loose = MakePowerMeanExtremum(8.0);
+  auto tight = MakePowerMeanExtremum(64.0);
+  const double e_loose =
+      std::fabs(loose->Finalize(Aggregate(*loose, readings)) - 9.0);
+  const double e_tight =
+      std::fabs(tight->Finalize(Aggregate(*tight, readings)) - 9.0);
+  EXPECT_LT(e_tight, e_loose);
+}
+
+TEST(PowerMean, ZeroKAborts) {
+  EXPECT_DEATH(MakePowerMeanExtremum(0.0), "CHECK failed");
+}
+
+TEST(Functions, NamesAreStable) {
+  EXPECT_EQ(MakeSum()->name(), "SUM");
+  EXPECT_EQ(MakeCount()->name(), "COUNT");
+  EXPECT_EQ(MakeAverage()->name(), "AVERAGE");
+  EXPECT_EQ(MakeVariance()->name(), "VARIANCE");
+  EXPECT_EQ(MakePowerMeanExtremum(8)->name(), "MAX~");
+  EXPECT_EQ(MakePowerMeanExtremum(-8)->name(), "MIN~");
+}
+
+TEST(Histogram, BucketsContributionsCorrectly) {
+  auto f = MakeHistogram(0.0, 10.0, 5);
+  EXPECT_EQ(f->arity(), 5u);
+  EXPECT_EQ(f->Contribution(0.0), (Vector{1, 0, 0, 0, 0}));
+  EXPECT_EQ(f->Contribution(1.99), (Vector{1, 0, 0, 0, 0}));
+  EXPECT_EQ(f->Contribution(2.0), (Vector{0, 1, 0, 0, 0}));
+  EXPECT_EQ(f->Contribution(9.99), (Vector{0, 0, 0, 0, 1}));
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBuckets) {
+  auto f = MakeHistogram(0.0, 10.0, 5);
+  EXPECT_EQ(f->Contribution(-3.0), (Vector{1, 0, 0, 0, 0}));
+  EXPECT_EQ(f->Contribution(10.0), (Vector{0, 0, 0, 0, 1}));
+  EXPECT_EQ(f->Contribution(99.0), (Vector{0, 0, 0, 0, 1}));
+}
+
+TEST(Histogram, FinalizeIsTotalCount) {
+  auto f = MakeHistogram(0.0, 100.0, 10);
+  const Vector acc = Aggregate(*f, {5.0, 15.0, 15.5, 95.0});
+  EXPECT_DOUBLE_EQ(f->Finalize(acc), 4.0);
+  EXPECT_DOUBLE_EQ(acc[1], 2.0);
+}
+
+TEST(Histogram, DistributionRecoveredFromAggregation) {
+  auto f = MakeHistogram(0.0, 1.0, 4);
+  util::Rng rng(9);
+  std::vector<double> readings;
+  for (int i = 0; i < 4000; ++i) readings.push_back(rng.UniformDouble());
+  const Vector acc = Aggregate(*f, readings);
+  for (double bucket : acc) {
+    EXPECT_NEAR(bucket, 1000.0, 100.0);  // Uniform input, 4 buckets.
+  }
+}
+
+TEST(Histogram, BucketLowerBounds) {
+  const auto bounds = HistogramBucketLowerBounds(10.0, 30.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 10.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 15.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 25.0);
+}
+
+TEST(Histogram, NameAndInvalidConfigs) {
+  EXPECT_EQ(MakeHistogram(0, 1, 3)->name(), "HISTOGRAM");
+  EXPECT_DEATH(MakeHistogram(0.0, 1.0, 0), "CHECK failed");
+  EXPECT_DEATH(MakeHistogram(1.0, 1.0, 3), "CHECK failed");
+}
+
+// Property: additive aggregation is order- and grouping-independent — the
+// algebraic property the whole in-network scheme rests on (§II-B).
+class AdditivityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdditivityProperty, AnyGroupingGivesSameTotal) {
+  util::Rng rng(GetParam());
+  auto f = MakeVariance();
+  std::vector<double> readings;
+  for (int i = 0; i < 40; ++i) {
+    readings.push_back(rng.UniformDouble(0.0, 100.0));
+  }
+  const Vector direct = Aggregate(*f, readings);
+
+  // Random grouping into partial accumulators, then combine.
+  Vector grouped(f->arity(), 0.0);
+  size_t i = 0;
+  while (i < readings.size()) {
+    const size_t group = 1 + rng.UniformUint64(5);
+    Vector partial(f->arity(), 0.0);
+    for (size_t j = 0; j < group && i < readings.size(); ++j, ++i) {
+      AddInto(partial, f->Contribution(readings[i]));
+    }
+    AddInto(grouped, partial);
+  }
+  for (size_t c = 0; c < direct.size(); ++c) {
+    EXPECT_NEAR(grouped[c], direct[c], 1e-6 * std::fabs(direct[c]) + 1e-9);
+  }
+  EXPECT_NEAR(f->Finalize(grouped), f->Finalize(direct), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdditivityProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace ipda::agg

@@ -1,0 +1,68 @@
+#include "agg/partial.h"
+
+#include <gtest/gtest.h>
+
+namespace ipda::agg {
+namespace {
+
+TEST(Partial, RoundTrip) {
+  const Vector acc{1.5, -2.25, 1e9};
+  auto decoded = DecodePartial(EncodePartial(acc));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, acc);
+}
+
+TEST(Partial, EmptyVector) {
+  auto decoded = DecodePartial(EncodePartial(Vector{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Partial, WireSizeIsOnePlusEightPerComponent) {
+  EXPECT_EQ(EncodePartial(Vector{1.0}).size(), 9u);
+  EXPECT_EQ(EncodePartial(Vector{1.0, 2.0, 3.0}).size(), 25u);
+}
+
+TEST(Partial, TruncatedPayloadFails) {
+  util::Bytes wire = EncodePartial(Vector{1.0, 2.0});
+  wire.pop_back();
+  EXPECT_FALSE(DecodePartial(wire).ok());
+}
+
+TEST(Partial, EmptyPayloadFails) {
+  EXPECT_FALSE(DecodePartial(util::Bytes{}).ok());
+}
+
+TEST(ReportTime, DeeperHopsReportEarlier) {
+  const sim::SimTime start = sim::Seconds(2);
+  const sim::SimTime slot = sim::Milliseconds(100);
+  const sim::SimTime deep = ReportTime(start, slot, 24, 10);
+  const sim::SimTime shallow = ReportTime(start, slot, 24, 2);
+  EXPECT_LT(deep, shallow);
+}
+
+TEST(ReportTime, HopOneIsLatestSensorSlot) {
+  const sim::SimTime start = sim::Seconds(0);
+  const sim::SimTime slot = sim::Milliseconds(100);
+  EXPECT_EQ(ReportTime(start, slot, 24, 1), slot * 23);
+  EXPECT_EQ(ReportTime(start, slot, 24, 24), 0);
+}
+
+TEST(ReportTime, HopsBeyondMaxDepthClampToEarliestSlot) {
+  const sim::SimTime start = sim::Seconds(0);
+  const sim::SimTime slot = sim::Milliseconds(100);
+  EXPECT_EQ(ReportTime(start, slot, 8, 8), ReportTime(start, slot, 8, 100));
+}
+
+TEST(ReportTime, AdjacentHopsAreOneSlotApart) {
+  const sim::SimTime start = sim::Seconds(1);
+  const sim::SimTime slot = sim::Milliseconds(120);
+  for (uint32_t hop = 2; hop <= 10; ++hop) {
+    EXPECT_EQ(ReportTime(start, slot, 24, hop - 1) -
+                  ReportTime(start, slot, 24, hop),
+              slot);
+  }
+}
+
+}  // namespace
+}  // namespace ipda::agg

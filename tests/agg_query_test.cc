@@ -1,0 +1,161 @@
+#include "agg/query.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/reading.h"
+#include "agg/runner.h"
+
+namespace ipda::agg {
+namespace {
+
+TEST(Query, CodecRoundTripsAllKinds) {
+  const Query queries[] = {
+      CountQuery(3),
+      SumQuery(9),
+      AverageQuery(0),
+      VarianceQuery(65535),
+      MaxQuery(16.0, 1),
+      MinQuery(8.0, 2),
+      HistogramQuery(-5.0, 45.0, 12, 4),
+  };
+  for (const Query& query : queries) {
+    const util::Bytes wire = EncodeQuery(query);
+    EXPECT_EQ(wire.size(), kQueryWireBytes);
+    auto decoded = DecodeQuery(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, query);
+  }
+}
+
+TEST(Query, DecodeRejectsBadKindAndTruncation) {
+  util::Bytes wire = EncodeQuery(CountQuery());
+  wire[0] = 0;
+  EXPECT_FALSE(DecodeQuery(wire).ok());
+  wire[0] = 8;
+  EXPECT_FALSE(DecodeQuery(wire).ok());
+  util::Bytes good = EncodeQuery(SumQuery());
+  good.pop_back();
+  EXPECT_FALSE(DecodeQuery(good).ok());
+}
+
+TEST(Query, FunctionForQueryMatchesFactories) {
+  EXPECT_EQ((*FunctionForQuery(CountQuery()))->name(), "COUNT");
+  EXPECT_EQ((*FunctionForQuery(SumQuery()))->name(), "SUM");
+  EXPECT_EQ((*FunctionForQuery(AverageQuery()))->arity(), 2u);
+  EXPECT_EQ((*FunctionForQuery(VarianceQuery()))->arity(), 3u);
+  EXPECT_EQ((*FunctionForQuery(MaxQuery()))->name(), "MAX~");
+  EXPECT_EQ((*FunctionForQuery(MinQuery()))->name(), "MIN~");
+  EXPECT_EQ((*FunctionForQuery(HistogramQuery(0, 1, 6)))->arity(), 6u);
+}
+
+TEST(Query, FunctionForQueryValidatesParams) {
+  EXPECT_FALSE(FunctionForQuery(HistogramQuery(5.0, 5.0, 4)).ok());
+  EXPECT_FALSE(FunctionForQuery(HistogramQuery(0.0, 1.0, 0)).ok());
+  Query bad_max = MaxQuery();
+  bad_max.param_a = -1.0;
+  EXPECT_FALSE(FunctionForQuery(bad_max).ok());
+}
+
+TEST(Query, IpdaDisseminationDrivesContributions) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = 606;
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = MakeCount();
+  IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  IpdaProtocol protocol(&network, function.get(), ipda);
+  protocol.SetQuery(CountQuery(7));
+  auto field = MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+  // Everyone who participated must have received the query over the air.
+  EXPECT_GT(stats.participants, 280u);
+  EXPECT_TRUE(stats.decision.accepted);
+  EXPECT_NEAR(stats.decision.Agreed()[0],
+              static_cast<double>(stats.participants), 1.0);
+}
+
+TEST(Query, TagDisseminationMatchesInjectedFunction) {
+  RunConfig config;
+  config.deployment.node_count = 300;
+  config.seed = 607;
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = MakeSum();
+  TagProtocol protocol(&network, function.get());
+  protocol.SetQuery(SumQuery(1));
+  auto field = MakeUniformField(5.0, 10.0, 3);
+  const auto readings = field->Sample(network.topology());
+  protocol.SetReadings(readings);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  double truth = 0.0;
+  for (size_t i = 1; i < readings.size(); ++i) truth += readings[i];
+  EXPECT_GT(protocol.FinalizedResult(), 0.85 * truth);
+  EXPECT_LE(protocol.FinalizedResult(), truth + 1e-6);
+}
+
+TEST(Query, TagMismatchedArityAborts) {
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 609;
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = MakeVariance();  // Arity 3.
+  TagProtocol protocol(&network, function.get());
+  EXPECT_DEATH(protocol.SetQuery(CountQuery()), "CHECK failed");
+}
+
+TEST(Query, HistogramQueryEndToEnd) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = 610;
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  const Query query = HistogramQuery(0.0, 40.0, 4, 9);
+  auto resolved = FunctionForQuery(query);
+  ASSERT_TRUE(resolved.ok());
+  auto function = std::move(*resolved);
+  IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  IpdaProtocol protocol(&network, function.get(), ipda);
+  protocol.SetQuery(query);
+  auto field = MakeUniformField(0.0, 40.0, 55);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+  ASSERT_TRUE(stats.decision.accepted);
+  const Vector histogram = stats.decision.Agreed();
+  double total = 0.0;
+  for (double bucket : histogram) total += bucket;
+  EXPECT_NEAR(total, static_cast<double>(stats.participants), 1e-6);
+}
+
+TEST(Query, MismatchedArityAborts) {
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 608;
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = MakeCount();  // Arity 1.
+  IpdaProtocol protocol(&network, function.get());
+  EXPECT_DEATH(protocol.SetQuery(AverageQuery()), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ipda::agg

@@ -1,0 +1,74 @@
+#include "agg/reading.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::agg {
+namespace {
+
+net::Topology MakeTopo() {
+  auto topo = net::Topology::Build({{0, 0}, {10, 0}, {0, 10}, {10, 10}},
+                                   50.0);
+  return std::move(*topo);
+}
+
+TEST(ConstantField, AllReadingsEqual) {
+  const net::Topology topo = MakeTopo();
+  auto field = MakeConstantField(7.5);
+  const auto readings = field->Sample(topo);
+  ASSERT_EQ(readings.size(), 4u);
+  EXPECT_EQ(readings[0], 0.0);  // Base station senses nothing.
+  for (size_t i = 1; i < readings.size(); ++i) {
+    EXPECT_EQ(readings[i], 7.5);
+  }
+}
+
+TEST(UniformField, WithinBoundsAndDeterministic) {
+  const net::Topology topo = MakeTopo();
+  auto field = MakeUniformField(10.0, 20.0, 42);
+  const auto a = field->Sample(topo);
+  const auto b = MakeUniformField(10.0, 20.0, 42)->Sample(topo);
+  EXPECT_EQ(a, b);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], 10.0);
+    EXPECT_LT(a[i], 20.0);
+  }
+}
+
+TEST(UniformField, DifferentSeedsDiffer) {
+  const net::Topology topo = MakeTopo();
+  const auto a = MakeUniformField(0.0, 1.0, 1)->Sample(topo);
+  const auto b = MakeUniformField(0.0, 1.0, 2)->Sample(topo);
+  EXPECT_NE(a, b);
+}
+
+TEST(UniformField, PerNodeIndependentOfOtherNodes) {
+  // Node 2's reading depends only on (seed, id), not on how many nodes
+  // exist.
+  const net::Topology small = MakeTopo();
+  auto big_topo = net::Topology::Build(
+      {{0, 0}, {10, 0}, {0, 10}, {10, 10}, {20, 20}, {30, 30}}, 50.0);
+  auto field = MakeUniformField(0.0, 1.0, 9);
+  EXPECT_EQ(field->ReadingFor(2, small), field->ReadingFor(2, *big_topo));
+}
+
+TEST(GradientField, FollowsPosition) {
+  const net::Topology topo = MakeTopo();
+  auto field = MakeGradientField(100.0, 1.0, 2.0);
+  // Node 3 is at (10, 10): 100 + 10 + 20.
+  EXPECT_DOUBLE_EQ(field->ReadingFor(3, topo), 130.0);
+  // Node 1 at (10, 0): 110; node 2 at (0, 10): 120.
+  EXPECT_DOUBLE_EQ(field->ReadingFor(1, topo), 110.0);
+  EXPECT_DOUBLE_EQ(field->ReadingFor(2, topo), 120.0);
+}
+
+TEST(GradientField, SampleSkipsBaseStation) {
+  const net::Topology topo = MakeTopo();
+  auto field = MakeGradientField(100.0, 1.0, 1.0);
+  EXPECT_EQ(field->Sample(topo)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace ipda::agg

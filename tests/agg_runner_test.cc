@@ -1,0 +1,122 @@
+#include "agg/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+
+namespace ipda::agg {
+namespace {
+
+TEST(Runner, TopologyDeterministicPerSeed) {
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 9;
+  auto a = BuildRunTopology(config);
+  auto b = BuildRunTopology(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->positions(), b->positions());
+  config.seed = 10;
+  auto c = BuildRunTopology(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->positions(), c->positions());
+}
+
+TEST(Runner, TopologyValidationPropagates) {
+  RunConfig config;
+  config.deployment.node_count = 1;  // Invalid.
+  EXPECT_FALSE(BuildRunTopology(config).ok());
+  config.deployment.node_count = 100;
+  config.range = 0.0;
+  EXPECT_FALSE(BuildRunTopology(config).ok());
+}
+
+TEST(Runner, AccuracyRatioEdgeCases) {
+  EXPECT_EQ(AccuracyRatio({50.0}, {100.0}), 0.5);
+  EXPECT_EQ(AccuracyRatio({1.0}, {0.0}), 0.0);
+  EXPECT_EQ(AccuracyRatio({}, {}), 0.0);
+}
+
+TEST(Runner, TrueAccumulatorExcludesBaseStation) {
+  RunConfig config;
+  config.deployment.node_count = 150;
+  config.seed = 77;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  auto result = RunTag(config, *function, *field);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->true_acc[0], 149.0);  // Sensors only.
+}
+
+TEST(Runner, HistogramThroughIpda) {
+  // The whole distribution aggregates privately: slicing operates on the
+  // bucket-count vector like any other contribution.
+  RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 31;
+  auto function = MakeHistogram(10.0, 30.0, 4);
+  auto field = MakeUniformField(10.0, 30.0, 123);
+  IpdaConfig ipda;
+  ipda.slice_count = 2;
+  ipda.slice_range = 1.0;
+  auto result = RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->stats.decision.accepted);
+  const Vector histogram = result->stats.decision.Agreed();
+  ASSERT_EQ(histogram.size(), 4u);
+  double total = 0.0;
+  for (size_t b = 0; b < 4; ++b) {
+    total += histogram[b];
+    // Uniform readings: each bucket holds about a quarter.
+    EXPECT_NEAR(histogram[b], result->true_acc[b], 6.0);
+  }
+  EXPECT_NEAR(total, static_cast<double>(result->stats.participants),
+              1e-6);
+}
+
+TEST(Runner, TagAndIpdaAgreeOnTruth) {
+  RunConfig config;
+  config.deployment.node_count = 300;
+  config.seed = 55;
+  auto function = MakeSum();
+  auto field = MakeUniformField(1.0, 2.0, 5);
+  auto tag = RunTag(config, *function, *field);
+  auto ipda = RunIpda(config, *function, *field);
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(ipda.ok());
+  // Same seed => same deployment and same readings => same ground truth.
+  EXPECT_EQ(tag->true_acc, ipda->true_acc);
+  EXPECT_EQ(tag->average_degree, ipda->average_degree);
+}
+
+TEST(Runner, TagConfigOverridesApply) {
+  RunConfig config;
+  config.deployment.node_count = 150;
+  config.seed = 60;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  TagConfig fast;
+  fast.slot = sim::Milliseconds(50);
+  fast.max_depth = 16;
+  auto result = RunTag(config, *function, *field, fast);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->accuracy, 0.8);
+}
+
+TEST(Runner, IpdaSeedChangesOutcome) {
+  RunConfig config;
+  config.deployment.node_count = 250;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  config.seed = 1;
+  auto a = RunIpda(config, *function, *field);
+  config.seed = 2;
+  auto b = RunIpda(config, *function, *field);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->traffic.bytes_sent, b->traffic.bytes_sent);
+}
+
+}  // namespace
+}  // namespace ipda::agg

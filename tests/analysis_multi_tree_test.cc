@@ -1,0 +1,143 @@
+// Tests for the m-tree generalization analysis (§III-B).
+
+#include "analysis/multi_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/overhead.h"
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::analysis {
+namespace {
+
+TEST(MultiTree, TwoTreesVsEquationNine) {
+  // m = 2 with equiprobable colors is the Eq. (9) setting — but Eq. (9)
+  // multiplies (1 - p_b^d)(1 - p_r^d) as if "isolated from red" and
+  // "isolated from blue" were independent. For d >= 1 they are mutually
+  // exclusive (all-red and all-blue can't both hold), so the exact value
+  // is p_b^d + p_r^d and the paper's formula undercounts by exactly the
+  // cross term (p_b p_r)^d. Our inclusion-exclusion is exact.
+  for (size_t d : {1u, 2u, 5u, 10u, 20u}) {
+    const double exact = MultiTreeIsolationProbability(d, 2);
+    const double paper = NodeIsolationProbability(d, 0.5, 0.5);
+    const double cross = std::pow(0.25, static_cast<double>(d));
+    EXPECT_NEAR(exact, paper + cross, 1e-12) << "d=" << d;
+    EXPECT_NEAR(exact, 2.0 * std::pow(0.5, static_cast<double>(d)),
+                1e-12);
+  }
+}
+
+TEST(MultiTree, IsolationHandChecked) {
+  // m = 3, d = 1: one neighbor can cover one color; two are always
+  // missing. p_iso = 1.
+  EXPECT_NEAR(MultiTreeIsolationProbability(1, 3), 1.0, 1e-12);
+  // m = 3, d = 2: covered iff the two neighbors pick two distinct... no —
+  // all three colors must appear among 2 neighbors: impossible.
+  EXPECT_NEAR(MultiTreeIsolationProbability(2, 3), 1.0, 1e-12);
+  // m = 3, d = 3: all distinct = 3!/27 = 6/27; isolated otherwise.
+  EXPECT_NEAR(MultiTreeIsolationProbability(3, 3), 1.0 - 6.0 / 27.0,
+              1e-12);
+}
+
+TEST(MultiTree, DegreeBelowMAlwaysIsolated) {
+  for (size_t m : {2u, 3u, 4u, 5u}) {
+    for (size_t d = 0; d < m; ++d) {
+      EXPECT_NEAR(MultiTreeIsolationProbability(d, m), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(MultiTree, IsolationGrowsWithM) {
+  for (size_t d : {10u, 20u}) {
+    double prev = 0.0;
+    for (size_t m = 2; m <= 6; ++m) {
+      const double p = MultiTreeIsolationProbability(d, m);
+      EXPECT_GT(p, prev) << "d=" << d << " m=" << m;
+      prev = p;
+    }
+  }
+}
+
+TEST(MultiTree, IsolationShrinksWithDegree) {
+  for (size_t m : {2u, 3u, 4u}) {
+    double prev = 1.1;
+    for (size_t d = m; d <= 40; ++d) {
+      const double p = MultiTreeIsolationProbability(d, m);
+      EXPECT_LE(p, prev);
+      prev = p;
+    }
+    EXPECT_LT(prev, 1e-3);
+  }
+}
+
+TEST(MultiTree, MonteCarloAgreement) {
+  // Sample colorings of a node's d neighbors; compare the missing-color
+  // frequency with the closed form.
+  util::Rng rng(7);
+  for (size_t m : {3u, 4u}) {
+    for (size_t d : {6u, 12u}) {
+      size_t isolated = 0;
+      const int trials = 40000;
+      for (int t = 0; t < trials; ++t) {
+        uint32_t seen = 0;
+        for (size_t i = 0; i < d; ++i) {
+          seen |= 1u << rng.UniformUint64(m);
+        }
+        if (seen != (1u << m) - 1) ++isolated;
+      }
+      EXPECT_NEAR(static_cast<double>(isolated) / trials,
+                  MultiTreeIsolationProbability(d, m), 0.01)
+          << "m=" << m << " d=" << d;
+    }
+  }
+}
+
+TEST(MultiTree, ExpectedCoveredFractionOnRing) {
+  auto ring = net::Topology::RegularRing(100, 12);
+  ASSERT_TRUE(ring.ok());
+  // Exact vs Eq. (9): the paper's independence approximation differs by
+  // the negligible (p_b p_r)^d cross term per node.
+  EXPECT_NEAR(MultiTreeExpectedCoveredFraction(*ring, 2),
+              ExpectedCoveredFraction(*ring, 0.5, 0.5),
+              std::pow(0.25, 12.0) * 2.0);
+  EXPECT_LT(MultiTreeExpectedCoveredFraction(*ring, 4),
+            MultiTreeExpectedCoveredFraction(*ring, 3));
+}
+
+TEST(MultiTree, DegreeForCoverageReflectsPaperDensityWarning) {
+  // §III-B: "to achieve good coverage of disjoint trees when m > 2, the
+  // network must be very dense". Quantified: the degree needed for 99%
+  // per-node coverage grows with m.
+  const size_t d2 = MultiTreeDegreeForCoverage(2, 0.99);
+  const size_t d3 = MultiTreeDegreeForCoverage(3, 0.99);
+  const size_t d4 = MultiTreeDegreeForCoverage(4, 0.99);
+  EXPECT_LT(d2, d3);
+  EXPECT_LT(d3, d4);
+  EXPECT_GE(d2, 5u);  // Sanity: not trivially small.
+}
+
+TEST(MultiTree, MessagesReduceToPaperFormulaAtTwoTrees) {
+  EXPECT_DOUBLE_EQ(MultiTreeMessagesPerNode(2, 1), 3.0);   // 2l+1, l=1.
+  EXPECT_DOUBLE_EQ(MultiTreeMessagesPerNode(2, 2), 5.0);   // 2l+1, l=2.
+  EXPECT_DOUBLE_EQ(MultiTreeOverheadRatio(2, 2), OverheadRatio(2));
+}
+
+TEST(MultiTree, MessagesGrowLinearlyInM) {
+  EXPECT_DOUBLE_EQ(MultiTreeMessagesPerNode(3, 2), 7.0);
+  EXPECT_DOUBLE_EQ(MultiTreeMessagesPerNode(4, 2), 9.0);
+  EXPECT_DOUBLE_EQ(MultiTreeOverheadRatio(4, 2), 4.5);
+}
+
+TEST(MultiTree, PollutionTolerance) {
+  EXPECT_EQ(MultiTreePollutionTolerance(2), 0u);  // Paper's design point.
+  EXPECT_EQ(MultiTreePollutionTolerance(3), 1u);
+  EXPECT_EQ(MultiTreePollutionTolerance(4), 1u);
+  EXPECT_EQ(MultiTreePollutionTolerance(5), 2u);
+}
+
+}  // namespace
+}  // namespace ipda::analysis

@@ -1,0 +1,210 @@
+// Closed-form analysis (§IV-A) against hand calculations, the paper's spot
+// claims, and Monte-Carlo ground truth.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/overhead.h"
+#include "analysis/privacy.h"
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace ipda::analysis {
+namespace {
+
+TEST(Coverage, IsolationProbabilityHandChecked) {
+  // d=2, pb=pr=0.5: isolated-from-red = 0.25, same for blue;
+  // p_iso = 1 - 0.75^2 = 0.4375.
+  EXPECT_NEAR(NodeIsolationProbability(2, 0.5, 0.5), 0.4375, 1e-12);
+  // Degree 0: always isolated.
+  EXPECT_DOUBLE_EQ(NodeIsolationProbability(0, 0.5, 0.5), 1.0);
+  // Deterministic aggregators of one color only: red neighbors certain,
+  // blue impossible.
+  EXPECT_DOUBLE_EQ(NodeIsolationProbability(5, 0.0, 1.0), 1.0);
+}
+
+TEST(Coverage, IsolationDecreasesWithDegree) {
+  double prev = 1.0;
+  for (size_t d = 1; d <= 30; ++d) {
+    const double p = NodeIsolationProbability(d, 0.5, 0.5);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(prev, 1e-8);
+}
+
+TEST(Coverage, PaperSpotClaimReinterpreted) {
+  // §IV-A-1 claims "Φ(G) ≥ 0.999 for N = 1000 and d = 10". Under the
+  // paper's own Eq. (10) that is arithmetically impossible:
+  // N·p_iso(10) ≈ 1.95, so the Markov bound is vacuous.
+  const double literal = RegularCoverageLowerBound(1000, 10, 0.5, 0.5);
+  EXPECT_LT(literal, 0.0);
+  // The number the paper evidently computed is the expected covered
+  // fraction, 1 − p_iso(10) ≈ 0.998.
+  const double fraction = RegularExpectedCoveredFraction(10, 0.5, 0.5);
+  EXPECT_GE(fraction, 0.998);
+  EXPECT_LT(fraction, 1.0);
+  // The all-nodes bound does reach 0.999-level at higher degree.
+  EXPECT_GE(RegularCoverageLowerBound(1000, 21, 0.5, 0.5), 0.999);
+}
+
+TEST(Coverage, ExpectedFractionMatchesMonteCarlo) {
+  auto ring = net::Topology::RegularRing(300, 8);
+  ASSERT_TRUE(ring.ok());
+  util::Rng rng(5);
+  const auto sample = SimulateCoverage(*ring, 0.5, 0.5, 2000, rng);
+  EXPECT_NEAR(sample.mean_covered_fraction,
+              ExpectedCoveredFraction(*ring, 0.5, 0.5), 0.01);
+}
+
+TEST(Coverage, TopologyBoundMatchesRegularFormOnRing) {
+  auto ring = net::Topology::RegularRing(100, 8);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_NEAR(CoverageLowerBound(*ring, 0.5, 0.5),
+              RegularCoverageLowerBound(100, 8, 0.5, 0.5), 1e-12);
+}
+
+TEST(Coverage, MonteCarloRespectsLowerBound) {
+  auto ring = net::Topology::RegularRing(200, 10);
+  ASSERT_TRUE(ring.ok());
+  util::Rng rng(1);
+  const auto sample = SimulateCoverage(*ring, 0.5, 0.5, 2000, rng);
+  const double bound = CoverageLowerBound(*ring, 0.5, 0.5);
+  EXPECT_GE(sample.phi + 0.02, bound);  // Markov bound holds (+noise).
+  EXPECT_GT(sample.mean_covered_fraction, 0.99);
+}
+
+TEST(Coverage, MonteCarloMeanIsolatedMatchesExpectation) {
+  // E[X] = Σ p_i exactly (indicators need not be independent).
+  auto ring = net::Topology::RegularRing(150, 6);
+  ASSERT_TRUE(ring.ok());
+  util::Rng rng(2);
+  const auto sample = SimulateCoverage(*ring, 0.5, 0.5, 4000, rng);
+  double expectation = 0.0;
+  for (net::NodeId id = 0; id < ring->node_count(); ++id) {
+    expectation += NodeIsolationProbability(ring->degree(id), 0.5, 0.5);
+  }
+  EXPECT_NEAR(sample.mean_isolated, expectation,
+              0.15 * expectation + 0.15);
+}
+
+TEST(Coverage, SparseGraphBoundGoesVacuous) {
+  auto ring = net::Topology::RegularRing(1000, 2);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_LT(CoverageLowerBound(*ring, 0.5, 0.5), 0.0);
+}
+
+TEST(Privacy, RegularFormulaPaperSpotClaim) {
+  // §IV-A-3: l = 3, px = 0.1 → P_disclose ≈ 0.001 on a d-regular graph.
+  const double p = RegularDisclosureProbability(0.1, 3);
+  EXPECT_NEAR(p, 0.001, 2e-4);
+}
+
+TEST(Privacy, RegularFormulaHandChecked) {
+  // l = 2, E[n_l] = 3: P = 1 - (1 - px^2)(1 - px^4).
+  const double px = 0.1;
+  const double expected =
+      1.0 - (1.0 - std::pow(px, 2)) * (1.0 - std::pow(px, 4));
+  EXPECT_NEAR(RegularDisclosureProbability(px, 2), expected, 1e-15);
+}
+
+TEST(Privacy, ExpectedIncomingLinksOnRegularGraph) {
+  // d-regular: E[n_l(i)] = d * (2l-1)/d = 2l-1.
+  auto ring = net::Topology::RegularRing(60, 12);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_NEAR(ExpectedIncomingSliceLinks(*ring, 7, 2), 3.0, 1e-12);
+  EXPECT_NEAR(ExpectedIncomingSliceLinks(*ring, 7, 3), 5.0, 1e-12);
+}
+
+TEST(Privacy, NodeFormulaMatchesRegularOnRing) {
+  auto ring = net::Topology::RegularRing(60, 10);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_NEAR(NodeDisclosureProbability(*ring, 5, 0.05, 2),
+              RegularDisclosureProbability(0.05, 2), 1e-12);
+  EXPECT_NEAR(AverageDisclosureProbability(*ring, 0.05, 2),
+              RegularDisclosureProbability(0.05, 2), 1e-12);
+}
+
+TEST(Privacy, DisclosureMonotoneInPx) {
+  auto ring = net::Topology::RegularRing(50, 8);
+  ASSERT_TRUE(ring.ok());
+  double prev = -1.0;
+  for (double px = 0.01; px <= 0.2; px += 0.01) {
+    const double p = AverageDisclosureProbability(*ring, px, 2);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Privacy, LargerSliceCountLowersDisclosure) {
+  // Fig. 5's l=2 vs l=3 ordering.
+  auto ring = net::Topology::RegularRing(50, 8);
+  ASSERT_TRUE(ring.ok());
+  for (double px : {0.02, 0.05, 0.1}) {
+    EXPECT_GT(AverageDisclosureProbability(*ring, px, 2),
+              AverageDisclosureProbability(*ring, px, 3));
+  }
+}
+
+TEST(Privacy, RandomTopologyAverageExceedsRegular) {
+  // The paper notes the random-graph average is larger than the regular-
+  // graph value (degree variance hurts).
+  util::Rng rng(3);
+  net::DeploymentConfig config;
+  config.node_count = 1000;
+  auto topo = net::Topology::RandomGeometric(config, 50.0, rng);
+  ASSERT_TRUE(topo.ok());
+  for (double px : {0.05, 0.1}) {
+    EXPECT_GT(AverageDisclosureProbability(*topo, px, 2),
+              RegularDisclosureProbability(px, 2));
+  }
+}
+
+TEST(Privacy, EdgeCases) {
+  auto ring = net::Topology::RegularRing(20, 4);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_DOUBLE_EQ(AverageDisclosureProbability(*ring, 0.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AverageDisclosureProbability(*ring, 1.0, 2), 1.0);
+}
+
+TEST(Overhead, MessageCountsPerPaper) {
+  EXPECT_DOUBLE_EQ(TagMessagesPerNode(), 2.0);
+  EXPECT_DOUBLE_EQ(IpdaMessagesPerNode(1), 3.0);
+  EXPECT_DOUBLE_EQ(IpdaMessagesPerNode(2), 5.0);
+  EXPECT_DOUBLE_EQ(IpdaMessagesPerNode(3), 7.0);
+  EXPECT_DOUBLE_EQ(OverheadRatio(2), 2.5);   // Fig. 7 headline.
+  EXPECT_DOUBLE_EQ(OverheadRatio(1), 1.5);
+}
+
+TEST(Overhead, ByteBreakdownConsistency) {
+  const auto b = EstimateBytes(2, 1, true);
+  EXPECT_GT(b.slice_frame, b.hello_frame);
+  EXPECT_DOUBLE_EQ(
+      b.per_node_ipda,
+      b.hello_frame + 3.0 * b.slice_frame + b.aggregate_frame);
+  EXPECT_DOUBLE_EQ(b.per_node_tag,
+                   static_cast<double>(b.hello_frame + b.aggregate_frame));
+  EXPECT_GT(b.byte_ratio, 1.5);
+  EXPECT_LT(b.byte_ratio, 4.0);
+}
+
+TEST(Overhead, EncryptionAddsNonceBytes) {
+  const auto plain = EstimateBytes(2, 1, false);
+  const auto sealed = EstimateBytes(2, 1, true);
+  EXPECT_EQ(sealed.slice_frame, plain.slice_frame + 8);
+  EXPECT_EQ(sealed.hello_frame, plain.hello_frame);
+}
+
+TEST(Overhead, ByteRatioGrowsWithL) {
+  double prev = 1.0;
+  for (uint32_t l = 1; l <= 5; ++l) {
+    const double r = EstimateBytes(l, 1, true).byte_ratio;
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace ipda::analysis

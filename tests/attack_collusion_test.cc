@@ -1,0 +1,162 @@
+#include "attack/collusion.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+
+namespace ipda::attack {
+namespace {
+
+using agg::TreeColor;
+using agg::Vector;
+
+TEST(SampleColluders, SizeRangeAndDeterminism) {
+  util::Rng a(1), b(1);
+  const auto s1 = SampleColluders(100, 10, a);
+  const auto s2 = SampleColluders(100, 10, b);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 10u);
+  for (net::NodeId id : s1) {
+    EXPECT_GE(id, 1u);  // Base station is never a colluder.
+    EXPECT_LT(id, 100u);
+  }
+}
+
+TEST(SampleColluders, CapsAtSensorCount) {
+  util::Rng rng(2);
+  EXPECT_EQ(SampleColluders(5, 100, rng).size(), 4u);
+  EXPECT_TRUE(SampleColluders(1, 3, rng).empty());
+}
+
+TEST(CollusionEavesdropper, MoreColludersMoreDisclosure) {
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 808;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+
+  double previous = -1.0;
+  for (size_t colluders : {5u, 40u, 150u}) {
+    util::Rng rng(3);
+    CollusionConfig cfg;
+    cfg.colluders =
+        SampleColluders(topology->node_count(), colluders, rng);
+    auto eve = MakeCollusionEavesdropper(*topology, cfg);
+    agg::IpdaRunHooks hooks;
+    hooks.slice_observer = eve->Observer();
+    auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+    ASSERT_TRUE(result.ok());
+    const double rate = eve->Evaluate().disclosure_rate;
+    EXPECT_GE(rate, previous);
+    previous = rate;
+  }
+  EXPECT_GT(previous, 0.1);  // 150/400 colluders see plenty.
+}
+
+TEST(CollusionEavesdropper, FewColludersDiscloseLittle) {
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 809;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  util::Rng rng(4);
+  CollusionConfig cfg;
+  cfg.colluders = SampleColluders(topology->node_count(), 4, rng);
+  auto eve = MakeCollusionEavesdropper(*topology, cfg);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaRunHooks hooks;
+  hooks.slice_observer = eve->Observer();
+  auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+  ASSERT_TRUE(result.ok());
+  // l=2 requires an attacker to own all slice links of one color: with 4
+  // colluders among ~20-neighbor nodes this is rare.
+  EXPECT_LT(eve->Evaluate().disclosure_rate, 0.05);
+}
+
+TEST(CoordinatedPollution, MatchingDeltasEvadeThCheck) {
+  // The paper's §VI open problem: colluders on both trees injecting the
+  // same delta defeat the redundancy check.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 810;
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+
+  // Enough colluders that both trees almost surely contain one.
+  util::Rng rng(5);
+  CollusionConfig cfg;
+  cfg.colluders = SampleColluders(400, 30, rng);
+  auto attack = MakeCoordinatedPollution(cfg, 40.0);
+  agg::IpdaRunHooks hooks;
+  hooks.pollution = attack.hook;
+  auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(*attack.hit_red);
+  ASSERT_TRUE(*attack.hit_blue);
+  // Both totals moved by +40 together: the base station is fooled.
+  EXPECT_TRUE(result->stats.decision.accepted);
+  EXPECT_GT(result->accuracy, 1.05);  // Result is silently wrong.
+}
+
+TEST(CoordinatedPollution, OneTreeOnlyStillDetected) {
+  // If the colluder set happens to sit on a single tree, coordination
+  // buys nothing: the trees disagree as usual.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 811;
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+
+  // Find a run where only one tree was hit by using a single colluder.
+  CollusionConfig cfg;
+  cfg.colluders = {42};
+  auto attack = MakeCoordinatedPollution(cfg, 40.0);
+  agg::IpdaRunHooks hooks;
+  hooks.pollution = attack.hook;
+  auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+  ASSERT_TRUE(result.ok());
+  if (*attack.hit_red != *attack.hit_blue) {
+    EXPECT_FALSE(result->stats.decision.accepted);
+  }
+}
+
+TEST(CoordinatedPollution, InjectsExactlyOncePerTree) {
+  CollusionConfig cfg;
+  cfg.colluders = {1, 2, 3};
+  auto attack = MakeCoordinatedPollution(cfg, 10.0);
+  Vector a{0.0}, b{0.0}, c{0.0};
+  attack.hook(1, TreeColor::kRed, a);
+  attack.hook(2, TreeColor::kRed, b);  // Second red colluder: no-op.
+  attack.hook(3, TreeColor::kBlue, c);
+  EXPECT_EQ(a[0], 10.0);
+  EXPECT_EQ(b[0], 0.0);
+  EXPECT_EQ(c[0], 10.0);
+  EXPECT_TRUE(*attack.hit_red);
+  EXPECT_TRUE(*attack.hit_blue);
+}
+
+TEST(CoordinatedPollution, NonColludersUntouched) {
+  CollusionConfig cfg;
+  cfg.colluders = {9};
+  auto attack = MakeCoordinatedPollution(cfg, 10.0);
+  Vector v{5.0};
+  attack.hook(3, TreeColor::kRed, v);
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_FALSE(*attack.hit_red);
+}
+
+}  // namespace
+}  // namespace ipda::attack

@@ -1,0 +1,133 @@
+// Protocol-level CPDA collusion: d+1 colluding co-members reconstruct a
+// victim's private value; fewer cannot.
+
+#include "attack/cpda_collusion.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/cpda/interpolation.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "sim/simulator.h"
+
+namespace ipda::attack {
+namespace {
+
+struct CollusionRun {
+  CpdaCollusionReport report;
+  std::vector<double> readings;
+};
+
+CollusionRun RunWithColluders(size_t colluder_count, uint64_t seed) {
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = seed;
+  auto topology = agg::BuildRunTopology(config);
+  EXPECT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeSum();
+  agg::CpdaConfig cpda;
+  cpda.coeff_range = 100.0;
+  agg::CpdaProtocol protocol(&network, function.get(), cpda);
+
+  // Colluders: a block of ids (likely to co-occur in clusters).
+  std::vector<net::NodeId> colluders;
+  util::Rng rng(seed * 3 + 1);
+  for (size_t i = 0; i < colluder_count; ++i) {
+    colluders.push_back(static_cast<net::NodeId>(
+        1 + rng.UniformUint64(399)));
+  }
+  CpdaCollusionAnalysis analysis(colluders, cpda.poly_degree);
+  protocol.SetShareObserver(analysis.Observer());
+
+  auto field = agg::MakeUniformField(10.0, 20.0, seed);
+  CollusionRun out;
+  out.readings = field->Sample(network.topology());
+  protocol.SetReadings(out.readings);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  protocol.Finish();
+  out.report = analysis.Evaluate();
+  return out;
+}
+
+TEST(CpdaCollusion, ManyColludersExposeSomeVictimsExactly) {
+  // 120 random colluders out of 399: clusters of ~5 frequently contain
+  // >= 3 of them.
+  const CollusionRun run = RunWithColluders(120, 77);
+  EXPECT_GT(run.report.victims_observed, 0u);
+  EXPECT_GT(run.report.victims_exposed, 0u);
+  // Reconstructions are exact: the attack defeats the masking entirely.
+  for (const auto& [victim, value] : run.report.reconstructed) {
+    ASSERT_EQ(value.size(), 1u);
+    EXPECT_NEAR(value[0], run.readings[victim], 1e-6)
+        << "victim " << victim;
+  }
+}
+
+TEST(CpdaCollusion, FewColludersExposeAlmostNothing) {
+  // 10 colluders: three landing in one cluster is rare.
+  const CollusionRun run = RunWithColluders(10, 78);
+  EXPECT_LT(run.report.exposure_rate, 0.05);
+}
+
+TEST(CpdaCollusion, BelowThresholdPointsNeverReconstruct) {
+  // Structural check: victims with fewer than deg+1 pooled points are
+  // never in the reconstructed map.
+  const CollusionRun run = RunWithColluders(120, 79);
+  for (const auto& [victim, value] : run.report.reconstructed) {
+    (void)value;
+    // Every reconstructed victim must by construction have had >= 3
+    // colluding co-members; verify exactness as the witness.
+    EXPECT_NEAR(run.report.reconstructed.at(victim)[0],
+                run.readings[victim], 1e-6);
+  }
+  EXPECT_LE(run.report.victims_exposed, run.report.victims_observed);
+}
+
+TEST(CpdaCollusion, ColludersOwnSharesIgnored) {
+  CpdaCollusionAnalysis analysis({5, 6, 7}, 2);
+  auto observer = analysis.Observer();
+  // Colluder 5 sending to colluder 6: not a victim.
+  observer(5, 6, agg::Vector{1.0});
+  // Honest 9 keeping its own share: never observable.
+  observer(9, 9, agg::Vector{2.0});
+  // Honest 9 sending to honest 10: not seen by the coalition.
+  observer(9, 10, agg::Vector{3.0});
+  const auto report = analysis.Evaluate();
+  EXPECT_EQ(report.victims_observed, 0u);
+}
+
+TEST(CpdaCollusion, ExactlyThresholdPointsSuffice) {
+  // Synthetic: victim 9's degree-2 polynomial evaluated at colluders'
+  // points 5, 6, 7 reconstructs the constant.
+  CpdaCollusionAnalysis analysis({5, 6, 7}, 2);
+  auto observer = analysis.Observer();
+  util::Rng rng(1);
+  agg::MaskingPolynomial poly(42.0, 2, 50.0, rng);
+  for (net::NodeId to : {5u, 6u, 7u}) {
+    observer(9, to,
+             agg::Vector{poly.Evaluate(static_cast<double>(to))});
+  }
+  const auto report = analysis.Evaluate();
+  ASSERT_EQ(report.victims_exposed, 1u);
+  EXPECT_NEAR(report.reconstructed.at(9)[0], 42.0, 1e-9);
+}
+
+TEST(CpdaCollusion, OneFewerPointExposesNothing) {
+  CpdaCollusionAnalysis analysis({5, 6}, 2);
+  auto observer = analysis.Observer();
+  util::Rng rng(2);
+  agg::MaskingPolynomial poly(42.0, 2, 50.0, rng);
+  for (net::NodeId to : {5u, 6u}) {
+    observer(9, to,
+             agg::Vector{poly.Evaluate(static_cast<double>(to))});
+  }
+  const auto report = analysis.Evaluate();
+  EXPECT_EQ(report.victims_observed, 1u);
+  EXPECT_EQ(report.victims_exposed, 0u);
+}
+
+}  // namespace
+}  // namespace ipda::attack

@@ -1,0 +1,142 @@
+#include "attack/dos.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "attack/pollution.h"
+
+namespace ipda::attack {
+namespace {
+
+// Synthetic oracle: round is accepted iff the polluter is excluded.
+RoundFn OracleRound(net::NodeId polluter, size_t* rounds_run = nullptr) {
+  return [polluter, rounds_run](const std::vector<net::NodeId>& excluded,
+                                uint64_t) -> util::Result<bool> {
+    if (rounds_run != nullptr) ++*rounds_run;
+    for (net::NodeId id : excluded) {
+      if (id == polluter) return true;
+    }
+    return false;
+  };
+}
+
+TEST(PolluterLocalizer, FindsEveryPossiblePolluter) {
+  const size_t n = 64;
+  PolluterLocalizer localizer(n);
+  for (net::NodeId polluter = 1; polluter < n; ++polluter) {
+    auto result = localizer.Locate(OracleRound(polluter));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->found);
+    EXPECT_EQ(result->suspect, polluter);
+  }
+}
+
+TEST(PolluterLocalizer, RoundsAreLogarithmic) {
+  // §III-D claims O(log N) rounds.
+  for (size_t n : {16u, 64u, 256u, 1024u}) {
+    PolluterLocalizer localizer(n);
+    size_t rounds = 0;
+    auto result = localizer.Locate(OracleRound(n / 2, &rounds));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->found);
+    const double bound = std::ceil(std::log2(static_cast<double>(n))) + 1;
+    EXPECT_LE(static_cast<double>(rounds), bound) << "n=" << n;
+  }
+}
+
+TEST(PolluterLocalizer, SuspectSetShrinksMonotonically) {
+  PolluterLocalizer localizer(128);
+  auto result = localizer.Locate(OracleRound(77));
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->suspect_sizes.size(); ++i) {
+    EXPECT_LT(result->suspect_sizes[i], result->suspect_sizes[i - 1]);
+  }
+  EXPECT_EQ(result->suspect_sizes.back(), 1u);
+}
+
+TEST(PolluterLocalizer, MaxRoundsBoundsRunaway) {
+  // An adversary violating the single-polluter assumption (rejects every
+  // round) cannot loop forever.
+  PolluterLocalizer localizer(1024);
+  size_t rounds = 0;
+  auto always_rejected = [&rounds](const std::vector<net::NodeId>&,
+                                   uint64_t) -> util::Result<bool> {
+    ++rounds;
+    return false;
+  };
+  auto result = localizer.Locate(always_rejected, /*max_rounds=*/5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(rounds, 5u);
+  // With every round rejected, bisection still converges toward one
+  // suspect but may not have reached it in 5 rounds of 1023 suspects.
+  EXPECT_FALSE(result->found);
+}
+
+TEST(PolluterLocalizer, PropagatesRoundErrors) {
+  PolluterLocalizer localizer(16);
+  auto failing = [](const std::vector<net::NodeId>&,
+                    uint64_t) -> util::Result<bool> {
+    return util::UnavailableError("network down");
+  };
+  auto result = localizer.Locate(failing);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(PolluterLocalizer, TwoNodeNetworkTrivial) {
+  PolluterLocalizer localizer(2);
+  auto result = localizer.Locate(OracleRound(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->suspect, 1u);
+  EXPECT_EQ(result->rounds, 0u);  // Only one candidate: no rounds needed.
+}
+
+TEST(PolluterLocalizerEndToEnd, LocatesRealPolluterThroughSimulation) {
+  // Full-stack version of §III-D: every round is an actual iPDA run with
+  // the excluded set applied; the persistent polluter tampers whenever it
+  // participates.
+  constexpr net::NodeId kPolluter = 123;
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 2024;
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+
+  size_t rounds = 0;
+  RoundFn run_round = [&](const std::vector<net::NodeId>& excluded,
+                          uint64_t round) -> util::Result<bool> {
+    ++rounds;
+    PollutionConfig attack_config;
+    attack_config.attackers = {kPolluter};
+    attack_config.additive_delta = 50.0;
+    agg::IpdaRunHooks hooks;
+    hooks.pollution = MakePollutionHook(attack_config);
+    hooks.excluded = excluded;
+    agg::RunConfig round_config = config;
+    round_config.seed = config.seed + round;  // Fresh round, same nodes?
+    // Keep the same topology: the paper varies participants, not the
+    // deployment. Seed only the protocol randomness via config.seed.
+    round_config.seed = config.seed;
+    auto result = agg::RunIpda(round_config, *function, *field, ipda,
+                               hooks);
+    IPDA_RETURN_IF_ERROR(result.status());
+    return result->stats.decision.accepted;
+  };
+
+  PolluterLocalizer localizer(config.deployment.node_count);
+  auto result = localizer.Locate(run_round);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->suspect, kPolluter);
+  EXPECT_LE(rounds, 10u);  // ceil(log2(399)) = 9.
+}
+
+}  // namespace
+}  // namespace ipda::attack

@@ -1,0 +1,245 @@
+#include "attack/eavesdropper.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "crypto/link_security.h"
+#include "util/random.h"
+
+namespace ipda::attack {
+namespace {
+
+using agg::TreeColor;
+using agg::Vector;
+
+std::vector<crypto::Link> TopologyLinks(const net::Topology& topology) {
+  std::vector<crypto::Link> links;
+  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+    for (net::NodeId b : topology.neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
+    }
+  }
+  return links;
+}
+
+// Hand-built scenario: node 5 is a leaf with l=2; slices go to red {1,2}
+// and blue {3,4}.
+class EavesdropperScenario : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 8;
+
+  Eavesdropper MakeEve(std::vector<crypto::Link> broken_links) {
+    std::vector<crypto::Link> links;
+    std::vector<bool> broken;
+    for (net::NodeId a = 0; a < kNodes; ++a) {
+      for (net::NodeId b = static_cast<net::NodeId>(a + 1); b < kNodes;
+           ++b) {
+        links.emplace_back(a, b);
+        bool is_broken = false;
+        for (const auto& [x, y] : broken_links) {
+          if ((x == a && y == b) || (x == b && y == a)) is_broken = true;
+        }
+        broken.push_back(is_broken);
+      }
+    }
+    return Eavesdropper(kNodes, std::move(links), std::move(broken));
+  }
+
+  void FeedLeafSlices(Eavesdropper& eve) {
+    auto observer = eve.Observer();
+    // Red set sums to 10; blue set sums to 10.
+    observer(5, 1, TreeColor::kRed, Vector{4.0});
+    observer(5, 2, TreeColor::kRed, Vector{6.0});
+    observer(5, 3, TreeColor::kBlue, Vector{-2.0});
+    observer(5, 4, TreeColor::kBlue, Vector{12.0});
+  }
+};
+
+TEST_F(EavesdropperScenario, NoBrokenLinksNoDisclosure) {
+  Eavesdropper eve = MakeEve({});
+  FeedLeafSlices(eve);
+  const auto report = eve.Evaluate();
+  EXPECT_EQ(report.disclosed_count, 0u);
+  EXPECT_EQ(report.observed_count, 1u);
+  EXPECT_EQ(report.disclosure_rate, 0.0);
+}
+
+TEST_F(EavesdropperScenario, PartialColorSetInsufficient) {
+  // Only one of the two red slice links broken.
+  Eavesdropper eve = MakeEve({{5, 1}});
+  FeedLeafSlices(eve);
+  EXPECT_EQ(eve.Evaluate().disclosed_count, 0u);
+}
+
+TEST_F(EavesdropperScenario, FullRedSetDisclosesLeaf) {
+  Eavesdropper eve = MakeEve({{5, 1}, {5, 2}});
+  FeedLeafSlices(eve);
+  const auto report = eve.Evaluate();
+  ASSERT_TRUE(report.disclosed[5]);
+  EXPECT_EQ(report.disclosed_count, 1u);
+  // Reconstructed value equals the true contribution 10.
+  ASSERT_TRUE(report.reconstructed.count(5) > 0);
+  EXPECT_DOUBLE_EQ(report.reconstructed.at(5)[0], 10.0);
+}
+
+TEST_F(EavesdropperScenario, FullBlueSetAlsoDiscloses) {
+  Eavesdropper eve = MakeEve({{5, 3}, {5, 4}});
+  FeedLeafSlices(eve);
+  const auto report = eve.Evaluate();
+  EXPECT_TRUE(report.disclosed[5]);
+  EXPECT_DOUBLE_EQ(report.reconstructed.at(5)[0], 10.0);
+}
+
+TEST_F(EavesdropperScenario, MixedColorsDoNotCompose) {
+  // One red link + one blue link: neither color set is complete.
+  Eavesdropper eve = MakeEve({{5, 1}, {5, 3}});
+  FeedLeafSlices(eve);
+  EXPECT_EQ(eve.Evaluate().disclosed_count, 0u);
+}
+
+TEST_F(EavesdropperScenario, AggregatorKeptSliceNeedsIncomingLinks) {
+  // Node 6 is a red aggregator: keeps one red slice, sends one red + two
+  // blue. It also receives a slice from node 7.
+  auto feed = [](Eavesdropper& eve) {
+    auto observer = eve.Observer();
+    observer(6, 6, TreeColor::kRed, Vector{3.0});   // Kept d_ii.
+    observer(6, 1, TreeColor::kRed, Vector{5.0});
+    observer(6, 3, TreeColor::kBlue, Vector{6.0});
+    observer(6, 4, TreeColor::kBlue, Vector{2.0});
+    observer(7, 6, TreeColor::kRed, Vector{1.0});   // Incoming to 6.
+  };
+  {
+    // Breaking only the outgoing red link is NOT enough: the kept slice
+    // needs the incoming link too.
+    Eavesdropper eve = MakeEve({{6, 1}});
+    feed(eve);
+    EXPECT_FALSE(eve.Evaluate().disclosed[6]);
+  }
+  {
+    // Outgoing red + all incoming: kept slice peeled, disclosure.
+    Eavesdropper eve = MakeEve({{6, 1}, {7, 6}});
+    feed(eve);
+    const auto report = eve.Evaluate();
+    EXPECT_TRUE(report.disclosed[6]);
+    EXPECT_DOUBLE_EQ(report.reconstructed.at(6)[0], 8.0);
+  }
+  {
+    // The other-color (blue) set avoids the kept slice entirely.
+    Eavesdropper eve = MakeEve({{6, 3}, {6, 4}});
+    feed(eve);
+    const auto report = eve.Evaluate();
+    EXPECT_TRUE(report.disclosed[6]);
+    EXPECT_DOUBLE_EQ(report.reconstructed.at(6)[0], 8.0);
+  }
+}
+
+TEST_F(EavesdropperScenario, LinkBrokenIsSymmetric) {
+  Eavesdropper eve = MakeEve({{2, 5}});
+  EXPECT_TRUE(eve.LinkBroken(5, 2));
+  EXPECT_TRUE(eve.LinkBroken(2, 5));
+  EXPECT_FALSE(eve.LinkBroken(1, 5));
+}
+
+TEST(EavesdropperEndToEnd, ReconstructionsMatchTrueContributions) {
+  // Full protocol run; an adversary with px=0.5 must reconstruct exactly
+  // the true COUNT contribution (1.0) for every disclosed node.
+  agg::RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = 404;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  auto links = TopologyLinks(*topology);
+  util::Rng rng(9);
+  auto compromise =
+      crypto::UniformLinkCompromise(links.size(), 0.5, rng);
+  std::vector<bool> broken(compromise.broken.begin(),
+                           compromise.broken.end());
+  Eavesdropper eve(topology->node_count(), links, broken);
+
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaRunHooks hooks;
+  hooks.slice_observer = eve.Observer();
+  auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+  ASSERT_TRUE(result.ok());
+
+  const auto report = eve.Evaluate();
+  EXPECT_GT(report.observed_count, 300u);
+  EXPECT_GT(report.disclosed_count, 0u);  // px=0.5 is a strong adversary.
+  for (const auto& [node, value] : report.reconstructed) {
+    ASSERT_EQ(value.size(), 1u);
+    EXPECT_NEAR(value[0], 1.0, 1e-9) << "node " << node;
+  }
+}
+
+TEST(EavesdropperEndToEnd, DisclosureRateGrowsWithPx) {
+  agg::RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = 405;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  auto links = TopologyLinks(*topology);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+
+  double previous = -1.0;
+  for (double px : {0.1, 0.4, 0.8}) {
+    util::Rng rng(17);
+    auto compromise =
+        crypto::UniformLinkCompromise(links.size(), px, rng);
+    std::vector<bool> broken(compromise.broken.begin(),
+                             compromise.broken.end());
+    Eavesdropper eve(topology->node_count(), links, broken);
+    agg::IpdaConfig ipda;
+    ipda.slice_range = 1.0;
+    agg::IpdaRunHooks hooks;
+    hooks.slice_observer = eve.Observer();
+    auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+    ASSERT_TRUE(result.ok());
+    const double rate = eve.Evaluate().disclosure_rate;
+    EXPECT_GT(rate, previous);
+    previous = rate;
+  }
+  EXPECT_GT(previous, 0.3);  // px=0.8 discloses a lot.
+}
+
+TEST(EavesdropperEndToEnd, LowPxLowDisclosure) {
+  // The paper's Fig. 5 regime: px = 0.05, l = 2 gives P_disclose well
+  // under 5%.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 406;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  auto links = TopologyLinks(*topology);
+  util::Rng rng(23);
+  auto compromise =
+      crypto::UniformLinkCompromise(links.size(), 0.05, rng);
+  std::vector<bool> broken(compromise.broken.begin(),
+                           compromise.broken.end());
+  Eavesdropper eve(topology->node_count(), links, broken);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaRunHooks hooks;
+  hooks.slice_observer = eve.Observer();
+  auto result = agg::RunIpda(config, *function, *field, ipda, hooks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(eve.Evaluate().disclosure_rate, 0.05);
+}
+
+TEST(BrokenByColluders, IncidenceRule) {
+  std::vector<crypto::Link> links{{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  std::vector<bool> colluder{false, true, false, false};
+  const auto broken = BrokenByColluders(links, colluder);
+  EXPECT_EQ(broken,
+            (std::vector<bool>{true, true, false, false}));
+}
+
+}  // namespace
+}  // namespace ipda::attack

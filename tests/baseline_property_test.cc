@@ -1,0 +1,115 @@
+// Seed-sweep invariants for the SMART and CPDA baselines, mirroring
+// ipda_property_test: conservation, no over-counting, determinism-free
+// soundness across deployments.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/kipda/kipda_protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "sim/simulator.h"
+
+namespace ipda::agg {
+namespace {
+
+class SmartInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmartInvariants, EndToEnd) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = GetParam();
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  SmartConfig smart;
+  smart.slice_count = 3;
+  smart.slice_range = 1.0;
+
+  std::map<net::NodeId, double> per_node_sum;
+  auto observer = [&](net::NodeId from, net::NodeId, const Vector& s) {
+    per_node_sum[from] += s[0];
+  };
+  auto result = RunSmart(config, *function, *field, smart, observer);
+  ASSERT_TRUE(result.ok());
+
+  // Slice conservation per participant.
+  for (const auto& [node, sum] : per_node_sum) {
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "node " << node;
+  }
+  EXPECT_EQ(per_node_sum.size(), result->stats.participants);
+  // Never over-counts, and collected stays within truth.
+  EXPECT_LE(result->stats.collected[0], result->true_acc[0] + 1e-6);
+  // Joined dominates participants (you slice only inside the tree).
+  EXPECT_GE(result->stats.nodes_joined, result->stats.participants);
+  // Over-the-air slices = (J-1) per participant.
+  EXPECT_EQ(result->stats.slices_sent, 2 * result->stats.participants);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmartInvariants,
+                         ::testing::Values(3, 6, 9, 12, 15, 18));
+
+class CpdaInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpdaInvariants, EndToEnd) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = GetParam();
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  CpdaConfig cpda;
+  cpda.coeff_range = 10.0;
+  auto result = RunCpda(config, *function, *field, cpda);
+  ASSERT_TRUE(result.ok());
+  const auto& stats = result->stats;
+
+  // Interpolation is exact in expectation and clusters only ever drop
+  // whole members: collected never exceeds the truth beyond round-off.
+  EXPECT_LE(stats.collected[0], result->true_acc[0] + 0.01);
+  // Census adds up: every joined sensor is clustered or unprotected.
+  EXPECT_EQ(stats.clustered + stats.unprotected, stats.nodes_joined);
+  // Solved + lost clusters never exceed the leader count.
+  EXPECT_LE(stats.clusters_solved + stats.clusters_lost, stats.leaders);
+  // Masked majority in a dense network.
+  EXPECT_GT(stats.clustered, stats.unprotected);
+  // Whatever was collected is a whole-ish number of COUNT contributions.
+  EXPECT_NEAR(stats.collected[0], std::round(stats.collected[0]), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpdaInvariants,
+                         ::testing::Values(4, 8, 16, 24, 32));
+
+class KipdaInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KipdaInvariants, NeverOvershootsAndUsuallyExact) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.seed = GetParam();
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto field = MakeUniformField(5.0, 95.0, GetParam());
+  const auto readings = field->Sample(network.topology());
+  KipdaProtocol protocol(&network);
+  protocol.SetReadings(readings);
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  double true_max = 0.0;
+  for (size_t i = 1; i < readings.size(); ++i) {
+    true_max = std::max(true_max, readings[i]);
+  }
+  EXPECT_LE(protocol.FinalizedResult(), true_max + 1e-12);
+  // Dense network: the max-holder joins and the answer is exact.
+  if (protocol.stats().nodes_joined >= 345) {
+    EXPECT_DOUBLE_EQ(protocol.FinalizedResult(), true_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KipdaInvariants,
+                         ::testing::Values(5, 10, 20, 40));
+
+}  // namespace
+}  // namespace ipda::agg

@@ -1,0 +1,138 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "crypto/ctr.h"
+#include "crypto/key.h"
+#include "crypto/xtea.h"
+#include "util/random.h"
+
+namespace ipda::crypto {
+namespace {
+
+TEST(Key128, FromSeedDeterministic) {
+  EXPECT_EQ(Key128::FromSeed(42), Key128::FromSeed(42));
+  EXPECT_FALSE(Key128::FromSeed(42) == Key128::FromSeed(43));
+}
+
+TEST(Key128, RandomKeysDiffer) {
+  util::Rng rng(1);
+  EXPECT_FALSE(Key128::Random(rng) == Key128::Random(rng));
+}
+
+TEST(Key128, HexIs32Chars) {
+  EXPECT_EQ(Key128::FromSeed(7).ToHex().size(), 32u);
+}
+
+TEST(Xtea, EncryptDecryptRoundTrip) {
+  const Key128 key = Key128::FromSeed(99);
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t block = rng.NextUint64();
+    EXPECT_EQ(XteaDecryptBlock(key, XteaEncryptBlock(key, block)), block);
+  }
+}
+
+TEST(Xtea, KnownTestVector) {
+  // Published XTEA vector: key 00010203 04050607 08090a0b 0c0d0e0f,
+  // plaintext 41424344 45464748 -> ciphertext 497df3d0 72612cb5.
+  // Our block packs v0 = low 32 bits, v1 = high 32 bits.
+  Key128 key;
+  key.words = {0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f};
+  const uint64_t plaintext =
+      0x41424344ULL | (0x45464748ULL << 32);  // v0=0x41424344, v1=...
+  const uint64_t ciphertext = XteaEncryptBlock(key, plaintext);
+  const uint32_t c0 = static_cast<uint32_t>(ciphertext);
+  const uint32_t c1 = static_cast<uint32_t>(ciphertext >> 32);
+  EXPECT_EQ(c0, 0x497df3d0u);
+  EXPECT_EQ(c1, 0x72612cb5u);
+}
+
+TEST(Xtea, WrongKeyDoesNotDecrypt) {
+  const Key128 a = Key128::FromSeed(1);
+  const Key128 b = Key128::FromSeed(2);
+  const uint64_t block = 0x1122334455667788ULL;
+  EXPECT_NE(XteaDecryptBlock(b, XteaEncryptBlock(a, block)), block);
+}
+
+TEST(Xtea, AvalancheOnPlaintextBitFlip) {
+  const Key128 key = Key128::FromSeed(5);
+  const uint64_t c1 = XteaEncryptBlock(key, 0);
+  const uint64_t c2 = XteaEncryptBlock(key, 1);
+  const int flipped = __builtin_popcountll(c1 ^ c2);
+  EXPECT_GT(flipped, 16);  // Roughly half of 64 bits should flip.
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Ctr, RoundTripVariousLengths) {
+  const Key128 key = Key128::FromSeed(11);
+  util::Rng rng(3);
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 16u, 63u, 64u, 65u, 1000u}) {
+    util::Bytes data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.UniformUint64(256));
+    const util::Bytes original = data;
+    CtrCrypt(key, 777, data);
+    if (len > 0) {
+      EXPECT_NE(data, original) << "len=" << len;
+    }
+    CtrCrypt(key, 777, data);  // Symmetric.
+    EXPECT_EQ(data, original) << "len=" << len;
+  }
+}
+
+TEST(Ctr, DifferentNoncesGiveDifferentCiphertexts) {
+  const Key128 key = Key128::FromSeed(12);
+  const util::Bytes plaintext(32, 0x00);
+  const util::Bytes c1 = CtrCryptCopy(key, 1, plaintext);
+  const util::Bytes c2 = CtrCryptCopy(key, 2, plaintext);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Ctr, DifferentKeysGiveDifferentCiphertexts) {
+  const util::Bytes plaintext(32, 0x00);
+  const util::Bytes c1 = CtrCryptCopy(Key128::FromSeed(1), 5, plaintext);
+  const util::Bytes c2 = CtrCryptCopy(Key128::FromSeed(2), 5, plaintext);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Ctr, KeystreamBytesLookUniform) {
+  // Encrypting zeros exposes the keystream; its byte histogram should be
+  // roughly flat.
+  const Key128 key = Key128::FromSeed(13);
+  util::Bytes zeros(256 * 64, 0x00);
+  CtrCrypt(key, 999, zeros);
+  std::vector<int> counts(256, 0);
+  for (uint8_t b : zeros) ++counts[b];
+  const double expected = static_cast<double>(zeros.size()) / 256.0;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.5);
+    EXPECT_LT(c, expected * 1.5);
+  }
+}
+
+TEST(Ctr, CopyVariantLeavesInputIntact) {
+  const Key128 key = Key128::FromSeed(14);
+  const util::Bytes plaintext{1, 2, 3, 4};
+  const util::Bytes copy = CtrCryptCopy(key, 4, plaintext);
+  EXPECT_EQ(plaintext, (util::Bytes{1, 2, 3, 4}));
+  EXPECT_NE(copy, plaintext);
+}
+
+class XteaPermutationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XteaPermutationProperty, NoCollisionsInSample) {
+  // A block cipher is a permutation: distinct plaintexts map to distinct
+  // ciphertexts.
+  const Key128 key = Key128::FromSeed(GetParam());
+  std::set<uint64_t> outputs;
+  for (uint64_t p = 0; p < 4096; ++p) {
+    outputs.insert(XteaEncryptBlock(key, p));
+  }
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, XteaPermutationProperty,
+                         ::testing::Values(1, 17, 8675309));
+
+}  // namespace
+}  // namespace ipda::crypto

@@ -1,0 +1,139 @@
+#include "crypto/keystore.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairwise.h"
+#include "util/bytes.h"
+
+namespace ipda::crypto {
+namespace {
+
+TEST(KeyStore, SetGetHas) {
+  KeyStore store;
+  EXPECT_FALSE(store.HasLinkKey(5));
+  EXPECT_FALSE(store.GetLinkKey(5).ok());
+  store.SetLinkKey(5, Key128::FromSeed(1));
+  EXPECT_TRUE(store.HasLinkKey(5));
+  EXPECT_EQ(*store.GetLinkKey(5), Key128::FromSeed(1));
+  EXPECT_EQ(store.link_count(), 1u);
+}
+
+TEST(KeyStore, PeersSorted) {
+  KeyStore store;
+  store.SetLinkKey(9, Key128::FromSeed(1));
+  store.SetLinkKey(2, Key128::FromSeed(2));
+  store.SetLinkKey(5, Key128::FromSeed(3));
+  EXPECT_EQ(store.Peers(), (std::vector<PeerId>{2, 5, 9}));
+}
+
+TEST(KeyStore, OverwriteReplacesKey) {
+  KeyStore store;
+  store.SetLinkKey(1, Key128::FromSeed(1));
+  store.SetLinkKey(1, Key128::FromSeed(2));
+  EXPECT_EQ(*store.GetLinkKey(1), Key128::FromSeed(2));
+  EXPECT_EQ(store.link_count(), 1u);
+}
+
+class LinkCryptoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Key128 shared = Key128::FromSeed(42);
+    alice_.keystore().SetLinkKey(2, shared);
+    bob_.keystore().SetLinkKey(1, shared);
+  }
+
+  LinkCrypto alice_{1};
+  LinkCrypto bob_{2};
+};
+
+TEST_F(LinkCryptoTest, SealOpenRoundTrip) {
+  const util::Bytes plaintext{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto wire = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->size(), plaintext.size() + kSealOverheadBytes);
+  auto opened = bob_.Open(1, *wire);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST_F(LinkCryptoTest, CiphertextDiffersFromPlaintext) {
+  const util::Bytes plaintext(64, 0x00);
+  auto wire = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(wire.ok());
+  const util::Bytes body(wire->begin() + kSealOverheadBytes, wire->end());
+  EXPECT_NE(body, plaintext);
+}
+
+TEST_F(LinkCryptoTest, RepeatedSealsUseFreshNonces) {
+  const util::Bytes plaintext(32, 0xaa);
+  auto w1 = alice_.Seal(2, plaintext);
+  auto w2 = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(*w1, *w2);  // Same plaintext, different wire bytes.
+  EXPECT_EQ(*bob_.Open(1, *w1), plaintext);
+  EXPECT_EQ(*bob_.Open(1, *w2), plaintext);
+}
+
+TEST_F(LinkCryptoTest, BothDirectionsIndependent) {
+  const util::Bytes a_to_b{1, 1, 1};
+  const util::Bytes b_to_a{2, 2, 2};
+  auto w1 = alice_.Seal(2, a_to_b);
+  auto w2 = bob_.Seal(1, b_to_a);
+  EXPECT_EQ(*bob_.Open(1, *w1), a_to_b);
+  EXPECT_EQ(*alice_.Open(2, *w2), b_to_a);
+}
+
+TEST_F(LinkCryptoTest, SealToUnknownPeerFails) {
+  auto wire = alice_.Seal(99, util::Bytes{1});
+  EXPECT_FALSE(wire.ok());
+  EXPECT_EQ(wire.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(LinkCryptoTest, OpenFromUnknownPeerFails) {
+  EXPECT_FALSE(bob_.Open(99, util::Bytes(16, 0)).ok());
+}
+
+TEST_F(LinkCryptoTest, WrongKeyYieldsGarbage) {
+  LinkCrypto eve(3);
+  eve.keystore().SetLinkKey(1, Key128::FromSeed(1234));
+  const util::Bytes plaintext{9, 8, 7, 6};
+  auto wire = alice_.Seal(2, plaintext);
+  auto opened = eve.Open(1, *wire);
+  ASSERT_TRUE(opened.ok());  // Decryption "succeeds"...
+  EXPECT_NE(*opened, plaintext);  // ...but produces garbage.
+}
+
+TEST_F(LinkCryptoTest, TruncatedWireFails) {
+  auto wire = alice_.Seal(2, util::Bytes{1, 2, 3});
+  util::Bytes truncated(wire->begin(), wire->begin() + 4);
+  EXPECT_FALSE(bob_.Open(1, truncated).ok());
+}
+
+TEST(PairwiseKeyScheme, SymmetricInEndpoints) {
+  PairwiseKeyScheme scheme(777);
+  EXPECT_EQ(scheme.LinkKey(3, 9), scheme.LinkKey(9, 3));
+  EXPECT_FALSE(scheme.LinkKey(3, 9) == scheme.LinkKey(3, 8));
+}
+
+TEST(PairwiseKeyScheme, DifferentMastersDifferentKeys) {
+  EXPECT_FALSE(PairwiseKeyScheme(1).LinkKey(1, 2) ==
+               PairwiseKeyScheme(2).LinkKey(1, 2));
+}
+
+TEST(PairwiseKeyScheme, ProvisionInstallsBothDirections) {
+  PairwiseKeyScheme scheme(10);
+  std::vector<LinkCrypto> cryptos;
+  for (PeerId id = 0; id < 4; ++id) cryptos.emplace_back(id);
+  scheme.Provision({{0, 1}, {1, 2}, {2, 3}}, cryptos);
+  EXPECT_TRUE(cryptos[0].keystore().HasLinkKey(1));
+  EXPECT_TRUE(cryptos[1].keystore().HasLinkKey(0));
+  EXPECT_TRUE(cryptos[1].keystore().HasLinkKey(2));
+  EXPECT_FALSE(cryptos[0].keystore().HasLinkKey(2));
+  // End-to-end over a provisioned link.
+  auto wire = cryptos[1].Seal(2, util::Bytes{42});
+  EXPECT_EQ(*cryptos[2].Open(1, *wire), util::Bytes{42});
+}
+
+}  // namespace
+}  // namespace ipda::crypto

@@ -1,0 +1,160 @@
+#include "crypto/link_security.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ipda::crypto {
+namespace {
+
+std::vector<Link> CompleteGraphLinks(PeerId n) {
+  std::vector<Link> links;
+  for (PeerId a = 0; a < n; ++a) {
+    for (PeerId b = static_cast<PeerId>(a + 1); b < n; ++b) {
+      links.emplace_back(a, b);
+    }
+  }
+  return links;
+}
+
+TEST(UniformLinkCompromise, ExtremesAndFraction) {
+  util::Rng rng(1);
+  auto none = UniformLinkCompromise(100, 0.0, rng);
+  EXPECT_EQ(none.fraction_broken, 0.0);
+  auto all = UniformLinkCompromise(100, 1.0, rng);
+  EXPECT_EQ(all.fraction_broken, 1.0);
+}
+
+TEST(UniformLinkCompromise, FractionTracksPx) {
+  util::Rng rng(2);
+  auto report = UniformLinkCompromise(20000, 0.1, rng);
+  EXPECT_NEAR(report.fraction_broken, 0.1, 0.01);
+  EXPECT_EQ(report.broken.size(), 20000u);
+}
+
+TEST(UniformLinkCompromise, EmptyLinkSet) {
+  util::Rng rng(3);
+  auto report = UniformLinkCompromise(0, 0.5, rng);
+  EXPECT_EQ(report.fraction_broken, 0.0);
+  EXPECT_TRUE(report.broken.empty());
+}
+
+TEST(NodeCapturePairwise, OnlyIncidentLinksLeak) {
+  util::Rng rng(4);
+  const auto links = CompleteGraphLinks(6);
+  // Capture everything: all links leak.
+  auto all = NodeCaptureUnderPairwise(links, 6, 6, rng);
+  EXPECT_EQ(all.fraction_broken, 1.0);
+  // Capture nothing: nothing leaks.
+  auto none = NodeCaptureUnderPairwise(links, 6, 0, rng);
+  EXPECT_EQ(none.fraction_broken, 0.0);
+}
+
+TEST(NodeCapturePairwise, SingleCaptureBreaksExactlyItsDegree) {
+  util::Rng rng(5);
+  const auto links = CompleteGraphLinks(10);  // 45 links, degree 9 each.
+  auto report = NodeCaptureUnderPairwise(links, 10, 1, rng);
+  size_t broken = 0;
+  for (bool b : report.broken) broken += b ? 1 : 0;
+  EXPECT_EQ(broken, 9u);
+}
+
+TEST(NodeCapturePredistribution, CapturedRingExposesThirdPartyLinks) {
+  // Pool of 1 key: everyone shares key 0, so capturing ANY node exposes
+  // every link.
+  EgConfig config{1, 1};
+  util::Rng rng(6);
+  auto scheme = KeyPredistribution::Create(config, 8, 1, rng);
+  ASSERT_TRUE(scheme.ok());
+  const auto links = CompleteGraphLinks(8);
+  auto report =
+      NodeCaptureUnderPredistribution(links, *scheme, 1, rng);
+  EXPECT_EQ(report.fraction_broken, 1.0);
+}
+
+TEST(NodeCapturePredistribution, LargePoolApproachesPairwiseBehavior) {
+  // Huge pool, tiny rings: captured rings almost never intersect others'
+  // link keys, so only incident links leak (like pairwise).
+  EgConfig config{100000, 2};
+  util::Rng rng(7);
+  auto scheme = KeyPredistribution::Create(config, 40, 1, rng);
+  ASSERT_TRUE(scheme.ok());
+  const auto links = CompleteGraphLinks(40);  // 780 links.
+  auto eg = NodeCaptureUnderPredistribution(links, *scheme, 2, rng);
+  util::Rng rng2(7);
+  auto pw = NodeCaptureUnderPairwise(links, 40, 2, rng2);
+  EXPECT_NEAR(eg.fraction_broken, pw.fraction_broken, 0.05);
+}
+
+TEST(NodeCapturePredistribution, MoreCapturesMoreExposure) {
+  EgConfig config{500, 50};
+  util::Rng rng(8);
+  auto scheme = KeyPredistribution::Create(config, 60, 1, rng);
+  ASSERT_TRUE(scheme.ok());
+  const auto links = CompleteGraphLinks(60);
+  util::Rng r1(10), r2(10);
+  auto few = NodeCaptureUnderPredistribution(links, *scheme, 2, r1);
+  auto many = NodeCaptureUnderPredistribution(links, *scheme, 20, r2);
+  EXPECT_LT(few.fraction_broken, many.fraction_broken);
+}
+
+TEST(ExpectedEgLinkExposure, ClosedFormBasics) {
+  EgConfig config{100, 10};
+  EXPECT_DOUBLE_EQ(ExpectedEgLinkExposure(config, 0), 0.0);
+  // One captured ring of 10 keys from a pool of 100: a fixed key is
+  // exposed w.p. 0.1.
+  EXPECT_NEAR(ExpectedEgLinkExposure(config, 1), 0.1, 1e-12);
+  // Monotone in captures, bounded by 1.
+  double prev = 0.0;
+  for (size_t c = 1; c <= 50; ++c) {
+    const double e = ExpectedEgLinkExposure(config, c);
+    EXPECT_GT(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(ExpectedEgLinkExposure, MatchesEmpiricalExposure) {
+  EgConfig config{200, 20};
+  util::Rng rng(11);
+  auto scheme = KeyPredistribution::Create(config, 100, 1, rng);
+  ASSERT_TRUE(scheme.ok());
+  // Count exposure of non-incident links only (the closed form models key
+  // leakage, not capture of endpoints).
+  const size_t captured_count = 5;
+  double total_rate = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<bool> captured(100, false);
+    std::unordered_set<KeyId> exposed;
+    for (size_t idx :
+         rng.SampleWithoutReplacement(100, captured_count)) {
+      captured[idx] = true;
+      for (KeyId k : scheme->ring(static_cast<PeerId>(idx))) {
+        exposed.insert(k);
+      }
+    }
+    size_t leaking = 0, eligible = 0;
+    for (PeerId a = 0; a < 100; ++a) {
+      for (PeerId b = static_cast<PeerId>(a + 1); b < 100; ++b) {
+        if (captured[a] || captured[b]) continue;
+        const KeyId shared = scheme->SharedKeyId(a, b);
+        if (shared == kInvalidKeyId) continue;
+        ++eligible;
+        if (exposed.count(shared) > 0) ++leaking;
+      }
+    }
+    if (eligible > 0) {
+      total_rate += static_cast<double>(leaking) /
+                    static_cast<double>(eligible);
+    }
+  }
+  const double empirical = total_rate / trials;
+  const double expected = ExpectedEgLinkExposure(config, captured_count);
+  EXPECT_NEAR(empirical, expected, 0.12);
+}
+
+}  // namespace
+}  // namespace ipda::crypto

@@ -1,0 +1,167 @@
+// End-to-end runs of TAG and iPDA over the full simulated stack: random
+// deployment, CSMA MAC, collisions, link encryption. These are the
+// invariants the paper's evaluation relies on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "attack/pollution.h"
+
+namespace ipda {
+namespace {
+
+using agg::IpdaConfig;
+using agg::IpdaRunHooks;
+using agg::IpdaRunResult;
+using agg::RunConfig;
+using agg::RunIpda;
+using agg::RunTag;
+using agg::TagRunResult;
+
+RunConfig DenseConfig(uint64_t seed) {
+  RunConfig config;
+  config.deployment.node_count = 350;
+  config.deployment.area = net::Area{400.0, 400.0};
+  config.range = 50.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(IntegrationTag, CountReachesMostNodes) {
+  const RunConfig config = DenseConfig(7);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(25.0);
+  auto result = RunTag(config, *function, *field);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Paper Fig. 8c: TAG accuracy is near 1 for dense networks.
+  EXPECT_GT(result->accuracy, 0.90);
+  EXPECT_LE(result->accuracy, 1.0 + 1e-9);
+  EXPECT_GT(result->stats.nodes_joined, 300u);
+}
+
+TEST(IntegrationTag, SumMatchesJoinedContributions) {
+  RunConfig config = DenseConfig(11);
+  auto function = agg::MakeSum();
+  auto field = agg::MakeUniformField(10.0, 30.0, 99);
+  auto result = RunTag(config, *function, *field);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Collected sum can never exceed the ground truth (readings positive).
+  EXPECT_LE(result->stats.collected[0], result->true_acc[0] + 1e-6);
+  EXPECT_GT(result->accuracy, 0.85);
+}
+
+TEST(IntegrationIpda, CountAccurateAndAcceptedInDenseNetwork) {
+  const RunConfig config = DenseConfig(13);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  IpdaConfig ipda;
+  ipda.slice_count = 2;
+  auto result = RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& decision = result->stats.decision;
+  // Without pollution the trees agree within Th (paper Fig. 6).
+  EXPECT_TRUE(decision.accepted)
+      << "red=" << decision.acc_red[0] << " blue=" << decision.acc_blue[0];
+  // Dense network: most nodes participate and accuracy is high (Fig. 8).
+  EXPECT_GT(result->accuracy, 0.85);
+  EXPECT_GT(result->stats.covered_both,
+            result->stats.participants - 1);  // covered ⊇ participants
+}
+
+TEST(IntegrationIpda, RedAndBlueTreesAreNodeDisjoint) {
+  // Disjointness holds by construction (a node takes one role); verify the
+  // census adds up: every non-excluded sensor is exactly one of
+  // red/blue/leaf/undecided.
+  const RunConfig config = DenseConfig(17);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  auto result = RunIpda(config, *function, *field);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& s = result->stats;
+  EXPECT_EQ(s.red_aggregators + s.blue_aggregators + s.leaves + s.undecided,
+            config.deployment.node_count - 1);
+}
+
+TEST(IntegrationIpda, PollutionIsDetected) {
+  const RunConfig config = DenseConfig(19);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  IpdaRunHooks hooks;
+  size_t fired = 0;
+  attack::PollutionConfig attack_config;
+  attack_config.attackers = {42};
+  attack_config.additive_delta = 100.0;
+  hooks.pollution = attack::MakePollutionHook(attack_config, &fired);
+  auto result = RunIpda(config, *function, *field, IpdaConfig{}, hooks);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (fired > 0) {
+    EXPECT_FALSE(result->stats.decision.accepted)
+        << "diff=" << result->stats.decision.max_component_diff;
+  }
+}
+
+TEST(IntegrationIpda, OverheadRatioTracksTheory) {
+  // Fig. 7: total bytes under iPDA(l) / TAG ≈ (2l+1)/2 once the network is
+  // dense enough that nearly everyone participates.
+  const RunConfig config = DenseConfig(23);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+
+  auto tag = RunTag(config, *function, *field);
+  ASSERT_TRUE(tag.ok());
+  IpdaConfig l2;
+  l2.slice_count = 2;
+  auto ipda = RunIpda(config, *function, *field, l2);
+  ASSERT_TRUE(ipda.ok());
+
+  const double ratio =
+      static_cast<double>(ipda->traffic.bytes_sent) /
+      static_cast<double>(tag->traffic.bytes_sent);
+  // Theory says 2.5x in messages; bytes differ by payload sizes and the
+  // slice nonce, so accept a generous band around it.
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(IntegrationIpda, SparseNetworkLosesCoverage) {
+  RunConfig config = DenseConfig(29);
+  config.deployment.node_count = 150;  // Avg degree ~6.6: sparse.
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  auto sparse = RunIpda(config, *function, *field);
+  ASSERT_TRUE(sparse.ok());
+
+  config.deployment.node_count = 450;
+  config.seed = 31;
+  auto dense = RunIpda(config, *function, *field);
+  ASSERT_TRUE(dense.ok());
+
+  const double sparse_cov =
+      static_cast<double>(sparse->stats.covered_both) / 149.0;
+  const double dense_cov =
+      static_cast<double>(dense->stats.covered_both) / 449.0;
+  // Fig. 8a: coverage grows with density.
+  EXPECT_LT(sparse_cov, dense_cov);
+  EXPECT_GT(dense_cov, 0.95);
+}
+
+TEST(IntegrationIpda, DeterministicAcrossRuns) {
+  const RunConfig config = DenseConfig(37);
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  auto a = RunIpda(config, *function, *field);
+  auto b = RunIpda(config, *function, *field);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.decision.acc_red[0], b->stats.decision.acc_red[0]);
+  EXPECT_EQ(a->stats.decision.acc_blue[0], b->stats.decision.acc_blue[0]);
+  EXPECT_EQ(a->traffic.bytes_sent, b->traffic.bytes_sent);
+  EXPECT_EQ(a->stats.participants, b->stats.participants);
+}
+
+}  // namespace
+}  // namespace ipda

@@ -1,0 +1,122 @@
+#include "agg/ipda/base_station.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/ipda/config.h"
+
+namespace ipda::agg {
+namespace {
+
+TEST(BaseStation, AgreementAccepted) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {100.0});
+  acc.Add(TreeColor::kBlue, {100.0});
+  const auto decision = acc.Decide(5.0);
+  EXPECT_TRUE(decision.accepted);
+  EXPECT_EQ(decision.max_component_diff, 0.0);
+  EXPECT_EQ(decision.Agreed(), Vector{100.0});
+}
+
+TEST(BaseStation, SmallLossWithinThresholdAccepted) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {100.0});
+  acc.Add(TreeColor::kBlue, {96.0});
+  const auto decision = acc.Decide(5.0);
+  EXPECT_TRUE(decision.accepted);
+  EXPECT_DOUBLE_EQ(decision.max_component_diff, 4.0);
+  EXPECT_EQ(decision.Agreed(), Vector{98.0});
+}
+
+TEST(BaseStation, PollutionBeyondThresholdRejected) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {200.0});
+  acc.Add(TreeColor::kBlue, {100.0});
+  EXPECT_FALSE(acc.Decide(5.0).accepted);
+}
+
+TEST(BaseStation, BoundaryExactlyThresholdAccepted) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {105.0});
+  acc.Add(TreeColor::kBlue, {100.0});
+  EXPECT_TRUE(acc.Decide(5.0).accepted);
+  EXPECT_FALSE(acc.Decide(4.999).accepted);
+}
+
+TEST(BaseStation, AccumulatesIncrementally) {
+  BaseStationAccumulator acc(2);
+  acc.Add(TreeColor::kRed, {1.0, 10.0});
+  acc.Add(TreeColor::kRed, {2.0, 20.0});
+  acc.Add(TreeColor::kBlue, {3.0, 30.0});
+  EXPECT_EQ(acc.acc(TreeColor::kRed), (Vector{3.0, 30.0}));
+  EXPECT_EQ(acc.acc(TreeColor::kBlue), (Vector{3.0, 30.0}));
+}
+
+TEST(BaseStation, MultiComponentDiffUsesMax) {
+  BaseStationAccumulator acc(3);
+  acc.Add(TreeColor::kRed, {10.0, 20.0, 30.0});
+  acc.Add(TreeColor::kBlue, {10.0, 27.0, 29.0});
+  const auto decision = acc.Decide(5.0);
+  EXPECT_DOUBLE_EQ(decision.max_component_diff, 7.0);
+  EXPECT_FALSE(decision.accepted);
+}
+
+TEST(BaseStation, NegativePollutionAlsoCaught) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {100.0});
+  acc.Add(TreeColor::kBlue, {160.0});
+  EXPECT_FALSE(acc.Decide(5.0).accepted);
+  EXPECT_DOUBLE_EQ(acc.Decide(5.0).max_component_diff, 60.0);
+}
+
+TEST(BaseStation, ResetClearsBothTrees) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {42.0});
+  acc.Add(TreeColor::kBlue, {17.0});
+  acc.Reset();
+  EXPECT_EQ(acc.acc(TreeColor::kRed), Vector{0.0});
+  EXPECT_EQ(acc.acc(TreeColor::kBlue), Vector{0.0});
+  EXPECT_TRUE(acc.Decide(0.0).accepted);
+}
+
+TEST(BaseStation, ZeroThresholdDemandsExactAgreement) {
+  BaseStationAccumulator acc(1);
+  acc.Add(TreeColor::kRed, {50.0});
+  acc.Add(TreeColor::kBlue, {50.0});
+  EXPECT_TRUE(acc.Decide(0.0).accepted);
+  acc.Add(TreeColor::kBlue, {1e-9});
+  EXPECT_FALSE(acc.Decide(0.0).accepted);
+}
+
+TEST(BaseStation, AddingBothColorAborts) {
+  BaseStationAccumulator acc(1);
+  EXPECT_DEATH(acc.Add(TreeColor::kBoth, {1.0}), "CHECK failed");
+}
+
+TEST(IpdaConfigValidation, CatchesBadParameters) {
+  IpdaConfig config;
+  EXPECT_TRUE(ValidateIpdaConfig(config).ok());
+  config.slice_count = 0;
+  EXPECT_FALSE(ValidateIpdaConfig(config).ok());
+  config = IpdaConfig{};
+  config.k = 1;
+  EXPECT_FALSE(ValidateIpdaConfig(config).ok());
+  config = IpdaConfig{};
+  config.threshold = -1.0;
+  EXPECT_FALSE(ValidateIpdaConfig(config).ok());
+  config = IpdaConfig{};
+  config.slice_range = 0.0;
+  EXPECT_FALSE(ValidateIpdaConfig(config).ok());
+  config = IpdaConfig{};
+  config.max_depth = 0;
+  EXPECT_FALSE(ValidateIpdaConfig(config).ok());
+}
+
+TEST(IpdaConfigTiming, PhasesAreOrdered) {
+  IpdaConfig config;
+  EXPECT_GT(IpdaSliceStart(config), 0);
+  EXPECT_GT(IpdaReportStart(config), IpdaSliceStart(config));
+  EXPECT_GT(IpdaDuration(config), IpdaReportStart(config));
+}
+
+}  // namespace
+}  // namespace ipda::agg

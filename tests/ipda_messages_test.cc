@@ -1,0 +1,120 @@
+#include "agg/ipda/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace ipda::agg {
+namespace {
+
+TEST(HelloMsg, RoundTrip) {
+  for (TreeColor color :
+       {TreeColor::kRed, TreeColor::kBlue, TreeColor::kBoth}) {
+    for (uint32_t hop : {0u, 1u, 7u, 65535u}) {
+      auto decoded =
+          DecodeHelloMsg(EncodeHelloMsg({color, hop, std::nullopt}));
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded->color, color);
+      EXPECT_EQ(decoded->hop, hop);
+    }
+  }
+}
+
+TEST(HelloMsg, HopSaturatesAt16Bits) {
+  auto decoded = DecodeHelloMsg(EncodeHelloMsg({TreeColor::kRed, 1 << 20, std::nullopt}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->hop, 0xffffu);
+}
+
+TEST(HelloMsg, RejectsBadColor) {
+  util::Bytes wire = EncodeHelloMsg({TreeColor::kRed, 3, std::nullopt});
+  wire[0] = 0;
+  EXPECT_FALSE(DecodeHelloMsg(wire).ok());
+  wire[0] = 4;
+  EXPECT_FALSE(DecodeHelloMsg(wire).ok());
+}
+
+TEST(HelloMsg, RejectsTruncation) {
+  util::Bytes wire = EncodeHelloMsg({TreeColor::kBlue, 3, std::nullopt});
+  wire.pop_back();
+  EXPECT_FALSE(DecodeHelloMsg(wire).ok());
+}
+
+TEST(HelloMsg, QueryPiggybackRoundTrip) {
+  HelloMsg msg{TreeColor::kRed, 4, HistogramQuery(0.0, 50.0, 10, 3)};
+  auto decoded = DecodeHelloMsg(EncodeHelloMsg(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->query.has_value());
+  EXPECT_EQ(*decoded->query, *msg.query);
+  EXPECT_EQ(decoded->hop, 4u);
+}
+
+TEST(HelloMsg, QueryPiggybackGrowsWire) {
+  const size_t bare =
+      EncodeHelloMsg({TreeColor::kRed, 1, std::nullopt}).size();
+  const size_t with_query =
+      EncodeHelloMsg({TreeColor::kRed, 1, CountQuery()}).size();
+  EXPECT_EQ(with_query, bare + kQueryWireBytes);
+}
+
+TEST(HelloMsg, TruncatedQueryRejected) {
+  util::Bytes wire =
+      EncodeHelloMsg({TreeColor::kRed, 1, CountQuery()});
+  wire.pop_back();
+  EXPECT_FALSE(DecodeHelloMsg(wire).ok());
+}
+
+TEST(SliceMsg, RoundTrip) {
+  SliceMsg msg{TreeColor::kBlue, Vector{0.25, -1.5}};
+  auto decoded = DecodeSliceMsg(EncodeSliceMsg(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->color, TreeColor::kBlue);
+  EXPECT_EQ(decoded->slice, msg.slice);
+}
+
+TEST(SliceMsg, RejectsBothColor) {
+  // Slices feed exactly one tree; kBoth is invalid on the wire.
+  util::Bytes wire = EncodeSliceMsg({TreeColor::kRed, Vector{1.0}});
+  wire[0] = 3;
+  EXPECT_FALSE(DecodeSliceMsg(wire).ok());
+}
+
+TEST(AggregateMsg, RoundTrip) {
+  AggregateMsg msg{TreeColor::kRed, Vector{100.0, 250.5, 3.0}};
+  auto decoded = DecodeAggregateMsg(EncodeAggregateMsg(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->color, TreeColor::kRed);
+  EXPECT_EQ(decoded->partial, msg.partial);
+}
+
+TEST(AggregateMsg, RejectsBadColorAndTruncation) {
+  util::Bytes wire = EncodeAggregateMsg({TreeColor::kBlue, Vector{1.0}});
+  util::Bytes bad_color = wire;
+  bad_color[0] = 3;
+  EXPECT_FALSE(DecodeAggregateMsg(bad_color).ok());
+  wire.pop_back();
+  EXPECT_FALSE(DecodeAggregateMsg(wire).ok());
+}
+
+TEST(RoleColor, Matching) {
+  EXPECT_TRUE(RoleMatchesColor(NodeRole::kRedAggregator, TreeColor::kRed));
+  EXPECT_FALSE(RoleMatchesColor(NodeRole::kRedAggregator, TreeColor::kBlue));
+  EXPECT_TRUE(RoleMatchesColor(NodeRole::kBlueAggregator, TreeColor::kBlue));
+  EXPECT_FALSE(RoleMatchesColor(NodeRole::kBlueAggregator, TreeColor::kRed));
+  // The base station roots both trees.
+  EXPECT_TRUE(RoleMatchesColor(NodeRole::kBaseStation, TreeColor::kRed));
+  EXPECT_TRUE(RoleMatchesColor(NodeRole::kBaseStation, TreeColor::kBlue));
+  EXPECT_TRUE(RoleMatchesColor(NodeRole::kBaseStation, TreeColor::kBoth));
+  // Leaves and excluded nodes aggregate nowhere.
+  EXPECT_FALSE(RoleMatchesColor(NodeRole::kLeaf, TreeColor::kRed));
+  EXPECT_FALSE(RoleMatchesColor(NodeRole::kExcluded, TreeColor::kBlue));
+}
+
+TEST(Names, AreHumanReadable) {
+  EXPECT_STREQ(TreeColorName(TreeColor::kRed), "red");
+  EXPECT_STREQ(TreeColorName(TreeColor::kBlue), "blue");
+  EXPECT_STREQ(TreeColorName(TreeColor::kBoth), "both");
+  EXPECT_STREQ(NodeRoleName(NodeRole::kLeaf), "leaf");
+  EXPECT_STREQ(NodeRoleName(NodeRole::kBaseStation), "base-station");
+}
+
+}  // namespace
+}  // namespace ipda::agg

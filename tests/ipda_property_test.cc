@@ -1,0 +1,148 @@
+// Property sweep: the invariants the iPDA design guarantees, checked
+// across many independent deployments (TEST_P over seeds).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/ipda/protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "sim/simulator.h"
+
+namespace ipda::agg {
+namespace {
+
+class IpdaInvariants : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static constexpr size_t kNodes = 350;
+};
+
+TEST_P(IpdaInvariants, EndToEnd) {
+  RunConfig config;
+  config.deployment.node_count = kNodes;
+  config.seed = GetParam();
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = MakeCount();
+  IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  IpdaProtocol protocol(&network, function.get(), ipda);
+  auto field = MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+
+  // Invariant instrumentation: per-node slice conservation.
+  std::vector<double> slice_sum_red(kNodes, 0.0);
+  std::vector<double> slice_sum_blue(kNodes, 0.0);
+  protocol.SetSliceObserver([&](net::NodeId from, net::NodeId,
+                                TreeColor color, const Vector& slice) {
+    (color == TreeColor::kRed ? slice_sum_red : slice_sum_blue)[from] +=
+        slice[0];
+  });
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+
+  // 1. Role partition: every sensor has exactly one final role.
+  size_t red = 0, blue = 0, other = 0;
+  for (net::NodeId id = 1; id < kNodes; ++id) {
+    switch (protocol.builder(id).role()) {
+      case NodeRole::kRedAggregator:
+        ++red;
+        break;
+      case NodeRole::kBlueAggregator:
+        ++blue;
+        break;
+      default:
+        ++other;
+        break;
+    }
+  }
+  EXPECT_EQ(red, stats.red_aggregators);
+  EXPECT_EQ(blue, stats.blue_aggregators);
+  EXPECT_EQ(red + blue + other, kNodes - 1);
+
+  // 2. Tree disjointness: aggregators' parents carry the same color (or
+  // are the base station), and no node parents on both trees.
+  for (net::NodeId id = 1; id < kNodes; ++id) {
+    const auto& builder = protocol.builder(id);
+    const NodeRole role = builder.role();
+    if (role != NodeRole::kRedAggregator &&
+        role != NodeRole::kBlueAggregator) {
+      continue;
+    }
+    const net::NodeId parent = builder.parent();
+    if (parent != net::kBaseStationId) {
+      const NodeRole parent_role = protocol.builder(parent).role();
+      EXPECT_EQ(parent_role, role)
+          << "node " << id << " parent " << parent;
+    }
+    // Parent must be a radio neighbor (trees follow real links).
+    EXPECT_TRUE(network.topology().AreNeighbors(id, parent));
+    // Hop consistency: child is exactly one deeper than some HELLO it
+    // heard; at minimum deeper than 0 and finite.
+    EXPECT_GE(builder.hop(), 1u);
+    EXPECT_LT(builder.hop(), kNodes);
+  }
+
+  // 3. Slice conservation: every participant contributed exactly 1 to
+  // each tree (its full COUNT contribution), non-participants 0.
+  for (net::NodeId id = 1; id < kNodes; ++id) {
+    if (protocol.participated(id)) {
+      EXPECT_NEAR(slice_sum_red[id], 1.0, 1e-9) << id;
+      EXPECT_NEAR(slice_sum_blue[id], 1.0, 1e-9) << id;
+    } else {
+      EXPECT_EQ(slice_sum_red[id], 0.0) << id;
+      EXPECT_EQ(slice_sum_blue[id], 0.0) << id;
+    }
+  }
+
+  // 4. Census consistency.
+  EXPECT_LE(stats.participants, stats.covered_both);
+  EXPECT_EQ(stats.excluded, 0u);
+
+  // 5. No-attack acceptance, and both totals bounded by participation.
+  EXPECT_TRUE(stats.decision.accepted);
+  EXPECT_LE(stats.decision.acc_red[0],
+            static_cast<double>(stats.participants) + 1e-6);
+  EXPECT_LE(stats.decision.acc_blue[0],
+            static_cast<double>(stats.participants) + 1e-6);
+
+  // 6. Traffic sanity: slices counted match observer-visible sends.
+  EXPECT_GT(stats.slices_sent, 0u);
+  EXPECT_EQ(stats.slice_decrypt_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpdaInvariants,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 110));
+
+class IpdaAdaptiveInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IpdaAdaptiveInvariants, AdaptiveRolesStillSound) {
+  RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = GetParam();
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  ipda.adaptive_roles = true;
+  ipda.k = 4;
+  auto result = RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(result.ok());
+  // Leaves exist under the k-budget in a dense network...
+  EXPECT_GT(result->stats.leaves, 0u);
+  // ...and the round still works.
+  EXPECT_TRUE(result->stats.decision.accepted);
+  EXPECT_GT(result->accuracy, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpdaAdaptiveInvariants,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace ipda::agg

@@ -1,0 +1,93 @@
+#include "net/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ipda::net {
+namespace {
+
+TEST(EnergyModel, FirstOrderRadioMath) {
+  EnergyModel model;
+  // 100 bytes = 800 bits at 50 m: 800*(50e-9 + 100e-12*2500).
+  const double expected_tx = 800.0 * (50e-9 + 100e-12 * 2500.0);
+  EXPECT_NEAR(model.TxCost(100, 50.0), expected_tx, 1e-15);
+  EXPECT_NEAR(model.RxCost(100), 800.0 * 50e-9, 1e-15);
+  // Tx always costs at least Rx (amplifier on top of electronics).
+  EXPECT_GT(model.TxCost(100, 1.0), model.RxCost(100));
+}
+
+TEST(EnergyModel, QuadraticInRange) {
+  EnergyModel model;
+  const double d1 = model.TxCost(100, 10.0) - model.RxCost(100);
+  const double d2 = model.TxCost(100, 20.0) - model.RxCost(100);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9);
+}
+
+TEST(EnergyAccounting, ChannelChargesSenderAndReceivers) {
+  auto topo = Topology::Build({{0, 0}, {40, 0}, {40, 30}}, 50.0);
+  sim::Simulator simulator(1);
+  Network network(&simulator, std::move(*topo));
+  Packet p;
+  p.dst = kBroadcastId;
+  p.type = PacketType::kControl;
+  p.payload.assign(83, 0);  // 100 B frame.
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(1));
+
+  const EnergyModel model;
+  EXPECT_NEAR(network.counters().at(0).energy_tx_j,
+              model.TxCost(100, 50.0), 1e-12);
+  EXPECT_EQ(network.counters().at(0).energy_rx_j, 0.0);
+  // Both neighbors listened to the whole frame.
+  EXPECT_NEAR(network.counters().at(1).energy_rx_j, model.RxCost(100),
+              1e-12);
+  EXPECT_NEAR(network.counters().at(2).energy_rx_j, model.RxCost(100),
+              1e-12);
+  EXPECT_NEAR(network.counters().Totals().TotalEnergyJ(),
+              model.TxCost(100, 50.0) + 2 * model.RxCost(100), 1e-12);
+}
+
+TEST(EnergyAccounting, CorruptedReceptionsStillCost) {
+  // Hidden-terminal collision: the receiver's radio listened to both
+  // frames even though neither was delivered.
+  auto topo = Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(2);
+  Network network(&simulator, std::move(*topo));
+  net::Channel& channel = network.channel();
+  Packet p;
+  p.dst = 1;
+  p.type = PacketType::kControl;
+  p.payload.assign(83, 0);
+  simulator.At(sim::Microseconds(10), [&, p] {
+    channel.StartTransmission(0, p);
+  });
+  simulator.At(sim::Microseconds(10), [&, p] {
+    channel.StartTransmission(2, p);
+  });
+  simulator.RunAll();
+  const EnergyModel model;
+  EXPECT_EQ(network.counters().at(1).frames_collided, 2u);
+  EXPECT_NEAR(network.counters().at(1).energy_rx_j, 2 * model.RxCost(100),
+              1e-12);
+}
+
+TEST(EnergyAccounting, CustomModelThroughPhyConfig) {
+  auto topo = Topology::Build({{0, 0}, {40, 0}}, 50.0);
+  PhyConfig phy;
+  phy.energy.e_elec_j_per_bit = 1e-6;  // Hot radio.
+  phy.energy.e_amp_j_per_bit_m2 = 0.0;
+  sim::Simulator simulator(3);
+  Network network(&simulator, std::move(*topo), phy);
+  Packet p;
+  p.dst = 1;
+  p.type = PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(1));
+  // Frame = 17 B header = 136 bits at 1 uJ/bit.
+  EXPECT_NEAR(network.counters().at(0).energy_tx_j, 136e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace ipda::net

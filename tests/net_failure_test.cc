@@ -1,0 +1,153 @@
+// Node crash-failure injection: radio-level death and its protocol-level
+// consequences (§III-D: the base station cannot distinguish "data
+// pollution attacks or node failures" — both break tree agreement).
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/ipda/protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ipda {
+namespace {
+
+TEST(NodeFailure, FailedNodeStopsTransmitting) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(1);
+  net::Network network(&simulator, std::move(*topo));
+  size_t received = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++received; });
+  network.channel().FailNode(0);
+  net::Packet p;
+  p.dst = 1;
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(network.counters().at(0).frames_sent, 0u);
+}
+
+TEST(NodeFailure, FailedNodeStopsReceivingButOthersStillDo) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {40, 30}}, 50.0);
+  sim::Simulator simulator(2);
+  net::Network network(&simulator, std::move(*topo));
+  size_t node1 = 0, node2 = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++node1; });
+  network.node(2).SetReceiveHandler(
+      [&](const net::Packet&) { ++node2; });
+  network.channel().FailNode(1);
+  net::Packet p;
+  p.dst = net::kBroadcastId;
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(node1, 0u);
+  EXPECT_EQ(node2, 1u);
+}
+
+TEST(NodeFailure, MidFlightCrashDropsFrame) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}}, 50.0);
+  sim::Simulator simulator(3);
+  net::Network network(&simulator, std::move(*topo));
+  size_t received = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet p;
+  p.dst = 1;
+  p.payload.assign(500, 0);  // 4 ms airtime: plenty of flight time.
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  // Crash the receiver while the frame is in the air.
+  simulator.At(sim::Milliseconds(2), [&] {
+    network.channel().FailNode(1);
+  });
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(received, 0u);
+}
+
+TEST(NodeFailure, AggregatorCrashBreaksTreeAgreement) {
+  // Crash an aggregator between slicing and its report: its subtree's
+  // contributions vanish from exactly one tree, so the base station
+  // rejects — indistinguishable from pollution, as §III-D says.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 4242;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeCount();
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaProtocol protocol(&network, function.get(), ipda);
+  auto field = agg::MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+
+  // Run Phase I + II, find the aggregator with the largest child count
+  // (a fat subtree), then kill it right before the report phase.
+  simulator.RunUntil(agg::IpdaReportStart(ipda));
+  std::vector<size_t> children(network.size(), 0);
+  auto is_aggregator = [&](net::NodeId id) {
+    const auto role = protocol.builder(id).role();
+    return role == agg::NodeRole::kRedAggregator ||
+           role == agg::NodeRole::kBlueAggregator;
+  };
+  for (net::NodeId id = 1; id < network.size(); ++id) {
+    if (!is_aggregator(id)) continue;
+    const net::NodeId parent = protocol.builder(id).parent();
+    if (parent != net::kBaseStationId) ++children[parent];
+  }
+  net::NodeId victim = net::kBroadcastId;
+  size_t best = 0;
+  for (net::NodeId id = 1; id < network.size(); ++id) {
+    if (is_aggregator(id) && children[id] > best) {
+      best = children[id];
+      victim = id;
+    }
+  }
+  ASSERT_NE(victim, net::kBroadcastId);
+  ASSERT_GE(best, 3u);  // A real subtree hangs off the victim.
+  network.channel().FailNode(victim);
+
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+  // The victim's subtree partial (dozens of contributions at hop 1 of a
+  // 400-node network) is missing from one tree only.
+  EXPECT_FALSE(stats.decision.accepted)
+      << "diff=" << stats.decision.max_component_diff;
+}
+
+TEST(NodeFailure, LeafFailureBeforeStartIsSymmetric) {
+  // A sensor that is dead from the beginning never slices: both trees
+  // lose it equally, the round stays accepted, only the count drops.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 4243;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeCount();
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaProtocol protocol(&network, function.get(), ipda);
+  auto field = agg::MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  for (net::NodeId id = 300; id < 310; ++id) {
+    network.channel().FailNode(id);
+  }
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  const auto& stats = protocol.Finish();
+  EXPECT_TRUE(stats.decision.accepted);
+  EXPECT_LT(stats.decision.Agreed()[0], 399.0);
+}
+
+}  // namespace
+}  // namespace ipda

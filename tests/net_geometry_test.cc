@@ -1,0 +1,113 @@
+#include "net/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.h"
+#include "util/random.h"
+
+namespace ipda::net {
+namespace {
+
+TEST(Geometry, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Geometry, DistanceIsSymmetric) {
+  const Point2D a{2.5, -1.0};
+  const Point2D b{-3.0, 7.5};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(Geometry, AreaContains) {
+  const Area area{400, 400};
+  EXPECT_TRUE(area.Contains({0, 0}));
+  EXPECT_TRUE(area.Contains({400, 400}));
+  EXPECT_TRUE(area.Contains({200, 399}));
+  EXPECT_FALSE(area.Contains({-0.1, 10}));
+  EXPECT_FALSE(area.Contains({10, 400.1}));
+}
+
+TEST(Geometry, AreaCenter) {
+  const Area area{400, 300};
+  EXPECT_EQ(area.Center(), (Point2D{200, 150}));
+}
+
+TEST(Deployment, UniformPlacesAllNodesInsideArea) {
+  DeploymentConfig config;
+  config.node_count = 500;
+  util::Rng rng(1);
+  auto positions = UniformDeployment(config, rng);
+  ASSERT_TRUE(positions.ok());
+  ASSERT_EQ(positions->size(), 500u);
+  for (const Point2D& p : *positions) {
+    EXPECT_TRUE(config.area.Contains(p));
+  }
+}
+
+TEST(Deployment, BaseStationPlacementModes) {
+  DeploymentConfig config;
+  config.node_count = 10;
+
+  util::Rng rng(2);
+  config.base_station = BaseStationPlacement::kCenter;
+  EXPECT_EQ((*UniformDeployment(config, rng))[0], (Point2D{200, 200}));
+
+  config.base_station = BaseStationPlacement::kCorner;
+  EXPECT_EQ((*UniformDeployment(config, rng))[0], (Point2D{0, 0}));
+
+  config.base_station = BaseStationPlacement::kRandom;
+  const Point2D p = (*UniformDeployment(config, rng))[0];
+  EXPECT_TRUE(config.area.Contains(p));
+}
+
+TEST(Deployment, RejectsDegenerateConfigs) {
+  util::Rng rng(3);
+  DeploymentConfig config;
+  config.node_count = 1;
+  EXPECT_FALSE(UniformDeployment(config, rng).ok());
+  config.node_count = 10;
+  config.area = Area{0.0, 400.0};
+  EXPECT_FALSE(UniformDeployment(config, rng).ok());
+}
+
+TEST(Deployment, DeterministicGivenRngState) {
+  DeploymentConfig config;
+  config.node_count = 50;
+  util::Rng a(7);
+  util::Rng b(7);
+  auto pa = UniformDeployment(config, a);
+  auto pb = UniformDeployment(config, b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(*pa, *pb);
+}
+
+TEST(Deployment, GridIsEvenlySpacedAndInside) {
+  DeploymentConfig config;
+  config.node_count = 100;
+  config.base_station = BaseStationPlacement::kRandom;  // Keep grid pure.
+  auto positions = GridDeployment(config);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(positions->size(), 100u);  // 10x10.
+  for (const Point2D& p : *positions) {
+    EXPECT_TRUE(config.area.Contains(p));
+  }
+  // First two grid points share y and differ by the x pitch.
+  EXPECT_DOUBLE_EQ((*positions)[0].y, (*positions)[1].y);
+  const double pitch = (*positions)[1].x - (*positions)[0].x;
+  EXPECT_NEAR(pitch, 400.0 / 11.0, 1e-9);
+}
+
+TEST(Deployment, GridRoundsDownToSquare) {
+  DeploymentConfig config;
+  config.node_count = 90;  // floor(sqrt(90)) = 9 -> 81 nodes.
+  config.base_station = BaseStationPlacement::kRandom;
+  auto positions = GridDeployment(config);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(positions->size(), 81u);
+}
+
+}  // namespace
+}  // namespace ipda::net

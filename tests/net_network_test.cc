@@ -1,0 +1,119 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/bytes.h"
+
+namespace ipda::net {
+namespace {
+
+Topology SquareTopology() {
+  // Unit square, everyone in range of everyone.
+  auto topo = Topology::Build({{0, 0}, {10, 0}, {0, 10}, {10, 10}}, 50.0);
+  return std::move(*topo);
+}
+
+TEST(Network, WiresOneNodePerVertex) {
+  sim::Simulator simulator(1);
+  Network network(&simulator, SquareTopology());
+  EXPECT_EQ(network.size(), 4u);
+  for (NodeId id = 0; id < 4; ++id) {
+    EXPECT_EQ(network.node(id).id(), id);
+  }
+  EXPECT_TRUE(network.base_station().IsBaseStation());
+  EXPECT_FALSE(network.node(1).IsBaseStation());
+}
+
+TEST(Network, BroadcastHelperReachesAllNeighbors) {
+  sim::Simulator simulator(2);
+  Network network(&simulator, SquareTopology());
+  size_t received = 0;
+  for (NodeId id = 1; id < 4; ++id) {
+    network.node(id).SetReceiveHandler(
+        [&](const Packet& packet) {
+          EXPECT_EQ(packet.type, PacketType::kQuery);
+          EXPECT_EQ(packet.src, 0u);
+          ++received;
+        });
+  }
+  network.node(0).Broadcast(PacketType::kQuery, util::Bytes{1, 2, 3});
+  simulator.RunUntil(sim::Seconds(1));
+  EXPECT_EQ(received, 3u);
+}
+
+TEST(Network, UnicastHelperTargetsOneNode) {
+  sim::Simulator simulator(3);
+  Network network(&simulator, SquareTopology());
+  std::vector<NodeId> receivers;
+  for (NodeId id = 0; id < 4; ++id) {
+    network.node(id).SetReceiveHandler(
+        [&receivers, id](const Packet&) { receivers.push_back(id); });
+  }
+  network.node(1).Unicast(3, PacketType::kControl, util::Bytes{9});
+  simulator.RunUntil(sim::Seconds(1));
+  ASSERT_EQ(receivers.size(), 1u);
+  EXPECT_EQ(receivers[0], 3u);
+}
+
+TEST(Network, PerNodeRngStreamsDiffer) {
+  sim::Simulator simulator(4);
+  Network network(&simulator, SquareTopology());
+  EXPECT_NE(network.node(1).rng().Fork("x").NextUint64(),
+            network.node(2).rng().Fork("x").NextUint64());
+}
+
+TEST(Network, PerNodeRngStreamsReproducible) {
+  sim::Simulator a(5), b(5);
+  Network na(&a, SquareTopology());
+  Network nb(&b, SquareTopology());
+  EXPECT_EQ(na.node(2).rng().Fork("y").NextUint64(),
+            nb.node(2).rng().Fork("y").NextUint64());
+}
+
+TEST(Network, CountersBoardSharedWithChannel) {
+  sim::Simulator simulator(6);
+  Network network(&simulator, SquareTopology());
+  network.node(0).Broadcast(PacketType::kHello, util::Bytes{});
+  simulator.RunUntil(sim::Seconds(1));
+  EXPECT_EQ(network.counters().at(0).frames_sent, 1u);
+  EXPECT_EQ(network.counters().Totals().frames_sent, 1u);
+  network.counters().Reset();
+  EXPECT_EQ(network.counters().Totals().frames_sent, 0u);
+}
+
+TEST(NodeCounters, AccumulateOperator) {
+  NodeCounters a;
+  a.frames_sent = 2;
+  a.bytes_sent = 100;
+  a.mac_drops = 1;
+  NodeCounters b;
+  b.frames_sent = 3;
+  b.bytes_sent = 50;
+  b.frames_collided = 7;
+  a += b;
+  EXPECT_EQ(a.frames_sent, 5u);
+  EXPECT_EQ(a.bytes_sent, 150u);
+  EXPECT_EQ(a.frames_collided, 7u);
+  EXPECT_EQ(a.mac_drops, 1u);
+}
+
+TEST(Packet, SizeAndBroadcastPredicate) {
+  Packet p;
+  EXPECT_TRUE(p.IsBroadcast());
+  EXPECT_EQ(p.size_bytes(), kFrameHeaderBytes);
+  p.dst = 4;
+  p.payload.assign(10, 0);
+  EXPECT_FALSE(p.IsBroadcast());
+  EXPECT_EQ(p.size_bytes(), kFrameHeaderBytes + 10);
+}
+
+TEST(Packet, TypeNames) {
+  EXPECT_EQ(PacketTypeName(PacketType::kHello), "HELLO");
+  EXPECT_EQ(PacketTypeName(PacketType::kSlice), "SLICE");
+  EXPECT_EQ(PacketTypeName(PacketType::kAggregate), "AGGREGATE");
+  EXPECT_EQ(PacketTypeName(PacketType::kAck), "ACK");
+}
+
+}  // namespace
+}  // namespace ipda::net

@@ -1,0 +1,169 @@
+#include "sim/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ipda::sim {
+namespace {
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_EQ(Microseconds(1), Nanoseconds(1000));
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+  EXPECT_EQ(Seconds(1), Milliseconds(1000));
+  EXPECT_EQ(SecondsF(0.5), Milliseconds(500));
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  sched.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  sched.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sched.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Milliseconds(30));
+}
+
+TEST(Scheduler, TiesRunInSchedulingOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sched.ScheduleAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sched.RunAll();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler sched;
+  SimTime fired_at = -1;
+  sched.ScheduleAt(Milliseconds(10), [&] {
+    sched.ScheduleAfter(Milliseconds(5), [&] { fired_at = sched.now(); });
+  });
+  sched.RunAll();
+  EXPECT_EQ(fired_at, Milliseconds(15));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineInclusive) {
+  Scheduler sched;
+  int count = 0;
+  sched.ScheduleAt(Milliseconds(10), [&] { ++count; });
+  sched.ScheduleAt(Milliseconds(20), [&] { ++count; });
+  sched.ScheduleAt(Milliseconds(30), [&] { ++count; });
+  EXPECT_EQ(sched.RunUntil(Milliseconds(20)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_EQ(sched.RunAll(), 1u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  EventId id = sched.ScheduleAt(Milliseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(sched.Cancel(id));
+  sched.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler sched;
+  EventId id = sched.ScheduleAt(Milliseconds(10), [] {});
+  EXPECT_TRUE(sched.Cancel(id));
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunFails) {
+  Scheduler sched;
+  EventId id = sched.ScheduleAt(Milliseconds(1), [] {});
+  sched.RunAll();
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(Scheduler, CancelUnknownIdFails) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sched.Cancel(9999));
+}
+
+TEST(Scheduler, PendingCountExcludesCancelled) {
+  Scheduler sched;
+  EventId a = sched.ScheduleAt(Milliseconds(1), [] {});
+  sched.ScheduleAt(Milliseconds(2), [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.Cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_FALSE(sched.empty());
+  sched.RunAll();
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.ScheduleAfter(Milliseconds(1), recurse);
+  };
+  sched.ScheduleAt(Milliseconds(1), recurse);
+  sched.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sched.now(), Milliseconds(5));
+}
+
+TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.RunOne());
+  sched.ScheduleAt(Milliseconds(1), [] {});
+  EXPECT_TRUE(sched.RunOne());
+  EXPECT_FALSE(sched.RunOne());
+}
+
+TEST(Scheduler, EventsRunCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 10; ++i) sched.ScheduleAt(Milliseconds(i + 1), [] {});
+  sched.RunAll();
+  EXPECT_EQ(sched.events_run(), 10u);
+}
+
+TEST(Scheduler, SchedulingInThePastAborts) {
+  Scheduler sched;
+  sched.ScheduleAt(Milliseconds(10), [] {});
+  sched.RunAll();
+  EXPECT_DEATH(sched.ScheduleAt(Milliseconds(5), [] {}), "CHECK failed");
+}
+
+TEST(Scheduler, CancelledHeadDoesNotBlockRunUntil) {
+  Scheduler sched;
+  bool second_ran = false;
+  EventId head = sched.ScheduleAt(Milliseconds(1), [] {});
+  sched.ScheduleAt(Milliseconds(2), [&] { second_ran = true; });
+  sched.Cancel(head);
+  EXPECT_EQ(sched.RunUntil(Milliseconds(5)), 1u);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, ForkRngIsStableAcrossInstances) {
+  Simulator a(99);
+  Simulator b(99);
+  EXPECT_EQ(a.ForkRng("x").NextUint64(), b.ForkRng("x").NextUint64());
+  EXPECT_NE(a.ForkRng("x").NextUint64(), a.ForkRng("y").NextUint64());
+  EXPECT_EQ(a.ForkRng("n", 3).NextUint64(), b.ForkRng("n", 3).NextUint64());
+  EXPECT_NE(a.ForkRng("n", 3).NextUint64(), a.ForkRng("n", 4).NextUint64());
+}
+
+TEST(Simulator, AtAndAfterDelegate) {
+  Simulator sim(1);
+  int hits = 0;
+  sim.At(Milliseconds(5), [&] { ++hits; });
+  sim.After(Milliseconds(2), [&] { ++hits; });
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.now(), Milliseconds(5));
+}
+
+}  // namespace
+}  // namespace ipda::sim

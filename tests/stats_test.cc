@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/series.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/random.h"
+
+namespace ipda::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, WelfordIsNumericallyStable) {
+  // Large offset, small spread: naive sum-of-squares would catastrophically
+  // cancel.
+  Summary s;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.Add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  util::Rng rng(1);
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.Add(rng.UniformDouble());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.UniformDouble());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.mean(), 0.5, 0.02);
+  // CI for uniform(0,1): sigma ~ 0.2887, half-width ~1.96*sigma/100.
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 * 0.2887 / 100.0, 0.001);
+}
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"N", "degree"});
+  t.AddRow({"200", "8.8"});
+  t.AddRow({"600", "28.4"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("N    degree"), std::string::npos);
+  EXPECT_NE(text.find("200  8.8"), std::string::npos);
+  EXPECT_NE(text.find("600  28.4"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowColumnMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"1"}), "CHECK failed");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(FormatInt(-42), "-42");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatMeanCi(0.95, 0.012, 3), "0.950 ±0.012");
+}
+
+TEST(Series, AddAndQuery) {
+  SeriesSet set;
+  set.Add("tag", 200, 0.95);
+  set.Add("ipda", 200, 0.90);
+  set.Add("tag", 300, 0.97);
+  EXPECT_EQ(set.SeriesNames(),
+            (std::vector<std::string>{"tag", "ipda"}));
+  EXPECT_EQ(set.XValues(), (std::vector<double>{200, 300}));
+  EXPECT_DOUBLE_EQ(set.At("tag", 200), 0.95);
+  EXPECT_TRUE(std::isnan(set.At("ipda", 300)));
+  EXPECT_TRUE(std::isnan(set.At("nope", 200)));
+}
+
+TEST(Series, OverwriteKeepsLatest) {
+  SeriesSet set;
+  set.Add("s", 1, 10.0);
+  set.Add("s", 1, 20.0);
+  EXPECT_DOUBLE_EQ(set.At("s", 1), 20.0);
+}
+
+TEST(Series, TableHasDashForMissing) {
+  SeriesSet set;
+  set.Add("a", 1, 0.5);
+  set.Add("b", 2, 0.7);
+  const Table table = set.ToTable("x");
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 3u);
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("-"), std::string::npos);
+  EXPECT_NE(text.find("0.500"), std::string::npos);
+  EXPECT_NE(text.find("0.700"), std::string::npos);
+}
+
+TEST(Series, IntegerXValuesPrintWithoutDecimals) {
+  SeriesSet set;
+  set.Add("a", 200, 1.0);
+  const std::string text = set.ToTable("N").ToText();
+  EXPECT_NE(text.find("200"), std::string::npos);
+  EXPECT_EQ(text.find("200.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipda::stats

@@ -1,0 +1,116 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ipda::util {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags;
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("count", 7, "an int");
+  flags.DefineDouble("ratio", 2.5, "a double");
+  flags.DefineBool("fast", false, "a bool");
+  return flags;
+}
+
+Status ParseArgs(FlagSet& flags, std::vector<const char*> args) {
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, DefaultsWhenUnset) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 2.5);
+  EXPECT_FALSE(flags.GetBool("fast"));
+  EXPECT_FALSE(flags.WasSet("name"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--name=x", "--count=42", "--ratio=0.125",
+                                "--fast=true"})
+                  .ok());
+  EXPECT_EQ(flags.GetString("name"), "x");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.125);
+  EXPECT_TRUE(flags.GetBool("fast"));
+  EXPECT_TRUE(flags.WasSet("count"));
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count", "13"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 13);
+}
+
+TEST(Flags, BareBoolAndNegation) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--fast"}).ok());
+  EXPECT_TRUE(flags.GetBool("fast"));
+
+  FlagSet flags2 = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags2, {"--fast", "--no-fast"}).ok());
+  EXPECT_FALSE(flags2.GetBool("fast"));
+}
+
+TEST(Flags, NegativeNumbers) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=-5", "--ratio=-1.5"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), -1.5);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  const Status status = ParseArgs(flags, {"--bogus=1"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Flags, MalformedValuesRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags, {"--count=seven"}).ok());
+  FlagSet flags2 = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags2, {"--ratio=two"}).ok());
+  FlagSet flags3 = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags3, {"--fast=maybe"}).ok());
+}
+
+TEST(Flags, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags, {"--count"}).ok());
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags, {"positional"}).ok());
+}
+
+TEST(Flags, LastValueWins) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 2);
+}
+
+TEST(Flags, UsageListsAllFlagsWithDefaults) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=99"}).ok());
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  // Usage shows the declared default, not the parsed value.
+  EXPECT_NE(usage.find("default 7"), std::string::npos);
+  EXPECT_EQ(usage.find("default 99"), std::string::npos);
+}
+
+TEST(Flags, TypeMismatchAborts) {
+  FlagSet flags = MakeFlags();
+  EXPECT_DEATH((void)flags.GetInt("name"), "CHECK failed");
+  EXPECT_DEATH((void)flags.GetBool("undeclared"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ipda::util

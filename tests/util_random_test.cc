@@ -1,0 +1,209 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipda::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  size_t equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2u);
+}
+
+TEST(Rng, ForkByLabelIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng mac1 = root.Fork("mac");
+  Rng mac2 = Rng(7).Fork("mac");
+  Rng phy = root.Fork("phy");
+  EXPECT_EQ(mac1.NextUint64(), mac2.NextUint64());
+  EXPECT_NE(Rng(7).Fork("mac").NextUint64(), phy.NextUint64());
+}
+
+TEST(Rng, ForkByIndexDistinctStreams) {
+  Rng root(9);
+  EXPECT_NE(root.Fork(uint64_t{0}).NextUint64(),
+            root.Fork(uint64_t{1}).NextUint64());
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(44);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformUint64RespectsBound) {
+  Rng rng(45);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(7), 7u);
+  }
+}
+
+TEST(Rng, UniformUint64BoundOneIsAlwaysZero) {
+  Rng rng(46);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformUint64(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(47);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(48);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(49);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(50);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(51);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(52);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(53);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniformity) {
+  // Each element of [0,10) should appear in a 3-sample about 30% of the
+  // time.
+  Rng rng(54);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t s : rng.SampleWithoutReplacement(10, 3)) ++counts[s];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  uint64_t state2 = 0;
+  EXPECT_EQ(first, SplitMix64(state2));
+  EXPECT_NE(SplitMix64(state), first);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(Mix64(1, 2), Mix64(2, 1));
+  EXPECT_EQ(Mix64(1, 2), Mix64(1, 2));
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(HashLabel("mac"), HashLabel("phy"));
+  EXPECT_EQ(HashLabel("mac"), HashLabel("mac"));
+  EXPECT_NE(HashLabel(""), HashLabel("a"));
+}
+
+TEST(Rng, ChiSquareUniformityOfBytes) {
+  // Coarse distribution check over 256 buckets.
+  Rng rng(55);
+  std::vector<int> buckets(256, 0);
+  const int n = 256 * 200;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.NextUint64() & 0xff];
+  }
+  double chi2 = 0.0;
+  const double expected = n / 256.0;
+  for (int b : buckets) {
+    const double d = b - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, stddev ~22.6. Accept a wide band.
+  EXPECT_GT(chi2, 150.0);
+  EXPECT_LT(chi2, 400.0);
+}
+
+}  // namespace
+}  // namespace ipda::util
