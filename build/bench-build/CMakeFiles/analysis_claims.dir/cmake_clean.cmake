@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_claims"
+  "../bench/analysis_claims.pdb"
+  "CMakeFiles/analysis_claims.dir/analysis_claims.cc.o"
+  "CMakeFiles/analysis_claims.dir/analysis_claims.cc.o.d"
+  "CMakeFiles/analysis_claims.dir/bench_common.cc.o"
+  "CMakeFiles/analysis_claims.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

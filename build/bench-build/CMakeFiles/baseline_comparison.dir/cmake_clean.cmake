@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_comparison"
+  "../bench/baseline_comparison.pdb"
+  "CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o"
+  "CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o.d"
+  "CMakeFiles/baseline_comparison.dir/bench_common.cc.o"
+  "CMakeFiles/baseline_comparison.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

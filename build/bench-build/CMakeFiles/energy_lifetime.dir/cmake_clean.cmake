@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/energy_lifetime"
+  "../bench/energy_lifetime.pdb"
+  "CMakeFiles/energy_lifetime.dir/bench_common.cc.o"
+  "CMakeFiles/energy_lifetime.dir/bench_common.cc.o.d"
+  "CMakeFiles/energy_lifetime.dir/energy_lifetime.cc.o"
+  "CMakeFiles/energy_lifetime.dir/energy_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

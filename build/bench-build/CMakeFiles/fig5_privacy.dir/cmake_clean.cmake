@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_privacy"
+  "../bench/fig5_privacy.pdb"
+  "CMakeFiles/fig5_privacy.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_privacy.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_privacy.dir/fig5_privacy.cc.o"
+  "CMakeFiles/fig5_privacy.dir/fig5_privacy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

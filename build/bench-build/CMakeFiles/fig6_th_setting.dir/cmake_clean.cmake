@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_th_setting"
+  "../bench/fig6_th_setting.pdb"
+  "CMakeFiles/fig6_th_setting.dir/bench_common.cc.o"
+  "CMakeFiles/fig6_th_setting.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6_th_setting.dir/fig6_th_setting.cc.o"
+  "CMakeFiles/fig6_th_setting.dir/fig6_th_setting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_th_setting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_overhead"
+  "../bench/fig7_overhead.pdb"
+  "CMakeFiles/fig7_overhead.dir/bench_common.cc.o"
+  "CMakeFiles/fig7_overhead.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig7_overhead.dir/fig7_overhead.cc.o"
+  "CMakeFiles/fig7_overhead.dir/fig7_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

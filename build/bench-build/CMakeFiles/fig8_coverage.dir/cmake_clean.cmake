@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_coverage"
+  "../bench/fig8_coverage.pdb"
+  "CMakeFiles/fig8_coverage.dir/bench_common.cc.o"
+  "CMakeFiles/fig8_coverage.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig8_coverage.dir/fig8_coverage.cc.o"
+  "CMakeFiles/fig8_coverage.dir/fig8_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

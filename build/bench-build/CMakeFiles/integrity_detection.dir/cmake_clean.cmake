@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/integrity_detection"
+  "../bench/integrity_detection.pdb"
+  "CMakeFiles/integrity_detection.dir/bench_common.cc.o"
+  "CMakeFiles/integrity_detection.dir/bench_common.cc.o.d"
+  "CMakeFiles/integrity_detection.dir/integrity_detection.cc.o"
+  "CMakeFiles/integrity_detection.dir/integrity_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/keying_schemes"
+  "../bench/keying_schemes.pdb"
+  "CMakeFiles/keying_schemes.dir/bench_common.cc.o"
+  "CMakeFiles/keying_schemes.dir/bench_common.cc.o.d"
+  "CMakeFiles/keying_schemes.dir/keying_schemes.cc.o"
+  "CMakeFiles/keying_schemes.dir/keying_schemes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keying_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/kipda_extremes"
+  "../bench/kipda_extremes.pdb"
+  "CMakeFiles/kipda_extremes.dir/bench_common.cc.o"
+  "CMakeFiles/kipda_extremes.dir/bench_common.cc.o.d"
+  "CMakeFiles/kipda_extremes.dir/kipda_extremes.cc.o"
+  "CMakeFiles/kipda_extremes.dir/kipda_extremes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kipda_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

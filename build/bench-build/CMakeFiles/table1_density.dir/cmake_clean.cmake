@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table1_density"
+  "../bench/table1_density.pdb"
+  "CMakeFiles/table1_density.dir/bench_common.cc.o"
+  "CMakeFiles/table1_density.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_density.dir/table1_density.cc.o"
+  "CMakeFiles/table1_density.dir/table1_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_advanced_metering.dir/advanced_metering.cpp.o"
+  "CMakeFiles/example_advanced_metering.dir/advanced_metering.cpp.o.d"
+  "example_advanced_metering"
+  "example_advanced_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_advanced_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fire_watch.dir/fire_watch.cpp.o"
+  "CMakeFiles/example_fire_watch.dir/fire_watch.cpp.o.d"
+  "example_fire_watch"
+  "example_fire_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fire_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_histogram_survey.dir/histogram_survey.cpp.o"
+  "CMakeFiles/example_histogram_survey.dir/histogram_survey.cpp.o.d"
+  "example_histogram_survey"
+  "example_histogram_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_histogram_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

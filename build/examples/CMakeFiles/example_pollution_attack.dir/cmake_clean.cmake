@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pollution_attack.dir/pollution_attack.cpp.o"
+  "CMakeFiles/example_pollution_attack.dir/pollution_attack.cpp.o.d"
+  "example_pollution_attack"
+  "example_pollution_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pollution_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pollution_attack.
+# This may be replaced when dependencies are built.

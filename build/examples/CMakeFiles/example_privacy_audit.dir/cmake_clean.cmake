@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_privacy_audit.dir/privacy_audit.cpp.o"
+  "CMakeFiles/example_privacy_audit.dir/privacy_audit.cpp.o.d"
+  "example_privacy_audit"
+  "example_privacy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_privacy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate_function.cc" "src/CMakeFiles/ipda_agg.dir/agg/aggregate_function.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/aggregate_function.cc.o.d"
+  "/root/repo/src/agg/cpda/cpda_protocol.cc" "src/CMakeFiles/ipda_agg.dir/agg/cpda/cpda_protocol.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/cpda/cpda_protocol.cc.o.d"
+  "/root/repo/src/agg/cpda/interpolation.cc" "src/CMakeFiles/ipda_agg.dir/agg/cpda/interpolation.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/cpda/interpolation.cc.o.d"
+  "/root/repo/src/agg/export.cc" "src/CMakeFiles/ipda_agg.dir/agg/export.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/export.cc.o.d"
+  "/root/repo/src/agg/ipda/base_station.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/base_station.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/base_station.cc.o.d"
+  "/root/repo/src/agg/ipda/config.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/config.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/config.cc.o.d"
+  "/root/repo/src/agg/ipda/messages.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/messages.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/messages.cc.o.d"
+  "/root/repo/src/agg/ipda/protocol.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/protocol.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/protocol.cc.o.d"
+  "/root/repo/src/agg/ipda/slicing.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/slicing.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/slicing.cc.o.d"
+  "/root/repo/src/agg/ipda/tree_construction.cc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/tree_construction.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/ipda/tree_construction.cc.o.d"
+  "/root/repo/src/agg/kipda/kipda_protocol.cc" "src/CMakeFiles/ipda_agg.dir/agg/kipda/kipda_protocol.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/kipda/kipda_protocol.cc.o.d"
+  "/root/repo/src/agg/partial.cc" "src/CMakeFiles/ipda_agg.dir/agg/partial.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/partial.cc.o.d"
+  "/root/repo/src/agg/query.cc" "src/CMakeFiles/ipda_agg.dir/agg/query.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/query.cc.o.d"
+  "/root/repo/src/agg/reading.cc" "src/CMakeFiles/ipda_agg.dir/agg/reading.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/reading.cc.o.d"
+  "/root/repo/src/agg/runner.cc" "src/CMakeFiles/ipda_agg.dir/agg/runner.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/runner.cc.o.d"
+  "/root/repo/src/agg/smart/smart_protocol.cc" "src/CMakeFiles/ipda_agg.dir/agg/smart/smart_protocol.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/smart/smart_protocol.cc.o.d"
+  "/root/repo/src/agg/tag/tag_protocol.cc" "src/CMakeFiles/ipda_agg.dir/agg/tag/tag_protocol.cc.o" "gcc" "src/CMakeFiles/ipda_agg.dir/agg/tag/tag_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

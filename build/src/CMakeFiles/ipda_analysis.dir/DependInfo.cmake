@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/coverage.cc" "src/CMakeFiles/ipda_analysis.dir/analysis/coverage.cc.o" "gcc" "src/CMakeFiles/ipda_analysis.dir/analysis/coverage.cc.o.d"
+  "/root/repo/src/analysis/multi_tree.cc" "src/CMakeFiles/ipda_analysis.dir/analysis/multi_tree.cc.o" "gcc" "src/CMakeFiles/ipda_analysis.dir/analysis/multi_tree.cc.o.d"
+  "/root/repo/src/analysis/overhead.cc" "src/CMakeFiles/ipda_analysis.dir/analysis/overhead.cc.o" "gcc" "src/CMakeFiles/ipda_analysis.dir/analysis/overhead.cc.o.d"
+  "/root/repo/src/analysis/privacy.cc" "src/CMakeFiles/ipda_analysis.dir/analysis/privacy.cc.o" "gcc" "src/CMakeFiles/ipda_analysis.dir/analysis/privacy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_analysis.dir/analysis/coverage.cc.o"
+  "CMakeFiles/ipda_analysis.dir/analysis/coverage.cc.o.d"
+  "CMakeFiles/ipda_analysis.dir/analysis/multi_tree.cc.o"
+  "CMakeFiles/ipda_analysis.dir/analysis/multi_tree.cc.o.d"
+  "CMakeFiles/ipda_analysis.dir/analysis/overhead.cc.o"
+  "CMakeFiles/ipda_analysis.dir/analysis/overhead.cc.o.d"
+  "CMakeFiles/ipda_analysis.dir/analysis/privacy.cc.o"
+  "CMakeFiles/ipda_analysis.dir/analysis/privacy.cc.o.d"
+  "libipda_analysis.a"
+  "libipda_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

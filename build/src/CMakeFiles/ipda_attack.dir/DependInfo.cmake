@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/collusion.cc" "src/CMakeFiles/ipda_attack.dir/attack/collusion.cc.o" "gcc" "src/CMakeFiles/ipda_attack.dir/attack/collusion.cc.o.d"
+  "/root/repo/src/attack/cpda_collusion.cc" "src/CMakeFiles/ipda_attack.dir/attack/cpda_collusion.cc.o" "gcc" "src/CMakeFiles/ipda_attack.dir/attack/cpda_collusion.cc.o.d"
+  "/root/repo/src/attack/dos.cc" "src/CMakeFiles/ipda_attack.dir/attack/dos.cc.o" "gcc" "src/CMakeFiles/ipda_attack.dir/attack/dos.cc.o.d"
+  "/root/repo/src/attack/eavesdropper.cc" "src/CMakeFiles/ipda_attack.dir/attack/eavesdropper.cc.o" "gcc" "src/CMakeFiles/ipda_attack.dir/attack/eavesdropper.cc.o.d"
+  "/root/repo/src/attack/pollution.cc" "src/CMakeFiles/ipda_attack.dir/attack/pollution.cc.o" "gcc" "src/CMakeFiles/ipda_attack.dir/attack/pollution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_attack.dir/attack/collusion.cc.o"
+  "CMakeFiles/ipda_attack.dir/attack/collusion.cc.o.d"
+  "CMakeFiles/ipda_attack.dir/attack/cpda_collusion.cc.o"
+  "CMakeFiles/ipda_attack.dir/attack/cpda_collusion.cc.o.d"
+  "CMakeFiles/ipda_attack.dir/attack/dos.cc.o"
+  "CMakeFiles/ipda_attack.dir/attack/dos.cc.o.d"
+  "CMakeFiles/ipda_attack.dir/attack/eavesdropper.cc.o"
+  "CMakeFiles/ipda_attack.dir/attack/eavesdropper.cc.o.d"
+  "CMakeFiles/ipda_attack.dir/attack/pollution.cc.o"
+  "CMakeFiles/ipda_attack.dir/attack/pollution.cc.o.d"
+  "libipda_attack.a"
+  "libipda_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ctr.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/ctr.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/ctr.cc.o.d"
+  "/root/repo/src/crypto/key.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/key.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/key.cc.o.d"
+  "/root/repo/src/crypto/keystore.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/keystore.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/keystore.cc.o.d"
+  "/root/repo/src/crypto/link_security.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/link_security.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/link_security.cc.o.d"
+  "/root/repo/src/crypto/pairwise.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/pairwise.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/pairwise.cc.o.d"
+  "/root/repo/src/crypto/predistribution.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/predistribution.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/predistribution.cc.o.d"
+  "/root/repo/src/crypto/xtea.cc" "src/CMakeFiles/ipda_crypto.dir/crypto/xtea.cc.o" "gcc" "src/CMakeFiles/ipda_crypto.dir/crypto/xtea.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_crypto.dir/crypto/ctr.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/ctr.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/key.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/key.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/keystore.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/keystore.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/link_security.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/link_security.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/pairwise.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/pairwise.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/predistribution.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/predistribution.cc.o.d"
+  "CMakeFiles/ipda_crypto.dir/crypto/xtea.cc.o"
+  "CMakeFiles/ipda_crypto.dir/crypto/xtea.cc.o.d"
+  "libipda_crypto.a"
+  "libipda_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

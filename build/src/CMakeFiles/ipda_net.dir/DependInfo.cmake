@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/ipda_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/counters.cc" "src/CMakeFiles/ipda_net.dir/net/counters.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/counters.cc.o.d"
+  "/root/repo/src/net/deployment.cc" "src/CMakeFiles/ipda_net.dir/net/deployment.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/deployment.cc.o.d"
+  "/root/repo/src/net/geometry.cc" "src/CMakeFiles/ipda_net.dir/net/geometry.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/geometry.cc.o.d"
+  "/root/repo/src/net/mac.cc" "src/CMakeFiles/ipda_net.dir/net/mac.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/mac.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/ipda_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/ipda_net.dir/net/node.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/node.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/ipda_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/ipda_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/ipda_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

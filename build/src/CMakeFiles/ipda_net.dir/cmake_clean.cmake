@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_net.dir/net/channel.cc.o"
+  "CMakeFiles/ipda_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/counters.cc.o"
+  "CMakeFiles/ipda_net.dir/net/counters.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/deployment.cc.o"
+  "CMakeFiles/ipda_net.dir/net/deployment.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/geometry.cc.o"
+  "CMakeFiles/ipda_net.dir/net/geometry.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/mac.cc.o"
+  "CMakeFiles/ipda_net.dir/net/mac.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/network.cc.o"
+  "CMakeFiles/ipda_net.dir/net/network.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/node.cc.o"
+  "CMakeFiles/ipda_net.dir/net/node.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/packet.cc.o"
+  "CMakeFiles/ipda_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/ipda_net.dir/net/topology.cc.o"
+  "CMakeFiles/ipda_net.dir/net/topology.cc.o.d"
+  "libipda_net.a"
+  "libipda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/ipda_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/ipda_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/ipda_sim.dir/sim/simulator.cc.o.d"
+  "libipda_sim.a"
+  "libipda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

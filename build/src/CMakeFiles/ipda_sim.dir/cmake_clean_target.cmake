@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipda_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_sim_cli.dir/tools/ipda_sim.cc.o"
+  "CMakeFiles/ipda_sim_cli.dir/tools/ipda_sim.cc.o.d"
+  "ipda_sim"
+  "ipda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_stats.dir/stats/series.cc.o"
+  "CMakeFiles/ipda_stats.dir/stats/series.cc.o.d"
+  "CMakeFiles/ipda_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/ipda_stats.dir/stats/summary.cc.o.d"
+  "CMakeFiles/ipda_stats.dir/stats/table.cc.o"
+  "CMakeFiles/ipda_stats.dir/stats/table.cc.o.d"
+  "libipda_stats.a"
+  "libipda_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_util.dir/util/bytes.cc.o"
+  "CMakeFiles/ipda_util.dir/util/bytes.cc.o.d"
+  "CMakeFiles/ipda_util.dir/util/flags.cc.o"
+  "CMakeFiles/ipda_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/ipda_util.dir/util/logging.cc.o"
+  "CMakeFiles/ipda_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ipda_util.dir/util/random.cc.o"
+  "CMakeFiles/ipda_util.dir/util/random.cc.o.d"
+  "CMakeFiles/ipda_util.dir/util/status.cc.o"
+  "CMakeFiles/ipda_util.dir/util/status.cc.o.d"
+  "libipda_util.a"
+  "libipda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

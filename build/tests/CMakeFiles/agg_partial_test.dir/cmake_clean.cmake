@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_partial_test.dir/agg_partial_test.cc.o"
+  "CMakeFiles/agg_partial_test.dir/agg_partial_test.cc.o.d"
+  "agg_partial_test"
+  "agg_partial_test.pdb"
+  "agg_partial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_partial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

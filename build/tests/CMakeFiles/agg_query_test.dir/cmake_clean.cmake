@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_query_test.dir/agg_query_test.cc.o"
+  "CMakeFiles/agg_query_test.dir/agg_query_test.cc.o.d"
+  "agg_query_test"
+  "agg_query_test.pdb"
+  "agg_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_multi_tree_test.dir/analysis_multi_tree_test.cc.o"
+  "CMakeFiles/analysis_multi_tree_test.dir/analysis_multi_tree_test.cc.o.d"
+  "analysis_multi_tree_test"
+  "analysis_multi_tree_test.pdb"
+  "analysis_multi_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_multi_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_cpda_collusion_test.dir/attack_cpda_collusion_test.cc.o"
+  "CMakeFiles/attack_cpda_collusion_test.dir/attack_cpda_collusion_test.cc.o.d"
+  "attack_cpda_collusion_test"
+  "attack_cpda_collusion_test.pdb"
+  "attack_cpda_collusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_cpda_collusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_dos_test.dir/attack_dos_test.cc.o"
+  "CMakeFiles/attack_dos_test.dir/attack_dos_test.cc.o.d"
+  "attack_dos_test"
+  "attack_dos_test.pdb"
+  "attack_dos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_dos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_pollution_test.dir/attack_pollution_test.cc.o"
+  "CMakeFiles/attack_pollution_test.dir/attack_pollution_test.cc.o.d"
+  "attack_pollution_test"
+  "attack_pollution_test.pdb"
+  "attack_pollution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_pollution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_pollution_test.
+# This may be replaced when dependencies are built.

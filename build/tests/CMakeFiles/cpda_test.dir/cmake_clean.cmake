@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpda_test.dir/cpda_test.cc.o"
+  "CMakeFiles/cpda_test.dir/cpda_test.cc.o.d"
+  "cpda_test"
+  "cpda_test.pdb"
+  "cpda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

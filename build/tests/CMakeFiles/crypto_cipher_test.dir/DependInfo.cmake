@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_cipher_test.cc" "tests/CMakeFiles/crypto_cipher_test.dir/crypto_cipher_test.cc.o" "gcc" "tests/CMakeFiles/crypto_cipher_test.dir/crypto_cipher_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipda_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_cipher_test.dir/crypto_cipher_test.cc.o"
+  "CMakeFiles/crypto_cipher_test.dir/crypto_cipher_test.cc.o.d"
+  "crypto_cipher_test"
+  "crypto_cipher_test.pdb"
+  "crypto_cipher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_cipher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_link_security_test.dir/crypto_link_security_test.cc.o"
+  "CMakeFiles/crypto_link_security_test.dir/crypto_link_security_test.cc.o.d"
+  "crypto_link_security_test"
+  "crypto_link_security_test.pdb"
+  "crypto_link_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_link_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

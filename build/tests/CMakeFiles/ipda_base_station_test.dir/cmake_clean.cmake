@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_base_station_test.dir/ipda_base_station_test.cc.o"
+  "CMakeFiles/ipda_base_station_test.dir/ipda_base_station_test.cc.o.d"
+  "ipda_base_station_test"
+  "ipda_base_station_test.pdb"
+  "ipda_base_station_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_base_station_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ipda_base_station_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_messages_test.dir/ipda_messages_test.cc.o"
+  "CMakeFiles/ipda_messages_test.dir/ipda_messages_test.cc.o.d"
+  "ipda_messages_test"
+  "ipda_messages_test.pdb"
+  "ipda_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

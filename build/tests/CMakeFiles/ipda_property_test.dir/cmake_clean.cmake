@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_property_test.dir/ipda_property_test.cc.o"
+  "CMakeFiles/ipda_property_test.dir/ipda_property_test.cc.o.d"
+  "ipda_property_test"
+  "ipda_property_test.pdb"
+  "ipda_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_protocol_test.dir/ipda_protocol_test.cc.o"
+  "CMakeFiles/ipda_protocol_test.dir/ipda_protocol_test.cc.o.d"
+  "ipda_protocol_test"
+  "ipda_protocol_test.pdb"
+  "ipda_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_slicing_test.dir/ipda_slicing_test.cc.o"
+  "CMakeFiles/ipda_slicing_test.dir/ipda_slicing_test.cc.o.d"
+  "ipda_slicing_test"
+  "ipda_slicing_test.pdb"
+  "ipda_slicing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_slicing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ipda_slicing_test.
+# This may be replaced when dependencies are built.

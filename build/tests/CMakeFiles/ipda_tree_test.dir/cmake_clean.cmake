@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipda_tree_test.dir/ipda_tree_test.cc.o"
+  "CMakeFiles/ipda_tree_test.dir/ipda_tree_test.cc.o.d"
+  "ipda_tree_test"
+  "ipda_tree_test.pdb"
+  "ipda_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipda_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kipda_test.dir/kipda_test.cc.o"
+  "CMakeFiles/kipda_test.dir/kipda_test.cc.o.d"
+  "kipda_test"
+  "kipda_test.pdb"
+  "kipda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kipda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_energy_test.dir/net_energy_test.cc.o"
+  "CMakeFiles/net_energy_test.dir/net_energy_test.cc.o.d"
+  "net_energy_test"
+  "net_energy_test.pdb"
+  "net_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

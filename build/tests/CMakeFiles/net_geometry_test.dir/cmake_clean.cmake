@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_geometry_test.dir/net_geometry_test.cc.o"
+  "CMakeFiles/net_geometry_test.dir/net_geometry_test.cc.o.d"
+  "net_geometry_test"
+  "net_geometry_test.pdb"
+  "net_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

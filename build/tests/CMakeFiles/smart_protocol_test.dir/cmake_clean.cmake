@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_protocol_test.dir/smart_protocol_test.cc.o"
+  "CMakeFiles/smart_protocol_test.dir/smart_protocol_test.cc.o.d"
+  "smart_protocol_test"
+  "smart_protocol_test.pdb"
+  "smart_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
