@@ -1,0 +1,132 @@
+// Failure-resilience sweep: crash fraction x link loss, iPDA vs TAG.
+//
+// Crashes land mid data phase (TAG: during the report schedule; iPDA:
+// inside the Phase II slice window), the worst time to lose a node. Three
+// protocol arms per grid point: TAG (no privacy, single tree), iPDA as
+// specified by the paper, and iPDA with the failure-resilience extensions
+// (slice retargeting + parent failover) switched on.
+//
+// Output is a single JSON document on stdout. Every random draw descends
+// from the fixed seeds below, so two invocations with the same
+// IPDA_BENCH_RUNS emit byte-identical JSON — the determinism contract the
+// fault subsystem promises.
+
+#include <cstdio>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+#include "sim/time.h"
+#include "stats/summary.h"
+
+namespace ipda::bench {
+namespace {
+
+constexpr size_t kNodes = 300;
+constexpr uint64_t kBaseSeed = 0xFA117;
+
+// Mid data phase for each protocol (see header comment).
+constexpr sim::SimTime kTagCrashAt = sim::Milliseconds(2200);
+constexpr sim::SimTime kIpdaCrashAt = sim::Milliseconds(4400);
+
+struct ArmResult {
+  stats::Summary accuracy;
+  stats::Summary completeness;  // min(red, blue) per run; 1.0 for TAG.
+  size_t accepted = 0;
+  size_t degraded = 0;
+  size_t retargeted = 0;
+  size_t rerouted = 0;
+  size_t orphaned = 0;
+};
+
+fault::FaultPlan MakePlan(double crash_frac, double loss_rate,
+                          sim::SimTime crash_at) {
+  fault::FaultPlan plan;
+  if (crash_frac > 0.0) {
+    plan.random_crashes.push_back(fault::RandomCrash{crash_frac, crash_at});
+  }
+  plan.link.loss_rate = loss_rate;
+  return plan;
+}
+
+void PrintArm(const char* key, const ArmResult& arm, size_t runs,
+              bool last) {
+  std::printf(
+      "      \"%s\": {\"accuracy_mean\": %.6f, \"completeness_mean\": "
+      "%.6f, \"accepted\": %zu, \"degraded\": %zu, \"retargeted\": %zu, "
+      "\"rerouted\": %zu, \"orphaned\": %zu, \"runs\": %zu}%s\n",
+      key, arm.accuracy.mean(), arm.completeness.mean(), arm.accepted,
+      arm.degraded, arm.retargeted, arm.rerouted, arm.orphaned, runs,
+      last ? "" : ",");
+}
+
+int Run() {
+  const size_t runs = RunsPerPoint();
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+
+  const double crash_fracs[] = {0.0, 0.05, 0.10, 0.20};
+  const double loss_rates[] = {0.0, 0.05, 0.10};
+
+  std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
+  std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
+              runs);
+  std::printf("  \"grid\": [\n");
+  bool first_point = true;
+  for (double crash : crash_fracs) {
+    for (double loss : loss_rates) {
+      ArmResult tag, ipda, ipda_failover;
+      for (size_t r = 0; r < runs; ++r) {
+        const uint64_t seed =
+            kBaseSeed + r * 1009 +
+            static_cast<uint64_t>(crash * 1000.0) * 13 +
+            static_cast<uint64_t>(loss * 1000.0) * 7;
+
+        auto tag_config = PaperRunConfig(kNodes, seed);
+        tag_config.faults = MakePlan(crash, loss, kTagCrashAt);
+        auto tag_run = agg::RunTag(tag_config, *function, *field);
+        if (!tag_run.ok()) return 1;
+        tag.accuracy.Add(tag_run->accuracy);
+        tag.completeness.Add(1.0);
+        tag.accepted += 1;  // TAG has no integrity check to fail.
+
+        auto ipda_config = PaperRunConfig(kNodes, seed);
+        ipda_config.faults = MakePlan(crash, loss, kIpdaCrashAt);
+        for (bool failover : {false, true}) {
+          agg::IpdaConfig proto = PaperIpdaConfig(2);
+          proto.retarget_slices = failover;
+          proto.parent_failover = failover;
+          auto run = agg::RunIpda(ipda_config, *function, *field, proto);
+          if (!run.ok()) return 1;
+          ArmResult& arm = failover ? ipda_failover : ipda;
+          arm.accuracy.Add(run->accuracy);
+          arm.completeness.Add(
+              run->stats.completeness_red < run->stats.completeness_blue
+                  ? run->stats.completeness_red
+                  : run->stats.completeness_blue);
+          arm.accepted += run->stats.decision.accepted ? 1 : 0;
+          arm.degraded += run->stats.degraded ? 1 : 0;
+          arm.retargeted += run->stats.slices_retargeted;
+          arm.rerouted += run->stats.reports_rerouted;
+          arm.orphaned += run->stats.orphaned_partials;
+        }
+      }
+      std::printf("    %s{\n", first_point ? "" : ",");
+      first_point = false;
+      std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f,\n",
+                  crash, loss);
+      PrintArm("tag", tag, runs, /*last=*/false);
+      PrintArm("ipda", ipda, runs, /*last=*/false);
+      PrintArm("ipda_failover", ipda_failover, runs, /*last=*/true);
+      std::printf("    }\n");
+    }
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main() { return ipda::bench::Run(); }

@@ -22,6 +22,13 @@ util::Status ValidateIpdaConfig(const IpdaConfig& config) {
   if (config.max_depth == 0) {
     return util::InvalidArgumentError("max_depth must be positive");
   }
+  if (config.round_deadline < 0) {
+    return util::InvalidArgumentError("round_deadline must be >= 0");
+  }
+  if (config.retarget_slices && config.slice_retarget_max == 0) {
+    return util::InvalidArgumentError(
+        "retarget_slices needs slice_retarget_max >= 1");
+  }
   return util::OkStatus();
 }
 
@@ -40,6 +47,11 @@ sim::SimTime IpdaDuration(const IpdaConfig& config) {
   return IpdaReportStart(config) +
          config.slot * static_cast<sim::SimTime>(config.max_depth + 1) +
          config.report_jitter_max + sim::Milliseconds(200);
+}
+
+sim::SimTime IpdaRoundDeadline(const IpdaConfig& config) {
+  return config.round_deadline > 0 ? config.round_deadline
+                                   : IpdaDuration(config);
 }
 
 }  // namespace ipda::agg

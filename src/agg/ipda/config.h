@@ -34,6 +34,25 @@ struct IpdaConfig {
   bool impatient_join = false;
   sim::SimTime impatient_wait = sim::Milliseconds(900);
 
+  // --- Failure resilience (not in the paper; fault-injection rounds) ---
+  // The MAC's ARQ doubles as a liveness probe: a unicast that exhausts
+  // its retries declares the peer dead. With retarget_slices on, a sensor
+  // whose slice died that way re-aims it at a different live aggregator
+  // of the same tree before Phase II commits (at most slice_retarget_max
+  // re-aims per slice). With parent_failover on, an aggregator whose
+  // parent died re-sends its partial to a live strictly-lower-hop
+  // aggregator of its color (the base station always qualifies), riding
+  // the depth-slotted report schedule: lower-hop parents report later,
+  // so the re-sent partial still catches the next slot rootward.
+  bool retarget_slices = false;
+  uint32_t slice_retarget_max = 2;
+  bool parent_failover = false;
+  // Base-station finalization deadline; 0 = IpdaDuration(config). At the
+  // deadline both accumulators freeze and the round is decided with
+  // whatever partials arrived — a vanished subtree degrades the round
+  // (IpdaStats::degraded) instead of stalling it.
+  sim::SimTime round_deadline = 0;
+
   // --- Phase timing ---
   sim::SimTime hello_jitter_max = sim::Milliseconds(40);
   sim::SimTime decide_window = sim::Milliseconds(120);  // HELLO gather time.
@@ -48,6 +67,10 @@ util::Status ValidateIpdaConfig(const IpdaConfig& config);
 
 // Simulated time from protocol start until the base-station decision.
 sim::SimTime IpdaDuration(const IpdaConfig& config);
+
+// When the base station freezes its accumulators and decides: the
+// configured round_deadline, or IpdaDuration when unset.
+sim::SimTime IpdaRoundDeadline(const IpdaConfig& config);
 
 // Start of Phase II (slicing) relative to protocol start.
 sim::SimTime IpdaSliceStart(const IpdaConfig& config);

@@ -30,6 +30,7 @@ IpdaProtocol::IpdaProtocol(net::Network* network,
   IPDA_CHECK(function != nullptr);
   IPDA_CHECK(ValidateIpdaConfig(config).ok());
   readings_.assign(network_->size(), 0.0);
+  partial_delivered_.assign(network_->size(), false);
   states_.resize(network_->size());
   for (net::NodeId id = 0; id < network_->size(); ++id) {
     NodeState& state = states_[id];
@@ -112,6 +113,19 @@ void IpdaProtocol::Start() {
     network_->node(id).SetReceiveHandler(
         [this, id](const net::Packet& packet) { OnPacket(id, packet); });
   }
+  if (config_.retarget_slices || config_.parent_failover) {
+    // ARQ exhaustion is the liveness signal: the MAC hands back the frame
+    // it gave up on, and the protocol reroutes around the dead peer.
+    for (net::NodeId id = 1; id < network_->size(); ++id) {
+      network_->node(id).SetSendFailureHandler(
+          [this, id](const net::Packet& packet) { OnSendFailure(id, packet); });
+    }
+  }
+
+  // The round decides at the deadline no matter what arrived; scheduling
+  // from here (time 0) gives the freeze the lowest sequence number at its
+  // timestamp, so no same-instant report can sneak into the accumulators.
+  network_->sim().At(IpdaRoundDeadline(config_), [this] { Finish(); });
 
   // Base station roots both trees.
   states_[net::kBaseStationId].builder->ForceRole(NodeRole::kBaseStation);
@@ -133,6 +147,7 @@ void IpdaProtocol::Start() {
 }
 
 void IpdaProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
+  if (finished_) return;  // Accumulators froze at the round deadline.
   NodeState& state = states_[self];
   if (state.excluded) return;
   switch (packet.type) {
@@ -172,16 +187,116 @@ void IpdaProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
       auto msg = DecodeAggregateMsg(packet.payload);
       if (!msg.ok() || msg->partial.size() != function_->arity()) return;
       if (self == net::kBaseStationId) {
+        partial_delivered_[packet.src] = true;
         bs_acc_.Add(msg->color, msg->partial);
         return;
       }
       if (!RoleMatchesColor(state.builder->role(), msg->color)) return;
+      if (state.reported) {
+        // Our own partial already left; absorbing now would change
+        // nothing downstream. Count the orphan instead of hiding it.
+        stats_.late_partials += 1;
+        return;
+      }
+      partial_delivered_[packet.src] = true;
       AddInto(state.children, msg->partial);
       break;
     }
     default:
       break;
   }
+}
+
+bool IpdaProtocol::IsDeadNeighbor(const NodeState& state,
+                                  net::NodeId id) const {
+  return std::find(state.dead_neighbors.begin(), state.dead_neighbors.end(),
+                   id) != state.dead_neighbors.end();
+}
+
+void IpdaProtocol::OnSendFailure(net::NodeId self, const net::Packet& packet) {
+  if (finished_) return;
+  NodeState& state = states_[self];
+  if (state.excluded) return;
+  if (!IsDeadNeighbor(state, packet.dst)) {
+    state.dead_neighbors.push_back(packet.dst);
+  }
+  if (packet.type == net::PacketType::kSlice && config_.retarget_slices) {
+    RetargetSlice(self, packet.dst);
+  } else if (packet.type == net::PacketType::kAggregate &&
+             config_.parent_failover) {
+    FailoverReport(self);
+  }
+}
+
+void IpdaProtocol::RetargetSlice(net::NodeId self, net::NodeId dead_target) {
+  NodeState& state = states_[self];
+  auto it = std::find_if(
+      state.pending_slices.begin(), state.pending_slices.end(),
+      [&](const PendingSlice& p) { return p.target == dead_target; });
+  if (it == state.pending_slices.end()) return;
+
+  net::NodeId chosen = net::kBroadcastId;
+  if (it->attempts < config_.slice_retarget_max) {
+    for (net::NodeId cand :
+         state.builder->AggregatorNeighbors(it->color)) {
+      if (cand == dead_target || IsDeadNeighbor(state, cand)) continue;
+      if (config_.encrypt_slices &&
+          !crypto_for(self).keystore().HasLinkKey(cand)) {
+        continue;
+      }
+      chosen = cand;
+      break;
+    }
+  }
+  if (chosen == net::kBroadcastId) {
+    // Re-aim budget spent or no live keyed aggregator left: the slice —
+    // and with it part of this sensor's contribution to one tree — is
+    // gone. The tree sums now straddle the §III-D ambiguity: the base
+    // station sees a deficit it cannot attribute to failure vs pollution.
+    stats_.slices_lost += 1;
+    state.pending_slices.erase(it);
+    return;
+  }
+  it->target = chosen;
+  it->attempts += 1;
+  stats_.slices_retargeted += 1;
+  SendSlice(self, chosen, it->color, it->slice);
+}
+
+void IpdaProtocol::FailoverReport(net::NodeId self) {
+  NodeState& state = states_[self];
+  const NodeRole role = state.builder->role();
+  if (role != NodeRole::kRedAggregator &&
+      role != NodeRole::kBlueAggregator) {
+    return;
+  }
+  if (state.last_partial.empty()) return;  // Nothing reported yet.
+  const TreeColor color = role == NodeRole::kRedAggregator
+                              ? TreeColor::kRed
+                              : TreeColor::kBlue;
+  // Any live strictly-lower-hop aggregator of our color keeps the partial
+  // moving rootward; lower hops report later (ReportTime), so the re-sent
+  // partial still catches the alternate's slot. The base station (hop 0,
+  // both colors) is always an admissible last resort when in range.
+  const uint32_t my_hop = state.builder->hop();
+  net::NodeId best = net::kBroadcastId;
+  uint32_t best_hop = UINT32_MAX;
+  for (const NeighborAggregator& cand :
+       state.builder->AggregatorNeighborInfos(color)) {
+    if (cand.hop >= my_hop || IsDeadNeighbor(state, cand.id)) continue;
+    if (cand.hop < best_hop) {
+      best = cand.id;
+      best_hop = cand.hop;
+    }
+  }
+  if (best == net::kBroadcastId) {
+    stats_.orphaned_partials += 1;
+    return;
+  }
+  network_->node(self).Unicast(
+      best, net::PacketType::kAggregate,
+      EncodeAggregateMsg(AggregateMsg{color, state.last_partial}));
+  stats_.reports_rerouted += 1;
 }
 
 void IpdaProtocol::ScheduleHellos(net::NodeId self, const HelloMsg& hello,
@@ -281,22 +396,33 @@ void IpdaProtocol::DeliverSlices(net::NodeId self, TreeColor color,
   }
   for (net::NodeId target : plan.targets) {
     IPDA_CHECK_LT(next, slices.size());
-    if (slice_observer_) slice_observer_(self, target, color, slices[next]);
-    const util::Bytes plaintext =
-        EncodeSliceMsg(SliceMsg{color, slices[next++]});
-    util::Bytes wire;
-    if (config_.encrypt_slices) {
-      auto sealed = crypto_for(self).Seal(target, plaintext);
-      IPDA_CHECK(sealed.ok());  // Targets were filtered for key presence.
-      wire = std::move(*sealed);
-    } else {
-      wire = plaintext;
+    const Vector& slice = slices[next++];
+    SendSlice(self, target, color, slice);
+    if (config_.retarget_slices) {
+      // Remember the slice until the round ends so an ARQ failure can
+      // re-aim it at a surviving aggregator.
+      states_[self].pending_slices.push_back(
+          PendingSlice{target, color, slice, /*attempts=*/0});
     }
-    network_->node(self).Unicast(target, net::PacketType::kSlice,
-                                 std::move(wire));
-    stats_.slices_sent += 1;
   }
   IPDA_CHECK_EQ(next, slices.size());
+}
+
+void IpdaProtocol::SendSlice(net::NodeId self, net::NodeId target,
+                             TreeColor color, const Vector& slice) {
+  if (slice_observer_) slice_observer_(self, target, color, slice);
+  const util::Bytes plaintext = EncodeSliceMsg(SliceMsg{color, slice});
+  util::Bytes wire;
+  if (config_.encrypt_slices) {
+    auto sealed = crypto_for(self).Seal(target, plaintext);
+    IPDA_CHECK(sealed.ok());  // Targets were filtered for key presence.
+    wire = std::move(*sealed);
+  } else {
+    wire = plaintext;
+  }
+  network_->node(self).Unicast(target, net::PacketType::kSlice,
+                               std::move(wire));
+  stats_.slices_sent += 1;
 }
 
 void IpdaProtocol::Report(net::NodeId self) {
@@ -312,6 +438,8 @@ void IpdaProtocol::Report(net::NodeId self) {
   Vector partial = state.assembled;
   AddInto(partial, state.children);
   if (pollution_hook_) pollution_hook_(self, color, partial);
+  state.last_partial = partial;  // Failover resends exactly what we sent.
+  state.reported = true;
   network_->node(self).Unicast(state.builder->parent(),
                                net::PacketType::kAggregate,
                                EncodeAggregateMsg(AggregateMsg{color,
@@ -319,9 +447,15 @@ void IpdaProtocol::Report(net::NodeId self) {
   stats_.reports_sent += 1;
 }
 
+sim::SimTime IpdaProtocol::Duration() const {
+  return std::max(IpdaDuration(config_), config_.round_deadline);
+}
+
 const IpdaStats& IpdaProtocol::Finish() {
   if (finished_) return stats_;
   finished_ = true;
+  size_t red_delivered = 0;
+  size_t blue_delivered = 0;
   for (net::NodeId id = 1; id < network_->size(); ++id) {
     const NodeState& state = states_[id];
     if (state.excluded) {
@@ -333,9 +467,11 @@ const IpdaStats& IpdaProtocol::Finish() {
     switch (state.builder->role()) {
       case NodeRole::kRedAggregator:
         stats_.red_aggregators += 1;
+        if (partial_delivered_[id]) red_delivered += 1;
         break;
       case NodeRole::kBlueAggregator:
         stats_.blue_aggregators += 1;
+        if (partial_delivered_[id]) blue_delivered += 1;
         break;
       case NodeRole::kLeaf:
         stats_.leaves += 1;
@@ -345,6 +481,19 @@ const IpdaStats& IpdaProtocol::Finish() {
         break;
     }
   }
+  stats_.completeness_red =
+      stats_.red_aggregators == 0
+          ? 1.0
+          : static_cast<double>(red_delivered) /
+                static_cast<double>(stats_.red_aggregators);
+  stats_.completeness_blue =
+      stats_.blue_aggregators == 0
+          ? 1.0
+          : static_cast<double>(blue_delivered) /
+                static_cast<double>(stats_.blue_aggregators);
+  stats_.degraded = stats_.completeness_red < 1.0 ||
+                    stats_.completeness_blue < 1.0 ||
+                    stats_.slices_lost > 0 || stats_.orphaned_partials > 0;
   stats_.decision = bs_acc_.Decide(config_.threshold);
   return stats_;
 }

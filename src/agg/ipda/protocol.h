@@ -40,6 +40,20 @@ struct IpdaStats {
   size_t slice_decrypt_failures = 0;
   // Phase III.
   size_t reports_sent = 0;
+  // Failure resilience (fault-injection rounds; see IpdaConfig knobs).
+  size_t slices_retargeted = 0;  // Re-aimed away from a dead aggregator.
+  size_t slices_lost = 0;        // ARQ failed, no live alternate target.
+  size_t reports_rerouted = 0;   // Partials re-sent to an alternate parent.
+  size_t orphaned_partials = 0;  // Partials with no live rootward parent.
+  size_t late_partials = 0;      // Absorbed after the parent had reported.
+  // Delivered / expected aggregator partials per tree (1.0 when whole).
+  double completeness_red = 1.0;
+  double completeness_blue = 1.0;
+  // True when the round finalized knowing data went missing: a partial
+  // never arrived, arrived too late to be forwarded, or a slice died with
+  // its target. §III-D's ambiguity made concrete: the base station can
+  // tell *that* data is missing, not whether failure or pollution did it.
+  bool degraded = false;
   // Base-station outcome.
   IntegrityDecision decision;
 };
@@ -91,7 +105,9 @@ class IpdaProtocol {
   // the simulator to at least Duration(), then call Finish().
   void Start();
 
-  sim::SimTime Duration() const { return IpdaDuration(config_); }
+  // Covers the configured round deadline even when it exceeds the
+  // nominal three-phase schedule.
+  sim::SimTime Duration() const;
 
   // Computes the base-station decision and the role census. Idempotent.
   const IpdaStats& Finish();
@@ -113,17 +129,34 @@ class IpdaProtocol {
   }
 
  private:
+  // A transmitted slice the sender remembers until the round ends, so an
+  // ARQ failure can re-aim it at a live aggregator (retarget_slices).
+  struct PendingSlice {
+    net::NodeId target;
+    TreeColor color;
+    Vector slice;
+    uint32_t attempts = 0;  // Re-aims consumed.
+  };
+
   struct NodeState {
     std::unique_ptr<TreeBuilder> builder;
     Vector assembled;  // r(j): kept slice + received slices.
     Vector children;   // Partials folded in from tree children.
+    Vector last_partial;  // What Report() sent (resent on failover).
     std::optional<Query> received_query;
+    std::vector<PendingSlice> pending_slices;
+    std::vector<net::NodeId> dead_neighbors;  // Declared dead by ARQ.
     bool participated = false;
     bool excluded = false;
+    bool reported = false;  // Phase III partial already transmitted.
   };
 
   void ProvisionPairwiseKeys();
   void OnPacket(net::NodeId self, const net::Packet& packet);
+  void OnSendFailure(net::NodeId self, const net::Packet& packet);
+  void RetargetSlice(net::NodeId self, net::NodeId dead_target);
+  void FailoverReport(net::NodeId self);
+  bool IsDeadNeighbor(const NodeState& state, net::NodeId id) const;
   void ScheduleHellos(net::NodeId self, const HelloMsg& hello,
                       util::Rng& rng);
   void OnJoined(net::NodeId self, const HelloMsg& hello);
@@ -131,6 +164,8 @@ class IpdaProtocol {
   void DeliverSlices(net::NodeId self, TreeColor color,
                      const ColorPlan& plan, const Vector& contribution,
                      util::Rng& rng);
+  void SendSlice(net::NodeId self, net::NodeId target, TreeColor color,
+                 const Vector& slice);
   void Report(net::NodeId self);
   crypto::LinkCrypto& crypto_for(net::NodeId id) { return (*cryptos_)[id]; }
 
@@ -145,6 +180,10 @@ class IpdaProtocol {
   std::vector<crypto::LinkCrypto>* cryptos_ = nullptr;
   PollutionHook pollution_hook_;
   SliceObserver slice_observer_;
+  // partial_delivered_[id]: aggregator id's Phase III partial was absorbed
+  // somewhere useful (at its parent before the parent reported, or at the
+  // base station). Feeds the per-tree completeness ratios.
+  std::vector<bool> partial_delivered_;
   IpdaStats stats_;
   bool started_ = false;
   bool finished_ = false;

@@ -192,4 +192,17 @@ std::vector<net::NodeId> TreeBuilder::AggregatorNeighbors(
   return out;
 }
 
+std::vector<NeighborAggregator> TreeBuilder::AggregatorNeighborInfos(
+    TreeColor color) const {
+  std::vector<NeighborAggregator> out;
+  for (net::NodeId src : heard_order_) {
+    const HeardEntry& entry = heard_.at(src);
+    if (entry.conflicted) continue;
+    if (entry.color == color || entry.color == TreeColor::kBoth) {
+      out.push_back(NeighborAggregator{src, entry.color, entry.hop});
+    }
+  }
+  return out;
+}
+
 }  // namespace ipda::agg

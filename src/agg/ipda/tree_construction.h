@@ -72,6 +72,11 @@ class TreeBuilder {
   // double-color senders; includes the base station for either color).
   std::vector<net::NodeId> AggregatorNeighbors(TreeColor color) const;
 
+  // Same set with each neighbor's advertised hop, in first-heard order.
+  // Parent failover needs hops to re-route partials strictly rootward.
+  std::vector<NeighborAggregator> AggregatorNeighborInfos(
+      TreeColor color) const;
+
   size_t hello_count(TreeColor color) const {
     return color == TreeColor::kRed ? n_red_ : n_blue_;
   }

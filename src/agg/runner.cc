@@ -1,7 +1,9 @@
 #include "agg/runner.h"
 
+#include <optional>
 #include <utility>
 
+#include "fault/fault_injector.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -15,6 +17,31 @@ Vector TrueTotal(const AggregateFunction& function,
     AddInto(total, function.Contribution(readings[id]));
   }
   return total;
+}
+
+// A deployed MAC tunes its ACK timeout to the link's latency budget. The
+// fault plan may delay the data frame by up to jitter_max and the ACK by
+// up to jitter_max again, so widen the ARQ window accordingly: a dead-peer
+// verdict must mean loss or crash, never delay alone (a jittered-but-
+// delivered frame that times out would be re-sent via retarget/failover
+// and absorbed twice, inflating one tree).
+net::MacConfig RunMacConfig(const RunConfig& config) {
+  net::MacConfig mac = config.mac;
+  mac.ack_timeout += 2 * config.faults.link.jitter_max;
+  return mac;
+}
+
+// Arms config.faults against the run's network. The injector is emplaced
+// into caller-owned storage (it is non-movable and must outlive RunUntil).
+util::Status ArmFaults(const RunConfig& config, sim::Simulator& simulator,
+                       net::Network& network,
+                       std::optional<fault::FaultInjector>& injector) {
+  if (config.faults.empty()) return util::OkStatus();
+  IPDA_RETURN_IF_ERROR(fault::ValidateFaultPlan(config.faults));
+  injector.emplace(&simulator, &network.channel(), network.size(),
+                   config.faults);
+  injector->Arm();
+  return util::OkStatus();
 }
 
 }  // namespace
@@ -37,8 +64,10 @@ util::Result<TagRunResult> RunTag(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   net::Network network(&simulator, std::move(topology), config.phy,
-                       config.mac);
+                       RunMacConfig(config));
   TagProtocol protocol(&network, &function, tag_config);
+  std::optional<fault::FaultInjector> injector;
+  IPDA_RETURN_IF_ERROR(ArmFaults(config, simulator, network, injector));
   const std::vector<double> readings = field.Sample(network.topology());
   protocol.SetReadings(readings);
   protocol.Start();
@@ -61,8 +90,10 @@ util::Result<SmartRunResult> RunSmart(
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   net::Network network(&simulator, std::move(topology), config.phy,
-                       config.mac);
+                       RunMacConfig(config));
   SmartProtocol protocol(&network, &function, smart_config);
+  std::optional<fault::FaultInjector> injector;
+  IPDA_RETURN_IF_ERROR(ArmFaults(config, simulator, network, injector));
   const std::vector<double> readings = field.Sample(network.topology());
   protocol.SetReadings(readings);
   if (slice_observer) protocol.SetSliceObserver(std::move(slice_observer));
@@ -86,8 +117,10 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   net::Network network(&simulator, std::move(topology), config.phy,
-                       config.mac);
+                       RunMacConfig(config));
   CpdaProtocol protocol(&network, &function, cpda_config);
+  std::optional<fault::FaultInjector> injector;
+  IPDA_RETURN_IF_ERROR(ArmFaults(config, simulator, network, injector));
   const std::vector<double> readings = field.Sample(network.topology());
   protocol.SetReadings(readings);
   protocol.Start();
@@ -112,8 +145,10 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   net::Network network(&simulator, std::move(topology), config.phy,
-                       config.mac);
+                       RunMacConfig(config));
   IpdaProtocol protocol(&network, &function, ipda_config);
+  std::optional<fault::FaultInjector> injector;
+  IPDA_RETURN_IF_ERROR(ArmFaults(config, simulator, network, injector));
   const std::vector<double> readings = field.Sample(network.topology());
   protocol.SetReadings(readings);
   if (hooks.pollution) protocol.SetPollutionHook(hooks.pollution);

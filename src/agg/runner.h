@@ -13,6 +13,7 @@
 #include "agg/reading.h"
 #include "agg/smart/smart_protocol.h"
 #include "agg/tag/tag_protocol.h"
+#include "fault/fault_plan.h"
 #include "net/network.h"
 #include "util/result.h"
 
@@ -24,6 +25,11 @@ struct RunConfig {
   net::PhyConfig phy;                // Paper: 1 Mbps.
   net::MacConfig mac;
   uint64_t seed = 1;
+  // Deterministic fault schedule armed against the run's network before
+  // the protocol starts; an empty plan injects nothing. The same
+  // (seed, faults) pair reproduces the same crashes/losses event for
+  // event, for every protocol under comparison.
+  fault::FaultPlan faults;
 };
 
 // Deterministic topology for a RunConfig (same seed → same deployment).

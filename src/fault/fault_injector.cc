@@ -1,0 +1,92 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::fault {
+
+FaultInjector::FaultInjector(sim::Simulator* sim, net::Channel* channel,
+                             size_t node_count, FaultPlan plan)
+    : sim_(sim),
+      channel_(channel),
+      node_count_(node_count),
+      plan_(std::move(plan)),
+      link_rng_(sim != nullptr ? sim->ForkRng("fault-link")
+                               : util::Rng(0)) {
+  IPDA_CHECK(sim != nullptr);
+  IPDA_CHECK(channel != nullptr);
+  IPDA_CHECK_GT(node_count, 0u);
+  IPDA_CHECK(ValidateFaultPlan(plan_).ok());
+}
+
+void FaultInjector::Arm() {
+  IPDA_CHECK(!armed_);
+  armed_ = true;
+
+  for (const auto& event : plan_.crashes) {
+    IPDA_CHECK_LT(event.node, node_count_);
+    sim_->At(event.at, [this, node = event.node] {
+      channel_->FailNode(node);
+      ++crashes_fired_;
+    });
+  }
+  for (const auto& event : plan_.recoveries) {
+    IPDA_CHECK_LT(event.node, node_count_);
+    sim_->At(event.at, [this, node = event.node] {
+      channel_->RecoverNode(node);
+      ++recoveries_fired_;
+    });
+  }
+
+  // Random crashes: victims are sampled now (deterministically, from the
+  // seed) so experiments can interrogate sampled_victims() up front; only
+  // the FailNode calls wait for their scheduled instant.
+  util::Rng crash_rng = sim_->ForkRng("fault-crash");
+  for (const auto& crash : plan_.random_crashes) {
+    const size_t sensors = node_count_ - 1;  // Base station is exempt.
+    const size_t count = static_cast<size_t>(
+        crash.fraction * static_cast<double>(sensors) + 0.5);
+    for (size_t index :
+         crash_rng.SampleWithoutReplacement(sensors, count)) {
+      const net::NodeId victim = static_cast<net::NodeId>(index + 1);
+      sampled_victims_.push_back(victim);
+      sim_->At(crash.at, [this, victim] {
+        channel_->FailNode(victim);
+        ++crashes_fired_;
+      });
+    }
+  }
+
+  if (plan_.link.active()) {
+    channel_->SetLinkFaultHook(
+        [this](net::NodeId sender, net::NodeId receiver,
+               const net::Packet& packet) {
+          return DrawLinkFault(sender, receiver, packet);
+        });
+  }
+}
+
+net::LinkFault FaultInjector::DrawLinkFault(net::NodeId sender,
+                                            net::NodeId receiver,
+                                            const net::Packet& packet) {
+  (void)sender;
+  (void)receiver;
+  (void)packet;
+  net::LinkFault fault;
+  if (plan_.link.loss_rate > 0.0 &&
+      link_rng_.Bernoulli(plan_.link.loss_rate)) {
+    fault.drop = true;
+    return fault;  // A vanished frame draws nothing further.
+  }
+  if (plan_.link.dup_rate > 0.0) {
+    fault.duplicate = link_rng_.Bernoulli(plan_.link.dup_rate);
+  }
+  if (plan_.link.jitter_max > 0) {
+    fault.extra_delay = static_cast<sim::SimTime>(link_rng_.UniformUint64(
+        static_cast<uint64_t>(plan_.link.jitter_max) + 1));
+  }
+  return fault;
+}
+
+}  // namespace ipda::fault

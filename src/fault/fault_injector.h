@@ -1,0 +1,68 @@
+// Deterministic fault injection: turns a FaultPlan into scheduler events
+// (crashes, recoveries) and a net::Channel link-fault hook (loss,
+// duplication, jitter).
+//
+// All randomness — link-fault draws and random-crash victim selection —
+// comes from Rng streams forked off the simulation seed, so the same
+// (seed, plan) pair reproduces the same faults event for event. The
+// injector owns no protocol knowledge: upper layers observe faults only
+// through their consequences (missing ACKs, silent subtrees), exactly as
+// a deployed network would.
+
+#ifndef IPDA_FAULT_FAULT_INJECTOR_H_
+#define IPDA_FAULT_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/channel.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ipda::fault {
+
+class FaultInjector {
+ public:
+  // `sim` and `channel` must outlive the injector; `node_count` is the
+  // deployment size including the base station (bounds random crashes).
+  FaultInjector(sim::Simulator* sim, net::Channel* channel,
+                size_t node_count, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every node fault and installs the link-fault hook. Call
+  // exactly once, before running the simulation. A plan that is empty()
+  // arms nothing (and in particular leaves the channel hook slot free).
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Victims of RandomCrash directives, resolved at Arm() time (sorted by
+  // directive order). Exposed so experiments can report who died.
+  const std::vector<net::NodeId>& sampled_victims() const {
+    return sampled_victims_;
+  }
+
+  // Fault totals actually applied so far.
+  size_t crashes_fired() const { return crashes_fired_; }
+  size_t recoveries_fired() const { return recoveries_fired_; }
+
+ private:
+  net::LinkFault DrawLinkFault(net::NodeId sender, net::NodeId receiver,
+                               const net::Packet& packet);
+
+  sim::Simulator* sim_;
+  net::Channel* channel_;
+  size_t node_count_;
+  FaultPlan plan_;
+  util::Rng link_rng_;
+  bool armed_ = false;
+  std::vector<net::NodeId> sampled_victims_;
+  size_t crashes_fired_ = 0;
+  size_t recoveries_fired_ = 0;
+};
+
+}  // namespace ipda::fault
+
+#endif  // IPDA_FAULT_FAULT_INJECTOR_H_

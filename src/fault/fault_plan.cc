@@ -1,0 +1,174 @@
+#include "fault/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipda::fault {
+namespace {
+
+util::Status CheckRate(double value, const char* what) {
+  if (value < 0.0 || value > 1.0) {
+    return util::InvalidArgumentError(std::string(what) +
+                                      " must lie in [0, 1]");
+  }
+  return util::OkStatus();
+}
+
+util::Status CheckNodeEvent(const NodeFaultEvent& event, const char* what) {
+  if (event.node == net::kBaseStationId) {
+    return util::InvalidArgumentError(
+        std::string(what) + " may not target the base station (node 0)");
+  }
+  if (event.at < 0) {
+    return util::InvalidArgumentError(std::string(what) +
+                                      " time must be >= 0");
+  }
+  return util::OkStatus();
+}
+
+bool ParseDoubleToken(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != token.c_str();
+}
+
+// Splits "<value>@<seconds>" and converts the time part.
+util::Status ParseAtSuffix(const std::string& value, std::string* head,
+                           sim::SimTime* at) {
+  const size_t pos = value.find('@');
+  if (pos == std::string::npos) {
+    return util::InvalidArgumentError("expected <value>@<seconds> in '" +
+                                      value + "'");
+  }
+  double seconds = 0.0;
+  if (!ParseDoubleToken(value.substr(pos + 1), &seconds) || seconds < 0.0) {
+    return util::InvalidArgumentError("bad time in '" + value + "'");
+  }
+  *head = value.substr(0, pos);
+  *at = sim::SecondsF(seconds);
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status ValidateFaultPlan(const FaultPlan& plan) {
+  for (const auto& event : plan.crashes) {
+    IPDA_RETURN_IF_ERROR(CheckNodeEvent(event, "crash"));
+  }
+  for (const auto& event : plan.recoveries) {
+    IPDA_RETURN_IF_ERROR(CheckNodeEvent(event, "recover"));
+  }
+  for (const auto& crash : plan.random_crashes) {
+    IPDA_RETURN_IF_ERROR(CheckRate(crash.fraction, "crash-frac"));
+    if (crash.at < 0) {
+      return util::InvalidArgumentError("crash-frac time must be >= 0");
+    }
+  }
+  IPDA_RETURN_IF_ERROR(CheckRate(plan.link.loss_rate, "loss"));
+  IPDA_RETURN_IF_ERROR(CheckRate(plan.link.dup_rate, "dup"));
+  if (plan.link.jitter_max < 0) {
+    return util::InvalidArgumentError("jitter must be >= 0");
+  }
+  return util::OkStatus();
+}
+
+util::Result<FaultPlan> ParseFaultSpec(std::string_view spec) {
+  FaultPlan plan;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(",;", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string directive(spec.substr(start, end - start));
+    start = end + 1;
+    if (directive.empty()) continue;
+
+    const size_t eq = directive.find('=');
+    if (eq == std::string::npos) {
+      return util::InvalidArgumentError("fault directive '" + directive +
+                                        "' has no '='");
+    }
+    const std::string key = directive.substr(0, eq);
+    const std::string value = directive.substr(eq + 1);
+
+    if (key == "crash" || key == "recover") {
+      std::string id_text;
+      NodeFaultEvent event;
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(value, &id_text, &event.at));
+      double id = 0.0;
+      if (!ParseDoubleToken(id_text, &id) || id < 0.0 ||
+          id != static_cast<double>(static_cast<net::NodeId>(id))) {
+        return util::InvalidArgumentError("bad node id in '" + directive +
+                                          "'");
+      }
+      event.node = static_cast<net::NodeId>(id);
+      (key == "crash" ? plan.crashes : plan.recoveries).push_back(event);
+    } else if (key == "crash-frac") {
+      std::string frac_text;
+      RandomCrash crash;
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(value, &frac_text, &crash.at));
+      if (!ParseDoubleToken(frac_text, &crash.fraction)) {
+        return util::InvalidArgumentError("bad fraction in '" + directive +
+                                          "'");
+      }
+      plan.random_crashes.push_back(crash);
+    } else if (key == "loss" || key == "dup") {
+      double rate = 0.0;
+      if (!ParseDoubleToken(value, &rate)) {
+        return util::InvalidArgumentError("bad rate in '" + directive + "'");
+      }
+      (key == "loss" ? plan.link.loss_rate : plan.link.dup_rate) = rate;
+    } else if (key == "jitter") {
+      double ms = 0.0;
+      if (!ParseDoubleToken(value, &ms)) {
+        return util::InvalidArgumentError("bad jitter in '" + directive +
+                                          "'");
+      }
+      plan.link.jitter_max = sim::SecondsF(ms / 1e3);
+    } else {
+      return util::InvalidArgumentError("unknown fault directive '" + key +
+                                        "'");
+    }
+  }
+  IPDA_RETURN_IF_ERROR(ValidateFaultPlan(plan));
+  return plan;
+}
+
+std::string FaultSpecToString(const FaultPlan& plan) {
+  std::string out;
+  char buffer[64];
+  auto append = [&out](const char* text) {
+    if (!out.empty()) out += ',';
+    out += text;
+  };
+  for (const auto& event : plan.crashes) {
+    std::snprintf(buffer, sizeof(buffer), "crash=%u@%g", event.node,
+                  sim::ToSeconds(event.at));
+    append(buffer);
+  }
+  for (const auto& event : plan.recoveries) {
+    std::snprintf(buffer, sizeof(buffer), "recover=%u@%g", event.node,
+                  sim::ToSeconds(event.at));
+    append(buffer);
+  }
+  for (const auto& crash : plan.random_crashes) {
+    std::snprintf(buffer, sizeof(buffer), "crash-frac=%g@%g", crash.fraction,
+                  sim::ToSeconds(crash.at));
+    append(buffer);
+  }
+  if (plan.link.loss_rate > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "loss=%g", plan.link.loss_rate);
+    append(buffer);
+  }
+  if (plan.link.dup_rate > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "dup=%g", plan.link.dup_rate);
+    append(buffer);
+  }
+  if (plan.link.jitter_max > 0) {
+    std::snprintf(buffer, sizeof(buffer), "jitter=%g",
+                  sim::ToSeconds(plan.link.jitter_max) * 1e3);
+    append(buffer);
+  }
+  return out;
+}
+
+}  // namespace ipda::fault

@@ -1,0 +1,84 @@
+// Declarative fault schedules for robustness experiments.
+//
+// A FaultPlan is pure data: which nodes crash or recover when, how lossy
+// and jittery the links are, and how often frames duplicate. The
+// FaultInjector (fault_injector.h) turns a plan into scheduler events and
+// a channel hook; keeping the schedule declarative makes every failure
+// scenario serializable (--faults on the CLI), diffable, and — because
+// all randomness comes from the simulation seed — exactly reproducible.
+
+#ifndef IPDA_FAULT_FAULT_PLAN_H_
+#define IPDA_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/time.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::fault {
+
+// Crash or recovery of one specific node at an absolute simulation time.
+struct NodeFaultEvent {
+  net::NodeId node = 0;
+  sim::SimTime at = 0;
+};
+
+// Crash a uniformly sampled fraction of the sensors (base station exempt)
+// at one instant — the "kill X% of the network mid-round" scenario. The
+// victim set is drawn deterministically from the simulation seed.
+struct RandomCrash {
+  double fraction = 0.0;
+  sim::SimTime at = 0;
+};
+
+// Memoryless per-link impairments, applied to every (sender, receiver)
+// pair on every transmission.
+struct LinkFaultModel {
+  double loss_rate = 0.0;        // P(frame vanishes on the link).
+  double dup_rate = 0.0;         // P(receiver hears a stale second copy).
+  sim::SimTime jitter_max = 0;   // Extra latency, uniform in [0, max].
+
+  bool active() const {
+    return loss_rate > 0.0 || dup_rate > 0.0 || jitter_max > 0;
+  }
+};
+
+struct FaultPlan {
+  std::vector<NodeFaultEvent> crashes;
+  std::vector<NodeFaultEvent> recoveries;
+  std::vector<RandomCrash> random_crashes;
+  LinkFaultModel link;
+
+  bool empty() const {
+    return crashes.empty() && recoveries.empty() &&
+           random_crashes.empty() && !link.active();
+  }
+};
+
+// Rates/fractions must lie in [0, 1]; times and jitter must be >= 0; no
+// event may target the base station (node 0).
+util::Status ValidateFaultPlan(const FaultPlan& plan);
+
+// Parses a comma- or semicolon-separated fault spec:
+//
+//   crash=<id>@<seconds>        crash node <id> at time <seconds>
+//   recover=<id>@<seconds>      recover node <id> at time <seconds>
+//   crash-frac=<f>@<seconds>    crash fraction <f> of sensors at <seconds>
+//   loss=<p>                    per-link frame-loss probability
+//   dup=<p>                     per-link frame-duplication probability
+//   jitter=<milliseconds>       max extra per-link latency
+//
+// Example: "crash=17@2.5,recover=17@4.0,crash-frac=0.1@4.5,loss=0.05".
+// An empty spec yields an empty (fault-free) plan.
+util::Result<FaultPlan> ParseFaultSpec(std::string_view spec);
+
+// Inverse of ParseFaultSpec, for logging and JSON emission.
+std::string FaultSpecToString(const FaultPlan& plan);
+
+}  // namespace ipda::fault
+
+#endif  // IPDA_FAULT_FAULT_PLAN_H_

@@ -24,6 +24,20 @@ Channel::Channel(sim::Simulator* sim, const Topology* topology,
 void Channel::FailNode(NodeId id) {
   IPDA_CHECK_LT(id, failed_.size());
   failed_[id] = true;
+  // Anything the radio was mid-receiving dies with it; marking here keeps
+  // the frame lost even if the node recovers before the frame ends.
+  for (auto& rx : active_rx_[id]) rx.dead_rx = true;
+}
+
+void Channel::RecoverNode(NodeId id) {
+  IPDA_CHECK_LT(id, failed_.size());
+  if (!failed_[id]) return;
+  failed_[id] = false;
+  counters_->at(id).recoveries += 1;
+}
+
+void Channel::SetLinkFaultHook(LinkFaultHook hook) {
+  link_fault_ = std::move(hook);
 }
 
 void Channel::SetDeliveryHandler(NodeId id, DeliveryHandler handler) {
@@ -73,7 +87,15 @@ void Channel::StartTransmission(NodeId sender, Packet packet) {
 
   auto shared = std::make_shared<const Packet>(std::move(packet));
   for (NodeId receiver : topology_->neighbors(sender)) {
-    const sim::SimTime prop = PropagationDelay(sender, receiver);
+    LinkFault fault;
+    if (link_fault_) fault = link_fault_(sender, receiver, *shared);
+    if (fault.drop) {
+      counters_->at(receiver).injected_drops += 1;
+      continue;
+    }
+    IPDA_CHECK_GE(fault.extra_delay, 0);
+    const sim::SimTime prop =
+        PropagationDelay(sender, receiver) + fault.extra_delay;
     const uint64_t uid = shared->uid;
     sim_->At(now + prop, [this, receiver, uid, shared] {
       BeginReception(receiver, uid, shared);
@@ -81,6 +103,17 @@ void Channel::StartTransmission(NodeId sender, Packet packet) {
     sim_->At(now + prop + airtime, [this, receiver, uid] {
       EndReception(receiver, uid);
     });
+    if (fault.duplicate) {
+      // A stale second copy abuts the first (end == start, so the copies
+      // do not collide with each other). MAC-level dedup decides its fate.
+      counters_->at(receiver).injected_dup += 1;
+      sim_->At(now + prop + airtime, [this, receiver, uid, shared] {
+        BeginReception(receiver, uid, shared);
+      });
+      sim_->At(now + prop + 2 * airtime, [this, receiver, uid] {
+        EndReception(receiver, uid);
+      });
+    }
   }
 }
 
@@ -95,6 +128,7 @@ void Channel::BeginReception(NodeId receiver, uint64_t uid,
   auto& actives = active_rx_[receiver];
   ActiveReception rx{uid, std::move(packet)};
   if (tx_until_[receiver] > sim_->now()) rx.lost_to_tx = true;
+  if (failed_[receiver]) rx.dead_rx = true;
   if (!actives.empty()) {
     rx.collided = true;
     for (auto& other : actives) other.collided = true;
@@ -119,7 +153,9 @@ void Channel::EndReception(NodeId receiver, uint64_t uid) {
       rc.frames_collided += 1;
       return;
     }
-    if (failed_[receiver]) return;  // Crashed mid-flight: frame vanishes.
+    // Crashed now, or crashed at any point while the frame was arriving
+    // (dead_rx survives a mid-frame recovery): the frame vanishes.
+    if (rx.dead_rx || failed_[receiver]) return;
     if (overhear_) overhear_(OverhearEvent{receiver, *rx.packet});
     if (rx.packet->dst == receiver || rx.packet->IsBroadcast()) {
       rc.frames_delivered += 1;

@@ -36,10 +36,22 @@ struct OverhearEvent {
   Packet packet;  // Note: ciphertext payload if the sender encrypted.
 };
 
+// Per-(sender, receiver, frame) fault decision, produced by an installed
+// LinkFaultHook (see fault/fault_injector.h). The channel applies it when
+// fanning a transmission out to each topology neighbor.
+struct LinkFault {
+  bool drop = false;             // Frame never reaches this receiver.
+  bool duplicate = false;        // Receiver hears a stale second copy.
+  sim::SimTime extra_delay = 0;  // Added one-way latency on this link.
+};
+
 class Channel {
  public:
   using DeliveryHandler = std::function<void(const Packet&)>;
   using OverhearHandler = std::function<void(const OverhearEvent&)>;
+  using LinkFaultHook =
+      std::function<LinkFault(NodeId sender, NodeId receiver,
+                              const Packet& packet)>;
 
   Channel(sim::Simulator* sim, const Topology* topology, PhyConfig config,
           CounterBoard* counters);
@@ -67,6 +79,17 @@ class Channel {
   void FailNode(NodeId id);
   bool IsFailed(NodeId id) const { return failed_[id]; }
 
+  // Brings a crashed node back: it resumes both TX and RX. Frames whose
+  // reception started while the node was down stay lost (the radio missed
+  // their preamble), but anything arriving after this call is heard.
+  // No-op on a node that is not failed.
+  void RecoverNode(NodeId id);
+
+  // Optional fault-injection tap consulted once per (sender, receiver)
+  // pair at transmission time. Installed by fault::FaultInjector; the
+  // decisions it returns are accounted in NodeCounters::injected_*.
+  void SetLinkFaultHook(LinkFaultHook hook);
+
   // Time to clock out `bytes` at the configured data rate.
   sim::SimTime AirTime(size_t bytes) const;
 
@@ -80,6 +103,7 @@ class Channel {
     std::shared_ptr<const Packet> packet;
     bool collided = false;      // Overlapped another reception.
     bool lost_to_tx = false;    // Receiver was transmitting.
+    bool dead_rx = false;       // Receiver was crashed when it started.
   };
 
   void BeginReception(NodeId receiver, uint64_t uid,
@@ -93,6 +117,7 @@ class Channel {
   uint64_t next_uid_ = 1;
   std::vector<DeliveryHandler> delivery_;
   OverhearHandler overhear_;
+  LinkFaultHook link_fault_;
   std::vector<std::vector<ActiveReception>> active_rx_;  // Per receiver.
   std::vector<sim::SimTime> tx_until_;                   // Per node.
   std::vector<bool> failed_;                             // Crashed nodes.

@@ -12,6 +12,9 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   frames_collided += other.frames_collided;
   frames_missed_tx += other.frames_missed_tx;
   mac_drops += other.mac_drops;
+  injected_drops += other.injected_drops;
+  injected_dup += other.injected_dup;
+  recoveries += other.recoveries;
   energy_tx_j += other.energy_tx_j;
   energy_rx_j += other.energy_rx_j;
   return *this;

@@ -23,6 +23,9 @@ struct NodeCounters {
   uint64_t frames_collided = 0;    // Corrupted at this receiver.
   uint64_t frames_missed_tx = 0;   // Lost because receiver was transmitting.
   uint64_t mac_drops = 0;          // Gave up after max CSMA attempts.
+  uint64_t injected_drops = 0;     // Vanished by fault-injected link loss.
+  uint64_t injected_dup = 0;       // Extra copies from fault-injected dup.
+  uint64_t recoveries = 0;         // Times this node came back from a crash.
   double energy_tx_j = 0.0;        // Radio energy spent transmitting.
   double energy_rx_j = 0.0;        // Radio energy spent receiving.
 

@@ -30,6 +30,24 @@ void CsmaMac::SetReceiveHandler(ReceiveHandler handler) {
   receive_handler_ = std::move(handler);
 }
 
+void CsmaMac::SetSendFailureHandler(SendFailureHandler handler) {
+  send_failure_handler_ = std::move(handler);
+}
+
+void CsmaMac::DropHead() {
+  IPDA_CHECK(!queue_.empty());
+  Packet dropped = std::move(queue_.front());
+  queue_.pop_front();
+  counters_->at(id_).mac_drops += 1;
+  attempts_ = 0;
+  retries_ = 0;
+  window_ = config_.initial_window;
+  // Notify with the MAC state already reset: the handler may Send() a
+  // replacement frame, which queues behind anything still pending.
+  if (send_failure_handler_) send_failure_handler_(dropped);
+  MaybeArm();
+}
+
 void CsmaMac::Send(Packet packet) {
   packet.src = id_;
   packet.seq = next_seq_++;
@@ -97,12 +115,7 @@ void CsmaMac::Attempt() {
   }
   ++attempts_;
   if (attempts_ >= config_.max_attempts) {
-    queue_.pop_front();
-    counters_->at(id_).mac_drops += 1;
-    attempts_ = 0;
-    retries_ = 0;
-    window_ = config_.initial_window;
-    MaybeArm();
+    DropHead();
     return;
   }
   window_ = std::min(
@@ -146,11 +159,7 @@ void CsmaMac::OnAckTimeout(uint64_t seq) {
   awaiting_ack_ = false;
   ++retries_;
   if (retries_ > config_.max_retries) {
-    queue_.pop_front();
-    counters_->at(id_).mac_drops += 1;
-    retries_ = 0;
-    window_ = config_.initial_window;
-    MaybeArm();
+    DropHead();
     return;
   }
   // Contend again with a grown window.

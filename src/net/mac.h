@@ -40,6 +40,12 @@ struct MacConfig {
 class CsmaMac {
  public:
   using ReceiveHandler = std::function<void(const Packet&)>;
+  // Invoked with the abandoned frame when the MAC gives up on it: either
+  // `max_attempts` busy carrier senses, or a unicast that exhausted its
+  // ARQ retries without an ACK. The latter is the liveness signal upper
+  // layers use to detect a dead peer. The handler may call Send() to
+  // re-route the payload; the failed frame is already off the queue.
+  using SendFailureHandler = std::function<void(const Packet&)>;
 
   CsmaMac(sim::Simulator* sim, Channel* channel, CounterBoard* counters,
           NodeId id, util::Rng rng, MacConfig config);
@@ -54,6 +60,9 @@ class CsmaMac {
   // (deduplicated; ACKs are consumed internally).
   void SetReceiveHandler(ReceiveHandler handler);
 
+  // Optional notification for frames the MAC dropped (see above).
+  void SetSendFailureHandler(SendFailureHandler handler);
+
   NodeId id() const { return id_; }
   size_t queue_depth() const { return queue_.size(); }
   bool idle() const { return !armed_ && !transmitting_ && queue_.empty(); }
@@ -66,6 +75,7 @@ class CsmaMac {
   void OnTransmitComplete(uint64_t seq);
   void OnAckTimeout(uint64_t seq);
   void ResolveHead(bool delivered_unknown);
+  void DropHead();
   void SendAck(NodeId to, uint64_t seq);
 
   sim::Simulator* sim_;
@@ -75,6 +85,7 @@ class CsmaMac {
   util::Rng rng_;
   MacConfig config_;
   ReceiveHandler receive_handler_;
+  SendFailureHandler send_failure_handler_;
   std::deque<Packet> queue_;  // Head is the in-flight frame.
   uint64_t next_seq_ = 1;
   bool armed_ = false;         // Backoff timer pending.

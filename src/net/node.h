@@ -38,6 +38,10 @@ class Node {
     mac_.SetReceiveHandler(std::move(handler));
   }
 
+  void SetSendFailureHandler(CsmaMac::SendFailureHandler handler) {
+    mac_.SetSendFailureHandler(std::move(handler));
+  }
+
   CsmaMac& mac() { return mac_; }
   util::Rng& rng() { return rng_; }
   sim::Simulator& sim() { return *sim_; }

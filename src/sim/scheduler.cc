@@ -25,7 +25,34 @@ bool Scheduler::Cancel(EventId id) {
   if (it == pending_.end()) return false;
   pending_.erase(it);
   cancelled_.insert(id);
+  if (cancelled_.size() >= kCompactThreshold &&
+      cancelled_.size() * 2 >= queue_.size()) {
+    Compact();
+  }
   return true;
+}
+
+void Scheduler::Compact() {
+  std::vector<Entry> live;
+  live.reserve(queue_.size() - cancelled_.size());
+  while (!queue_.empty()) {
+    // Moving out of top() is safe here: the comparator reads only (at,
+    // seq), which the move leaves intact, and the entry is popped before
+    // the heap is touched again.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(entry.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+    } else {
+      live.push_back(std::move(entry));
+    }
+  }
+  // Every tombstone shadows exactly one queued entry, so a full drain
+  // must consume them all.
+  IPDA_CHECK(cancelled_.empty());
+  queue_ = std::priority_queue<Entry, std::vector<Entry>, EntryLater>(
+      EntryLater{}, std::move(live));
 }
 
 void Scheduler::SkipCancelled() {

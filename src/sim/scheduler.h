@@ -52,6 +52,11 @@ class Scheduler {
   SimTime now() const { return now_; }
   bool empty() const { return pending_.empty(); }
   size_t pending() const { return pending_.size(); }
+  // Tombstones still sitting in the queue. Bounded: head tombstones are
+  // purged as the clock reaches them, and Cancel() compacts the queue once
+  // tombstones pile up — a long run that cancels heavily (ARQ timers) can
+  // never hold more than max(kCompactThreshold, live events) of them.
+  size_t cancelled_pending() const { return cancelled_.size(); }
   uint64_t events_run() const { return events_run_; }
 
  private:
@@ -71,6 +76,13 @@ class Scheduler {
   // Pops queue entries whose ids were cancelled. Ensures queue_.top() (when
   // non-empty) is a live event.
   void SkipCancelled();
+
+  // Rebuilds the queue without tombstoned entries; empties cancelled_.
+  void Compact();
+
+  // Cancel() compacts once this many tombstones accumulate AND they make
+  // up at least half the queue (so compaction stays amortized O(log n)).
+  static constexpr size_t kCompactThreshold = 64;
 
   SimTime now_ = kSimTimeZero;
   uint64_t next_seq_ = 0;

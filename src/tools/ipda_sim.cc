@@ -17,6 +17,7 @@
 #include "agg/kipda/kipda_protocol.h"
 #include "agg/reading.h"
 #include "agg/runner.h"
+#include "fault/fault_plan.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -55,6 +56,13 @@ int Main(int argc, char** argv) {
   flags.DefineBool("adaptive", false, "adaptive role probabilities (Eq.1)");
   flags.DefineBool("impatient", false, "impatient-join extension");
   flags.DefineBool("encrypt", true, "link-encrypt slices");
+  flags.DefineString("faults", "",
+                     "fault spec: crash=<id>@<s>, recover=<id>@<s>, "
+                     "crash-frac=<f>@<s>, loss=<p>, dup=<p>, jitter=<ms>; "
+                     "comma-separated");
+  flags.DefineBool("failover", false,
+                   "iPDA failure resilience (slice retargeting + parent "
+                   "failover + round deadline)");
   flags.DefineInt("runs", 5, "independent runs");
   flags.DefineInt("seed", 1, "base seed (run i uses seed+i)");
   flags.DefineBool("csv", false, "machine-readable output");
@@ -96,6 +104,15 @@ int Main(int argc, char** argv) {
   config.deployment.area =
       net::Area{flags.GetDouble("area"), flags.GetDouble("area")};
   config.range = flags.GetDouble("range");
+  if (const std::string spec = flags.GetString("faults"); !spec.empty()) {
+    auto plan = fault::ParseFaultSpec(spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    config.faults = *plan;
+  }
 
   agg::IpdaConfig ipda;
   ipda.slice_count = static_cast<uint32_t>(flags.GetInt("l"));
@@ -103,6 +120,10 @@ int Main(int argc, char** argv) {
   ipda.adaptive_roles = flags.GetBool("adaptive");
   ipda.impatient_join = flags.GetBool("impatient");
   ipda.encrypt_slices = flags.GetBool("encrypt");
+  if (flags.GetBool("failover")) {
+    ipda.retarget_slices = true;
+    ipda.parent_failover = true;
+  }
   const double slice_range = flags.GetDouble("slice-range");
   ipda.slice_range = slice_range > 0.0
                          ? slice_range
@@ -113,13 +134,14 @@ int Main(int argc, char** argv) {
   stats::Summary accuracy, bytes, result_summary;
   size_t accepted = 0;
   if (csv) {
-    std::printf("run,seed,result,truth,accuracy,accepted,bytes\n");
+    std::printf("run,seed,result,truth,accuracy,accepted,degraded,bytes\n");
   }
   for (size_t r = 0; r < runs; ++r) {
     config.seed = static_cast<uint64_t>(flags.GetInt("seed")) + r;
     double result_value = 0.0, truth = 0.0, acc = 0.0;
     uint64_t run_bytes = 0;
     bool run_accepted = true;
+    bool run_degraded = false;
     if (protocol == "tag") {
       auto run = agg::RunTag(config, *function, *field);
       if (!run.ok()) {
@@ -203,6 +225,7 @@ int Main(int argc, char** argv) {
       acc = run->accuracy;
       run_bytes = run->traffic.bytes_sent;
       run_accepted = run->stats.decision.accepted;
+      run_degraded = run->stats.degraded;
       if (r == 0 && (!flags.GetString("dot-out").empty() ||
                      !flags.GetString("roles-out").empty())) {
         // Re-run with direct protocol access for the exports.
@@ -243,15 +266,17 @@ int Main(int argc, char** argv) {
     result_summary.Add(result_value);
     accepted += run_accepted ? 1 : 0;
     if (csv) {
-      std::printf("%zu,%llu,%.6f,%.6f,%.6f,%d,%llu\n", r,
+      std::printf("%zu,%llu,%.6f,%.6f,%.6f,%d,%d,%llu\n", r,
                   static_cast<unsigned long long>(config.seed),
                   result_value, truth, acc, run_accepted ? 1 : 0,
+                  run_degraded ? 1 : 0,
                   static_cast<unsigned long long>(run_bytes));
     } else {
-      std::printf("run %2zu: %s = %.4f (truth %.4f, accuracy %.4f) %s, "
+      std::printf("run %2zu: %s = %.4f (truth %.4f, accuracy %.4f) %s%s, "
                   "%llu bytes\n",
                   r, function->name().c_str(), result_value, truth, acc,
                   run_accepted ? "accepted" : "REJECTED",
+                  run_degraded ? " (degraded)" : "",
                   static_cast<unsigned long long>(run_bytes));
     }
   }

@@ -1,0 +1,220 @@
+// Fault subsystem: spec parsing, scheduled crashes/recoveries, link
+// impairments, and the determinism contract (same seed + same plan →
+// the same faults, event for event, and the same protocol outcome).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ipda {
+namespace {
+
+TEST(FaultPlan, ParsesFullSpec) {
+  auto plan = fault::ParseFaultSpec(
+      "crash=17@2.5,recover=17@4,crash-frac=0.1@4.5;loss=0.05,dup=0.01,"
+      "jitter=3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].node, 17u);
+  EXPECT_EQ(plan->crashes[0].at, sim::SecondsF(2.5));
+  ASSERT_EQ(plan->recoveries.size(), 1u);
+  EXPECT_EQ(plan->recoveries[0].at, sim::Seconds(4));
+  ASSERT_EQ(plan->random_crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->random_crashes[0].fraction, 0.1);
+  EXPECT_DOUBLE_EQ(plan->link.loss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->link.dup_rate, 0.01);
+  EXPECT_EQ(plan->link.jitter_max, sim::Milliseconds(3));
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  auto plan = fault::ParseFaultSpec("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlan, SpecRoundTripsThroughToString) {
+  const char* spec = "crash=17@2.5,recover=17@4,crash-frac=0.1@4.5,"
+                     "loss=0.05,dup=0.01,jitter=3";
+  auto plan = fault::ParseFaultSpec(spec);
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = fault::ParseFaultSpec(fault::FaultSpecToString(*plan));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(fault::FaultSpecToString(*reparsed),
+            fault::FaultSpecToString(*plan));
+}
+
+TEST(FaultPlan, RejectsBadSpecs) {
+  EXPECT_FALSE(fault::ParseFaultSpec("loss=1.5").ok());
+  EXPECT_FALSE(fault::ParseFaultSpec("crash=0@1").ok());  // Base station.
+  EXPECT_FALSE(fault::ParseFaultSpec("crash=5").ok());    // No @time.
+  EXPECT_FALSE(fault::ParseFaultSpec("crash=x@1").ok());
+  EXPECT_FALSE(fault::ParseFaultSpec("warp=0.5").ok());
+  EXPECT_FALSE(fault::ParseFaultSpec("crash-frac=-0.1@1").ok());
+  EXPECT_FALSE(fault::ParseFaultSpec("jitter=abc").ok());
+}
+
+TEST(FaultInjector, CrashAndRecoveryFollowTheSchedule) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(7);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.crashes.push_back({1, sim::SecondsF(0.5)});
+  plan.recoveries.push_back({1, sim::SecondsF(1.0)});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+
+  std::vector<sim::SimTime> heard;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { heard.push_back(simulator.now()); });
+  for (double at : {0.2, 0.7, 1.3}) {
+    simulator.At(sim::SecondsF(at), [&] {
+      net::Packet p;
+      p.dst = net::kBroadcastId;
+      p.type = net::PacketType::kControl;
+      network.node(0).Send(p);
+    });
+  }
+  simulator.RunUntil(sim::Seconds(2));
+
+  // Alive at 0.2, dead at 0.7, back for the 1.3 broadcast.
+  ASSERT_EQ(heard.size(), 2u);
+  EXPECT_LT(heard[0], sim::SecondsF(0.5));
+  EXPECT_GT(heard[1], sim::SecondsF(1.0));
+  EXPECT_EQ(injector.crashes_fired(), 1u);
+  EXPECT_EQ(injector.recoveries_fired(), 1u);
+  EXPECT_EQ(network.counters().at(1).recoveries, 1u);
+}
+
+TEST(FaultInjector, RandomCrashSamplesTheRequestedFraction) {
+  auto topo = net::Topology::Build(
+      std::vector<net::Point2D>(101, net::Point2D{0, 0}), 10.0);
+  sim::Simulator simulator(11);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.random_crashes.push_back({0.1, sim::Seconds(1)});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  const auto& victims = injector.sampled_victims();
+  EXPECT_EQ(victims.size(), 10u);  // round(0.1 * 100 sensors).
+  for (net::NodeId v : victims) {
+    EXPECT_GE(v, 1u);  // The base station is exempt.
+    EXPECT_LT(v, 101u);
+    EXPECT_EQ(std::count(victims.begin(), victims.end(), v), 1);
+  }
+}
+
+TEST(FaultInjector, TotalLossSilencesTheLink) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}}, 50.0);
+  sim::Simulator simulator(13);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.link.loss_rate = 1.0;
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t received = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet p;
+  p.dst = 1;
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(received, 0u);
+  // Every (re)transmission was swallowed by injection, not collision.
+  EXPECT_GE(network.counters().at(1).injected_drops, 1u);
+  EXPECT_EQ(network.counters().at(0).mac_drops, 1u);  // ARQ gave up.
+}
+
+TEST(FaultInjector, CertainDuplicationDeliversBroadcastTwice) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}}, 50.0);
+  sim::Simulator simulator(17);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.link.dup_rate = 1.0;
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t received = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet p;
+  p.dst = net::kBroadcastId;
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(received, 2u);
+  EXPECT_EQ(network.counters().at(1).injected_dup, 1u);
+}
+
+TEST(FaultInjector, JitterDelaysButStillDelivers) {
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}}, 50.0);
+  sim::Simulator simulator(19);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.link.jitter_max = sim::Milliseconds(5);
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t received = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet p;
+  p.dst = net::kBroadcastId;
+  p.type = net::PacketType::kControl;
+  network.node(0).Send(p);
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(received, 1u);
+}
+
+// The headline contract: re-running the same (seed, plan, config) must
+// reproduce the protocol outcome and every fault counter exactly.
+TEST(FaultInjector, SameSeedAndPlanReproduceTheRoundExactly) {
+  auto run_once = [] {
+    agg::RunConfig config;
+    config.deployment.node_count = 200;
+    config.seed = 77;
+    auto plan = fault::ParseFaultSpec(
+        "crash-frac=0.1@4.4,loss=0.03,dup=0.01,jitter=2");
+    EXPECT_TRUE(plan.ok());
+    config.faults = *plan;
+    agg::IpdaConfig ipda;
+    ipda.slice_range = 1.0;
+    ipda.retarget_slices = true;
+    ipda.parent_failover = true;
+    auto function = agg::MakeCount();
+    auto field = agg::MakeConstantField(1.0);
+    return agg::RunIpda(config, *function, *field, ipda);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.decision.accepted, b->stats.decision.accepted);
+  EXPECT_EQ(a->stats.decision.Agreed(), b->stats.decision.Agreed());
+  EXPECT_EQ(a->stats.degraded, b->stats.degraded);
+  EXPECT_EQ(a->stats.completeness_red, b->stats.completeness_red);
+  EXPECT_EQ(a->stats.completeness_blue, b->stats.completeness_blue);
+  EXPECT_EQ(a->stats.slices_retargeted, b->stats.slices_retargeted);
+  EXPECT_EQ(a->stats.reports_rerouted, b->stats.reports_rerouted);
+  EXPECT_EQ(a->stats.orphaned_partials, b->stats.orphaned_partials);
+  EXPECT_EQ(a->traffic.injected_drops, b->traffic.injected_drops);
+  EXPECT_EQ(a->traffic.injected_dup, b->traffic.injected_dup);
+  EXPECT_EQ(a->traffic.frames_sent, b->traffic.frames_sent);
+  EXPECT_GT(a->traffic.injected_drops, 0u);  // The plan actually bit.
+}
+
+}  // namespace
+}  // namespace ipda

@@ -8,6 +8,8 @@
 #include "agg/ipda/protocol.h"
 #include "agg/reading.h"
 #include "agg/runner.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -121,6 +123,128 @@ TEST(NodeFailure, AggregatorCrashBreaksTreeAgreement) {
   // 400-node network) is missing from one tree only.
   EXPECT_FALSE(stats.decision.accepted)
       << "diff=" << stats.decision.max_component_diff;
+}
+
+// Roles are deterministic per seed, so one fault-free discovery run can
+// name the aggregators and a second run (same seed, same topology, same
+// draws) can crash a chosen subset of them on schedule via a FaultPlan.
+std::vector<net::NodeId> DiscoverAggregators(const agg::RunConfig& config,
+                                             const agg::IpdaConfig& ipda) {
+  auto topology = agg::BuildRunTopology(config);
+  if (!topology.ok()) return {};
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeCount();
+  agg::IpdaProtocol protocol(&network, function.get(), ipda);
+  auto field = agg::MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+  simulator.RunUntil(agg::IpdaSliceStart(ipda));
+  std::vector<net::NodeId> aggregators;
+  for (net::NodeId id = 1; id < network.size(); ++id) {
+    const auto role = protocol.builder(id).role();
+    if (role == agg::NodeRole::kRedAggregator ||
+        role == agg::NodeRole::kBlueAggregator) {
+      aggregators.push_back(id);
+    }
+  }
+  return aggregators;
+}
+
+TEST(NodeFailure, AggregatorCrashesMidPhaseTwoDegradeButFinalize) {
+  // Kill 10% of the aggregators in the middle of Phase II. Without the
+  // resilience extensions the round loses their slices and subtrees
+  // outright; with retargeting + failover + the round deadline, iPDA must
+  // still finalize on schedule, flag the round degraded, and collect at
+  // least as much data as the no-failover baseline.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 4244;
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+
+  const auto aggregators = DiscoverAggregators(config, ipda);
+  ASSERT_GE(aggregators.size(), 10u);
+  const sim::SimTime mid_phase2 =
+      agg::IpdaSliceStart(ipda) + ipda.slice_window / 2;
+  fault::FaultPlan plan;
+  for (size_t i = 0; i < aggregators.size(); i += 10) {
+    plan.crashes.push_back({aggregators[i], mid_phase2});
+  }
+  config.faults = plan;
+
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  auto baseline = agg::RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(baseline.ok());
+
+  agg::IpdaConfig resilient = ipda;
+  resilient.retarget_slices = true;
+  resilient.parent_failover = true;
+  auto failover = agg::RunIpda(config, *function, *field, resilient);
+  ASSERT_TRUE(failover.ok());
+
+  // Crashed aggregators cannot report, so the round is degraded either
+  // way — but it finalized (a decision exists) instead of stalling.
+  EXPECT_TRUE(failover->stats.degraded);
+  EXPECT_LT(failover->stats.completeness_red *
+                failover->stats.completeness_blue,
+            1.0);
+  // Failover must not collect less than doing nothing.
+  EXPECT_GE(failover->accuracy, baseline->accuracy);
+  EXPECT_GT(failover->stats.slices_retargeted +
+                failover->stats.reports_rerouted,
+            0u);
+}
+
+TEST(NodeFailure, RoundDeadlineFinalizesWithoutExplicitFinish) {
+  // The base station decides at the deadline on its own; callers that
+  // never invoke Finish() still see a census and a decision.
+  agg::RunConfig config;
+  config.deployment.node_count = 300;
+  config.seed = 4245;
+  auto topology = agg::BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  sim::Simulator simulator(config.seed);
+  net::Network network(&simulator, std::move(*topology));
+  auto function = agg::MakeCount();
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  agg::IpdaProtocol protocol(&network, function.get(), ipda);
+  auto field = agg::MakeConstantField(1.0);
+  protocol.SetReadings(field->Sample(network.topology()));
+  protocol.Start();
+  simulator.RunUntil(protocol.Duration());
+  // No Finish() call: the scheduled deadline event already ran it.
+  EXPECT_GT(protocol.stats().red_aggregators +
+                protocol.stats().blue_aggregators,
+            0u);
+  EXPECT_TRUE(protocol.stats().decision.accepted);
+}
+
+TEST(NodeFailure, CrashThenRecoverRejoinsTheRound) {
+  // A sensor that dies during Phase I but recovers before slicing missed
+  // some HELLOs yet can still participate if it heard both colors later;
+  // at minimum the radio must genuinely come back (recovery counter, and
+  // traffic flows again) and the round must stay accepted.
+  agg::RunConfig config;
+  config.deployment.node_count = 400;
+  config.seed = 4246;
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  fault::FaultPlan plan;
+  const net::NodeId victim = 123;
+  plan.crashes.push_back({victim, sim::Milliseconds(200)});
+  plan.recoveries.push_back({victim, sim::Milliseconds(1200)});
+  config.faults = plan;
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  auto run = agg::RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->traffic.recoveries, 1u);
+  EXPECT_TRUE(run->stats.decision.accepted);
+  // One blinking sensor must not take a 400-node round down with it.
+  EXPECT_GT(run->stats.participants, 300u);
 }
 
 TEST(NodeFailure, LeafFailureBeforeStartIsSymmetric) {

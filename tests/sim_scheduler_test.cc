@@ -100,6 +100,69 @@ TEST(Scheduler, PendingCountExcludesCancelled) {
   EXPECT_FALSE(sched.empty());
   sched.RunAll();
   EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.cancelled_pending(), 0u);  // Tombstone purged at pop.
+}
+
+TEST(Scheduler, CancelledTombstonesStayBounded) {
+  // A workload that cancels nearly everything it schedules (ARQ ack
+  // timers) must not accumulate tombstones without bound: compaction
+  // keeps them under the threshold even though the clock never reaches
+  // the cancelled timestamps.
+  Scheduler sched;
+  for (int i = 0; i < 10000; ++i) {
+    EventId id = sched.ScheduleAt(Milliseconds(1000 + i), [] {});
+    sched.Cancel(id);
+    EXPECT_LE(sched.cancelled_pending(), 64u);
+  }
+  EXPECT_TRUE(sched.empty());
+  sched.RunAll();
+  EXPECT_EQ(sched.cancelled_pending(), 0u);
+  EXPECT_EQ(sched.events_run(), 0u);
+}
+
+TEST(Scheduler, CompactionPreservesLiveEventsAndOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  int cancelled_ran = 0;
+  // Interleave survivors (some at a shared timestamp, to exercise seq
+  // tie-breaking across a rebuild) with events that will be cancelled.
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = i < 100 ? Milliseconds(10 + i) : Milliseconds(500);
+    sched.ScheduleAt(at, [&order, i] { order.push_back(i); });
+    doomed.push_back(
+        sched.ScheduleAt(Milliseconds(900 + i), [&] { ++cancelled_ran; }));
+  }
+  for (EventId id : doomed) sched.Cancel(id);  // Forces compaction.
+  EXPECT_EQ(sched.cancelled_pending(), 0u);
+  EXPECT_EQ(sched.pending(), 200u);
+  sched.RunAll();
+  EXPECT_EQ(cancelled_ran, 0);
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sched.cancelled_pending(), 0u);
+}
+
+TEST(Scheduler, CancelStaysCorrectAcrossCompaction) {
+  // Ids cancelled before a compaction stay cancelled; ids still pending
+  // afterwards can still be cancelled.
+  Scheduler sched;
+  std::vector<EventId> keep;
+  int ran = 0;
+  for (int i = 0; i < 300; ++i) {
+    EventId id = sched.ScheduleAt(Milliseconds(10 + i), [&] { ++ran; });
+    if (i % 2 == 0) {
+      sched.Cancel(id);
+    } else {
+      keep.push_back(id);
+    }
+  }
+  for (size_t i = 0; i < keep.size(); i += 2) {
+    EXPECT_TRUE(sched.Cancel(keep[i]));
+  }
+  sched.RunAll();
+  EXPECT_EQ(ran, 75);  // 300 - 150 - 75.
+  EXPECT_EQ(sched.cancelled_pending(), 0u);
 }
 
 TEST(Scheduler, EventsScheduledDuringRunExecute) {
