@@ -26,30 +26,51 @@ struct PointStats {
   stats::Summary bytes;
 };
 
-int SweepPoint(size_t n, const agg::IpdaConfig& ipda, uint64_t salt,
-               size_t runs, PointStats& out) {
-  auto function = agg::MakeCount();
-  auto field = agg::MakeConstantField(1.0);
+struct RunOutcome {
+  bool ok = false;
+  double coverage = 0.0;
+  double participation = 0.0;
+  double accuracy = 0.0;
+  double aggregator_share = 0.0;
+  double bytes = 0.0;
+};
+
+int SweepPoint(exp::Engine& engine, size_t n, const agg::IpdaConfig& ipda,
+               uint64_t salt, size_t runs, PointStats& out) {
   const double sensors = static_cast<double>(n - 1);
-  for (size_t r = 0; r < runs; ++r) {
+  const auto outcomes = engine.Map<RunOutcome>(runs, [&](size_t r) {
+    auto function = agg::MakeCount();
+    auto field = agg::MakeConstantField(1.0);
     const auto config = PaperRunConfig(n, salt + r * 6151);
+    RunOutcome outcome;
     auto result = agg::RunIpda(config, *function, *field, ipda);
-    if (!result.ok()) return 1;
-    out.coverage.Add(static_cast<double>(result->stats.covered_both) /
-                     sensors);
-    out.participation.Add(
-        static_cast<double>(result->stats.participants) / sensors);
-    out.accuracy.Add(result->accuracy);
-    out.aggregator_share.Add(
+    if (!result.ok()) return outcome;
+    outcome.coverage =
+        static_cast<double>(result->stats.covered_both) / sensors;
+    outcome.participation =
+        static_cast<double>(result->stats.participants) / sensors;
+    outcome.accuracy = result->accuracy;
+    outcome.aggregator_share =
         static_cast<double>(result->stats.red_aggregators +
                             result->stats.blue_aggregators) /
-        sensors);
-    out.bytes.Add(static_cast<double>(result->traffic.bytes_sent));
+        sensors;
+    outcome.bytes = static_cast<double>(result->traffic.bytes_sent);
+    outcome.ok = true;
+    return outcome;
+  });
+  for (const RunOutcome& outcome : outcomes) {
+    if (!outcome.ok) return 1;
+    out.coverage.Add(outcome.coverage);
+    out.participation.Add(outcome.participation);
+    out.accuracy.Add(outcome.accuracy);
+    out.aggregator_share.Add(outcome.aggregator_share);
+    out.bytes.Add(outcome.bytes);
   }
   return 0;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Ablations — role policy, k, HELLO repeats, slice count",
               "design-choice sweeps behind §III's parameter choices");
   const size_t runs = RunsPerPoint();
@@ -62,7 +83,9 @@ int Run() {
   {
     agg::IpdaConfig fixed = PaperIpdaConfig(2);
     PointStats fixed_stats;
-    if (SweepPoint(500, fixed, 0xAB1A, runs, fixed_stats) != 0) return 1;
+    if (SweepPoint(engine, 500, fixed, 0xAB1A, runs, fixed_stats) != 0) {
+      return 1;
+    }
     roles.AddRow({"fixed 0.5/0.5",
                   stats::FormatDouble(fixed_stats.aggregator_share.mean(), 2),
                   stats::FormatDouble(fixed_stats.coverage.mean(), 3),
@@ -76,7 +99,9 @@ int Run() {
       PointStats s;
       // Same salt as the fixed-policy row: identical deployments, so the
       // comparison is paired.
-      if (SweepPoint(500, adaptive, 0xAB1A, runs, s) != 0) return 1;
+      if (SweepPoint(engine, 500, adaptive, 0xAB1A, runs, s) != 0) {
+        return 1;
+      }
       char name[32];
       std::snprintf(name, sizeof(name), "adaptive k=%u", k);
       roles.AddRow({name,
@@ -114,7 +139,7 @@ int Run() {
     ipda.impatient_join = variant.impatient;
     PointStats s;
     // Paired deployments across variants.
-    if (SweepPoint(250, ipda, 0xAB1C, runs * 4, s) != 0) {
+    if (SweepPoint(engine, 250, ipda, 0xAB1C, runs * 4, s) != 0) {
       return 1;
     }
     hello.AddRow({variant.name,
@@ -133,7 +158,7 @@ int Run() {
   for (uint32_t l : {1u, 2u, 3u, 4u}) {
     agg::IpdaConfig ipda = PaperIpdaConfig(l);
     PointStats s;
-    if (SweepPoint(500, ipda, 0xAB1D, runs, s) != 0) return 1;
+    if (SweepPoint(engine, 500, ipda, 0xAB1D, runs, s) != 0) return 1;
     slices.AddRow(
         {stats::FormatInt(l),
          stats::FormatDouble(
@@ -170,4 +195,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -18,7 +18,10 @@
 namespace ipda::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  // Analytic bench: no Monte-Carlo fan-out, but accept the shared flags
+  // so every bench binary has the same command line.
+  (void)BenchJobs(argc, argv);
   PrintHeader("§IV-A — analytic spot claims", "paper's worked examples");
 
   // 1. Coverage (N=1000, d=10, pb=pr=0.5).
@@ -76,4 +79,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -41,82 +41,118 @@ attack::Eavesdropper MakeEve(const net::Topology& topology,
   return attack::Eavesdropper(topology.node_count(), links, broken);
 }
 
-int Run() {
+struct RunOutcome {
+  bool ok = false;
+  double tag_acc = 0.0, tag_bytes = 0.0;
+  double smart_acc = 0.0, smart_bytes = 0.0, smart_leak = 0.0;
+  double cpda_acc = 0.0, cpda_bytes = 0.0, cpda_masked = 0.0;
+  bool polluted_run = false;
+  bool pollution_fired = false;
+  bool pollution_caught = false;
+  double ipda_acc = 0.0, ipda_bytes = 0.0, ipda_leak = 0.0;
+};
+
+RunOutcome RunArms(size_t r) {
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  RunOutcome out;
+  const auto config = PaperRunConfig(400, 0xBA5E + r * 401);
+  auto topology = agg::BuildRunTopology(config);
+  if (!topology.ok()) return out;
+  const auto links = LinksOf(*topology);
+
+  auto tag = agg::RunTag(config, *function, *field);
+  if (!tag.ok()) return out;
+  out.tag_acc = tag->accuracy;
+  out.tag_bytes = static_cast<double>(tag->traffic.bytes_sent);
+
+  {
+    attack::Eavesdropper eve = MakeEve(*topology, links, r * 31 + 1);
+    auto ipda_observer = eve.Observer();
+    agg::SmartConfig smart_config;
+    smart_config.slice_count = 3;
+    smart_config.slice_range = 1.0;
+    auto smart = agg::RunSmart(
+        config, *function, *field, smart_config,
+        [&](net::NodeId from, net::NodeId to, const agg::Vector& s) {
+          ipda_observer(from, to, agg::TreeColor::kRed, s);
+        });
+    if (!smart.ok()) return out;
+    out.smart_acc = smart->accuracy;
+    out.smart_bytes = static_cast<double>(smart->traffic.bytes_sent);
+    out.smart_leak = eve.Evaluate().disclosure_rate;
+  }
+
+  {
+    agg::CpdaConfig cpda_config;
+    cpda_config.coeff_range = 10.0;
+    auto cpda = agg::RunCpda(config, *function, *field, cpda_config);
+    if (!cpda.ok()) return out;
+    out.cpda_acc = cpda->accuracy;
+    out.cpda_bytes = static_cast<double>(cpda->traffic.bytes_sent);
+    out.cpda_masked = static_cast<double>(cpda->stats.clustered) /
+                      static_cast<double>(cpda->stats.clustered +
+                                          cpda->stats.unprotected);
+  }
+
+  {
+    attack::Eavesdropper eve = MakeEve(*topology, links, r * 31 + 2);
+    agg::IpdaRunHooks hooks;
+    hooks.slice_observer = eve.Observer();
+    // Pollute every other run to measure detection.
+    size_t fired = 0;
+    attack::PollutionConfig attack_config;
+    attack_config.attackers = {static_cast<net::NodeId>(30 + r)};
+    attack_config.additive_delta = 50.0;
+    out.polluted_run = r % 2 == 1;
+    if (out.polluted_run) {
+      hooks.pollution = attack::MakePollutionHook(attack_config, &fired);
+    }
+    auto ipda = agg::RunIpda(config, *function, *field,
+                             PaperIpdaConfig(2), hooks);
+    if (!ipda.ok()) return out;
+    out.pollution_fired = fired > 0;
+    out.pollution_caught = !ipda->stats.decision.accepted;
+    out.ipda_acc = ipda->accuracy;
+    out.ipda_bytes = static_cast<double>(ipda->traffic.bytes_sent);
+    out.ipda_leak = eve.Evaluate().disclosure_rate;
+  }
+  out.ok = true;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Baseline comparison — TAG vs SMART vs iPDA",
               "the §II-D design goals, head to head at N=400");
   const size_t runs = RunsPerPoint();
   auto function = agg::MakeCount();
   auto field = agg::MakeConstantField(1.0);
 
+  const auto outcomes =
+      engine.Map<RunOutcome>(runs * 2, [](size_t r) { return RunArms(r); });
+
   stats::Summary tag_acc, smart_acc, cpda_acc, ipda_acc;
   stats::Summary tag_bytes, smart_bytes, cpda_bytes, ipda_bytes;
   stats::Summary smart_leak, ipda_leak, cpda_masked;
   size_t ipda_pollution_runs = 0, ipda_pollution_caught = 0;
-
-  for (size_t r = 0; r < runs * 2; ++r) {
-    const auto config = PaperRunConfig(400, 0xBA5E + r * 401);
-    auto topology = agg::BuildRunTopology(config);
-    if (!topology.ok()) return 1;
-    const auto links = LinksOf(*topology);
-
-    auto tag = agg::RunTag(config, *function, *field);
-    if (!tag.ok()) return 1;
-    tag_acc.Add(tag->accuracy);
-    tag_bytes.Add(static_cast<double>(tag->traffic.bytes_sent));
-
-    {
-      attack::Eavesdropper eve = MakeEve(*topology, links, r * 31 + 1);
-      auto ipda_observer = eve.Observer();
-      agg::SmartConfig smart_config;
-      smart_config.slice_count = 3;
-      smart_config.slice_range = 1.0;
-      auto smart = agg::RunSmart(
-          config, *function, *field, smart_config,
-          [&](net::NodeId from, net::NodeId to, const agg::Vector& s) {
-            ipda_observer(from, to, agg::TreeColor::kRed, s);
-          });
-      if (!smart.ok()) return 1;
-      smart_acc.Add(smart->accuracy);
-      smart_bytes.Add(static_cast<double>(smart->traffic.bytes_sent));
-      smart_leak.Add(eve.Evaluate().disclosure_rate);
-    }
-
-    {
-      agg::CpdaConfig cpda_config;
-      cpda_config.coeff_range = 10.0;
-      auto cpda = agg::RunCpda(config, *function, *field, cpda_config);
-      if (!cpda.ok()) return 1;
-      cpda_acc.Add(cpda->accuracy);
-      cpda_bytes.Add(static_cast<double>(cpda->traffic.bytes_sent));
-      cpda_masked.Add(static_cast<double>(cpda->stats.clustered) /
-                      static_cast<double>(cpda->stats.clustered +
-                                          cpda->stats.unprotected));
-    }
-
-    {
-      attack::Eavesdropper eve = MakeEve(*topology, links, r * 31 + 2);
-      agg::IpdaRunHooks hooks;
-      hooks.slice_observer = eve.Observer();
-      // Pollute every other run to measure detection.
-      size_t fired = 0;
-      attack::PollutionConfig attack_config;
-      attack_config.attackers = {static_cast<net::NodeId>(30 + r)};
-      attack_config.additive_delta = 50.0;
-      const bool polluted_run = r % 2 == 1;
-      if (polluted_run) {
-        hooks.pollution = attack::MakePollutionHook(attack_config, &fired);
-      }
-      auto ipda = agg::RunIpda(config, *function, *field,
-                               PaperIpdaConfig(2), hooks);
-      if (!ipda.ok()) return 1;
-      if (!polluted_run) {
-        ipda_acc.Add(ipda->accuracy);
-        ipda_bytes.Add(static_cast<double>(ipda->traffic.bytes_sent));
-        ipda_leak.Add(eve.Evaluate().disclosure_rate);
-      } else if (fired > 0) {
-        ++ipda_pollution_runs;
-        if (!ipda->stats.decision.accepted) ++ipda_pollution_caught;
-      }
+  for (const RunOutcome& out : outcomes) {
+    if (!out.ok) return 1;
+    tag_acc.Add(out.tag_acc);
+    tag_bytes.Add(out.tag_bytes);
+    smart_acc.Add(out.smart_acc);
+    smart_bytes.Add(out.smart_bytes);
+    smart_leak.Add(out.smart_leak);
+    cpda_acc.Add(out.cpda_acc);
+    cpda_bytes.Add(out.cpda_bytes);
+    cpda_masked.Add(out.cpda_masked);
+    if (!out.polluted_run) {
+      ipda_acc.Add(out.ipda_acc);
+      ipda_bytes.Add(out.ipda_bytes);
+      ipda_leak.Add(out.ipda_leak);
+    } else if (out.pollution_fired) {
+      ++ipda_pollution_runs;
+      if (out.pollution_caught) ++ipda_pollution_caught;
     }
   }
 
@@ -187,4 +223,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/flags.h"
+
 namespace ipda::bench {
 
 size_t RunsPerPoint(size_t default_runs) {
@@ -12,6 +14,25 @@ size_t RunsPerPoint(size_t default_runs) {
     if (parsed > 0) return static_cast<size_t>(parsed);
   }
   return default_runs;
+}
+
+size_t BenchJobs(int argc, const char* const* argv) {
+  int64_t default_jobs = 0;  // 0 = all hardware threads.
+  if (const char* env = std::getenv("IPDA_BENCH_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) default_jobs = parsed;
+  }
+  util::FlagSet flags;
+  flags.DefineInt("jobs", default_jobs,
+                  "worker threads for the experiment engine "
+                  "(0 = all hardware threads)");
+  const util::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  return exp::ResolveJobs(flags.GetInt("jobs"));
 }
 
 std::vector<size_t> NetworkSizes() { return {200, 300, 400, 500, 600}; }

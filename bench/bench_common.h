@@ -12,11 +12,19 @@
 #include <vector>
 
 #include "agg/runner.h"
+#include "exp/engine.h"
 
 namespace ipda::bench {
 
 // Runs per sweep point (IPDA_BENCH_RUNS env override).
 size_t RunsPerPoint(size_t default_runs = 5);
+
+// Parses the shared bench command line: --jobs N (0 = all hardware
+// threads; IPDA_BENCH_JOBS env is the default when the flag is absent)
+// and returns the resolved worker count for the experiment engine.
+// Unknown flags print usage and exit(2). Output is byte-identical for
+// every jobs value — see src/exp/engine.h for the determinism contract.
+size_t BenchJobs(int argc, const char* const* argv);
 
 // The paper's x-axis: N in [200, 600].
 std::vector<size_t> NetworkSizes();

@@ -26,122 +26,135 @@ constexpr size_t kNodes = 400;
 struct EnergyOutcome {
   double total_j = 0.0;
   double hottest_j = 0.0;  // Max per-node energy: the lifetime bound.
+  double duration_s = 0.0;
 };
 
-template <typename Traffic>
-EnergyOutcome Price(const Traffic& traffic,
-                    const net::CounterBoard& per_node) {
+// All five protocol arms priced on one shared deployment seed.
+struct RunOutcome {
+  bool ok = false;
+  EnergyOutcome tag, smart, cpda, kipda, ipda;
+};
+
+EnergyOutcome Price(const net::CounterBoard& per_node,
+                    sim::SimTime duration) {
   EnergyOutcome out;
-  out.total_j = traffic.TotalEnergyJ();
+  out.total_j = per_node.Totals().TotalEnergyJ();
   for (net::NodeId id = 0; id < per_node.node_count(); ++id) {
     out.hottest_j = std::max(out.hottest_j,
                              per_node.at(id).TotalEnergyJ());
   }
+  out.duration_s = sim::ToSeconds(duration);
   return out;
 }
 
-int Run() {
+RunOutcome PriceAllProtocols(const agg::RunConfig& config) {
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  RunOutcome out;
+
+  // Per-node boards are inside the runs; re-derive via a direct run of
+  // each protocol so we can read CounterBoard before teardown.
+  {
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return out;
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::TagProtocol protocol(&network, function.get());
+    protocol.SetReadings(field->Sample(network.topology()));
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    out.tag = Price(network.counters(), protocol.Duration());
+  }
+  {
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return out;
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::SmartConfig smart;
+    smart.slice_count = 3;
+    smart.slice_range = 1.0;
+    agg::SmartProtocol protocol(&network, function.get(), smart);
+    protocol.SetReadings(field->Sample(network.topology()));
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    out.smart = Price(network.counters(), protocol.Duration());
+  }
+  {
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return out;
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::CpdaConfig cpda;
+    cpda.coeff_range = 10.0;
+    agg::CpdaProtocol protocol(&network, function.get(), cpda);
+    protocol.SetReadings(field->Sample(network.topology()));
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    protocol.Finish();
+    out.cpda = Price(network.counters(), protocol.Duration());
+  }
+  {
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return out;
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::KipdaConfig kipda;
+    kipda.value_floor = 0.0;
+    kipda.value_ceiling = 2.0;  // COUNT-scale readings.
+    agg::KipdaProtocol protocol(&network, kipda);
+    protocol.SetReadings(field->Sample(network.topology()));
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    out.kipda = Price(network.counters(), protocol.Duration());
+  }
+  {
+    auto topology = agg::BuildRunTopology(config);
+    if (!topology.ok()) return out;
+    sim::Simulator simulator(config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::IpdaProtocol protocol(&network, function.get(),
+                               PaperIpdaConfig(2));
+    protocol.SetReadings(field->Sample(network.topology()));
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    protocol.Finish();
+    out.ipda = Price(network.counters(), protocol.Duration());
+  }
+  out.ok = true;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Energy & lifetime — what privacy and integrity cost",
               "first-order radio model, one COUNT round at N=400");
   const size_t runs = RunsPerPoint();
-  auto function = agg::MakeCount();
-  auto field = agg::MakeConstantField(1.0);
+
+  const auto outcomes = engine.Map<RunOutcome>(runs, [](size_t r) {
+    return PriceAllProtocols(PaperRunConfig(kNodes, 0xE66 + r * 211));
+  });
 
   stats::Summary tag_total, tag_hot, smart_total, smart_hot;
   stats::Summary cpda_total, cpda_hot, kipda_total, kipda_hot;
   stats::Summary ipda_total, ipda_hot;
   stats::Summary tag_dur, smart_dur, cpda_dur, kipda_dur, ipda_dur;
-  for (size_t r = 0; r < runs; ++r) {
-    const auto config = PaperRunConfig(kNodes, 0xE66 + r * 211);
-
-    // Per-node boards are inside the runs; re-derive via a direct run of
-    // each protocol so we can read CounterBoard before teardown.
-    {
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      sim::Simulator simulator(config.seed);
-      net::Network network(&simulator, std::move(*topology));
-      agg::TagProtocol protocol(&network, function.get());
-      protocol.SetReadings(field->Sample(network.topology()));
-      protocol.Start();
-      simulator.RunUntil(protocol.Duration());
-      const auto priced =
-          Price(network.counters().Totals(), network.counters());
-      tag_total.Add(priced.total_j);
-      tag_hot.Add(priced.hottest_j);
-      tag_dur.Add(sim::ToSeconds(protocol.Duration()));
-    }
-    {
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      sim::Simulator simulator(config.seed);
-      net::Network network(&simulator, std::move(*topology));
-      agg::SmartConfig smart;
-      smart.slice_count = 3;
-      smart.slice_range = 1.0;
-      agg::SmartProtocol protocol(&network, function.get(), smart);
-      protocol.SetReadings(field->Sample(network.topology()));
-      protocol.Start();
-      simulator.RunUntil(protocol.Duration());
-      const auto priced =
-          Price(network.counters().Totals(), network.counters());
-      smart_total.Add(priced.total_j);
-      smart_hot.Add(priced.hottest_j);
-      smart_dur.Add(sim::ToSeconds(protocol.Duration()));
-    }
-    {
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      sim::Simulator simulator(config.seed);
-      net::Network network(&simulator, std::move(*topology));
-      agg::CpdaConfig cpda;
-      cpda.coeff_range = 10.0;
-      agg::CpdaProtocol protocol(&network, function.get(), cpda);
-      protocol.SetReadings(field->Sample(network.topology()));
-      protocol.Start();
-      simulator.RunUntil(protocol.Duration());
-      protocol.Finish();
-      const auto priced =
-          Price(network.counters().Totals(), network.counters());
-      cpda_total.Add(priced.total_j);
-      cpda_hot.Add(priced.hottest_j);
-      cpda_dur.Add(sim::ToSeconds(protocol.Duration()));
-    }
-    {
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      sim::Simulator simulator(config.seed);
-      net::Network network(&simulator, std::move(*topology));
-      agg::KipdaConfig kipda;
-      kipda.value_floor = 0.0;
-      kipda.value_ceiling = 2.0;  // COUNT-scale readings.
-      agg::KipdaProtocol protocol(&network, kipda);
-      protocol.SetReadings(field->Sample(network.topology()));
-      protocol.Start();
-      simulator.RunUntil(protocol.Duration());
-      const auto priced =
-          Price(network.counters().Totals(), network.counters());
-      kipda_total.Add(priced.total_j);
-      kipda_hot.Add(priced.hottest_j);
-      kipda_dur.Add(sim::ToSeconds(protocol.Duration()));
-    }
-    {
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      sim::Simulator simulator(config.seed);
-      net::Network network(&simulator, std::move(*topology));
-      agg::IpdaProtocol protocol(&network, function.get(),
-                                 PaperIpdaConfig(2));
-      protocol.SetReadings(field->Sample(network.topology()));
-      protocol.Start();
-      simulator.RunUntil(protocol.Duration());
-      protocol.Finish();
-      const auto priced =
-          Price(network.counters().Totals(), network.counters());
-      ipda_total.Add(priced.total_j);
-      ipda_hot.Add(priced.hottest_j);
-      ipda_dur.Add(sim::ToSeconds(protocol.Duration()));
-    }
+  for (const RunOutcome& out : outcomes) {
+    if (!out.ok) return 1;
+    tag_total.Add(out.tag.total_j);
+    tag_hot.Add(out.tag.hottest_j);
+    tag_dur.Add(out.tag.duration_s);
+    smart_total.Add(out.smart.total_j);
+    smart_hot.Add(out.smart.hottest_j);
+    smart_dur.Add(out.smart.duration_s);
+    cpda_total.Add(out.cpda.total_j);
+    cpda_hot.Add(out.cpda.hottest_j);
+    cpda_dur.Add(out.cpda.duration_s);
+    kipda_total.Add(out.kipda.total_j);
+    kipda_hot.Add(out.kipda.hottest_j);
+    kipda_dur.Add(out.kipda.duration_s);
+    ipda_total.Add(out.ipda.total_j);
+    ipda_hot.Add(out.ipda.hottest_j);
+    ipda_dur.Add(out.ipda.duration_s);
   }
 
   // Idle listening (radio on, nothing received) usually dominates real
@@ -179,4 +192,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -6,16 +6,20 @@
 // specified by the paper, and iPDA with the failure-resilience extensions
 // (slice retargeting + parent failover) switched on.
 //
-// Output is a single JSON document on stdout. Every random draw descends
-// from the fixed seeds below, so two invocations with the same
-// IPDA_BENCH_RUNS emit byte-identical JSON — the determinism contract the
-// fault subsystem promises.
+// The grid fans out across the experiment engine (--jobs N). Output is a
+// single JSON document on stdout; per-run seeds derive from (sweep seed,
+// point label, run index), so two invocations with the same
+// IPDA_BENCH_RUNS emit byte-identical JSON for ANY --jobs value — the
+// determinism contract the fault subsystem and the engine both promise.
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
 #include "bench_common.h"
+#include "exp/sweep.h"
 #include "fault/fault_plan.h"
 #include "sim/time.h"
 #include "stats/summary.h"
@@ -24,20 +28,48 @@ namespace ipda::bench {
 namespace {
 
 constexpr size_t kNodes = 300;
-constexpr uint64_t kBaseSeed = 0xFA117;
+constexpr uint64_t kSweepSeed = 0xFA117;
 
 // Mid data phase for each protocol (see header comment).
 constexpr sim::SimTime kTagCrashAt = sim::Milliseconds(2200);
 constexpr sim::SimTime kIpdaCrashAt = sim::Milliseconds(4400);
 
+struct ArmOutcome {
+  double accuracy = 0.0;
+  double completeness = 0.0;  // min(red, blue); 1.0 for TAG.
+  bool accepted = false;
+  bool degraded = false;
+  size_t retargeted = 0;
+  size_t rerouted = 0;
+  size_t orphaned = 0;
+};
+
+// One grid point x one seed, all three arms (they share the deployment).
+struct RunOutcome {
+  bool ok = false;
+  ArmOutcome tag;
+  ArmOutcome ipda;
+  ArmOutcome ipda_failover;
+};
+
 struct ArmResult {
   stats::Summary accuracy;
-  stats::Summary completeness;  // min(red, blue) per run; 1.0 for TAG.
+  stats::Summary completeness;
   size_t accepted = 0;
   size_t degraded = 0;
   size_t retargeted = 0;
   size_t rerouted = 0;
   size_t orphaned = 0;
+
+  void Fold(const ArmOutcome& outcome) {
+    accuracy.Add(outcome.accuracy);
+    completeness.Add(outcome.completeness);
+    accepted += outcome.accepted ? 1 : 0;
+    degraded += outcome.degraded ? 1 : 0;
+    retargeted += outcome.retargeted;
+    rerouted += outcome.rerouted;
+    orphaned += outcome.orphaned;
+  }
 };
 
 fault::FaultPlan MakePlan(double crash_frac, double loss_rate,
@@ -61,7 +93,8 @@ void PrintArm(const char* key, const ArmResult& arm, size_t runs,
       last ? "" : ",");
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   const size_t runs = RunsPerPoint();
   auto function = agg::MakeCount();
   auto field = agg::MakeConstantField(1.0);
@@ -69,58 +102,76 @@ int Run() {
   const double crash_fracs[] = {0.0, 0.05, 0.10, 0.20};
   const double loss_rates[] = {0.0, 0.05, 0.10};
 
-  std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
-  std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
-              runs);
-  std::printf("  \"grid\": [\n");
-  bool first_point = true;
+  std::vector<exp::SweepPoint> points;
+  std::vector<std::pair<double, double>> grid;
   for (double crash : crash_fracs) {
     for (double loss : loss_rates) {
-      ArmResult tag, ipda, ipda_failover;
-      for (size_t r = 0; r < runs; ++r) {
-        const uint64_t seed =
-            kBaseSeed + r * 1009 +
-            static_cast<uint64_t>(crash * 1000.0) * 13 +
-            static_cast<uint64_t>(loss * 1000.0) * 7;
+      char label[64];
+      std::snprintf(label, sizeof(label), "crash=%.2f,loss=%.2f", crash,
+                    loss);
+      points.push_back(
+          exp::SweepPoint{label, PaperRunConfig(kNodes, /*seed=*/0)});
+      grid.emplace_back(crash, loss);
+    }
+  }
 
-        auto tag_config = PaperRunConfig(kNodes, seed);
+  const auto grouped = exp::MapSweep<RunOutcome>(
+      engine, kSweepSeed, points, runs,
+      [&](const agg::RunConfig& base, size_t point, size_t /*run*/) {
+        const auto [crash, loss] = grid[point];
+        RunOutcome out;
+
+        auto tag_config = base;
         tag_config.faults = MakePlan(crash, loss, kTagCrashAt);
         auto tag_run = agg::RunTag(tag_config, *function, *field);
-        if (!tag_run.ok()) return 1;
-        tag.accuracy.Add(tag_run->accuracy);
-        tag.completeness.Add(1.0);
-        tag.accepted += 1;  // TAG has no integrity check to fail.
+        if (!tag_run.ok()) return out;
+        out.tag.accuracy = tag_run->accuracy;
+        out.tag.completeness = 1.0;
+        out.tag.accepted = true;  // TAG has no integrity check to fail.
 
-        auto ipda_config = PaperRunConfig(kNodes, seed);
+        auto ipda_config = base;
         ipda_config.faults = MakePlan(crash, loss, kIpdaCrashAt);
         for (bool failover : {false, true}) {
           agg::IpdaConfig proto = PaperIpdaConfig(2);
           proto.retarget_slices = failover;
           proto.parent_failover = failover;
           auto run = agg::RunIpda(ipda_config, *function, *field, proto);
-          if (!run.ok()) return 1;
-          ArmResult& arm = failover ? ipda_failover : ipda;
-          arm.accuracy.Add(run->accuracy);
-          arm.completeness.Add(
+          if (!run.ok()) return out;
+          ArmOutcome& arm = failover ? out.ipda_failover : out.ipda;
+          arm.accuracy = run->accuracy;
+          arm.completeness =
               run->stats.completeness_red < run->stats.completeness_blue
                   ? run->stats.completeness_red
-                  : run->stats.completeness_blue);
-          arm.accepted += run->stats.decision.accepted ? 1 : 0;
-          arm.degraded += run->stats.degraded ? 1 : 0;
-          arm.retargeted += run->stats.slices_retargeted;
-          arm.rerouted += run->stats.reports_rerouted;
-          arm.orphaned += run->stats.orphaned_partials;
+                  : run->stats.completeness_blue;
+          arm.accepted = run->stats.decision.accepted;
+          arm.degraded = run->stats.degraded;
+          arm.retargeted = run->stats.slices_retargeted;
+          arm.rerouted = run->stats.reports_rerouted;
+          arm.orphaned = run->stats.orphaned_partials;
         }
-      }
-      std::printf("    %s{\n", first_point ? "" : ",");
-      first_point = false;
-      std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f,\n",
-                  crash, loss);
-      PrintArm("tag", tag, runs, /*last=*/false);
-      PrintArm("ipda", ipda, runs, /*last=*/false);
-      PrintArm("ipda_failover", ipda_failover, runs, /*last=*/true);
-      std::printf("    }\n");
+        out.ok = true;
+        return out;
+      });
+
+  std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
+  std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
+              runs);
+  std::printf("  \"grid\": [\n");
+  for (size_t point = 0; point < points.size(); ++point) {
+    ArmResult tag, ipda, ipda_failover;
+    for (const RunOutcome& outcome : grouped[point]) {
+      if (!outcome.ok) return 1;
+      tag.Fold(outcome.tag);
+      ipda.Fold(outcome.ipda);
+      ipda_failover.Fold(outcome.ipda_failover);
     }
+    std::printf("    %s{\n", point == 0 ? "" : ",");
+    std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f,\n",
+                grid[point].first, grid[point].second);
+    PrintArm("tag", tag, runs, /*last=*/false);
+    PrintArm("ipda", ipda, runs, /*last=*/false);
+    PrintArm("ipda_failover", ipda_failover, runs, /*last=*/true);
+    std::printf("    }\n");
   }
   std::printf("  ]\n}\n");
   return 0;
@@ -129,4 +180,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -42,7 +42,8 @@ struct RecordedSlice {
   agg::Vector value;
 };
 
-int Run() {
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Fig. 5 — capacity of privacy preservation",
               "average P_disclose vs p_x; degree 7 & 17; l = 2, 3");
   const size_t runs = RunsPerPoint();
@@ -106,8 +107,10 @@ int Run() {
     char name[64];
     std::snprintf(name, sizeof(name), "empirical l=%u", l);
     for (double px : {0.02, 0.05, 0.08, 0.1}) {
-      stats::Summary rate;
-      for (size_t trial = 0; trial < runs * 4; ++trial) {
+      // Broken-link sets are independent trials over the one recorded
+      // slice trace: fan them across the engine (trial seeds are a pure
+      // function of (px, trial, l), so --jobs never changes the mean).
+      const auto rates = engine.Map<double>(runs * 4, [&](size_t trial) {
         util::Rng rng(util::Mix64(static_cast<uint64_t>(px * 1e6),
                                   trial * 131 + l));
         auto compromise =
@@ -119,8 +122,10 @@ int Run() {
         for (const auto& record : recorded) {
           observer(record.from, record.to, record.color, record.value);
         }
-        rate.Add(eve.Evaluate().disclosure_rate);
-      }
+        return eve.Evaluate().disclosure_rate;
+      });
+      stats::Summary rate;
+      for (double r : rates) rate.Add(r);
       empirical.Add(name, px, rate.mean());
     }
   }
@@ -141,4 +146,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
@@ -15,28 +16,77 @@
 namespace ipda::bench {
 namespace {
 
-int Run() {
+struct RunOutcome {
+  bool ok = false;
+  double red = 0.0;
+  double blue = 0.0;
+  double diff = 0.0;
+};
+
+// The (N, l, run) grid flattened for the engine; seeds stay a pure
+// function of the grid cell so output is --jobs independent.
+struct Cell {
+  size_t n;
+  uint32_t l;
+  size_t run;
+};
+
+std::vector<Cell> GridCells(size_t runs) {
+  std::vector<Cell> cells;
+  for (size_t n : NetworkSizes()) {
+    for (uint32_t l : {1u, 2u}) {
+      for (size_t r = 0; r < runs; ++r) cells.push_back({n, l, r});
+    }
+  }
+  return cells;
+}
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Fig. 6 — red vs blue tree aggregates (Th setting)",
               "COUNT per tree vs network size, no attack; paper: Th=5 "
               "suffices");
   const size_t runs = RunsPerPoint();
+  const std::vector<Cell> cells = GridCells(runs);
+
+  auto run_cell = [&cells](uint64_t seed_base, uint64_t stride,
+                           bool lossy) {
+    return [&cells, seed_base, stride, lossy](size_t i) {
+      const Cell& cell = cells[i];
+      // Same seed across l values: paired deployments.
+      auto config = PaperRunConfig(
+          cell.n, seed_base + cell.run * stride + cell.n);
+      if (lossy) config.mac.max_retries = 1;
+      auto function = agg::MakeCount();
+      auto field = agg::MakeConstantField(1.0);
+      RunOutcome out;
+      auto result = agg::RunIpda(config, *function, *field,
+                                 PaperIpdaConfig(cell.l));
+      if (!result.ok()) return out;
+      out.red = result->stats.decision.acc_red[0];
+      out.blue = result->stats.decision.acc_blue[0];
+      out.diff = result->stats.decision.max_component_diff;
+      out.ok = true;
+      return out;
+    };
+  };
+
+  const auto outcomes = engine.Map<RunOutcome>(
+      cells.size(), run_cell(0xF16'6u, 7919, /*lossy=*/false));
+
   stats::SeriesSet series;
   stats::Summary all_diffs;
+  size_t index = 0;
   for (size_t n : NetworkSizes()) {
     for (uint32_t l : {1u, 2u}) {
       stats::Summary red, blue, diff;
-      for (size_t r = 0; r < runs; ++r) {
-        // Same seed across l values: paired deployments.
-        const auto config = PaperRunConfig(n, 0xF16'6u + r * 7919 + n);
-        auto function = agg::MakeCount();
-        auto field = agg::MakeConstantField(1.0);
-        auto result =
-            agg::RunIpda(config, *function, *field, PaperIpdaConfig(l));
-        if (!result.ok()) return 1;
-        red.Add(result->stats.decision.acc_red[0]);
-        blue.Add(result->stats.decision.acc_blue[0]);
-        diff.Add(result->stats.decision.max_component_diff);
-        all_diffs.Add(result->stats.decision.max_component_diff);
+      for (size_t r = 0; r < runs; ++r, ++index) {
+        const RunOutcome& out = outcomes[index];
+        if (!out.ok) return 1;
+        red.Add(out.red);
+        blue.Add(out.blue);
+        diff.Add(out.diff);
+        all_diffs.Add(out.diff);
       }
       char red_name[48], blue_name[48];
       std::snprintf(red_name, sizeof(red_name), "red l=%u", l);
@@ -62,21 +112,20 @@ int Run() {
   // collisions — the small asymmetric losses the paper's ns-2/802.11 stack
   // exhibits, which is what Th exists to absorb.
   std::printf("\nLossy regime (MAC retries capped at 1):\n");
+  const auto lossy_outcomes = engine.Map<RunOutcome>(
+      cells.size(), run_cell(0xF16'6bu, 7333, /*lossy=*/true));
+
   stats::SeriesSet lossy;
   stats::Summary lossy_diffs;
+  index = 0;
   for (size_t n : NetworkSizes()) {
     for (uint32_t l : {1u, 2u}) {
       stats::Summary diff;
-      for (size_t r = 0; r < runs; ++r) {
-        auto config = PaperRunConfig(n, 0xF16'6bu + r * 7333 + n);
-        config.mac.max_retries = 1;
-        auto function = agg::MakeCount();
-        auto field = agg::MakeConstantField(1.0);
-        auto result =
-            agg::RunIpda(config, *function, *field, PaperIpdaConfig(l));
-        if (!result.ok()) return 1;
-        diff.Add(result->stats.decision.max_component_diff);
-        lossy_diffs.Add(result->stats.decision.max_component_diff);
+      for (size_t r = 0; r < runs; ++r, ++index) {
+        const RunOutcome& out = lossy_outcomes[index];
+        if (!out.ok) return 1;
+        diff.Add(out.diff);
+        lossy_diffs.Add(out.diff);
       }
       char diff_name[48];
       std::snprintf(diff_name, sizeof(diff_name), "|diff| l=%u", l);
@@ -96,4 +145,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -5,6 +5,7 @@
 // stay silent.
 
 #include <cstdio>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
@@ -16,47 +17,74 @@
 namespace ipda::bench {
 namespace {
 
-int Run() {
+struct RunOutcome {
+  bool ok = false;
+  double tag_bytes = 0.0, tag_msgs = 0.0;
+  double ipda1_bytes = 0.0, ipda1_msgs = 0.0;
+  double ipda2_bytes = 0.0, ipda2_msgs = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Fig. 7 — bandwidth consumption: iPDA vs TAG",
               "total bytes transmitted per round vs network size");
   const size_t runs = RunsPerPoint();
+  const std::vector<size_t> sizes = NetworkSizes();
+
+  const auto outcomes = engine.Map<RunOutcome>(
+      sizes.size() * runs, [&sizes, runs](size_t i) {
+        const size_t n = sizes[i / runs];
+        const size_t r = i % runs;
+        const auto config = PaperRunConfig(n, 0xF16'7u + r * 104729 + n);
+        auto function = agg::MakeCount();
+        auto field = agg::MakeConstantField(1.0);
+
+        // Protocol traffic only: the paper's Fig. 4 message accounting
+        // excludes MAC acknowledgements.
+        auto protocol_frames = [](const net::NodeCounters& t) {
+          return static_cast<double>(t.frames_sent - t.ack_frames_sent);
+        };
+        auto protocol_bytes = [](const net::NodeCounters& t) {
+          return static_cast<double>(t.bytes_sent - t.ack_bytes_sent);
+        };
+
+        RunOutcome out;
+        auto tag = agg::RunTag(config, *function, *field);
+        if (!tag.ok()) return out;
+        out.tag_bytes = protocol_bytes(tag->traffic);
+        out.tag_msgs = protocol_frames(tag->traffic);
+
+        auto ipda1 =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
+        if (!ipda1.ok()) return out;
+        out.ipda1_bytes = protocol_bytes(ipda1->traffic);
+        out.ipda1_msgs = protocol_frames(ipda1->traffic);
+
+        auto ipda2 =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
+        if (!ipda2.ok()) return out;
+        out.ipda2_bytes = protocol_bytes(ipda2->traffic);
+        out.ipda2_msgs = protocol_frames(ipda2->traffic);
+        out.ok = true;
+        return out;
+      });
+
   stats::SeriesSet series;
   stats::SeriesSet ratios;
-  for (size_t n : NetworkSizes()) {
+  for (size_t s = 0; s < sizes.size(); ++s) {
     stats::Summary tag_bytes, ipda1_bytes, ipda2_bytes;
     stats::Summary tag_msgs, ipda1_msgs, ipda2_msgs;
     for (size_t r = 0; r < runs; ++r) {
-      const auto config = PaperRunConfig(n, 0xF16'7u + r * 104729 + n);
-      auto function = agg::MakeCount();
-      auto field = agg::MakeConstantField(1.0);
-
-      // Protocol traffic only: the paper's Fig. 4 message accounting
-      // excludes MAC acknowledgements.
-      auto protocol_frames = [](const net::NodeCounters& t) {
-        return static_cast<double>(t.frames_sent - t.ack_frames_sent);
-      };
-      auto protocol_bytes = [](const net::NodeCounters& t) {
-        return static_cast<double>(t.bytes_sent - t.ack_bytes_sent);
-      };
-
-      auto tag = agg::RunTag(config, *function, *field);
-      if (!tag.ok()) return 1;
-      tag_bytes.Add(protocol_bytes(tag->traffic));
-      tag_msgs.Add(protocol_frames(tag->traffic));
-
-      auto ipda1 =
-          agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
-      if (!ipda1.ok()) return 1;
-      ipda1_bytes.Add(protocol_bytes(ipda1->traffic));
-      ipda1_msgs.Add(protocol_frames(ipda1->traffic));
-
-      auto ipda2 =
-          agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
-      if (!ipda2.ok()) return 1;
-      ipda2_bytes.Add(protocol_bytes(ipda2->traffic));
-      ipda2_msgs.Add(protocol_frames(ipda2->traffic));
+      const RunOutcome& out = outcomes[s * runs + r];
+      if (!out.ok) return 1;
+      tag_bytes.Add(out.tag_bytes);
+      tag_msgs.Add(out.tag_msgs);
+      ipda1_bytes.Add(out.ipda1_bytes);
+      ipda1_msgs.Add(out.ipda1_msgs);
+      ipda2_bytes.Add(out.ipda2_bytes);
+      ipda2_msgs.Add(out.ipda2_msgs);
     }
-    const double x = static_cast<double>(n);
+    const double x = static_cast<double>(sizes[s]);
     series.Add("TAG", x, tag_bytes.mean());
     series.Add("iPDA l=1", x, ipda1_bytes.mean());
     series.Add("iPDA l=2", x, ipda2_bytes.mean());
@@ -82,4 +110,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

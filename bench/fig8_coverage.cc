@@ -8,6 +8,7 @@
 // networks. The analytic coverage model (Eq. 9) is printed alongside (a).
 
 #include <cstdio>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
@@ -19,46 +20,78 @@
 namespace ipda::bench {
 namespace {
 
-int Run() {
+struct RunOutcome {
+  bool ok = false;
+  double covered1 = 0.0, covered2 = 0.0;
+  double part1 = 0.0, part2 = 0.0;
+  double acc_tag = 0.0, acc1 = 0.0, acc2 = 0.0;
+  double model_cov = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Fig. 8 — coverage, participation, accuracy",
               "loss factors (a)/(b)/(c) of §IV-B-3 vs network size");
   const size_t runs = RunsPerPoint();
+  const std::vector<size_t> sizes = NetworkSizes();
+
+  const auto outcomes = engine.Map<RunOutcome>(
+      sizes.size() * runs, [&sizes, runs](size_t i) {
+        const size_t n = sizes[i / runs];
+        const size_t r = i % runs;
+        const double sensors = static_cast<double>(n - 1);
+        const auto config = PaperRunConfig(n, 0xF16'8u + r * 15485863 + n);
+        auto function = agg::MakeCount();
+        auto field = agg::MakeConstantField(1.0);
+
+        RunOutcome out;
+        auto tag = agg::RunTag(config, *function, *field);
+        if (!tag.ok()) return out;
+        out.acc_tag = tag->accuracy;
+
+        auto ipda1 =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
+        if (!ipda1.ok()) return out;
+        out.covered1 =
+            static_cast<double>(ipda1->stats.covered_both) / sensors;
+        out.part1 =
+            static_cast<double>(ipda1->stats.participants) / sensors;
+        out.acc1 = ipda1->accuracy;
+
+        auto ipda2 =
+            agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
+        if (!ipda2.ok()) return out;
+        out.covered2 =
+            static_cast<double>(ipda2->stats.covered_both) / sensors;
+        out.part2 =
+            static_cast<double>(ipda2->stats.participants) / sensors;
+        out.acc2 = ipda2->accuracy;
+
+        auto topology = agg::BuildRunTopology(config);
+        if (!topology.ok()) return out;
+        out.model_cov =
+            analysis::ExpectedCoveredFraction(*topology, 0.5, 0.5);
+        out.ok = true;
+        return out;
+      });
+
   stats::SeriesSet coverage, participation, accuracy;
-  for (size_t n : NetworkSizes()) {
-    const double sensors = static_cast<double>(n - 1);
+  for (size_t s = 0; s < sizes.size(); ++s) {
     stats::Summary covered1, covered2, part2, part1;
     stats::Summary acc_tag, acc1, acc2, model_cov;
     for (size_t r = 0; r < runs; ++r) {
-      const auto config = PaperRunConfig(n, 0xF16'8u + r * 15485863 + n);
-      auto function = agg::MakeCount();
-      auto field = agg::MakeConstantField(1.0);
-
-      auto tag = agg::RunTag(config, *function, *field);
-      if (!tag.ok()) return 1;
-      acc_tag.Add(tag->accuracy);
-
-      auto ipda1 =
-          agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
-      if (!ipda1.ok()) return 1;
-      covered1.Add(static_cast<double>(ipda1->stats.covered_both) /
-                   sensors);
-      part1.Add(static_cast<double>(ipda1->stats.participants) / sensors);
-      acc1.Add(ipda1->accuracy);
-
-      auto ipda2 =
-          agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
-      if (!ipda2.ok()) return 1;
-      covered2.Add(static_cast<double>(ipda2->stats.covered_both) /
-                   sensors);
-      part2.Add(static_cast<double>(ipda2->stats.participants) / sensors);
-      acc2.Add(ipda2->accuracy);
-
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
-      model_cov.Add(analysis::ExpectedCoveredFraction(*topology, 0.5,
-                                                      0.5));
+      const RunOutcome& out = outcomes[s * runs + r];
+      if (!out.ok) return 1;
+      covered1.Add(out.covered1);
+      covered2.Add(out.covered2);
+      part1.Add(out.part1);
+      part2.Add(out.part2);
+      acc_tag.Add(out.acc_tag);
+      acc1.Add(out.acc1);
+      acc2.Add(out.acc2);
+      model_cov.Add(out.model_cov);
     }
-    const double x = static_cast<double>(n);
+    const double x = static_cast<double>(sizes[s]);
     coverage.Add("covered (l=1 run)", x, covered1.mean());
     coverage.Add("covered (l=2 run)", x, covered2.mean());
     coverage.Add("Eq.9 model", x, model_cov.mean());
@@ -87,4 +120,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -23,7 +23,16 @@ namespace {
 
 constexpr size_t kNodes = 400;
 
-int Run() {
+// One polluted round: fired (did any attacker aggregate?) and the
+// accept/reject verdict. ok=false reports a failed run.
+struct PollutionOutcome {
+  bool ok = false;
+  bool fired = false;
+  bool rejected = false;
+};
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("§IV-A-4 / §III-D — integrity: pollution detection and "
               "polluter localization",
               "detection rate, Th trade-off, O(log N) localization");
@@ -36,39 +45,49 @@ int Run() {
                        "detected", "rate"});
   for (size_t attackers : {1u, 2u, 4u}) {
     for (double delta : {2.0, 6.0, 20.0, 100.0}) {
-      size_t polluted = 0, detected = 0;
-      for (size_t r = 0; r < runs * 2; ++r) {
-        const auto config = PaperRunConfig(kNodes, 0xDE7EC7 + r * 31 +
-                                                      attackers * 7);
-        // Independent attackers tamper by *different* amounts — identical
-        // deltas on both trees would be de-facto collusion (§VI), not the
-        // §IV-A-4 independent-attacker model.
-        std::vector<net::NodeId> attacker_ids;
-        for (size_t a = 0; a < attackers; ++a) {
-          attacker_ids.push_back(static_cast<net::NodeId>(20 + 90 * a));
-        }
-        size_t fired = 0;
-        agg::IpdaRunHooks hooks;
-        hooks.pollution = [&attacker_ids, delta, &fired](
-                              net::NodeId node, agg::TreeColor,
-                              agg::Vector& partial) {
-          for (size_t a = 0; a < attacker_ids.size(); ++a) {
-            if (attacker_ids[a] != node) continue;
-            // Geometric spacing keeps every subset sum distinct, so
-            // independent attackers can never cancel across trees.
-            for (double& component : partial) {
-              component += delta * std::pow(1.7, static_cast<double>(a));
+      const auto outcomes = engine.Map<PollutionOutcome>(
+          runs * 2, [&](size_t r) {
+            const auto config = PaperRunConfig(kNodes, 0xDE7EC7 + r * 31 +
+                                                           attackers * 7);
+            // Independent attackers tamper by *different* amounts —
+            // identical deltas on both trees would be de-facto collusion
+            // (§VI), not the §IV-A-4 independent-attacker model.
+            std::vector<net::NodeId> attacker_ids;
+            for (size_t a = 0; a < attackers; ++a) {
+              attacker_ids.push_back(
+                  static_cast<net::NodeId>(20 + 90 * a));
             }
-            ++fired;
-          }
-        };
-        auto result =
-            agg::RunIpda(config, *function, *field, PaperIpdaConfig(2),
-                         hooks);
-        if (!result.ok()) return 1;
-        if (fired == 0) continue;
+            size_t fired = 0;
+            agg::IpdaRunHooks hooks;
+            hooks.pollution = [&attacker_ids, delta, &fired](
+                                  net::NodeId node, agg::TreeColor,
+                                  agg::Vector& partial) {
+              for (size_t a = 0; a < attacker_ids.size(); ++a) {
+                if (attacker_ids[a] != node) continue;
+                // Geometric spacing keeps every subset sum distinct, so
+                // independent attackers can never cancel across trees.
+                for (double& component : partial) {
+                  component +=
+                      delta * std::pow(1.7, static_cast<double>(a));
+                }
+                ++fired;
+              }
+            };
+            PollutionOutcome out;
+            auto result = agg::RunIpda(config, *function, *field,
+                                       PaperIpdaConfig(2), hooks);
+            if (!result.ok()) return out;
+            out.fired = fired > 0;
+            out.rejected = !result->stats.decision.accepted;
+            out.ok = true;
+            return out;
+          });
+      size_t polluted = 0, detected = 0;
+      for (const PollutionOutcome& out : outcomes) {
+        if (!out.ok) return 1;
+        if (!out.fired) continue;
         ++polluted;
-        if (!result->stats.decision.accepted) ++detected;
+        if (out.rejected) ++detected;
       }
       detect.AddRow(
           {stats::FormatInt(static_cast<long long>(attackers)),
@@ -92,16 +111,30 @@ int Run() {
               "recommends Th=5):\n");
   stats::Table th_table({"Th", "honest rounds", "rejected", "max |diff|"});
   for (double th : {0.0, 1.0, 5.0, 10.0}) {
+    struct HonestOutcome {
+      bool ok = false;
+      bool rejected = false;
+      double diff = 0.0;
+    };
+    const auto outcomes =
+        engine.Map<HonestOutcome>(runs * 2, [&](size_t r) {
+          const auto config = PaperRunConfig(kNodes, 0x7E57 + r * 83);
+          agg::IpdaConfig ipda = PaperIpdaConfig(2);
+          ipda.threshold = th;
+          HonestOutcome out;
+          auto result = agg::RunIpda(config, *function, *field, ipda);
+          if (!result.ok()) return out;
+          out.diff = result->stats.decision.max_component_diff;
+          out.rejected = !result->stats.decision.accepted;
+          out.ok = true;
+          return out;
+        });
     size_t rejected = 0;
     stats::Summary diffs;
-    for (size_t r = 0; r < runs * 2; ++r) {
-      const auto config = PaperRunConfig(kNodes, 0x7E57 + r * 83);
-      agg::IpdaConfig ipda = PaperIpdaConfig(2);
-      ipda.threshold = th;
-      auto result = agg::RunIpda(config, *function, *field, ipda);
-      if (!result.ok()) return 1;
-      diffs.Add(result->stats.decision.max_component_diff);
-      if (!result->stats.decision.accepted) ++rejected;
+    for (const HonestOutcome& out : outcomes) {
+      if (!out.ok) return 1;
+      diffs.Add(out.diff);
+      if (out.rejected) ++rejected;
     }
     char max_diff[32];
     std::snprintf(max_diff, sizeof(max_diff), "%.2e", diffs.max());
@@ -155,21 +188,36 @@ int Run() {
   // 5: collusion limitation (§VI future work).
   std::printf("\nDocumented limitation — coordinated collusion across "
               "both trees (§VI):\n");
+  struct CollusionOutcome {
+    bool ok = false;
+    bool hit_both = false;
+    bool accepted = false;
+  };
+  const auto collusion_outcomes =
+      engine.Map<CollusionOutcome>(runs * 2, [&](size_t r) {
+        const auto config = PaperRunConfig(kNodes, 0xC011 + r * 17);
+        util::Rng rng(r + 1);
+        attack::CollusionConfig collusion;
+        collusion.colluders = attack::SampleColluders(kNodes, 30, rng);
+        auto attack_hooks =
+            attack::MakeCoordinatedPollution(collusion, 40.0);
+        agg::IpdaRunHooks hooks;
+        hooks.pollution = attack_hooks.hook;
+        CollusionOutcome out;
+        auto result = agg::RunIpda(config, *function, *field,
+                                   PaperIpdaConfig(2), hooks);
+        if (!result.ok()) return out;
+        out.hit_both = *attack_hooks.hit_red && *attack_hooks.hit_blue;
+        out.accepted = result->stats.decision.accepted;
+        out.ok = true;
+        return out;
+      });
   size_t evaded = 0, hit_both = 0;
-  for (size_t r = 0; r < runs * 2; ++r) {
-    const auto config = PaperRunConfig(kNodes, 0xC011 + r * 17);
-    util::Rng rng(r + 1);
-    attack::CollusionConfig collusion;
-    collusion.colluders = attack::SampleColluders(kNodes, 30, rng);
-    auto attack_hooks = attack::MakeCoordinatedPollution(collusion, 40.0);
-    agg::IpdaRunHooks hooks;
-    hooks.pollution = attack_hooks.hook;
-    auto result =
-        agg::RunIpda(config, *function, *field, PaperIpdaConfig(2), hooks);
-    if (!result.ok()) return 1;
-    if (*attack_hooks.hit_red && *attack_hooks.hit_blue) {
+  for (const CollusionOutcome& out : collusion_outcomes) {
+    if (!out.ok) return 1;
+    if (out.hit_both) {
       ++hit_both;
-      if (result->stats.decision.accepted) ++evaded;
+      if (out.accepted) ++evaded;
     }
   }
   std::printf("  colluders on both trees in %zu runs; Th check evaded in "
@@ -183,4 +231,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

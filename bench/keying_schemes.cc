@@ -95,7 +95,8 @@ int RunScheme(uint64_t seed, const crypto::EgConfig* eg,
   return 0;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Key-management ablation — pairwise vs EG predistribution",
               "keyable links, participation, 10-node-capture exposure");
   const size_t runs = RunsPerPoint();
@@ -112,13 +113,20 @@ int Run() {
   stats::Table table({"scheme", "keyed links", "participate", "accuracy",
                       "capture exposure", "P_disclose"});
   for (const Row& row : rows) {
+    struct MappedOutcome {
+      bool ok = false;
+      SchemeOutcome scheme;
+    };
+    const auto outcomes = engine.Map<MappedOutcome>(runs, [&](size_t r) {
+      MappedOutcome mapped;
+      mapped.ok = RunScheme(0x4B + r * 53, row.eg ? &*row.eg : nullptr,
+                            mapped.scheme) == 0;
+      return mapped;
+    });
     stats::Summary keyed, part, acc, expo, leak;
-    for (size_t r = 0; r < runs; ++r) {
-      SchemeOutcome out;
-      if (RunScheme(0x4B + r * 53, row.eg ? &*row.eg : nullptr, out) !=
-          0) {
-        return 1;
-      }
+    for (const MappedOutcome& mapped : outcomes) {
+      if (!mapped.ok) return 1;
+      const SchemeOutcome& out = mapped.scheme;
       keyed.Add(out.keyed_fraction);
       part.Add(out.participation);
       acc.Add(out.accuracy);
@@ -144,4 +152,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

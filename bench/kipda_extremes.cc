@@ -23,7 +23,15 @@ namespace {
 
 constexpr size_t kNodes = 400;
 
-int Run() {
+struct ErrorOutcome {
+  bool ok = false;
+  bool accepted = true;
+  double error = 0.0;
+  double bytes = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Private MAX — power-mean (iPDA) vs KIPDA",
               "exactness, overhead, and protections compared");
   const size_t runs = RunsPerPoint();
@@ -34,29 +42,38 @@ int Run() {
 
   // iPDA + power mean at several exponents.
   for (double k : {8.0, 16.0, 32.0}) {
-    stats::Summary error, bytes;
-    bool all_accepted = true;
-    for (size_t r = 0; r < runs; ++r) {
+    const auto outcomes = engine.Map<ErrorOutcome>(runs, [&](size_t r) {
       const auto config = PaperRunConfig(kNodes, 0x3A + r * 67);
       auto function = agg::MakePowerMeanExtremum(k);
       agg::IpdaConfig ipda;
       // r^k spans a huge range; slice noise and Th must scale with it.
       ipda.slice_range = std::pow(95.0, k) / 100.0;
       ipda.threshold = std::pow(95.0, k) / 10.0;
+      ErrorOutcome out;
       auto result = agg::RunIpda(config, *function, *field, ipda);
-      if (!result.ok()) return 1;
-      all_accepted = all_accepted && result->stats.decision.accepted;
+      if (!result.ok()) return out;
+      out.accepted = result->stats.decision.accepted;
       // Error against the true maximum of the deployed readings (covers
       // both the power-mean approximation and any loss).
       auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
+      if (!topology.ok()) return out;
       const auto readings = field->Sample(*topology);
       double true_max = 0.0;
       for (size_t i = 1; i < readings.size(); ++i) {
         true_max = std::max(true_max, readings[i]);
       }
-      error.Add(std::fabs(result->result - true_max));
-      bytes.Add(static_cast<double>(result->traffic.bytes_sent));
+      out.error = std::fabs(result->result - true_max);
+      out.bytes = static_cast<double>(result->traffic.bytes_sent);
+      out.ok = true;
+      return out;
+    });
+    stats::Summary error, bytes;
+    bool all_accepted = true;
+    for (const ErrorOutcome& out : outcomes) {
+      if (!out.ok) return 1;
+      all_accepted = all_accepted && out.accepted;
+      error.Add(out.error);
+      bytes.Add(out.bytes);
     }
     char name[48];
     std::snprintf(name, sizeof(name), "iPDA power-mean k=%.0f", k);
@@ -68,11 +85,11 @@ int Run() {
 
   // KIPDA at several message sizes.
   for (size_t m : {8u, 16u, 32u}) {
-    stats::Summary error, bytes;
-    for (size_t r = 0; r < runs; ++r) {
+    const auto outcomes = engine.Map<ErrorOutcome>(runs, [&](size_t r) {
       const auto config = PaperRunConfig(kNodes, 0x3A + r * 67);
+      ErrorOutcome out;
       auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) return 1;
+      if (!topology.ok()) return out;
       sim::Simulator simulator(config.seed);
       net::Network network(&simulator, std::move(*topology));
       agg::KipdaConfig kipda;
@@ -87,9 +104,17 @@ int Run() {
       for (size_t i = 1; i < readings.size(); ++i) {
         true_max = std::max(true_max, readings[i]);
       }
-      error.Add(std::fabs(protocol.FinalizedResult() - true_max));
-      bytes.Add(static_cast<double>(
-          network.counters().Totals().bytes_sent));
+      out.error = std::fabs(protocol.FinalizedResult() - true_max);
+      out.bytes =
+          static_cast<double>(network.counters().Totals().bytes_sent);
+      out.ok = true;
+      return out;
+    });
+    stats::Summary error, bytes;
+    for (const ErrorOutcome& out : outcomes) {
+      if (!out.ok) return 1;
+      error.Add(out.error);
+      bytes.Add(out.bytes);
     }
     char name[48];
     std::snprintf(name, sizeof(name), "KIPDA M=%zu", m);
@@ -110,4 +135,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -3,8 +3,11 @@
 // 500→23.5, 600→28.4.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "exp/sweep.h"
 #include "net/topology.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -13,33 +16,48 @@ namespace ipda::bench {
 namespace {
 
 constexpr double kPaperDegrees[] = {8.8, 13.7, 18.6, 23.5, 28.4};
+constexpr uint64_t kSweepSeed = 0xA11CE;
 
-int Run() {
+int Run(int argc, char** argv) {
+  exp::Engine engine(BenchJobs(argc, argv));
   PrintHeader("Table I — network size vs. network density",
               "average node degree of the random geometric deployment");
   // Deployments are cheap; use a higher default for a tighter mean.
   const size_t runs = RunsPerPoint() * 4;
+
+  std::vector<exp::SweepPoint> points;
+  for (size_t n : NetworkSizes()) {
+    points.push_back(exp::SweepPoint{"N=" + std::to_string(n),
+                                     PaperRunConfig(n, /*seed=*/0)});
+  }
+
+  const auto grouped = exp::MapSweep<double>(
+      engine, kSweepSeed, points, runs,
+      [](const agg::RunConfig& config, size_t, size_t) {
+        auto topology = agg::BuildRunTopology(config);
+        if (!topology.ok()) {
+          std::fprintf(stderr, "topology failed: %s\n",
+                       topology.status().ToString().c_str());
+          return -1.0;
+        }
+        return topology->AverageDegree();
+      });
+
   stats::Table table({"nodes", "avg degree (ours)", "min", "max",
                       "paper"});
-  size_t row = 0;
-  for (size_t n : NetworkSizes()) {
+  for (size_t row = 0; row < points.size(); ++row) {
     stats::Summary degrees;
-    for (size_t r = 0; r < runs; ++r) {
-      const auto config = PaperRunConfig(n, 0xA11CE + r * 977 + n);
-      auto topology = agg::BuildRunTopology(config);
-      if (!topology.ok()) {
-        std::fprintf(stderr, "topology failed: %s\n",
-                     topology.status().ToString().c_str());
-        return 1;
-      }
-      degrees.Add(topology->AverageDegree());
+    for (double degree : grouped[row]) {
+      if (degree < 0.0) return 1;
+      degrees.Add(degree);
     }
-    table.AddRow({stats::FormatInt(static_cast<long long>(n)),
-                  stats::FormatDouble(degrees.mean(), 1),
-                  stats::FormatDouble(degrees.min(), 1),
-                  stats::FormatDouble(degrees.max(), 1),
-                  stats::FormatDouble(kPaperDegrees[row], 1)});
-    ++row;
+    table.AddRow(
+        {stats::FormatInt(static_cast<long long>(
+             points[row].config.deployment.node_count)),
+         stats::FormatDouble(degrees.mean(), 1),
+         stats::FormatDouble(degrees.min(), 1),
+         stats::FormatDouble(degrees.max(), 1),
+         stats::FormatDouble(kPaperDegrees[row], 1)});
   }
   table.PrintTo(stdout);
   PrintFooter();
@@ -49,4 +67,4 @@ int Run() {
 }  // namespace
 }  // namespace ipda::bench
 
-int main() { return ipda::bench::Run(); }
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -53,12 +53,8 @@ util::Bytes EncodeHelloMsg(const HelloMsg& msg) {
   writer.WriteU8(static_cast<uint8_t>(msg.color));
   writer.WriteU16(static_cast<uint16_t>(msg.hop > 0xffff ? 0xffff : msg.hop));
   writer.WriteU8(msg.query.has_value() ? 1 : 0);
-  util::Bytes out = writer.TakeBytes();
-  if (msg.query.has_value()) {
-    const util::Bytes query = EncodeQuery(*msg.query);
-    out.insert(out.end(), query.begin(), query.end());
-  }
-  return out;
+  if (msg.query.has_value()) EncodeQueryInto(*msg.query, writer);
+  return writer.TakeBytes();
 }
 
 util::Result<HelloMsg> DecodeHelloMsg(const util::Bytes& payload) {
@@ -71,8 +67,7 @@ util::Result<HelloMsg> DecodeHelloMsg(const util::Bytes& payload) {
   }
   HelloMsg msg{static_cast<TreeColor>(color), hop, std::nullopt};
   if (has_query != 0) {
-    util::Bytes rest(payload.begin() + 4, payload.end());
-    IPDA_ASSIGN_OR_RETURN(Query query, DecodeQuery(rest));
+    IPDA_ASSIGN_OR_RETURN(Query query, DecodeQueryFrom(reader));
     msg.query = query;
   }
   return msg;
@@ -81,10 +76,8 @@ util::Result<HelloMsg> DecodeHelloMsg(const util::Bytes& payload) {
 util::Bytes EncodeSliceMsg(const SliceMsg& msg) {
   util::ByteWriter writer;
   writer.WriteU8(static_cast<uint8_t>(msg.color));
-  util::Bytes body = EncodePartial(msg.slice);
-  util::Bytes out = writer.TakeBytes();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  EncodePartialInto(msg.slice, writer);
+  return writer.TakeBytes();
 }
 
 util::Result<SliceMsg> DecodeSliceMsg(const util::Bytes& payload) {
@@ -93,18 +86,15 @@ util::Result<SliceMsg> DecodeSliceMsg(const util::Bytes& payload) {
   if (color != 1 && color != 2) {
     return util::InvalidArgumentError("bad SLICE color");
   }
-  util::Bytes rest(payload.begin() + 1, payload.end());
-  IPDA_ASSIGN_OR_RETURN(Vector slice, DecodePartial(rest));
+  IPDA_ASSIGN_OR_RETURN(Vector slice, DecodePartialFrom(reader));
   return SliceMsg{static_cast<TreeColor>(color), std::move(slice)};
 }
 
 util::Bytes EncodeAggregateMsg(const AggregateMsg& msg) {
   util::ByteWriter writer;
   writer.WriteU8(static_cast<uint8_t>(msg.color));
-  util::Bytes partial = EncodePartial(msg.partial);
-  util::Bytes out = writer.TakeBytes();
-  out.insert(out.end(), partial.begin(), partial.end());
-  return out;
+  EncodePartialInto(msg.partial, writer);
+  return writer.TakeBytes();
 }
 
 util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload) {
@@ -113,8 +103,7 @@ util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload) {
   if (color != 1 && color != 2) {
     return util::InvalidArgumentError("bad AGGREGATE color");
   }
-  util::Bytes rest(payload.begin() + 1, payload.end());
-  IPDA_ASSIGN_OR_RETURN(Vector partial, DecodePartial(rest));
+  IPDA_ASSIGN_OR_RETURN(Vector partial, DecodePartialFrom(reader));
   return AggregateMsg{static_cast<TreeColor>(color), std::move(partial)};
 }
 

@@ -411,14 +411,11 @@ void IpdaProtocol::DeliverSlices(net::NodeId self, TreeColor color,
 void IpdaProtocol::SendSlice(net::NodeId self, net::NodeId target,
                              TreeColor color, const Vector& slice) {
   if (slice_observer_) slice_observer_(self, target, color, slice);
-  const util::Bytes plaintext = EncodeSliceMsg(SliceMsg{color, slice});
-  util::Bytes wire;
+  util::Bytes wire = EncodeSliceMsg(SliceMsg{color, slice});
   if (config_.encrypt_slices) {
-    auto sealed = crypto_for(self).Seal(target, plaintext);
+    auto sealed = crypto_for(self).Seal(target, std::move(wire));
     IPDA_CHECK(sealed.ok());  // Targets were filtered for key presence.
     wire = std::move(*sealed);
-  } else {
-    wire = plaintext;
   }
   network_->node(self).Unicast(target, net::PacketType::kSlice,
                                std::move(wire));
@@ -438,12 +435,12 @@ void IpdaProtocol::Report(net::NodeId self) {
   Vector partial = state.assembled;
   AddInto(partial, state.children);
   if (pollution_hook_) pollution_hook_(self, color, partial);
-  state.last_partial = partial;  // Failover resends exactly what we sent.
+  // Failover resends exactly what we sent.
+  state.last_partial = std::move(partial);
   state.reported = true;
-  network_->node(self).Unicast(state.builder->parent(),
-                               net::PacketType::kAggregate,
-                               EncodeAggregateMsg(AggregateMsg{color,
-                                                               partial}));
+  network_->node(self).Unicast(
+      state.builder->parent(), net::PacketType::kAggregate,
+      EncodeAggregateMsg(AggregateMsg{color, state.last_partial}));
   stats_.reports_sent += 1;
 }
 

@@ -4,15 +4,12 @@
 
 namespace ipda::agg {
 
-util::Bytes EncodePartial(const Vector& acc) {
-  util::ByteWriter writer;
+void EncodePartialInto(const Vector& acc, util::ByteWriter& writer) {
   writer.WriteU8(static_cast<uint8_t>(acc.size()));
   for (double v : acc) writer.WriteF64(v);
-  return writer.TakeBytes();
 }
 
-util::Result<Vector> DecodePartial(const util::Bytes& payload) {
-  util::ByteReader reader(payload);
+util::Result<Vector> DecodePartialFrom(util::ByteReader& reader) {
   IPDA_ASSIGN_OR_RETURN(uint8_t count, reader.ReadU8());
   Vector acc;
   acc.reserve(count);
@@ -21,6 +18,17 @@ util::Result<Vector> DecodePartial(const util::Bytes& payload) {
     acc.push_back(v);
   }
   return acc;
+}
+
+util::Bytes EncodePartial(const Vector& acc) {
+  util::ByteWriter writer;
+  EncodePartialInto(acc, writer);
+  return writer.TakeBytes();
+}
+
+util::Result<Vector> DecodePartial(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  return DecodePartialFrom(reader);
 }
 
 sim::SimTime ReportTime(sim::SimTime start, sim::SimTime slot,

@@ -17,6 +17,12 @@ namespace ipda::agg {
 util::Bytes EncodePartial(const Vector& acc);
 util::Result<Vector> DecodePartial(const util::Bytes& payload);
 
+// In-place variants for composing codecs: append to / consume from an
+// existing stream so enclosing messages need neither a temporary body
+// buffer nor a tail copy of the payload.
+void EncodePartialInto(const Vector& acc, util::ByteWriter& writer);
+util::Result<Vector> DecodePartialFrom(util::ByteReader& reader);
+
 // When a node at tree depth `hop` transmits its partial: deeper nodes go
 // first so parents can fold children in before their own slot. Hops beyond
 // `max_depth` share the earliest slot.

@@ -2,18 +2,26 @@
 
 namespace ipda::agg {
 
-util::Bytes EncodeQuery(const Query& query) {
-  util::ByteWriter writer;
+void EncodeQueryInto(const Query& query, util::ByteWriter& writer) {
   writer.WriteU8(static_cast<uint8_t>(query.kind));
   writer.WriteU16(query.round);
   writer.WriteF64(query.param_a);
   writer.WriteF64(query.param_b);
   writer.WriteU16(query.param_c);
+}
+
+util::Bytes EncodeQuery(const Query& query) {
+  util::ByteWriter writer;
+  EncodeQueryInto(query, writer);
   return writer.TakeBytes();
 }
 
 util::Result<Query> DecodeQuery(const util::Bytes& payload) {
   util::ByteReader reader(payload);
+  return DecodeQueryFrom(reader);
+}
+
+util::Result<Query> DecodeQueryFrom(util::ByteReader& reader) {
   IPDA_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
   if (kind < 1 || kind > 7) {
     return util::InvalidArgumentError("bad query kind");

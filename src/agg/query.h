@@ -47,6 +47,10 @@ util::Bytes EncodeQuery(const Query& query);
 util::Result<Query> DecodeQuery(const util::Bytes& payload);
 inline constexpr size_t kQueryWireBytes = 21;
 
+// In-place variants for enclosing codecs (HELLO piggybacks the query).
+void EncodeQueryInto(const Query& query, util::ByteWriter& writer);
+util::Result<Query> DecodeQueryFrom(util::ByteReader& reader);
+
 // Instantiates the aggregate function a sensor must run for `query`.
 // Fails on malformed parameters (e.g. zero histogram buckets).
 util::Result<std::unique_ptr<AggregateFunction>> FunctionForQuery(

@@ -229,14 +229,11 @@ void SmartProtocol::DoSlicing(net::NodeId self) {
   for (uint32_t i = 0; i + 1 < j; ++i) {
     const net::NodeId target = candidates[picks[i]];
     if (slice_observer_) slice_observer_(self, target, slices[i + 1]);
-    const util::Bytes plaintext = EncodePartial(slices[i + 1]);
-    util::Bytes wire;
+    util::Bytes wire = EncodePartial(slices[i + 1]);
     if (config_.encrypt_slices) {
-      auto sealed = crypto_for(self).Seal(target, plaintext);
+      auto sealed = crypto_for(self).Seal(target, std::move(wire));
       IPDA_CHECK(sealed.ok());
       wire = std::move(*sealed);
-    } else {
-      wire = plaintext;
     }
     network_->node(self).Unicast(target, net::PacketType::kSlice,
                                  std::move(wire));

@@ -25,18 +25,26 @@ std::vector<PeerId> KeyStore::Peers() const {
 
 util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
                                            const util::Bytes& plaintext) {
+  return Seal(peer, util::Bytes(plaintext));
+}
+
+util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
+                                           util::Bytes&& plaintext) {
   IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
   // Distinct per (direction, message): mixing (self, counter) can never
   // collide with the peer's (peer, counter') stream under the shared key.
   const uint64_t counter = send_counters_[peer]++;
   const uint64_t nonce =
       util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
-  util::ByteWriter writer;
-  writer.WriteU64(nonce);
-  util::Bytes body = CtrCryptCopy(key, nonce, plaintext);
-  util::Bytes wire = writer.TakeBytes();
-  wire.insert(wire.end(), body.begin(), body.end());
-  return wire;
+  CtrCrypt(key, nonce, plaintext);
+  // Same little-endian layout ByteWriter::WriteU64 emits; prepending into
+  // the ciphertext buffer keeps the whole seal allocation-free.
+  uint8_t prefix[kSealOverheadBytes];
+  for (size_t i = 0; i < kSealOverheadBytes; ++i) {
+    prefix[i] = static_cast<uint8_t>(nonce >> (8 * i));
+  }
+  plaintext.insert(plaintext.begin(), prefix, prefix + kSealOverheadBytes);
+  return std::move(plaintext);
 }
 
 util::Result<util::Bytes> LinkCrypto::Open(PeerId peer,

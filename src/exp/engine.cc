@@ -1,0 +1,21 @@
+#include "exp/engine.h"
+
+#include <thread>
+
+#include "util/random.h"
+
+namespace ipda::exp {
+
+uint64_t DeriveRunSeed(uint64_t sweep_seed, std::string_view point_label,
+                       uint64_t run_index) {
+  return util::Mix64(util::Mix64(sweep_seed, util::HashLabel(point_label)),
+                     run_index);
+}
+
+size_t ResolveJobs(int64_t jobs_flag) {
+  if (jobs_flag > 0) return static_cast<size_t>(jobs_flag);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace ipda::exp

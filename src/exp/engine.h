@@ -1,0 +1,60 @@
+// Experiment engine: fans a sweep's independent simulation runs across a
+// work-stealing thread pool and collects results in index order.
+//
+// The determinism contract (locked down by tests/exp_engine_test.cc and
+// the golden traces): for any jobs value, the engine produces the same
+// results in the same order, because
+//   (1) every run's seed derives from (sweep seed, point label, run
+//       index) — never from which worker ran it or when;
+//   (2) runs are shared-nothing: each builds its own Simulator, Network,
+//       and protocol state, and library code holds no mutable globals;
+//   (3) results land in slot i of a preallocated vector, so collection
+//       order equals submission order regardless of completion order.
+
+#ifndef IPDA_EXP_ENGINE_H_
+#define IPDA_EXP_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "exp/thread_pool.h"
+
+namespace ipda::exp {
+
+// Scheduling-independent per-run seed, label-forked from the sweep seed.
+// Mirrors util::Rng::Fork's (seed, label) addressing so a sweep point's
+// stream is independent of every other point and of the sweep seed's own
+// direct use.
+uint64_t DeriveRunSeed(uint64_t sweep_seed, std::string_view point_label,
+                       uint64_t run_index);
+
+// Maps a --jobs flag value to a worker count: 0 = all hardware threads,
+// anything else is taken literally (minimum 1).
+size_t ResolveJobs(int64_t jobs_flag);
+
+class Engine {
+ public:
+  // `jobs` as from ResolveJobs: total threads, calling thread included.
+  explicit Engine(size_t jobs) : pool_(jobs == 0 ? 1 : jobs) {}
+
+  size_t jobs() const { return pool_.thread_count(); }
+  ThreadPool& pool() { return pool_; }
+
+  // Runs fn(i) for i in [0, count) across the pool; out[i] = fn(i). R
+  // must be default-constructible and movable.
+  template <typename R>
+  std::vector<R> Map(size_t count, const std::function<R(size_t)>& fn) {
+    std::vector<R> out(count);
+    pool_.ParallelFor(count, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace ipda::exp
+
+#endif  // IPDA_EXP_ENGINE_H_

@@ -1,0 +1,76 @@
+// Declarative sweeps: a grid of labeled RunConfigs × runs, fanned across
+// an Engine with scheduling-independent seeds, collected in grid order.
+//
+// Benches and tests describe WHAT to sweep (points + a per-run body) and
+// the engine decides WHERE each run executes; because seeds come from
+// DeriveRunSeed(sweep_seed, label, run) and results are grouped by
+// (point, run) index, the output is byte-identical for any --jobs value.
+
+#ifndef IPDA_EXP_SWEEP_H_
+#define IPDA_EXP_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/runner.h"
+#include "exp/engine.h"
+#include "stats/table.h"
+
+namespace ipda::exp {
+
+struct SweepPoint {
+  std::string label;      // Seed-derivation label; also the row key.
+  agg::RunConfig config;  // Template; each run's copy gets a derived seed.
+};
+
+// Fans points × runs across the engine. fn sees the point's config with
+// config.seed already set to DeriveRunSeed(sweep_seed, label, run).
+// result[p][r] = fn(config, p, r), regardless of execution order.
+template <typename R>
+std::vector<std::vector<R>> MapSweep(
+    Engine& engine, uint64_t sweep_seed,
+    const std::vector<SweepPoint>& points, size_t runs,
+    const std::function<R(const agg::RunConfig&, size_t point, size_t run)>&
+        fn) {
+  const size_t total = points.size() * runs;
+  std::vector<R> flat = engine.Map<R>(total, [&](size_t i) {
+    const size_t point = i / runs;
+    const size_t run = i % runs;
+    agg::RunConfig config = points[point].config;
+    config.seed = DeriveRunSeed(sweep_seed, points[point].label, run);
+    return fn(config, point, run);
+  });
+  std::vector<std::vector<R>> grouped(points.size());
+  for (size_t point = 0; point < points.size(); ++point) {
+    grouped[point].reserve(runs);
+    for (size_t run = 0; run < runs; ++run) {
+      grouped[point].push_back(std::move(flat[point * runs + run]));
+    }
+  }
+  return grouped;
+}
+
+// MapSweep folded into a stats::Table: one row per point, produced by
+// row_fn from that point's run results (in run order).
+template <typename R>
+stats::Table SweepTable(
+    std::vector<std::string> columns, Engine& engine, uint64_t sweep_seed,
+    const std::vector<SweepPoint>& points, size_t runs,
+    const std::function<R(const agg::RunConfig&, size_t point, size_t run)>&
+        run_fn,
+    const std::function<std::vector<std::string>(
+        const SweepPoint&, const std::vector<R>&)>& row_fn) {
+  stats::Table table(std::move(columns));
+  std::vector<std::vector<R>> grouped =
+      MapSweep(engine, sweep_seed, points, runs, run_fn);
+  for (size_t point = 0; point < points.size(); ++point) {
+    table.AddRow(row_fn(points[point], grouped[point]));
+  }
+  return table;
+}
+
+}  // namespace ipda::exp
+
+#endif  // IPDA_EXP_SWEEP_H_

@@ -1,0 +1,154 @@
+#include "exp/thread_pool.h"
+
+#include "util/check.h"
+
+namespace ipda::exp {
+
+ThreadPool::ThreadPool(size_t threads) {
+  IPDA_CHECK_GE(threads, 1u);
+  const size_t shard_count = threads;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Contiguous shard per participant; the first count % n shards take the
+  // extra item so sizes differ by at most one.
+  const size_t n = shards_.size();
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t take = count / n + (i < count % n ? 1 : 0);
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    shards_[i]->begin = next;
+    shards_[i]->end = next + take;
+    next += take;
+  }
+  IPDA_CHECK_EQ(next, count);
+
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    job_ = &fn;
+    outstanding_.store(count, std::memory_order_release);
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+
+  // The caller owns the last shard and works alongside the pool.
+  WorkLoop(n - 1);
+
+  // Wait until every item ran AND every woken worker left its WorkLoop —
+  // a straggler from this job must never observe the next job's fn.
+  std::unique_lock<std::mutex> lock(job_mu_);
+  done_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0 &&
+           active_workers_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerMain(size_t shard_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      ++active_workers_;
+    }
+    WorkLoop(shard_index);
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkLoop(size_t self) {
+  const std::function<void(size_t)>* fn;
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    fn = job_;
+  }
+  if (fn == nullptr) return;  // Woke after the job already drained.
+  for (;;) {
+    size_t index;
+    if (PopFront(*shards_[self], &index)) {
+      (*fn)(index);
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last item: lock-then-notify so the caller's wait cannot race
+        // between its predicate check and going to sleep.
+        std::lock_guard<std::mutex> lock(job_mu_);
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    if (!StealInto(self)) return;
+  }
+}
+
+bool ThreadPool::PopFront(Shard& shard, size_t* index) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.begin == shard.end) return false;
+  *index = shard.begin++;
+  return true;
+}
+
+bool ThreadPool::StealInto(size_t self) {
+  // Pick the fullest victim so steals stay rare and chunky (each steal
+  // halves the victim, giving O(log count) steals per shard overall).
+  size_t victim = shards_.size();
+  size_t victim_size = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i == self) continue;
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    const size_t size = shards_[i]->end - shards_[i]->begin;
+    if (size > victim_size) {
+      victim = i;
+      victim_size = size;
+    }
+  }
+  if (victim == shards_.size()) return false;  // Everything is drained.
+
+  Shard& from = *shards_[victim];
+  std::lock_guard<std::mutex> victim_lock(from.mu);
+  const size_t size = from.end - from.begin;
+  if (size == 0) return true;  // Raced to empty; rescan from the top.
+  const size_t half = (size + 1) / 2;
+  const size_t stolen_end = from.end;
+  from.end -= half;
+
+  Shard& mine = *shards_[self];
+  std::lock_guard<std::mutex> my_lock(mine.mu);
+  mine.begin = stolen_end - half;
+  mine.end = stolen_end;
+  steals_.fetch_add(half, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace ipda::exp

@@ -1,9 +1,11 @@
 #include "net/channel.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/check.h"
+#include "util/pool.h"
 
 namespace ipda::net {
 
@@ -85,7 +87,12 @@ void Channel::StartTransmission(NodeId sender, Packet packet) {
   for (auto& rx : active_rx_[sender]) rx.lost_to_tx = true;
   tx_until_[sender] = std::max(tx_until_[sender], now + airtime);
 
-  auto shared = std::make_shared<const Packet>(std::move(packet));
+  // Pool-backed allocate_shared: Packet and control block recycle through
+  // the run's arena. The arena lives on the Simulator (not here) because
+  // queued delivery events copy `shared` and the scheduler outlives the
+  // Channel at teardown.
+  std::shared_ptr<const Packet> shared = std::allocate_shared<Packet>(
+      util::PoolAllocator<Packet>(&sim_->arena()), std::move(packet));
   for (NodeId receiver : topology_->neighbors(sender)) {
     LinkFault fault;
     if (link_fault_) fault = link_fault_(sender, receiver, *shared);

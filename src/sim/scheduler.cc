@@ -10,7 +10,7 @@ EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
   IPDA_CHECK_GE(at, now_);
   IPDA_CHECK(fn != nullptr);
   EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  queue_.push(entry_pool_.New(at, next_seq_++, id, std::move(fn)));
   pending_.insert(id);
   return id;
 }
@@ -33,33 +33,32 @@ bool Scheduler::Cancel(EventId id) {
 }
 
 void Scheduler::Compact() {
-  std::vector<Entry> live;
+  std::vector<Entry*> live;
   live.reserve(queue_.size() - cancelled_.size());
   while (!queue_.empty()) {
-    // Moving out of top() is safe here: the comparator reads only (at,
-    // seq), which the move leaves intact, and the entry is popped before
-    // the heap is touched again.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    Entry* entry = queue_.top();
     queue_.pop();
-    auto it = cancelled_.find(entry.id);
+    auto it = cancelled_.find(entry->id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
+      entry_pool_.Delete(entry);
     } else {
-      live.push_back(std::move(entry));
+      live.push_back(entry);
     }
   }
   // Every tombstone shadows exactly one queued entry, so a full drain
   // must consume them all.
   IPDA_CHECK(cancelled_.empty());
-  queue_ = std::priority_queue<Entry, std::vector<Entry>, EntryLater>(
+  queue_ = std::priority_queue<Entry*, std::vector<Entry*>, EntryLater>(
       EntryLater{}, std::move(live));
 }
 
 void Scheduler::SkipCancelled() {
   while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
+    auto it = cancelled_.find(queue_.top()->id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
+    entry_pool_.Delete(queue_.top());
     queue_.pop();
   }
 }
@@ -67,13 +66,17 @@ void Scheduler::SkipCancelled() {
 bool Scheduler::RunOne() {
   SkipCancelled();
   if (queue_.empty()) return false;
-  Entry entry = queue_.top();
+  Entry* entry = queue_.top();
   queue_.pop();
-  pending_.erase(entry.id);
-  IPDA_CHECK_GE(entry.at, now_);
-  now_ = entry.at;
+  pending_.erase(entry->id);
+  IPDA_CHECK_GE(entry->at, now_);
+  now_ = entry->at;
   ++events_run_;
-  entry.fn();
+  // Recycle the slot before running: the handler may schedule new events
+  // and should find a warm free list.
+  std::function<void()> fn = std::move(entry->fn);
+  entry_pool_.Delete(entry);
+  fn();
   return true;
 }
 
@@ -81,7 +84,7 @@ size_t Scheduler::RunUntil(SimTime deadline) {
   size_t n = 0;
   for (;;) {
     SkipCancelled();
-    if (queue_.empty() || queue_.top().at > deadline) break;
+    if (queue_.empty() || queue_.top()->at > deadline) break;
     if (!RunOne()) break;
     ++n;
   }

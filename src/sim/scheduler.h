@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/pool.h"
 
 namespace ipda::sim {
 
@@ -66,10 +67,15 @@ class Scheduler {
     EventId id;
     std::function<void()> fn;
   };
+  // The heap holds pooled pointers: sift operations move 8 bytes instead
+  // of a ~64-byte Entry with a std::function inside, and entries recycle
+  // through the free list instead of hitting malloc per event. Ordering
+  // still compares (at, seq) only — never addresses — so pooling cannot
+  // perturb determinism.
   struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
     }
   };
 
@@ -88,7 +94,8 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   uint64_t events_run_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  util::ObjectPool<Entry> entry_pool_;     // Owns every queued Entry.
+  std::priority_queue<Entry*, std::vector<Entry*>, EntryLater> queue_;
   std::unordered_set<EventId> pending_;    // Scheduled, not yet run/cancelled.
   std::unordered_set<EventId> cancelled_;  // Tombstones awaiting pop.
 };

@@ -12,6 +12,7 @@
 
 #include "sim/scheduler.h"
 #include "sim/time.h"
+#include "util/pool.h"
 #include "util/random.h"
 
 namespace ipda::sim {
@@ -34,6 +35,12 @@ class Simulator {
   // Independent random stream for (subsystem, index), e.g. per node.
   util::Rng ForkRng(std::string_view label, uint64_t index) const;
 
+  // Per-run allocation arena for hot-path objects whose lifetime can
+  // extend into queued events (shared packets, message buffers). Owned by
+  // the run context — and declared before the scheduler — so closures
+  // still holding arena blocks at teardown release them into a live pool.
+  util::BytePool& arena() { return arena_; }
+
   // Convenience passthroughs.
   EventId At(SimTime t, std::function<void()> fn) {
     return scheduler_.ScheduleAt(t, std::move(fn));
@@ -47,7 +54,8 @@ class Simulator {
  private:
   uint64_t seed_;
   util::Rng root_rng_;
-  Scheduler scheduler_;
+  util::BytePool arena_;  // Must be declared before (destroyed after)
+  Scheduler scheduler_;   // the scheduler and its pending closures.
 };
 
 }  // namespace ipda::sim

@@ -11,12 +11,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/export.h"
 #include "agg/kipda/kipda_protocol.h"
 #include "agg/reading.h"
 #include "agg/runner.h"
+#include "exp/engine.h"
 #include "fault/fault_plan.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
@@ -65,6 +67,9 @@ int Main(int argc, char** argv) {
                    "failover + round deadline)");
   flags.DefineInt("runs", 5, "independent runs");
   flags.DefineInt("seed", 1, "base seed (run i uses seed+i)");
+  flags.DefineInt("jobs", 0,
+                  "worker threads for the runs (0 = all hardware "
+                  "threads); output is identical for any value");
   flags.DefineBool("csv", false, "machine-readable output");
   flags.DefineString("dot-out", "",
                      "write the constructed trees as Graphviz DOT "
@@ -131,73 +136,86 @@ int Main(int argc, char** argv) {
 
   const bool csv = flags.GetBool("csv");
   const size_t runs = static_cast<size_t>(flags.GetInt("runs"));
-  stats::Summary accuracy, bytes, result_summary;
-  size_t accepted = 0;
-  if (csv) {
-    std::printf("run,seed,result,truth,accuracy,accepted,degraded,bytes\n");
+  const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  if (protocol != "tag" && protocol != "smart" && protocol != "cpda" &&
+      protocol != "kipda" && protocol != "ipda") {
+    std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
+    return 2;
   }
-  for (size_t r = 0; r < runs; ++r) {
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed")) + r;
-    double result_value = 0.0, truth = 0.0, acc = 0.0;
-    uint64_t run_bytes = 0;
-    bool run_accepted = true;
-    bool run_degraded = false;
+  if (protocol == "kipda") {
+    const std::string fn = flags.GetString("function");
+    if (fn != "max" && fn != "min") {
+      std::fprintf(stderr, "kipda computes max or min only\n");
+      return 2;
+    }
+  }
+
+  // Every run is shared-nothing (own Simulator, own Network), so the runs
+  // fan across the engine; the ordered fold below keeps output identical
+  // for any --jobs value.
+  struct RunOutcome {
+    bool ok = false;
+    std::string error;
+    double result = 0.0;
+    double truth = 0.0;
+    double accuracy = 0.0;
+    uint64_t bytes = 0;
+    bool accepted = true;
+    bool degraded = false;
+  };
+  exp::Engine engine(exp::ResolveJobs(flags.GetInt("jobs")));
+  const auto outcomes = engine.Map<RunOutcome>(runs, [&](size_t r) {
+    agg::RunConfig run_config = config;
+    run_config.seed = base_seed + r;
+    RunOutcome out;
     if (protocol == "tag") {
-      auto run = agg::RunTag(config, *function, *field);
+      auto run = agg::RunTag(run_config, *function, *field);
       if (!run.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     run.status().ToString().c_str());
-        return 1;
+        out.error = run.status().ToString();
+        return out;
       }
-      result_value = run->result;
-      truth = function->Finalize(run->true_acc);
-      acc = run->accuracy;
-      run_bytes = run->traffic.bytes_sent;
+      out.result = run->result;
+      out.truth = function->Finalize(run->true_acc);
+      out.accuracy = run->accuracy;
+      out.bytes = run->traffic.bytes_sent;
     } else if (protocol == "smart") {
       agg::SmartConfig smart;
       smart.slice_count =
           static_cast<uint32_t>(flags.GetInt("l")) + 1;  // J = l+1 pieces.
       smart.slice_range = ipda.slice_range;
       smart.encrypt_slices = ipda.encrypt_slices;
-      auto run = agg::RunSmart(config, *function, *field, smart);
+      auto run = agg::RunSmart(run_config, *function, *field, smart);
       if (!run.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     run.status().ToString().c_str());
-        return 1;
+        out.error = run.status().ToString();
+        return out;
       }
-      result_value = run->result;
-      truth = function->Finalize(run->true_acc);
-      acc = run->accuracy;
-      run_bytes = run->traffic.bytes_sent;
+      out.result = run->result;
+      out.truth = function->Finalize(run->true_acc);
+      out.accuracy = run->accuracy;
+      out.bytes = run->traffic.bytes_sent;
     } else if (protocol == "cpda") {
       agg::CpdaConfig cpda;
       cpda.encrypt_shares = ipda.encrypt_slices;
-      auto run = agg::RunCpda(config, *function, *field, cpda);
+      auto run = agg::RunCpda(run_config, *function, *field, cpda);
       if (!run.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     run.status().ToString().c_str());
-        return 1;
+        out.error = run.status().ToString();
+        return out;
       }
-      result_value = run->result;
-      truth = function->Finalize(run->true_acc);
-      acc = run->accuracy;
-      run_bytes = run->traffic.bytes_sent;
+      out.result = run->result;
+      out.truth = function->Finalize(run->true_acc);
+      out.accuracy = run->accuracy;
+      out.bytes = run->traffic.bytes_sent;
     } else if (protocol == "kipda") {
-      const std::string fn = flags.GetString("function");
-      if (fn != "max" && fn != "min") {
-        std::fprintf(stderr, "kipda computes max or min only\n");
-        return 2;
-      }
-      auto topology = agg::BuildRunTopology(config);
+      auto topology = agg::BuildRunTopology(run_config);
       if (!topology.ok()) {
-        std::fprintf(stderr, "%s\n",
-                     topology.status().ToString().c_str());
-        return 1;
+        out.error = topology.status().ToString();
+        return out;
       }
-      sim::Simulator simulator(config.seed);
+      sim::Simulator simulator(run_config.seed);
       net::Network network(&simulator, std::move(*topology));
       agg::KipdaConfig kipda;
-      kipda.maximize = fn == "max";
+      kipda.maximize = flags.GetString("function") == "max";
       kipda.value_floor = flags.GetDouble("reading-lo") - 1.0;
       kipda.value_ceiling = flags.GetDouble("reading-hi") + 1.0;
       const auto readings = field->Sample(network.topology());
@@ -205,79 +223,95 @@ int Main(int argc, char** argv) {
       live.SetReadings(readings);
       live.Start();
       simulator.RunUntil(live.Duration());
-      result_value = live.FinalizedResult();
-      truth = kipda.maximize ? kipda.value_floor : kipda.value_ceiling;
+      out.result = live.FinalizedResult();
+      out.truth = kipda.maximize ? kipda.value_floor : kipda.value_ceiling;
       for (size_t i = 1; i < readings.size(); ++i) {
-        truth = kipda.maximize ? std::max(truth, readings[i])
-                               : std::min(truth, readings[i]);
+        out.truth = kipda.maximize ? std::max(out.truth, readings[i])
+                                   : std::min(out.truth, readings[i]);
       }
-      acc = truth != 0.0 ? result_value / truth : 0.0;
-      run_bytes = network.counters().Totals().bytes_sent;
-    } else if (protocol == "ipda") {
-      auto run = agg::RunIpda(config, *function, *field, ipda);
+      out.accuracy = out.truth != 0.0 ? out.result / out.truth : 0.0;
+      out.bytes = network.counters().Totals().bytes_sent;
+    } else {  // ipda
+      auto run = agg::RunIpda(run_config, *function, *field, ipda);
       if (!run.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     run.status().ToString().c_str());
-        return 1;
+        out.error = run.status().ToString();
+        return out;
       }
-      result_value = run->result;
-      truth = function->Finalize(run->true_acc);
-      acc = run->accuracy;
-      run_bytes = run->traffic.bytes_sent;
-      run_accepted = run->stats.decision.accepted;
-      run_degraded = run->stats.degraded;
-      if (r == 0 && (!flags.GetString("dot-out").empty() ||
-                     !flags.GetString("roles-out").empty())) {
-        // Re-run with direct protocol access for the exports.
-        auto topology = agg::BuildRunTopology(config);
-        if (!topology.ok()) return 1;
-        sim::Simulator simulator(config.seed);
-        net::Network network(&simulator, std::move(*topology));
-        agg::IpdaProtocol live(&network, function.get(), ipda);
-        live.SetReadings(field->Sample(network.topology()));
-        live.Start();
-        simulator.RunUntil(live.Duration());
-        live.Finish();
-        if (const std::string path = flags.GetString("dot-out");
-            !path.empty()) {
-          auto status = agg::WriteTextFile(
-              path, agg::IpdaTreesToDot(live, network.topology()));
-          if (!status.ok()) {
-            std::fprintf(stderr, "%s\n", status.ToString().c_str());
-            return 1;
-          }
-        }
-        if (const std::string path = flags.GetString("roles-out");
-            !path.empty()) {
-          auto status = agg::WriteTextFile(
-              path, agg::IpdaRolesToCsv(live, network.topology()));
-          if (!status.ok()) {
-            std::fprintf(stderr, "%s\n", status.ToString().c_str());
-            return 1;
-          }
-        }
-      }
-    } else {
-      std::fprintf(stderr, "unknown --protocol=%s\n", protocol.c_str());
-      return 2;
+      out.result = run->result;
+      out.truth = function->Finalize(run->true_acc);
+      out.accuracy = run->accuracy;
+      out.bytes = run->traffic.bytes_sent;
+      out.accepted = run->stats.decision.accepted;
+      out.degraded = run->stats.degraded;
     }
-    accuracy.Add(acc);
-    bytes.Add(static_cast<double>(run_bytes));
-    result_summary.Add(result_value);
-    accepted += run_accepted ? 1 : 0;
+    out.ok = true;
+    return out;
+  });
+
+  stats::Summary accuracy, bytes, result_summary;
+  size_t accepted = 0;
+  if (csv) {
+    std::printf("run,seed,result,truth,accuracy,accepted,degraded,bytes\n");
+  }
+  for (size_t r = 0; r < runs; ++r) {
+    const RunOutcome& out = outcomes[r];
+    if (!out.ok) {
+      std::fprintf(stderr, "run failed: %s\n", out.error.c_str());
+      return 1;
+    }
+    accuracy.Add(out.accuracy);
+    bytes.Add(static_cast<double>(out.bytes));
+    result_summary.Add(out.result);
+    accepted += out.accepted ? 1 : 0;
     if (csv) {
       std::printf("%zu,%llu,%.6f,%.6f,%.6f,%d,%d,%llu\n", r,
-                  static_cast<unsigned long long>(config.seed),
-                  result_value, truth, acc, run_accepted ? 1 : 0,
-                  run_degraded ? 1 : 0,
-                  static_cast<unsigned long long>(run_bytes));
+                  static_cast<unsigned long long>(base_seed + r),
+                  out.result, out.truth, out.accuracy,
+                  out.accepted ? 1 : 0, out.degraded ? 1 : 0,
+                  static_cast<unsigned long long>(out.bytes));
     } else {
       std::printf("run %2zu: %s = %.4f (truth %.4f, accuracy %.4f) %s%s, "
                   "%llu bytes\n",
-                  r, function->name().c_str(), result_value, truth, acc,
-                  run_accepted ? "accepted" : "REJECTED",
-                  run_degraded ? " (degraded)" : "",
-                  static_cast<unsigned long long>(run_bytes));
+                  r, function->name().c_str(), out.result, out.truth,
+                  out.accuracy, out.accepted ? "accepted" : "REJECTED",
+                  out.degraded ? " (degraded)" : "",
+                  static_cast<unsigned long long>(out.bytes));
+    }
+  }
+
+  if (protocol == "ipda" && runs > 0 &&
+      (!flags.GetString("dot-out").empty() ||
+       !flags.GetString("roles-out").empty())) {
+    // Re-run the first deployment with direct protocol access for the
+    // exports.
+    agg::RunConfig run_config = config;
+    run_config.seed = base_seed;
+    auto topology = agg::BuildRunTopology(run_config);
+    if (!topology.ok()) return 1;
+    sim::Simulator simulator(run_config.seed);
+    net::Network network(&simulator, std::move(*topology));
+    agg::IpdaProtocol live(&network, function.get(), ipda);
+    live.SetReadings(field->Sample(network.topology()));
+    live.Start();
+    simulator.RunUntil(live.Duration());
+    live.Finish();
+    if (const std::string path = flags.GetString("dot-out");
+        !path.empty()) {
+      auto status = agg::WriteTextFile(
+          path, agg::IpdaTreesToDot(live, network.topology()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    if (const std::string path = flags.GetString("roles-out");
+        !path.empty()) {
+      auto status = agg::WriteTextFile(
+          path, agg::IpdaRolesToCsv(live, network.topology()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
     }
   }
   if (!csv) {

@@ -33,6 +33,45 @@ TEST(Partial, EmptyPayloadFails) {
   EXPECT_FALSE(DecodePartial(util::Bytes{}).ok());
 }
 
+TEST(Partial, IntoAppendsAfterExistingStreamContent) {
+  // The composable variant writes into a caller-owned stream, so an
+  // enclosing message needs no temporary body buffer.
+  const Vector acc{3.5, -0.25};
+  util::ByteWriter writer;
+  writer.WriteU8(0xA7);  // Pretend header written by the enclosing codec.
+  EncodePartialInto(acc, writer);
+  writer.WriteU8(0x5A);  // And a trailer after the payload.
+  const util::Bytes wire = writer.bytes();
+  ASSERT_EQ(wire.size(), 1u + 17u + 1u);
+  EXPECT_EQ(wire.front(), 0xA7);
+  EXPECT_EQ(wire.back(), 0x5A);
+
+  util::ByteReader reader(wire);
+  ASSERT_TRUE(reader.ReadU8().ok());
+  auto decoded = DecodePartialFrom(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, acc);
+  // Positional: the reader stops exactly at the trailer.
+  auto trailer = reader.ReadU8();
+  ASSERT_TRUE(trailer.ok());
+  EXPECT_EQ(*trailer, 0x5A);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Partial, IntoMatchesStandaloneEncodingByteForByte) {
+  const Vector acc{1.0, 2.0, -7.125};
+  util::ByteWriter writer;
+  EncodePartialInto(acc, writer);
+  EXPECT_EQ(writer.bytes(), EncodePartial(acc));
+}
+
+TEST(Partial, FromFailsOnTruncationWithoutConsumingPastEnd) {
+  util::Bytes wire = EncodePartial(Vector{1.0, 2.0});
+  wire.pop_back();
+  util::ByteReader reader(wire);
+  EXPECT_FALSE(DecodePartialFrom(reader).ok());
+}
+
 TEST(ReportTime, DeeperHopsReportEarlier) {
   const sim::SimTime start = sim::Seconds(2);
   const sim::SimTime slot = sim::Milliseconds(100);

@@ -38,6 +38,56 @@ TEST(Query, DecodeRejectsBadKindAndTruncation) {
   EXPECT_FALSE(DecodeQuery(good).ok());
 }
 
+TEST(Query, IntoComposesWithEnclosingStream) {
+  // HELLO embeds the query mid-message via the Into/From pair; the
+  // composed bytes must match the standalone codec exactly, and the
+  // positional reader must stop on the query's last byte.
+  const Query query = HistogramQuery(-5.0, 45.0, 12, 4);
+  util::ByteWriter writer;
+  writer.WriteU32(0xFEEDFACE);
+  EncodeQueryInto(query, writer);
+  writer.WriteU8(0x42);
+  const util::Bytes wire = writer.bytes();
+  ASSERT_EQ(wire.size(), 4u + kQueryWireBytes + 1u);
+  EXPECT_EQ(util::Bytes(wire.begin() + 4, wire.end() - 1),
+            EncodeQuery(query));
+
+  util::ByteReader reader(wire);
+  ASSERT_TRUE(reader.ReadU32().ok());
+  auto decoded = DecodeQueryFrom(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, query);
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(Query, DisseminationSurvivesFaultInjection) {
+  // A query-driven round under the PR 1 fault plan: the injected-loss
+  // counters must record real interference, and the round must still
+  // finalize with the query everyone received over lossy links.
+  RunConfig config;
+  config.deployment.node_count = 200;
+  config.deployment.area = net::Area{300.0, 300.0};
+  config.seed = 611;
+  auto plan = fault::ParseFaultSpec("loss=0.05,dup=0.02");
+  ASSERT_TRUE(plan.ok());
+  config.faults = *plan;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  auto run = RunIpda(config, *function, *field, ipda);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->traffic.injected_drops, 0u);
+  EXPECT_GT(run->traffic.injected_dup, 0u);
+  EXPECT_GT(run->stats.participants, 0u);
+  // Loss without crashes can degrade the round but never corrupt it:
+  // both trees' totals still agree within Th whenever accepted.
+  if (run->stats.decision.accepted) {
+    EXPECT_LE(run->stats.decision.max_component_diff,
+              ipda.threshold + 1e-9);
+  }
+}
+
 TEST(Query, FunctionForQueryMatchesFactories) {
   EXPECT_EQ((*FunctionForQuery(CountQuery()))->name(), "COUNT");
   EXPECT_EQ((*FunctionForQuery(SumQuery()))->name(), "SUM");

@@ -231,6 +231,81 @@ TEST_F(ChannelTest, OverhearHandlerSeesForeignUnicast) {
   EXPECT_EQ(overheard[0].packet.dst, 2u);
 }
 
+TEST_F(ChannelTest, LinkFaultDropIsCountedAtTheReceiver) {
+  channel_->SetLinkFaultHook(
+      [](NodeId sender, NodeId receiver, const Packet&) {
+        LinkFault fault;
+        fault.drop = sender == 0 && receiver == 1;
+        return fault;
+      });
+  Packet p = MakePacket(1, 20);
+  channel_->StartTransmission(0, p);
+  sim_->RunAll();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(counters_->at(1).injected_drops, 1u);
+  EXPECT_EQ(counters_->at(0).frames_sent, 1u);  // Air time still spent.
+}
+
+TEST_F(ChannelTest, LinkFaultDuplicateDeliversTwiceAndIsCounted) {
+  channel_->SetLinkFaultHook([](NodeId, NodeId receiver, const Packet&) {
+    LinkFault fault;
+    fault.duplicate = receiver == 1;
+    return fault;
+  });
+  Packet p = MakePacket(1, 20);
+  channel_->StartTransmission(0, p);
+  sim_->RunAll();
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0].second.uid, delivered_[1].second.uid);
+  EXPECT_EQ(counters_->at(1).injected_dup, 1u);
+}
+
+TEST_F(ChannelTest, FailedNodeNeitherTransmitsNorReceives) {
+  channel_->FailNode(1);
+  EXPECT_TRUE(channel_->IsFailed(1));
+  Packet from_failed = MakePacket(kBroadcastId, 10);
+  channel_->StartTransmission(1, from_failed);
+  Packet to_failed = MakePacket(1, 10);
+  sim_->At(sim::Milliseconds(2), [&, to_failed] {
+    channel_->StartTransmission(0, to_failed);
+  });
+  sim_->RunAll();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(counters_->at(1).frames_sent, 0u);
+}
+
+TEST_F(ChannelTest, RecoveryRestoresDeliveryAndCountsOnce) {
+  channel_->FailNode(1);
+  channel_->RecoverNode(1);
+  EXPECT_FALSE(channel_->IsFailed(1));
+  // Recovering a healthy node is a no-op, not a second recovery.
+  channel_->RecoverNode(1);
+  Packet p = MakePacket(1, 10);
+  channel_->StartTransmission(0, p);
+  sim_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].first, 1u);
+  EXPECT_EQ(counters_->at(1).recoveries, 1u);
+}
+
+TEST_F(ChannelTest, FrameInFlightWhenNodeRecoversStaysLost) {
+  // The radio missed the preamble while down; only frames arriving after
+  // the recovery are heard.
+  channel_->FailNode(1);
+  Packet missed = MakePacket(1, 100);
+  sim_->At(sim::Microseconds(10), [&, missed] {
+    channel_->StartTransmission(0, missed);
+  });
+  sim_->At(sim::Microseconds(200), [&] { channel_->RecoverNode(1); });
+  Packet heard = MakePacket(1, 100);
+  sim_->At(sim::Milliseconds(5), [&, heard] {
+    channel_->StartTransmission(0, heard);
+  });
+  sim_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].first, 1u);
+}
+
 TEST_F(ChannelTest, UidAssignedUniquely) {
   Packet p = MakePacket(1, 10);
   channel_->StartTransmission(0, p);
