@@ -237,6 +237,11 @@ void CpdaProtocol::Start() {
   if (config_.encrypt_shares && cryptos_ == nullptr) {
     ProvisionPairwiseKeys();
   }
+  if (config_.encrypt_shares) {
+    // Pairwise keys densify here; cluster keys negotiated later land in
+    // the dynamic overflow map, which Seal() handles transparently.
+    for (crypto::LinkCrypto& c : *cryptos_) c.Compile();
+  }
   for (net::NodeId id = 0; id < network_->size(); ++id) {
     network_->node(id).SetReceiveHandler(
         [this, id](const net::Packet& packet) { OnPacket(id, packet); });

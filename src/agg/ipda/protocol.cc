@@ -108,6 +108,12 @@ void IpdaProtocol::Start() {
   if (config_.encrypt_slices && cryptos_ == nullptr) {
     ProvisionPairwiseKeys();
   }
+  if (config_.encrypt_slices) {
+    // Tree setup is where the neighbor set is final: freeze each node's
+    // link keys into dense slots with precomputed XTEA schedules so
+    // per-slice sealing does no hashing and no key expansion.
+    for (crypto::LinkCrypto& c : *cryptos_) c.Compile();
+  }
 
   for (net::NodeId id = 0; id < network_->size(); ++id) {
     network_->node(id).SetReceiveHandler(

@@ -109,6 +109,11 @@ void SmartProtocol::Start() {
   if (config_.encrypt_slices && cryptos_ == nullptr) {
     ProvisionPairwiseKeys();
   }
+  if (config_.encrypt_slices) {
+    // Freeze link keys into dense slots (precomputed schedules) before
+    // the slicing hot path starts sealing.
+    for (crypto::LinkCrypto& c : *cryptos_) c.Compile();
+  }
   for (net::NodeId id = 0; id < network_->size(); ++id) {
     network_->node(id).SetReceiveHandler(
         [this, id](const net::Packet& packet) { OnPacket(id, packet); });

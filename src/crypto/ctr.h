@@ -2,19 +2,40 @@
 // for arbitrary-length payloads. Encryption and decryption are the same
 // keystream XOR; the (nonce, counter) pair must never repeat under one key,
 // which LinkCrypto (crypto/keystore.h) enforces with per-link counters.
+//
+// Two paths produce bit-identical bytes: the scalar per-block loop over a
+// raw Key128, and the batched schedule path that generates the keystream
+// for a whole payload in chunked multi-block calls (XteaEncryptBlocks) and
+// XORs it word-at-a-time. Hot callers (LinkCrypto) cache an XteaSchedule
+// per link key and take the batched path.
 
 #ifndef IPDA_CRYPTO_CTR_H_
 #define IPDA_CRYPTO_CTR_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "crypto/key.h"
+#include "crypto/xtea.h"
 #include "util/bytes.h"
 
 namespace ipda::crypto {
 
 // XORs `data` in place with the XTEA-CTR keystream for (key, nonce).
+// Scalar reference path: one block cipher call per 8 bytes, subkeys
+// derived inline.
 void CtrCrypt(const Key128& key, uint64_t nonce, util::Bytes& data);
+
+// Batched path over a precomputed key schedule; bit-identical output.
+void CtrCrypt(const XteaSchedule& sched, uint64_t nonce, util::Bytes& data);
+void CtrCrypt(const XteaSchedule& sched, uint64_t nonce, uint8_t* data,
+              size_t size);
+
+// Writes the raw keystream blocks `E(nonce + counter0 + i)` for i in
+// [0, blocks) — the batched primitive underneath CtrCrypt, exposed for
+// equivalence tests and benchmarks.
+void CtrKeystream(const XteaSchedule& sched, uint64_t nonce,
+                  uint64_t counter0, uint64_t* out, size_t blocks);
 
 // Convenience copy variant.
 util::Bytes CtrCryptCopy(const Key128& key, uint64_t nonce,

@@ -7,9 +7,52 @@
 
 namespace ipda::crypto {
 
+void KeyStore::SetLinkKey(PeerId peer, const Key128& key) {
+  const int slot = FindSlot(peer);
+  if (slot >= 0) {
+    dense_keys_[static_cast<size_t>(slot)] = key;
+    dense_schedules_[static_cast<size_t>(slot)] = XteaSchedule(key);
+    return;
+  }
+  dynamic_[peer] = key;
+}
+
+int KeyStore::FindSlot(PeerId peer) const {
+  const auto it =
+      std::lower_bound(dense_peers_.begin(), dense_peers_.end(), peer);
+  if (it == dense_peers_.end() || *it != peer) return -1;
+  return static_cast<int>(it - dense_peers_.begin());
+}
+
+void KeyStore::Compile() {
+  if (dynamic_.empty()) return;  // Nothing new to densify.
+  std::vector<std::pair<PeerId, Key128>> merged;
+  merged.reserve(dense_peers_.size() + dynamic_.size());
+  for (size_t i = 0; i < dense_peers_.size(); ++i) {
+    merged.emplace_back(dense_peers_[i], dense_keys_[i]);
+  }
+  for (const auto& [peer, key] : dynamic_) merged.emplace_back(peer, key);
+  dynamic_.clear();
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  dense_peers_.clear();
+  dense_keys_.clear();
+  dense_schedules_.clear();
+  dense_peers_.reserve(merged.size());
+  dense_keys_.reserve(merged.size());
+  dense_schedules_.reserve(merged.size());
+  for (const auto& [peer, key] : merged) {
+    dense_peers_.push_back(peer);
+    dense_keys_.push_back(key);
+    dense_schedules_.emplace_back(key);
+  }
+}
+
 util::Result<Key128> KeyStore::GetLinkKey(PeerId peer) const {
-  auto it = keys_.find(peer);
-  if (it == keys_.end()) {
+  const int slot = FindSlot(peer);
+  if (slot >= 0) return dense_keys_[static_cast<size_t>(slot)];
+  const auto it = dynamic_.find(peer);
+  if (it == dynamic_.end()) {
     return util::NotFoundError("no link key for peer");
   }
   return it->second;
@@ -17,10 +60,42 @@ util::Result<Key128> KeyStore::GetLinkKey(PeerId peer) const {
 
 std::vector<PeerId> KeyStore::Peers() const {
   std::vector<PeerId> out;
-  out.reserve(keys_.size());
-  for (const auto& [peer, key] : keys_) out.push_back(peer);
+  out.reserve(link_count());
+  out.insert(out.end(), dense_peers_.begin(), dense_peers_.end());
+  for (const auto& [peer, key] : dynamic_) out.push_back(peer);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void CounterStore::Demote(const KeyStore& store) {
+  for (size_t i = 0; i < dense_.size(); ++i) {
+    if (dense_[i] != 0) dynamic_[store.slot_peer(i)] = dense_[i];
+  }
+  dense_.clear();
+}
+
+void CounterStore::Compile(const KeyStore& store) {
+  std::vector<uint64_t> fresh(store.dense_count(), 0);
+  // Counters issued before Compile() (peers promoted to slots) keep
+  // counting from where they were — nonces must never repeat.
+  for (auto it = dynamic_.begin(); it != dynamic_.end();) {
+    const int slot = store.FindSlot(it->first);
+    if (slot >= 0) {
+      fresh[static_cast<size_t>(slot)] = it->second;
+      it = dynamic_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dense_ = std::move(fresh);
+}
+
+void LinkCrypto::Compile() {
+  // Slot indices shift when new peers densify, so counters round-trip
+  // through peer-id keys across the layout change.
+  send_counters_.Demote(keystore_);
+  keystore_.Compile();
+  send_counters_.Compile(keystore_);
 }
 
 util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
@@ -30,13 +105,20 @@ util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
 
 util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
                                            util::Bytes&& plaintext) {
-  IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
   // Distinct per (direction, message): mixing (self, counter) can never
   // collide with the peer's (peer, counter') stream under the shared key.
-  const uint64_t counter = send_counters_[peer]++;
-  const uint64_t nonce =
-      util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
-  CtrCrypt(key, nonce, plaintext);
+  uint64_t nonce;
+  const int slot = keystore_.FindSlot(peer);
+  if (slot >= 0) {
+    const uint64_t counter = send_counters_.NextDense(slot);
+    nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
+    CtrCrypt(keystore_.slot_schedule(slot), nonce, plaintext);
+  } else {
+    IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+    const uint64_t counter = send_counters_.NextDynamic(peer);
+    nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
+    CtrCrypt(XteaSchedule(key), nonce, plaintext);
+  }
   // Same little-endian layout ByteWriter::WriteU64 emits; prepending into
   // the ciphertext buffer keeps the whole seal allocation-free.
   uint8_t prefix[kSealOverheadBytes];
@@ -49,11 +131,16 @@ util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
 
 util::Result<util::Bytes> LinkCrypto::Open(PeerId peer,
                                            const util::Bytes& wire) {
-  IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
   util::ByteReader reader(wire);
   IPDA_ASSIGN_OR_RETURN(uint64_t nonce, reader.ReadU64());
   util::Bytes body(wire.begin() + kSealOverheadBytes, wire.end());
-  CtrCrypt(key, nonce, body);
+  const int slot = keystore_.FindSlot(peer);
+  if (slot >= 0) {
+    CtrCrypt(keystore_.slot_schedule(slot), nonce, body);
+  } else {
+    IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+    CtrCrypt(XteaSchedule(key), nonce, body);
+  }
   return body;
 }
 

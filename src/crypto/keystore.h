@@ -5,6 +5,13 @@
 // plaintext into [u64 nonce][ciphertext] wire format with a fresh per-link
 // nonce, and opens it on the other side. Sealing fails cleanly when no key
 // is shared with the peer, which is a real outcome under EG predistribution.
+//
+// Hot-path layout: Compile() freezes the provisioned peer set into sorted
+// dense slot arrays — peer ids, keys, and precomputed XTEA round-key
+// schedules side by side — so the per-message work is one binary search
+// over a handful of u32s instead of a hash lookup plus a fresh key
+// schedule. Keys added after Compile() (CPDA cluster keys) land in a
+// dynamic overflow map that behaves exactly like the pre-compile store.
 
 #ifndef IPDA_CRYPTO_KEYSTORE_H_
 #define IPDA_CRYPTO_KEYSTORE_H_
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "crypto/key.h"
+#include "crypto/xtea.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -26,14 +34,57 @@ class KeyStore {
  public:
   KeyStore() = default;
 
-  void SetLinkKey(PeerId peer, const Key128& key) { keys_[peer] = key; }
-  bool HasLinkKey(PeerId peer) const { return keys_.count(peer) > 0; }
+  void SetLinkKey(PeerId peer, const Key128& key);
+  bool HasLinkKey(PeerId peer) const {
+    return FindSlot(peer) >= 0 || dynamic_.count(peer) > 0;
+  }
   util::Result<Key128> GetLinkKey(PeerId peer) const;
-  size_t link_count() const { return keys_.size(); }
+  size_t link_count() const { return dense_peers_.size() + dynamic_.size(); }
   std::vector<PeerId> Peers() const;
 
+  // Freezes the current peer set into the dense slot arrays (idempotent;
+  // call once links are provisioned, e.g. at tree setup). Later
+  // SetLinkKey() calls for new peers fall back to the dynamic map.
+  void Compile();
+
+  // Dense slot index for `peer`, or -1 (dynamic or absent). Slots are
+  // stable until the next Compile().
+  int FindSlot(PeerId peer) const;
+  size_t dense_count() const { return dense_peers_.size(); }
+  PeerId slot_peer(size_t slot) const { return dense_peers_[slot]; }
+  const XteaSchedule& slot_schedule(int slot) const {
+    return dense_schedules_[static_cast<size_t>(slot)];
+  }
+
  private:
-  std::unordered_map<PeerId, Key128> keys_;
+  // Parallel, sorted by peer id.
+  std::vector<PeerId> dense_peers_;
+  std::vector<Key128> dense_keys_;
+  std::vector<XteaSchedule> dense_schedules_;
+  // Pre-compile home of every key; post-compile overflow for new peers.
+  std::unordered_map<PeerId, Key128> dynamic_;
+};
+
+// Per-peer monotone send counters sharing the KeyStore's dense slot
+// layout; dynamic peers fall back to a map. Fresh counters start at 0
+// either way, so compiled and uncompiled stores emit identical nonces.
+class CounterStore {
+ public:
+  // Spills dense counters back to the map keyed by peer id; call with the
+  // KeyStore's *current* (pre-Compile) slot layout before it changes.
+  void Demote(const KeyStore& store);
+  // Sizes the dense array to `store`'s slots, migrating any counters the
+  // map accumulated for peers that are now dense.
+  void Compile(const KeyStore& store);
+
+  uint64_t NextDense(int slot) {
+    return dense_[static_cast<size_t>(slot)]++;
+  }
+  uint64_t NextDynamic(PeerId peer) { return dynamic_[peer]++; }
+
+ private:
+  std::vector<uint64_t> dense_;
+  std::unordered_map<PeerId, uint64_t> dynamic_;
 };
 
 // Stateful sealer/opener bound to one node's KeyStore.
@@ -43,6 +94,12 @@ class LinkCrypto {
 
   KeyStore& keystore() { return keystore_; }
   const KeyStore& keystore() const { return keystore_; }
+
+  // Resolves the provisioned peer set into dense slots (keys, schedules,
+  // counters). Sealing works before, after, and across Compile() with
+  // byte-identical wire output; compiled links just skip the hash lookup
+  // and the per-message key schedule.
+  void Compile();
 
   // Encrypts `plaintext` for `peer`; wire format [u64 nonce][ciphertext].
   util::Result<util::Bytes> Seal(PeerId peer, const util::Bytes& plaintext);
@@ -58,7 +115,7 @@ class LinkCrypto {
  private:
   PeerId self_;
   KeyStore keystore_;
-  std::unordered_map<PeerId, uint64_t> send_counters_;
+  CounterStore send_counters_;
 };
 
 // Extra bytes Seal() adds on top of the plaintext (the nonce).

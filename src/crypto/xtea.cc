@@ -5,7 +5,18 @@ namespace {
 
 constexpr uint32_t kDelta = 0x9e3779b9;
 
+inline uint32_t Mix(uint32_t v) { return ((v << 4) ^ (v >> 5)) + v; }
+
 }  // namespace
+
+XteaSchedule::XteaSchedule(const Key128& key) {
+  uint32_t sum = 0;
+  for (int i = 0; i < kXteaRounds; ++i) {
+    k[2 * i] = sum + key.words[sum & 3];
+    sum += kDelta;
+    k[2 * i + 1] = sum + key.words[(sum >> 11) & 3];
+  }
+}
 
 uint64_t XteaEncryptBlock(const Key128& key, uint64_t block) {
   uint32_t v0 = static_cast<uint32_t>(block);
@@ -16,6 +27,16 @@ uint64_t XteaEncryptBlock(const Key128& key, uint64_t block) {
     sum += kDelta;
     v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
           (sum + key.words[(sum >> 11) & 3]);
+  }
+  return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+}
+
+uint64_t XteaEncryptBlock(const XteaSchedule& sched, uint64_t block) {
+  uint32_t v0 = static_cast<uint32_t>(block);
+  uint32_t v1 = static_cast<uint32_t>(block >> 32);
+  for (int i = 0; i < kXteaRounds; ++i) {
+    v0 += Mix(v1) ^ sched.k[2 * i];
+    v1 += Mix(v0) ^ sched.k[2 * i + 1];
   }
   return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
 }
@@ -31,6 +52,48 @@ uint64_t XteaDecryptBlock(const Key128& key, uint64_t block) {
     v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
   }
   return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+}
+
+uint64_t XteaDecryptBlock(const XteaSchedule& sched, uint64_t block) {
+  uint32_t v0 = static_cast<uint32_t>(block);
+  uint32_t v1 = static_cast<uint32_t>(block >> 32);
+  for (int i = kXteaRounds; i-- > 0;) {
+    v1 -= Mix(v0) ^ sched.k[2 * i + 1];
+    v0 -= Mix(v1) ^ sched.k[2 * i];
+  }
+  return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+}
+
+void XteaEncryptBlocks(const XteaSchedule& sched, const uint64_t* in,
+                       uint64_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t a0 = static_cast<uint32_t>(in[i]);
+    uint32_t a1 = static_cast<uint32_t>(in[i] >> 32);
+    uint32_t b0 = static_cast<uint32_t>(in[i + 1]);
+    uint32_t b1 = static_cast<uint32_t>(in[i + 1] >> 32);
+    uint32_t c0 = static_cast<uint32_t>(in[i + 2]);
+    uint32_t c1 = static_cast<uint32_t>(in[i + 2] >> 32);
+    uint32_t d0 = static_cast<uint32_t>(in[i + 3]);
+    uint32_t d1 = static_cast<uint32_t>(in[i + 3] >> 32);
+    for (int r = 0; r < kXteaRounds; ++r) {
+      const uint32_t k0 = sched.k[2 * r];
+      const uint32_t k1 = sched.k[2 * r + 1];
+      a0 += Mix(a1) ^ k0;
+      b0 += Mix(b1) ^ k0;
+      c0 += Mix(c1) ^ k0;
+      d0 += Mix(d1) ^ k0;
+      a1 += Mix(a0) ^ k1;
+      b1 += Mix(b0) ^ k1;
+      c1 += Mix(c0) ^ k1;
+      d1 += Mix(d0) ^ k1;
+    }
+    out[i] = static_cast<uint64_t>(a0) | (static_cast<uint64_t>(a1) << 32);
+    out[i + 1] = static_cast<uint64_t>(b0) | (static_cast<uint64_t>(b1) << 32);
+    out[i + 2] = static_cast<uint64_t>(c0) | (static_cast<uint64_t>(c1) << 32);
+    out[i + 3] = static_cast<uint64_t>(d0) | (static_cast<uint64_t>(d1) << 32);
+  }
+  for (; i < n; ++i) out[i] = XteaEncryptBlock(sched, in[i]);
 }
 
 }  // namespace ipda::crypto

@@ -67,28 +67,46 @@ util::Result<Topology> Topology::RegularRing(size_t n, size_t d) {
   return Topology(std::move(positions), 1.0, std::move(adjacency));
 }
 
+Topology::Topology(std::vector<Point2D> positions, double range,
+                   const std::vector<std::vector<NodeId>>& adjacency)
+    : positions_(std::move(positions)), range_(range) {
+  const size_t n = adjacency.size();
+  offsets_.resize(n + 1);
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    offsets_[i] = static_cast<uint32_t>(total);
+    total += adjacency[i].size();
+  }
+  offsets_[n] = static_cast<uint32_t>(total);
+  flat_.reserve(total);
+  for (const auto& list : adjacency) {
+    flat_.insert(flat_.end(), list.begin(), list.end());
+  }
+}
+
 bool Topology::AreNeighbors(NodeId a, NodeId b) const {
   IPDA_DCHECK(a < node_count() && b < node_count());
-  const auto& list = adjacency_[a];
-  return std::find(list.begin(), list.end(), b) != list.end();
+  // Neighbor lists are sorted ascending by construction.
+  const NeighborSpan list = neighbors(a);
+  return std::binary_search(list.begin(), list.end(), b);
 }
 
 double Topology::AverageDegree() const {
   if (positions_.empty()) return 0.0;
-  size_t total = 0;
-  for (const auto& list : adjacency_) total += list.size();
-  return static_cast<double>(total) / static_cast<double>(positions_.size());
+  return static_cast<double>(flat_.size()) /
+         static_cast<double>(positions_.size());
 }
 
 size_t Topology::MinDegree() const {
+  if (positions_.empty()) return 0;
   size_t best = SIZE_MAX;
-  for (const auto& list : adjacency_) best = std::min(best, list.size());
-  return best == SIZE_MAX ? 0 : best;
+  for (NodeId i = 0; i < node_count(); ++i) best = std::min(best, degree(i));
+  return best;
 }
 
 size_t Topology::MaxDegree() const {
   size_t best = 0;
-  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  for (NodeId i = 0; i < node_count(); ++i) best = std::max(best, degree(i));
   return best;
 }
 
@@ -100,7 +118,7 @@ std::vector<uint32_t> Topology::HopCounts() const {
   while (!frontier.empty()) {
     NodeId u = frontier.front();
     frontier.pop();
-    for (NodeId v : adjacency_[u]) {
+    for (NodeId v : neighbors(u)) {
       if (hops[v] == UINT32_MAX) {
         hops[v] = hops[u] + 1;
         frontier.push(v);

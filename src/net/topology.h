@@ -21,6 +21,23 @@ using NodeId = uint32_t;
 constexpr NodeId kBaseStationId = 0;
 constexpr NodeId kBroadcastId = UINT32_MAX;
 
+// Borrowed view of one node's neighbor list inside the CSR arrays. Cheap
+// to copy; valid as long as the owning Topology lives.
+class NeighborSpan {
+ public:
+  NeighborSpan(const NodeId* data, size_t size) : data_(data), size_(size) {}
+
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const NodeId* data_;
+  size_t size_;
+};
+
 class Topology {
  public:
   // Builds the unit-disk graph; range must be positive.
@@ -41,10 +58,14 @@ class Topology {
   const std::vector<Point2D>& positions() const { return positions_; }
   const Point2D& position(NodeId id) const { return positions_[id]; }
 
-  const std::vector<NodeId>& neighbors(NodeId id) const {
-    return adjacency_[id];
+  // Neighbor ids in ascending order. Adjacency is stored CSR-style (flat
+  // offsets + one contiguous neighbor array), so iterating a node's
+  // neighborhood is a linear walk with no per-node vector indirection.
+  NeighborSpan neighbors(NodeId id) const {
+    const uint32_t begin = offsets_[id];
+    return NeighborSpan(flat_.data() + begin, offsets_[id + 1] - begin);
   }
-  size_t degree(NodeId id) const { return adjacency_[id].size(); }
+  size_t degree(NodeId id) const { return offsets_[id + 1] - offsets_[id]; }
   bool AreNeighbors(NodeId a, NodeId b) const;
 
   // Mean degree over all nodes.
@@ -60,15 +81,15 @@ class Topology {
   std::vector<uint32_t> HopCounts() const;
 
  private:
+  // Flattens the per-node lists (already sorted ascending) into CSR form.
   Topology(std::vector<Point2D> positions, double range,
-           std::vector<std::vector<NodeId>> adjacency)
-      : positions_(std::move(positions)),
-        range_(range),
-        adjacency_(std::move(adjacency)) {}
+           const std::vector<std::vector<NodeId>>& adjacency);
 
   std::vector<Point2D> positions_;
   double range_ = 0.0;
-  std::vector<std::vector<NodeId>> adjacency_;
+  // CSR adjacency: node i's neighbors are flat_[offsets_[i]..offsets_[i+1]).
+  std::vector<uint32_t> offsets_;
+  std::vector<NodeId> flat_;
 };
 
 }  // namespace ipda::net

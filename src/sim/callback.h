@@ -1,0 +1,169 @@
+// Small-buffer-optimized event closure for the discrete-event kernel.
+//
+// std::function heap-allocates any capture beyond ~16 bytes, which made
+// every scheduled delivery/timer event a malloc. Callback stores captures
+// up to kInlineBytes directly inside the object; larger captures fall back
+// to a caller-supplied BytePool (or, pool-less, to operator new — counted,
+// so tests can assert the scheduler hot path never takes it). Move-only,
+// like the closures it carries.
+
+#ifndef IPDA_SIM_CALLBACK_H_
+#define IPDA_SIM_CALLBACK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+#include "util/pool.h"
+
+namespace ipda::sim {
+
+class Callback {
+ public:
+  // Fits every steady-state capture in the simulator (the largest is a
+  // MAC ACK lambda at 64 bytes, which deliberately exercises the pool
+  // path; delivery events are [this, id, u64, shared_ptr] = 40 bytes).
+  static constexpr size_t kInlineBytes = 48;
+
+  Callback() = default;
+
+  // Pool-less form: oversized captures hit operator new (counted).
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Callback>>>
+  Callback(F&& fn) : Callback(nullptr, std::forward<F>(fn)) {}  // NOLINT
+
+  // Oversized captures recycle through `pool` (may be null).
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Callback>>>
+  Callback(util::BytePool* pool, F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "Callback requires a void() callable");
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      void* mem;
+      if (pool != nullptr) {
+        mem = pool->Allocate(sizeof(Fn));
+      } else {
+        mem = ::operator new(sizeof(Fn));
+        heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ::new (mem) Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(buf_)) Outline{mem, pool};
+      ops_ = &kOutlineOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { MoveFrom(std::move(other)); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { Reset(); }
+
+  void operator()() {
+    IPDA_DCHECK(ops_ != nullptr);
+    ops_->invoke(target());
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Destroys the held callable (releasing any pool/heap block).
+  void Reset() {
+    if (ops_ == nullptr) return;
+    ops_->destroy(target());
+    if (!ops_->inline_stored) {
+      Outline& out = outline();
+      if (out.pool != nullptr) {
+        out.pool->Deallocate(out.obj, ops_->size);
+      } else {
+        ::operator delete(out.obj);
+      }
+    }
+    ops_ = nullptr;
+  }
+
+  // Times a pool-less Callback construction spilled to operator new.
+  // Scheduler paths always pass a pool, so their steady state keeps this
+  // flat — asserted by the scheduler stress test.
+  static uint64_t heap_fallback_count() {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    void (*relocate)(void* from, void* to);  // Move-construct + destroy src.
+    void (*destroy)(void* obj);
+    size_t size;          // sizeof the callable (pool deallocation key).
+    bool inline_stored;
+  };
+  struct Outline {
+    void* obj;
+    util::BytePool* pool;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* obj) { (*static_cast<Fn*>(obj))(); },
+      [](void* from, void* to) {
+        Fn* src = static_cast<Fn*>(from);
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+      sizeof(Fn),
+      /*inline_stored=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kOutlineOps = {
+      [](void* obj) { (*static_cast<Fn*>(obj))(); },
+      nullptr,  // Outline moves steal the pointer; no relocation needed.
+      [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+      sizeof(Fn),
+      /*inline_stored=*/false,
+  };
+
+  Outline& outline() { return *std::launder(reinterpret_cast<Outline*>(buf_)); }
+
+  void* target() {
+    return ops_->inline_stored ? static_cast<void*>(buf_) : outline().obj;
+  }
+
+  void MoveFrom(Callback&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->inline_stored) {
+      ops_->relocate(other.buf_, buf_);
+    } else {
+      ::new (static_cast<void*>(buf_)) Outline(other.outline());
+    }
+    other.ops_ = nullptr;
+  }
+
+  inline static std::atomic<uint64_t> heap_fallbacks_{0};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ipda::sim
+
+#endif  // IPDA_SIM_CALLBACK_H_

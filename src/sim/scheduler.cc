@@ -6,86 +6,137 @@
 
 namespace ipda::sim {
 
-EventId Scheduler::ScheduleAt(SimTime at, std::function<void()> fn) {
+// 4-ary layout: children of i are 4i+1..4i+4, parent is (i-1)/4. Shallower
+// than binary for the same size, so a sift touches fewer cache lines.
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
+EventId Scheduler::PushEvent(SimTime at, Callback cb) {
   IPDA_CHECK_GE(at, now_);
-  IPDA_CHECK(fn != nullptr);
-  EventId id = next_id_++;
-  queue_.push(entry_pool_.New(at, next_seq_++, id, std::move(fn)));
-  pending_.insert(id);
-  return id;
+  uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    IPDA_CHECK_LT(slots_.size(), static_cast<size_t>(UINT32_MAX) - 1);
+    slots_.emplace_back();
+    slot = static_cast<uint32_t>(slots_.size() - 1);
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(cb);
+  s.live = true;
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, s.gen});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return (static_cast<uint64_t>(s.gen) << 32) |
+         static_cast<uint64_t>(slot + 1);
 }
 
-EventId Scheduler::ScheduleAfter(SimTime delay, std::function<void()> fn) {
-  IPDA_CHECK_GE(delay, 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
+void Scheduler::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  s.live = false;
+  // Invalidates every outstanding handle and heap entry naming this slot.
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 bool Scheduler::Cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  cancelled_.insert(id);
-  if (cancelled_.size() >= kCompactThreshold &&
-      cancelled_.size() * 2 >= queue_.size()) {
-    Compact();
-  }
+  const uint32_t low = static_cast<uint32_t>(id);
+  if (low == 0) return false;
+  const uint32_t slot = low - 1;
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (!s.live || s.gen != static_cast<uint32_t>(id >> 32)) return false;
+  FreeSlot(slot);
+  --live_;
+  const size_t stale = heap_.size() - live_;
+  if (stale >= kPruneThreshold && stale * 2 >= heap_.size()) PruneStale();
   return true;
 }
 
-void Scheduler::Compact() {
-  std::vector<Entry*> live;
-  live.reserve(queue_.size() - cancelled_.size());
-  while (!queue_.empty()) {
-    Entry* entry = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(entry->id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      entry_pool_.Delete(entry);
-    } else {
-      live.push_back(entry);
-    }
+void Scheduler::SiftUp(size_t i) {
+  const HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!Earlier(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
-  // Every tombstone shadows exactly one queued entry, so a full drain
-  // must consume them all.
-  IPDA_CHECK(cancelled_.empty());
-  queue_ = std::priority_queue<Entry*, std::vector<Entry*>, EntryLater>(
-      EntryLater{}, std::move(live));
+  heap_[i] = moving;
 }
 
-void Scheduler::SkipCancelled() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top()->id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    entry_pool_.Delete(queue_.top());
-    queue_.pop();
+void Scheduler::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  const HeapEntry moving = heap_[i];
+  for (;;) {
+    const size_t first = kArity * i + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t last = first + kArity < n ? first + kArity : n;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
+  heap_[i] = moving;
+}
+
+void Scheduler::PopTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (heap_.size() > 1) SiftDown(0);
+}
+
+void Scheduler::DropStaleHead() {
+  while (!heap_.empty() && !EntryLive(heap_.front())) PopTop();
+}
+
+void Scheduler::PruneStale() {
+  size_t out = 0;
+  for (const HeapEntry& e : heap_) {
+    if (EntryLive(e)) heap_[out++] = e;
+  }
+  heap_.resize(out);
+  if (out > 1) {
+    // Floyd heapify from the last parent down; leaves are already heaps.
+    for (size_t i = (out - 2) / kArity + 1; i-- > 0;) SiftDown(i);
+  }
+  IPDA_DCHECK(heap_.size() == live_);
+}
+
+void Scheduler::DispatchTop() {
+  const HeapEntry top = heap_.front();
+  PopTop();
+  IPDA_CHECK_GE(top.at, now_);
+  now_ = top.at;
+  ++events_run_;
+  Slot& s = slots_[top.slot];
+  // Recycle the slot before running: the handler may schedule new events
+  // and should find a warm free list.
+  Callback fn = std::move(s.fn);
+  FreeSlot(top.slot);
+  --live_;
+  fn();
 }
 
 bool Scheduler::RunOne() {
-  SkipCancelled();
-  if (queue_.empty()) return false;
-  Entry* entry = queue_.top();
-  queue_.pop();
-  pending_.erase(entry->id);
-  IPDA_CHECK_GE(entry->at, now_);
-  now_ = entry->at;
-  ++events_run_;
-  // Recycle the slot before running: the handler may schedule new events
-  // and should find a warm free list.
-  std::function<void()> fn = std::move(entry->fn);
-  entry_pool_.Delete(entry);
-  fn();
+  DropStaleHead();
+  if (heap_.empty()) return false;
+  DispatchTop();
   return true;
 }
 
 size_t Scheduler::RunUntil(SimTime deadline) {
   size_t n = 0;
   for (;;) {
-    SkipCancelled();
-    if (queue_.empty() || queue_.top()->at > deadline) break;
-    if (!RunOne()) break;
+    DropStaleHead();
+    if (heap_.empty() || heap_.front().at > deadline) break;
+    DispatchTop();
     ++n;
   }
   return n;

@@ -3,21 +3,30 @@
 // Events are closures ordered by (time, insertion sequence); ties at the
 // same timestamp run in scheduling order, which makes simulations
 // deterministic. Scheduled events can be cancelled through their EventId.
+//
+// Hot-path layout: a flat 4-ary min-heap of 24-byte POD entries (no
+// pointer chasing, sift moves touch one cache line per level) over a slot
+// array holding the closures. EventIds are generation-tagged handles
+// (slot, generation), so Cancel() is O(1) — bump the generation, free the
+// slot — with no tombstone side tables; a stale heap entry is recognized
+// at pop time by a single integer compare. Steady-state dispatch performs
+// zero heap allocations: slots recycle through a free list, closures live
+// inline in the slot (sim/callback.h) or in the scheduler's byte pool.
 
 #ifndef IPDA_SIM_SCHEDULER_H_
 #define IPDA_SIM_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
+#include "util/check.h"
 #include "util/pool.h"
 
 namespace ipda::sim {
 
+// (generation << 32) | (slot + 1); 0 never names a live event.
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
@@ -30,13 +39,26 @@ class Scheduler {
 
   // Schedules `fn` at absolute time `at` (must be >= now). Returns a handle
   // usable with Cancel().
-  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAt(SimTime at, F&& fn) {
+    // Null-testable callables (std::function, function pointers) must not
+    // be empty; plain lambdas skip the check at compile time.
+    if constexpr (requires { static_cast<bool>(fn); }) {
+      IPDA_CHECK(static_cast<bool>(fn));
+    }
+    return PushEvent(at, Callback(&overflow_, std::forward<F>(fn)));
+  }
 
   // Schedules `fn` after a non-negative delay from now.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAfter(SimTime delay, F&& fn) {
+    IPDA_CHECK_GE(delay, 0);
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   // Cancels a pending event; returns false if it already ran, was already
-  // cancelled, or never existed.
+  // cancelled, or never existed. O(1): the handle's generation goes stale
+  // and its closure is destroyed immediately.
   bool Cancel(EventId id);
 
   // Runs the earliest pending event, advancing the clock. Returns false if
@@ -45,59 +67,91 @@ class Scheduler {
 
   // Runs events until the queue is empty or the clock would pass `deadline`
   // (events at exactly `deadline` run). Returns the number of events run.
+  // The deadline check and the stale-entry skip share one peek of the heap
+  // top — there is no separate skip pass.
   size_t RunUntil(SimTime deadline);
 
   // Runs everything. Returns the number of events run.
   size_t RunAll();
 
   SimTime now() const { return now_; }
-  bool empty() const { return pending_.empty(); }
-  size_t pending() const { return pending_.size(); }
-  // Tombstones still sitting in the queue. Bounded: head tombstones are
-  // purged as the clock reaches them, and Cancel() compacts the queue once
-  // tombstones pile up — a long run that cancels heavily (ARQ timers) can
-  // never hold more than max(kCompactThreshold, live events) of them.
-  size_t cancelled_pending() const { return cancelled_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t pending() const { return live_; }
+  // Stale heap entries left by Cancel(). Bounded: head entries purge as
+  // the clock reaches them, and Cancel() prunes the heap in one linear
+  // lookup-free pass once stale entries are both >= kPruneThreshold and
+  // at least half the heap.
+  size_t cancelled_pending() const { return heap_.size() - live_; }
   uint64_t events_run() const { return events_run_; }
 
+  // Capacity snapshot for the zero-allocation steady-state assertion: once
+  // warmed up, schedule/cancel/dispatch churn must leave every field flat.
+  struct AllocStats {
+    size_t heap_capacity = 0;       // Flat heap vector capacity.
+    size_t slot_capacity = 0;       // Closure slot array capacity.
+    size_t overflow_slabs = 0;      // Slabs backing oversized closures.
+    uint64_t callback_heap_fallbacks = 0;  // Pool-less spills (global).
+  };
+  AllocStats alloc_stats() const {
+    return AllocStats{heap_.capacity(), slots_.capacity(),
+                      overflow_.slab_count(), Callback::heap_fallback_count()};
+  }
+
  private:
-  struct Entry {
+  // POD heap entry; ordering compares (at, seq) only, so the flat layout
+  // cannot perturb determinism relative to the old pointer heap.
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
+    uint32_t slot;
+    uint32_t gen;
   };
-  // The heap holds pooled pointers: sift operations move 8 bytes instead
-  // of a ~64-byte Entry with a std::function inside, and entries recycle
-  // through the free list instead of hitting malloc per event. Ordering
-  // still compares (at, seq) only — never addresses — so pooling cannot
-  // perturb determinism.
-  struct EntryLater {
-    bool operator()(const Entry* a, const Entry* b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
-    }
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  struct Slot {
+    Callback fn;
+    uint32_t gen = 0;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
   };
 
-  // Pops queue entries whose ids were cancelled. Ensures queue_.top() (when
-  // non-empty) is a live event.
-  void SkipCancelled();
+  // Cancel() prunes once this many stale entries accumulate AND they make
+  // up at least half the heap (so pruning stays amortized O(1) per event).
+  static constexpr size_t kPruneThreshold = 64;
 
-  // Rebuilds the queue without tombstoned entries; empties cancelled_.
-  void Compact();
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  // Cancel() compacts once this many tombstones accumulate AND they make
-  // up at least half the queue (so compaction stays amortized O(log n)).
-  static constexpr size_t kCompactThreshold = 64;
+  bool EntryLive(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+
+  EventId PushEvent(SimTime at, Callback cb);
+  void FreeSlot(uint32_t slot);
+
+  // Removes heap_[0] and restores the heap property.
+  void PopTop();
+  // Pops stale entries until the top is live (or the heap is empty).
+  void DropStaleHead();
+  // Pops and runs the (live) top entry, advancing the clock.
+  void DispatchTop();
+  // Rebuilds the heap without stale entries, in one linear pass.
+  void PruneStale();
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
 
   SimTime now_ = kSimTimeZero;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t events_run_ = 0;
-  util::ObjectPool<Entry> entry_pool_;     // Owns every queued Entry.
-  std::priority_queue<Entry*, std::vector<Entry*>, EntryLater> queue_;
-  std::unordered_set<EventId> pending_;    // Scheduled, not yet run/cancelled.
-  std::unordered_set<EventId> cancelled_;  // Tombstones awaiting pop.
+  size_t live_ = 0;
+  // Declared before slots_: slot teardown returns oversized closures here.
+  util::BytePool overflow_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace ipda::sim

@@ -7,7 +7,6 @@
 #define IPDA_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 
 #include "sim/scheduler.h"
@@ -41,12 +40,15 @@ class Simulator {
   // still holding arena blocks at teardown release them into a live pool.
   util::BytePool& arena() { return arena_; }
 
-  // Convenience passthroughs.
-  EventId At(SimTime t, std::function<void()> fn) {
-    return scheduler_.ScheduleAt(t, std::move(fn));
+  // Convenience passthroughs. Templated so lambdas reach the scheduler's
+  // small-buffer Callback directly, never boxed through std::function.
+  template <typename F>
+  EventId At(SimTime t, F&& fn) {
+    return scheduler_.ScheduleAt(t, std::forward<F>(fn));
   }
-  EventId After(SimTime delay, std::function<void()> fn) {
-    return scheduler_.ScheduleAfter(delay, std::move(fn));
+  template <typename F>
+  EventId After(SimTime delay, F&& fn) {
+    return scheduler_.ScheduleAfter(delay, std::forward<F>(fn));
   }
   size_t RunUntil(SimTime deadline) { return scheduler_.RunUntil(deadline); }
   size_t RunAll() { return scheduler_.RunAll(); }

@@ -157,6 +157,9 @@ class BytePool {
   }
 
   size_t live_blocks() const { return live_ + oversize_live_; }
+  // Slabs allocated so far; flat across a steady-state workload once the
+  // free lists are warm (the scheduler stress test asserts exactly that).
+  size_t slab_count() const { return slabs_.size(); }
 
  private:
   struct FreeNode {

@@ -110,6 +110,103 @@ TEST_F(LinkCryptoTest, TruncatedWireFails) {
   EXPECT_FALSE(bob_.Open(1, truncated).ok());
 }
 
+TEST(KeyStore, CompileDensifiesAndPreservesLookups) {
+  KeyStore store;
+  store.SetLinkKey(9, Key128::FromSeed(1));
+  store.SetLinkKey(2, Key128::FromSeed(2));
+  store.SetLinkKey(5, Key128::FromSeed(3));
+  EXPECT_EQ(store.dense_count(), 0u);
+  store.Compile();
+  EXPECT_EQ(store.dense_count(), 3u);
+  EXPECT_EQ(store.link_count(), 3u);
+  EXPECT_EQ(*store.GetLinkKey(2), Key128::FromSeed(2));
+  EXPECT_EQ(*store.GetLinkKey(5), Key128::FromSeed(3));
+  EXPECT_EQ(*store.GetLinkKey(9), Key128::FromSeed(1));
+  EXPECT_EQ(store.Peers(), (std::vector<PeerId>{2, 5, 9}));
+  // Slots resolve in peer order; unknown peers miss.
+  EXPECT_EQ(store.FindSlot(2), 0);
+  EXPECT_EQ(store.FindSlot(5), 1);
+  EXPECT_EQ(store.FindSlot(9), 2);
+  EXPECT_EQ(store.FindSlot(7), -1);
+}
+
+TEST(KeyStore, KeysAddedAfterCompileStillWork) {
+  KeyStore store;
+  store.SetLinkKey(1, Key128::FromSeed(1));
+  store.Compile();
+  // Late adds land in the dynamic overflow until the next Compile().
+  store.SetLinkKey(8, Key128::FromSeed(8));
+  EXPECT_TRUE(store.HasLinkKey(8));
+  EXPECT_EQ(*store.GetLinkKey(8), Key128::FromSeed(8));
+  EXPECT_EQ(store.FindSlot(8), -1);
+  EXPECT_EQ(store.link_count(), 2u);
+  store.Compile();
+  EXPECT_EQ(store.FindSlot(8), 1);
+  EXPECT_EQ(*store.GetLinkKey(8), Key128::FromSeed(8));
+}
+
+TEST(KeyStore, OverwriteAfterCompileUpdatesSlotKey) {
+  KeyStore store;
+  store.SetLinkKey(4, Key128::FromSeed(1));
+  store.Compile();
+  store.SetLinkKey(4, Key128::FromSeed(2));  // Hits the dense slot.
+  EXPECT_EQ(*store.GetLinkKey(4), Key128::FromSeed(2));
+  EXPECT_EQ(store.link_count(), 1u);
+}
+
+TEST_F(LinkCryptoTest, CompiledWireBytesMatchUncompiled) {
+  // Compile() must be a pure layout change: a compiled sender produces
+  // the exact wire bytes of an uncompiled one with the same counters,
+  // and a compiled receiver opens either.
+  LinkCrypto compiled(1);
+  compiled.keystore().SetLinkKey(2, Key128::FromSeed(42));
+  compiled.Compile();
+  bob_.Compile();
+  for (int round = 0; round < 4; ++round) {
+    const util::Bytes plaintext(7 + 9 * round,
+                                static_cast<uint8_t>(0x30 + round));
+    auto plain_wire = alice_.Seal(2, plaintext);
+    auto compiled_wire = compiled.Seal(2, plaintext);
+    ASSERT_TRUE(plain_wire.ok());
+    ASSERT_TRUE(compiled_wire.ok());
+    EXPECT_EQ(*plain_wire, *compiled_wire) << "round " << round;
+    EXPECT_EQ(*bob_.Open(1, *compiled_wire), plaintext);
+  }
+}
+
+TEST_F(LinkCryptoTest, CompileMidStreamKeepsNoncesFresh) {
+  // Counters issued before Compile() must carry into the dense layout:
+  // the wire prefix (nonce) never repeats across the boundary.
+  const util::Bytes plaintext(16, 0x77);
+  auto before = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(before.ok());
+  alice_.Compile();
+  auto after = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(util::Bytes(before->begin(),
+                        before->begin() + kSealOverheadBytes),
+            util::Bytes(after->begin(), after->begin() + kSealOverheadBytes));
+  EXPECT_EQ(*bob_.Open(1, *before), plaintext);
+  EXPECT_EQ(*bob_.Open(1, *after), plaintext);
+}
+
+TEST_F(LinkCryptoTest, RecompileAfterNewPeerShiftsSlotsSafely) {
+  // Adding a lower-id peer shifts existing slot indices on recompile;
+  // in-flight counters must follow their peer, not their old slot.
+  alice_.Compile();
+  const util::Bytes plaintext(12, 0x11);
+  auto w1 = alice_.Seal(2, plaintext);  // Dense slot 0 counter -> 1.
+  alice_.keystore().SetLinkKey(0, Key128::FromSeed(7));
+  alice_.Compile();  // Peer 2 now occupies slot 1.
+  auto w2 = alice_.Seal(2, plaintext);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(util::Bytes(w1->begin(), w1->begin() + kSealOverheadBytes),
+            util::Bytes(w2->begin(), w2->begin() + kSealOverheadBytes));
+  EXPECT_EQ(*bob_.Open(1, *w1), plaintext);
+  EXPECT_EQ(*bob_.Open(1, *w2), plaintext);
+}
+
 TEST(PairwiseKeyScheme, SymmetricInEndpoints) {
   PairwiseKeyScheme scheme(777);
   EXPECT_EQ(scheme.LinkKey(3, 9), scheme.LinkKey(9, 3));

@@ -6,6 +6,7 @@
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/random.h"
 
 namespace ipda::sim {
 namespace {
@@ -207,6 +208,98 @@ TEST(Scheduler, CancelledHeadDoesNotBlockRunUntil) {
   sched.Cancel(head);
   EXPECT_EQ(sched.RunUntil(Milliseconds(5)), 1u);
   EXPECT_TRUE(second_ran);
+}
+
+TEST(Scheduler, StaleHandleAfterSlotReuseFails) {
+  // Cancelling frees the slot; the next schedule reuses it under a bumped
+  // generation. The stale handle must stay dead and must not be able to
+  // cancel the new occupant.
+  Scheduler sched;
+  bool ran = false;
+  EventId old_id = sched.ScheduleAt(Milliseconds(10), [] {});
+  EXPECT_TRUE(sched.Cancel(old_id));
+  EventId new_id = sched.ScheduleAt(Milliseconds(20), [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(sched.Cancel(old_id));  // Stale generation.
+  sched.RunAll();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, SlotReuseSurvivesManyGenerations) {
+  // Hammer a single slot through schedule/cancel cycles: every retired
+  // handle stays invalid, every live one works exactly once.
+  Scheduler sched;
+  EventId prev = kInvalidEventId;
+  for (int i = 0; i < 1000; ++i) {
+    EventId id = sched.ScheduleAt(Milliseconds(10), [] {});
+    EXPECT_NE(id, prev);
+    EXPECT_FALSE(sched.Cancel(prev));
+    EXPECT_TRUE(sched.Cancel(id));
+    prev = id;
+  }
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, CancelHeavyRandomChurn) {
+  // Randomized interleaving of schedule / cancel / run, the ARQ-timer
+  // shape that motivated generation-tagged handles. Every event either
+  // fires exactly once or is cancelled exactly once; double-cancels on
+  // stale handles always fail.
+  Scheduler sched;
+  util::Rng rng(20240805);
+  std::vector<EventId> live;
+  int fired = 0;
+  int scheduled = 0;
+  int cancelled = 0;
+  while (scheduled < 5000) {
+    const uint64_t roll = rng.UniformUint64(100);
+    if (roll < 60 || live.empty()) {
+      live.push_back(sched.ScheduleAfter(
+          Milliseconds(1 + static_cast<SimTime>(rng.UniformUint64(50))),
+          [&fired] { ++fired; }));
+      ++scheduled;
+    } else if (roll < 90) {
+      const size_t pick =
+          static_cast<size_t>(rng.UniformUint64(live.size()));
+      const EventId id = live[pick];
+      if (sched.Cancel(id)) {
+        ++cancelled;
+        EXPECT_FALSE(sched.Cancel(id));  // Stale handle stays dead.
+      }
+      live.erase(live.begin() + pick);
+    } else {
+      sched.RunUntil(sched.now() + Milliseconds(5));
+    }
+  }
+  sched.RunAll();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(fired, scheduled - cancelled);
+  EXPECT_EQ(sched.cancelled_pending(), 0u);
+}
+
+TEST(Scheduler, SteadyStateDispatchDoesNotAllocate) {
+  // After warm-up, a schedule/dispatch cycle must reuse the heap array,
+  // the slot free list, and the callback pool: no capacity growth, no
+  // pool slabs, no operator-new fallbacks.
+  Scheduler sched;
+  int hits = 0;
+  for (int i = 0; i < 256; ++i) {
+    sched.ScheduleAfter(Milliseconds(1 + i % 7), [&hits] { ++hits; });
+  }
+  sched.RunAll();
+  const Scheduler::AllocStats before = sched.alloc_stats();
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      sched.ScheduleAfter(Milliseconds(1 + i % 7), [&hits] { ++hits; });
+    }
+    sched.RunAll();
+  }
+  const Scheduler::AllocStats after = sched.alloc_stats();
+  EXPECT_EQ(after.heap_capacity, before.heap_capacity);
+  EXPECT_EQ(after.slot_capacity, before.slot_capacity);
+  EXPECT_EQ(after.overflow_slabs, before.overflow_slabs);
+  EXPECT_EQ(after.callback_heap_fallbacks, before.callback_heap_fallbacks);
+  EXPECT_EQ(hits, 256 * 101);
 }
 
 TEST(Simulator, ForkRngIsStableAcrossInstances) {
