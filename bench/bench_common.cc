@@ -35,6 +35,49 @@ size_t BenchJobs(int argc, const char* const* argv) {
   return exp::ResolveJobs(flags.GetInt("jobs"));
 }
 
+BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
+  int64_t default_jobs = 0;  // 0 = all hardware threads.
+  if (const char* env = std::getenv("IPDA_BENCH_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) default_jobs = parsed;
+  }
+  util::FlagSet flags;
+  flags.DefineInt("jobs", default_jobs,
+                  "worker threads for the experiment engine "
+                  "(0 = all hardware threads)");
+  flags.DefineString("journal", "",
+                     "append-only JSONL run journal; each completed run "
+                     "is fsynced so a killed sweep is resumable");
+  flags.DefineString("resume", "",
+                     "journal from an interrupted sweep; completed runs "
+                     "are replayed byte-identically, the rest executed");
+  flags.DefineDouble("run-deadline", 0.0,
+                     "wall-clock seconds per run attempt before the "
+                     "watchdog cancels it (0 = no watchdog)");
+  flags.DefineInt("event-budget", 0,
+                  "max simulator events per run attempt (0 = unlimited; "
+                  "deterministic, unlike --run-deadline)");
+  flags.DefineInt("max-retries", 0,
+                  "failed-run retries with a forked seed before the "
+                  "point degrades");
+  const util::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  BenchOptions options;
+  options.jobs = exp::ResolveJobs(flags.GetInt("jobs"));
+  options.journal = flags.GetString("journal");
+  options.resume = flags.GetString("resume");
+  options.run_deadline_s = flags.GetDouble("run-deadline");
+  options.event_budget = static_cast<uint64_t>(flags.GetInt("event-budget"));
+  options.max_retries = static_cast<uint32_t>(flags.GetInt("max-retries"));
+  options.canonical =
+      flags.Canonical({"jobs", "journal", "resume", "run-deadline"});
+  return options;
+}
+
 std::vector<size_t> NetworkSizes() { return {200, 300, 400, 500, 600}; }
 
 agg::RunConfig PaperRunConfig(size_t node_count, uint64_t seed) {

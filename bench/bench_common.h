@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "agg/runner.h"
@@ -25,6 +26,24 @@ size_t RunsPerPoint(size_t default_runs = 5);
 // Unknown flags print usage and exit(2). Output is byte-identical for
 // every jobs value — see src/exp/engine.h for the determinism contract.
 size_t BenchJobs(int argc, const char* const* argv);
+
+// Command line of the crash-tolerant sweeps (fault_sweep and friends):
+// BenchJobs' --jobs plus the resilience flags wired into
+// exp::RunResilientSweep.
+struct BenchOptions {
+  size_t jobs = 1;
+  std::string journal;       // --journal: JSONL run journal to write.
+  std::string resume;        // --resume: journal to replay and continue.
+  double run_deadline_s = 0.0;  // --run-deadline: watchdog seconds.
+  uint64_t event_budget = 0;    // --event-budget: events per attempt.
+  uint32_t max_retries = 0;     // --max-retries: forked-seed retries.
+  // Canonical flag string minus the scheduling/IO flags that do not
+  // change results (jobs, journal, resume, run-deadline); hashed into
+  // the journal's config digest.
+  std::string canonical;
+};
+
+BenchOptions ParseBenchOptions(int argc, const char* const* argv);
 
 // The paper's x-axis: N in [200, 600].
 std::vector<size_t> NetworkSizes();

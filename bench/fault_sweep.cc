@@ -6,23 +6,29 @@
 // specified by the paper, and iPDA with the failure-resilience extensions
 // (slice retargeting + parent failover) switched on.
 //
-// The grid fans out across the experiment engine (--jobs N). Output is a
-// single JSON document on stdout; per-run seeds derive from (sweep seed,
-// point label, run index), so two invocations with the same
-// IPDA_BENCH_RUNS emit byte-identical JSON for ANY --jobs value — the
-// determinism contract the fault subsystem and the engine both promise.
+// The grid fans out across the crash-tolerant sweep executor
+// (exp::RunResilientSweep): every completed run is appended to the
+// --journal as it finishes (fsynced, so a SIGKILL loses at most the run
+// in flight), SIGINT/SIGTERM drains gracefully and prints a --resume
+// command, and a resumed sweep replays journaled runs to byte-identical
+// output. Per-run seeds derive from (sweep seed, point label, run
+// index), so two invocations with the same IPDA_BENCH_RUNS emit
+// byte-identical JSON for ANY --jobs value — and for any kill/resume
+// split.
 
 #include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
 #include "bench_common.h"
-#include "exp/sweep.h"
+#include "exp/resilient.h"
 #include "fault/fault_plan.h"
 #include "sim/time.h"
 #include "stats/summary.h"
+#include "util/signal.h"
 
 namespace ipda::bench {
 namespace {
@@ -46,11 +52,55 @@ struct ArmOutcome {
 
 // One grid point x one seed, all three arms (they share the deployment).
 struct RunOutcome {
-  bool ok = false;
   ArmOutcome tag;
   ArmOutcome ipda;
   ArmOutcome ipda_failover;
 };
+
+// Journal payload codec: "%.17g" round-trips doubles exactly, so a
+// replayed run folds into the same statistics bit-for-bit.
+void EncodeArm(const ArmOutcome& arm, std::string* out) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%d,%d,%zu,%zu,%zu",
+                arm.accuracy, arm.completeness, arm.accepted ? 1 : 0,
+                arm.degraded ? 1 : 0, arm.retargeted, arm.rerouted,
+                arm.orphaned);
+  *out += buf;
+}
+
+std::string EncodeOutcome(const RunOutcome& outcome) {
+  std::string payload;
+  EncodeArm(outcome.tag, &payload);
+  payload += ';';
+  EncodeArm(outcome.ipda, &payload);
+  payload += ';';
+  EncodeArm(outcome.ipda_failover, &payload);
+  return payload;
+}
+
+bool DecodeArm(const std::string& text, ArmOutcome* arm) {
+  int accepted = 0;
+  int degraded = 0;
+  if (std::sscanf(text.c_str(), "%lg,%lg,%d,%d,%zu,%zu,%zu", &arm->accuracy,
+                  &arm->completeness, &accepted, &degraded, &arm->retargeted,
+                  &arm->rerouted, &arm->orphaned) != 7) {
+    return false;
+  }
+  arm->accepted = accepted != 0;
+  arm->degraded = degraded != 0;
+  return true;
+}
+
+bool DecodeOutcome(const std::string& payload, RunOutcome* outcome) {
+  const size_t first = payload.find(';');
+  if (first == std::string::npos) return false;
+  const size_t second = payload.find(';', first + 1);
+  if (second == std::string::npos) return false;
+  return DecodeArm(payload.substr(0, first), &outcome->tag) &&
+         DecodeArm(payload.substr(first + 1, second - first - 1),
+                   &outcome->ipda) &&
+         DecodeArm(payload.substr(second + 1), &outcome->ipda_failover);
+}
 
 struct ArmResult {
   stats::Summary accuracy;
@@ -82,19 +132,21 @@ fault::FaultPlan MakePlan(double crash_frac, double loss_rate,
   return plan;
 }
 
-void PrintArm(const char* key, const ArmResult& arm, size_t runs,
+void PrintArm(const char* key, const ArmResult& arm, size_t effective,
               bool last) {
   std::printf(
       "      \"%s\": {\"accuracy_mean\": %.6f, \"completeness_mean\": "
       "%.6f, \"accepted\": %zu, \"degraded\": %zu, \"retargeted\": %zu, "
       "\"rerouted\": %zu, \"orphaned\": %zu, \"runs\": %zu}%s\n",
       key, arm.accuracy.mean(), arm.completeness.mean(), arm.accepted,
-      arm.degraded, arm.retargeted, arm.rerouted, arm.orphaned, runs,
+      arm.degraded, arm.retargeted, arm.rerouted, arm.orphaned, effective,
       last ? "" : ",");
 }
 
 int Run(int argc, char** argv) {
-  exp::Engine engine(BenchJobs(argc, argv));
+  util::InstallDrainHandler();
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  exp::Engine engine(options.jobs);
   const size_t runs = RunsPerPoint();
   auto function = agg::MakeCount();
   auto field = agg::MakeConstantField(1.0);
@@ -102,75 +154,120 @@ int Run(int argc, char** argv) {
   const double crash_fracs[] = {0.0, 0.05, 0.10, 0.20};
   const double loss_rates[] = {0.0, 0.05, 0.10};
 
-  std::vector<exp::SweepPoint> points;
+  std::vector<std::string> labels;
   std::vector<std::pair<double, double>> grid;
   for (double crash : crash_fracs) {
     for (double loss : loss_rates) {
       char label[64];
       std::snprintf(label, sizeof(label), "crash=%.2f,loss=%.2f", crash,
                     loss);
-      points.push_back(
-          exp::SweepPoint{label, PaperRunConfig(kNodes, /*seed=*/0)});
+      labels.push_back(label);
       grid.emplace_back(crash, loss);
     }
   }
 
-  const auto grouped = exp::MapSweep<RunOutcome>(
-      engine, kSweepSeed, points, runs,
-      [&](const agg::RunConfig& base, size_t point, size_t /*run*/) {
-        const auto [crash, loss] = grid[point];
-        RunOutcome out;
+  exp::ResilientOptions resilience;
+  resilience.sweep_seed = kSweepSeed;
+  resilience.event_budget = options.event_budget;
+  resilience.run_deadline_s = options.run_deadline_s;
+  resilience.max_retries = options.max_retries;
+  resilience.journal_path = options.journal;
+  resilience.resume_path = options.resume;
+  resilience.experiment = "fault_sweep";
+  resilience.config_digest = "fault_sweep|nodes=" + std::to_string(kNodes) +
+                             "|runs=" + std::to_string(runs) + "|" +
+                             options.canonical;
 
-        auto tag_config = base;
-        tag_config.faults = MakePlan(crash, loss, kTagCrashAt);
-        auto tag_run = agg::RunTag(tag_config, *function, *field);
-        if (!tag_run.ok()) return out;
-        out.tag.accuracy = tag_run->accuracy;
-        out.tag.completeness = 1.0;
-        out.tag.accepted = true;  // TAG has no integrity check to fail.
+  const auto body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
+    const auto [crash, loss] = grid[ctx.point];
+    RunOutcome out;
 
-        auto ipda_config = base;
-        ipda_config.faults = MakePlan(crash, loss, kIpdaCrashAt);
-        for (bool failover : {false, true}) {
-          agg::IpdaConfig proto = PaperIpdaConfig(2);
-          proto.retarget_slices = failover;
-          proto.parent_failover = failover;
-          auto run = agg::RunIpda(ipda_config, *function, *field, proto);
-          if (!run.ok()) return out;
-          ArmOutcome& arm = failover ? out.ipda_failover : out.ipda;
-          arm.accuracy = run->accuracy;
-          arm.completeness =
-              run->stats.completeness_red < run->stats.completeness_blue
-                  ? run->stats.completeness_red
-                  : run->stats.completeness_blue;
-          arm.accepted = run->stats.decision.accepted;
-          arm.degraded = run->stats.degraded;
-          arm.retargeted = run->stats.slices_retargeted;
-          arm.rerouted = run->stats.reports_rerouted;
-          arm.orphaned = run->stats.orphaned_partials;
-        }
-        out.ok = true;
-        return out;
-      });
+    agg::RunConfig tag_config = PaperRunConfig(kNodes, ctx.seed);
+    tag_config.control.cancel = ctx.cancel;
+    tag_config.control.event_budget = ctx.event_budget;
+    tag_config.faults = MakePlan(crash, loss, kTagCrashAt);
+    IPDA_ASSIGN_OR_RETURN(const agg::TagRunResult tag_run,
+                          agg::RunTag(tag_config, *function, *field));
+    out.tag.accuracy = tag_run.accuracy;
+    out.tag.completeness = 1.0;
+    out.tag.accepted = true;  // TAG has no integrity check to fail.
 
+    agg::RunConfig ipda_config = PaperRunConfig(kNodes, ctx.seed);
+    ipda_config.control.cancel = ctx.cancel;
+    ipda_config.control.event_budget = ctx.event_budget;
+    ipda_config.faults = MakePlan(crash, loss, kIpdaCrashAt);
+    for (bool failover : {false, true}) {
+      agg::IpdaConfig proto = PaperIpdaConfig(2);
+      proto.retarget_slices = failover;
+      proto.parent_failover = failover;
+      IPDA_ASSIGN_OR_RETURN(
+          const agg::IpdaRunResult run,
+          agg::RunIpda(ipda_config, *function, *field, proto));
+      ArmOutcome& arm = failover ? out.ipda_failover : out.ipda;
+      arm.accuracy = run.accuracy;
+      arm.completeness =
+          run.stats.completeness_red < run.stats.completeness_blue
+              ? run.stats.completeness_red
+              : run.stats.completeness_blue;
+      arm.accepted = run.stats.decision.accepted;
+      arm.degraded = run.stats.degraded;
+      arm.retargeted = run.stats.slices_retargeted;
+      arm.rerouted = run.stats.reports_rerouted;
+      arm.orphaned = run.stats.orphaned_partials;
+    }
+    return EncodeOutcome(out);
+  };
+
+  auto swept =
+      exp::RunResilientSweep(engine, labels, runs, resilience, body);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "fault_sweep: %s\n",
+                 swept.status().ToString().c_str());
+    return 1;
+  }
+  const exp::ResilientReport& report = *swept;
+
+  if (report.drained) {
+    // No partial JSON on stdout: the resumed invocation prints the whole
+    // document, byte-identical to an uninterrupted sweep.
+    std::fprintf(stderr,
+                 "fault_sweep: drained with %zu/%zu runs journaled; resume "
+                 "with: %s --resume %s\n",
+                 report.replayed + report.executed, report.runs.size(),
+                 argv[0],
+                 report.journal_path.empty() ? "<journal>"
+                                             : report.journal_path.c_str());
+    return util::kDrainExitCode;
+  }
+
+  // Fold and print point by point (rows stream to stdout as they fold;
+  // durability lives in the journal, not in a buffered document).
   std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
   std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
               runs);
+  std::printf("  \"failed_runs\": %zu,\n", report.failed);
   std::printf("  \"grid\": [\n");
-  for (size_t point = 0; point < points.size(); ++point) {
+  for (size_t point = 0; point < labels.size(); ++point) {
     ArmResult tag, ipda, ipda_failover;
-    for (const RunOutcome& outcome : grouped[point]) {
-      if (!outcome.ok) return 1;
+    size_t effective = 0;
+    for (size_t run = 0; run < runs; ++run) {
+      const exp::RunStatus& slot = report.runs[point * runs + run];
+      if (!slot.ok) continue;  // Permanent failure: the point degrades.
+      RunOutcome outcome;
+      if (!DecodeOutcome(slot.payload, &outcome)) continue;
       tag.Fold(outcome.tag);
       ipda.Fold(outcome.ipda);
       ipda_failover.Fold(outcome.ipda_failover);
+      ++effective;
     }
     std::printf("    %s{\n", point == 0 ? "" : ",");
-    std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f,\n",
-                grid[point].first, grid[point].second);
-    PrintArm("tag", tag, runs, /*last=*/false);
-    PrintArm("ipda", ipda, runs, /*last=*/false);
-    PrintArm("ipda_failover", ipda_failover, runs, /*last=*/true);
+    std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f, "
+                "\"requested\": %zu,\n",
+                grid[point].first, grid[point].second, runs);
+    PrintArm("tag", tag, effective, /*last=*/false);
+    PrintArm("ipda", ipda, effective, /*last=*/false);
+    PrintArm("ipda_failover", ipda_failover, effective, /*last=*/true);
     std::printf("    }\n");
   }
   std::printf("  ]\n}\n");

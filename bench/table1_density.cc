@@ -1,16 +1,23 @@
 // Table I: network size vs. average node degree on the 400 m x 400 m
 // deployment with 50 m range. Paper values: 200→8.8, 300→13.7, 400→18.6,
 // 500→23.5, 600→28.4.
+//
+// Runs through the crash-tolerant sweep executor: --journal/--resume make
+// the table regenerable after a kill, and a permanently failed run
+// degrades its row (widened CI, "n/requested" runs column) instead of
+// aborting the table.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "exp/sweep.h"
+#include "exp/resilient.h"
 #include "net/topology.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "util/signal.h"
 
 namespace ipda::bench {
 namespace {
@@ -19,45 +26,76 @@ constexpr double kPaperDegrees[] = {8.8, 13.7, 18.6, 23.5, 28.4};
 constexpr uint64_t kSweepSeed = 0xA11CE;
 
 int Run(int argc, char** argv) {
-  exp::Engine engine(BenchJobs(argc, argv));
-  PrintHeader("Table I — network size vs. network density",
-              "average node degree of the random geometric deployment");
+  util::InstallDrainHandler();
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  exp::Engine engine(options.jobs);
   // Deployments are cheap; use a higher default for a tighter mean.
   const size_t runs = RunsPerPoint() * 4;
 
-  std::vector<exp::SweepPoint> points;
-  for (size_t n : NetworkSizes()) {
-    points.push_back(exp::SweepPoint{"N=" + std::to_string(n),
-                                     PaperRunConfig(n, /*seed=*/0)});
+  const std::vector<size_t> sizes = NetworkSizes();
+  std::vector<std::string> labels;
+  for (size_t n : sizes) labels.push_back("N=" + std::to_string(n));
+
+  exp::ResilientOptions resilience;
+  resilience.sweep_seed = kSweepSeed;
+  resilience.event_budget = options.event_budget;
+  resilience.run_deadline_s = options.run_deadline_s;
+  resilience.max_retries = options.max_retries;
+  resilience.journal_path = options.journal;
+  resilience.resume_path = options.resume;
+  resilience.experiment = "table1_density";
+  resilience.config_digest = "table1_density|runs=" + std::to_string(runs) +
+                             "|" + options.canonical;
+
+  const auto body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
+    agg::RunConfig config = PaperRunConfig(sizes[ctx.point], ctx.seed);
+    config.control.cancel = ctx.cancel;
+    config.control.event_budget = ctx.event_budget;
+    IPDA_ASSIGN_OR_RETURN(const net::Topology topology,
+                          agg::BuildRunTopology(config));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", topology.AverageDegree());
+    return std::string(buf);
+  };
+
+  auto swept =
+      exp::RunResilientSweep(engine, labels, runs, resilience, body);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "table1_density: %s\n",
+                 swept.status().ToString().c_str());
+    return 1;
+  }
+  const exp::ResilientReport& report = *swept;
+  if (report.drained) {
+    std::fprintf(stderr,
+                 "table1_density: drained with %zu/%zu runs journaled; "
+                 "resume with: %s --resume %s\n",
+                 report.replayed + report.executed, report.runs.size(),
+                 argv[0],
+                 report.journal_path.empty() ? "<journal>"
+                                             : report.journal_path.c_str());
+    return util::kDrainExitCode;
   }
 
-  const auto grouped = exp::MapSweep<double>(
-      engine, kSweepSeed, points, runs,
-      [](const agg::RunConfig& config, size_t, size_t) {
-        auto topology = agg::BuildRunTopology(config);
-        if (!topology.ok()) {
-          std::fprintf(stderr, "topology failed: %s\n",
-                       topology.status().ToString().c_str());
-          return -1.0;
-        }
-        return topology->AverageDegree();
-      });
-
-  stats::Table table({"nodes", "avg degree (ours)", "min", "max",
-                      "paper"});
-  for (size_t row = 0; row < points.size(); ++row) {
+  PrintHeader("Table I — network size vs. network density",
+              "average node degree of the random geometric deployment");
+  stats::Table table({"nodes", "avg degree (ours)", "min", "max", "paper",
+                      "runs"});
+  for (size_t row = 0; row < labels.size(); ++row) {
     stats::Summary degrees;
-    for (double degree : grouped[row]) {
-      if (degree < 0.0) return 1;
-      degrees.Add(degree);
+    for (size_t run = 0; run < runs; ++run) {
+      const exp::RunStatus& slot = report.runs[row * runs + run];
+      if (!slot.ok) continue;  // Degraded row, not an aborted table.
+      degrees.Add(std::strtod(slot.payload.c_str(), nullptr));
     }
-    table.AddRow(
-        {stats::FormatInt(static_cast<long long>(
-             points[row].config.deployment.node_count)),
-         stats::FormatDouble(degrees.mean(), 1),
-         stats::FormatDouble(degrees.min(), 1),
-         stats::FormatDouble(degrees.max(), 1),
-         stats::FormatDouble(kPaperDegrees[row], 1)});
+    table.AddRow({stats::FormatInt(static_cast<long long>(sizes[row])),
+                  stats::FormatDouble(degrees.mean(), 1),
+                  stats::FormatDouble(degrees.min(), 1),
+                  stats::FormatDouble(degrees.max(), 1),
+                  stats::FormatDouble(kPaperDegrees[row], 1),
+                  std::to_string(degrees.count()) + "/" +
+                      std::to_string(runs)});
   }
   table.PrintTo(stdout);
   PrintFooter();

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the crash-tolerant sweep executor.
+#
+# Starts a journaled sweep, SIGTERMs it mid-flight, resumes from the
+# journal, and requires the resumed stdout to be byte-identical to an
+# uninterrupted run — the determinism contract of ISSUE's tentpole.
+#
+#   usage: kill_resume_smoke.sh <bench-binary> [kill-delay-seconds]
+#
+# Exits 0 on success. The interrupted process may legitimately finish
+# before the signal lands (exit 0) or drain (exit 75); anything else
+# fails the smoke.
+
+set -u
+
+BIN="${1:?usage: kill_resume_smoke.sh <bench-binary> [kill-delay-seconds]}"
+DELAY="${2:-1}"
+
+export IPDA_BENCH_RUNS="${IPDA_BENCH_RUNS:-8}"
+JOBS=2
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== kill_resume_smoke: $BIN (runs/point=$IPDA_BENCH_RUNS, kill after ${DELAY}s)"
+
+# Reference: uninterrupted run, no journal.
+"$BIN" --jobs "$JOBS" > "$WORK/clean.out" 2> "$WORK/clean.err"
+CLEAN_EXIT=$?
+if [ "$CLEAN_EXIT" -ne 0 ]; then
+  echo "FAIL: clean run exited $CLEAN_EXIT"
+  cat "$WORK/clean.err"
+  exit 1
+fi
+
+# Interrupted run: journal on, SIGTERM mid-flight.
+"$BIN" --jobs "$JOBS" --journal "$WORK/sweep.jsonl" \
+    > "$WORK/interrupted.out" 2> "$WORK/interrupted.err" &
+PID=$!
+sleep "$DELAY"
+kill -TERM "$PID" 2>/dev/null
+wait "$PID"
+INT_EXIT=$?
+
+if [ "$INT_EXIT" -eq 75 ]; then
+  echo "-- interrupted run drained (exit 75), $(grep -c '"type":"run"' \
+      "$WORK/sweep.jsonl" || true) run records journaled"
+elif [ "$INT_EXIT" -eq 0 ]; then
+  echo "-- interrupted run finished before the signal landed"
+  if ! diff -q "$WORK/clean.out" "$WORK/interrupted.out" > /dev/null; then
+    echo "FAIL: journaled run output differs from clean run"
+    exit 1
+  fi
+else
+  echo "FAIL: interrupted run exited $INT_EXIT (want 0 or 75)"
+  cat "$WORK/interrupted.err"
+  exit 1
+fi
+
+# Resume and require byte-identical output to the uninterrupted run.
+"$BIN" --jobs "$JOBS" --resume "$WORK/sweep.jsonl" \
+    > "$WORK/resumed.out" 2> "$WORK/resumed.err"
+RES_EXIT=$?
+if [ "$RES_EXIT" -ne 0 ]; then
+  echo "FAIL: resumed run exited $RES_EXIT"
+  cat "$WORK/resumed.err"
+  exit 1
+fi
+if ! diff "$WORK/clean.out" "$WORK/resumed.out"; then
+  echo "FAIL: resumed output is not byte-identical to the clean run"
+  exit 1
+fi
+
+echo "OK: resumed output byte-identical to uninterrupted run"

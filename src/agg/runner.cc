@@ -44,6 +44,37 @@ util::Status ArmFaults(const RunConfig& config, sim::Simulator& simulator,
   return util::OkStatus();
 }
 
+// Arms the run's execution guards (cancel token, event budget) on its
+// scheduler before any event runs.
+void ApplyControl(const RunConfig& config, sim::Simulator& simulator) {
+  simulator.scheduler().SetCancelToken(config.control.cancel);
+  simulator.scheduler().SetEventBudget(config.control.event_budget);
+}
+
+// Non-OK when the run's RunUntil stopped early on a tripped guard; the
+// protocol's state is consistent but the round is incomplete, so the
+// caller must get a failure, never a half-aggregated result.
+util::Status InterruptStatus(const RunConfig& config,
+                             const sim::Simulator& simulator) {
+  switch (simulator.scheduler().interrupt_cause()) {
+    case sim::Scheduler::InterruptCause::kNone:
+      return util::OkStatus();
+    case sim::Scheduler::InterruptCause::kCancel:
+      return util::UnavailableError(
+          "run cancelled (" +
+          std::string(sim::CancelReasonName(
+              config.control.cancel != nullptr
+                  ? config.control.cancel->reason()
+                  : sim::CancelReason::kExternal)) +
+          ")");
+    case sim::Scheduler::InterruptCause::kEventBudget:
+      return util::UnavailableError(
+          "run exceeded event budget (" +
+          std::to_string(config.control.event_budget) + " events)");
+  }
+  return util::InternalError("unknown interrupt cause");
+}
+
 }  // namespace
 
 util::Result<net::Topology> BuildRunTopology(const RunConfig& config) {
@@ -63,6 +94,7 @@ util::Result<TagRunResult> RunTag(const RunConfig& config,
                                   const TagConfig& tag_config) {
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
+  ApplyControl(config, simulator);
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   TagProtocol protocol(&network, &function, tag_config);
@@ -72,6 +104,7 @@ util::Result<TagRunResult> RunTag(const RunConfig& config,
   protocol.SetReadings(readings);
   protocol.Start();
   simulator.RunUntil(protocol.Duration());
+  IPDA_RETURN_IF_ERROR(InterruptStatus(config, simulator));
 
   TagRunResult result;
   result.stats = protocol.stats();
@@ -89,6 +122,7 @@ util::Result<SmartRunResult> RunSmart(
     SmartProtocol::SliceObserver slice_observer) {
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
+  ApplyControl(config, simulator);
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   SmartProtocol protocol(&network, &function, smart_config);
@@ -99,6 +133,7 @@ util::Result<SmartRunResult> RunSmart(
   if (slice_observer) protocol.SetSliceObserver(std::move(slice_observer));
   protocol.Start();
   simulator.RunUntil(protocol.Duration());
+  IPDA_RETURN_IF_ERROR(InterruptStatus(config, simulator));
 
   SmartRunResult result;
   result.stats = protocol.stats();
@@ -116,6 +151,7 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
                                     const CpdaConfig& cpda_config) {
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
+  ApplyControl(config, simulator);
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   CpdaProtocol protocol(&network, &function, cpda_config);
@@ -125,6 +161,7 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
   protocol.SetReadings(readings);
   protocol.Start();
   simulator.RunUntil(protocol.Duration());
+  IPDA_RETURN_IF_ERROR(InterruptStatus(config, simulator));
   protocol.Finish();
 
   CpdaRunResult result;
@@ -144,6 +181,7 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
                                     const IpdaRunHooks& hooks) {
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
+  ApplyControl(config, simulator);
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   IpdaProtocol protocol(&network, &function, ipda_config);
@@ -156,6 +194,7 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   if (!hooks.excluded.empty()) protocol.SetExcludedNodes(hooks.excluded);
   protocol.Start();
   simulator.RunUntil(protocol.Duration());
+  IPDA_RETURN_IF_ERROR(InterruptStatus(config, simulator));
   protocol.Finish();
 
   IpdaRunResult result;

@@ -15,9 +15,24 @@
 #include "agg/tag/tag_protocol.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
+#include "sim/cancel.h"
 #include "util/result.h"
 
 namespace ipda::agg {
+
+// Per-run execution guards, wired into the run's scheduler. Both default
+// off, so a plain RunConfig behaves exactly as before; when a guard
+// trips, the Run* helper returns Unavailable instead of a result (the
+// run's state is consistent but incomplete — discard it).
+struct RunControl {
+  // Cooperative cancellation (watchdog deadline, drain). Must outlive
+  // the run. Null = never cancelled.
+  const sim::CancelToken* cancel = nullptr;
+  // Max scheduler events for the run's simulator; 0 = unlimited. A
+  // deterministic stand-in for a wall-clock deadline: the same config
+  // and seed trip it at exactly the same event, on every machine.
+  uint64_t event_budget = 0;
+};
 
 struct RunConfig {
   net::DeploymentConfig deployment;  // Paper default: 400x400 m.
@@ -30,6 +45,7 @@ struct RunConfig {
   // (seed, faults) pair reproduces the same crashes/losses event for
   // event, for every protocol under comparison.
   fault::FaultPlan faults;
+  RunControl control;
 };
 
 // Deterministic topology for a RunConfig (same seed → same deployment).

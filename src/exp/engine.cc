@@ -12,6 +12,11 @@ uint64_t DeriveRunSeed(uint64_t sweep_seed, std::string_view point_label,
                      run_index);
 }
 
+uint64_t ForkAttemptSeed(uint64_t run_seed, uint32_t attempt) {
+  if (attempt == 0) return run_seed;
+  return util::Mix64(run_seed, 0x9E3779B97F4A7C15ull + attempt);
+}
+
 size_t ResolveJobs(int64_t jobs_flag) {
   if (jobs_flag > 0) return static_cast<size_t>(jobs_flag);
   const unsigned hw = std::thread::hardware_concurrency();

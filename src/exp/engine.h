@@ -30,6 +30,12 @@ namespace ipda::exp {
 uint64_t DeriveRunSeed(uint64_t sweep_seed, std::string_view point_label,
                        uint64_t run_index);
 
+// Retry seed for attempt `attempt` of a run whose first attempt used
+// `run_seed`. Attempt 0 returns run_seed unchanged, so sweeps that never
+// retry keep today's byte-identical output; later attempts fork a fresh,
+// deterministic stream so a failure is not replayed verbatim.
+uint64_t ForkAttemptSeed(uint64_t run_seed, uint32_t attempt);
+
 // Maps a --jobs flag value to a worker count: 0 = all hardware threads,
 // anything else is taken literally (minimum 1).
 size_t ResolveJobs(int64_t jobs_flag);

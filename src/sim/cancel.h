@@ -1,0 +1,75 @@
+// Cooperative cancellation for simulation runs.
+//
+// A CancelToken is a tiny thread-safe flag shared between a run's
+// scheduler (which polls it between event dispatches, see
+// Scheduler::SetCancelToken) and an external controller — a watchdog
+// thread enforcing a wall-clock deadline, or a drain handler winding the
+// sweep down after SIGTERM. Cancellation is cooperative: the event in
+// flight finishes, RunUntil returns with interrupted() set, and nothing
+// is torn down mid-callback, so a cancelled run's state is consistent
+// (just incomplete) and can be discarded or reported as a failure.
+
+#ifndef IPDA_SIM_CANCEL_H_
+#define IPDA_SIM_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace ipda::sim {
+
+// Why a run was asked to stop; the first requester wins.
+enum class CancelReason : uint8_t {
+  kNone = 0,
+  kDeadline,  // Wall-clock watchdog deadline expired.
+  kDrain,     // Process-wide graceful drain (SIGINT/SIGTERM).
+  kExternal,  // Any other caller.
+};
+
+constexpr std::string_view CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "watchdog deadline";
+    case CancelReason::kDrain:
+      return "drain";
+    case CancelReason::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // First call wins; later calls keep the original reason.
+  void RequestCancel(CancelReason reason = CancelReason::kExternal) {
+    uint8_t expected = 0;
+    state_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                   std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+  CancelReason reason() const {
+    return static_cast<CancelReason>(
+        state_.load(std::memory_order_relaxed));
+  }
+
+  // Re-arm for another attempt (the owning worker only, between runs).
+  void Reset() { state_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint8_t> state_{0};
+};
+
+}  // namespace ipda::sim
+
+#endif  // IPDA_SIM_CANCEL_H_

@@ -124,18 +124,34 @@ void Scheduler::DispatchTop() {
   fn();
 }
 
+bool Scheduler::CheckInterrupt() {
+  if (event_budget_ != 0 && events_run_ >= event_budget_) {
+    interrupt_cause_ = InterruptCause::kEventBudget;
+    return true;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    interrupt_cause_ = InterruptCause::kCancel;
+    return true;
+  }
+  return false;
+}
+
 bool Scheduler::RunOne() {
+  interrupt_cause_ = InterruptCause::kNone;
   DropStaleHead();
   if (heap_.empty()) return false;
+  if (CheckInterrupt()) return false;
   DispatchTop();
   return true;
 }
 
 size_t Scheduler::RunUntil(SimTime deadline) {
+  interrupt_cause_ = InterruptCause::kNone;
   size_t n = 0;
   for (;;) {
     DropStaleHead();
     if (heap_.empty() || heap_.front().at > deadline) break;
+    if (CheckInterrupt()) break;
     DispatchTop();
     ++n;
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/callback.h"
+#include "sim/cancel.h"
 #include "sim/time.h"
 #include "util/check.h"
 #include "util/pool.h"
@@ -73,6 +74,26 @@ class Scheduler {
 
   // Runs everything. Returns the number of events run.
   size_t RunAll();
+
+  // Cooperative interruption (the watchdog hook): when a cancel token is
+  // armed or the event budget is exhausted, RunOne/RunUntil/RunAll stop
+  // between events and interrupt_cause() says why. A hung run — an
+  // adversarial configuration spinning in a same-timestamp reschedule
+  // loop — is thereby convertible into a recordable failure instead of a
+  // stalled worker. Both guards cost one compare per dispatch when unset.
+  enum class InterruptCause : uint8_t { kNone = 0, kCancel, kEventBudget };
+
+  // `token` may be null (no cancellation); otherwise it must outlive
+  // every Run* call. Polled with a relaxed load, so another thread's
+  // RequestCancel is picked up within one event.
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+  // Caps lifetime events_run(); 0 = unlimited.
+  void SetEventBudget(uint64_t budget) { event_budget_ = budget; }
+  // Why the most recent Run* call stopped early (kNone: it did not).
+  InterruptCause interrupt_cause() const { return interrupt_cause_; }
+  bool interrupted() const {
+    return interrupt_cause_ != InterruptCause::kNone;
+  }
 
   SimTime now() const { return now_; }
   bool empty() const { return live_ == 0; }
@@ -131,6 +152,9 @@ class Scheduler {
   EventId PushEvent(SimTime at, Callback cb);
   void FreeSlot(uint32_t slot);
 
+  // Sets interrupt_cause_ and returns true when a guard tripped.
+  bool CheckInterrupt();
+
   // Removes heap_[0] and restores the heap property.
   void PopTop();
   // Pops stale entries until the top is live (or the heap is empty).
@@ -146,6 +170,9 @@ class Scheduler {
   SimTime now_ = kSimTimeZero;
   uint64_t next_seq_ = 0;
   uint64_t events_run_ = 0;
+  const CancelToken* cancel_ = nullptr;
+  uint64_t event_budget_ = 0;  // 0 = unlimited.
+  InterruptCause interrupt_cause_ = InterruptCause::kNone;
   size_t live_ = 0;
   // Declared before slots_: slot teardown returns oversized closures here.
   util::BytePool overflow_;

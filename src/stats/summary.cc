@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/table.h"
+
 namespace ipda::stats {
 
 void Summary::Add(double x) {
@@ -35,5 +37,24 @@ double Summary::stderr_mean() const {
 }
 
 double Summary::ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+
+double DegradedCi95(const Summary& s, size_t requested_runs) {
+  if (s.count() == 0) return 0.0;
+  if (s.count() >= requested_runs) return s.ci95_halfwidth();
+  return s.ci95_halfwidth() *
+         std::sqrt(static_cast<double>(requested_runs) /
+                   static_cast<double>(s.count()));
+}
+
+std::string FormatDegradedMeanCi(const Summary& s, size_t requested_runs,
+                                 int precision) {
+  std::string out =
+      FormatMeanCi(s.mean(), DegradedCi95(s, requested_runs), precision);
+  if (s.count() < requested_runs) {
+    out += " [n=" + std::to_string(s.count()) + "/" +
+           std::to_string(requested_runs) + "]";
+  }
+  return out;
+}
 
 }  // namespace ipda::stats

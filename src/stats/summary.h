@@ -5,6 +5,7 @@
 #define IPDA_STATS_SUMMARY_H_
 
 #include <cstddef>
+#include <string>
 
 namespace ipda::stats {
 
@@ -33,6 +34,23 @@ class Summary {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+// Degraded-point reporting for fault-tolerant sweeps: when permanent run
+// failures cut a Monte-Carlo point from `requested` samples to
+// s.count(), the interval must widen beyond the plain small-n CI —
+// failed runs are not missing at random (the adversarial configurations
+// are exactly the ones that hang or die), so the survivors overstate
+// confidence. The half-width is inflated by sqrt(requested / effective),
+// a deliberately conservative penalty that vanishes when nothing was
+// lost. Returns the plain ci95_halfwidth() when s.count() >= requested;
+// 0 when the point collected no samples at all (report it as failed,
+// not as precise).
+double DegradedCi95(const Summary& s, size_t requested_runs);
+
+// "mean±ci" (FormatMeanCi with the degraded half-width), plus a
+// " [n=<effective>/<requested>]" suffix when runs were lost.
+std::string FormatDegradedMeanCi(const Summary& s, size_t requested_runs,
+                                 int precision = 3);
 
 }  // namespace ipda::stats
 

@@ -19,12 +19,14 @@
 #include "agg/reading.h"
 #include "agg/runner.h"
 #include "exp/engine.h"
+#include "exp/resilient.h"
 #include "fault/fault_plan.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/signal.h"
 
 namespace ipda {
 namespace {
@@ -70,6 +72,21 @@ int Main(int argc, char** argv) {
   flags.DefineInt("jobs", 0,
                   "worker threads for the runs (0 = all hardware "
                   "threads); output is identical for any value");
+  flags.DefineString("journal", "",
+                     "append-only JSONL run journal; completed runs are "
+                     "fsynced so a killed invocation is resumable");
+  flags.DefineString("resume", "",
+                     "journal from an interrupted invocation; completed "
+                     "runs replay byte-identically, the rest execute");
+  flags.DefineDouble("run-deadline", 0.0,
+                     "wall-clock seconds per run attempt before the "
+                     "watchdog cancels it (0 = no watchdog)");
+  flags.DefineInt("event-budget", 0,
+                  "max simulator events per run attempt (0 = unlimited; "
+                  "deterministic, unlike --run-deadline)");
+  flags.DefineInt("max-retries", 0,
+                  "failed-run retries with a forked seed before the run "
+                  "is recorded as a permanent failure");
   flags.DefineBool("csv", false, "machine-readable output");
   flags.DefineString("dot-out", "",
                      "write the constructed trees as Graphviz DOT "
@@ -153,10 +170,10 @@ int Main(int argc, char** argv) {
 
   // Every run is shared-nothing (own Simulator, own Network), so the runs
   // fan across the engine; the ordered fold below keeps output identical
-  // for any --jobs value.
+  // for any --jobs value. The resilient executor adds journaling, retry
+  // and drain on top without touching that contract: attempt-0 seeds stay
+  // base_seed + r via base_seed_fn.
   struct RunOutcome {
-    bool ok = false;
-    std::string error;
     double result = 0.0;
     double truth = 0.0;
     double accuracy = 0.0;
@@ -164,17 +181,37 @@ int Main(int argc, char** argv) {
     bool accepted = true;
     bool degraded = false;
   };
+  util::InstallDrainHandler();
   exp::Engine engine(exp::ResolveJobs(flags.GetInt("jobs")));
-  const auto outcomes = engine.Map<RunOutcome>(runs, [&](size_t r) {
+
+  exp::ResilientOptions resilience;
+  resilience.sweep_seed = base_seed;
+  resilience.event_budget =
+      static_cast<uint64_t>(flags.GetInt("event-budget"));
+  resilience.run_deadline_s = flags.GetDouble("run-deadline");
+  resilience.max_retries = static_cast<uint32_t>(flags.GetInt("max-retries"));
+  resilience.journal_path = flags.GetString("journal");
+  resilience.resume_path = flags.GetString("resume");
+  resilience.experiment = "ipda_sim";
+  // Everything result-affecting goes into the digest; scheduling and
+  // output-shape flags stay out so e.g. --jobs may differ across resume.
+  resilience.config_digest = "ipda_sim|" + flags.Canonical({
+                                 "jobs", "journal", "resume", "run-deadline",
+                                 "csv", "dot-out", "roles-out", "help"});
+  resilience.base_seed_fn = [base_seed](size_t, size_t r) {
+    return base_seed + r;
+  };
+
+  const auto body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
     agg::RunConfig run_config = config;
-    run_config.seed = base_seed + r;
+    run_config.seed = ctx.seed;
+    run_config.control.cancel = ctx.cancel;
+    run_config.control.event_budget = ctx.event_budget;
     RunOutcome out;
     if (protocol == "tag") {
       auto run = agg::RunTag(run_config, *function, *field);
-      if (!run.ok()) {
-        out.error = run.status().ToString();
-        return out;
-      }
+      if (!run.ok()) return run.status();
       out.result = run->result;
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
@@ -186,10 +223,7 @@ int Main(int argc, char** argv) {
       smart.slice_range = ipda.slice_range;
       smart.encrypt_slices = ipda.encrypt_slices;
       auto run = agg::RunSmart(run_config, *function, *field, smart);
-      if (!run.ok()) {
-        out.error = run.status().ToString();
-        return out;
-      }
+      if (!run.ok()) return run.status();
       out.result = run->result;
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
@@ -198,21 +232,17 @@ int Main(int argc, char** argv) {
       agg::CpdaConfig cpda;
       cpda.encrypt_shares = ipda.encrypt_slices;
       auto run = agg::RunCpda(run_config, *function, *field, cpda);
-      if (!run.ok()) {
-        out.error = run.status().ToString();
-        return out;
-      }
+      if (!run.ok()) return run.status();
       out.result = run->result;
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
       out.bytes = run->traffic.bytes_sent;
     } else if (protocol == "kipda") {
       auto topology = agg::BuildRunTopology(run_config);
-      if (!topology.ok()) {
-        out.error = topology.status().ToString();
-        return out;
-      }
+      if (!topology.ok()) return topology.status();
       sim::Simulator simulator(run_config.seed);
+      simulator.scheduler().SetCancelToken(run_config.control.cancel);
+      simulator.scheduler().SetEventBudget(run_config.control.event_budget);
       net::Network network(&simulator, std::move(*topology));
       agg::KipdaConfig kipda;
       kipda.maximize = flags.GetString("function") == "max";
@@ -223,6 +253,9 @@ int Main(int argc, char** argv) {
       live.SetReadings(readings);
       live.Start();
       simulator.RunUntil(live.Duration());
+      if (simulator.scheduler().interrupted()) {
+        return util::UnavailableError("kipda run interrupted");
+      }
       out.result = live.FinalizedResult();
       out.truth = kipda.maximize ? kipda.value_floor : kipda.value_ceiling;
       for (size_t i = 1; i < readings.size(); ++i) {
@@ -233,10 +266,7 @@ int Main(int argc, char** argv) {
       out.bytes = network.counters().Totals().bytes_sent;
     } else {  // ipda
       auto run = agg::RunIpda(run_config, *function, *field, ipda);
-      if (!run.ok()) {
-        out.error = run.status().ToString();
-        return out;
-      }
+      if (!run.ok()) return run.status();
       out.result = run->result;
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
@@ -244,9 +274,33 @@ int Main(int argc, char** argv) {
       out.accepted = run->stats.decision.accepted;
       out.degraded = run->stats.degraded;
     }
-    out.ok = true;
-    return out;
-  });
+    // "%.17g" round-trips doubles exactly, so replayed runs print the
+    // same bytes a live run would.
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g,%llu,%d,%d",
+                  out.result, out.truth, out.accuracy,
+                  static_cast<unsigned long long>(out.bytes),
+                  out.accepted ? 1 : 0, out.degraded ? 1 : 0);
+    return std::string(buf);
+  };
+
+  auto swept = exp::RunResilientSweep(engine, {protocol}, runs, resilience,
+                                      body);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "%s\n", swept.status().ToString().c_str());
+    return 1;
+  }
+  const exp::ResilientReport& report = *swept;
+  if (report.drained) {
+    std::fprintf(stderr,
+                 "drained with %zu/%zu runs journaled; resume with: %s "
+                 "--resume %s\n",
+                 report.replayed + report.executed, report.runs.size(),
+                 argv[0],
+                 report.journal_path.empty() ? "<journal>"
+                                             : report.journal_path.c_str());
+    return util::kDrainExitCode;
+  }
 
   stats::Summary accuracy, bytes, result_summary;
   size_t accepted = 0;
@@ -254,18 +308,29 @@ int Main(int argc, char** argv) {
     std::printf("run,seed,result,truth,accuracy,accepted,degraded,bytes\n");
   }
   for (size_t r = 0; r < runs; ++r) {
-    const RunOutcome& out = outcomes[r];
-    if (!out.ok) {
-      std::fprintf(stderr, "run failed: %s\n", out.error.c_str());
-      return 1;
+    const exp::RunStatus& slot = report.runs[r];
+    RunOutcome out;
+    int out_accepted = 0;
+    int out_degraded = 0;
+    unsigned long long out_bytes = 0;
+    if (!slot.ok ||
+        std::sscanf(slot.payload.c_str(), "%lg,%lg,%lg,%llu,%d,%d",
+                    &out.result, &out.truth, &out.accuracy, &out_bytes,
+                    &out_accepted, &out_degraded) != 6) {
+      std::fprintf(stderr, "run %zu failed permanently (%u attempts): %s\n",
+                   r, slot.attempts, slot.payload.c_str());
+      continue;
     }
+    out.bytes = out_bytes;
+    out.accepted = out_accepted != 0;
+    out.degraded = out_degraded != 0;
     accuracy.Add(out.accuracy);
     bytes.Add(static_cast<double>(out.bytes));
     result_summary.Add(out.result);
     accepted += out.accepted ? 1 : 0;
     if (csv) {
       std::printf("%zu,%llu,%.6f,%.6f,%.6f,%d,%d,%llu\n", r,
-                  static_cast<unsigned long long>(base_seed + r),
+                  static_cast<unsigned long long>(slot.seed),
                   out.result, out.truth, out.accuracy,
                   out.accepted ? 1 : 0, out.degraded ? 1 : 0,
                   static_cast<unsigned long long>(out.bytes));
@@ -315,14 +380,15 @@ int Main(int argc, char** argv) {
     }
   }
   if (!csv) {
+    // FormatDegradedMeanCi prints the plain CI when every run survived;
+    // with permanent failures it widens the interval and appends
+    // " [n=<effective>/<requested>]".
     std::printf("\n%zu runs: accuracy %s, %zu accepted, mean %.1f bytes\n",
                 runs,
-                stats::FormatMeanCi(accuracy.mean(),
-                                    accuracy.ci95_halfwidth(), 4)
-                    .c_str(),
+                stats::FormatDegradedMeanCi(accuracy, runs, 4).c_str(),
                 accepted, bytes.mean());
   }
-  return 0;
+  return report.failed > 0 ? 1 : 0;
 }
 
 }  // namespace

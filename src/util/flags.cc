@@ -65,6 +65,12 @@ Status FlagSet::SetValue(const std::string& name, const std::string& value) {
     return InvalidArgumentError("unknown flag --" + name);
   }
   Flag& flag = it->second;
+  if (flag.set) {
+    // A repeated flag is almost always a copy-paste slip; last-one-wins
+    // would silently discard half the command line.
+    return InvalidArgumentError("duplicate flag --" + name +
+                                " (already set to '" + flag.value + "')");
+  }
   char* end = nullptr;
   switch (flag.type) {
     case Type::kString:
@@ -168,6 +174,24 @@ bool FlagSet::WasSet(const std::string& name) const {
   auto it = flags_.find(name);
   IPDA_CHECK(it != flags_.end());
   return it->second.set;
+}
+
+std::string FlagSet::Canonical(
+    const std::vector<std::string>& exclude) const {
+  std::string out;
+  for (const std::string& name : order_) {
+    bool skip = false;
+    for (const std::string& excluded : exclude) {
+      if (name == excluded) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    if (!out.empty()) out += ',';
+    out += name + "=" + flags_.at(name).value;
+  }
+  return out;
 }
 
 std::string FlagSet::Usage(const std::string& program) const {

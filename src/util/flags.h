@@ -2,7 +2,8 @@
 //
 // Supported forms: --key=value, --key value, --flag (bool true),
 // --no-flag (bool false). Unknown keys are an error so typos don't
-// silently fall back to defaults.
+// silently fall back to defaults, and a flag repeated on one command
+// line is an error so last-one-wins never hides half the invocation.
 
 #ifndef IPDA_UTIL_FLAGS_H_
 #define IPDA_UTIL_FLAGS_H_
@@ -43,6 +44,13 @@ class FlagSet {
 
   // True if the flag was explicitly set on the command line.
   bool WasSet(const std::string& name) const;
+
+  // Canonical "name=value,..." string of every flag (current values, in
+  // declaration order), minus the names in `exclude`. Sweep tools hash
+  // this into their run journal header so a --resume against a journal
+  // written under different settings is rejected instead of silently
+  // mixing configurations.
+  std::string Canonical(const std::vector<std::string>& exclude = {}) const;
 
   // Usage text listing every declared flag with default and help.
   std::string Usage(const std::string& program) const;

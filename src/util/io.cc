@@ -1,0 +1,114 @@
+#include "util/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace ipda::util {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+util::Result<AppendFile> AppendFile::Open(const std::string& path,
+                                          bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return UnavailableError(Errno("cannot open", path));
+  return AppendFile(fd, path);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::AppendLine(std::string_view line, bool sync) {
+  if (fd_ < 0) return FailedPreconditionError("append to closed file");
+  std::string buffer;
+  buffer.reserve(line.size() + 1);
+  buffer.append(line);
+  buffer.push_back('\n');
+  // O_APPEND makes each write land atomically at the current end even
+  // with concurrent writers; loop for EINTR and short writes anyway.
+  size_t written = 0;
+  while (written < buffer.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer.data() + written, buffer.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(Errno("write to", path_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync) return Sync();
+  return OkStatus();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return FailedPreconditionError("sync of closed file");
+  if (::fsync(fd_) != 0) {
+    return UnavailableError(Errno("fsync of", path_));
+  }
+  return OkStatus();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<std::string> ReadFileToString(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return UnavailableError(Errno("cannot open", path));
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = Errno("read of", path);
+      ::close(fd);
+      return UnavailableError(error);
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace ipda::util

@@ -1,0 +1,60 @@
+// Durable file primitives for the run journal: append-only line writes
+// with per-line fsync, plus whole-file reads.
+//
+// The journal's crash-tolerance contract leans on AppendLine: a record
+// either reaches the disk whole (write(2) of the full line, then fsync)
+// or is a torn tail the reader discards, so a sweep killed at any
+// instant loses at most the record in flight.
+
+#ifndef IPDA_UTIL_IO_H_
+#define IPDA_UTIL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::util {
+
+// Append-only file handle (created if missing; truncated only when a
+// caller starting a fresh journal asks for it).
+class AppendFile {
+ public:
+  static Result<AppendFile> Open(const std::string& path,
+                                 bool truncate = false);
+
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Writes `line` plus a trailing '\n' in one write call; when `sync`,
+  // fsyncs afterwards so the record survives power loss, not just
+  // process death.
+  Status AppendLine(std::string_view line, bool sync = true);
+
+  Status Sync();
+  void Close();
+
+ private:
+  AppendFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+Result<std::string> ReadFileToString(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+}  // namespace ipda::util
+
+#endif  // IPDA_UTIL_IO_H_

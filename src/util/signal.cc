@@ -1,0 +1,49 @@
+#include "util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace ipda::util {
+namespace {
+
+// 0 = not draining; a positive value is the triggering signal number;
+// -1 marks a programmatic RequestDrain().
+std::atomic<int> g_drain{0};
+
+void DrainHandler(int sig) {
+  int expected = 0;
+  if (!g_drain.compare_exchange_strong(expected, sig,
+                                       std::memory_order_relaxed)) {
+    // Second signal: the operator wants out now, not a drain.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+void InstallDrainHandler() {
+  std::signal(SIGINT, &DrainHandler);
+  std::signal(SIGTERM, &DrainHandler);
+}
+
+bool DrainRequested() {
+  return g_drain.load(std::memory_order_relaxed) != 0;
+}
+
+int DrainSignal() {
+  const int value = g_drain.load(std::memory_order_relaxed);
+  return value > 0 ? value : 0;
+}
+
+void RequestDrain() {
+  int expected = 0;
+  g_drain.compare_exchange_strong(expected, -1,
+                                  std::memory_order_relaxed);
+}
+
+void ResetDrainForTest() {
+  g_drain.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ipda::util

@@ -1,0 +1,40 @@
+// Graceful drain on SIGINT/SIGTERM.
+//
+// Long sweeps install the drain handler once at startup. The first
+// signal flips a process-wide flag that the experiment harness polls
+// between runs: no new run starts, in-flight runs finish (or are cut
+// down by their watchdog deadline), the journal is flushed, and the tool
+// prints a resume command line before exiting with kDrainExitCode. A
+// second signal restores the default disposition and re-raises it, so a
+// stuck drain can still be killed from the same terminal.
+
+#ifndef IPDA_UTIL_SIGNAL_H_
+#define IPDA_UTIL_SIGNAL_H_
+
+namespace ipda::util {
+
+// Installs the SIGINT/SIGTERM drain handler. Idempotent; the handler is
+// async-signal-safe (one lock-free atomic exchange).
+void InstallDrainHandler();
+
+// True once a drain was requested (signal or RequestDrain()).
+bool DrainRequested();
+
+// The signal number that triggered the drain; 0 when none arrived (not
+// draining, or the drain was programmatic).
+int DrainSignal();
+
+// Programmatic drain, for tests and in-process tooling.
+void RequestDrain();
+
+// Test-only: forget a previous drain so later cases start clean.
+void ResetDrainForTest();
+
+// Exit code for "sweep drained; journal is resumable" (EX_TEMPFAIL).
+// Scripts use it to distinguish a clean drain from success (0) and from
+// hard failure.
+inline constexpr int kDrainExitCode = 75;
+
+}  // namespace ipda::util
+
+#endif  // IPDA_UTIL_SIGNAL_H_

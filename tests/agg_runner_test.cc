@@ -118,5 +118,57 @@ TEST(Runner, IpdaSeedChangesOutcome) {
   EXPECT_NE(a->traffic.bytes_sent, b->traffic.bytes_sent);
 }
 
+TEST(Runner, EventBudgetTripsIntoUnavailable) {
+  // A budget far below what a round needs must surface as a clean
+  // Unavailable failure, never a half-aggregated result. The same
+  // config and seed trip at the same event on every machine, so this
+  // is the deterministic twin of the wall-clock watchdog.
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 21;
+  config.control.event_budget = 50;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  auto result = RunIpda(config, *function, *field);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("event budget"),
+            std::string::npos);
+  // Tag takes the same guard path through ApplyControl.
+  auto tag = RunTag(config, *function, *field);
+  ASSERT_FALSE(tag.ok());
+  EXPECT_EQ(tag.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(Runner, PreCancelledTokenAbortsBeforeAnyEvent) {
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 22;
+  sim::CancelToken token;
+  token.RequestCancel(sim::CancelReason::kDeadline);
+  config.control.cancel = &token;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  auto result = RunIpda(config, *function, *field);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("cancelled"),
+            std::string::npos);
+  // The reason travels into the message for watchdog diagnostics.
+  EXPECT_NE(result.status().message().find("deadline"),
+            std::string::npos);
+}
+
+TEST(Runner, DefaultControlRunsToCompletion) {
+  // Null token + zero budget is exactly the pre-guard behavior.
+  RunConfig config;
+  config.deployment.node_count = 100;
+  config.seed = 23;
+  auto function = MakeCount();
+  auto field = MakeConstantField(1.0);
+  auto result = RunIpda(config, *function, *field);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
 }  // namespace
 }  // namespace ipda::agg

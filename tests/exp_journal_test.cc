@@ -1,0 +1,349 @@
+// Run journal + resilient sweep executor: durability, corruption
+// tolerance, kill-and-resume byte-identity, retry/degradation policy.
+
+#include "exp/journal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/engine.h"
+#include "exp/resilient.h"
+#include "util/io.h"
+#include "util/signal.h"
+
+namespace ipda::exp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "exp_journal_test_" + name + ".jsonl";
+}
+
+JournalHeader TestHeader() {
+  JournalHeader header;
+  header.experiment = "journal_test";
+  header.config_hash = 0xDEADBEEF12345678ull;
+  header.sweep_seed = 42;
+  header.total_runs = 6;
+  return header;
+}
+
+TEST(JsonEscape, RoundTripsSpecials) {
+  const std::string nasty =
+      "plain \"quoted\" back\\slash\nnewline\ttab\rret \x01 ctrl";
+  const std::string escaped = JsonEscape(nasty);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\r'), std::string::npos);
+  auto decoded = JsonUnescape(escaped);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, nasty);
+}
+
+TEST(JsonEscape, UnescapeRejectsMalformed) {
+  EXPECT_FALSE(JsonUnescape("dangling\\").ok());
+  EXPECT_FALSE(JsonUnescape("bad\\q").ok());
+  EXPECT_FALSE(JsonUnescape("short\\u00").ok());
+  EXPECT_FALSE(JsonUnescape("hex\\u00zz").ok());
+}
+
+TEST(Journal, WriterReaderRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  {
+    auto writer = JournalWriter::Create(path, TestHeader());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(
+        writer->WriteRun({0, 111, 1, true, "payload \"zero\";1,2"}).ok());
+    ASSERT_TRUE(writer->WriteFailure({1, 0, 222, "hung: deadline"}).ok());
+    ASSERT_TRUE(writer->WriteRun({1, 333, 2, true, "payload one"}).ok());
+    ASSERT_TRUE(writer->WriteRun({2, 444, 3, false, "gave up"}).ok());
+  }
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->header.experiment, "journal_test");
+  EXPECT_EQ(journal->header.config_hash, TestHeader().config_hash);
+  EXPECT_EQ(journal->header.sweep_seed, 42u);
+  EXPECT_EQ(journal->header.total_runs, 6u);
+  EXPECT_EQ(journal->corrupt_lines, 0u);
+  ASSERT_EQ(journal->runs.size(), 3u);
+  EXPECT_EQ(journal->runs.at(0).payload, "payload \"zero\";1,2");
+  EXPECT_TRUE(journal->runs.at(0).ok);
+  EXPECT_EQ(journal->runs.at(1).seed, 333u);
+  EXPECT_EQ(journal->runs.at(1).attempts, 2u);
+  EXPECT_FALSE(journal->runs.at(2).ok);
+  EXPECT_EQ(journal->runs.at(2).payload, "gave up");
+  ASSERT_EQ(journal->failures.size(), 1u);
+  EXPECT_EQ(journal->failures[0].index, 1u);
+  EXPECT_EQ(journal->failures[0].reason, "hung: deadline");
+}
+
+TEST(Journal, ChecksumCorruptionIsSkippedAndCounted) {
+  const std::string path = TempPath("corrupt");
+  {
+    auto writer = JournalWriter::Create(path, TestHeader());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({0, 1, 1, true, "keep"}).ok());
+    ASSERT_TRUE(writer->WriteRun({1, 2, 1, true, "corrupt-me"}).ok());
+    ASSERT_TRUE(writer->WriteRun({2, 3, 1, true, "keep too"}).ok());
+  }
+  // Flip one payload byte of record 1 on disk; its crc no longer
+  // matches, so the reader must drop exactly that record.
+  auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  const size_t pos = contents->find("corrupt-me");
+  ASSERT_NE(pos, std::string::npos);
+  (*contents)[pos] = 'X';
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(contents->data(), 1, contents->size(), f);
+    std::fclose(f);
+  }
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->corrupt_lines, 1u);
+  EXPECT_EQ(journal->runs.size(), 2u);
+  EXPECT_TRUE(journal->runs.count(0));
+  EXPECT_FALSE(journal->runs.count(1));
+  EXPECT_TRUE(journal->runs.count(2));
+}
+
+TEST(Journal, TornTailIsTolerated) {
+  const std::string path = TempPath("torn");
+  {
+    auto writer = JournalWriter::Create(path, TestHeader());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({0, 1, 1, true, "whole"}).ok());
+  }
+  {
+    // Simulate a SIGKILL mid-write: half a record, no newline.
+    auto file = util::AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    // AppendLine always terminates, so write the torn bytes directly.
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"run\",\"index\":1,\"seed\":9", f);
+    std::fclose(f);
+  }
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->runs.size(), 1u);
+  EXPECT_EQ(journal->corrupt_lines, 1u);
+}
+
+TEST(Journal, MissingHeaderRejected) {
+  const std::string path = TempPath("headerless");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"run\",\"index\":0}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(JournalReader::Load(path).ok());
+  EXPECT_FALSE(JournalReader::Load(TempPath("nonexistent")).ok());
+}
+
+// --- Resilient sweep executor ----------------------------------------
+
+ResilientOptions BaseOptions(const std::string& journal) {
+  ResilientOptions options;
+  options.sweep_seed = 7;
+  options.journal_path = journal;
+  options.experiment = "journal_test";
+  options.config_digest = "journal_test|fixture=1";
+  options.drain_on_signal = false;
+  return options;
+}
+
+const std::vector<std::string> kLabels = {"p0", "p1", "p2"};
+constexpr size_t kRuns = 4;
+
+// Deterministic body: payload encodes identity, so replay mismatches
+// are visible.
+util::Result<std::string> OkBody(const AttemptContext& ctx) {
+  return "point=" + std::to_string(ctx.point) +
+         ",run=" + std::to_string(ctx.run) +
+         ",seed=" + std::to_string(ctx.seed);
+}
+
+std::vector<std::string> Payloads(const ResilientReport& report) {
+  std::vector<std::string> out;
+  for (const RunStatus& slot : report.runs) out.push_back(slot.payload);
+  return out;
+}
+
+TEST(ResilientSweep, DrainThenResumeIsByteIdentical) {
+  util::ResetDrainForTest();
+  const std::string path = TempPath("drain_resume");
+  Engine engine(1);  // Single worker: the drain point is deterministic.
+
+  // Uninterrupted reference.
+  auto clean =
+      RunResilientSweep(engine, kLabels, kRuns, BaseOptions(""), OkBody);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->runs.size(), kLabels.size() * kRuns);
+  EXPECT_EQ(clean->executed, clean->runs.size());
+
+  // Interrupted: request drain (as the signal handler would) after the
+  // fifth run completes.
+  ResilientOptions interrupted = BaseOptions(path);
+  interrupted.drain_on_signal = true;
+  size_t completed = 0;
+  auto draining_body =
+      [&](const AttemptContext& ctx) -> util::Result<std::string> {
+    if (++completed == 5) util::RequestDrain();
+    return OkBody(ctx);
+  };
+  auto partial =
+      RunResilientSweep(engine, kLabels, kRuns, interrupted, draining_body);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(partial->drained);
+  EXPECT_EQ(partial->executed, 5u);
+  EXPECT_EQ(partial->skipped, partial->runs.size() - 5);
+  util::ResetDrainForTest();
+
+  // Resume: replays the five journaled runs, executes the rest.
+  ResilientOptions resume = BaseOptions("");
+  resume.resume_path = path;
+  auto resumed = RunResilientSweep(engine, kLabels, kRuns, resume, OkBody);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(resumed->drained);
+  EXPECT_EQ(resumed->replayed, 5u);
+  EXPECT_EQ(resumed->executed, resumed->runs.size() - 5);
+  EXPECT_EQ(Payloads(*resumed), Payloads(*clean));
+}
+
+TEST(ResilientSweep, ResumeFromCompleteJournalReplaysEverything) {
+  util::ResetDrainForTest();
+  const std::string path = TempPath("full_replay");
+  Engine engine(2);
+  auto first = RunResilientSweep(engine, kLabels, kRuns, BaseOptions(path),
+                                 OkBody);
+  ASSERT_TRUE(first.ok());
+
+  ResilientOptions resume = BaseOptions("");
+  resume.resume_path = path;
+  size_t body_calls = 0;
+  auto counting_body =
+      [&](const AttemptContext& ctx) -> util::Result<std::string> {
+    ++body_calls;
+    return OkBody(ctx);
+  };
+  auto replayed =
+      RunResilientSweep(engine, kLabels, kRuns, resume, counting_body);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(body_calls, 0u);  // Pure replay; nothing re-simulated.
+  EXPECT_EQ(replayed->replayed, replayed->runs.size());
+  EXPECT_EQ(Payloads(*replayed), Payloads(*first));
+}
+
+TEST(ResilientSweep, HeaderMismatchIsRejected) {
+  util::ResetDrainForTest();
+  const std::string path = TempPath("mismatch");
+  Engine engine(1);
+  ASSERT_TRUE(RunResilientSweep(engine, kLabels, kRuns, BaseOptions(path),
+                                OkBody)
+                  .ok());
+
+  // Different flags → different digest → resume must refuse.
+  ResilientOptions resume = BaseOptions("");
+  resume.resume_path = path;
+  resume.config_digest = "journal_test|fixture=2";
+  auto swept = RunResilientSweep(engine, kLabels, kRuns, resume, OkBody);
+  ASSERT_FALSE(swept.ok());
+  EXPECT_EQ(swept.status().code(), util::StatusCode::kFailedPrecondition);
+
+  // A different grid shape is refused too.
+  ResilientOptions shape = BaseOptions("");
+  shape.resume_path = path;
+  EXPECT_FALSE(
+      RunResilientSweep(engine, kLabels, kRuns + 1, shape, OkBody).ok());
+}
+
+TEST(ResilientSweep, RetrySucceedsWithForkedSeed) {
+  util::ResetDrainForTest();
+  const std::string path = TempPath("retry");
+  Engine engine(1);
+  ResilientOptions options = BaseOptions(path);
+  options.max_retries = 2;
+  // (point 1, run 2) fails on its first attempt only.
+  auto flaky = [&](const AttemptContext& ctx) -> util::Result<std::string> {
+    if (ctx.point == 1 && ctx.run == 2 && ctx.attempt == 0) {
+      return util::UnavailableError("transient fault");
+    }
+    return OkBody(ctx);
+  };
+  auto report = RunResilientSweep(engine, kLabels, kRuns, options, flaky);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->failed, 0u);
+  const RunStatus& slot = report->runs[1 * kRuns + 2];
+  EXPECT_TRUE(slot.ok);
+  EXPECT_EQ(slot.attempts, 2u);
+  const uint64_t base = DeriveRunSeed(options.sweep_seed, kLabels[1], 2);
+  EXPECT_EQ(slot.seed, ForkAttemptSeed(base, 1));
+  EXPECT_NE(slot.seed, base);
+
+  // The journal keeps the informational attempt-0 failure AND the
+  // terminal success.
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_EQ(journal->failures.size(), 1u);
+  EXPECT_EQ(journal->failures[0].index, 1 * kRuns + 2);
+  EXPECT_EQ(journal->failures[0].attempt, 0u);
+  EXPECT_EQ(journal->failures[0].reason, "transient fault");
+  EXPECT_TRUE(journal->runs.at(1 * kRuns + 2).ok);
+}
+
+TEST(ResilientSweep, ExhaustedRetriesDegradeNotAbort) {
+  util::ResetDrainForTest();
+  const std::string path = TempPath("exhausted");
+  Engine engine(2);
+  ResilientOptions options = BaseOptions(path);
+  options.max_retries = 1;
+  auto doomed = [&](const AttemptContext& ctx) -> util::Result<std::string> {
+    if (ctx.point == 0 && ctx.run == 0) {
+      return util::UnavailableError("hopeless");
+    }
+    return OkBody(ctx);
+  };
+  auto report = RunResilientSweep(engine, kLabels, kRuns, options, doomed);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->failed, 1u);
+  EXPECT_EQ(report->executed, report->runs.size());
+  const RunStatus& slot = report->runs[0];
+  EXPECT_FALSE(slot.ok);
+  EXPECT_EQ(slot.attempts, 2u);  // 1 try + 1 retry.
+  EXPECT_EQ(slot.payload, "hopeless");
+  // Every other run completed: one bad point never aborts the grid.
+  for (size_t i = 1; i < report->runs.size(); ++i) {
+    EXPECT_TRUE(report->runs[i].ok) << i;
+  }
+  // The terminal failure is journaled, so a resume does NOT retry it.
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_FALSE(journal->runs.at(0).ok);
+  ResilientOptions resume = BaseOptions("");
+  resume.resume_path = path;
+  resume.max_retries = 1;
+  size_t calls = 0;
+  auto counting = [&](const AttemptContext& ctx) -> util::Result<std::string> {
+    ++calls;
+    return OkBody(ctx);
+  };
+  auto resumed = RunResilientSweep(engine, kLabels, kRuns, resume, counting);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_FALSE(resumed->runs[0].ok);
+  EXPECT_EQ(resumed->failed, 1u);
+}
+
+TEST(ResilientSweep, ForkAttemptSeedContract) {
+  EXPECT_EQ(ForkAttemptSeed(123, 0), 123u);  // Attempt 0 = unchanged.
+  EXPECT_NE(ForkAttemptSeed(123, 1), 123u);
+  EXPECT_NE(ForkAttemptSeed(123, 1), ForkAttemptSeed(123, 2));
+  EXPECT_EQ(ForkAttemptSeed(123, 1), ForkAttemptSeed(123, 1));
+}
+
+}  // namespace
+}  // namespace ipda::exp

@@ -179,6 +179,128 @@ TEST(FaultInjector, JitterDelaysButStillDelivers) {
   EXPECT_EQ(received, 1u);
 }
 
+// Ordering edge cases. The injector schedules exactly what the plan
+// says; the channel is what makes the combination meaningful. These
+// pin the observable semantics so a scheduler or channel refactor
+// can't silently reorder them.
+
+TEST(FaultInjector, RecoveryScheduledBeforeCrashLeavesNodeDead) {
+  // recover@0.3 fires on a node that is still alive (a harmless no-op
+  // on the channel), crash@0.6 then kills it for good. The plan is
+  // not sorted or paired up — events fire in their own time order.
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(23);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.recoveries.push_back({1, sim::SecondsF(0.3)});
+  plan.crashes.push_back({1, sim::SecondsF(0.6)});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t heard = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++heard; });
+  simulator.At(sim::SecondsF(1.0), [&] {
+    net::Packet p;
+    p.dst = net::kBroadcastId;
+    p.type = net::PacketType::kControl;
+    network.node(0).Send(p);
+  });
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(heard, 0u);  // Dead when the broadcast arrives.
+  EXPECT_EQ(injector.crashes_fired(), 1u);
+  EXPECT_EQ(injector.recoveries_fired(), 1u);
+  // The no-op recovery never touched the channel's counter.
+  EXPECT_EQ(network.counters().at(1).recoveries, 0u);
+}
+
+TEST(FaultInjector, DoubleCrashNeedsOnlyOneRecovery) {
+  // Two crashes of the same node both fire, but failure is a flag, not
+  // a ref-count: a single recovery afterwards brings the node back.
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(29);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.crashes.push_back({1, sim::SecondsF(0.3)});
+  plan.crashes.push_back({1, sim::SecondsF(0.6)});
+  plan.recoveries.push_back({1, sim::SecondsF(1.0)});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  std::vector<sim::SimTime> heard;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { heard.push_back(simulator.now()); });
+  for (double at : {0.8, 1.3}) {
+    simulator.At(sim::SecondsF(at), [&] {
+      net::Packet p;
+      p.dst = net::kBroadcastId;
+      p.type = net::PacketType::kControl;
+      network.node(0).Send(p);
+    });
+  }
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(injector.crashes_fired(), 2u);
+  EXPECT_EQ(injector.recoveries_fired(), 1u);
+  ASSERT_EQ(heard.size(), 1u);  // Deaf at 0.8, back for 1.3.
+  EXPECT_GT(heard[0], sim::SecondsF(1.0));
+  EXPECT_EQ(network.counters().at(1).recoveries, 1u);
+}
+
+TEST(FaultInjector, CrashAtTimeZeroSilencesNodeFromTheStart) {
+  // Node 2 sits on the other side of the base station, also in range:
+  // it proves the broadcast went out while the crashed node stayed deaf.
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {-40, 0}}, 50.0);
+  sim::Simulator simulator(31);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.crashes.push_back({1, sim::SimTime{0}});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t heard_1 = 0;
+  size_t heard_2 = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++heard_1; });
+  network.node(2).SetReceiveHandler(
+      [&](const net::Packet&) { ++heard_2; });
+  simulator.At(sim::SecondsF(0.2), [&] {
+    net::Packet p;
+    p.dst = net::kBroadcastId;
+    p.type = net::PacketType::kControl;
+    network.node(0).Send(p);
+  });
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(injector.crashes_fired(), 1u);
+  EXPECT_EQ(heard_1, 0u);  // Never alive to hear anything.
+  EXPECT_EQ(heard_2, 1u);  // The bystander still hears the broadcast.
+}
+
+TEST(FaultInjector, FaultBeyondTheRunDeadlineNeverFires) {
+  // A crash scheduled past RunUntil's horizon stays pending: the run
+  // ends with the node alive and crashes_fired() untouched, so sweep
+  // deadlines can't be blamed on faults that never actually happened.
+  auto topo = net::Topology::Build({{0, 0}, {40, 0}, {80, 0}}, 50.0);
+  sim::Simulator simulator(37);
+  net::Network network(&simulator, std::move(*topo));
+  fault::FaultPlan plan;
+  plan.crashes.push_back({1, sim::Seconds(5)});
+  fault::FaultInjector injector(&simulator, &network.channel(),
+                                network.size(), plan);
+  injector.Arm();
+  size_t heard = 0;
+  network.node(1).SetReceiveHandler(
+      [&](const net::Packet&) { ++heard; });
+  simulator.At(sim::SecondsF(1.0), [&] {
+    net::Packet p;
+    p.dst = net::kBroadcastId;
+    p.type = net::PacketType::kControl;
+    network.node(0).Send(p);
+  });
+  simulator.RunUntil(sim::Seconds(2));
+  EXPECT_EQ(injector.crashes_fired(), 0u);
+  EXPECT_EQ(heard, 1u);  // Alive for the whole observed window.
+}
+
 // The headline contract: re-running the same (seed, plan, config) must
 // reproduce the protocol outcome and every fault counter exactly.
 TEST(FaultInjector, SameSeedAndPlanReproduceTheRoundExactly) {

@@ -302,6 +302,86 @@ TEST(Scheduler, SteadyStateDispatchDoesNotAllocate) {
   EXPECT_EQ(hits, 256 * 101);
 }
 
+TEST(Scheduler, EventBudgetStopsInfiniteReschedule) {
+  // The deliberately-hung fixture: an event that always reschedules
+  // itself. Without a budget RunUntil would spin forever; the budget
+  // converts the hang into a clean interrupted return.
+  Scheduler sched;
+  sched.SetEventBudget(100);
+  uint64_t fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    sched.ScheduleAfter(Milliseconds(1), forever);
+  };
+  sched.ScheduleAt(Milliseconds(1), forever);
+  sched.RunUntil(Seconds(1000000));
+  EXPECT_EQ(fired, 100u);
+  EXPECT_TRUE(sched.interrupted());
+  EXPECT_EQ(sched.interrupt_cause(), Scheduler::InterruptCause::kEventBudget);
+}
+
+TEST(Scheduler, EventBudgetCapsLifetimeEvents) {
+  // The budget caps events_run() across calls, not per call: a second
+  // RunUntil after an exhausted budget runs nothing.
+  Scheduler sched;
+  sched.SetEventBudget(5);
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(Milliseconds(i + 1), [&] { ++ran; });
+  }
+  sched.RunUntil(Milliseconds(100));
+  EXPECT_EQ(ran, 5);
+  sched.RunUntil(Milliseconds(200));
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(sched.interrupt_cause(), Scheduler::InterruptCause::kEventBudget);
+}
+
+TEST(Scheduler, CancelTokenStopsRunMidFlight) {
+  Scheduler sched;
+  CancelToken token;
+  sched.SetCancelToken(&token);
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(Milliseconds(i + 1), [&] {
+      ++ran;
+      if (ran == 3) token.RequestCancel(CancelReason::kDeadline);
+    });
+  }
+  sched.RunUntil(Milliseconds(100));
+  EXPECT_EQ(ran, 3);
+  EXPECT_TRUE(sched.interrupted());
+  EXPECT_EQ(sched.interrupt_cause(), Scheduler::InterruptCause::kCancel);
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_EQ(sched.pending(), 7u);
+}
+
+TEST(Scheduler, InterruptCauseResetsOnNextRun) {
+  Scheduler sched;
+  CancelToken token;
+  sched.SetCancelToken(&token);
+  token.RequestCancel();
+  sched.ScheduleAt(Milliseconds(1), [] {});
+  sched.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(sched.interrupted());
+  token.Reset();
+  sched.RunUntil(Milliseconds(10));
+  EXPECT_FALSE(sched.interrupted());
+  EXPECT_EQ(sched.interrupt_cause(), Scheduler::InterruptCause::kNone);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(CancelTokenTest, FirstReasonWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  token.RequestCancel(CancelReason::kDrain);
+  token.RequestCancel(CancelReason::kDeadline);  // Too late; drain wins.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDrain);
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
 TEST(Simulator, ForkRngIsStableAcrossInstances) {
   Simulator a(99);
   Simulator b(99);

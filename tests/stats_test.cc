@@ -59,6 +59,37 @@ TEST(Summary, CiShrinksWithSamples) {
   EXPECT_NEAR(large.ci95_halfwidth(), 1.96 * 0.2887 / 100.0, 0.001);
 }
 
+TEST(Summary, DegradedCi95WidensWithLostRuns) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  // Nothing lost: the degraded CI is exactly the plain CI.
+  EXPECT_DOUBLE_EQ(DegradedCi95(s, 8), s.ci95_halfwidth());
+  // Also when MORE samples arrived than requested (retries can overshoot
+  // on resumed sweeps) — never narrower than the plain CI either.
+  EXPECT_DOUBLE_EQ(DegradedCi95(s, 4), s.ci95_halfwidth());
+  // Half the runs lost: the penalty is sqrt(requested/effective).
+  EXPECT_NEAR(DegradedCi95(s, 16), s.ci95_halfwidth() * std::sqrt(2.0),
+              1e-12);
+  // No survivors at all: report 0 (the point is failed, not precise).
+  Summary empty;
+  EXPECT_EQ(DegradedCi95(empty, 16), 0.0);
+}
+
+TEST(Summary, FormatDegradedMeanCiSuffix) {
+  Summary s;
+  for (double x : {0.94, 0.95, 0.96, 0.95}) s.Add(x);
+  // Full house: plain "mean±ci", no suffix.
+  const std::string full = FormatDegradedMeanCi(s, 4, 3);
+  EXPECT_EQ(full, FormatMeanCi(s.mean(), s.ci95_halfwidth(), 3));
+  EXPECT_EQ(full.find("[n="), std::string::npos);
+  // Degraded point: the widened interval plus an explicit n=eff/req tag
+  // so a reader can't mistake a gutted point for a healthy one.
+  const std::string degraded = FormatDegradedMeanCi(s, 8, 3);
+  EXPECT_NE(degraded.find(" [n=4/8]"), std::string::npos);
+  EXPECT_EQ(degraded.find(FormatMeanCi(s.mean(), DegradedCi95(s, 8), 3)),
+            0u);
+}
+
 TEST(Table, TextRenderingAligned) {
   Table t({"N", "degree"});
   t.AddRow({"200", "8.8"});

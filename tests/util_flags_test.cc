@@ -52,7 +52,7 @@ TEST(Flags, BareBoolAndNegation) {
   EXPECT_TRUE(flags.GetBool("fast"));
 
   FlagSet flags2 = MakeFlags();
-  ASSERT_TRUE(ParseArgs(flags2, {"--fast", "--no-fast"}).ok());
+  ASSERT_TRUE(ParseArgs(flags2, {"--no-fast"}).ok());
   EXPECT_FALSE(flags2.GetBool("fast"));
 }
 
@@ -89,10 +89,50 @@ TEST(Flags, PositionalArgumentRejected) {
   EXPECT_FALSE(ParseArgs(flags, {"positional"}).ok());
 }
 
-TEST(Flags, LastValueWins) {
+// A repeated flag is rejected outright (not last-one-wins): silently
+// dropping half the command line would let a mis-pasted sweep invocation
+// run — and journal — the wrong configuration.
+TEST(Flags, DuplicateFlagRejected) {
   FlagSet flags = MakeFlags();
-  ASSERT_TRUE(ParseArgs(flags, {"--count=1", "--count=2"}).ok());
-  EXPECT_EQ(flags.GetInt("count"), 2);
+  const Status status = ParseArgs(flags, {"--count=1", "--count=2"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate flag --count"),
+            std::string::npos);
+  // The error names the value already parsed, for a usable diagnostic.
+  EXPECT_NE(status.message().find("'1'"), std::string::npos);
+}
+
+TEST(Flags, DuplicateAcrossSyntaxFormsRejected) {
+  // --key value after --key=value is still the same flag twice.
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags, {"--count=1", "--count", "2"}).ok());
+
+  // Bool forms collide too: --fast then --no-fast (and vice versa).
+  FlagSet flags2 = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags2, {"--fast", "--no-fast"}).ok());
+  FlagSet flags3 = MakeFlags();
+  EXPECT_FALSE(ParseArgs(flags3, {"--no-fast", "--fast=true"}).ok());
+}
+
+TEST(Flags, UnknownNegatedFlagRejected) {
+  FlagSet flags = MakeFlags();
+  const Status status = ParseArgs(flags, {"--no-bogus"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Flags, CanonicalListsFlagsInDeclarationOrder) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=3", "--fast"}).ok());
+  EXPECT_EQ(flags.Canonical(),
+            "name=default,count=3,ratio=2.500000,fast=true");
+}
+
+TEST(Flags, CanonicalExcludesNamedFlags) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=3"}).ok());
+  EXPECT_EQ(flags.Canonical({"name", "ratio"}), "count=3,fast=false");
 }
 
 TEST(Flags, UsageListsAllFlagsWithDefaults) {

@@ -1,0 +1,122 @@
+// Durable append-file primitives and the drain-signal flag.
+
+#include "util/io.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/signal.h"
+
+namespace ipda::util {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "util_io_test_" + name + ".txt";
+}
+
+TEST(AppendFile, CreatesWritesAndReopens) {
+  const std::string path = TempPath("append");
+  {
+    auto file = AppendFile::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    EXPECT_TRUE(file->is_open());
+    EXPECT_EQ(file->path(), path);
+    ASSERT_TRUE(file->AppendLine("first").ok());
+    ASSERT_TRUE(file->AppendLine("second", /*sync=*/false).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  {
+    // Reopen without truncate: appends after the existing content.
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->AppendLine("third").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "first\nsecond\nthird\n");
+}
+
+TEST(AppendFile, TruncateStartsFresh) {
+  const std::string path = TempPath("truncate");
+  {
+    auto file = AppendFile::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->AppendLine("stale").ok());
+  }
+  {
+    auto file = AppendFile::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->AppendLine("fresh").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "fresh\n");
+}
+
+TEST(AppendFile, ClosedFileRejectsWrites) {
+  const std::string path = TempPath("closed");
+  auto file = AppendFile::Open(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  file->Close();
+  EXPECT_FALSE(file->is_open());
+  EXPECT_FALSE(file->AppendLine("nope").ok());
+  EXPECT_FALSE(file->Sync().ok());
+}
+
+TEST(AppendFile, MoveTransfersOwnership) {
+  const std::string path = TempPath("move");
+  auto file = AppendFile::Open(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  AppendFile moved = std::move(*file);
+  EXPECT_TRUE(moved.is_open());
+  ASSERT_TRUE(moved.AppendLine("via move").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "via move\n");
+}
+
+TEST(Io, ReadFileToStringMissingFileFails) {
+  EXPECT_FALSE(ReadFileToString(TempPath("missing")).ok());
+}
+
+TEST(Io, FileExists) {
+  const std::string path = TempPath("exists");
+  std::remove(path.c_str());  // A previous run may have left it behind.
+  EXPECT_FALSE(FileExists(path));
+  auto file = AppendFile::Open(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(FileExists(path));
+}
+
+TEST(DrainSignal, ProgrammaticRequestAndReset) {
+  ResetDrainForTest();
+  EXPECT_FALSE(DrainRequested());
+  EXPECT_EQ(DrainSignal(), 0);
+  RequestDrain();
+  EXPECT_TRUE(DrainRequested());
+  EXPECT_EQ(DrainSignal(), 0);  // Programmatic, not a signal.
+  RequestDrain();               // Idempotent.
+  EXPECT_TRUE(DrainRequested());
+  ResetDrainForTest();
+  EXPECT_FALSE(DrainRequested());
+}
+
+TEST(DrainSignal, FirstSigtermFlipsFlagWithoutKilling) {
+  ResetDrainForTest();
+  InstallDrainHandler();
+  // The first signal must be absorbed by the handler (this process
+  // visibly survives it) and recorded for the drain loop.
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(DrainRequested());
+  EXPECT_EQ(DrainSignal(), SIGTERM);
+  ResetDrainForTest();
+  // Re-arm for later cases: the handler stays installed, the flag is
+  // clean again.
+  EXPECT_FALSE(DrainRequested());
+}
+
+}  // namespace
+}  // namespace ipda::util
