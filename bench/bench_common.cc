@@ -26,11 +26,16 @@ size_t BenchJobs(int argc, const char* const* argv) {
   flags.DefineInt("jobs", default_jobs,
                   "worker threads for the experiment engine "
                   "(0 = all hardware threads)");
+  flags.DefineBool("help", false, "show usage");
   const util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
     std::exit(2);
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.Usage(argv[0]).c_str(), stdout);
+    std::exit(0);
   }
   return exp::ResolveJobs(flags.GetInt("jobs"));
 }
@@ -60,11 +65,16 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   flags.DefineInt("max-retries", 0,
                   "failed-run retries with a forked seed before the "
                   "point degrades");
+  flags.DefineBool("help", false, "show usage");
   const util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
     std::exit(2);
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.Usage(argv[0]).c_str(), stdout);
+    std::exit(0);
   }
   BenchOptions options;
   options.jobs = exp::ResolveJobs(flags.GetInt("jobs"));
@@ -74,7 +84,7 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   options.event_budget = static_cast<uint64_t>(flags.GetInt("event-budget"));
   options.max_retries = static_cast<uint32_t>(flags.GetInt("max-retries"));
   options.canonical =
-      flags.Canonical({"jobs", "journal", "resume", "run-deadline"});
+      flags.Canonical({"jobs", "journal", "resume", "run-deadline", "help"});
   return options;
 }
 

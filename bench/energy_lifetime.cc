@@ -6,14 +6,16 @@
 // per protocol under the first-order radio model and converts the hottest
 // node's draw into a battery-lifetime estimate.
 
-#include <algorithm>
 #include <cstdio>
 
 #include "agg/aggregate_function.h"
 #include "agg/kipda/kipda_protocol.h"
 #include "agg/reading.h"
+#include "agg/run_metrics.h"
 #include "agg/runner.h"
 #include "bench_common.h"
+#include "crypto/stats.h"
+#include "obs/metrics.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 
@@ -35,15 +37,14 @@ struct RunOutcome {
   EnergyOutcome tag, smart, cpda, kipda, ipda;
 };
 
-EnergyOutcome Price(const net::CounterBoard& per_node,
-                    sim::SimTime duration) {
+// Energy and round duration come straight off the run's metrics registry
+// (DESIGN.md §11): the same net.energy_* gauges a `--metrics` file
+// carries, so the bench and the metrics pipeline can never disagree.
+EnergyOutcome Price(const obs::Snapshot& metrics) {
   EnergyOutcome out;
-  out.total_j = per_node.Totals().TotalEnergyJ();
-  for (net::NodeId id = 0; id < per_node.node_count(); ++id) {
-    out.hottest_j = std::max(out.hottest_j,
-                             per_node.at(id).TotalEnergyJ());
-  }
-  out.duration_s = sim::ToSeconds(duration);
+  out.total_j = metrics.GaugeOr("net.energy_total_j", 0.0);
+  out.hottest_j = metrics.GaugeOr("net.energy_hottest_node_j", 0.0);
+  out.duration_s = metrics.GaugeOr("agg.round_duration_s", 0.0);
   return out;
 }
 
@@ -52,51 +53,33 @@ RunOutcome PriceAllProtocols(const agg::RunConfig& config) {
   auto field = agg::MakeConstantField(1.0);
   RunOutcome out;
 
-  // Per-node boards are inside the runs; re-derive via a direct run of
-  // each protocol so we can read CounterBoard before teardown.
   {
-    auto topology = agg::BuildRunTopology(config);
-    if (!topology.ok()) return out;
-    sim::Simulator simulator(config.seed);
-    net::Network network(&simulator, std::move(*topology));
-    agg::TagProtocol protocol(&network, function.get());
-    protocol.SetReadings(field->Sample(network.topology()));
-    protocol.Start();
-    simulator.RunUntil(protocol.Duration());
-    out.tag = Price(network.counters(), protocol.Duration());
+    auto run = agg::RunTag(config, *function, *field);
+    if (!run.ok()) return out;
+    out.tag = Price(run->metrics);
   }
   {
-    auto topology = agg::BuildRunTopology(config);
-    if (!topology.ok()) return out;
-    sim::Simulator simulator(config.seed);
-    net::Network network(&simulator, std::move(*topology));
     agg::SmartConfig smart;
     smart.slice_count = 3;
     smart.slice_range = 1.0;
-    agg::SmartProtocol protocol(&network, function.get(), smart);
-    protocol.SetReadings(field->Sample(network.topology()));
-    protocol.Start();
-    simulator.RunUntil(protocol.Duration());
-    out.smart = Price(network.counters(), protocol.Duration());
+    auto run = agg::RunSmart(config, *function, *field, smart);
+    if (!run.ok()) return out;
+    out.smart = Price(run->metrics);
   }
   {
-    auto topology = agg::BuildRunTopology(config);
-    if (!topology.ok()) return out;
-    sim::Simulator simulator(config.seed);
-    net::Network network(&simulator, std::move(*topology));
     agg::CpdaConfig cpda;
     cpda.coeff_range = 10.0;
-    agg::CpdaProtocol protocol(&network, function.get(), cpda);
-    protocol.SetReadings(field->Sample(network.topology()));
-    protocol.Start();
-    simulator.RunUntil(protocol.Duration());
-    protocol.Finish();
-    out.cpda = Price(network.counters(), protocol.Duration());
+    auto run = agg::RunCpda(config, *function, *field, cpda);
+    if (!run.ok()) return out;
+    out.cpda = Price(run->metrics);
   }
   {
+    // KIPDA has no Run* helper; drive it directly and collect the same
+    // way the helpers do.
     auto topology = agg::BuildRunTopology(config);
     if (!topology.ok()) return out;
     sim::Simulator simulator(config.seed);
+    const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
     net::Network network(&simulator, std::move(*topology));
     agg::KipdaConfig kipda;
     kipda.value_floor = 0.0;
@@ -105,20 +88,16 @@ RunOutcome PriceAllProtocols(const agg::RunConfig& config) {
     protocol.SetReadings(field->Sample(network.topology()));
     protocol.Start();
     simulator.RunUntil(protocol.Duration());
-    out.kipda = Price(network.counters(), protocol.Duration());
+    simulator.metrics().GetGauge("agg.round_duration_s")
+        ->Set(sim::ToSeconds(protocol.Duration()));
+    agg::CollectRunMetrics(simulator, network, crypto_base);
+    out.kipda = Price(obs::TakeSnapshot(simulator.metrics()));
   }
   {
-    auto topology = agg::BuildRunTopology(config);
-    if (!topology.ok()) return out;
-    sim::Simulator simulator(config.seed);
-    net::Network network(&simulator, std::move(*topology));
-    agg::IpdaProtocol protocol(&network, function.get(),
-                               PaperIpdaConfig(2));
-    protocol.SetReadings(field->Sample(network.topology()));
-    protocol.Start();
-    simulator.RunUntil(protocol.Duration());
-    protocol.Finish();
-    out.ipda = Price(network.counters(), protocol.Duration());
+    auto run =
+        agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
+    if (!run.ok()) return out;
+    out.ipda = Price(run->metrics);
   }
   out.ok = true;
   return out;

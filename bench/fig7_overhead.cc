@@ -40,31 +40,31 @@ int Run(int argc, char** argv) {
         auto field = agg::MakeConstantField(1.0);
 
         // Protocol traffic only: the paper's Fig. 4 message accounting
-        // excludes MAC acknowledgements.
-        auto protocol_frames = [](const net::NodeCounters& t) {
-          return static_cast<double>(t.frames_sent - t.ack_frames_sent);
-        };
-        auto protocol_bytes = [](const net::NodeCounters& t) {
-          return static_cast<double>(t.bytes_sent - t.ack_bytes_sent);
-        };
-
+        // excludes MAC acknowledgements. net.protocol_* are exactly that
+        // (counted minus the ACK subset at collection, DESIGN.md §11), so
+        // the bench reads the same registry `--metrics` files expose —
+        // the two surfaces reconcile by construction.
         RunOutcome out;
         auto tag = agg::RunTag(config, *function, *field);
         if (!tag.ok()) return out;
-        out.tag_bytes = protocol_bytes(tag->traffic);
-        out.tag_msgs = protocol_frames(tag->traffic);
+        out.tag_bytes = tag->metrics.CounterOr("net.protocol_bytes", 0.0);
+        out.tag_msgs = tag->metrics.CounterOr("net.protocol_frames", 0.0);
 
         auto ipda1 =
             agg::RunIpda(config, *function, *field, PaperIpdaConfig(1));
         if (!ipda1.ok()) return out;
-        out.ipda1_bytes = protocol_bytes(ipda1->traffic);
-        out.ipda1_msgs = protocol_frames(ipda1->traffic);
+        out.ipda1_bytes =
+            ipda1->metrics.CounterOr("net.protocol_bytes", 0.0);
+        out.ipda1_msgs =
+            ipda1->metrics.CounterOr("net.protocol_frames", 0.0);
 
         auto ipda2 =
             agg::RunIpda(config, *function, *field, PaperIpdaConfig(2));
         if (!ipda2.ok()) return out;
-        out.ipda2_bytes = protocol_bytes(ipda2->traffic);
-        out.ipda2_msgs = protocol_frames(ipda2->traffic);
+        out.ipda2_bytes =
+            ipda2->metrics.CounterOr("net.protocol_bytes", 0.0);
+        out.ipda2_msgs =
+            ipda2->metrics.CounterOr("net.protocol_frames", 0.0);
         out.ok = true;
         return out;
       });

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Doc-lint: keep the flag documentation honest.
+#
+# Extracts every `--flag` token mentioned in README.md and EXPERIMENTS.md
+# and diffs the set against the union of the live `--help` output of
+# ipda_sim, metrics_report, and every bench binary. Fails on
+#   * phantom flags  — documented but absent from every binary's --help
+#   * undocumented flags — live in some --help but never mentioned in docs
+#
+# Usage: scripts/check_doc_flags.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+DOCS=(README.md EXPERIMENTS.md)
+
+# Flags owned by tools outside this repo that the docs legitimately
+# mention (ctest/cmake/gtest/google-benchmark command lines).
+IGNORE_RE='^--(gtest[a-z_-]*|benchmark[a-z_-]*|build|test-dir|output-on-failure|label-regex|parallel|rerun-failed|version)$'
+
+binaries=()
+for bin in "$BUILD_DIR"/src/ipda_sim "$BUILD_DIR"/src/metrics_report \
+           "$BUILD_DIR"/bench/*; do
+  [[ -f "$bin" && -x "$bin" ]] || continue
+  # micro_benchmarks is a google-benchmark binary with its own flag
+  # namespace; everything else prints the util::FlagSet usage format.
+  [[ "$(basename "$bin")" == micro_benchmarks ]] && continue
+  binaries+=("$bin")
+done
+if [[ ${#binaries[@]} -eq 0 ]]; then
+  echo "check_doc_flags: no binaries under '$BUILD_DIR' — build first" >&2
+  exit 2
+fi
+
+# util::FlagSet usage lines look like:  `  --name (type, default ...): ...`
+live_flags="$(
+  for bin in "${binaries[@]}"; do
+    "$bin" --help
+  done | grep -oE '^[[:space:]]+--[a-z][a-z0-9-]+ \(' |
+    grep -oE -- '--[a-z][a-z0-9-]+' | sort -u
+)"
+
+doc_flags="$(
+  grep -ohE -- '--[a-z][a-z0-9_-]+' "${DOCS[@]}" | sort -u |
+    grep -vE "$IGNORE_RE" || true
+)"
+
+phantom="$(comm -23 <(echo "$doc_flags") <(echo "$live_flags"))"
+undocumented="$(comm -13 <(echo "$doc_flags") <(echo "$live_flags"))"
+
+status=0
+if [[ -n "$phantom" ]]; then
+  echo "PHANTOM flags (documented in ${DOCS[*]} but not in any --help):"
+  echo "$phantom" | sed 's/^/  /'
+  status=1
+fi
+if [[ -n "$undocumented" ]]; then
+  echo "UNDOCUMENTED flags (in a --help but never mentioned in ${DOCS[*]}):"
+  echo "$undocumented" | sed 's/^/  /'
+  status=1
+fi
+if [[ $status -eq 0 ]]; then
+  echo "check_doc_flags: OK ($(echo "$live_flags" | wc -l) flags documented)"
+fi
+exit $status

@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "agg/run_metrics.h"
+#include "crypto/stats.h"
 #include "fault/fault_injector.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -51,6 +53,24 @@ void ApplyControl(const RunConfig& config, sim::Simulator& simulator) {
   simulator.scheduler().SetEventBudget(config.control.event_budget);
 }
 
+// Collects the generic cross-layer metrics and freezes the registry into
+// the result's snapshot. Shared verbatim by every Run* helper so all
+// protocols expose the same sim/net/crypto/pool instrument set.
+// `round_duration` is the protocol's nominal schedule length (what the
+// run's RunUntil used as its deadline), published as agg.round_duration_s
+// for the energy bench's idle-listening pricing.
+obs::Snapshot FinishMetrics(
+    sim::Simulator& simulator, const net::Network& network,
+    const crypto::CryptoStats& crypto_base,
+    const std::optional<fault::FaultInjector>& injector,
+    sim::SimTime round_duration) {
+  simulator.metrics().GetGauge("agg.round_duration_s")
+      ->Set(sim::ToSeconds(round_duration));
+  CollectRunMetrics(simulator, network, crypto_base,
+                    injector.has_value() ? &*injector : nullptr);
+  return obs::TakeSnapshot(simulator.metrics(), &simulator.trace());
+}
+
 // Non-OK when the run's RunUntil stopped early on a tripped guard; the
 // protocol's state is consistent but the round is incomplete, so the
 // caller must get a failure, never a half-aggregated result.
@@ -95,6 +115,7 @@ util::Result<TagRunResult> RunTag(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   ApplyControl(config, simulator);
+  const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   TagProtocol protocol(&network, &function, tag_config);
@@ -110,6 +131,8 @@ util::Result<TagRunResult> RunTag(const RunConfig& config,
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
+  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
+                                 protocol.Duration());
   result.average_degree = network.topology().AverageDegree();
   result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
   result.result = protocol.FinalizedResult();
@@ -123,6 +146,7 @@ util::Result<SmartRunResult> RunSmart(
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   ApplyControl(config, simulator);
+  const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   SmartProtocol protocol(&network, &function, smart_config);
@@ -139,6 +163,8 @@ util::Result<SmartRunResult> RunSmart(
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
+  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
+                                 protocol.Duration());
   result.average_degree = network.topology().AverageDegree();
   result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
   result.result = protocol.FinalizedResult();
@@ -152,6 +178,7 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   ApplyControl(config, simulator);
+  const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   CpdaProtocol protocol(&network, &function, cpda_config);
@@ -168,6 +195,8 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
+  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
+                                 protocol.Duration());
   result.average_degree = network.topology().AverageDegree();
   result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
   result.result = protocol.FinalizedResult();
@@ -182,6 +211,7 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   IPDA_ASSIGN_OR_RETURN(net::Topology topology, BuildRunTopology(config));
   sim::Simulator simulator(config.seed);
   ApplyControl(config, simulator);
+  const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
   net::Network network(&simulator, std::move(topology), config.phy,
                        RunMacConfig(config));
   IpdaProtocol protocol(&network, &function, ipda_config);
@@ -201,6 +231,9 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
+  CollectIpdaMetrics(simulator, result.stats, protocol.config());
+  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
+                                 protocol.Duration());
   result.average_degree = network.topology().AverageDegree();
   result.accuracy_red =
       AccuracyRatio(result.stats.decision.acc_red, result.true_acc);

@@ -15,6 +15,7 @@
 #include "agg/tag/tag_protocol.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/cancel.h"
 #include "util/result.h"
 
@@ -59,6 +60,7 @@ struct TagRunResult {
   TagStats stats;
   Vector true_acc;            // Ground-truth total over all sensors.
   net::NodeCounters traffic;  // Network-wide totals.
+  obs::Snapshot metrics;      // Full registry snapshot (DESIGN.md §11).
   double average_degree = 0.0;
   double accuracy = 0.0;
   double result = 0.0;        // Finalized base-station answer.
@@ -73,6 +75,7 @@ struct SmartRunResult {
   SmartStats stats;
   Vector true_acc;
   net::NodeCounters traffic;
+  obs::Snapshot metrics;
   double average_degree = 0.0;
   double accuracy = 0.0;
   double result = 0.0;
@@ -88,6 +91,7 @@ struct CpdaRunResult {
   CpdaStats stats;
   Vector true_acc;
   net::NodeCounters traffic;
+  obs::Snapshot metrics;
   double average_degree = 0.0;
   double accuracy = 0.0;
   double result = 0.0;
@@ -103,6 +107,7 @@ struct IpdaRunResult {
   IpdaStats stats;
   Vector true_acc;
   net::NodeCounters traffic;
+  obs::Snapshot metrics;  // Includes the round's phase spans.
   double average_degree = 0.0;
   double accuracy_red = 0.0;   // Red-tree total vs truth.
   double accuracy_blue = 0.0;  // Blue-tree total vs truth.

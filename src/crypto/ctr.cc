@@ -4,9 +4,12 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/stats.h"
+
 namespace ipda::crypto {
 
 void CtrCrypt(const Key128& key, uint64_t nonce, util::Bytes& data) {
+  ThreadCryptoStats().ctr_blocks_scalar += (data.size() + 7) / 8;
   uint64_t counter = 0;
   size_t offset = 0;
   while (offset < data.size()) {
@@ -31,6 +34,7 @@ void CtrKeystream(const XteaSchedule& sched, uint64_t nonce,
 
 void CtrCrypt(const XteaSchedule& sched, uint64_t nonce, uint8_t* data,
               size_t size) {
+  ThreadCryptoStats().ctr_blocks_batched += (size + 7) / 8;
   // Chunked so the keystream stays in L1 whatever the payload size.
   constexpr size_t kChunkBlocks = 32;
   uint64_t ks[kChunkBlocks];

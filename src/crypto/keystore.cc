@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/ctr.h"
+#include "crypto/stats.h"
 #include "util/random.h"
 
 namespace ipda::crypto {
@@ -110,11 +111,13 @@ util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
   uint64_t nonce;
   const int slot = keystore_.FindSlot(peer);
   if (slot >= 0) {
+    ++ThreadCryptoStats().keystore_dense_hits;
     const uint64_t counter = send_counters_.NextDense(slot);
     nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
     CtrCrypt(keystore_.slot_schedule(slot), nonce, plaintext);
   } else {
     IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+    ++ThreadCryptoStats().keystore_dynamic_hits;
     const uint64_t counter = send_counters_.NextDynamic(peer);
     nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
     CtrCrypt(XteaSchedule(key), nonce, plaintext);
@@ -136,9 +139,11 @@ util::Result<util::Bytes> LinkCrypto::Open(PeerId peer,
   util::Bytes body(wire.begin() + kSealOverheadBytes, wire.end());
   const int slot = keystore_.FindSlot(peer);
   if (slot >= 0) {
+    ++ThreadCryptoStats().keystore_dense_hits;
     CtrCrypt(keystore_.slot_schedule(slot), nonce, body);
   } else {
     IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
+    ++ThreadCryptoStats().keystore_dynamic_hits;
     CtrCrypt(XteaSchedule(key), nonce, body);
   }
   return body;

@@ -12,6 +12,7 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   frames_collided += other.frames_collided;
   frames_missed_tx += other.frames_missed_tx;
   mac_drops += other.mac_drops;
+  arq_retries += other.arq_retries;
   injected_drops += other.injected_drops;
   injected_dup += other.injected_dup;
   recoveries += other.recoveries;

@@ -23,6 +23,7 @@ struct NodeCounters {
   uint64_t frames_collided = 0;    // Corrupted at this receiver.
   uint64_t frames_missed_tx = 0;   // Lost because receiver was transmitting.
   uint64_t mac_drops = 0;          // Gave up after max CSMA attempts.
+  uint64_t arq_retries = 0;        // ACK-timeout retransmissions attempted.
   uint64_t injected_drops = 0;     // Vanished by fault-injected link loss.
   uint64_t injected_dup = 0;       // Extra copies from fault-injected dup.
   uint64_t recoveries = 0;         // Times this node came back from a crash.

@@ -162,6 +162,7 @@ void CsmaMac::OnAckTimeout(uint64_t seq) {
     DropHead();
     return;
   }
+  counters_->at(id_).arq_retries += 1;
   // Contend again with a grown window.
   window_ = std::min(
       static_cast<sim::SimTime>(static_cast<double>(window_) *

@@ -1,0 +1,195 @@
+// Metrics registry: the uniform resource-accounting surface of a run.
+//
+// Every paper claim this repo reproduces is ultimately a resource claim —
+// messages per round, bytes on air, collisions, energy — and the engine
+// internals (flat scheduler, pools, batched CTR) expose their health
+// through counters of the same shape. This registry gives both one home:
+// instruments are registered once at Start(), sampled on hot paths as a
+// plain u64/double store through a held pointer (no lookup, no lock, no
+// allocation), and serialized to a stable JSONL snapshot only when a
+// caller asks for one.
+//
+// Determinism contract (DESIGN.md §11): instruments never read the wall
+// clock, never allocate on sample, and never feed back into simulation
+// decisions, so a run with metrics collection enabled is event-for-event
+// identical to one without. Snapshots sort instruments by name, so two
+// registries populated in different orders serialize byte-identically.
+//
+// The library is zero-dependency below the simulator: sim, net, crypto,
+// and agg all link it without cycles.
+
+#ifndef IPDA_OBS_METRICS_H_
+#define IPDA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace ipda::obs {
+
+// Monotonic event count. Hot paths hold the pointer returned by
+// Registry::GetCounter and bump it inline; pull-model collectors that
+// mirror an externally accumulated total call Set once per snapshot
+// (idempotent, so re-collection never double-counts).
+class Counter {
+ public:
+  void Inc() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  void Set(uint64_t v) { value_ = v; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level: capacities, high-water marks, ratios, 0/1 flags.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  // High-water helper: keeps the maximum of all observations.
+  void SetMax(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram. Bucket i counts observations with
+// value <= bounds[i]; one implicit overflow bucket catches the rest.
+// Bounds are frozen at registration, so Observe() touches no allocator.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+      IPDA_CHECK(bounds_[i - 1] < bounds_[i]);
+    }
+  }
+
+  void Observe(double v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow last).
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Owns the instruments of one run. Registration is by name and idempotent
+// (the same name returns the same cell), so components can register at
+// Start() without coordinating; instrument pointers stay stable for the
+// registry's lifetime. Single-threaded by design, matching the
+// shared-nothing run model — parallel sweeps hold one registry per run.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // Re-registering an existing histogram ignores `bounds` and returns the
+  // original cell (bounds are part of the instrument's identity).
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Iteration for snapshots (sorted by name — std::map order).
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges()
+      const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
+ private:
+  // unique_ptr cells so instrument pointers survive rebalancing.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Value-type copy of a registry (plus optional trace spans) at one
+// instant. Instruments are sorted by name; spans keep recorded order.
+// This is what run results carry and what the JSONL emitter serializes.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+  std::vector<SpanData> spans;
+
+  // Lookup helpers for benches and tests; `fallback` when absent.
+  double CounterOr(std::string_view name, double fallback) const;
+  double GaugeOr(std::string_view name, double fallback) const;
+};
+
+Snapshot TakeSnapshot(const Registry& registry, const Trace* trace = nullptr);
+
+// The inner JSON fields of one snapshot —
+//   "counters":{...},"gauges":{...},"histograms":{...},"spans":[...]
+// — without the surrounding braces, so callers can splice run metadata
+// into the same object. Deterministic byte-for-byte: keys sorted, doubles
+// round-tripped with %.17g.
+std::string SnapshotJsonFields(const Snapshot& snapshot);
+
+// One self-contained JSONL line: {"kind":"run_metrics","run":R,"seed":S,
+// <fields>}\n. This is the per-run record format of `--metrics` files.
+std::string SnapshotJsonLine(const Snapshot& snapshot, uint64_t run,
+                             uint64_t seed);
+
+// Header line pinning a metrics file to its producing sweep, mirroring
+// the run journal's header discipline (exp/journal.h).
+std::string MetricsHeaderLine(std::string_view experiment, uint64_t runs,
+                              uint64_t seed);
+
+// Parses one line previously produced by SnapshotJsonLine /
+// MetricsHeaderLine. Only the subset of JSON those emitters produce is
+// accepted; anything else reports the offending offset.
+struct ParsedLine {
+  std::string kind;      // "metrics_header" or "run_metrics".
+  std::string experiment;  // Header lines only.
+  uint64_t run = 0;
+  uint64_t seed = 0;
+  uint64_t runs = 0;  // Header lines only.
+  Snapshot snapshot;  // Run lines only.
+};
+bool ParseMetricsLine(std::string_view line, ParsedLine& out,
+                      std::string* error);
+
+}  // namespace ipda::obs
+
+#endif  // IPDA_OBS_METRICS_H_

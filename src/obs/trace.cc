@@ -1,0 +1,14 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::obs {
+
+void Trace::Span(std::string name, int64_t begin_ns, int64_t end_ns) {
+  IPDA_CHECK_GE(end_ns, begin_ns);
+  spans_.push_back(SpanData{std::move(name), begin_ns, end_ns});
+}
+
+}  // namespace ipda::obs

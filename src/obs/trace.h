@@ -1,0 +1,46 @@
+// Round/phase trace spans with deterministic sim-time timestamps.
+//
+// A span names one contiguous stretch of a run on the simulation clock —
+// query dissemination, slicing, assembly, per-tree aggregation,
+// verification. Timestamps are the int64 nanoseconds of sim/time.h
+// (passed in as plain integers so obs stays below sim in the layering);
+// the wall clock never appears, which is what keeps traces byte-identical
+// across machines and --jobs values.
+//
+// Spans are recorded in call order by single-threaded run code, so the
+// serialized order is itself deterministic and no sorting is needed.
+
+#ifndef IPDA_OBS_TRACE_H_
+#define IPDA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipda::obs {
+
+struct SpanData {
+  std::string name;
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Records a completed span. `end_ns` must not precede `begin_ns`.
+  void Span(std::string name, int64_t begin_ns, int64_t end_ns);
+
+  const std::vector<SpanData>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+ private:
+  std::vector<SpanData> spans_;
+};
+
+}  // namespace ipda::obs
+
+#endif  // IPDA_OBS_TRACE_H_

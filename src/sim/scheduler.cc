@@ -93,10 +93,14 @@ void Scheduler::PopTop() {
 }
 
 void Scheduler::DropStaleHead() {
-  while (!heap_.empty() && !EntryLive(heap_.front())) PopTop();
+  while (!heap_.empty() && !EntryLive(heap_.front())) {
+    PopTop();
+    ++stale_skips_;
+  }
 }
 
 void Scheduler::PruneStale() {
+  ++prune_passes_;
   size_t out = 0;
   for (const HeapEntry& e : heap_) {
     if (EntryLive(e)) heap_[out++] = e;

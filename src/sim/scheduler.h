@@ -104,9 +104,15 @@ class Scheduler {
   // at least half the heap.
   size_t cancelled_pending() const { return heap_.size() - live_; }
   uint64_t events_run() const { return events_run_; }
+  // Stale (cancelled) heap entries recognized and dropped at pop time.
+  uint64_t stale_skips() const { return stale_skips_; }
+  // Linear PruneStale() passes triggered by cancel-heavy churn.
+  uint64_t prune_passes() const { return prune_passes_; }
 
-  // Capacity snapshot for the zero-allocation steady-state assertion: once
-  // warmed up, schedule/cancel/dispatch churn must leave every field flat.
+  // DEPRECATED shim: these numbers now live in the metrics registry
+  // (sim.sched_* gauges/counters filled by Simulator::CollectKernelMetrics,
+  // DESIGN.md §11). Kept so pre-registry callers keep compiling; both
+  // surfaces read the same fields, so they can never disagree.
   struct AllocStats {
     size_t heap_capacity = 0;       // Flat heap vector capacity.
     size_t slot_capacity = 0;       // Closure slot array capacity.
@@ -170,6 +176,8 @@ class Scheduler {
   SimTime now_ = kSimTimeZero;
   uint64_t next_seq_ = 0;
   uint64_t events_run_ = 0;
+  uint64_t stale_skips_ = 0;
+  uint64_t prune_passes_ = 0;
   const CancelToken* cancel_ = nullptr;
   uint64_t event_budget_ = 0;  // 0 = unlimited.
   InterruptCause interrupt_cause_ = InterruptCause::kNone;

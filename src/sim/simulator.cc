@@ -12,4 +12,31 @@ util::Rng Simulator::ForkRng(std::string_view label, uint64_t index) const {
   return root_rng_.Fork(label).Fork(index);
 }
 
+void Simulator::CollectKernelMetrics() {
+  metrics_.GetCounter("sim.events_run")->Set(scheduler_.events_run());
+  metrics_.GetCounter("sim.sched_stale_skips")->Set(scheduler_.stale_skips());
+  metrics_.GetCounter("sim.sched_prunes")->Set(scheduler_.prune_passes());
+  metrics_.GetGauge("sim.sched_cancelled_pending")
+      ->Set(static_cast<double>(scheduler_.cancelled_pending()));
+
+  const Scheduler::AllocStats alloc = scheduler_.alloc_stats();
+  metrics_.GetGauge("sim.sched_heap_capacity")
+      ->Set(static_cast<double>(alloc.heap_capacity));
+  metrics_.GetGauge("sim.sched_slot_capacity")
+      ->Set(static_cast<double>(alloc.slot_capacity));
+  metrics_.GetGauge("sim.sched_overflow_slabs")
+      ->Set(static_cast<double>(alloc.overflow_slabs));
+  // Process-global (thread-local in practice: one run per worker thread).
+  metrics_.GetCounter("sim.callback_heap_fallbacks")
+      ->Set(alloc.callback_heap_fallbacks);
+
+  metrics_.GetCounter("pool.arena_allocs")->Set(arena_.alloc_count());
+  metrics_.GetGauge("pool.arena_high_water")
+      ->Set(static_cast<double>(arena_.high_water()));
+  metrics_.GetGauge("pool.arena_slabs")
+      ->Set(static_cast<double>(arena_.slab_count()));
+  metrics_.GetGauge("pool.arena_live_blocks")
+      ->Set(static_cast<double>(arena_.live_blocks()));
+}
+
 }  // namespace ipda::sim

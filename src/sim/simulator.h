@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
 #include "util/pool.h"
@@ -40,6 +42,20 @@ class Simulator {
   // still holding arena blocks at teardown release them into a live pool.
   util::BytePool& arena() { return arena_; }
 
+  // Per-run metrics registry and trace span log (DESIGN.md §11).
+  // Components register instruments once at their Start() and sample them
+  // through held pointers; nothing here feeds back into the simulation.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Trace& trace() { return trace_; }
+  const obs::Trace& trace() const { return trace_; }
+
+  // Pulls kernel-level health into the registry: scheduler dispatch and
+  // cancellation counters, heap/slot capacities (the PR-3 zero-alloc
+  // referee, ex Scheduler::alloc_stats), and arena pool stats. Idempotent;
+  // call before taking a snapshot.
+  void CollectKernelMetrics();
+
   // Convenience passthroughs. Templated so lambdas reach the scheduler's
   // small-buffer Callback directly, never boxed through std::function.
   template <typename F>
@@ -56,6 +72,8 @@ class Simulator {
  private:
   uint64_t seed_;
   util::Rng root_rng_;
+  obs::Registry metrics_;
+  obs::Trace trace_;
   util::BytePool arena_;  // Must be declared before (destroyed after)
   Scheduler scheduler_;   // the scheduler and its pending closures.
 };

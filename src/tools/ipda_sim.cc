@@ -17,10 +17,13 @@
 #include "agg/export.h"
 #include "agg/kipda/kipda_protocol.h"
 #include "agg/reading.h"
+#include "agg/run_metrics.h"
 #include "agg/runner.h"
+#include "crypto/stats.h"
 #include "exp/engine.h"
 #include "exp/resilient.h"
 #include "fault/fault_plan.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -88,6 +91,9 @@ int Main(int argc, char** argv) {
                   "failed-run retries with a forked seed before the run "
                   "is recorded as a permanent failure");
   flags.DefineBool("csv", false, "machine-readable output");
+  flags.DefineString("metrics", "",
+                     "write per-run metrics snapshots (counters, gauges, "
+                     "histograms, phase spans) as JSONL; see EXPERIMENTS.md");
   flags.DefineString("dot-out", "",
                      "write the constructed trees as Graphviz DOT "
                      "(ipda, first run only)");
@@ -184,6 +190,15 @@ int Main(int argc, char** argv) {
   util::InstallDrainHandler();
   exp::Engine engine(exp::ResolveJobs(flags.GetInt("jobs")));
 
+  // Per-run metrics side channel. Each body writes only its own slot
+  // (shared-nothing, like the payloads), and the ordered emission below
+  // joins them after the sweep — so the file's bytes are identical for
+  // any --jobs value. Runs replayed from a resume journal never execute
+  // a body and leave their slot empty; the header's run count lets a
+  // reader detect the gap.
+  const std::string metrics_path = flags.GetString("metrics");
+  std::vector<std::string> metrics_lines(runs);
+
   exp::ResilientOptions resilience;
   resilience.sweep_seed = base_seed;
   resilience.event_budget =
@@ -197,7 +212,8 @@ int Main(int argc, char** argv) {
   // output-shape flags stay out so e.g. --jobs may differ across resume.
   resilience.config_digest = "ipda_sim|" + flags.Canonical({
                                  "jobs", "journal", "resume", "run-deadline",
-                                 "csv", "dot-out", "roles-out", "help"});
+                                 "csv", "dot-out", "roles-out", "metrics",
+                                 "help"});
   resilience.base_seed_fn = [base_seed](size_t, size_t r) {
     return base_seed + r;
   };
@@ -209,6 +225,12 @@ int Main(int argc, char** argv) {
     run_config.control.cancel = ctx.cancel;
     run_config.control.event_budget = ctx.event_budget;
     RunOutcome out;
+    // Stashes the run's registry snapshot in its side-channel slot.
+    const auto stash_metrics = [&](const obs::Snapshot& snapshot) {
+      if (metrics_path.empty()) return;
+      metrics_lines[ctx.run] =
+          obs::SnapshotJsonLine(snapshot, ctx.run, ctx.seed);
+    };
     if (protocol == "tag") {
       auto run = agg::RunTag(run_config, *function, *field);
       if (!run.ok()) return run.status();
@@ -216,6 +238,7 @@ int Main(int argc, char** argv) {
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
       out.bytes = run->traffic.bytes_sent;
+      stash_metrics(run->metrics);
     } else if (protocol == "smart") {
       agg::SmartConfig smart;
       smart.slice_count =
@@ -228,6 +251,7 @@ int Main(int argc, char** argv) {
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
       out.bytes = run->traffic.bytes_sent;
+      stash_metrics(run->metrics);
     } else if (protocol == "cpda") {
       agg::CpdaConfig cpda;
       cpda.encrypt_shares = ipda.encrypt_slices;
@@ -237,12 +261,14 @@ int Main(int argc, char** argv) {
       out.truth = function->Finalize(run->true_acc);
       out.accuracy = run->accuracy;
       out.bytes = run->traffic.bytes_sent;
+      stash_metrics(run->metrics);
     } else if (protocol == "kipda") {
       auto topology = agg::BuildRunTopology(run_config);
       if (!topology.ok()) return topology.status();
       sim::Simulator simulator(run_config.seed);
       simulator.scheduler().SetCancelToken(run_config.control.cancel);
       simulator.scheduler().SetEventBudget(run_config.control.event_budget);
+      const crypto::CryptoStats crypto_base = crypto::ThreadCryptoStats();
       net::Network network(&simulator, std::move(*topology));
       agg::KipdaConfig kipda;
       kipda.maximize = flags.GetString("function") == "max";
@@ -264,6 +290,11 @@ int Main(int argc, char** argv) {
       }
       out.accuracy = out.truth != 0.0 ? out.result / out.truth : 0.0;
       out.bytes = network.counters().Totals().bytes_sent;
+      if (!metrics_path.empty()) {
+        agg::CollectRunMetrics(simulator, network, crypto_base);
+        stash_metrics(
+            obs::TakeSnapshot(simulator.metrics(), &simulator.trace()));
+      }
     } else {  // ipda
       auto run = agg::RunIpda(run_config, *function, *field, ipda);
       if (!run.ok()) return run.status();
@@ -273,6 +304,7 @@ int Main(int argc, char** argv) {
       out.bytes = run->traffic.bytes_sent;
       out.accepted = run->stats.decision.accepted;
       out.degraded = run->stats.degraded;
+      stash_metrics(run->metrics);
     }
     // "%.17g" round-trips doubles exactly, so replayed runs print the
     // same bytes a live run would.
@@ -300,6 +332,25 @@ int Main(int argc, char** argv) {
                  report.journal_path.empty() ? "<journal>"
                                              : report.journal_path.c_str());
     return util::kDrainExitCode;
+  }
+
+  if (!metrics_path.empty()) {
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot write --metrics file %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    const std::string header =
+        obs::MetricsHeaderLine("ipda_sim", runs, base_seed);
+    std::fwrite(header.data(), 1, header.size(), mf);
+    // Runs emit in index order regardless of completion order; replayed
+    // (--resume) and permanently failed runs have empty slots and emit
+    // nothing.
+    for (size_t r = 0; r < runs; ++r) {
+      std::fwrite(metrics_lines[r].data(), 1, metrics_lines[r].size(), mf);
+    }
+    std::fclose(mf);
   }
 
   stats::Summary accuracy, bytes, result_summary;

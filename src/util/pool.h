@@ -17,6 +17,7 @@
 #define IPDA_UTIL_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <utility>
@@ -58,6 +59,8 @@ class ObjectPool {
     T* object = new (slot->storage) T(std::forward<Args>(args)...);
     slot->live = true;
     ++live_;
+    ++new_count_;
+    if (live_ > high_water_) high_water_ = live_;
     return object;
   }
 
@@ -77,6 +80,10 @@ class ObjectPool {
 
   size_t live() const { return live_; }
   size_t capacity() const { return capacity_; }
+  // Lifetime New() calls and the peak concurrent live count; the metrics
+  // registry reports these as pool.* counters (DESIGN.md §11).
+  uint64_t new_count() const { return new_count_; }
+  size_t high_water() const { return high_water_; }
 
  private:
   struct Slot {
@@ -111,6 +118,8 @@ class ObjectPool {
   size_t next_chunk_;
   size_t live_ = 0;
   size_t capacity_ = 0;
+  uint64_t new_count_ = 0;
+  size_t high_water_ = 0;
 };
 
 // Untyped size-class pool backing PoolAllocator, so standard containers
@@ -129,14 +138,19 @@ class BytePool {
 
   void* Allocate(size_t bytes) {
     const size_t cls = ClassIndex(bytes);
+    ++alloc_count_;
     if (cls == kClassCount) {
       ++oversize_live_;
+      if (live_ + oversize_live_ > high_water_)
+        high_water_ = live_ + oversize_live_;
       return ::operator new(bytes);
     }
     if (free_[cls] == nullptr) Grow(cls);
     FreeNode* node = free_[cls];
     free_[cls] = node->next;
     ++live_;
+    if (live_ + oversize_live_ > high_water_)
+      high_water_ = live_ + oversize_live_;
     return node;
   }
 
@@ -160,6 +174,10 @@ class BytePool {
   // Slabs allocated so far; flat across a steady-state workload once the
   // free lists are warm (the scheduler stress test asserts exactly that).
   size_t slab_count() const { return slabs_.size(); }
+  // Lifetime Allocate() calls and the peak concurrent live-block count;
+  // the metrics registry reports these as pool.* counters (DESIGN.md §11).
+  uint64_t alloc_count() const { return alloc_count_; }
+  size_t high_water() const { return high_water_; }
 
  private:
   struct FreeNode {
@@ -195,6 +213,8 @@ class BytePool {
   FreeNode* free_[kClassCount] = {};
   size_t live_ = 0;
   size_t oversize_live_ = 0;
+  uint64_t alloc_count_ = 0;
+  size_t high_water_ = 0;
 };
 
 // Minimal std allocator over a BytePool (rebind-friendly, stateful).

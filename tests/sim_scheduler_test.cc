@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "util/random.h"
@@ -300,6 +301,43 @@ TEST(Scheduler, SteadyStateDispatchDoesNotAllocate) {
   EXPECT_EQ(after.overflow_slabs, before.overflow_slabs);
   EXPECT_EQ(after.callback_heap_fallbacks, before.callback_heap_fallbacks);
   EXPECT_EQ(hits, 256 * 101);
+}
+
+TEST(Scheduler, RegistryMirrorsAllocStatsShim) {
+  // The metrics registry is the supported surface for the zero-alloc
+  // referee (DESIGN.md §11); Scheduler::alloc_stats() survives as a
+  // deprecated shim. Both must report the same numbers, and collection
+  // must be idempotent.
+  Simulator simulator(/*seed=*/7);
+  Scheduler& sched = simulator.scheduler();
+  std::vector<EventId> live;
+  for (int i = 0; i < 512; ++i) {
+    live.push_back(sched.ScheduleAfter(Milliseconds(1 + i % 13), [] {}));
+  }
+  for (size_t i = 0; i < live.size(); i += 2) {
+    sched.Cancel(live[i]);  // Half go stale: exercises skip/prune paths.
+  }
+  sched.RunAll();
+
+  simulator.CollectKernelMetrics();
+  simulator.CollectKernelMetrics();  // Idempotent: Set, not Add.
+  const obs::Snapshot snapshot = obs::TakeSnapshot(simulator.metrics());
+  const Scheduler::AllocStats shim = sched.alloc_stats();
+  EXPECT_EQ(snapshot.GaugeOr("sim.sched_heap_capacity", -1),
+            static_cast<double>(shim.heap_capacity));
+  EXPECT_EQ(snapshot.GaugeOr("sim.sched_slot_capacity", -1),
+            static_cast<double>(shim.slot_capacity));
+  EXPECT_EQ(snapshot.GaugeOr("sim.sched_overflow_slabs", -1),
+            static_cast<double>(shim.overflow_slabs));
+  EXPECT_EQ(snapshot.CounterOr("sim.callback_heap_fallbacks", -1),
+            static_cast<double>(shim.callback_heap_fallbacks));
+  EXPECT_EQ(snapshot.CounterOr("sim.sched_stale_skips", -1),
+            static_cast<double>(sched.stale_skips()));
+  EXPECT_EQ(snapshot.CounterOr("sim.sched_prunes", -1),
+            static_cast<double>(sched.prune_passes()));
+  EXPECT_GT(snapshot.CounterOr("sim.sched_stale_skips", 0) +
+                snapshot.CounterOr("sim.sched_prunes", 0),
+            0.0);  // The cancellations above must actually register.
 }
 
 TEST(Scheduler, EventBudgetStopsInfiniteReschedule) {
