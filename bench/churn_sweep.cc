@@ -1,0 +1,299 @@
+// Topology-churn sweep: membership churn rate x mobility speed, iPDA
+// with three churn responses per grid point.
+//
+// Every point drives the same seeded churn schedule (random leave/rejoin
+// pairs plus random-waypoint walkers) against three iPDA arms: `none`
+// (the paper's protocol, trees frozen at Phase I), `repair` (incremental
+// disjoint-tree grafting with bounded backoff), and `rebuild` (throttled
+// HELLO re-flood from scratch — the baseline repair must beat on control
+// overhead). All arms run with slice retargeting and parent failover on,
+// so the comparison isolates the tree-maintenance policy.
+//
+// The grid fans out across the crash-tolerant sweep executor
+// (exp::RunResilientSweep): completed runs append to the --journal as
+// they finish, SIGINT/SIGTERM drains gracefully, and a resumed sweep
+// replays journaled runs to byte-identical output for any --jobs value.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+#include "bench_common.h"
+#include "exp/resilient.h"
+#include "fault/churn_plan.h"
+#include "sim/time.h"
+#include "stats/summary.h"
+#include "util/signal.h"
+
+namespace ipda::bench {
+namespace {
+
+constexpr size_t kNodes = 300;
+constexpr uint64_t kSweepSeed = 0xC4172;
+
+struct ArmOutcome {
+  double accuracy = 0.0;
+  double completeness = 0.0;  // min(red, blue).
+  double repair_latency_ms = 0.0;  // Mean over the run's grafts.
+  bool accepted = false;
+  bool degraded = false;
+  size_t grafts = 0;
+  size_t violations = 0;
+  size_t joins = 0;
+  size_t control_msgs = 0;
+  size_t retries = 0;
+};
+
+// One grid point x one seed, all three arms (they share the deployment
+// and the churn schedule).
+struct RunOutcome {
+  ArmOutcome none;
+  ArmOutcome repair;
+  ArmOutcome rebuild;
+};
+
+// Journal payload codec: "%.17g" round-trips doubles exactly, so a
+// replayed run folds into the same statistics bit-for-bit.
+void EncodeArm(const ArmOutcome& arm, std::string* out) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%.17g,%.17g,%.17g,%d,%d,%zu,%zu,%zu,%zu,%zu",
+                arm.accuracy, arm.completeness, arm.repair_latency_ms,
+                arm.accepted ? 1 : 0, arm.degraded ? 1 : 0, arm.grafts,
+                arm.violations, arm.joins, arm.control_msgs, arm.retries);
+  *out += buf;
+}
+
+std::string EncodeOutcome(const RunOutcome& outcome) {
+  std::string payload;
+  EncodeArm(outcome.none, &payload);
+  payload += ';';
+  EncodeArm(outcome.repair, &payload);
+  payload += ';';
+  EncodeArm(outcome.rebuild, &payload);
+  return payload;
+}
+
+bool DecodeArm(const std::string& text, ArmOutcome* arm) {
+  int accepted = 0;
+  int degraded = 0;
+  if (std::sscanf(text.c_str(), "%lg,%lg,%lg,%d,%d,%zu,%zu,%zu,%zu,%zu",
+                  &arm->accuracy, &arm->completeness, &arm->repair_latency_ms,
+                  &accepted, &degraded, &arm->grafts, &arm->violations,
+                  &arm->joins, &arm->control_msgs, &arm->retries) != 10) {
+    return false;
+  }
+  arm->accepted = accepted != 0;
+  arm->degraded = degraded != 0;
+  return true;
+}
+
+bool DecodeOutcome(const std::string& payload, RunOutcome* outcome) {
+  const size_t first = payload.find(';');
+  if (first == std::string::npos) return false;
+  const size_t second = payload.find(';', first + 1);
+  if (second == std::string::npos) return false;
+  return DecodeArm(payload.substr(0, first), &outcome->none) &&
+         DecodeArm(payload.substr(first + 1, second - first - 1),
+                   &outcome->repair) &&
+         DecodeArm(payload.substr(second + 1), &outcome->rebuild);
+}
+
+struct ArmResult {
+  stats::Summary accuracy;
+  stats::Summary completeness;
+  stats::Summary repair_latency_ms;
+  size_t accepted = 0;
+  size_t degraded = 0;
+  size_t grafts = 0;
+  size_t violations = 0;
+  size_t joins = 0;
+  size_t control_msgs = 0;
+  size_t retries = 0;
+
+  void Fold(const ArmOutcome& outcome) {
+    accuracy.Add(outcome.accuracy);
+    completeness.Add(outcome.completeness);
+    if (outcome.grafts > 0) repair_latency_ms.Add(outcome.repair_latency_ms);
+    accepted += outcome.accepted ? 1 : 0;
+    degraded += outcome.degraded ? 1 : 0;
+    grafts += outcome.grafts;
+    violations += outcome.violations;
+    joins += outcome.joins;
+    control_msgs += outcome.control_msgs;
+    retries += outcome.retries;
+  }
+};
+
+fault::ChurnPlan MakePlan(double churn_rate_hz, double speed_mps) {
+  fault::ChurnPlan plan;
+  if (churn_rate_hz > 0.0) {
+    fault::RandomChurn churn;
+    churn.rate_hz = churn_rate_hz;
+    churn.downtime = sim::SecondsF(1.0);
+    plan.churn = churn;
+  }
+  if (speed_mps > 0.0) {
+    fault::RandomMobility mobility;
+    mobility.fraction = 0.25;
+    mobility.speed_mps = speed_mps;
+    plan.mobility = mobility;
+  }
+  return plan;
+}
+
+void PrintArm(const char* key, const ArmResult& arm, size_t effective,
+              bool last) {
+  std::printf(
+      "      \"%s\": {\"accuracy_mean\": %.6f, \"completeness_mean\": "
+      "%.6f, \"accepted\": %zu, \"degraded\": %zu, \"grafts\": %zu, "
+      "\"disjoint_violations\": %zu, \"joins_absorbed\": %zu, "
+      "\"control_msgs\": %zu, \"backoff_retries\": %zu, "
+      "\"repair_latency_ms_mean\": %.6f, \"runs\": %zu}%s\n",
+      key, arm.accuracy.mean(), arm.completeness.mean(), arm.accepted,
+      arm.degraded, arm.grafts, arm.violations, arm.joins, arm.control_msgs,
+      arm.retries,
+      arm.repair_latency_ms.count() > 0 ? arm.repair_latency_ms.mean() : 0.0,
+      effective, last ? "" : ",");
+}
+
+int Run(int argc, char** argv) {
+  util::InstallDrainHandler();
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  exp::Engine engine(options.jobs);
+  const size_t runs = RunsPerPoint();
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+
+  const double churn_rates[] = {0.0, 0.5, 1.0};  // Leave/rejoin events/s.
+  const double speeds[] = {0.0, 10.0};           // Walker speed, m/s.
+
+  std::vector<std::string> labels;
+  std::vector<std::pair<double, double>> grid;
+  for (double rate : churn_rates) {
+    for (double speed : speeds) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "churn=%.2f,speed=%.1f", rate,
+                    speed);
+      labels.push_back(label);
+      grid.emplace_back(rate, speed);
+    }
+  }
+
+  exp::ResilientOptions resilience;
+  resilience.sweep_seed = kSweepSeed;
+  resilience.event_budget = options.event_budget;
+  resilience.run_deadline_s = options.run_deadline_s;
+  resilience.max_retries = options.max_retries;
+  resilience.journal_path = options.journal;
+  resilience.resume_path = options.resume;
+  resilience.experiment = "churn_sweep";
+  resilience.config_digest = "churn_sweep|nodes=" + std::to_string(kNodes) +
+                             "|runs=" + std::to_string(runs) + "|" +
+                             options.canonical;
+
+  const auto body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
+    const auto [rate, speed] = grid[ctx.point];
+    RunOutcome out;
+
+    agg::RunConfig config = PaperRunConfig(kNodes, ctx.seed);
+    config.control.cancel = ctx.cancel;
+    config.control.event_budget = ctx.event_budget;
+    config.churn = MakePlan(rate, speed);
+
+    const std::pair<agg::ChurnResponse, ArmOutcome*> arms[] = {
+        {agg::ChurnResponse::kNone, &out.none},
+        {agg::ChurnResponse::kRepair, &out.repair},
+        {agg::ChurnResponse::kRebuild, &out.rebuild},
+    };
+    for (const auto& [response, arm] : arms) {
+      agg::IpdaConfig proto = PaperIpdaConfig(2);
+      proto.retarget_slices = true;
+      proto.parent_failover = true;
+      proto.churn_response = response;
+      IPDA_ASSIGN_OR_RETURN(const agg::IpdaRunResult run,
+                            agg::RunIpda(config, *function, *field, proto));
+      arm->accuracy = run.accuracy;
+      arm->completeness =
+          run.stats.completeness_red < run.stats.completeness_blue
+              ? run.stats.completeness_red
+              : run.stats.completeness_blue;
+      arm->accepted = run.stats.decision.accepted;
+      arm->degraded = run.stats.degraded;
+      arm->grafts = run.stats.grafts;
+      arm->violations = run.stats.disjoint_violations;
+      arm->joins = run.stats.joins_absorbed;
+      arm->control_msgs = run.stats.churn_control_msgs;
+      arm->retries = run.stats.backoff_retries;
+      double latency_sum = 0.0;
+      for (double ms : run.stats.repair_latencies_ms) latency_sum += ms;
+      arm->repair_latency_ms =
+          run.stats.repair_latencies_ms.empty()
+              ? 0.0
+              : latency_sum /
+                    static_cast<double>(run.stats.repair_latencies_ms.size());
+    }
+    return EncodeOutcome(out);
+  };
+
+  auto swept =
+      exp::RunResilientSweep(engine, labels, runs, resilience, body);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "churn_sweep: %s\n",
+                 swept.status().ToString().c_str());
+    return 1;
+  }
+  const exp::ResilientReport& report = *swept;
+
+  if (report.drained) {
+    // No partial JSON on stdout: the resumed invocation prints the whole
+    // document, byte-identical to an uninterrupted sweep.
+    std::fprintf(stderr,
+                 "churn_sweep: drained with %zu/%zu runs journaled; resume "
+                 "with: %s --resume %s\n",
+                 report.replayed + report.executed, report.runs.size(),
+                 argv[0],
+                 report.journal_path.empty() ? "<journal>"
+                                             : report.journal_path.c_str());
+    return util::kDrainExitCode;
+  }
+
+  std::printf("{\n  \"experiment\": \"churn_sweep\",\n");
+  std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
+              runs);
+  std::printf("  \"failed_runs\": %zu,\n", report.failed);
+  std::printf("  \"grid\": [\n");
+  for (size_t point = 0; point < labels.size(); ++point) {
+    ArmResult none, repair, rebuild;
+    size_t effective = 0;
+    for (size_t run = 0; run < runs; ++run) {
+      const exp::RunStatus& slot = report.runs[point * runs + run];
+      if (!slot.ok) continue;  // Permanent failure: the point degrades.
+      RunOutcome outcome;
+      if (!DecodeOutcome(slot.payload, &outcome)) continue;
+      none.Fold(outcome.none);
+      repair.Fold(outcome.repair);
+      rebuild.Fold(outcome.rebuild);
+      ++effective;
+    }
+    std::printf("    %s{\n", point == 0 ? "" : ",");
+    std::printf("      \"churn_rate_hz\": %.2f, \"speed_mps\": %.1f, "
+                "\"requested\": %zu,\n",
+                grid[point].first, grid[point].second, runs);
+    PrintArm("ipda_none", none, effective, /*last=*/false);
+    PrintArm("ipda_repair", repair, effective, /*last=*/false);
+    PrintArm("ipda_rebuild", rebuild, effective, /*last=*/true);
+    std::printf("    }\n");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipda::bench
+
+int main(int argc, char** argv) { return ipda::bench::Run(argc, argv); }

@@ -29,6 +29,21 @@ util::Status ValidateIpdaConfig(const IpdaConfig& config) {
     return util::InvalidArgumentError(
         "retarget_slices needs slice_retarget_max >= 1");
   }
+  if (config.churn_response != ChurnResponse::kNone) {
+    if (config.repair_attempt_budget == 0) {
+      return util::InvalidArgumentError(
+          "churn response needs repair_attempt_budget >= 1");
+    }
+    if (config.repair_backoff_base <= 0 ||
+        config.repair_backoff_max < config.repair_backoff_base) {
+      return util::InvalidArgumentError(
+          "repair backoff needs 0 < base <= max");
+    }
+    if (config.rebuild_min_interval <= 0) {
+      return util::InvalidArgumentError(
+          "rebuild_min_interval must be positive");
+    }
+  }
   return util::OkStatus();
 }
 

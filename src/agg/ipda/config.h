@@ -10,6 +10,17 @@
 
 namespace ipda::agg {
 
+// How the protocol reacts to mid-round topology churn (DESIGN.md §12).
+enum class ChurnResponse : uint8_t {
+  kNone = 0,     // Ignore churn signals; only PR-1 failover applies.
+  kRepair = 1,   // Incremental disjoint-tree repair: orphaned subtrees
+                 // graft onto a new same-color parent, joiners attach as
+                 // leaves via kJoin solicitation.
+  kRebuild = 2,  // Re-flood HELLOs from every decided aggregator on any
+                 // topology change (throttled) — the from-scratch
+                 // baseline the repair path is benchmarked against.
+};
+
 struct IpdaConfig {
   // --- Paper parameters ---
   uint32_t slice_count = 2;   // l: pieces per reading (paper recommends 2).
@@ -52,6 +63,18 @@ struct IpdaConfig {
   // whatever partials arrived — a vanished subtree degrades the round
   // (IpdaStats::degraded) instead of stalling it.
   sim::SimTime round_deadline = 0;
+
+  // --- Mid-round churn response (not in the paper; DESIGN.md §12) ---
+  // Tree-control messages (join solicits, graft resends, rebuild floods)
+  // retry under jittered exponential backoff: attempt i waits
+  // min(base * 2^i, max) plus uniform jitter in [0, base), and each node
+  // spends at most repair_attempt_budget control attempts per round.
+  ChurnResponse churn_response = ChurnResponse::kNone;
+  uint32_t repair_attempt_budget = 8;
+  sim::SimTime repair_backoff_base = sim::Milliseconds(25);
+  sim::SimTime repair_backoff_max = sim::Milliseconds(400);
+  // Minimum spacing between full rebuild floods (kRebuild only).
+  sim::SimTime rebuild_min_interval = sim::Milliseconds(400);
 
   // --- Phase timing ---
   sim::SimTime hello_jitter_max = sim::Milliseconds(40);

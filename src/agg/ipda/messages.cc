@@ -107,4 +107,41 @@ util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload) {
   return AggregateMsg{static_cast<TreeColor>(color), std::move(partial)};
 }
 
+namespace {
+// "JN" + version byte; kJoin frames carry no further state.
+constexpr uint8_t kJoinMagic[3] = {0x4a, 0x4e, 0x01};
+}  // namespace
+
+util::Bytes EncodeJoinSolicitMsg() {
+  util::ByteWriter writer;
+  writer.WriteU8(kJoinMagic[0]);
+  writer.WriteU8(kJoinMagic[1]);
+  writer.WriteU8(kJoinMagic[2]);
+  return writer.TakeBytes();
+}
+
+bool IsJoinSolicitMsg(const util::Bytes& payload) {
+  return payload.size() == 3 && payload[0] == kJoinMagic[0] &&
+         payload[1] == kJoinMagic[1] && payload[2] == kJoinMagic[2];
+}
+
+util::Bytes EncodeRelayMsg(const RelayMsg& msg) {
+  util::ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(msg.color));
+  writer.WriteU32(msg.origin);
+  EncodePartialInto(msg.partial, writer);
+  return writer.TakeBytes();
+}
+
+util::Result<RelayMsg> DecodeRelayMsg(const util::Bytes& payload) {
+  util::ByteReader reader(payload);
+  IPDA_ASSIGN_OR_RETURN(uint8_t color, reader.ReadU8());
+  if (color != 1 && color != 2) {
+    return util::InvalidArgumentError("bad RELAY color");
+  }
+  IPDA_ASSIGN_OR_RETURN(uint32_t origin, reader.ReadU32());
+  IPDA_ASSIGN_OR_RETURN(Vector partial, DecodePartialFrom(reader));
+  return RelayMsg{static_cast<TreeColor>(color), origin, std::move(partial)};
+}
+
 }  // namespace ipda::agg

@@ -13,6 +13,7 @@
 
 #include "agg/aggregate_function.h"
 #include "agg/query.h"
+#include "net/topology.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -71,6 +72,25 @@ struct AggregateMsg {
 
 util::Bytes EncodeAggregateMsg(const AggregateMsg& msg);
 util::Result<AggregateMsg> DecodeAggregateMsg(const util::Bytes& payload);
+
+// Late-join solicitation (net::PacketType::kJoin): a node that missed the
+// Phase I flood asks decided neighbors to re-advertise their tree
+// position. Body is a fixed magic so a truncated frame is detectable.
+util::Bytes EncodeJoinSolicitMsg();
+bool IsJoinSolicitMsg(const util::Bytes& payload);
+
+// Degraded cross-tree relay (net::PacketType::kRelay): when a repair
+// cannot find a node-disjoint parent, the orphaned partial travels up the
+// *other* tree tagged with its true color and origin, so the base station
+// still books it against the right tree (flagged degraded; DESIGN.md §12).
+struct RelayMsg {
+  TreeColor color = TreeColor::kRed;
+  net::NodeId origin = 0;
+  Vector partial;
+};
+
+util::Bytes EncodeRelayMsg(const RelayMsg& msg);
+util::Result<RelayMsg> DecodeRelayMsg(const util::Bytes& payload);
 
 }  // namespace ipda::agg
 

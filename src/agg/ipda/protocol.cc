@@ -91,9 +91,20 @@ void IpdaProtocol::ProvisionPairwiseKeys() {
   }
   std::vector<crypto::Link> links;
   const net::Topology& topology = network_->topology();
-  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
-    for (net::NodeId b : topology.neighbors(a)) {
-      if (a < b) links.emplace_back(a, b);
+  if (config_.churn_response != ChurnResponse::kNone) {
+    // Under churn, any pair can become a link mid-round (movers, joiners),
+    // so every pair gets a key — mirroring a master-secret scheme where
+    // two nodes can always derive their pairwise key on contact.
+    for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+      for (net::NodeId b = a + 1; b < topology.node_count(); ++b) {
+        links.emplace_back(a, b);
+      }
+    }
+  } else {
+    for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+      for (net::NodeId b : topology.neighbors(a)) {
+        if (a < b) links.emplace_back(a, b);
+      }
     }
   }
   const crypto::PairwiseKeyScheme scheme(
@@ -119,12 +130,19 @@ void IpdaProtocol::Start() {
     network_->node(id).SetReceiveHandler(
         [this, id](const net::Packet& packet) { OnPacket(id, packet); });
   }
-  if (config_.retarget_slices || config_.parent_failover) {
+  if (config_.retarget_slices || config_.parent_failover ||
+      config_.churn_response != ChurnResponse::kNone) {
     // ARQ exhaustion is the liveness signal: the MAC hands back the frame
     // it gave up on, and the protocol reroutes around the dead peer.
     for (net::NodeId id = 1; id < network_->size(); ++id) {
       network_->node(id).SetSendFailureHandler(
           [this, id](const net::Packet& packet) { OnSendFailure(id, packet); });
+    }
+  }
+  if (config_.churn_response != ChurnResponse::kNone) {
+    // One advancing backoff/jitter stream per node for the whole round.
+    for (net::NodeId id = 0; id < network_->size(); ++id) {
+      states_[id].repair_rng = network_->node(id).rng().Fork("churn-repair");
     }
   }
 
@@ -208,6 +226,59 @@ void IpdaProtocol::OnPacket(net::NodeId self, const net::Packet& packet) {
       AddInto(state.children, msg->partial);
       break;
     }
+    case net::PacketType::kJoin: {
+      if (config_.churn_response == ChurnResponse::kNone) break;
+      if (!IsJoinSolicitMsg(packet.payload)) break;
+      // Only tree members that can serve as parents answer: the base
+      // station and decided aggregators re-advertise their position
+      // (leaves stay silent, as in Phase I).
+      HelloMsg reply;
+      if (self == net::kBaseStationId) {
+        reply = HelloMsg{TreeColor::kBoth, 0, query_};
+      } else {
+        const NodeRole role = state.builder->role();
+        if (role != NodeRole::kRedAggregator &&
+            role != NodeRole::kBlueAggregator) {
+          break;
+        }
+        reply = HelloMsg{role == NodeRole::kRedAggregator ? TreeColor::kRed
+                                                          : TreeColor::kBlue,
+                         state.builder->hop(), state.received_query};
+      }
+      const sim::SimTime jitter =
+          UniformDelay(*state.repair_rng, config_.hello_jitter_max);
+      const net::NodeId joiner = packet.src;
+      network_->sim().After(jitter, [this, self, joiner, reply] {
+        if (finished_) return;
+        network_->node(self).Unicast(joiner, net::PacketType::kHello,
+                                     EncodeHelloMsg(reply));
+        stats_.churn_control_msgs += 1;
+      });
+      break;
+    }
+    case net::PacketType::kRelay: {
+      if (config_.churn_response == ChurnResponse::kNone) break;
+      auto msg = DecodeRelayMsg(packet.payload);
+      if (!msg.ok() || msg->partial.size() != function_->arity()) return;
+      if (self == net::kBaseStationId) {
+        // The relay carries its true color and origin, so the partial is
+        // booked against the right tree despite the cross-tree path.
+        partial_delivered_[msg->origin] = true;
+        bs_acc_.Add(msg->color, msg->partial);
+        return;
+      }
+      const NodeRole role = state.builder->role();
+      if (role != NodeRole::kRedAggregator &&
+          role != NodeRole::kBlueAggregator) {
+        return;  // Only tree members forward relays rootward.
+      }
+      // Forward the payload unchanged up our own tree: the relay is
+      // opaque cargo, never folded into this node's partial.
+      network_->node(self).Unicast(state.builder->parent(),
+                                   net::PacketType::kRelay, packet.payload);
+      stats_.relay_forwards += 1;
+      break;
+    }
     default:
       break;
   }
@@ -228,9 +299,211 @@ void IpdaProtocol::OnSendFailure(net::NodeId self, const net::Packet& packet) {
   }
   if (packet.type == net::PacketType::kSlice && config_.retarget_slices) {
     RetargetSlice(self, packet.dst);
-  } else if (packet.type == net::PacketType::kAggregate &&
-             config_.parent_failover) {
-    FailoverReport(self);
+  } else if (packet.type == net::PacketType::kAggregate) {
+    if (config_.churn_response == ChurnResponse::kRepair) {
+      // Incremental repair supersedes plain failover: the node re-parents
+      // (keeping the tree consistent for any later traffic), not just
+      // re-aims this one partial.
+      RepairGraft(self);
+    } else if (config_.parent_failover) {
+      FailoverReport(self);
+    }
+  } else if (packet.type == net::PacketType::kRelay) {
+    stats_.relays_lost += 1;
+  }
+}
+
+sim::SimTime IpdaProtocol::BackoffDelay(NodeState& state, uint32_t attempt) {
+  const sim::SimTime base = config_.repair_backoff_base;
+  sim::SimTime backoff = base;
+  for (uint32_t i = 0; i < attempt && backoff < config_.repair_backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.repair_backoff_max);
+  return backoff + UniformDelay(*state.repair_rng, base - 1);
+}
+
+void IpdaProtocol::OnChurnJoin(net::NodeId id) {
+  if (finished_ || config_.churn_response == ChurnResponse::kNone) return;
+  NodeState& state = states_[id];
+  if (state.excluded) return;
+  if (state.builder->decided()) return;  // Rejoin: tree state survives.
+  // Late joiners must not perturb the decided trees: they enter as
+  // leaves on both, never as aggregators (DESIGN.md §12).
+  state.builder->SetLeafOnly(true);
+  state.join_pending = true;
+  if (config_.churn_response == ChurnResponse::kRepair) {
+    SendJoinSolicit(id, 0);
+  } else {
+    OnTopologyChange();  // The rebuild flood will cover the joiner.
+  }
+}
+
+void IpdaProtocol::SendJoinSolicit(net::NodeId self, uint32_t attempt) {
+  if (finished_) return;
+  NodeState& state = states_[self];
+  if (state.builder->decided()) return;
+  if (state.builder->covered()) {
+    CompleteJoin(self);
+    return;
+  }
+  if (attempt >= config_.repair_attempt_budget) {
+    stats_.repair_budget_exhausted += 1;
+    return;
+  }
+  if (attempt > 0) stats_.backoff_retries += 1;
+  network_->node(self).Broadcast(net::PacketType::kJoin,
+                                 EncodeJoinSolicitMsg());
+  stats_.churn_control_msgs += 1;
+  // Re-check after the neighbors' reply jitter plus decide window; the
+  // backoff spreads repeat solicits when no one answers.
+  const sim::SimTime recheck = config_.hello_jitter_max +
+                               config_.decide_window +
+                               BackoffDelay(state, attempt);
+  network_->sim().After(recheck, [this, self, attempt] {
+    SendJoinSolicit(self, attempt + 1);
+  });
+}
+
+void IpdaProtocol::CompleteJoin(net::NodeId self) {
+  NodeState& state = states_[self];
+  if (!state.builder->JoinAsLeaf()) return;
+  // Contribute if slices can still fold into partials: aggregators absorb
+  // until their Phase III slot, so anything before the report phase
+  // counts. Later joins are admitted topology-only.
+  if (network_->sim().now() < IpdaReportStart(config_)) {
+    DoSlicing(self);
+  }
+}
+
+void IpdaProtocol::RepairGraft(net::NodeId self) {
+  NodeState& state = states_[self];
+  const NodeRole role = state.builder->role();
+  if (role != NodeRole::kRedAggregator &&
+      role != NodeRole::kBlueAggregator) {
+    return;
+  }
+  if (state.last_partial.empty()) return;  // Nothing reported yet.
+  if (state.repair_attempts >= config_.repair_attempt_budget) {
+    stats_.repair_budget_exhausted += 1;
+    stats_.orphaned_partials += 1;
+    return;
+  }
+  const uint32_t attempt = state.repair_attempts++;
+  if (attempt > 0) stats_.backoff_retries += 1;
+  const TreeColor color = role == NodeRole::kRedAggregator
+                              ? TreeColor::kRed
+                              : TreeColor::kBlue;
+  const uint32_t my_hop = state.builder->hop();
+
+  // Preferred graft: a live strictly-lower-hop aggregator of our own
+  // color (the base station, hop 0 on both trees, always qualifies when
+  // in range) — node-disjointness holds by construction.
+  net::NodeId best = net::kBroadcastId;
+  uint32_t best_hop = UINT32_MAX;
+  for (const NeighborAggregator& cand :
+       state.builder->AggregatorNeighborInfos(color)) {
+    if (cand.hop >= my_hop || IsDeadNeighbor(state, cand.id)) continue;
+    if (cand.hop < best_hop) {
+      best = cand.id;
+      best_hop = cand.hop;
+    }
+  }
+  const sim::SimTime delay = BackoffDelay(state, attempt);
+  stats_.repair_latencies_ms.push_back(sim::ToSeconds(delay) * 1e3);
+  if (best != net::kBroadcastId) {
+    state.builder->Reparent(best, best_hop);
+    grafts_.push_back(GraftRecord{self, color, best, /*degraded=*/false});
+    stats_.grafts += 1;
+    network_->sim().After(delay, [this, self, best, color] {
+      if (finished_) return;
+      network_->node(self).Unicast(
+          best, net::PacketType::kAggregate,
+          EncodeAggregateMsg(
+              AggregateMsg{color, states_[self].last_partial}));
+      stats_.reports_rerouted += 1;
+      stats_.churn_control_msgs += 1;
+    });
+    return;
+  }
+
+  // Degraded fallback: no disjoint graft exists. Hand the partial to a
+  // strictly-lower-hop aggregator of the *other* tree as an opaque
+  // relay — the round completes, flagged degraded, and the disjointness
+  // the privacy argument rests on is recorded as violated.
+  const TreeColor other =
+      color == TreeColor::kRed ? TreeColor::kBlue : TreeColor::kRed;
+  for (const NeighborAggregator& cand :
+       state.builder->AggregatorNeighborInfos(other)) {
+    if (cand.hop >= my_hop || IsDeadNeighbor(state, cand.id)) continue;
+    if (cand.hop < best_hop) {
+      best = cand.id;
+      best_hop = cand.hop;
+    }
+  }
+  if (best == net::kBroadcastId) {
+    stats_.orphaned_partials += 1;  // Truly stranded.
+    return;
+  }
+  grafts_.push_back(GraftRecord{self, color, best, /*degraded=*/true});
+  stats_.disjoint_violations += 1;
+  const net::NodeId relay_via = best;
+  network_->sim().After(delay, [this, self, relay_via, color] {
+    if (finished_) return;
+    network_->node(self).Unicast(
+        relay_via, net::PacketType::kRelay,
+        EncodeRelayMsg(RelayMsg{color, self, states_[self].last_partial}));
+    stats_.churn_control_msgs += 1;
+  });
+}
+
+void IpdaProtocol::OnTopologyChange() {
+  if (finished_ || config_.churn_response != ChurnResponse::kRebuild) return;
+  if (rebuild_pending_) return;
+  const sim::SimTime now = network_->sim().now();
+  if (last_rebuild_ >= 0 &&
+      now < last_rebuild_ + config_.rebuild_min_interval) {
+    rebuild_pending_ = true;
+    network_->sim().At(last_rebuild_ + config_.rebuild_min_interval,
+                       [this] { DoRebuildFlood(); });
+    return;
+  }
+  DoRebuildFlood();
+}
+
+void IpdaProtocol::DoRebuildFlood() {
+  if (finished_) return;
+  rebuild_pending_ = false;
+  last_rebuild_ = network_->sim().now();
+  stats_.rebuild_floods += 1;
+  // Everyone with a tree position re-advertises it, jittered — the
+  // from-scratch baseline the incremental repair path is benchmarked
+  // against. Cost scales with the aggregator census per event.
+  for (net::NodeId id = 0; id < network_->size(); ++id) {
+    NodeState& state = states_[id];
+    if (state.excluded) continue;
+    HelloMsg hello;
+    if (id == net::kBaseStationId) {
+      hello = HelloMsg{TreeColor::kBoth, 0, query_};
+    } else {
+      const NodeRole role = state.builder->role();
+      if (role != NodeRole::kRedAggregator &&
+          role != NodeRole::kBlueAggregator) {
+        continue;
+      }
+      hello = HelloMsg{role == NodeRole::kRedAggregator ? TreeColor::kRed
+                                                        : TreeColor::kBlue,
+                       state.builder->hop(), state.received_query};
+    }
+    const sim::SimTime jitter =
+        UniformDelay(*state.repair_rng, config_.hello_jitter_max);
+    network_->sim().After(jitter, [this, id, hello] {
+      if (finished_) return;
+      network_->node(id).Broadcast(net::PacketType::kHello,
+                                   EncodeHelloMsg(hello));
+      stats_.churn_control_msgs += 1;
+    });
   }
 }
 
@@ -467,6 +740,9 @@ const IpdaStats& IpdaProtocol::Finish() {
     }
     if (state.builder->covered()) stats_.covered_both += 1;
     if (state.participated) stats_.participants += 1;
+    if (state.join_pending && state.builder->decided()) {
+      stats_.joins_absorbed += 1;
+    }
     switch (state.builder->role()) {
       case NodeRole::kRedAggregator:
         stats_.red_aggregators += 1;
@@ -496,7 +772,8 @@ const IpdaStats& IpdaProtocol::Finish() {
                 static_cast<double>(stats_.blue_aggregators);
   stats_.degraded = stats_.completeness_red < 1.0 ||
                     stats_.completeness_blue < 1.0 ||
-                    stats_.slices_lost > 0 || stats_.orphaned_partials > 0;
+                    stats_.slices_lost > 0 || stats_.orphaned_partials > 0 ||
+                    stats_.disjoint_violations > 0 || stats_.relays_lost > 0;
   stats_.decision = bs_acc_.Decide(config_.threshold);
   return stats_;
 }

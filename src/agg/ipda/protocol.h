@@ -46,6 +46,18 @@ struct IpdaStats {
   size_t reports_rerouted = 0;   // Partials re-sent to an alternate parent.
   size_t orphaned_partials = 0;  // Partials with no live rootward parent.
   size_t late_partials = 0;      // Absorbed after the parent had reported.
+  // Mid-round churn response (churn_response != kNone; DESIGN.md §12).
+  size_t joins_absorbed = 0;        // Late joiners admitted to the trees.
+  size_t grafts = 0;                // Orphaned aggregators re-parented.
+  size_t disjoint_violations = 0;   // Grafts that crossed tree colors.
+  size_t backoff_retries = 0;       // Control retries past the first try.
+  size_t repair_budget_exhausted = 0;  // Nodes that ran out of attempts.
+  size_t relay_forwards = 0;        // Cross-tree relays forwarded rootward.
+  size_t relays_lost = 0;           // Relays that died on a dead link.
+  size_t rebuild_floods = 0;        // Full HELLO re-floods (kRebuild).
+  size_t churn_control_msgs = 0;    // Tree-control frames churn cost us.
+  // Backoff delay between losing a parent and re-sending the partial.
+  std::vector<double> repair_latencies_ms;
   // Delivered / expected aggregator partials per tree (1.0 when whole).
   double completeness_red = 1.0;
   double completeness_blue = 1.0;
@@ -56,6 +68,17 @@ struct IpdaStats {
   bool degraded = false;
   // Base-station outcome.
   IntegrityDecision decision;
+};
+
+// One incremental tree repair: `node` (an aggregator of `color`) lost its
+// parent and re-attached under `new_parent`. `degraded` marks the
+// fallback where no node-disjoint (same-color) parent existed and the
+// partial traveled up the other tree as a kRelay instead.
+struct GraftRecord {
+  net::NodeId node = 0;
+  TreeColor color = TreeColor::kRed;
+  net::NodeId new_parent = 0;
+  bool degraded = false;
 };
 
 class IpdaProtocol {
@@ -105,6 +128,15 @@ class IpdaProtocol {
   // the simulator to at least Duration(), then call Finish().
   void Start();
 
+  // Churn signals (wired by agg::Runner to the fault::ChurnInjector).
+  // `id` (re)joined the network with fresh topology edges: under kRepair
+  // it solicits admission as a leaf on both trees; under kRebuild the
+  // next flood covers it. No-op when churn_response is kNone.
+  void OnChurnJoin(net::NodeId id);
+  // Some edge set changed. kRebuild re-floods HELLOs (throttled by
+  // rebuild_min_interval); kRepair relies on ARQ-driven grafting instead.
+  void OnTopologyChange();
+
   // Covers the configured round deadline even when it exceeds the
   // nominal three-phase schedule.
   sim::SimTime Duration() const;
@@ -127,6 +159,9 @@ class IpdaProtocol {
   bool participated(net::NodeId id) const {
     return states_[id].participated;
   }
+  // Every repair graft performed this round, in order. Tests assert the
+  // node-disjointness invariant over these records.
+  const std::vector<GraftRecord>& graft_log() const { return grafts_; }
 
  private:
   // A transmitted slice the sender remembers until the round ends, so an
@@ -146,6 +181,12 @@ class IpdaProtocol {
     std::optional<Query> received_query;
     std::vector<PendingSlice> pending_slices;
     std::vector<net::NodeId> dead_neighbors;  // Declared dead by ARQ.
+    // Advancing per-node stream for churn-control jitter/backoff draws
+    // (Rng::Fork is label-deterministic, so repeated forks would repeat
+    // the same values; this one is forked once and then stepped).
+    std::optional<util::Rng> repair_rng;
+    uint32_t repair_attempts = 0;  // Control-attempt budget consumed.
+    bool join_pending = false;     // Mid-round joiner awaiting admission.
     bool participated = false;
     bool excluded = false;
     bool reported = false;  // Phase III partial already transmitted.
@@ -156,6 +197,20 @@ class IpdaProtocol {
   void OnSendFailure(net::NodeId self, const net::Packet& packet);
   void RetargetSlice(net::NodeId self, net::NodeId dead_target);
   void FailoverReport(net::NodeId self);
+  // Jittered exponential backoff for tree-control retries:
+  // min(base * 2^attempt, max) + U[0, base).
+  sim::SimTime BackoffDelay(NodeState& state, uint32_t attempt);
+  // kRepair: broadcast a kJoin solicitation, re-checking coverage (and
+  // retrying under backoff) until admitted or the budget runs out.
+  void SendJoinSolicit(net::NodeId self, uint32_t attempt);
+  // Leaf admission once a joiner is covered; slices late if time allows.
+  void CompleteJoin(net::NodeId self);
+  // kRepair: re-parent an orphaned aggregator, preserving disjointness
+  // when possible, falling back to a degraded cross-tree kRelay.
+  void RepairGraft(net::NodeId self);
+  // kRebuild: re-flood HELLOs from the base station and every decided
+  // aggregator (the from-scratch baseline).
+  void DoRebuildFlood();
   bool IsDeadNeighbor(const NodeState& state, net::NodeId id) const;
   void ScheduleHellos(net::NodeId self, const HelloMsg& hello,
                       util::Rng& rng);
@@ -184,6 +239,9 @@ class IpdaProtocol {
   // somewhere useful (at its parent before the parent reported, or at the
   // base station). Feeds the per-tree completeness ratios.
   std::vector<bool> partial_delivered_;
+  std::vector<GraftRecord> grafts_;
+  sim::SimTime last_rebuild_ = -1;
+  bool rebuild_pending_ = false;
   IpdaStats stats_;
   bool started_ = false;
   bool finished_ = false;

@@ -76,6 +76,7 @@ void TreeBuilder::ImpatientDecide() {
   // keeps moving. Slicing eligibility may still complete later if the
   // other color eventually shows up in the neighborhood.
   if (decided() || covered()) return;
+  if (leaf_only_) return;  // Late joiners never become aggregators.
   if (n_red_ == 0 && n_blue_ == 0) return;  // Heard nothing: stay out.
   const TreeColor color =
       n_red_ > 0 ? TreeColor::kRed : TreeColor::kBlue;
@@ -122,12 +123,30 @@ double TreeBuilder::ProbBlue() const {
   return p * static_cast<double>(n_red_) / total;
 }
 
+bool TreeBuilder::JoinAsLeaf() {
+  if (decided()) return role_ == NodeRole::kLeaf;
+  if (!covered()) return false;
+  role_ = NodeRole::kLeaf;
+  return true;
+}
+
+void TreeBuilder::Reparent(net::NodeId parent, uint32_t parent_hop) {
+  IPDA_CHECK(role_ == NodeRole::kRedAggregator ||
+             role_ == NodeRole::kBlueAggregator);
+  parent_ = parent;
+  hop_ = parent_hop + 1;
+}
+
 void TreeBuilder::Decide() {
   if (decided()) return;
   if (!covered()) {
     // A conflicted sender was blacklisted after the timer armed; wait for
     // fresh HELLOs to restore coverage.
     timer_armed_ = false;
+    return;
+  }
+  if (leaf_only_) {
+    role_ = NodeRole::kLeaf;
     return;
   }
 

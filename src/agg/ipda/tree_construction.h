@@ -53,6 +53,20 @@ class TreeBuilder {
   // or kExcluded during polluter-localization rounds).
   void ForceRole(NodeRole role);
 
+  // Late joiners (mid-round churn) must not perturb the decided trees, so
+  // the role draw is pinned to kLeaf: an undecided node with this set
+  // becomes a leaf the moment it is covered (DESIGN.md §12).
+  void SetLeafOnly(bool leaf_only) { leaf_only_ = leaf_only; }
+
+  // Immediately decides kLeaf if undecided and covered (the join-solicit
+  // completion path). Returns true if the node is now a decided leaf.
+  bool JoinAsLeaf();
+
+  // Re-points a decided aggregator at a new parent with the given parent
+  // hop (incremental graft repair). The node's own hop becomes
+  // parent_hop + 1; its color is unchanged.
+  void Reparent(net::NodeId parent, uint32_t parent_hop);
+
   // Feeds one received HELLO. A node advertising two different colors is a
   // protocol violation (§III-B); it is blacklisted from neighbor lists.
   void OnHello(net::NodeId src, const HelloMsg& msg);
@@ -98,6 +112,7 @@ class TreeBuilder {
   void ImpatientDecide();
 
   NodeRole role_ = NodeRole::kUndecided;
+  bool leaf_only_ = false;
   bool timer_armed_ = false;
   bool impatient_armed_ = false;
   size_t n_red_ = 0;   // HELLOs heard from red aggregators (+ BS).

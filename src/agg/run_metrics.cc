@@ -28,7 +28,8 @@ void SetGauge(obs::Registry& reg, const char* name, double v) {
 void CollectRunMetrics(sim::Simulator& simulator,
                        const net::Network& network,
                        const crypto::CryptoStats& crypto_base,
-                       const fault::FaultInjector* injector) {
+                       const fault::FaultInjector* injector,
+                       const fault::ChurnInjector* churn) {
   simulator.CollectKernelMetrics();
   obs::Registry& reg = simulator.metrics();
   SetGauge(reg, "sim.duration_s",
@@ -74,6 +75,11 @@ void CollectRunMetrics(sim::Simulator& simulator,
     SetCounter(reg, "fault.crashes", injector->crashes_fired());
     SetCounter(reg, "fault.recoveries", injector->recoveries_fired());
   }
+  if (churn != nullptr) {
+    SetCounter(reg, "fault.churn_joins", churn->joins_fired());
+    SetCounter(reg, "fault.churn_leaves", churn->leaves_fired());
+    SetCounter(reg, "fault.churn_move_steps", churn->move_steps_fired());
+  }
 }
 
 void CollectIpdaMetrics(sim::Simulator& simulator, const IpdaStats& stats,
@@ -100,6 +106,29 @@ void CollectIpdaMetrics(sim::Simulator& simulator, const IpdaStats& stats,
   SetGauge(reg, "agg.degraded", stats.degraded ? 1.0 : 0.0);
   SetGauge(reg, "agg.accepted", stats.decision.accepted ? 1.0 : 0.0);
   SetGauge(reg, "agg.red_blue_diff", stats.decision.max_component_diff);
+
+  // Churn-response instruments exist only when the feature is on, so
+  // churn-free registries (and their golden snapshots) stay unchanged.
+  if (config.churn_response != ChurnResponse::kNone) {
+    SetCounter(reg, "agg.joins_absorbed", stats.joins_absorbed);
+    SetCounter(reg, "agg.grafts", stats.grafts);
+    SetCounter(reg, "agg.disjoint_violations", stats.disjoint_violations);
+    SetCounter(reg, "agg.backoff_retries", stats.backoff_retries);
+    SetCounter(reg, "agg.repair_budget_exhausted",
+               stats.repair_budget_exhausted);
+    SetCounter(reg, "agg.relay_forwards", stats.relay_forwards);
+    SetCounter(reg, "agg.relays_lost", stats.relays_lost);
+    SetCounter(reg, "agg.rebuild_floods", stats.rebuild_floods);
+    SetCounter(reg, "agg.churn_control_msgs", stats.churn_control_msgs);
+    static const std::vector<double> kRepairBounds = {1, 2, 4, 8, 16, 32};
+    reg.GetHistogram("agg.repairs_per_round", kRepairBounds)
+        ->Observe(static_cast<double>(stats.grafts));
+    static const std::vector<double> kLatencyBounds = {10,  25,  50, 100,
+                                                       200, 400, 800};
+    obs::Histogram* latency =
+        reg.GetHistogram("agg.repair_latency_ms", kLatencyBounds);
+    for (double ms : stats.repair_latencies_ms) latency->Observe(ms);
+  }
 
   // Phase spans on the round's deterministic schedule. The boundaries are
   // config-derived, never measured, so the trace is byte-identical across

@@ -15,6 +15,7 @@
 #include "agg/ipda/config.h"
 #include "agg/ipda/protocol.h"
 #include "crypto/stats.h"
+#include "fault/churn_injector.h"
 #include "fault/fault_injector.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -29,12 +30,13 @@ namespace ipda::agg {
 //   crypto.*        — hot-path deltas vs `crypto_base`, the tally
 //                     ThreadCryptoStats() returned before the run started
 //                     (runs execute whole on one thread)
-//   fault.*         — injector totals when a fault plan was armed
+//   fault.*         — injector totals when a fault or churn plan was armed
 // Call after the simulation has run and before taking a snapshot.
 void CollectRunMetrics(sim::Simulator& simulator,
                        const net::Network& network,
                        const crypto::CryptoStats& crypto_base,
-                       const fault::FaultInjector* injector = nullptr);
+                       const fault::FaultInjector* injector = nullptr,
+                       const fault::ChurnInjector* churn = nullptr);
 
 // iPDA layer: IpdaStats as agg.* instruments, plus the round's phase
 // spans — query.dissemination, slicing, assembly, aggregation,

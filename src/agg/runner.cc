@@ -5,6 +5,7 @@
 
 #include "agg/run_metrics.h"
 #include "crypto/stats.h"
+#include "fault/churn_injector.h"
 #include "fault/fault_injector.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -46,6 +47,29 @@ util::Status ArmFaults(const RunConfig& config, sim::Simulator& simulator,
   return util::OkStatus();
 }
 
+// Arms config.churn against the run's live topology, wiring the churn
+// signals into the protocol (joins solicit tree admission, edge changes
+// may trigger a rebuild flood). Must run before protocol->Start() so
+// pending joiners are detached ahead of the Phase I flood.
+util::Status ArmChurn(const RunConfig& config, sim::Simulator& simulator,
+                      net::Network& network, sim::SimTime horizon,
+                      std::optional<fault::ChurnInjector>& injector,
+                      IpdaProtocol* protocol) {
+  if (config.churn.empty()) return util::OkStatus();
+  IPDA_RETURN_IF_ERROR(fault::ValidateChurnPlan(config.churn));
+  injector.emplace(&simulator, &network.channel(),
+                   network.mutable_topology(), config.churn,
+                   config.deployment.area, horizon);
+  if (protocol != nullptr) {
+    injector->SetJoinListener(
+        [protocol](net::NodeId id) { protocol->OnChurnJoin(id); });
+    injector->SetChangeListener(
+        [protocol] { protocol->OnTopologyChange(); });
+  }
+  injector->Arm();
+  return util::OkStatus();
+}
+
 // Arms the run's execution guards (cancel token, event budget) on its
 // scheduler before any event runs.
 void ApplyControl(const RunConfig& config, sim::Simulator& simulator) {
@@ -63,11 +87,13 @@ obs::Snapshot FinishMetrics(
     sim::Simulator& simulator, const net::Network& network,
     const crypto::CryptoStats& crypto_base,
     const std::optional<fault::FaultInjector>& injector,
-    sim::SimTime round_duration) {
+    sim::SimTime round_duration,
+    const std::optional<fault::ChurnInjector>& churn = std::nullopt) {
   simulator.metrics().GetGauge("agg.round_duration_s")
       ->Set(sim::ToSeconds(round_duration));
   CollectRunMetrics(simulator, network, crypto_base,
-                    injector.has_value() ? &*injector : nullptr);
+                    injector.has_value() ? &*injector : nullptr,
+                    churn.has_value() ? &*churn : nullptr);
   return obs::TakeSnapshot(simulator.metrics(), &simulator.trace());
 }
 
@@ -217,7 +243,13 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   IpdaProtocol protocol(&network, &function, ipda_config);
   std::optional<fault::FaultInjector> injector;
   IPDA_RETURN_IF_ERROR(ArmFaults(config, simulator, network, injector));
+  // Readings are sampled before churn arms: positions are final by now
+  // (the deployment is seed-determined), and detaching pending joiners
+  // must not change who has a reading.
   const std::vector<double> readings = field.Sample(network.topology());
+  std::optional<fault::ChurnInjector> churn;
+  IPDA_RETURN_IF_ERROR(ArmChurn(config, simulator, network,
+                                protocol.Duration(), churn, &protocol));
   protocol.SetReadings(readings);
   if (hooks.pollution) protocol.SetPollutionHook(hooks.pollution);
   if (hooks.slice_observer) protocol.SetSliceObserver(hooks.slice_observer);
@@ -226,6 +258,9 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   simulator.RunUntil(protocol.Duration());
   IPDA_RETURN_IF_ERROR(InterruptStatus(config, simulator));
   protocol.Finish();
+  // Round boundary: fold any churn mutations back into flat CSR form so a
+  // follow-on round (or the degree census below) runs on the hot path.
+  network.mutable_topology()->Compact();
 
   IpdaRunResult result;
   result.stats = protocol.stats();
@@ -233,7 +268,7 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   result.traffic = network.counters().Totals();
   CollectIpdaMetrics(simulator, result.stats, protocol.config());
   result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
-                                 protocol.Duration());
+                                 protocol.Duration(), churn);
   result.average_degree = network.topology().AverageDegree();
   result.accuracy_red =
       AccuracyRatio(result.stats.decision.acc_red, result.true_acc);

@@ -13,6 +13,7 @@
 #include "agg/reading.h"
 #include "agg/smart/smart_protocol.h"
 #include "agg/tag/tag_protocol.h"
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
 #include "obs/metrics.h"
@@ -46,6 +47,11 @@ struct RunConfig {
   // (seed, faults) pair reproduces the same crashes/losses event for
   // event, for every protocol under comparison.
   fault::FaultPlan faults;
+  // Deterministic mid-round topology churn (joins, leaves, mobility),
+  // armed like `faults`. Currently honored by RunIpda only; for the
+  // protocol to react (repair or rebuild the trees) set
+  // IpdaConfig::churn_response as well — an empty plan mutates nothing.
+  fault::ChurnPlan churn;
   RunControl control;
 };
 

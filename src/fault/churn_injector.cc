@@ -1,0 +1,166 @@
+#include "fault/churn_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ipda::fault {
+namespace {
+
+// Mobility position-update cadence. Coarse enough to stay cheap at paper
+// scale, fine enough that a 10 m/s walker moves 2.5 m per edge refresh —
+// well under the 50 m transmission range.
+constexpr sim::SimTime kMoveTick = sim::Milliseconds(250);
+
+}  // namespace
+
+ChurnInjector::ChurnInjector(sim::Simulator* sim, net::Channel* channel,
+                             net::Topology* topology, ChurnPlan plan,
+                             net::Area area, sim::SimTime horizon)
+    : sim_(sim),
+      channel_(channel),
+      topology_(topology),
+      plan_(std::move(plan)),
+      area_(area),
+      horizon_(horizon) {
+  IPDA_CHECK(sim != nullptr);
+  IPDA_CHECK(channel != nullptr);
+  IPDA_CHECK(topology != nullptr);
+  IPDA_CHECK_GT(horizon, 0);
+  IPDA_CHECK(ValidateChurnPlan(plan_).ok());
+}
+
+void ChurnInjector::NotifyChange() {
+  if (change_listener_) change_listener_();
+}
+
+void ChurnInjector::FireLeave(net::NodeId node) {
+  if (!topology_->active(node)) return;  // Already gone; nothing to do.
+  topology_->DetachNode(node);
+  channel_->FailNode(node);
+  ++leaves_fired_;
+  NotifyChange();
+}
+
+void ChurnInjector::FireJoin(net::NodeId node) {
+  if (topology_->active(node)) return;
+  channel_->RecoverNode(node);
+  topology_->AttachNode(node);
+  ++joins_fired_;
+  NotifyChange();
+  if (join_listener_) join_listener_(node);
+}
+
+void ChurnInjector::TickWalk(Walk* walk) {
+  if (!topology_->active(walk->node)) return;  // Left mid-walk; stop.
+  const net::Point2D from = topology_->position(walk->node);
+  const double step = walk->speed_mps * sim::ToSeconds(kMoveTick);
+  const double dist = net::Distance(from, walk->target);
+  net::Point2D next;
+  bool arrived = false;
+  if (dist <= step || dist == 0.0) {
+    next = walk->target;
+    arrived = true;
+  } else {
+    const double scale = step / dist;
+    next = net::Point2D{from.x + (walk->target.x - from.x) * scale,
+                        from.y + (walk->target.y - from.y) * scale};
+  }
+  topology_->MoveNode(walk->node, next);
+  ++move_steps_fired_;
+  NotifyChange();
+  if (arrived) {
+    if (!walk->random_waypoint) return;  // Explicit waypoint: done.
+    walk->target = net::Point2D{walk->rng.UniformDouble(0.0, area_.width),
+                                walk->rng.UniformDouble(0.0, area_.height)};
+  }
+  if (sim_->now() + kMoveTick <= horizon_) {
+    sim_->After(kMoveTick, [this, walk] { TickWalk(walk); });
+  }
+}
+
+void ChurnInjector::StartWalk(net::NodeId node, net::Point2D target,
+                              double speed_mps, bool random_waypoint,
+                              sim::SimTime at, util::Rng rng) {
+  auto walk = std::make_unique<Walk>(node, rng);
+  walk->target = target;
+  walk->speed_mps = speed_mps;
+  walk->random_waypoint = random_waypoint;
+  Walk* raw = walk.get();
+  walks_.push_back(std::move(walk));
+  sim_->At(at, [this, raw] { TickWalk(raw); });
+}
+
+void ChurnInjector::Arm() {
+  IPDA_CHECK(!armed_);
+  armed_ = true;
+  const size_t node_count = topology_->node_count();
+
+  // Joiners are not members yet: pull them out of the network now (Arm()
+  // runs before the protocol's Start(), so they miss the HELLO flood and
+  // must be admitted through the join path).
+  for (const auto& event : plan_.joins) {
+    IPDA_CHECK_LT(event.node, node_count);
+    topology_->DetachNode(event.node);
+    channel_->FailNode(event.node);
+    sim_->At(event.at, [this, node = event.node] { FireJoin(node); });
+  }
+  for (const auto& event : plan_.leaves) {
+    IPDA_CHECK_LT(event.node, node_count);
+    sim_->At(event.at, [this, node = event.node] { FireLeave(node); });
+  }
+  for (const auto& move : plan_.moves) {
+    IPDA_CHECK_LT(move.node, node_count);
+    StartWalk(move.node, move.to, move.speed_mps,
+              /*random_waypoint=*/false, move.at,
+              sim_->ForkRng("churn-walk", move.node));
+  }
+
+  const size_t sensors = node_count - 1;  // Base station is exempt.
+  const double horizon_s = sim::ToSeconds(horizon_);
+
+  if (plan_.churn.rate_hz > 0.0 && sensors > 0) {
+    // Victims and leave times are resolved now, deterministically, so
+    // experiments can interrogate churn_victims() up front.
+    util::Rng churn_rng = sim_->ForkRng("churn-rand");
+    const size_t count = std::min(
+        sensors, static_cast<size_t>(plan_.churn.rate_hz * horizon_s + 0.5));
+    const double latest_leave =
+        std::max(0.0, horizon_s - sim::ToSeconds(plan_.churn.downtime));
+    for (size_t index :
+         churn_rng.SampleWithoutReplacement(sensors, count)) {
+      const net::NodeId victim = static_cast<net::NodeId>(index + 1);
+      churn_victims_.push_back(victim);
+      const sim::SimTime leave_at =
+          sim::SecondsF(churn_rng.UniformDouble(0.0, latest_leave));
+      const sim::SimTime rejoin_at = leave_at + plan_.churn.downtime;
+      sim_->At(leave_at, [this, victim] { FireLeave(victim); });
+      if (rejoin_at <= horizon_) {
+        sim_->At(rejoin_at, [this, victim] { FireJoin(victim); });
+      }
+    }
+  }
+
+  if (plan_.mobility.fraction > 0.0 && plan_.mobility.speed_mps > 0.0 &&
+      sensors > 0) {
+    util::Rng mobility_rng = sim_->ForkRng("churn-mobility");
+    const size_t count = std::min(
+        sensors,
+        static_cast<size_t>(
+            plan_.mobility.fraction * static_cast<double>(sensors) + 0.5));
+    for (size_t index :
+         mobility_rng.SampleWithoutReplacement(sensors, count)) {
+      const net::NodeId walker = static_cast<net::NodeId>(index + 1);
+      movers_.push_back(walker);
+      util::Rng walk_rng = sim_->ForkRng("churn-walk", walker);
+      const net::Point2D target{walk_rng.UniformDouble(0.0, area_.width),
+                                walk_rng.UniformDouble(0.0, area_.height)};
+      StartWalk(walker, target, plan_.mobility.speed_mps,
+                /*random_waypoint=*/true, /*at=*/kMoveTick, walk_rng);
+    }
+  }
+}
+
+}  // namespace ipda::fault

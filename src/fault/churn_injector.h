@@ -1,0 +1,112 @@
+// Deterministic churn injection: turns a ChurnPlan into scheduler events
+// that mutate the live net::Topology (joins, leaves, waypoint mobility).
+//
+// Membership events pair a topology mutation with the matching channel
+// radio state: a leaving node is detached *and* failed (its queued frames
+// die), a joining node is recovered *and* attached. Mobility advances
+// positions in fixed ticks, refreshing unit-disk edge sets through the
+// topology's patch overlay, so reachability changes mid-transmission
+// exactly as a moving radio would. All randomness (churn victims, walk
+// waypoints) forks off the simulation seed.
+//
+// The injector is protocol-agnostic; interested protocols subscribe via
+// SetJoinListener (a node [re]joined and needs tree admission) and
+// SetChangeListener (any edge set changed).
+
+#ifndef IPDA_FAULT_CHURN_INJECTOR_H_
+#define IPDA_FAULT_CHURN_INJECTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/churn_plan.h"
+#include "net/channel.h"
+#include "net/geometry.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ipda::fault {
+
+class ChurnInjector {
+ public:
+  // `sim`, `channel`, and `topology` must outlive the injector. `area`
+  // bounds random-waypoint draws; `horizon` is the round deadline past
+  // which no churn event is scheduled.
+  ChurnInjector(sim::Simulator* sim, net::Channel* channel,
+                net::Topology* topology, ChurnPlan plan, net::Area area,
+                sim::SimTime horizon);
+
+  ChurnInjector(const ChurnInjector&) = delete;
+  ChurnInjector& operator=(const ChurnInjector&) = delete;
+
+  // Fires when a node (re)joins: the topology already has its new edges.
+  void SetJoinListener(std::function<void(net::NodeId)> listener) {
+    join_listener_ = std::move(listener);
+  }
+  // Fires after any topology mutation (join, leave, move step).
+  void SetChangeListener(std::function<void()> listener) {
+    change_listener_ = std::move(listener);
+  }
+
+  // Detaches pending joiners immediately (they are not yet members) and
+  // schedules every churn event. Call exactly once, before running the
+  // simulation and before the protocol's Start().
+  void Arm();
+
+  const ChurnPlan& plan() const { return plan_; }
+
+  // Victims of the RandomChurn process, resolved at Arm() time.
+  const std::vector<net::NodeId>& churn_victims() const {
+    return churn_victims_;
+  }
+  // Walkers of the RandomMobility process, resolved at Arm() time.
+  const std::vector<net::NodeId>& movers() const { return movers_; }
+
+  // Churn totals actually applied so far.
+  size_t joins_fired() const { return joins_fired_; }
+  size_t leaves_fired() const { return leaves_fired_; }
+  size_t move_steps_fired() const { return move_steps_fired_; }
+
+ private:
+  // One in-flight constant-speed walk; random_waypoint walks re-target
+  // themselves on arrival until the horizon.
+  struct Walk {
+    net::NodeId node = 0;
+    net::Point2D target{0.0, 0.0};
+    double speed_mps = 0.0;
+    bool random_waypoint = false;
+    util::Rng rng;
+
+    Walk(net::NodeId n, util::Rng r) : node(n), rng(r) {}
+  };
+
+  void FireLeave(net::NodeId node);
+  void FireJoin(net::NodeId node);
+  void NotifyChange();
+  // Advances `walk` one tick and reschedules while moving pre-horizon.
+  void TickWalk(Walk* walk);
+  void StartWalk(net::NodeId node, net::Point2D target, double speed_mps,
+                 bool random_waypoint, sim::SimTime at, util::Rng rng);
+
+  sim::Simulator* sim_;
+  net::Channel* channel_;
+  net::Topology* topology_;
+  ChurnPlan plan_;
+  net::Area area_;
+  sim::SimTime horizon_;
+  bool armed_ = false;
+  std::function<void(net::NodeId)> join_listener_;
+  std::function<void()> change_listener_;
+  std::vector<std::unique_ptr<Walk>> walks_;
+  std::vector<net::NodeId> churn_victims_;
+  std::vector<net::NodeId> movers_;
+  size_t joins_fired_ = 0;
+  size_t leaves_fired_ = 0;
+  size_t move_steps_fired_ = 0;
+};
+
+}  // namespace ipda::fault
+
+#endif  // IPDA_FAULT_CHURN_INJECTOR_H_

@@ -1,0 +1,212 @@
+#include "fault/churn_plan.h"
+
+#include <cstdio>
+#include <set>
+#include <tuple>
+
+#include "fault/spec_grammar.h"
+
+namespace ipda::fault {
+namespace {
+
+using internal::Directive;
+using internal::DirectiveError;
+using internal::ParseAtSuffix;
+using internal::ParseDoubleToken;
+using internal::ParseNodeToken;
+
+constexpr const char* kWhat = "churn";
+
+util::Status CheckNodeEvent(const ChurnNodeEvent& event, const char* what) {
+  if (event.node == net::kBaseStationId) {
+    return util::InvalidArgumentError(
+        std::string(what) + " may not target the base station (node 0)");
+  }
+  if (event.at < 0) {
+    return util::InvalidArgumentError(std::string(what) +
+                                      " time must be >= 0");
+  }
+  return util::OkStatus();
+}
+
+// Splits "a:b:c" into its ':' separated fields.
+std::vector<std::string> SplitColons(const std::string& text) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(':', start);
+    if (pos == std::string::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+util::Status ValidateChurnPlan(const ChurnPlan& plan) {
+  for (const auto& event : plan.joins) {
+    IPDA_RETURN_IF_ERROR(CheckNodeEvent(event, "join"));
+  }
+  for (const auto& event : plan.leaves) {
+    IPDA_RETURN_IF_ERROR(CheckNodeEvent(event, "leave"));
+  }
+  for (const auto& move : plan.moves) {
+    if (move.node == net::kBaseStationId) {
+      return util::InvalidArgumentError(
+          "move may not target the base station (node 0)");
+    }
+    if (move.at < 0) {
+      return util::InvalidArgumentError("move time must be >= 0");
+    }
+    if (move.speed_mps <= 0.0) {
+      return util::InvalidArgumentError("move speed must be > 0");
+    }
+  }
+  if (plan.churn.rate_hz < 0.0) {
+    return util::InvalidArgumentError("churn rate must be >= 0");
+  }
+  if (plan.churn.downtime <= 0) {
+    return util::InvalidArgumentError("churn downtime must be > 0");
+  }
+  if (plan.mobility.fraction < 0.0 || plan.mobility.fraction > 1.0) {
+    return util::InvalidArgumentError(
+        "mobility fraction must lie in [0, 1]");
+  }
+  if (plan.mobility.fraction > 0.0 && plan.mobility.speed_mps <= 0.0) {
+    return util::InvalidArgumentError("mobility speed must be > 0");
+  }
+  return util::OkStatus();
+}
+
+util::Result<ChurnPlan> ParseChurnSpec(std::string_view spec) {
+  ChurnPlan plan;
+  std::vector<Directive> directives;
+  IPDA_RETURN_IF_ERROR(internal::SplitDirectives(spec, kWhat, &directives));
+
+  std::set<std::tuple<std::string, net::NodeId, sim::SimTime>> node_events;
+  std::set<std::string> scalar_keys;
+
+  for (const Directive& directive : directives) {
+    const std::string& key = directive.key;
+    if (key == "join" || key == "leave") {
+      std::string id_text;
+      ChurnNodeEvent event;
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(kWhat, directive, &id_text,
+                                         &event.at));
+      IPDA_RETURN_IF_ERROR(ParseNodeToken(kWhat, directive, id_text,
+                                          &event.node));
+      if (!node_events.emplace(key, event.node, event.at).second) {
+        return DirectiveError(kWhat, directive, "duplicate event");
+      }
+      (key == "join" ? plan.joins : plan.leaves).push_back(event);
+    } else if (key == "move") {
+      std::string head;
+      WaypointMove move;
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(kWhat, directive, &head, &move.at));
+      const std::vector<std::string> fields = SplitColons(head);
+      if (fields.size() != 4) {
+        return DirectiveError(kWhat, directive,
+                              "expected <id>:<x>:<y>:<speed>@<seconds>");
+      }
+      IPDA_RETURN_IF_ERROR(ParseNodeToken(kWhat, directive, fields[0],
+                                          &move.node));
+      if (!ParseDoubleToken(fields[1], &move.to.x) ||
+          !ParseDoubleToken(fields[2], &move.to.y)) {
+        return DirectiveError(kWhat, directive,
+                              "bad waypoint token '" + fields[1] + ":" +
+                                  fields[2] + "'");
+      }
+      if (!ParseDoubleToken(fields[3], &move.speed_mps)) {
+        return DirectiveError(kWhat, directive,
+                              "bad speed token '" + fields[3] + "'");
+      }
+      if (!node_events.emplace(key, move.node, move.at).second) {
+        return DirectiveError(kWhat, directive, "duplicate event");
+      }
+      plan.moves.push_back(move);
+    } else if (key == "churn") {
+      if (!scalar_keys.insert(key).second) {
+        return DirectiveError(kWhat, directive, "'churn' set twice");
+      }
+      const std::vector<std::string> fields = SplitColons(directive.value);
+      if (fields.empty() || fields.size() > 2) {
+        return DirectiveError(kWhat, directive,
+                              "expected <rate>[:<downtime_s>]");
+      }
+      if (!ParseDoubleToken(fields[0], &plan.churn.rate_hz)) {
+        return DirectiveError(kWhat, directive,
+                              "bad rate token '" + fields[0] + "'");
+      }
+      if (fields.size() == 2) {
+        double downtime_s = 0.0;
+        if (!ParseDoubleToken(fields[1], &downtime_s)) {
+          return DirectiveError(kWhat, directive,
+                                "bad downtime token '" + fields[1] + "'");
+        }
+        plan.churn.downtime = sim::SecondsF(downtime_s);
+      }
+    } else if (key == "mobility") {
+      if (!scalar_keys.insert(key).second) {
+        return DirectiveError(kWhat, directive, "'mobility' set twice");
+      }
+      const std::vector<std::string> fields = SplitColons(directive.value);
+      if (fields.size() != 2) {
+        return DirectiveError(kWhat, directive, "expected <frac>:<speed>");
+      }
+      if (!ParseDoubleToken(fields[0], &plan.mobility.fraction)) {
+        return DirectiveError(kWhat, directive,
+                              "bad fraction token '" + fields[0] + "'");
+      }
+      if (!ParseDoubleToken(fields[1], &plan.mobility.speed_mps)) {
+        return DirectiveError(kWhat, directive,
+                              "bad speed token '" + fields[1] + "'");
+      }
+    } else {
+      return DirectiveError(kWhat, directive,
+                            "unknown directive key '" + key + "'");
+    }
+  }
+  IPDA_RETURN_IF_ERROR(ValidateChurnPlan(plan));
+  return plan;
+}
+
+std::string ChurnSpecToString(const ChurnPlan& plan) {
+  std::string out;
+  char buffer[128];
+  auto append = [&out](const char* text) {
+    if (!out.empty()) out += ',';
+    out += text;
+  };
+  for (const auto& event : plan.joins) {
+    std::snprintf(buffer, sizeof(buffer), "join=%u@%g", event.node,
+                  sim::ToSeconds(event.at));
+    append(buffer);
+  }
+  for (const auto& event : plan.leaves) {
+    std::snprintf(buffer, sizeof(buffer), "leave=%u@%g", event.node,
+                  sim::ToSeconds(event.at));
+    append(buffer);
+  }
+  for (const auto& move : plan.moves) {
+    std::snprintf(buffer, sizeof(buffer), "move=%u:%g:%g:%g@%g", move.node,
+                  move.to.x, move.to.y, move.speed_mps,
+                  sim::ToSeconds(move.at));
+    append(buffer);
+  }
+  if (plan.churn.rate_hz > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "churn=%g:%g", plan.churn.rate_hz,
+                  sim::ToSeconds(plan.churn.downtime));
+    append(buffer);
+  }
+  if (plan.mobility.fraction > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "mobility=%g:%g",
+                  plan.mobility.fraction, plan.mobility.speed_mps);
+    append(buffer);
+  }
+  return out;
+}
+
+}  // namespace ipda::fault

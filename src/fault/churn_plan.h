@@ -1,0 +1,94 @@
+// Declarative mid-round topology churn: membership change and mobility.
+//
+// A ChurnPlan is pure data, mirroring FaultPlan: which nodes join or
+// leave when, which nodes move where at what speed, plus optional random
+// churn/mobility processes whose victims and waypoints are drawn from the
+// simulation seed. The ChurnInjector (churn_injector.h) turns a plan into
+// scheduler events that mutate the live Topology, so every churn scenario
+// is serializable (--churn on the CLI), diffable, and reproducible.
+
+#ifndef IPDA_FAULT_CHURN_PLAN_H_
+#define IPDA_FAULT_CHURN_PLAN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/geometry.h"
+#include "net/topology.h"
+#include "sim/time.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::fault {
+
+// One node joining or leaving the network at an absolute simulation time.
+// A joining node starts detached (no edges, radio off) and attaches at
+// `at`; a leaving node detaches at `at` and stays gone.
+struct ChurnNodeEvent {
+  net::NodeId node = 0;
+  sim::SimTime at = 0;
+};
+
+// One node walking toward a waypoint at constant speed, starting at `at`.
+// The injector advances the position in fixed ticks, refreshing the
+// node's unit-disk edge set each step, until the waypoint is reached.
+struct WaypointMove {
+  net::NodeId node = 0;
+  net::Point2D to{0.0, 0.0};
+  double speed_mps = 0.0;
+  sim::SimTime at = 0;
+};
+
+// Seeded leave-then-rejoin process: `rate_hz` churn events per second
+// over the round, victims sampled without replacement; each victim is
+// down for `downtime` before rejoining.
+struct RandomChurn {
+  double rate_hz = 0.0;
+  sim::SimTime downtime = sim::SecondsF(1.0);
+};
+
+// Seeded random-waypoint mobility: `fraction` of the sensors walk at
+// `speed_mps` toward uniformly drawn waypoints for the whole round.
+struct RandomMobility {
+  double fraction = 0.0;
+  double speed_mps = 0.0;
+};
+
+struct ChurnPlan {
+  std::vector<ChurnNodeEvent> joins;
+  std::vector<ChurnNodeEvent> leaves;
+  std::vector<WaypointMove> moves;
+  RandomChurn churn;
+  RandomMobility mobility;
+
+  bool empty() const {
+    return joins.empty() && leaves.empty() && moves.empty() &&
+           churn.rate_hz <= 0.0 &&
+           (mobility.fraction <= 0.0 || mobility.speed_mps <= 0.0);
+  }
+};
+
+// Times must be >= 0, speeds > 0, fractions in [0, 1]; no event may
+// target the base station (node 0).
+util::Status ValidateChurnPlan(const ChurnPlan& plan);
+
+// Parses a comma- or semicolon-separated churn spec:
+//
+//   join=<id>@<seconds>            node <id> joins at <seconds>
+//   leave=<id>@<seconds>           node <id> leaves at <seconds>
+//   move=<id>:<x>:<y>:<v>@<secs>   node <id> walks to (x, y) at v m/s
+//   churn=<rate>[:<downtime_s>]    seeded leave/rejoin events per second
+//   mobility=<frac>:<v>            seeded random-waypoint walkers
+//
+// Example: "join=5@4.5,move=7:120:120:10@4.3,leave=9@4.7".
+// An empty spec yields an empty (churn-free) plan. Diagnostics carry the
+// directive number and offending token, mirroring ParseFaultSpec.
+util::Result<ChurnPlan> ParseChurnSpec(std::string_view spec);
+
+// Inverse of ParseChurnSpec, for logging and JSON emission.
+std::string ChurnSpecToString(const ChurnPlan& plan);
+
+}  // namespace ipda::fault
+
+#endif  // IPDA_FAULT_CHURN_PLAN_H_

@@ -1,10 +1,21 @@
 #include "fault/fault_plan.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <set>
+#include <tuple>
+
+#include "fault/spec_grammar.h"
 
 namespace ipda::fault {
 namespace {
+
+using internal::Directive;
+using internal::DirectiveError;
+using internal::ParseAtSuffix;
+using internal::ParseDoubleToken;
+using internal::ParseNodeToken;
+
+constexpr const char* kWhat = "fault";
 
 util::Status CheckRate(double value, const char* what) {
   if (value < 0.0 || value > 1.0) {
@@ -23,29 +34,6 @@ util::Status CheckNodeEvent(const NodeFaultEvent& event, const char* what) {
     return util::InvalidArgumentError(std::string(what) +
                                       " time must be >= 0");
   }
-  return util::OkStatus();
-}
-
-bool ParseDoubleToken(const std::string& token, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(token.c_str(), &end);
-  return end != nullptr && *end == '\0' && end != token.c_str();
-}
-
-// Splits "<value>@<seconds>" and converts the time part.
-util::Status ParseAtSuffix(const std::string& value, std::string* head,
-                           sim::SimTime* at) {
-  const size_t pos = value.find('@');
-  if (pos == std::string::npos) {
-    return util::InvalidArgumentError("expected <value>@<seconds> in '" +
-                                      value + "'");
-  }
-  double seconds = 0.0;
-  if (!ParseDoubleToken(value.substr(pos + 1), &seconds) || seconds < 0.0) {
-    return util::InvalidArgumentError("bad time in '" + value + "'");
-  }
-  *head = value.substr(0, pos);
-  *at = sim::SecondsF(seconds);
   return util::OkStatus();
 }
 
@@ -74,59 +62,81 @@ util::Status ValidateFaultPlan(const FaultPlan& plan) {
 
 util::Result<FaultPlan> ParseFaultSpec(std::string_view spec) {
   FaultPlan plan;
-  size_t start = 0;
-  while (start <= spec.size()) {
-    size_t end = spec.find_first_of(",;", start);
-    if (end == std::string_view::npos) end = spec.size();
-    const std::string directive(spec.substr(start, end - start));
-    start = end + 1;
-    if (directive.empty()) continue;
+  std::vector<Directive> directives;
+  IPDA_RETURN_IF_ERROR(internal::SplitDirectives(spec, kWhat, &directives));
 
-    const size_t eq = directive.find('=');
-    if (eq == std::string::npos) {
-      return util::InvalidArgumentError("fault directive '" + directive +
-                                        "' has no '='");
-    }
-    const std::string key = directive.substr(0, eq);
-    const std::string value = directive.substr(eq + 1);
+  // Semantic checks the plan structs can't express: the same event given
+  // twice, a scalar knob set twice, a recovery for a node no directive
+  // ever crashes. Caught here (not in ValidateFaultPlan) so directly
+  // constructed plans — e.g. tests scheduling recover-before-crash on
+  // purpose — stay valid.
+  std::set<std::tuple<std::string, net::NodeId, sim::SimTime>> node_events;
+  std::set<std::string> scalar_keys;
+  std::set<net::NodeId> crashed_nodes;
+  std::vector<std::pair<Directive, net::NodeId>> recover_sites;
 
+  for (const Directive& directive : directives) {
+    const std::string& key = directive.key;
     if (key == "crash" || key == "recover") {
       std::string id_text;
       NodeFaultEvent event;
-      IPDA_RETURN_IF_ERROR(ParseAtSuffix(value, &id_text, &event.at));
-      double id = 0.0;
-      if (!ParseDoubleToken(id_text, &id) || id < 0.0 ||
-          id != static_cast<double>(static_cast<net::NodeId>(id))) {
-        return util::InvalidArgumentError("bad node id in '" + directive +
-                                          "'");
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(kWhat, directive, &id_text,
+                                         &event.at));
+      IPDA_RETURN_IF_ERROR(ParseNodeToken(kWhat, directive, id_text,
+                                          &event.node));
+      if (!node_events.emplace(key, event.node, event.at).second) {
+        return DirectiveError(kWhat, directive, "duplicate event");
       }
-      event.node = static_cast<net::NodeId>(id);
-      (key == "crash" ? plan.crashes : plan.recoveries).push_back(event);
+      if (key == "crash") {
+        crashed_nodes.insert(event.node);
+        plan.crashes.push_back(event);
+      } else {
+        recover_sites.emplace_back(directive, event.node);
+        plan.recoveries.push_back(event);
+      }
     } else if (key == "crash-frac") {
       std::string frac_text;
       RandomCrash crash;
-      IPDA_RETURN_IF_ERROR(ParseAtSuffix(value, &frac_text, &crash.at));
+      IPDA_RETURN_IF_ERROR(ParseAtSuffix(kWhat, directive, &frac_text,
+                                         &crash.at));
       if (!ParseDoubleToken(frac_text, &crash.fraction)) {
-        return util::InvalidArgumentError("bad fraction in '" + directive +
-                                          "'");
+        return DirectiveError(kWhat, directive,
+                              "bad fraction token '" + frac_text + "'");
       }
       plan.random_crashes.push_back(crash);
     } else if (key == "loss" || key == "dup") {
+      if (!scalar_keys.insert(key).second) {
+        return DirectiveError(kWhat, directive, "'" + key + "' set twice");
+      }
       double rate = 0.0;
-      if (!ParseDoubleToken(value, &rate)) {
-        return util::InvalidArgumentError("bad rate in '" + directive + "'");
+      if (!ParseDoubleToken(directive.value, &rate)) {
+        return DirectiveError(kWhat, directive,
+                              "bad rate token '" + directive.value + "'");
       }
       (key == "loss" ? plan.link.loss_rate : plan.link.dup_rate) = rate;
     } else if (key == "jitter") {
+      if (!scalar_keys.insert(key).second) {
+        return DirectiveError(kWhat, directive, "'jitter' set twice");
+      }
       double ms = 0.0;
-      if (!ParseDoubleToken(value, &ms)) {
-        return util::InvalidArgumentError("bad jitter in '" + directive +
-                                          "'");
+      if (!ParseDoubleToken(directive.value, &ms)) {
+        return DirectiveError(kWhat, directive,
+                              "bad jitter token '" + directive.value + "'");
       }
       plan.link.jitter_max = sim::SecondsF(ms / 1e3);
     } else {
-      return util::InvalidArgumentError("unknown fault directive '" + key +
-                                        "'");
+      return DirectiveError(kWhat, directive,
+                            "unknown directive key '" + key + "'");
+    }
+  }
+  // A crash-frac directive may crash anyone, so recoveries are only
+  // checkable against explicit per-node crashes.
+  for (const auto& [directive, node] : recover_sites) {
+    if (plan.random_crashes.empty() && crashed_nodes.count(node) == 0) {
+      return DirectiveError(
+          kWhat, directive,
+          "recovery for node " + std::to_string(node) +
+              " which no crash directive ever crashes");
     }
   }
   IPDA_RETURN_IF_ERROR(ValidateFaultPlan(plan));

@@ -1,0 +1,76 @@
+#include "fault/spec_grammar.h"
+
+#include <cstdlib>
+
+namespace ipda::fault::internal {
+
+util::Status SplitDirectives(std::string_view spec, const char* what,
+                             std::vector<Directive>* out) {
+  out->clear();
+  size_t start = 0;
+  size_t line = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(",;", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string text(spec.substr(start, end - start));
+    start = end + 1;
+    if (text.empty()) continue;
+    ++line;
+
+    Directive directive;
+    directive.line = line;
+    directive.text = text;
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      return DirectiveError(what, directive, "has no '='");
+    }
+    directive.key = text.substr(0, eq);
+    directive.value = text.substr(eq + 1);
+    out->push_back(std::move(directive));
+  }
+  return util::OkStatus();
+}
+
+util::Status DirectiveError(const char* what, const Directive& directive,
+                            const std::string& message) {
+  return util::InvalidArgumentError(
+      std::string(what) + " directive " + std::to_string(directive.line) +
+      " '" + directive.text + "': " + message);
+}
+
+bool ParseDoubleToken(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != token.c_str();
+}
+
+util::Status ParseAtSuffix(const char* what, const Directive& directive,
+                           std::string* head, sim::SimTime* at) {
+  const size_t pos = directive.value.find('@');
+  if (pos == std::string::npos) {
+    return DirectiveError(what, directive, "expected <value>@<seconds>");
+  }
+  const std::string time_text = directive.value.substr(pos + 1);
+  double seconds = 0.0;
+  if (!ParseDoubleToken(time_text, &seconds) || seconds < 0.0) {
+    return DirectiveError(what, directive,
+                          "bad time token '" + time_text + "'");
+  }
+  *head = directive.value.substr(0, pos);
+  *at = sim::SecondsF(seconds);
+  return util::OkStatus();
+}
+
+util::Status ParseNodeToken(const char* what, const Directive& directive,
+                            const std::string& token, net::NodeId* out) {
+  double id = 0.0;
+  if (!ParseDoubleToken(token, &id) || id < 0.0 ||
+      id != static_cast<double>(static_cast<net::NodeId>(id))) {
+    return DirectiveError(what, directive,
+                          "bad node id token '" + token + "'");
+  }
+  *out = static_cast<net::NodeId>(id);
+  return util::OkStatus();
+}
+
+}  // namespace ipda::fault::internal

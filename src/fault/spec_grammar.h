@@ -1,0 +1,53 @@
+// Shared grammar for the declarative fault/churn spec mini-language.
+//
+// Both FaultPlan and ChurnPlan specs are comma- or semicolon-separated
+// `key=value` directives with an optional `@<seconds>` suffix. The
+// helpers here split a spec into positioned directives and build
+// diagnostics that name the directive number and the offending token, so
+// a typo in a long spec points at itself instead of failing bare.
+
+#ifndef IPDA_FAULT_SPEC_GRAMMAR_H_
+#define IPDA_FAULT_SPEC_GRAMMAR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/time.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::fault::internal {
+
+// One `key=value` directive with its 1-based position in the spec.
+struct Directive {
+  size_t line = 0;    // 1-based directive index ("line" of the spec).
+  std::string text;   // The raw directive, for diagnostics.
+  std::string key;    // Before '='.
+  std::string value;  // After '='.
+};
+
+// Splits on ',' and ';', skipping empty segments. Fails with a positioned
+// diagnostic when a directive has no '='.
+util::Status SplitDirectives(std::string_view spec, const char* what,
+                             std::vector<Directive>* out);
+
+// "<what> directive <n> '<text>': <message>".
+util::Status DirectiveError(const char* what, const Directive& directive,
+                            const std::string& message);
+
+// Strict double conversion; rejects trailing garbage.
+bool ParseDoubleToken(const std::string& token, double* out);
+
+// Splits "<head>@<seconds>" and converts the time part.
+util::Status ParseAtSuffix(const char* what, const Directive& directive,
+                           std::string* head, sim::SimTime* at);
+
+// Converts a node-id token (integer >= 0).
+util::Status ParseNodeToken(const char* what, const Directive& directive,
+                            const std::string& token, net::NodeId* out);
+
+}  // namespace ipda::fault::internal
+
+#endif  // IPDA_FAULT_SPEC_GRAMMAR_H_

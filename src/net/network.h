@@ -29,6 +29,9 @@ class Network {
   Node& base_station() { return *nodes_[kBaseStationId]; }
 
   const Topology& topology() const { return topology_; }
+  // Mutable access for mid-round churn (fault::ChurnInjector). The channel
+  // reads the same object, so mutations affect reachability immediately.
+  Topology* mutable_topology() { return &topology_; }
   Channel& channel() { return channel_; }
   CounterBoard& counters() { return counters_; }
   const CounterBoard& counters() const { return counters_; }

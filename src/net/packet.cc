@@ -16,6 +16,10 @@ std::string PacketTypeName(PacketType type) {
       return "CONTROL";
     case PacketType::kAck:
       return "ACK";
+    case PacketType::kJoin:
+      return "JOIN";
+    case PacketType::kRelay:
+      return "RELAY";
   }
   return "UNKNOWN";
 }

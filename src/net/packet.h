@@ -25,6 +25,8 @@ enum class PacketType : uint8_t {
   kQuery = 4,        // Base-station query dissemination.
   kControl = 5,      // Anything else (localization control, etc.).
   kAck = 6,          // Link-layer acknowledgement (MAC-internal).
+  kJoin = 7,         // Late-join solicitation (mid-round churn admission).
+  kRelay = 8,        // Degraded cross-tree relay of an orphaned partial.
 };
 
 std::string PacketTypeName(PacketType type);

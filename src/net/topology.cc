@@ -84,6 +84,107 @@ Topology::Topology(std::vector<Point2D> positions, double range,
   }
 }
 
+void Topology::EnsureActiveFlags() {
+  if (active_.empty()) active_.assign(node_count(), 1);
+}
+
+std::vector<NodeId>& Topology::PatchFor(NodeId id) {
+  if (patch_index_.empty()) patch_index_.assign(node_count(), -1);
+  int32_t p = patch_index_[id];
+  if (p < 0) {
+    p = static_cast<int32_t>(patch_lists_.size());
+    // Materialize from the CSR arrays directly: patch_index_[id] is still
+    // -1, so neighbors(id) would read the same bytes.
+    const uint32_t begin = offsets_[id];
+    patch_lists_.emplace_back(flat_.begin() + begin,
+                              flat_.begin() + offsets_[id + 1]);
+    patch_index_[id] = p;
+  }
+  return patch_lists_[p];
+}
+
+void Topology::RefreshEdges(NodeId id) {
+  // Desired edge set under the unit-disk model, active nodes only.
+  std::vector<NodeId> desired;
+  const double range_sq = range_ * range_;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (v == id || !active(v)) continue;
+    if (DistanceSquared(positions_[id], positions_[v]) <= range_sq) {
+      desired.push_back(v);
+    }
+  }
+  // Current edges, copied before any PatchFor call can reallocate the
+  // overlay storage a NeighborSpan would point into.
+  const NeighborSpan span = neighbors(id);
+  const std::vector<NodeId> current(span.begin(), span.end());
+  for (NodeId v : current) {
+    if (!std::binary_search(desired.begin(), desired.end(), v)) {
+      std::vector<NodeId>& list = PatchFor(v);
+      const auto it = std::lower_bound(list.begin(), list.end(), id);
+      if (it != list.end() && *it == id) list.erase(it);
+    }
+  }
+  for (NodeId v : desired) {
+    if (!std::binary_search(current.begin(), current.end(), v)) {
+      std::vector<NodeId>& list = PatchFor(v);
+      const auto it = std::lower_bound(list.begin(), list.end(), id);
+      if (it == list.end() || *it != id) list.insert(it, id);
+    }
+  }
+  PatchFor(id) = std::move(desired);
+}
+
+void Topology::DetachNode(NodeId id) {
+  IPDA_DCHECK(id < node_count());
+  EnsureActiveFlags();
+  active_[id] = 0;
+  const NeighborSpan span = neighbors(id);
+  const std::vector<NodeId> current(span.begin(), span.end());
+  for (NodeId v : current) {
+    std::vector<NodeId>& list = PatchFor(v);
+    const auto it = std::lower_bound(list.begin(), list.end(), id);
+    if (it != list.end() && *it == id) list.erase(it);
+  }
+  PatchFor(id).clear();
+}
+
+void Topology::AttachNode(NodeId id) {
+  IPDA_DCHECK(id < node_count());
+  EnsureActiveFlags();
+  active_[id] = 1;
+  RefreshEdges(id);
+}
+
+void Topology::MoveNode(NodeId id, Point2D to) {
+  IPDA_DCHECK(id < node_count());
+  positions_[id] = to;
+  if (!active(id)) return;  // Rejoin at the new position picks this up.
+  RefreshEdges(id);
+}
+
+void Topology::Compact() {
+  if (patch_index_.empty()) return;
+  std::vector<std::vector<NodeId>> adjacency(node_count());
+  for (NodeId i = 0; i < node_count(); ++i) {
+    const NeighborSpan span = neighbors(i);
+    adjacency[i].assign(span.begin(), span.end());
+  }
+  offsets_.assign(node_count() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < adjacency.size(); ++i) {
+    offsets_[i] = static_cast<uint32_t>(total);
+    total += adjacency[i].size();
+  }
+  offsets_[adjacency.size()] = static_cast<uint32_t>(total);
+  flat_.clear();
+  flat_.reserve(total);
+  for (const auto& list : adjacency) {
+    flat_.insert(flat_.end(), list.begin(), list.end());
+  }
+  patch_index_.clear();
+  patch_lists_.clear();
+}
+
 bool Topology::AreNeighbors(NodeId a, NodeId b) const {
   IPDA_DCHECK(a < node_count() && b < node_count());
   // Neighbor lists are sorted ascending by construction.
@@ -93,8 +194,13 @@ bool Topology::AreNeighbors(NodeId a, NodeId b) const {
 
 double Topology::AverageDegree() const {
   if (positions_.empty()) return 0.0;
-  return static_cast<double>(flat_.size()) /
-         static_cast<double>(positions_.size());
+  if (!mutated()) {
+    return static_cast<double>(flat_.size()) /
+           static_cast<double>(positions_.size());
+  }
+  size_t total = 0;
+  for (NodeId i = 0; i < node_count(); ++i) total += degree(i);
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
 }
 
 size_t Topology::MinDegree() const {

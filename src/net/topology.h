@@ -61,12 +61,40 @@ class Topology {
   // Neighbor ids in ascending order. Adjacency is stored CSR-style (flat
   // offsets + one contiguous neighbor array), so iterating a node's
   // neighborhood is a linear walk with no per-node vector indirection.
+  // Mid-round churn mutations live in a patch overlay: a node touched by a
+  // mutation is redirected to its patched list, everyone else stays on the
+  // CSR arrays, and the steady state (no mutations) pays one branch.
   NeighborSpan neighbors(NodeId id) const {
+    if (!patch_index_.empty()) {
+      const int32_t p = patch_index_[id];
+      if (p >= 0) {
+        const std::vector<NodeId>& list = patch_lists_[p];
+        return NeighborSpan(list.data(), list.size());
+      }
+    }
     const uint32_t begin = offsets_[id];
     return NeighborSpan(flat_.data() + begin, offsets_[id + 1] - begin);
   }
-  size_t degree(NodeId id) const { return offsets_[id + 1] - offsets_[id]; }
+  size_t degree(NodeId id) const { return neighbors(id).size(); }
   bool AreNeighbors(NodeId a, NodeId b) const;
+
+  // --- Mid-round topology churn (DESIGN.md §12) ---
+  // Detached nodes keep their slot (ids stay stable) but have no edges.
+  bool active(NodeId id) const {
+    return active_.empty() || active_[id] != 0;
+  }
+  // True while the patch overlay holds uncompacted mutations.
+  bool mutated() const { return !patch_index_.empty(); }
+  // Removes every edge of `id` and marks it inactive (leave / pre-join).
+  void DetachNode(NodeId id);
+  // Marks `id` active and recomputes its unit-disk edges against the
+  // currently active nodes (join / rejoin).
+  void AttachNode(NodeId id);
+  // Updates `id`'s position; if active, refreshes its unit-disk edge set.
+  void MoveNode(NodeId id, Point2D to);
+  // Folds the patch overlay back into CSR form (round boundary). Active
+  // flags persist; only the adjacency representation is rebuilt.
+  void Compact();
 
   // Mean degree over all nodes.
   double AverageDegree() const;
@@ -85,11 +113,24 @@ class Topology {
   Topology(std::vector<Point2D> positions, double range,
            const std::vector<std::vector<NodeId>>& adjacency);
 
+  // Returns `id`'s mutable patched neighbor list, materializing it from
+  // the CSR arrays on first touch.
+  std::vector<NodeId>& PatchFor(NodeId id);
+  void EnsureActiveFlags();
+  // Recomputes `id`'s unit-disk edge set against active nodes and patches
+  // both sides of every gained/lost edge.
+  void RefreshEdges(NodeId id);
+
   std::vector<Point2D> positions_;
   double range_ = 0.0;
   // CSR adjacency: node i's neighbors are flat_[offsets_[i]..offsets_[i+1]).
   std::vector<uint32_t> offsets_;
   std::vector<NodeId> flat_;
+  // Churn patch overlay. Empty patch_index_ = pristine CSR (the hot path);
+  // patch_index_[i] >= 0 redirects node i to patch_lists_[patch_index_[i]].
+  std::vector<int32_t> patch_index_;
+  std::vector<std::vector<NodeId>> patch_lists_;
+  std::vector<uint8_t> active_;  // Empty = everyone active.
 };
 
 }  // namespace ipda::net

@@ -22,6 +22,7 @@
 #include "crypto/stats.h"
 #include "exp/engine.h"
 #include "exp/resilient.h"
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
@@ -70,6 +71,14 @@ int Main(int argc, char** argv) {
   flags.DefineBool("failover", false,
                    "iPDA failure resilience (slice retargeting + parent "
                    "failover + round deadline)");
+  flags.DefineString("churn", "",
+                     "churn spec: join=<id>@<s>, leave=<id>@<s>, "
+                     "move=<id>:<x>:<y>:<v>@<s>, churn=<rate>[:<down_s>], "
+                     "mobility=<frac>:<v>; comma-separated");
+  flags.DefineString("churn-policy", "none",
+                     "iPDA response to --churn events: none | repair "
+                     "(incremental disjoint-tree self-healing) | rebuild "
+                     "(throttled full HELLO re-flood)");
   flags.DefineInt("runs", 5, "independent runs");
   flags.DefineInt("seed", 1, "base seed (run i uses seed+i)");
   flags.DefineInt("jobs", 0,
@@ -141,6 +150,15 @@ int Main(int argc, char** argv) {
     }
     config.faults = *plan;
   }
+  if (const std::string spec = flags.GetString("churn"); !spec.empty()) {
+    auto plan = fault::ParseChurnSpec(spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --churn: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    config.churn = *plan;
+  }
 
   agg::IpdaConfig ipda;
   ipda.slice_count = static_cast<uint32_t>(flags.GetInt("l"));
@@ -151,6 +169,15 @@ int Main(int argc, char** argv) {
   if (flags.GetBool("failover")) {
     ipda.retarget_slices = true;
     ipda.parent_failover = true;
+  }
+  if (const std::string policy = flags.GetString("churn-policy");
+      policy == "repair") {
+    ipda.churn_response = agg::ChurnResponse::kRepair;
+  } else if (policy == "rebuild") {
+    ipda.churn_response = agg::ChurnResponse::kRebuild;
+  } else if (policy != "none") {
+    std::fprintf(stderr, "unknown --churn-policy=%s\n", policy.c_str());
+    return 2;
   }
   const double slice_range = flags.GetDouble("slice-range");
   ipda.slice_range = slice_range > 0.0

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, uint64_t>> counter_sums;
   std::vector<std::pair<std::string, GaugeAgg>> gauge_aggs;
   uint64_t run_lines = 0;
+  uint64_t skipped_lines = 0;
   size_t line_no = 0;
   std::string_view rest = *content;
   while (!rest.empty()) {
@@ -125,9 +126,13 @@ int main(int argc, char** argv) {
     ParsedLine line;
     std::string error;
     if (!ipda::obs::ParseMetricsLine(raw, line, &error)) {
-      std::fprintf(stderr, "metrics_report: %s:%zu: %s\n", path.c_str(),
-                   line_no, error.c_str());
-      return 1;
+      // A corrupt line (torn write, truncation mid-crash) must not void
+      // the intact records around it: warn, count, move on.
+      std::fprintf(stderr,
+                   "metrics_report: %s:%zu: skipping corrupt line: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      ++skipped_lines;
+      continue;
     }
     if (line.kind == "metrics_header") {
       std::printf("experiment %s: %" PRIu64 " runs, seed %" PRIu64 "\n",
@@ -170,6 +175,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (skipped_lines > 0) {
+    std::fprintf(stderr,
+                 "metrics_report: skipped %" PRIu64
+                 " corrupt line(s) in %s\n",
+                 skipped_lines, path.c_str());
+  }
+  if (run_lines == 0) {
+    // An empty or fully truncated file means the producing run wrote no
+    // usable record — make that loud (and fatal for scripts) instead of
+    // printing an innocuous zero-run report.
+    std::fprintf(stderr,
+                 "metrics_report: %s contains no valid run records "
+                 "(empty or truncated --metrics file?)\n",
+                 path.c_str());
+    return 1;
+  }
   if (want_run >= 0) return 0;
 
   std::printf("%" PRIu64 " run record(s)\n", run_lines);

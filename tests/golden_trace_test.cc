@@ -19,6 +19,7 @@
 #include "agg/aggregate_function.h"
 #include "agg/reading.h"
 #include "agg/runner.h"
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 
 #ifndef IPDA_GOLDEN_DIR
@@ -91,6 +92,51 @@ std::string IpdaTrace(bool with_faults) {
   return csv;
 }
 
+// Small churn scenario (join + move + leave on a 50-node network) under
+// the kRepair response: locks down the churn spec grammar, the topology
+// patch overlay, and the incremental tree-repair machinery end to end.
+std::string IpdaChurnTrace() {
+  std::string csv =
+      "seed,result,truth,accuracy,accepted,degraded,participants,"
+      "joins_absorbed,grafts,disjoint_violations,churn_control_msgs,"
+      "bytes_sent\n";
+  auto function = agg::MakeSum();
+  auto field = agg::MakeUniformField(15.0, 30.0, 42);
+  for (uint64_t seed : kSeeds) {
+    agg::RunConfig config = GoldenConfig(seed);
+    config.deployment.node_count = 50;
+    auto churn = fault::ParseChurnSpec(
+        "join=5@4.55,move=7:120:120:10@4.3,leave=9@4.7");
+    if (!churn.ok()) return "bad churn spec: " + churn.status().ToString();
+    config.churn = *churn;
+    agg::IpdaConfig ipda;
+    ipda.retarget_slices = true;
+    ipda.parent_failover = true;
+    ipda.churn_response = agg::ChurnResponse::kRepair;
+    auto run = agg::RunIpda(config, *function, *field, ipda);
+    if (!run.ok()) return "run failed: " + run.status().ToString();
+    char row[256];
+    std::snprintf(row, sizeof(row), "%llu,",
+                  static_cast<unsigned long long>(seed));
+    csv += row;
+    AppendDouble(csv, run->result);
+    csv += ',';
+    AppendDouble(csv, function->Finalize(run->true_acc));
+    csv += ',';
+    AppendDouble(csv, run->accuracy);
+    std::snprintf(row, sizeof(row), ",%d,%d,%zu,%zu,%zu,%zu,%zu,%llu\n",
+                  run->stats.decision.accepted ? 1 : 0,
+                  run->stats.degraded ? 1 : 0, run->stats.participants,
+                  run->stats.joins_absorbed, run->stats.grafts,
+                  run->stats.disjoint_violations,
+                  run->stats.churn_control_msgs,
+                  static_cast<unsigned long long>(
+                      run->traffic.bytes_sent));
+    csv += row;
+  }
+  return csv;
+}
+
 std::string TagTrace() {
   std::string csv = "seed,result,truth,accuracy,joined,bytes_sent\n";
   auto function = agg::MakeSum();
@@ -142,6 +188,10 @@ TEST(GoldenTrace, IpdaCleanRounds) {
 
 TEST(GoldenTrace, IpdaFaultyRounds) {
   CheckGolden("ipda_n60_faults.csv", IpdaTrace(/*with_faults=*/true));
+}
+
+TEST(GoldenTrace, IpdaChurnRounds) {
+  CheckGolden("ipda_n50_churn.csv", IpdaChurnTrace());
 }
 
 TEST(GoldenTrace, TagCleanRounds) {

@@ -1,0 +1,381 @@
+// Mid-round churn response: late joins as leaves, incremental disjoint
+// tree repair (graft log invariant), degraded cross-tree fallback only
+// when no disjoint graft exists, compound crash+loss robustness, and
+// kill/resume byte-identity of churn sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "agg/ipda/protocol.h"
+#include "agg/reading.h"
+#include "agg/runner.h"
+#include "exp/engine.h"
+#include "exp/resilient.h"
+#include "fault/churn_injector.h"
+#include "fault/churn_plan.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/signal.h"
+
+namespace ipda {
+namespace {
+
+// Direct protocol harness (runner-style wiring, but with the builders
+// and graft log exposed for invariant checks).
+struct ChurnHarness {
+  agg::RunConfig config;
+  sim::Simulator simulator;
+  net::Network network;
+  std::unique_ptr<agg::AggregateFunction> function;
+  agg::IpdaProtocol protocol;
+  std::optional<fault::ChurnInjector> churn;
+  std::optional<fault::FaultInjector> faults;
+
+  static agg::RunConfig MakeConfig(size_t nodes, uint64_t seed) {
+    agg::RunConfig config;
+    config.deployment.node_count = nodes;
+    config.seed = seed;
+    return config;
+  }
+
+  ChurnHarness(size_t nodes, uint64_t seed, const agg::IpdaConfig& ipda)
+      : config(MakeConfig(nodes, seed)),
+        simulator(seed),
+        network(&simulator, std::move(*agg::BuildRunTopology(config))),
+        function(agg::MakeCount()),
+        protocol(&network, function.get(), ipda) {
+    auto field = agg::MakeConstantField(1.0);
+    protocol.SetReadings(field->Sample(network.topology()));
+  }
+
+  void ArmChurn(const fault::ChurnPlan& plan) {
+    churn.emplace(&simulator, &network.channel(),
+                  network.mutable_topology(), plan,
+                  config.deployment.area, protocol.Duration());
+    churn->SetJoinListener(
+        [this](net::NodeId id) { protocol.OnChurnJoin(id); });
+    churn->SetChangeListener([this] { protocol.OnTopologyChange(); });
+    churn->Arm();
+  }
+
+  void ArmFaults(const fault::FaultPlan& plan) {
+    faults.emplace(&simulator, &network.channel(), network.size(), plan);
+    faults->Arm();
+  }
+
+  const agg::IpdaStats& Run() {
+    protocol.Start();
+    simulator.RunUntil(protocol.Duration());
+    return protocol.Finish();
+  }
+
+  bool IsAggregator(net::NodeId id) const {
+    const agg::NodeRole role = protocol.builder(id).role();
+    return role == agg::NodeRole::kRedAggregator ||
+           role == agg::NodeRole::kBlueAggregator;
+  }
+  agg::TreeColor ColorOf(net::NodeId id) const {
+    return protocol.builder(id).role() == agg::NodeRole::kRedAggregator
+               ? agg::TreeColor::kRed
+               : agg::TreeColor::kBlue;
+  }
+};
+
+agg::IpdaConfig RepairConfig() {
+  agg::IpdaConfig ipda;
+  ipda.slice_range = 1.0;
+  ipda.retarget_slices = true;
+  ipda.parent_failover = true;
+  ipda.churn_response = agg::ChurnResponse::kRepair;
+  return ipda;
+}
+
+TEST(IpdaChurn, LateJoinerAttachesAsLeafOnBothTrees) {
+  ChurnHarness harness(300, 91, RepairConfig());
+  fault::ChurnPlan plan;
+  plan.joins.push_back({5, sim::SecondsF(4.3)});
+  harness.ArmChurn(plan);
+  const agg::IpdaStats& stats = harness.Run();
+
+  // The joiner sat out Phase I detached, solicited on join, and was
+  // admitted strictly as a leaf: the decided trees are not perturbed.
+  EXPECT_TRUE(harness.protocol.builder(5).decided());
+  EXPECT_EQ(harness.protocol.builder(5).role(), agg::NodeRole::kLeaf);
+  EXPECT_EQ(stats.joins_absorbed, 1u);
+  EXPECT_EQ(stats.grafts, 0u);
+  EXPECT_EQ(stats.disjoint_violations, 0u);
+  EXPECT_GT(stats.churn_control_msgs, 0u);
+}
+
+TEST(IpdaChurn, GraftsPreserveNodeDisjointness) {
+  ChurnHarness harness(300, 17, RepairConfig());
+  fault::ChurnPlan plan;
+  plan.mobility.fraction = 0.3;
+  plan.mobility.speed_mps = 12.0;
+  harness.ArmChurn(plan);
+  const agg::IpdaStats& stats = harness.Run();
+
+  const std::vector<agg::GraftRecord>& log = harness.protocol.graft_log();
+  ASSERT_FALSE(log.empty()) << "mobility produced no repairs";
+  size_t clean = 0, degraded = 0;
+  for (const agg::GraftRecord& graft : log) {
+    if (graft.degraded) {
+      ++degraded;
+      continue;
+    }
+    ++clean;
+    // Disjointness invariant: a non-degraded graft reparents onto the
+    // base station (root of both trees) or an aggregator of the node's
+    // own tree — never onto the other tree.
+    if (graft.new_parent == net::kBaseStationId) continue;
+    ASSERT_TRUE(harness.IsAggregator(graft.new_parent))
+        << "graft of " << graft.node << " onto non-aggregator "
+        << graft.new_parent;
+    EXPECT_EQ(harness.ColorOf(graft.new_parent), graft.color)
+        << "graft of " << graft.node << " crossed trees via "
+        << graft.new_parent;
+  }
+  EXPECT_EQ(clean, stats.grafts);
+  EXPECT_EQ(degraded, stats.disjoint_violations);
+  EXPECT_GT(stats.grafts, 0u);
+  // Every repair attempt logged a latency sample.
+  EXPECT_GE(stats.repair_latencies_ms.size(),
+            stats.grafts + stats.disjoint_violations);
+}
+
+// Picks an aggregator (hop >= 2, so its parent is not the base station)
+// with `live` same-color strictly-lower-hop candidates required.
+net::NodeId PickVictim(const ChurnHarness& harness, size_t min_same,
+                       size_t max_same, size_t min_other) {
+  for (net::NodeId id = 1; id < harness.network.size(); ++id) {
+    if (!harness.IsAggregator(id)) continue;
+    const agg::TreeBuilder& builder = harness.protocol.builder(id);
+    if (builder.hop() < 2) continue;
+    const agg::TreeColor color = harness.ColorOf(id);
+    const agg::TreeColor other = color == agg::TreeColor::kRed
+                                     ? agg::TreeColor::kBlue
+                                     : agg::TreeColor::kRed;
+    size_t same = 0, others = 0;
+    for (const auto& cand : builder.AggregatorNeighborInfos(color)) {
+      if (cand.hop < builder.hop()) ++same;
+    }
+    for (const auto& cand : builder.AggregatorNeighborInfos(other)) {
+      if (cand.hop < builder.hop()) ++others;
+    }
+    if (same >= min_same && same <= max_same && others >= min_other) {
+      return id;
+    }
+  }
+  return net::kBroadcastId;
+}
+
+TEST(IpdaChurn, ParentCrashGraftsOntoDisjointCandidateWhenOneExists) {
+  ChurnHarness harness(300, 23, RepairConfig());
+  fault::ChurnPlan plan;  // Churn response on, no scheduled churn.
+  plan.joins.push_back({299, sim::SecondsF(4.2)});
+  harness.ArmChurn(plan);
+  harness.protocol.Start();
+  harness.simulator.RunUntil(agg::IpdaReportStart(harness.protocol.config()));
+
+  // An aggregator with >= 2 lower-hop same-color candidates keeps a
+  // disjoint graft after its parent dies.
+  const net::NodeId victim = PickVictim(harness, 2, SIZE_MAX, 0);
+  ASSERT_NE(victim, net::kBroadcastId);
+  harness.network.channel().FailNode(
+      harness.protocol.builder(victim).parent());
+
+  harness.simulator.RunUntil(harness.protocol.Duration());
+  const agg::IpdaStats& stats = harness.protocol.Finish();
+
+  bool found = false;
+  for (const agg::GraftRecord& graft : harness.protocol.graft_log()) {
+    if (graft.node != victim) continue;
+    found = true;
+    EXPECT_FALSE(graft.degraded);
+    EXPECT_EQ(graft.color, harness.ColorOf(victim));
+  }
+  EXPECT_TRUE(found) << "victim " << victim << " never repaired";
+  EXPECT_GT(stats.grafts, 0u);
+}
+
+TEST(IpdaChurn, DegradedFallbackOnlyWhenNoDisjointGraftExists) {
+  ChurnHarness harness(300, 23, RepairConfig());
+  fault::ChurnPlan plan;
+  plan.joins.push_back({299, sim::SecondsF(4.2)});
+  harness.ArmChurn(plan);
+  harness.protocol.Start();
+  harness.simulator.RunUntil(agg::IpdaReportStart(harness.protocol.config()));
+
+  // An aggregator with few same-color escape routes but at least one
+  // lower-hop aggregator of the *other* color. Kill every same-color
+  // candidate (parent included): only the cross-tree relay remains.
+  const net::NodeId victim = PickVictim(harness, 1, 3, 1);
+  ASSERT_NE(victim, net::kBroadcastId);
+  const agg::TreeBuilder& builder = harness.protocol.builder(victim);
+  const agg::TreeColor color = harness.ColorOf(victim);
+  std::vector<net::NodeId> killed;
+  for (const auto& cand : builder.AggregatorNeighborInfos(color)) {
+    if (cand.hop < builder.hop()) {
+      harness.network.channel().FailNode(cand.id);
+      killed.push_back(cand.id);
+    }
+  }
+  ASSERT_FALSE(killed.empty());
+
+  harness.simulator.RunUntil(harness.protocol.Duration());
+  const agg::IpdaStats& stats = harness.protocol.Finish();
+
+  // The victim's repairs walk the dead same-color candidates (each
+  // discovered dead via ARQ) and must end in the degraded cross-tree
+  // relay — never a graft onto a live same-color parent, because none
+  // is left.
+  bool saw_degraded = false;
+  for (const agg::GraftRecord& graft : harness.protocol.graft_log()) {
+    if (graft.node != victim) continue;
+    if (!graft.degraded) {
+      EXPECT_TRUE(std::find(killed.begin(), killed.end(),
+                            graft.new_parent) != killed.end())
+          << "clean graft onto live " << graft.new_parent
+          << " despite all disjoint candidates dead";
+    } else {
+      saw_degraded = true;
+      EXPECT_EQ(graft.color, color);
+      // The relay target is an aggregator of the other tree.
+      EXPECT_NE(harness.ColorOf(graft.new_parent), color);
+    }
+  }
+  EXPECT_TRUE(saw_degraded) << "victim " << victim
+                            << " never took the degraded fallback";
+  EXPECT_GT(stats.disjoint_violations, 0u);
+  EXPECT_TRUE(stats.degraded);
+}
+
+TEST(IpdaChurn, CompoundParentCrashAndLinkLossStaysDeterministic) {
+  // S3: parent crash + link loss during degraded finalization, twice;
+  // the protocol must survive and reproduce bit-identical stats.
+  auto run_once = [](uint64_t seed) {
+    ChurnHarness harness(300, seed, RepairConfig());
+    fault::FaultPlan faults;
+    faults.link.loss_rate = 0.15;
+    harness.ArmFaults(faults);
+    fault::ChurnPlan plan;
+    plan.mobility.fraction = 0.2;
+    plan.mobility.speed_mps = 10.0;
+    harness.ArmChurn(plan);
+    harness.protocol.Start();
+    harness.simulator.RunUntil(
+        agg::IpdaReportStart(harness.protocol.config()));
+    const net::NodeId victim = PickVictim(harness, 1, SIZE_MAX, 0);
+    EXPECT_NE(victim, net::kBroadcastId);
+    if (victim != net::kBroadcastId) {
+      harness.network.channel().FailNode(
+          harness.protocol.builder(victim).parent());
+    }
+    harness.simulator.RunUntil(harness.protocol.Duration());
+    return harness.protocol.Finish();
+  };
+  const agg::IpdaStats a = run_once(29);
+  const agg::IpdaStats b = run_once(29);
+  // The round completed under compound failure...
+  EXPECT_GT(a.participants, 0u);
+  EXPECT_GE(a.grafts + a.disjoint_violations + a.orphaned_partials, 1u);
+  // ...and is exactly reproducible.
+  EXPECT_EQ(a.grafts, b.grafts);
+  EXPECT_EQ(a.disjoint_violations, b.disjoint_violations);
+  EXPECT_EQ(a.backoff_retries, b.backoff_retries);
+  EXPECT_EQ(a.orphaned_partials, b.orphaned_partials);
+  EXPECT_EQ(a.churn_control_msgs, b.churn_control_msgs);
+  EXPECT_EQ(a.decision.accepted, b.decision.accepted);
+  EXPECT_DOUBLE_EQ(a.decision.max_component_diff,
+                   b.decision.max_component_diff);
+}
+
+// --- S3: churn sweep kill/resume byte-identity ------------------------
+
+exp::ResilientOptions ChurnSweepOptions(const std::string& journal) {
+  exp::ResilientOptions options;
+  options.sweep_seed = 77;
+  options.journal_path = journal;
+  options.experiment = "ipda_churn_test";
+  options.config_digest = "ipda_churn_test|nodes=60";
+  options.drain_on_signal = false;
+  return options;
+}
+
+util::Result<std::string> ChurnBody(const exp::AttemptContext& ctx) {
+  agg::RunConfig config;
+  config.deployment.node_count = 60;
+  config.deployment.area = net::Area{200, 200};
+  config.seed = ctx.seed;
+  config.control.cancel = ctx.cancel;
+  config.control.event_budget = ctx.event_budget;
+  config.churn.churn.rate_hz = 1.0;
+  config.churn.churn.downtime = sim::SecondsF(0.5);
+  config.churn.mobility.fraction = 0.25;
+  config.churn.mobility.speed_mps = 10.0;
+  auto function = agg::MakeCount();
+  auto field = agg::MakeConstantField(1.0);
+  IPDA_ASSIGN_OR_RETURN(
+      const agg::IpdaRunResult run,
+      agg::RunIpda(config, *function, *field, RepairConfig()));
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.17g,%zu,%zu,%zu", run.accuracy,
+                run.stats.grafts, run.stats.joins_absorbed,
+                run.stats.churn_control_msgs);
+  return std::string(buf);
+}
+
+std::vector<std::string> Payloads(const exp::ResilientReport& report) {
+  std::vector<std::string> out;
+  for (const exp::RunStatus& slot : report.runs) out.push_back(slot.payload);
+  return out;
+}
+
+TEST(ChurnSweepResume, InterruptedDrainResumesByteIdentical) {
+  util::ResetDrainForTest();
+  const std::string path =
+      ::testing::TempDir() + "ipda_churn_sweep_journal.jsonl";
+  const std::vector<std::string> labels = {"churn=1.0", "churn=1.0+mob"};
+  constexpr size_t kRuns = 3;
+  exp::Engine engine(1);  // Single worker: the drain point is deterministic.
+
+  auto clean = exp::RunResilientSweep(engine, labels, kRuns,
+                                      ChurnSweepOptions(""), ChurnBody);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->runs.size(), labels.size() * kRuns);
+
+  // Interrupt mid-drain after the second completed run.
+  exp::ResilientOptions interrupted = ChurnSweepOptions(path);
+  interrupted.drain_on_signal = true;
+  size_t completed = 0;
+  auto draining_body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
+    auto result = ChurnBody(ctx);
+    if (++completed == 2) util::RequestDrain();
+    return result;
+  };
+  auto partial = exp::RunResilientSweep(engine, labels, kRuns, interrupted,
+                                        draining_body);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(partial->drained);
+  EXPECT_EQ(partial->executed, 2u);
+  util::ResetDrainForTest();
+
+  exp::ResilientOptions resume = ChurnSweepOptions("");
+  resume.resume_path = path;
+  auto resumed = exp::RunResilientSweep(engine, labels, kRuns, resume,
+                                        ChurnBody);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->replayed, 2u);
+  EXPECT_EQ(Payloads(*resumed), Payloads(*clean));
+}
+
+}  // namespace
+}  // namespace ipda
