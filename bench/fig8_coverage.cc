@@ -40,11 +40,16 @@ int Run(int argc, char** argv) {
         const size_t n = sizes[i / runs];
         const size_t r = i % runs;
         const double sensors = static_cast<double>(n - 1);
-        const auto config = PaperRunConfig(n, 0xF16'8u + r * 15485863 + n);
+        auto config = PaperRunConfig(n, 0xF16'8u + r * 15485863 + n);
         auto function = agg::MakeCount();
         auto field = agg::MakeConstantField(1.0);
 
         RunOutcome out;
+        // One graph per run, shared by all three protocol runs and the
+        // Eq.9 model below (instead of four identical rebuilds).
+        const auto topology = agg::BuildRunTopology(config);
+        if (!topology.ok()) return out;
+        config.topology = &*topology;
         auto tag = agg::RunTag(config, *function, *field);
         if (!tag.ok()) return out;
         out.acc_tag = tag->accuracy;
@@ -67,8 +72,6 @@ int Run(int argc, char** argv) {
             static_cast<double>(ipda2->stats.participants) / sensors;
         out.acc2 = ipda2->accuracy;
 
-        auto topology = agg::BuildRunTopology(config);
-        if (!topology.ok()) return out;
         out.model_cov =
             analysis::ExpectedCoveredFraction(*topology, 0.5, 0.5);
         out.ok = true;

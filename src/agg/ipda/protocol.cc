@@ -91,25 +91,27 @@ void IpdaProtocol::ProvisionPairwiseKeys() {
   }
   std::vector<crypto::Link> links;
   const net::Topology& topology = network_->topology();
-  if (config_.churn_response != ChurnResponse::kNone) {
-    // Under churn, any pair can become a link mid-round (movers, joiners),
-    // so every pair gets a key — mirroring a master-secret scheme where
-    // two nodes can always derive their pairwise key on contact.
-    for (net::NodeId a = 0; a < topology.node_count(); ++a) {
-      for (net::NodeId b = a + 1; b < topology.node_count(); ++b) {
-        links.emplace_back(a, b);
-      }
-    }
-  } else {
-    for (net::NodeId a = 0; a < topology.node_count(); ++a) {
-      for (net::NodeId b : topology.neighbors(a)) {
-        if (a < b) links.emplace_back(a, b);
-      }
+  for (net::NodeId a = 0; a < topology.node_count(); ++a) {
+    for (net::NodeId b : topology.neighbors(a)) {
+      if (a < b) links.emplace_back(a, b);
     }
   }
   const crypto::PairwiseKeyScheme scheme(
       util::Mix64(network_->sim().seed(), 0x697044414b455953ULL));
   scheme.Provision(links, owned_cryptos_);
+  if (config_.churn_response != ChurnResponse::kNone) {
+    // Under churn, any pair can become a link mid-round (movers, joiners).
+    // The master-secret scheme lets two nodes derive their pairwise key on
+    // first contact, so instead of materializing all N(N-1)/2 keys up
+    // front (quadratic memory — the city-scale OOM), each node derives
+    // missing keys lazily. Wire output is byte-identical either way.
+    for (net::NodeId id = 0; id < network_->size(); ++id) {
+      owned_cryptos_[id].keystore().SetKeyDeriver(
+          [scheme, id](crypto::PeerId peer) {
+            return scheme.LinkKey(static_cast<crypto::PeerId>(id), peer);
+          });
+    }
+  }
   cryptos_ = &owned_cryptos_;
 }
 

@@ -124,6 +124,7 @@ util::Status InterruptStatus(const RunConfig& config,
 }  // namespace
 
 util::Result<net::Topology> BuildRunTopology(const RunConfig& config) {
+  if (config.topology != nullptr) return *config.topology;
   util::Rng rng = util::Rng(config.seed).Fork("deployment");
   return net::Topology::RandomGeometric(config.deployment, config.range,
                                         rng);

@@ -53,9 +53,16 @@ struct RunConfig {
   // IpdaConfig::churn_response as well — an empty plan mutates nothing.
   fault::ChurnPlan churn;
   RunControl control;
+  // Optional prebuilt graph (non-owning; must outlive the run). When set,
+  // BuildRunTopology copies it instead of re-deploying and re-linking, so
+  // a caller comparing several protocols on the SAME network pays for one
+  // build instead of one per protocol. The caller owns keeping it
+  // consistent with `deployment`/`range`/`seed`.
+  const net::Topology* topology = nullptr;
 };
 
 // Deterministic topology for a RunConfig (same seed → same deployment).
+// Honors config.topology when set (see its comment).
 util::Result<net::Topology> BuildRunTopology(const RunConfig& config);
 
 // collected[0] / truth[0]; the paper's accuracy metric ("ratio of the

@@ -54,6 +54,7 @@ util::Result<Key128> KeyStore::GetLinkKey(PeerId peer) const {
   if (slot >= 0) return dense_keys_[static_cast<size_t>(slot)];
   const auto it = dynamic_.find(peer);
   if (it == dynamic_.end()) {
+    if (deriver_) return deriver_(peer);
     return util::NotFoundError("no link key for peer");
   }
   return it->second;

@@ -17,6 +17,7 @@
 #define IPDA_CRYPTO_KEYSTORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,12 +33,27 @@ using PeerId = uint32_t;
 
 class KeyStore {
  public:
+  // On-demand key source for peers outside the provisioned link set,
+  // already bound to the owning node (callee passes only the peer id).
+  using KeyDeriver = std::function<Key128(PeerId peer)>;
+
   KeyStore() = default;
 
   void SetLinkKey(PeerId peer, const Key128& key);
   bool HasLinkKey(PeerId peer) const {
-    return FindSlot(peer) >= 0 || dynamic_.count(peer) > 0;
+    return FindSlot(peer) >= 0 || dynamic_.count(peer) > 0 ||
+           deriver_ != nullptr;
   }
+
+  // Installs a fallback deriver: GetLinkKey() for an unprovisioned peer
+  // computes the key on the spot instead of failing, and HasLinkKey()
+  // reports every peer as keyable. This models master-secret schemes where
+  // any two nodes can agree on their pairwise key at first contact, without
+  // materializing all N(N-1)/2 keys up front (quadratic memory at city
+  // scale). Wire bytes are identical to eager provisioning: same derived
+  // key, and per-peer nonce counters start at 0 either way.
+  void SetKeyDeriver(KeyDeriver deriver) { deriver_ = std::move(deriver); }
+  bool has_deriver() const { return deriver_ != nullptr; }
   util::Result<Key128> GetLinkKey(PeerId peer) const;
   size_t link_count() const { return dense_peers_.size() + dynamic_.size(); }
   std::vector<PeerId> Peers() const;
@@ -63,6 +79,7 @@ class KeyStore {
   std::vector<XteaSchedule> dense_schedules_;
   // Pre-compile home of every key; post-compile overflow for new peers.
   std::unordered_map<PeerId, Key128> dynamic_;
+  KeyDeriver deriver_;  // Optional lazy fallback (see SetKeyDeriver).
 };
 
 // Per-peer monotone send counters sharing the KeyStore's dense slot

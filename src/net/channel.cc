@@ -11,7 +11,11 @@ namespace ipda::net {
 
 Channel::Channel(sim::Simulator* sim, const Topology* topology,
                  PhyConfig config, CounterBoard* counters)
-    : sim_(sim), topology_(topology), config_(config), counters_(counters) {
+    : sim_(sim),
+      topology_(topology),
+      config_(config),
+      counters_(counters),
+      radio_(topology != nullptr ? topology->node_count() : 0) {
   IPDA_CHECK(sim != nullptr);
   IPDA_CHECK(topology != nullptr);
   IPDA_CHECK(counters != nullptr);
@@ -19,22 +23,20 @@ Channel::Channel(sim::Simulator* sim, const Topology* topology,
   const size_t n = topology_->node_count();
   delivery_.resize(n);
   active_rx_.resize(n);
-  tx_until_.assign(n, sim::kSimTimeZero);
-  failed_.assign(n, false);
 }
 
 void Channel::FailNode(NodeId id) {
-  IPDA_CHECK_LT(id, failed_.size());
-  failed_[id] = true;
+  IPDA_CHECK_LT(id, radio_.node_count());
+  radio_.failed[id] = 1;
   // Anything the radio was mid-receiving dies with it; marking here keeps
   // the frame lost even if the node recovers before the frame ends.
   for (auto& rx : active_rx_[id]) rx.dead_rx = true;
 }
 
 void Channel::RecoverNode(NodeId id) {
-  IPDA_CHECK_LT(id, failed_.size());
-  if (!failed_[id]) return;
-  failed_[id] = false;
+  IPDA_CHECK_LT(id, radio_.node_count());
+  if (radio_.failed[id] == 0) return;
+  radio_.failed[id] = 0;
   counters_->at(id).recoveries += 1;
 }
 
@@ -68,12 +70,12 @@ sim::SimTime Channel::PropagationDelay(NodeId a, NodeId b) const {
 
 void Channel::StartTransmission(NodeId sender, Packet packet) {
   IPDA_CHECK_LT(sender, topology_->node_count());
-  if (failed_[sender]) return;  // Dead radio: nothing leaves the node.
+  if (radio_.failed[sender] != 0) return;  // Dead radio: nothing leaves the node.
   packet.uid = next_uid_++;
   const sim::SimTime now = sim_->now();
   const sim::SimTime airtime = AirTime(packet.size_bytes());
 
-  auto& sender_counters = counters_->at(sender);
+  auto sender_counters = counters_->at(sender);
   sender_counters.frames_sent += 1;
   sender_counters.bytes_sent += packet.size_bytes();
   sender_counters.energy_tx_j +=
@@ -85,7 +87,7 @@ void Channel::StartTransmission(NodeId sender, Packet packet) {
 
   // Half duplex: anything this node was receiving is now lost.
   for (auto& rx : active_rx_[sender]) rx.lost_to_tx = true;
-  tx_until_[sender] = std::max(tx_until_[sender], now + airtime);
+  radio_.tx_until[sender] = std::max(radio_.tx_until[sender], now + airtime);
 
   // Pool-backed allocate_shared: Packet and control block recycle through
   // the run's arena. The arena lives on the Simulator (not here) because
@@ -126,7 +128,7 @@ void Channel::StartTransmission(NodeId sender, Packet packet) {
 
 bool Channel::IsBusy(NodeId id) const {
   IPDA_CHECK_LT(id, active_rx_.size());
-  if (tx_until_[id] > sim_->now()) return true;
+  if (radio_.tx_until[id] > sim_->now()) return true;
   return !active_rx_[id].empty();
 }
 
@@ -134,8 +136,8 @@ void Channel::BeginReception(NodeId receiver, uint64_t uid,
                              std::shared_ptr<const Packet> packet) {
   auto& actives = active_rx_[receiver];
   ActiveReception rx{uid, std::move(packet)};
-  if (tx_until_[receiver] > sim_->now()) rx.lost_to_tx = true;
-  if (failed_[receiver]) rx.dead_rx = true;
+  if (radio_.tx_until[receiver] > sim_->now()) rx.lost_to_tx = true;
+  if (radio_.failed[receiver] != 0) rx.dead_rx = true;
   if (!actives.empty()) {
     rx.collided = true;
     for (auto& other : actives) other.collided = true;
@@ -149,7 +151,7 @@ void Channel::EndReception(NodeId receiver, uint64_t uid) {
     if (actives[i].uid != uid) continue;
     ActiveReception rx = std::move(actives[i]);
     actives.erase(actives.begin() + static_cast<long>(i));
-    auto& rc = counters_->at(receiver);
+    auto rc = counters_->at(receiver);
     // The radio listens for the whole frame whatever its fate.
     rc.energy_rx_j += config_.energy.RxCost(rx.packet->size_bytes());
     if (rx.lost_to_tx) {
@@ -162,7 +164,7 @@ void Channel::EndReception(NodeId receiver, uint64_t uid) {
     }
     // Crashed now, or crashed at any point while the frame was arriving
     // (dead_rx survives a mid-frame recovery): the frame vanishes.
-    if (rx.dead_rx || failed_[receiver]) return;
+    if (rx.dead_rx || radio_.failed[receiver] != 0) return;
     if (overhear_) overhear_(OverhearEvent{receiver, *rx.packet});
     if (rx.packet->dst == receiver || rx.packet->IsBroadcast()) {
       rc.frames_delivered += 1;

@@ -16,6 +16,7 @@
 #include "net/counters.h"
 #include "net/energy.h"
 #include "net/packet.h"
+#include "net/radio_state.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -77,7 +78,7 @@ class Channel {
   // Upper layers are untouched — their timers fire into a dead radio,
   // which is exactly what a mote crash looks like to the network.
   void FailNode(NodeId id);
-  bool IsFailed(NodeId id) const { return failed_[id]; }
+  bool IsFailed(NodeId id) const { return radio_.failed[id] != 0; }
 
   // Brings a crashed node back: it resumes both TX and RX. Frames whose
   // reception started while the node was down stay lost (the radio missed
@@ -119,8 +120,7 @@ class Channel {
   OverhearHandler overhear_;
   LinkFaultHook link_fault_;
   std::vector<std::vector<ActiveReception>> active_rx_;  // Per receiver.
-  std::vector<sim::SimTime> tx_until_;                   // Per node.
-  std::vector<bool> failed_;                             // Crashed nodes.
+  RadioBoard radio_;  // SoA per-node tx-busy / crash-failed columns.
 };
 
 }  // namespace ipda::net

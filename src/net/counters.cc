@@ -1,5 +1,7 @@
 #include "net/counters.h"
 
+#include <numeric>
+
 namespace ipda::net {
 
 NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
@@ -21,14 +23,88 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   return *this;
 }
 
+CounterBoard::CounterBoard(size_t node_count)
+    : frames_sent_(node_count, 0),
+      bytes_sent_(node_count, 0),
+      ack_frames_sent_(node_count, 0),
+      ack_bytes_sent_(node_count, 0),
+      frames_delivered_(node_count, 0),
+      bytes_delivered_(node_count, 0),
+      frames_collided_(node_count, 0),
+      frames_missed_tx_(node_count, 0),
+      mac_drops_(node_count, 0),
+      arq_retries_(node_count, 0),
+      injected_drops_(node_count, 0),
+      injected_dup_(node_count, 0),
+      recoveries_(node_count, 0),
+      energy_tx_j_(node_count, 0.0),
+      energy_rx_j_(node_count, 0.0) {}
+
+NodeCounters CounterBoard::at(NodeId id) const {
+  NodeCounters c;
+  c.frames_sent = frames_sent_[id];
+  c.bytes_sent = bytes_sent_[id];
+  c.ack_frames_sent = ack_frames_sent_[id];
+  c.ack_bytes_sent = ack_bytes_sent_[id];
+  c.frames_delivered = frames_delivered_[id];
+  c.bytes_delivered = bytes_delivered_[id];
+  c.frames_collided = frames_collided_[id];
+  c.frames_missed_tx = frames_missed_tx_[id];
+  c.mac_drops = mac_drops_[id];
+  c.arq_retries = arq_retries_[id];
+  c.injected_drops = injected_drops_[id];
+  c.injected_dup = injected_dup_[id];
+  c.recoveries = recoveries_[id];
+  c.energy_tx_j = energy_tx_j_[id];
+  c.energy_rx_j = energy_rx_j_[id];
+  return c;
+}
+
 NodeCounters CounterBoard::Totals() const {
+  const auto sum_u64 = [](const std::vector<uint64_t>& column) {
+    return std::accumulate(column.begin(), column.end(), uint64_t{0});
+  };
+  const auto sum_f64 = [](const std::vector<double>& column) {
+    return std::accumulate(column.begin(), column.end(), 0.0);
+  };
   NodeCounters total;
-  for (const auto& c : per_node_) total += c;
+  total.frames_sent = sum_u64(frames_sent_);
+  total.bytes_sent = sum_u64(bytes_sent_);
+  total.ack_frames_sent = sum_u64(ack_frames_sent_);
+  total.ack_bytes_sent = sum_u64(ack_bytes_sent_);
+  total.frames_delivered = sum_u64(frames_delivered_);
+  total.bytes_delivered = sum_u64(bytes_delivered_);
+  total.frames_collided = sum_u64(frames_collided_);
+  total.frames_missed_tx = sum_u64(frames_missed_tx_);
+  total.mac_drops = sum_u64(mac_drops_);
+  total.arq_retries = sum_u64(arq_retries_);
+  total.injected_drops = sum_u64(injected_drops_);
+  total.injected_dup = sum_u64(injected_dup_);
+  total.recoveries = sum_u64(recoveries_);
+  total.energy_tx_j = sum_f64(energy_tx_j_);
+  total.energy_rx_j = sum_f64(energy_rx_j_);
   return total;
 }
 
 void CounterBoard::Reset() {
-  for (auto& c : per_node_) c = NodeCounters{};
+  const auto zero_u64 = [](std::vector<uint64_t>& column) {
+    std::fill(column.begin(), column.end(), 0);
+  };
+  zero_u64(frames_sent_);
+  zero_u64(bytes_sent_);
+  zero_u64(ack_frames_sent_);
+  zero_u64(ack_bytes_sent_);
+  zero_u64(frames_delivered_);
+  zero_u64(bytes_delivered_);
+  zero_u64(frames_collided_);
+  zero_u64(frames_missed_tx_);
+  zero_u64(mac_drops_);
+  zero_u64(arq_retries_);
+  zero_u64(injected_drops_);
+  zero_u64(injected_dup_);
+  zero_u64(recoveries_);
+  std::fill(energy_tx_j_.begin(), energy_tx_j_.end(), 0.0);
+  std::fill(energy_rx_j_.begin(), energy_rx_j_.end(), 0.0);
 }
 
 }  // namespace ipda::net

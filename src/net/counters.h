@@ -2,6 +2,13 @@
 //
 // Fig. 7 plots total bytes transmitted; Fig. 8's accuracy loss partially
 // comes from collisions, so both are first-class counters here.
+//
+// Storage is SoA (DESIGN.md §13): one dense column per counter, indexed by
+// the CSR node id, instead of one 120-byte struct per node. Network-wide
+// reductions (Totals, the metrics census) stream contiguous columns, and a
+// 25k-node board is 15 flat arrays instead of a strided struct walk.
+// NodeCounters survives as the value/aggregate type; at() hands out a
+// reference bundle with the same field names, so call sites are unchanged.
 
 #ifndef IPDA_NET_COUNTERS_H_
 #define IPDA_NET_COUNTERS_H_
@@ -37,19 +44,66 @@ struct NodeCounters {
 
 class CounterBoard {
  public:
-  explicit CounterBoard(size_t node_count) : per_node_(node_count) {}
+  // Mutable view of one node's row across the SoA columns. Field names
+  // mirror NodeCounters so `board.at(id).frames_sent += 1` reads the same
+  // as the old AoS board.
+  struct Row {
+    uint64_t& frames_sent;
+    uint64_t& bytes_sent;
+    uint64_t& ack_frames_sent;
+    uint64_t& ack_bytes_sent;
+    uint64_t& frames_delivered;
+    uint64_t& bytes_delivered;
+    uint64_t& frames_collided;
+    uint64_t& frames_missed_tx;
+    uint64_t& mac_drops;
+    uint64_t& arq_retries;
+    uint64_t& injected_drops;
+    uint64_t& injected_dup;
+    uint64_t& recoveries;
+    double& energy_tx_j;
+    double& energy_rx_j;
 
-  NodeCounters& at(NodeId id) { return per_node_[id]; }
-  const NodeCounters& at(NodeId id) const { return per_node_[id]; }
-  size_t node_count() const { return per_node_.size(); }
+    double TotalEnergyJ() const { return energy_tx_j + energy_rx_j; }
+  };
 
-  // Sum over all nodes.
+  explicit CounterBoard(size_t node_count);
+
+  Row at(NodeId id) {
+    return Row{frames_sent_[id],    bytes_sent_[id],
+               ack_frames_sent_[id], ack_bytes_sent_[id],
+               frames_delivered_[id], bytes_delivered_[id],
+               frames_collided_[id], frames_missed_tx_[id],
+               mac_drops_[id],       arq_retries_[id],
+               injected_drops_[id],  injected_dup_[id],
+               recoveries_[id],      energy_tx_j_[id],
+               energy_rx_j_[id]};
+  }
+  // Value snapshot of one node's row (readers only).
+  NodeCounters at(NodeId id) const;
+  size_t node_count() const { return frames_sent_.size(); }
+
+  // Sum over all nodes (column-wise over the SoA arrays).
   NodeCounters Totals() const;
 
   void Reset();
 
  private:
-  std::vector<NodeCounters> per_node_;
+  std::vector<uint64_t> frames_sent_;
+  std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> ack_frames_sent_;
+  std::vector<uint64_t> ack_bytes_sent_;
+  std::vector<uint64_t> frames_delivered_;
+  std::vector<uint64_t> bytes_delivered_;
+  std::vector<uint64_t> frames_collided_;
+  std::vector<uint64_t> frames_missed_tx_;
+  std::vector<uint64_t> mac_drops_;
+  std::vector<uint64_t> arq_retries_;
+  std::vector<uint64_t> injected_drops_;
+  std::vector<uint64_t> injected_dup_;
+  std::vector<uint64_t> recoveries_;
+  std::vector<double> energy_tx_j_;
+  std::vector<double> energy_rx_j_;
 };
 
 }  // namespace ipda::net

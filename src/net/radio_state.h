@@ -1,0 +1,35 @@
+// SoA per-node radio state (DESIGN.md §13).
+//
+// The channel's hot per-node flags — "is this radio transmitting until T"
+// and "has this node crash-failed" — live in dense columns indexed by the
+// CSR node id, not in per-node objects. Carrier-sense and fan-out loops
+// touch one byte / one word per node, and a 25k-node board is two flat
+// allocations. (vector<uint8_t>, not vector<bool>: the bit proxy costs a
+// shift+mask on the busiest branch in the simulator.)
+
+#ifndef IPDA_NET_RADIO_STATE_H_
+#define IPDA_NET_RADIO_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ipda::net {
+
+struct RadioBoard {
+  // tx_until[id]: the node's own transmission occupies the air until this
+  // sim time (half-duplex carrier state).
+  std::vector<sim::SimTime> tx_until;
+  // failed[id] != 0: crash-failed; the radio neither sends nor receives.
+  std::vector<uint8_t> failed;
+
+  explicit RadioBoard(size_t node_count)
+      : tx_until(node_count, sim::kSimTimeZero), failed(node_count, 0) {}
+
+  size_t node_count() const { return failed.size(); }
+};
+
+}  // namespace ipda::net
+
+#endif  // IPDA_NET_RADIO_STATE_H_

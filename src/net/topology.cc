@@ -7,19 +7,130 @@
 #include "util/check.h"
 
 namespace ipda::net {
+namespace {
 
-util::Result<Topology> Topology::Build(std::vector<Point2D> positions,
-                                       double range) {
+util::Status ValidateBuild(const std::vector<Point2D>& positions,
+                           double range) {
   if (range <= 0.0) {
     return util::InvalidArgumentError("transmission range must be positive");
   }
   if (positions.empty()) {
     return util::InvalidArgumentError("topology needs at least one node");
   }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Result<Topology> Topology::Build(std::vector<Point2D> positions,
+                                       double range) {
+  IPDA_RETURN_IF_ERROR(ValidateBuild(positions, range));
+  const size_t n = positions.size();
+  // Split into the SoA arrays first so the grid and the distance loop both
+  // stream the coordinate columns.
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = positions[i].x;
+    ys[i] = positions[i].y;
+  }
+  SpatialHash grid(xs.data(), ys.data(), n, range);
+  const double range_sq = range * range;
+  // One sweep over cell blocks straight into CSR form, exploiting edge
+  // symmetry: each node keeps only candidates with LARGER ids (half the
+  // edge records, and the self-pair drops out for free). The candidate
+  // block is gathered once per CELL (not once per node, amortizing the
+  // bucket walk over every member); candidate coordinates are copied
+  // into contiguous scratch so the distance loop streams instead of
+  // chasing ids. Only the ~half-degree larger-lists ever need sorting —
+  // the smaller-neighbor half of every list is reconstructed afterwards
+  // by scattering the larger-lists in global id order, which lands each
+  // target's entries ascending by construction — so the sort cost is a
+  // per-node insertion-depth sort of ~k/2 ids instead of a per-cell
+  // candidate-block sort. The final CSR bytes are exactly the
+  // brute-force build's.
+  std::vector<uint32_t> candidates;
+  std::vector<double> cand_xs, cand_ys;
+  std::vector<NodeId> scratch;
+  size_t scratch_len = 0;
+  // Node i's LARGER-id neighbors occupy scratch[span_start[i] ..+ len],
+  // with len accumulated in larger_len[i].
+  std::vector<uint32_t> span_start(n, 0);
+  std::vector<uint32_t> larger_len(n, 0);
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (size_t c = 0; c < grid.cell_count(); ++c) {
+    const std::vector<uint32_t>& members = grid.cell_members(c);
+    if (members.empty()) continue;
+    candidates.clear();
+    grid.CellCandidates(c, range, xs.data(), ys.data(), candidates);
+    const size_t k = candidates.size();
+    cand_xs.resize(k);
+    cand_ys.resize(k);
+    for (size_t t = 0; t < k; ++t) {
+      cand_xs[t] = xs[candidates[t]];
+      cand_ys[t] = ys[candidates[t]];
+    }
+    // Room for the worst case (every candidate accepted for every
+    // member) so the inner loop can run branchless stream compaction:
+    // write unconditionally, advance by the predicate. The accept branch
+    // is ~1/6-taken here — mispredicting it per candidate costs more
+    // than the always-taken store.
+    if (scratch.size() < scratch_len + members.size() * k) {
+      scratch.resize(scratch_len + members.size() * k);
+    }
+    for (uint32_t i : members) {
+      const double xi = xs[i], yi = ys[i];
+      span_start[i] = static_cast<uint32_t>(scratch_len);
+      NodeId* out = scratch.data() + scratch_len;
+      size_t accepted = 0;
+      for (size_t t = 0; t < k; ++t) {
+        const double dx = xi - cand_xs[t];
+        const double dy = yi - cand_ys[t];
+        out[accepted] = static_cast<NodeId>(candidates[t]);
+        accepted += static_cast<size_t>(
+            (candidates[t] > i) & (dx * dx + dy * dy <= range_sq));
+      }
+      // Candidates arrive bucket-run-ordered, not globally sorted; the
+      // accepted half-list is tiny, so sort it here.
+      std::sort(out, out + accepted);
+      larger_len[i] = static_cast<uint32_t>(accepted);
+      scratch_len += accepted;
+    }
+  }
+  // Total degree = larger-list length + incoming count from smaller ids.
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i + 1] += larger_len[i];
+    const NodeId* larger = scratch.data() + span_start[i];
+    for (uint32_t t = 0; t < larger_len[i]; ++t) ++offsets[larger[t] + 1];
+  }
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  std::vector<NodeId> flat(offsets[n]);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  // Scatter the smaller-id halves first: iterating sources in ascending
+  // id order lands every target's entries ascending, and all of them
+  // precede the (strictly larger) ids appended from the scratch spans.
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId* larger = scratch.data() + span_start[i];
+    for (uint32_t t = 0; t < larger_len[i]; ++t) {
+      flat[cursor[larger[t]]++] = static_cast<NodeId>(i);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(scratch.begin() + span_start[i],
+              scratch.begin() + span_start[i] + larger_len[i],
+              flat.begin() + cursor[i]);
+  }
+  Topology topology(std::move(xs), std::move(ys), range, std::move(offsets),
+                    std::move(flat));
+  topology.grid_ = std::move(grid);
+  return topology;
+}
+
+util::Result<Topology> Topology::BuildBruteForce(
+    std::vector<Point2D> positions, double range) {
+  IPDA_RETURN_IF_ERROR(ValidateBuild(positions, range));
   const size_t n = positions.size();
   std::vector<std::vector<NodeId>> adjacency(n);
   const double range_sq = range * range;
-  // O(n^2) pair scan; fine for the paper's N <= 1000 scale.
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       if (DistanceSquared(positions[i], positions[j]) <= range_sq) {
@@ -28,7 +139,7 @@ util::Result<Topology> Topology::Build(std::vector<Point2D> positions,
       }
     }
   }
-  return Topology(std::move(positions), range, std::move(adjacency));
+  return Topology(std::move(positions), range, adjacency);
 }
 
 util::Result<Topology> Topology::RandomGeometric(
@@ -64,13 +175,28 @@ util::Result<Topology> Topology::RegularRing(size_t n, size_t d) {
   }
   for (auto& list : adjacency) std::sort(list.begin(), list.end());
   // Range is nominal here: adjacency was constructed directly.
-  return Topology(std::move(positions), 1.0, std::move(adjacency));
+  return Topology(std::move(positions), 1.0, adjacency);
 }
+
+Topology::Topology(std::vector<double> xs, std::vector<double> ys,
+                   double range, std::vector<uint32_t> offsets,
+                   std::vector<NodeId> flat)
+    : xs_(std::move(xs)),
+      ys_(std::move(ys)),
+      range_(range),
+      offsets_(std::move(offsets)),
+      flat_(std::move(flat)) {}
 
 Topology::Topology(std::vector<Point2D> positions, double range,
                    const std::vector<std::vector<NodeId>>& adjacency)
-    : positions_(std::move(positions)), range_(range) {
+    : range_(range) {
   const size_t n = adjacency.size();
+  xs_.resize(n);
+  ys_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs_[i] = positions[i].x;
+    ys_[i] = positions[i].y;
+  }
   offsets_.resize(n + 1);
   size_t total = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -81,6 +207,21 @@ Topology::Topology(std::vector<Point2D> positions, double range,
   flat_.reserve(total);
   for (const auto& list : adjacency) {
     flat_.insert(flat_.end(), list.begin(), list.end());
+  }
+}
+
+std::vector<Point2D> Topology::positions() const {
+  std::vector<Point2D> out;
+  out.reserve(node_count());
+  for (size_t i = 0; i < node_count(); ++i) {
+    out.push_back(Point2D{xs_[i], ys_[i]});
+  }
+  return out;
+}
+
+void Topology::EnsureGrid() {
+  if (grid_.empty()) {
+    grid_ = SpatialHash(xs_.data(), ys_.data(), node_count(), range_);
   }
 }
 
@@ -104,15 +245,22 @@ std::vector<NodeId>& Topology::PatchFor(NodeId id) {
 }
 
 void Topology::RefreshEdges(NodeId id) {
-  // Desired edge set under the unit-disk model, active nodes only.
+  // Desired edge set under the unit-disk model, active nodes only. The
+  // grid prunes the scan to the cell block around `id`; the exact
+  // predicate below matches the build, so churn re-links agree with a
+  // from-scratch rebuild bit for bit.
+  EnsureGrid();
+  scratch_.clear();
+  grid_.Candidates(position(id), range_, scratch_);
   std::vector<NodeId> desired;
   const double range_sq = range_ * range_;
-  for (NodeId v = 0; v < node_count(); ++v) {
+  for (NodeId v : scratch_) {
     if (v == id || !active(v)) continue;
-    if (DistanceSquared(positions_[id], positions_[v]) <= range_sq) {
-      desired.push_back(v);
-    }
+    const double dx = xs_[id] - xs_[v];
+    const double dy = ys_[id] - ys_[v];
+    if (dx * dx + dy * dy <= range_sq) desired.push_back(v);
   }
+  std::sort(desired.begin(), desired.end());
   // Current edges, copied before any PatchFor call can reallocate the
   // overlay storage a NeighborSpan would point into.
   const NeighborSpan span = neighbors(id);
@@ -157,7 +305,9 @@ void Topology::AttachNode(NodeId id) {
 
 void Topology::MoveNode(NodeId id, Point2D to) {
   IPDA_DCHECK(id < node_count());
-  positions_[id] = to;
+  if (!grid_.empty()) grid_.Move(id, position(id), to);
+  xs_[id] = to.x;
+  ys_[id] = to.y;
   if (!active(id)) return;  // Rejoin at the new position picks this up.
   RefreshEdges(id);
 }
@@ -193,18 +343,18 @@ bool Topology::AreNeighbors(NodeId a, NodeId b) const {
 }
 
 double Topology::AverageDegree() const {
-  if (positions_.empty()) return 0.0;
+  if (xs_.empty()) return 0.0;
   if (!mutated()) {
     return static_cast<double>(flat_.size()) /
-           static_cast<double>(positions_.size());
+           static_cast<double>(xs_.size());
   }
   size_t total = 0;
   for (NodeId i = 0; i < node_count(); ++i) total += degree(i);
-  return static_cast<double>(total) / static_cast<double>(positions_.size());
+  return static_cast<double>(total) / static_cast<double>(xs_.size());
 }
 
 size_t Topology::MinDegree() const {
-  if (positions_.empty()) return 0;
+  if (xs_.empty()) return 0;
   size_t best = SIZE_MAX;
   for (NodeId i = 0; i < node_count(); ++i) best = std::min(best, degree(i));
   return best;

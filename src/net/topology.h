@@ -2,7 +2,16 @@
 //
 // Two nodes share a (bidirectional) wireless link iff their distance is at
 // most the transmission range — the unit-disk model the paper assumes.
-// Node ids index into the position vector; id 0 is the base station.
+// Node ids index into the position arrays; id 0 is the base station.
+//
+// City-scale layout (DESIGN.md §13): positions are stored as SoA
+// coordinate arrays (xs_/ys_) indexed by the CSR node id, and the graph is
+// built through a uniform-grid SpatialHash, so construction and churn
+// re-links are O(N·k) instead of the old O(N²) all-pairs scan. The grid
+// only prunes candidates; the exact distance predicate is unchanged, so
+// the adjacency (and every golden trace downstream) is byte-identical to
+// the brute-force build, which survives as BuildBruteForce for property
+// tests and the city_scale bench's speedup referee.
 
 #ifndef IPDA_NET_TOPOLOGY_H_
 #define IPDA_NET_TOPOLOGY_H_
@@ -12,6 +21,7 @@
 
 #include "net/deployment.h"
 #include "net/geometry.h"
+#include "net/spatial_hash.h"
 #include "util/random.h"
 #include "util/result.h"
 
@@ -40,9 +50,16 @@ class NeighborSpan {
 
 class Topology {
  public:
-  // Builds the unit-disk graph; range must be positive.
+  // Builds the unit-disk graph via the spatial hash; range must be
+  // positive.
   static util::Result<Topology> Build(std::vector<Point2D> positions,
                                       double range);
+
+  // The O(N²) all-pairs reference build. Produces a Topology identical to
+  // Build() (the property suite asserts exactly this); kept for tests and
+  // for the city_scale bench's speedup measurement.
+  static util::Result<Topology> BuildBruteForce(
+      std::vector<Point2D> positions, double range);
 
   // Uniform-random deployment + unit-disk graph in one call.
   static util::Result<Topology> RandomGeometric(
@@ -53,10 +70,14 @@ class Topology {
   // Requires d even, 0 < d < n. Positions are placed on a circle.
   static util::Result<Topology> RegularRing(size_t n, size_t d);
 
-  size_t node_count() const { return positions_.size(); }
+  size_t node_count() const { return xs_.size(); }
   double range() const { return range_; }
-  const std::vector<Point2D>& positions() const { return positions_; }
-  const Point2D& position(NodeId id) const { return positions_[id]; }
+  // Materialized AoS copy of the SoA coordinate arrays (cold-path helper
+  // for tests and exports; hot paths use position()/x()/y()).
+  std::vector<Point2D> positions() const;
+  Point2D position(NodeId id) const { return Point2D{xs_[id], ys_[id]}; }
+  double x(NodeId id) const { return xs_[id]; }
+  double y(NodeId id) const { return ys_[id]; }
 
   // Neighbor ids in ascending order. Adjacency is stored CSR-style (flat
   // offsets + one contiguous neighbor array), so iterating a node's
@@ -113,16 +134,31 @@ class Topology {
   Topology(std::vector<Point2D> positions, double range,
            const std::vector<std::vector<NodeId>>& adjacency);
 
+  // Adopts already-built SoA columns and CSR arrays (Build()'s direct
+  // construction path — no intermediate per-node lists).
+  Topology(std::vector<double> xs, std::vector<double> ys, double range,
+           std::vector<uint32_t> offsets, std::vector<NodeId> flat);
+
+  // Builds the grid over the current coordinates on first churn use
+  // (Build() installs it eagerly; RegularRing and brute-force graphs get
+  // it lazily so the steady state never pays for it).
+  void EnsureGrid();
+
   // Returns `id`'s mutable patched neighbor list, materializing it from
   // the CSR arrays on first touch.
   std::vector<NodeId>& PatchFor(NodeId id);
   void EnsureActiveFlags();
   // Recomputes `id`'s unit-disk edge set against active nodes and patches
-  // both sides of every gained/lost edge.
+  // both sides of every gained/lost edge. O(k) via the spatial hash.
   void RefreshEdges(NodeId id);
 
-  std::vector<Point2D> positions_;
+  // SoA node coordinates, indexed by CSR node id.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   double range_ = 0.0;
+  // Uniform-grid index over xs_/ys_ (empty until EnsureGrid).
+  SpatialHash grid_;
+  std::vector<uint32_t> scratch_;  // Candidate buffer for grid queries.
   // CSR adjacency: node i's neighbors are flat_[offsets_[i]..offsets_[i+1]).
   std::vector<uint32_t> offsets_;
   std::vector<NodeId> flat_;

@@ -6,13 +6,13 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/flags.h"
-#include "util/io.h"
 
 namespace {
 
@@ -99,10 +99,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto content = ipda::util::ReadFileToString(path);
-  if (!content.ok()) {
-    std::fprintf(stderr, "metrics_report: %s\n",
-                 content.status().message().c_str());
+  // Stream the file line by line: a city-scale sweep's --metrics JSONL
+  // (one record per run, spans included) runs to hundreds of MiB, and
+  // the aggregation only ever needs one record in memory at a time.
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "metrics_report: cannot open %s\n", path.c_str());
     return 1;
   }
 
@@ -114,13 +116,8 @@ int main(int argc, char** argv) {
   uint64_t run_lines = 0;
   uint64_t skipped_lines = 0;
   size_t line_no = 0;
-  std::string_view rest = *content;
-  while (!rest.empty()) {
-    const size_t nl = rest.find('\n');
-    const std::string_view raw =
-        nl == std::string_view::npos ? rest : rest.substr(0, nl);
-    rest = nl == std::string_view::npos ? std::string_view{}
-                                        : rest.substr(nl + 1);
+  std::string raw;
+  while (std::getline(in, raw)) {
     ++line_no;
     if (raw.empty()) continue;
     ParsedLine line;

@@ -1,0 +1,202 @@
+// Multi-sink sharded aggregation correctness (DESIGN.md §13).
+//
+// Invariants locked down here:
+//   1. The Voronoi partition is a real partition: every sensor lands in
+//      exactly one shard.
+//   2. The merged SUM/COUNT aggregate equals the single-sink ground truth
+//      (exactly, in the loss-free case) — the shards add up to the whole.
+//   3. A crashed sink degrades only its own shard: the merge proceeds and
+//      the deficit is exactly the crashed shard's sensors.
+
+#include "agg/shard/sharded.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/reading.h"
+
+namespace ipda::agg {
+namespace {
+
+RunConfig SmallConfig(uint64_t seed) {
+  RunConfig config;
+  config.deployment.node_count = 240;
+  config.deployment.area = net::Area{400.0, 400.0};
+  config.range = 60.0;
+  config.seed = seed;
+  return config;
+}
+
+IpdaConfig LossFreeIpda() {
+  // Loss-free merge check wants every sensor to participate; retargeting
+  // keeps isolated losses from muddying the exactness assertion.
+  IpdaConfig ipda;
+  ipda.retarget_slices = true;
+  ipda.parent_failover = true;
+  return ipda;
+}
+
+TEST(SinkPlacement, DeterministicSpreadOverArea) {
+  const net::Area area{400.0, 400.0};
+  const auto one = SinkPlacement(area, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], area.Center());
+
+  const auto four = SinkPlacement(area, 4);
+  ASSERT_EQ(four.size(), 4u);
+  std::set<std::pair<double, double>> distinct;
+  for (const net::Point2D& p : four) {
+    EXPECT_TRUE(area.Contains(p));
+    distinct.insert({p.x, p.y});
+  }
+  EXPECT_EQ(distinct.size(), 4u);  // No two sinks collide.
+  // Same inputs, same placement (the digest/golden contract).
+  EXPECT_EQ(SinkPlacement(area, 4), four);
+}
+
+TEST(PartitionBySink, EverySensorInExactlyOneShard) {
+  RunConfig config = SmallConfig(3);
+  auto topology = BuildRunTopology(config);
+  ASSERT_TRUE(topology.ok());
+  const auto sinks = SinkPlacement(config.deployment.area, 4);
+  const auto assignment = PartitionBySink(*topology, sinks);
+  ASSERT_EQ(assignment.size(), topology->node_count());
+  size_t per_shard[4] = {0, 0, 0, 0};
+  for (net::NodeId id = 1; id < topology->node_count(); ++id) {
+    ASSERT_LT(assignment[id], 4u);
+    per_shard[assignment[id]] += 1;
+    // Voronoi: the assigned sink is (weakly) the nearest one.
+    const double d =
+        net::DistanceSquared(topology->position(id), sinks[assignment[id]]);
+    for (size_t s = 0; s < sinks.size(); ++s) {
+      EXPECT_LE(d, net::DistanceSquared(topology->position(id), sinks[s]));
+    }
+  }
+  size_t total = 0;
+  for (size_t c : per_shard) {
+    EXPECT_GT(c, 0u);  // Centered grid over a uniform deployment: no
+    total += c;        // shard starves.
+  }
+  EXPECT_EQ(total, topology->node_count() - 1);  // Partition, sink-less id 0.
+}
+
+TEST(RunShardedIpda, CountMergesExactlyAcrossSinkCounts) {
+  const auto function = MakeCount();
+  const auto field = MakeConstantField(1.0);
+  for (size_t sinks : {1u, 2u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << "sinks=" << sinks);
+    ShardedConfig sharded;
+    sharded.sinks = sinks;
+    auto run = RunShardedIpda(SmallConfig(7), *function, *field,
+                              LossFreeIpda(), sharded);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->decision.accepted);
+    // COUNT truth: every sensor counts 1. The merged aggregate can lose
+    // real data to radio effects and to the Voronoi boundary (border
+    // sensors lose cross-shard neighbors), but the shards must cover the
+    // whole sensor set: accuracy stays high and NEVER exceeds 1 — an
+    // over-count would mean a sensor landed in two shards.
+    EXPECT_EQ(run->true_acc[0],
+              static_cast<double>(SmallConfig(7).deployment.node_count - 1));
+    EXPECT_LE(run->accuracy, 1.0 + 1e-9);
+    EXPECT_GT(run->accuracy, 0.7);
+    EXPECT_EQ(run->shards.size(), sinks);
+  }
+}
+
+TEST(RunShardedIpda, SumMatchesSingleSinkTruth) {
+  const auto function = MakeSum();
+  const auto field = MakeUniformField(15.0, 30.0, 7);
+  ShardedConfig sharded;
+  sharded.sinks = 4;
+  auto run = RunShardedIpda(SmallConfig(7), *function, *field,
+                            LossFreeIpda(), sharded);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The global truth is computed over the SAME deployment the single-sink
+  // run would use (same seed → same positions → same readings).
+  auto single = RunIpda(SmallConfig(7), *function, *field, LossFreeIpda());
+  ASSERT_TRUE(single.ok());
+  EXPECT_DOUBLE_EQ(run->true_acc[0], single->true_acc[0]);
+  EXPECT_GT(run->accuracy, 0.9);
+  EXPECT_LE(run->accuracy, 1.0 + 1e-9);
+}
+
+TEST(RunShardedIpda, ShardsPartitionTheSensorSet) {
+  ShardedConfig sharded;
+  sharded.sinks = 3;
+  const auto function = MakeCount();
+  const auto field = MakeConstantField(1.0);
+  auto run = RunShardedIpda(SmallConfig(11), *function, *field,
+                            LossFreeIpda(), sharded);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  size_t assigned = 0;
+  for (const ShardOutcome& shard : run->shards) {
+    assigned += shard.sensor_count;
+  }
+  EXPECT_EQ(assigned, SmallConfig(11).deployment.node_count - 1);
+}
+
+TEST(RunShardedIpda, CrashedSinkDegradesOnlyItsShard) {
+  const auto function = MakeCount();
+  const auto field = MakeConstantField(1.0);
+  ShardedConfig healthy;
+  healthy.sinks = 4;
+  auto baseline = RunShardedIpda(SmallConfig(5), *function, *field,
+                                 LossFreeIpda(), healthy);
+  ASSERT_TRUE(baseline.ok());
+
+  ShardedConfig crashed = healthy;
+  crashed.crashed_sinks = {2};
+  auto run = RunShardedIpda(SmallConfig(5), *function, *field,
+                            LossFreeIpda(), crashed);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->degraded);
+  EXPECT_TRUE(run->shards[2].crashed);
+  EXPECT_EQ(run->shards[2].traffic.frames_sent, 0u);
+
+  // Surviving shards are byte-for-byte the rounds they ran without the
+  // crash (independent simulators), so the deficit is exactly shard 2.
+  for (size_t s : {0u, 1u, 3u}) {
+    EXPECT_EQ(run->shards[s].stats.decision.acc_red,
+              baseline->shards[s].stats.decision.acc_red);
+    EXPECT_EQ(run->shards[s].traffic.bytes_sent,
+              baseline->shards[s].traffic.bytes_sent);
+  }
+  const double lost = baseline->decision.acc_red[0] -
+                      baseline->shards[2].stats.decision.acc_red[0];
+  EXPECT_DOUBLE_EQ(run->decision.acc_red[0], lost);
+  // The merge still proceeds and the result stays meaningful.
+  EXPECT_GT(run->accuracy, 0.5);
+  EXPECT_LT(run->accuracy, baseline->accuracy);
+}
+
+TEST(RunShardedIpda, RejectsFaultAndChurnPlans) {
+  const auto function = MakeCount();
+  const auto field = MakeConstantField(1.0);
+  RunConfig config = SmallConfig(1);
+  config.faults.crashes.push_back({1, sim::SecondsF(1.0)});
+  auto run = RunShardedIpda(config, *function, *field, {}, {});
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(RunShardedIpda, DeterministicAcrossInvocations) {
+  const auto function = MakeSum();
+  const auto field = MakeUniformField(15.0, 30.0, 9);
+  ShardedConfig sharded;
+  sharded.sinks = 2;
+  auto a = RunShardedIpda(SmallConfig(9), *function, *field, LossFreeIpda(),
+                          sharded);
+  auto b = RunShardedIpda(SmallConfig(9), *function, *field, LossFreeIpda(),
+                          sharded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->result, b->result);
+  EXPECT_EQ(a->traffic.bytes_sent, b->traffic.bytes_sent);
+  EXPECT_EQ(a->decision.acc_red, b->decision.acc_red);
+}
+
+}  // namespace
+}  // namespace ipda::agg
