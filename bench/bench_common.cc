@@ -65,6 +65,9 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   flags.DefineInt("max-retries", 0,
                   "failed-run retries with a forked seed before the "
                   "point degrades");
+  flags.DefineString("cipher", "xtea",
+                     "link cipher backend for encrypted arms: "
+                     "xtea | aesni | chacha20");
   flags.DefineBool("help", false, "show usage");
   const util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
@@ -78,6 +81,13 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   }
   BenchOptions options;
   options.jobs = exp::ResolveJobs(flags.GetInt("jobs"));
+  const auto cipher = crypto::ParseCipherKind(flags.GetString("cipher"));
+  if (!cipher.ok()) {
+    std::fprintf(stderr, "bad --cipher: %s\n",
+                 cipher.status().ToString().c_str());
+    std::exit(2);
+  }
+  options.cipher = *cipher;
   options.journal = flags.GetString("journal");
   options.resume = flags.GetString("resume");
   options.run_deadline_s = flags.GetDouble("run-deadline");

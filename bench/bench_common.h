@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "agg/runner.h"
+#include "crypto/cipher.h"
 #include "exp/engine.h"
 
 namespace ipda::bench {
@@ -37,6 +38,9 @@ struct BenchOptions {
   double run_deadline_s = 0.0;  // --run-deadline: watchdog seconds.
   uint64_t event_budget = 0;    // --event-budget: events per attempt.
   uint32_t max_retries = 0;     // --max-retries: forked-seed retries.
+  // --cipher: link cipher for encrypted arms (result-affecting: wire
+  // bytes differ per backend, so it enters the canonical digest).
+  crypto::CipherKind cipher = crypto::CipherKind::kXtea;
   // Canonical flag string minus the scheduling/IO flags that do not
   // change results (jobs, journal, resume, run-deadline); hashed into
   // the journal's config digest.

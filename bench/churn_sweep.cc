@@ -212,6 +212,7 @@ int Run(int argc, char** argv) {
     };
     for (const auto& [response, arm] : arms) {
       agg::IpdaConfig proto = PaperIpdaConfig(2);
+      proto.cipher = options.cipher;
       proto.retarget_slices = true;
       proto.parent_failover = true;
       proto.churn_response = response;

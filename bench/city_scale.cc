@@ -201,11 +201,12 @@ int Run(int argc, char** argv) {
       }
     }
 
+    agg::IpdaConfig proto = PaperIpdaConfig(2);
+    proto.cipher = options.cipher;
     const auto round_start = std::chrono::steady_clock::now();
     if (point.sinks <= 1) {
-      IPDA_ASSIGN_OR_RETURN(
-          const agg::IpdaRunResult run,
-          agg::RunIpda(config, *function, *field, PaperIpdaConfig(2)));
+      IPDA_ASSIGN_OR_RETURN(const agg::IpdaRunResult run,
+                            agg::RunIpda(config, *function, *field, proto));
       out.accuracy = run.accuracy;
       out.accepted = run.stats.decision.accepted;
       out.degraded = run.stats.degraded;
@@ -215,8 +216,7 @@ int Run(int argc, char** argv) {
       sharded.sinks = point.sinks;
       IPDA_ASSIGN_OR_RETURN(
           const agg::ShardedRunResult run,
-          agg::RunShardedIpda(config, *function, *field, PaperIpdaConfig(2),
-                              sharded));
+          agg::RunShardedIpda(config, *function, *field, proto, sharded));
       out.accuracy = run.accuracy;
       out.accepted = run.decision.accepted;
       out.degraded = run.degraded;

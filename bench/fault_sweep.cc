@@ -199,6 +199,7 @@ int Run(int argc, char** argv) {
     ipda_config.faults = MakePlan(crash, loss, kIpdaCrashAt);
     for (bool failover : {false, true}) {
       agg::IpdaConfig proto = PaperIpdaConfig(2);
+      proto.cipher = options.cipher;
       proto.retarget_slices = failover;
       proto.parent_failover = failover;
       IPDA_ASSIGN_OR_RETURN(
@@ -246,6 +247,8 @@ int Run(int argc, char** argv) {
   std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
   std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
               runs);
+  std::printf("  \"cipher\": \"%s\",\n",
+              crypto::CipherKindName(options.cipher));
   std::printf("  \"failed_runs\": %zu,\n", report.failed);
   std::printf("  \"grid\": [\n");
   for (size_t point = 0; point < labels.size(); ++point) {

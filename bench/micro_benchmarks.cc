@@ -10,6 +10,7 @@
 #include "agg/kipda/kipda_protocol.h"
 #include "agg/reading.h"
 #include "agg/runner.h"
+#include "crypto/cipher.h"
 #include "crypto/ctr.h"
 #include "crypto/keystore.h"
 #include "crypto/xtea.h"
@@ -58,6 +59,50 @@ void BM_CtrCryptBatched(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_CtrCryptBatched)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_CipherKeystream(benchmark::State& state,
+                        crypto::CipherKind kind) {
+  // Generic backend path (precompiled schedule + 512 B chunked
+  // keystream) per cipher — the apples-to-apples row set behind
+  // BENCH_cipher.json. Compare against BM_CtrCryptBatched/4096 for the
+  // legacy XTEA-only path.
+  const crypto::CipherBackend& backend = crypto::GetCipherBackend(kind);
+  crypto::CipherSchedule sched;
+  backend.build(crypto::Key128::FromSeed(2), sched);
+  util::Bytes payload(static_cast<size_t>(state.range(0)), 0x5a);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    crypto::CtrCrypt(backend, sched, ++nonce, payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetLabel(backend.impl);
+}
+BENCHMARK_CAPTURE(BM_CipherKeystream, xtea, crypto::CipherKind::kXtea)
+    ->Arg(32)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_CipherKeystream, aesni, crypto::CipherKind::kAesNi)
+    ->Arg(32)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_CipherKeystream, chacha20,
+                  crypto::CipherKind::kChaCha20)
+    ->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_CipherScheduleBuild(benchmark::State& state,
+                            crypto::CipherKind kind) {
+  // One-time per-link schedule expansion KeyStore::Compile amortizes.
+  const crypto::CipherBackend& backend = crypto::GetCipherBackend(kind);
+  const crypto::Key128 key = crypto::Key128::FromSeed(9);
+  for (auto _ : state) {
+    crypto::CipherSchedule sched;
+    backend.build(key, sched);
+    benchmark::DoNotOptimize(sched.w.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_CipherScheduleBuild, xtea, crypto::CipherKind::kXtea);
+BENCHMARK_CAPTURE(BM_CipherScheduleBuild, aesni,
+                  crypto::CipherKind::kAesNi);
+BENCHMARK_CAPTURE(BM_CipherScheduleBuild, chacha20,
+                  crypto::CipherKind::kChaCha20);
 
 void BM_XteaScheduleBuild(benchmark::State& state) {
   // Cost of the one-time round-key expansion Compile() amortizes away.

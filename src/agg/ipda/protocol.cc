@@ -87,7 +87,7 @@ void IpdaProtocol::SetExcludedNodes(const std::vector<net::NodeId>& nodes) {
 void IpdaProtocol::ProvisionPairwiseKeys() {
   owned_cryptos_.reserve(network_->size());
   for (net::NodeId id = 0; id < network_->size(); ++id) {
-    owned_cryptos_.emplace_back(id);
+    owned_cryptos_.emplace_back(id, config_.cipher);
   }
   std::vector<crypto::Link> links;
   const net::Topology& topology = network_->topology();

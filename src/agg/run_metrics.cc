@@ -1,6 +1,7 @@
 #include "agg/run_metrics.h"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -29,7 +30,8 @@ void CollectRunMetrics(sim::Simulator& simulator,
                        const net::Network& network,
                        const crypto::CryptoStats& crypto_base,
                        const fault::FaultInjector* injector,
-                       const fault::ChurnInjector* churn) {
+                       const fault::ChurnInjector* churn,
+                       crypto::CipherKind cipher) {
   simulator.CollectKernelMetrics();
   obs::Registry& reg = simulator.metrics();
   SetGauge(reg, "sim.duration_s",
@@ -68,8 +70,14 @@ void CollectRunMetrics(sim::Simulator& simulator,
   const crypto::CryptoStats d = crypto::ThreadCryptoStats() - crypto_base;
   SetCounter(reg, "crypto.ctr_blocks_scalar", d.ctr_blocks_scalar);
   SetCounter(reg, "crypto.ctr_blocks_batched", d.ctr_blocks_batched);
+  SetCounter(reg, "crypto.keystream_bytes", d.keystream_bytes);
   SetCounter(reg, "crypto.keystore_dense_hits", d.keystore_dense_hits);
   SetCounter(reg, "crypto.keystore_dynamic_hits", d.keystore_dynamic_hits);
+  // Gauge name carries the backend so snapshot diffs across cipher
+  // choices are self-describing (value is always 1).
+  const std::string backend_gauge =
+      std::string("crypto.backend.") + crypto::CipherKindName(cipher);
+  SetGauge(reg, backend_gauge.c_str(), 1.0);
 
   if (injector != nullptr) {
     SetCounter(reg, "fault.crashes", injector->crashes_fired());

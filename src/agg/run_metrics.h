@@ -29,14 +29,17 @@ namespace ipda::agg {
 //                     bytes histogram, energy gauges
 //   crypto.*        — hot-path deltas vs `crypto_base`, the tally
 //                     ThreadCryptoStats() returned before the run started
-//                     (runs execute whole on one thread)
+//                     (runs execute whole on one thread), plus a
+//                     crypto.backend.<name> gauge naming the run's active
+//                     cipher backend
 //   fault.*         — injector totals when a fault or churn plan was armed
 // Call after the simulation has run and before taking a snapshot.
 void CollectRunMetrics(sim::Simulator& simulator,
                        const net::Network& network,
                        const crypto::CryptoStats& crypto_base,
                        const fault::FaultInjector* injector = nullptr,
-                       const fault::ChurnInjector* churn = nullptr);
+                       const fault::ChurnInjector* churn = nullptr,
+                       crypto::CipherKind cipher = crypto::CipherKind::kXtea);
 
 // iPDA layer: IpdaStats as agg.* instruments, plus the round's phase
 // spans — query.dissemination, slicing, assembly, aggregation,

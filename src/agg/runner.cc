@@ -88,12 +88,13 @@ obs::Snapshot FinishMetrics(
     const crypto::CryptoStats& crypto_base,
     const std::optional<fault::FaultInjector>& injector,
     sim::SimTime round_duration,
-    const std::optional<fault::ChurnInjector>& churn = std::nullopt) {
+    const std::optional<fault::ChurnInjector>& churn = std::nullopt,
+    crypto::CipherKind cipher = crypto::CipherKind::kXtea) {
   simulator.metrics().GetGauge("agg.round_duration_s")
       ->Set(sim::ToSeconds(round_duration));
   CollectRunMetrics(simulator, network, crypto_base,
                     injector.has_value() ? &*injector : nullptr,
-                    churn.has_value() ? &*churn : nullptr);
+                    churn.has_value() ? &*churn : nullptr, cipher);
   return obs::TakeSnapshot(simulator.metrics(), &simulator.trace());
 }
 
@@ -190,8 +191,9 @@ util::Result<SmartRunResult> RunSmart(
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
-  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
-                                 protocol.Duration());
+  result.metrics =
+      FinishMetrics(simulator, network, crypto_base, injector,
+                    protocol.Duration(), std::nullopt, smart_config.cipher);
   result.average_degree = network.topology().AverageDegree();
   result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
   result.result = protocol.FinalizedResult();
@@ -222,8 +224,9 @@ util::Result<CpdaRunResult> RunCpda(const RunConfig& config,
   result.stats = protocol.stats();
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
-  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
-                                 protocol.Duration());
+  result.metrics =
+      FinishMetrics(simulator, network, crypto_base, injector,
+                    protocol.Duration(), std::nullopt, cpda_config.cipher);
   result.average_degree = network.topology().AverageDegree();
   result.accuracy = AccuracyRatio(result.stats.collected, result.true_acc);
   result.result = protocol.FinalizedResult();
@@ -268,8 +271,9 @@ util::Result<IpdaRunResult> RunIpda(const RunConfig& config,
   result.true_acc = TrueTotal(function, readings);
   result.traffic = network.counters().Totals();
   CollectIpdaMetrics(simulator, result.stats, protocol.config());
-  result.metrics = FinishMetrics(simulator, network, crypto_base, injector,
-                                 protocol.Duration(), churn);
+  result.metrics =
+      FinishMetrics(simulator, network, crypto_base, injector,
+                    protocol.Duration(), churn, ipda_config.cipher);
   result.average_degree = network.topology().AverageDegree();
   result.accuracy_red =
       AccuracyRatio(result.stats.decision.acc_red, result.true_acc);

@@ -1,0 +1,188 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#if !defined(IPDA_DISABLE_CPU_INTRINSICS) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define IPDA_HAVE_AESNI 1
+#include <immintrin.h>
+#else
+#define IPDA_HAVE_AESNI 0
+#endif
+
+namespace ipda::crypto {
+namespace {
+
+// GF(2^8) doubling modulo the Rijndael polynomial x^8+x^4+x^3+x+1.
+constexpr uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+constexpr uint8_t Rotl8(uint8_t x, int n) {
+  return static_cast<uint8_t>((x << n) | (x >> (8 - n)));
+}
+
+// The S-box is derived, not transcribed: multiplicative inverse via the
+// generator-3 exp/log walk, then the FIPS-197 affine transform. A typo'd
+// table entry would be invisible until some rare byte pattern hits it;
+// deriving the table makes the FIPS test vectors exercise all of it.
+constexpr std::array<uint8_t, 256> MakeSbox() {
+  std::array<uint8_t, 256> sbox{};
+  uint8_t p = 1;
+  uint8_t q = 1;
+  do {
+    p = static_cast<uint8_t>(p ^ (p << 1) ^ ((p & 0x80) ? 0x1b : 0));  // p *= 3
+    q ^= static_cast<uint8_t>(q << 1);  // q /= 3 (multiply by 3^-1 = 0xf6)
+    q ^= static_cast<uint8_t>(q << 2);
+    q ^= static_cast<uint8_t>(q << 4);
+    if (q & 0x80) q ^= 0x09;
+    // Here q = p^-1; apply the affine transform.
+    sbox[p] = static_cast<uint8_t>(q ^ Rotl8(q, 1) ^ Rotl8(q, 2) ^
+                                   Rotl8(q, 3) ^ Rotl8(q, 4) ^ 0x63);
+  } while (p != 1);
+  sbox[0] = 0x63;  // 0 has no inverse; the affine transform alone applies.
+  return sbox;
+}
+
+constexpr std::array<uint8_t, 256> kSbox = MakeSbox();
+
+}  // namespace
+
+void AesKeyExpansion(const uint8_t key[16], uint8_t rk[kAesScheduleBytes]) {
+  std::memcpy(rk, key, 16);
+  uint8_t rcon = 0x01;
+  for (size_t i = 16; i < kAesScheduleBytes; i += 4) {
+    uint8_t t0 = rk[i - 4];
+    uint8_t t1 = rk[i - 3];
+    uint8_t t2 = rk[i - 2];
+    uint8_t t3 = rk[i - 1];
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon on the last word of the previous round key.
+      const uint8_t first = t0;
+      t0 = static_cast<uint8_t>(kSbox[t1] ^ rcon);
+      t1 = kSbox[t2];
+      t2 = kSbox[t3];
+      t3 = kSbox[first];
+      rcon = Xtime(rcon);
+    }
+    rk[i + 0] = static_cast<uint8_t>(rk[i - 16] ^ t0);
+    rk[i + 1] = static_cast<uint8_t>(rk[i - 15] ^ t1);
+    rk[i + 2] = static_cast<uint8_t>(rk[i - 14] ^ t2);
+    rk[i + 3] = static_cast<uint8_t>(rk[i - 13] ^ t3);
+  }
+}
+
+AesSchedule::AesSchedule(const Key128& key) {
+  // Little-endian word serialization, matching Key128's byte order
+  // everywhere else (ToHex, wire formats).
+  uint8_t bytes[16];
+  for (int w = 0; w < 4; ++w) {
+    for (int b = 0; b < 4; ++b) {
+      bytes[4 * w + b] = static_cast<uint8_t>(key.words[w] >> (8 * b));
+    }
+  }
+  AesKeyExpansion(bytes, rk.data());
+}
+
+void AesEncryptBlockPortable(const uint8_t rk[kAesScheduleBytes],
+                             const uint8_t in[16], uint8_t out[16]) {
+  // Flat state index n = row (n % 4) + 4 * column (n / 4), FIPS-197 §3.4.
+  uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<uint8_t>(in[i] ^ rk[i]);
+  for (int round = 1; round <= kAesRounds; ++round) {
+    // SubBytes + ShiftRows fused: row r rotates left by r columns.
+    uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[r + 4 * c] = kSbox[s[r + 4 * ((c + r) & 3)]];
+      }
+    }
+    const uint8_t* k = rk + 16 * round;
+    if (round < kAesRounds) {
+      for (int c = 0; c < 4; ++c) {
+        const uint8_t a0 = t[4 * c + 0];
+        const uint8_t a1 = t[4 * c + 1];
+        const uint8_t a2 = t[4 * c + 2];
+        const uint8_t a3 = t[4 * c + 3];
+        const uint8_t x = static_cast<uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        s[4 * c + 0] = static_cast<uint8_t>(a0 ^ x ^ Xtime(a0 ^ a1) ^ k[4 * c + 0]);
+        s[4 * c + 1] = static_cast<uint8_t>(a1 ^ x ^ Xtime(a1 ^ a2) ^ k[4 * c + 1]);
+        s[4 * c + 2] = static_cast<uint8_t>(a2 ^ x ^ Xtime(a2 ^ a3) ^ k[4 * c + 2]);
+        s[4 * c + 3] = static_cast<uint8_t>(a3 ^ x ^ Xtime(a3 ^ a0) ^ k[4 * c + 3]);
+      }
+    } else {
+      for (int i = 0; i < 16; ++i) s[i] = static_cast<uint8_t>(t[i] ^ k[i]);
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+#if IPDA_HAVE_AESNI
+
+__attribute__((target("aes,sse2"))) static void AesEncryptBlocksNi(
+    const uint8_t rk[kAesScheduleBytes], const uint8_t* in, uint8_t* out,
+    size_t n) {
+  __m128i k[kAesRounds + 1];
+  for (int r = 0; r <= kAesRounds; ++r) {
+    k[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r));
+  }
+  size_t i = 0;
+  // Four blocks in flight: AESENC has multi-cycle latency but pipelines,
+  // so independent CTR blocks hide it — same shape as XteaEncryptBlocks.
+  for (; i + 4 <= n; i += 4) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in + 16 * i);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k[0]);
+    for (int r = 1; r < kAesRounds; ++r) {
+      b0 = _mm_aesenc_si128(b0, k[r]);
+      b1 = _mm_aesenc_si128(b1, k[r]);
+      b2 = _mm_aesenc_si128(b2, k[r]);
+      b3 = _mm_aesenc_si128(b3, k[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, k[kAesRounds]);
+    b1 = _mm_aesenclast_si128(b1, k[kAesRounds]);
+    b2 = _mm_aesenclast_si128(b2, k[kAesRounds]);
+    b3 = _mm_aesenclast_si128(b3, k[kAesRounds]);
+    __m128i* dst = reinterpret_cast<__m128i*>(out + 16 * i);
+    _mm_storeu_si128(dst + 0, b0);
+    _mm_storeu_si128(dst + 1, b1);
+    _mm_storeu_si128(dst + 2, b2);
+    _mm_storeu_si128(dst + 3, b3);
+  }
+  for (; i < n; ++i) {
+    __m128i b = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i)), k[0]);
+    for (int r = 1; r < kAesRounds; ++r) b = _mm_aesenc_si128(b, k[r]);
+    b = _mm_aesenclast_si128(b, k[kAesRounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b);
+  }
+}
+
+#endif  // IPDA_HAVE_AESNI
+
+bool AesNiAvailable() {
+#if IPDA_HAVE_AESNI
+  static const bool available =
+      __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+void AesEncryptBlocks(const uint8_t rk[kAesScheduleBytes], const uint8_t* in,
+                      uint8_t* out, size_t n) {
+#if IPDA_HAVE_AESNI
+  if (AesNiAvailable()) {
+    AesEncryptBlocksNi(rk, in, out, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    AesEncryptBlockPortable(rk, in + 16 * i, out + 16 * i);
+  }
+}
+
+}  // namespace ipda::crypto

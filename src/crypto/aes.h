@@ -1,0 +1,61 @@
+// AES-128 block encryption (FIPS-197), implemented from scratch for the
+// kAesNi cipher backend.
+//
+// Two engines share one key schedule: a portable byte-oriented reference
+// core (table-free S-box lookups + xtime MixColumns — clarity and
+// portability over speed; it exists to define the bytes), and an AES-NI
+// core that pipelines four blocks through AESENC. Key expansion always
+// runs the portable code so the 176 schedule bytes are bit-identical on
+// every host; the NI path just loads them into xmm registers. Which
+// engine runs is resolved once per process from CPUID, and
+// -DIPDA_DISABLE_CPU_INTRINSICS=ON compiles the NI path out entirely so
+// CI can pin the portable core's output.
+//
+// Only encryption exists: CTR mode never runs the inverse cipher.
+
+#ifndef IPDA_CRYPTO_AES_H_
+#define IPDA_CRYPTO_AES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/key.h"
+
+namespace ipda::crypto {
+
+inline constexpr int kAesRounds = 10;           // AES-128.
+inline constexpr size_t kAesBlockBytes = 16;
+inline constexpr size_t kAesScheduleBytes = 16 * (kAesRounds + 1);  // 176.
+
+// Expanded round keys, byte layout exactly as FIPS-197 writes them
+// (round r = bytes [16r, 16r+16)).
+struct AesSchedule {
+  alignas(16) std::array<uint8_t, kAesScheduleBytes> rk{};
+
+  AesSchedule() = default;
+  // Key bytes are the little-endian serialization of key.words — the same
+  // byte order Key128 round-trips through ToHex/FromSeed.
+  explicit AesSchedule(const Key128& key);
+};
+
+// Portable FIPS-197 key expansion into `rk` (176 bytes).
+void AesKeyExpansion(const uint8_t key[16], uint8_t rk[kAesScheduleBytes]);
+
+// Portable reference core: encrypts one 16-byte block.
+void AesEncryptBlockPortable(const uint8_t rk[kAesScheduleBytes],
+                             const uint8_t in[16], uint8_t out[16]);
+
+// Encrypts `n` independent 16-byte blocks (out[16i] = E(in[16i])) through
+// the engine CPUID selected: AES-NI four blocks in flight when available,
+// the portable core otherwise. `in` and `out` may alias only if identical.
+void AesEncryptBlocks(const uint8_t rk[kAesScheduleBytes], const uint8_t* in,
+                      uint8_t* out, size_t n);
+
+// True when this process dispatches AesEncryptBlocks to AES-NI (CPU
+// supports AES+SSE2 and the build didn't disable intrinsics).
+bool AesNiAvailable();
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_AES_H_

@@ -1,0 +1,221 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#if !defined(IPDA_DISABLE_CPU_INTRINSICS) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define IPDA_HAVE_CHACHA_SSE2 1
+#include <immintrin.h>
+#else
+#define IPDA_HAVE_CHACHA_SSE2 0
+#endif
+
+namespace ipda::crypto {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+inline void StoreLe32(uint8_t* out, uint32_t w) {
+  out[0] = static_cast<uint8_t>(w);
+  out[1] = static_cast<uint8_t>(w >> 8);
+  out[2] = static_cast<uint8_t>(w >> 16);
+  out[3] = static_cast<uint8_t>(w >> 24);
+}
+
+// The 64-bit block counter lives in words 12 (low) and 13 (high).
+inline uint64_t CounterOf(const uint32_t state[16]) {
+  return static_cast<uint64_t>(state[12]) |
+         (static_cast<uint64_t>(state[13]) << 32);
+}
+
+// Remainder blocks (< 4) of either engine: single-block calls with the
+// counter patched per block.
+void TailBlocks(const uint32_t state[16], uint64_t ctr, uint8_t* out,
+                size_t blocks) {
+  uint32_t s[16];
+  std::memcpy(s, state, sizeof(s));
+  for (size_t i = 0; i < blocks; ++i) {
+    const uint64_t c = ctr + i;
+    s[12] = static_cast<uint32_t>(c);
+    s[13] = static_cast<uint32_t>(c >> 32);
+    ChaCha20Block(s, out + kChaChaBlockBytes * i);
+  }
+}
+
+// One double round over four lockstep lanes. Plain per-lane loops so the
+// compiler can vectorize; the explicit SSE2 engine below is the same
+// computation with the lanes in xmm registers.
+inline void QuarterRoundX4(uint32_t x[16][4], int a, int b, int c, int d) {
+  for (int l = 0; l < 4; ++l) {
+    x[a][l] += x[b][l]; x[d][l] ^= x[a][l]; x[d][l] = Rotl32(x[d][l], 16);
+  }
+  for (int l = 0; l < 4; ++l) {
+    x[c][l] += x[d][l]; x[b][l] ^= x[c][l]; x[b][l] = Rotl32(x[b][l], 12);
+  }
+  for (int l = 0; l < 4; ++l) {
+    x[a][l] += x[b][l]; x[d][l] ^= x[a][l]; x[d][l] = Rotl32(x[d][l], 8);
+  }
+  for (int l = 0; l < 4; ++l) {
+    x[c][l] += x[d][l]; x[b][l] ^= x[c][l]; x[b][l] = Rotl32(x[b][l], 7);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint32_t state[16], uint8_t out[64]) {
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < kChaChaRounds; i += 2) {
+    QuarterRound(x[0], x[4], x[8], x[12]);   // Column round.
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);  // Diagonal round.
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) StoreLe32(out + 4 * i, x[i] + state[i]);
+}
+
+void ChaCha20BlocksPortable(const uint32_t state[16], uint8_t* out,
+                            size_t blocks) {
+  uint64_t ctr = CounterOf(state);
+  while (blocks >= 4) {
+    uint32_t x[16][4];
+    uint32_t in12[4];
+    uint32_t in13[4];
+    for (int i = 0; i < 16; ++i) {
+      for (int l = 0; l < 4; ++l) x[i][l] = state[i];
+    }
+    for (int l = 0; l < 4; ++l) {
+      const uint64_t c = ctr + static_cast<uint64_t>(l);
+      in12[l] = static_cast<uint32_t>(c);
+      in13[l] = static_cast<uint32_t>(c >> 32);
+      x[12][l] = in12[l];
+      x[13][l] = in13[l];
+    }
+    for (int i = 0; i < kChaChaRounds; i += 2) {
+      QuarterRoundX4(x, 0, 4, 8, 12);
+      QuarterRoundX4(x, 1, 5, 9, 13);
+      QuarterRoundX4(x, 2, 6, 10, 14);
+      QuarterRoundX4(x, 3, 7, 11, 15);
+      QuarterRoundX4(x, 0, 5, 10, 15);
+      QuarterRoundX4(x, 1, 6, 11, 12);
+      QuarterRoundX4(x, 2, 7, 8, 13);
+      QuarterRoundX4(x, 3, 4, 9, 14);
+    }
+    for (int l = 0; l < 4; ++l) {
+      uint8_t* o = out + kChaChaBlockBytes * l;
+      for (int i = 0; i < 16; ++i) {
+        const uint32_t init =
+            (i == 12) ? in12[l] : (i == 13) ? in13[l] : state[i];
+        StoreLe32(o + 4 * i, x[i][l] + init);
+      }
+    }
+    ctr += 4;
+    out += 4 * kChaChaBlockBytes;
+    blocks -= 4;
+  }
+  TailBlocks(state, ctr, out, blocks);
+}
+
+#if IPDA_HAVE_CHACHA_SSE2
+
+// Vector quarter round over v[] (four blocks per lane). A macro rather
+// than a helper because GCC refuses to inline non-target functions into a
+// target("sse2") function.
+#define IPDA_CHACHA_QR_SSE2(a, b, c, d)                                      \
+  v[a] = _mm_add_epi32(v[a], v[b]);                                          \
+  v[d] = _mm_xor_si128(v[d], v[a]);                                          \
+  v[d] = _mm_or_si128(_mm_slli_epi32(v[d], 16), _mm_srli_epi32(v[d], 16));   \
+  v[c] = _mm_add_epi32(v[c], v[d]);                                          \
+  v[b] = _mm_xor_si128(v[b], v[c]);                                          \
+  v[b] = _mm_or_si128(_mm_slli_epi32(v[b], 12), _mm_srli_epi32(v[b], 20));   \
+  v[a] = _mm_add_epi32(v[a], v[b]);                                          \
+  v[d] = _mm_xor_si128(v[d], v[a]);                                          \
+  v[d] = _mm_or_si128(_mm_slli_epi32(v[d], 8), _mm_srli_epi32(v[d], 24));    \
+  v[c] = _mm_add_epi32(v[c], v[d]);                                          \
+  v[b] = _mm_xor_si128(v[b], v[c]);                                          \
+  v[b] = _mm_or_si128(_mm_slli_epi32(v[b], 7), _mm_srli_epi32(v[b], 25))
+
+__attribute__((target("sse2"))) static void ChaCha20Blocks4Sse2(
+    const uint32_t state[16], uint64_t ctr, uint8_t out[256]) {
+  __m128i v[16];
+  for (int i = 0; i < 16; ++i) v[i] = _mm_set1_epi32(static_cast<int>(state[i]));
+  // Per-lane counters ctr..ctr+3 split into low/high words (lane 0 is the
+  // last _mm_set_epi32 argument). Carries into the high word are computed
+  // per lane in scalar, so crossing 2^32 is exact.
+  v[12] = _mm_set_epi32(static_cast<int>(static_cast<uint32_t>(ctr + 3)),
+                        static_cast<int>(static_cast<uint32_t>(ctr + 2)),
+                        static_cast<int>(static_cast<uint32_t>(ctr + 1)),
+                        static_cast<int>(static_cast<uint32_t>(ctr)));
+  v[13] = _mm_set_epi32(static_cast<int>(static_cast<uint32_t>((ctr + 3) >> 32)),
+                        static_cast<int>(static_cast<uint32_t>((ctr + 2) >> 32)),
+                        static_cast<int>(static_cast<uint32_t>((ctr + 1) >> 32)),
+                        static_cast<int>(static_cast<uint32_t>(ctr >> 32)));
+  const __m128i init12 = v[12];
+  const __m128i init13 = v[13];
+  for (int i = 0; i < kChaChaRounds; i += 2) {
+    IPDA_CHACHA_QR_SSE2(0, 4, 8, 12);
+    IPDA_CHACHA_QR_SSE2(1, 5, 9, 13);
+    IPDA_CHACHA_QR_SSE2(2, 6, 10, 14);
+    IPDA_CHACHA_QR_SSE2(3, 7, 11, 15);
+    IPDA_CHACHA_QR_SSE2(0, 5, 10, 15);
+    IPDA_CHACHA_QR_SSE2(1, 6, 11, 12);
+    IPDA_CHACHA_QR_SSE2(2, 7, 8, 13);
+    IPDA_CHACHA_QR_SSE2(3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const __m128i init = (i == 12)   ? init12
+                         : (i == 13) ? init13
+                                     : _mm_set1_epi32(static_cast<int>(state[i]));
+    alignas(16) uint32_t w[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(w), _mm_add_epi32(v[i], init));
+    // Transpose lanes back to per-block serialization.
+    for (int l = 0; l < 4; ++l) {
+      StoreLe32(out + kChaChaBlockBytes * l + 4 * i, w[l]);
+    }
+  }
+}
+
+#undef IPDA_CHACHA_QR_SSE2
+
+#endif  // IPDA_HAVE_CHACHA_SSE2
+
+bool ChaChaSse2Available() {
+#if IPDA_HAVE_CHACHA_SSE2
+  static const bool available = __builtin_cpu_supports("sse2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+void ChaCha20Blocks(const uint32_t state[16], uint8_t* out, size_t blocks) {
+#if IPDA_HAVE_CHACHA_SSE2
+  if (ChaChaSse2Available()) {
+    uint64_t ctr = CounterOf(state);
+    while (blocks >= 4) {
+      ChaCha20Blocks4Sse2(state, ctr, out);
+      ctr += 4;
+      out += 4 * kChaChaBlockBytes;
+      blocks -= 4;
+    }
+    TailBlocks(state, ctr, out, blocks);
+    return;
+  }
+#endif
+  ChaCha20BlocksPortable(state, out, blocks);
+}
+
+}  // namespace ipda::crypto

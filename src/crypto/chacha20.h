@@ -1,0 +1,52 @@
+// ChaCha20 stream cipher core (Bernstein 2008; round function and block
+// layout as specified in RFC 8439 §2.3) for the kChaCha20 cipher backend.
+//
+// The ARX core is pure 32-bit adds/xors/rotates — fast everywhere, no
+// hardware cipher units needed. Each 64-byte keystream block is an
+// independent function of (state words, block counter), so blocks
+// parallelize trivially: the portable core runs four blocks in lockstep
+// over lane arrays (plain loops the compiler can auto-vectorize), and an
+// SSE2 path runs the same four-lane computation in xmm registers.
+// -DIPDA_DISABLE_CPU_INTRINSICS=ON compiles the SSE2 path out.
+//
+// Layout note: this repo keys links with 128-bit keys, so the backend uses
+// Bernstein's original 128-bit-key variant ("expand 16-byte k" constants,
+// key words repeated twice) with a 64-bit block counter in words 12-13 and
+// a 64-bit nonce in words 14-15 — CTR-compatible with LinkCrypto's u64
+// nonces. The RFC's 256-bit-key/96-bit-nonce layout is exercised by the
+// conformance tests through the raw state interface below.
+
+#ifndef IPDA_CRYPTO_CHACHA20_H_
+#define IPDA_CRYPTO_CHACHA20_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipda::crypto {
+
+inline constexpr size_t kChaChaBlockBytes = 64;
+inline constexpr int kChaChaRounds = 20;
+
+// Serializes one keystream block from a caller-built 16-word initial
+// state: 20 rounds, add initial state, emit words little-endian. Raw
+// interface so tests can drive the exact RFC 8439 §2.3.2 state.
+void ChaCha20Block(const uint32_t state[16], uint8_t out[64]);
+
+// Writes `blocks` consecutive keystream blocks starting from `state`,
+// incrementing the 64-bit counter in words 12-13 (low, high) by one per
+// block. `state` is not modified. Output is byte-identical to `blocks`
+// single ChaCha20Block calls with successive counters, whatever engine
+// (SSE2 or portable four-lane) the process dispatched to.
+void ChaCha20Blocks(const uint32_t state[16], uint8_t* out, size_t blocks);
+
+// Portable four-lane engine behind ChaCha20Blocks, exposed for
+// cross-path equivalence tests.
+void ChaCha20BlocksPortable(const uint32_t state[16], uint8_t* out,
+                            size_t blocks);
+
+// True when this process dispatches ChaCha20Blocks to the SSE2 engine.
+bool ChaChaSse2Available();
+
+}  // namespace ipda::crypto
+
+#endif  // IPDA_CRYPTO_CHACHA20_H_

@@ -1,0 +1,144 @@
+#include "crypto/cipher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/xtea.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ipda::crypto {
+namespace {
+
+inline void StoreLe64(uint8_t* out, uint64_t w) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(w >> (8 * i));
+}
+
+// --- XTEA: schedule words are the 64 expanded round keys verbatim. ---
+
+void XteaBuild(const Key128& key, CipherSchedule& out) {
+  const XteaSchedule sched(key);
+  std::memcpy(out.w.data(), sched.k.data(), sizeof(sched.k));
+}
+
+void XteaKeystream(const CipherSchedule& sched, uint64_t nonce,
+                   uint64_t block0, uint8_t* out, size_t blocks) {
+  // Block input is nonce + index — exactly the pre-backend XTEA-CTR
+  // construction, so golden traces pin this path's wire bytes.
+  constexpr size_t kBatch = 64;
+  uint64_t buf[kBatch];
+  while (blocks > 0) {
+    const size_t m = std::min(kBatch, blocks);
+    for (size_t i = 0; i < m; ++i) buf[i] = nonce + block0 + i;
+    XteaEncryptBlocks(sched.w.data(), buf, buf, m);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, buf, 8 * m);
+    } else {
+      for (size_t i = 0; i < m; ++i) StoreLe64(out + 8 * i, buf[i]);
+    }
+    out += 8 * m;
+    block0 += m;
+    blocks -= m;
+  }
+}
+
+// --- AES-128: schedule words hold the 176 expanded round-key bytes. ---
+
+void AesBuild(const Key128& key, CipherSchedule& out) {
+  const AesSchedule sched(key);
+  std::memcpy(out.w.data(), sched.rk.data(), kAesScheduleBytes);
+}
+
+void AesKeystream(const CipherSchedule& sched, uint64_t nonce,
+                  uint64_t block0, uint8_t* out, size_t blocks) {
+  const uint8_t* rk = reinterpret_cast<const uint8_t*>(sched.w.data());
+  // Counter block i = [u64 nonce LE][u64 block index LE].
+  constexpr size_t kBatch = 32;
+  alignas(16) uint8_t ctr[kBatch * kAesBlockBytes];
+  while (blocks > 0) {
+    const size_t m = std::min(kBatch, blocks);
+    for (size_t i = 0; i < m; ++i) {
+      StoreLe64(ctr + 16 * i, nonce);
+      StoreLe64(ctr + 16 * i + 8, block0 + i);
+    }
+    AesEncryptBlocks(rk, ctr, out, m);
+    out += kAesBlockBytes * m;
+    block0 += m;
+    blocks -= m;
+  }
+}
+
+// --- ChaCha20: schedule words are state words 0-11 (constants + key). ---
+
+// "expand 16-byte k" — Bernstein's constants for 128-bit keys.
+constexpr uint32_t kChaChaTau[4] = {0x61707865, 0x3120646e, 0x79622d36,
+                                    0x6b206574};
+
+void ChaChaBuild(const Key128& key, CipherSchedule& out) {
+  for (int i = 0; i < 4; ++i) out.w[i] = kChaChaTau[i];
+  for (int i = 0; i < 4; ++i) out.w[4 + i] = key.words[i];
+  for (int i = 0; i < 4; ++i) out.w[8 + i] = key.words[i];
+}
+
+void ChaChaKeystream(const CipherSchedule& sched, uint64_t nonce,
+                     uint64_t block0, uint8_t* out, size_t blocks) {
+  uint32_t state[16];
+  std::memcpy(state, sched.w.data(), 12 * sizeof(uint32_t));
+  state[12] = static_cast<uint32_t>(block0);
+  state[13] = static_cast<uint32_t>(block0 >> 32);
+  state[14] = static_cast<uint32_t>(nonce);
+  state[15] = static_cast<uint32_t>(nonce >> 32);
+  ChaCha20Blocks(state, out, blocks);
+}
+
+}  // namespace
+
+const CipherBackend& GetCipherBackend(CipherKind kind) {
+  static const CipherBackend xtea{
+      CipherKind::kXtea, "xtea", "xtea-x4", 8, &XteaBuild, &XteaKeystream};
+  static const CipherBackend aes{CipherKind::kAesNi,
+                                 "aesni",
+                                 AesNiAvailable() ? "aes-ni" : "aes-portable",
+                                 16,
+                                 &AesBuild,
+                                 &AesKeystream};
+  static const CipherBackend chacha{
+      CipherKind::kChaCha20,
+      "chacha20",
+      ChaChaSse2Available() ? "chacha20-sse2" : "chacha20-x4",
+      64,
+      &ChaChaBuild,
+      &ChaChaKeystream};
+  switch (kind) {
+    case CipherKind::kXtea:
+      return xtea;
+    case CipherKind::kAesNi:
+      return aes;
+    case CipherKind::kChaCha20:
+      return chacha;
+  }
+  IPDA_CHECK(false);  // Unreachable: all kinds handled above.
+  return xtea;
+}
+
+const char* CipherKindName(CipherKind kind) {
+  return GetCipherBackend(kind).name;
+}
+
+util::Result<CipherKind> ParseCipherKind(std::string_view name) {
+  for (size_t i = 0; i < kCipherKindCount; ++i) {
+    const auto kind = static_cast<CipherKind>(i);
+    if (name == CipherKindName(kind)) return kind;
+  }
+  return util::InvalidArgumentError("unknown cipher '" + std::string(name) +
+                                    "' (choose from " + CipherKindChoices() +
+                                    ")");
+}
+
+const char* CipherKindChoices() { return "xtea, aesni, chacha20"; }
+
+}  // namespace ipda::crypto

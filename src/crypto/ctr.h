@@ -1,13 +1,14 @@
-// XTEA in counter mode: turns the 64-bit block cipher into a stream cipher
-// for arbitrary-length payloads. Encryption and decryption are the same
+// Counter mode: turns a block cipher's keystream into a stream cipher for
+// arbitrary-length payloads. Encryption and decryption are the same
 // keystream XOR; the (nonce, counter) pair must never repeat under one key,
 // which LinkCrypto (crypto/keystore.h) enforces with per-link counters.
 //
-// Two paths produce bit-identical bytes: the scalar per-block loop over a
-// raw Key128, and the batched schedule path that generates the keystream
-// for a whole payload in chunked multi-block calls (XteaEncryptBlocks) and
-// XORs it word-at-a-time. Hot callers (LinkCrypto) cache an XteaSchedule
-// per link key and take the batched path.
+// Three paths produce bit-identical bytes for the XTEA default: the scalar
+// per-block loop over a raw Key128 (reference), the batched XteaSchedule
+// path, and the generic CipherBackend path with the kXtea backend. Hot
+// callers (LinkCrypto) cache a CipherSchedule per link key and take the
+// generic path, which chunks the keystream through a stack buffer and XORs
+// it word-at-a-time whatever the backend's block size.
 
 #ifndef IPDA_CRYPTO_CTR_H_
 #define IPDA_CRYPTO_CTR_H_
@@ -15,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "crypto/cipher.h"
 #include "crypto/key.h"
 #include "crypto/xtea.h"
 #include "util/bytes.h"
@@ -26,18 +28,35 @@ namespace ipda::crypto {
 // derived inline.
 void CtrCrypt(const Key128& key, uint64_t nonce, util::Bytes& data);
 
-// Batched path over a precomputed key schedule; bit-identical output.
+// Batched XTEA path over a precomputed key schedule; bit-identical output.
 void CtrCrypt(const XteaSchedule& sched, uint64_t nonce, util::Bytes& data);
 void CtrCrypt(const XteaSchedule& sched, uint64_t nonce, uint8_t* data,
               size_t size);
 
-// Writes the raw keystream blocks `E(nonce + counter0 + i)` for i in
+// Generic backend path: XORs `data` in place with `backend`'s keystream
+// for (sched, nonce), chunked so the keystream stays in L1 whatever the
+// payload size. With the kXtea backend this is byte-identical to the
+// overloads above.
+void CtrCrypt(const CipherBackend& backend, const CipherSchedule& sched,
+              uint64_t nonce, uint8_t* data, size_t size);
+void CtrCrypt(const CipherBackend& backend, const CipherSchedule& sched,
+              uint64_t nonce, util::Bytes& data);
+
+// Writes the raw XTEA keystream blocks `E(nonce + counter0 + i)` for i in
 // [0, blocks) — the batched primitive underneath CtrCrypt, exposed for
 // equivalence tests and benchmarks.
 void CtrKeystream(const XteaSchedule& sched, uint64_t nonce,
                   uint64_t counter0, uint64_t* out, size_t blocks);
 
-// Convenience copy variant.
+// Generic form: `blocks` keystream blocks of `backend.block_bytes` each,
+// starting at block index `block0`.
+inline void CtrKeystream(const CipherBackend& backend,
+                         const CipherSchedule& sched, uint64_t nonce,
+                         uint64_t block0, uint8_t* out, size_t blocks) {
+  backend.keystream(sched, nonce, block0, out, blocks);
+}
+
+// Convenience copy variant; routes through the batched schedule path.
 util::Bytes CtrCryptCopy(const Key128& key, uint64_t nonce,
                          const util::Bytes& data);
 

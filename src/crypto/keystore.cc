@@ -12,7 +12,7 @@ void KeyStore::SetLinkKey(PeerId peer, const Key128& key) {
   const int slot = FindSlot(peer);
   if (slot >= 0) {
     dense_keys_[static_cast<size_t>(slot)] = key;
-    dense_schedules_[static_cast<size_t>(slot)] = XteaSchedule(key);
+    backend_->build(key, dense_schedules_[static_cast<size_t>(slot)]);
     return;
   }
   dynamic_[peer] = key;
@@ -45,7 +45,7 @@ void KeyStore::Compile() {
   for (const auto& [peer, key] : merged) {
     dense_peers_.push_back(peer);
     dense_keys_.push_back(key);
-    dense_schedules_.emplace_back(key);
+    backend_->build(key, dense_schedules_.emplace_back());
   }
 }
 
@@ -110,18 +110,21 @@ util::Result<util::Bytes> LinkCrypto::Seal(PeerId peer,
   // Distinct per (direction, message): mixing (self, counter) can never
   // collide with the peer's (peer, counter') stream under the shared key.
   uint64_t nonce;
+  const CipherBackend& backend = keystore_.backend();
   const int slot = keystore_.FindSlot(peer);
   if (slot >= 0) {
     ++ThreadCryptoStats().keystore_dense_hits;
     const uint64_t counter = send_counters_.NextDense(slot);
     nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
-    CtrCrypt(keystore_.slot_schedule(slot), nonce, plaintext);
+    CtrCrypt(backend, keystore_.slot_schedule(slot), nonce, plaintext);
   } else {
     IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
     ++ThreadCryptoStats().keystore_dynamic_hits;
     const uint64_t counter = send_counters_.NextDynamic(peer);
     nonce = util::Mix64(static_cast<uint64_t>(self_) << 32 | peer, counter);
-    CtrCrypt(XteaSchedule(key), nonce, plaintext);
+    CipherSchedule sched;
+    backend.build(key, sched);
+    CtrCrypt(backend, sched, nonce, plaintext);
   }
   // Same little-endian layout ByteWriter::WriteU64 emits; prepending into
   // the ciphertext buffer keeps the whole seal allocation-free.
@@ -138,14 +141,17 @@ util::Result<util::Bytes> LinkCrypto::Open(PeerId peer,
   util::ByteReader reader(wire);
   IPDA_ASSIGN_OR_RETURN(uint64_t nonce, reader.ReadU64());
   util::Bytes body(wire.begin() + kSealOverheadBytes, wire.end());
+  const CipherBackend& backend = keystore_.backend();
   const int slot = keystore_.FindSlot(peer);
   if (slot >= 0) {
     ++ThreadCryptoStats().keystore_dense_hits;
-    CtrCrypt(keystore_.slot_schedule(slot), nonce, body);
+    CtrCrypt(backend, keystore_.slot_schedule(slot), nonce, body);
   } else {
     IPDA_ASSIGN_OR_RETURN(Key128 key, keystore_.GetLinkKey(peer));
     ++ThreadCryptoStats().keystore_dynamic_hits;
-    CtrCrypt(XteaSchedule(key), nonce, body);
+    CipherSchedule sched;
+    backend.build(key, sched);
+    CtrCrypt(backend, sched, nonce, body);
   }
   return body;
 }

@@ -7,11 +7,15 @@
 // is shared with the peer, which is a real outcome under EG predistribution.
 //
 // Hot-path layout: Compile() freezes the provisioned peer set into sorted
-// dense slot arrays — peer ids, keys, and precomputed XTEA round-key
-// schedules side by side — so the per-message work is one binary search
-// over a handful of u32s instead of a hash lookup plus a fresh key
-// schedule. Keys added after Compile() (CPDA cluster keys) land in a
-// dynamic overflow map that behaves exactly like the pre-compile store.
+// dense slot arrays — peer ids, keys, and precomputed cipher schedules
+// side by side — so the per-message work is one binary search over a
+// handful of u32s instead of a hash lookup plus a fresh key schedule.
+// Keys added after Compile() (CPDA cluster keys) land in a dynamic
+// overflow map that behaves exactly like the pre-compile store.
+//
+// Which cipher fills the schedules (XTEA default, AES-NI, ChaCha20 — see
+// crypto/cipher.h) is fixed per store at construction; the wire format
+// and nonce discipline are cipher-independent.
 
 #ifndef IPDA_CRYPTO_KEYSTORE_H_
 #define IPDA_CRYPTO_KEYSTORE_H_
@@ -21,8 +25,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "crypto/cipher.h"
 #include "crypto/key.h"
-#include "crypto/xtea.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -37,7 +41,13 @@ class KeyStore {
   // already bound to the owning node (callee passes only the peer id).
   using KeyDeriver = std::function<Key128(PeerId peer)>;
 
-  KeyStore() = default;
+  explicit KeyStore(CipherKind cipher = CipherKind::kXtea)
+      : backend_(&GetCipherBackend(cipher)) {}
+
+  // The backend whose schedules this store caches (fixed at construction;
+  // both link ends must agree, like the keys themselves).
+  const CipherBackend& backend() const { return *backend_; }
+  CipherKind cipher() const { return backend_->kind; }
 
   void SetLinkKey(PeerId peer, const Key128& key);
   bool HasLinkKey(PeerId peer) const {
@@ -68,15 +78,16 @@ class KeyStore {
   int FindSlot(PeerId peer) const;
   size_t dense_count() const { return dense_peers_.size(); }
   PeerId slot_peer(size_t slot) const { return dense_peers_[slot]; }
-  const XteaSchedule& slot_schedule(int slot) const {
+  const CipherSchedule& slot_schedule(int slot) const {
     return dense_schedules_[static_cast<size_t>(slot)];
   }
 
  private:
+  const CipherBackend* backend_;
   // Parallel, sorted by peer id.
   std::vector<PeerId> dense_peers_;
   std::vector<Key128> dense_keys_;
-  std::vector<XteaSchedule> dense_schedules_;
+  std::vector<CipherSchedule> dense_schedules_;
   // Pre-compile home of every key; post-compile overflow for new peers.
   std::unordered_map<PeerId, Key128> dynamic_;
   KeyDeriver deriver_;  // Optional lazy fallback (see SetKeyDeriver).
@@ -107,7 +118,8 @@ class CounterStore {
 // Stateful sealer/opener bound to one node's KeyStore.
 class LinkCrypto {
  public:
-  explicit LinkCrypto(PeerId self) : self_(self) {}
+  explicit LinkCrypto(PeerId self, CipherKind cipher = CipherKind::kXtea)
+      : self_(self), keystore_(cipher) {}
 
   KeyStore& keystore() { return keystore_; }
   const KeyStore& keystore() const { return keystore_; }

@@ -64,7 +64,7 @@ uint64_t XteaDecryptBlock(const XteaSchedule& sched, uint64_t block) {
   return static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
 }
 
-void XteaEncryptBlocks(const XteaSchedule& sched, const uint64_t* in,
+void XteaEncryptBlocks(const uint32_t k[2 * kXteaRounds], const uint64_t* in,
                        uint64_t* out, size_t n) {
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -77,8 +77,8 @@ void XteaEncryptBlocks(const XteaSchedule& sched, const uint64_t* in,
     uint32_t d0 = static_cast<uint32_t>(in[i + 3]);
     uint32_t d1 = static_cast<uint32_t>(in[i + 3] >> 32);
     for (int r = 0; r < kXteaRounds; ++r) {
-      const uint32_t k0 = sched.k[2 * r];
-      const uint32_t k1 = sched.k[2 * r + 1];
+      const uint32_t k0 = k[2 * r];
+      const uint32_t k1 = k[2 * r + 1];
       a0 += Mix(a1) ^ k0;
       b0 += Mix(b1) ^ k0;
       c0 += Mix(c1) ^ k0;
@@ -93,7 +93,15 @@ void XteaEncryptBlocks(const XteaSchedule& sched, const uint64_t* in,
     out[i + 2] = static_cast<uint64_t>(c0) | (static_cast<uint64_t>(c1) << 32);
     out[i + 3] = static_cast<uint64_t>(d0) | (static_cast<uint64_t>(d1) << 32);
   }
-  for (; i < n; ++i) out[i] = XteaEncryptBlock(sched, in[i]);
+  for (; i < n; ++i) {
+    uint32_t v0 = static_cast<uint32_t>(in[i]);
+    uint32_t v1 = static_cast<uint32_t>(in[i] >> 32);
+    for (int r = 0; r < kXteaRounds; ++r) {
+      v0 += Mix(v1) ^ k[2 * r];
+      v1 += Mix(v0) ^ k[2 * r + 1];
+    }
+    out[i] = static_cast<uint64_t>(v0) | (static_cast<uint64_t>(v1) << 32);
+  }
 }
 
 }  // namespace ipda::crypto
