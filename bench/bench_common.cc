@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "exp/fabric.h"
 #include "util/flags.h"
+#include "util/random.h"
+#include "util/signal.h"
 
 namespace ipda::bench {
 
@@ -68,6 +71,33 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   flags.DefineString("cipher", "xtea",
                      "link cipher backend for encrypted arms: "
                      "xtea | aesni | chacha20");
+  flags.DefineInt("fabric", 0,
+                  "worker processes for the multi-process sweep fabric "
+                  "(0 = run in-process); requires --fabric-dir");
+  flags.DefineString("fabric-dir", "",
+                     "fabric state directory: shard leases, heartbeats, "
+                     "per-attempt shard journals, worker logs");
+  flags.DefineDouble("worker-timeout", 30.0,
+                     "seconds of heartbeat staleness before a fabric "
+                     "worker is declared hung and its lease revoked");
+  flags.DefineDouble("shard-deadline", 0.0,
+                     "wall-clock seconds per shard attempt before a "
+                     "straggler is revoked (0 = no deadline)");
+  flags.DefineInt("shard-retries", 3,
+                  "shard re-dispatches after a worker death before its "
+                  "runs degrade to ok:false records");
+  flags.DefineDouble("chaos-kill-rate", 0.0,
+                     "chaos self-test: expected SIGKILLs injected per "
+                     "shard (capped at --shard-retries)");
+  flags.DefineInt("worker-shard", -1,
+                  "internal (fabric worker mode): shard id this process "
+                  "executes");
+  flags.DefineString("worker-range", "",
+                     "internal (fabric worker mode): lo:hi flat run "
+                     "index range of the leased shard");
+  flags.DefineString("worker-heartbeat", "",
+                     "internal (fabric worker mode): heartbeat file to "
+                     "touch while running");
   flags.DefineBool("help", false, "show usage");
   const util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
@@ -93,9 +123,169 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   options.run_deadline_s = flags.GetDouble("run-deadline");
   options.event_budget = static_cast<uint64_t>(flags.GetInt("event-budget"));
   options.max_retries = static_cast<uint32_t>(flags.GetInt("max-retries"));
-  options.canonical =
-      flags.Canonical({"jobs", "journal", "resume", "run-deadline", "help"});
+  const int64_t fabric = flags.GetInt("fabric");
+  options.fabric = fabric > 0 ? static_cast<size_t>(fabric) : 0;
+  options.fabric_dir = flags.GetString("fabric-dir");
+  options.worker_timeout_s = flags.GetDouble("worker-timeout");
+  options.shard_deadline_s = flags.GetDouble("shard-deadline");
+  options.shard_retries =
+      static_cast<uint32_t>(flags.GetInt("shard-retries"));
+  options.chaos_kill_rate = flags.GetDouble("chaos-kill-rate");
+  options.worker_shard = flags.GetInt("worker-shard");
+  options.worker_range = flags.GetString("worker-range");
+  options.worker_heartbeat = flags.GetString("worker-heartbeat");
+  // Result-affecting flags the dispatcher must forward to workers.
+  if (flags.WasSet("cipher")) {
+    options.worker_args.push_back("--cipher=" + flags.GetString("cipher"));
+  }
+  if (flags.WasSet("event-budget")) {
+    options.worker_args.push_back(
+        "--event-budget=" + std::to_string(flags.GetInt("event-budget")));
+  }
+  if (flags.WasSet("max-retries")) {
+    options.worker_args.push_back(
+        "--max-retries=" + std::to_string(flags.GetInt("max-retries")));
+  }
+  if (flags.WasSet("run-deadline")) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "--run-deadline=%g",
+                  flags.GetDouble("run-deadline"));
+    options.worker_args.push_back(buf);
+  }
+  // Scheduling, IO, and fabric plumbing never enters the config digest:
+  // a fabric sweep, its workers, and a single-process run of the same
+  // grid must agree on the journal identity byte-for-byte.
+  options.canonical = flags.Canonical(
+      {"jobs", "journal", "resume", "run-deadline", "help", "fabric",
+       "fabric-dir", "worker-timeout", "shard-deadline", "shard-retries",
+       "chaos-kill-rate", "worker-shard", "worker-range",
+       "worker-heartbeat"});
   return options;
+}
+
+util::Result<exp::ResilientReport> RunBenchSweep(
+    exp::Engine& engine, const BenchOptions& options, const char* argv0,
+    const std::vector<std::string>& point_labels, size_t runs_per_point,
+    const exp::ResilientOptions& resilience, const exp::AttemptBody& body) {
+  // Fabric worker mode: execute only the leased shard, heartbeat while
+  // running, and exit without returning — the bench's document printer
+  // must run in the dispatcher (or single-process) invocation only.
+  if (options.worker_shard >= 0) {
+    auto range = exp::ParseShardRange(options.worker_range);
+    if (!range.ok()) {
+      std::fprintf(stderr, "fabric worker: bad --worker-range: %s\n",
+                   range.status().ToString().c_str());
+      std::exit(2);
+    }
+    exp::ResilientOptions sharded = resilience;
+    sharded.shard_lo = range->lo;
+    sharded.shard_hi = range->hi;
+    exp::HeartbeatThread heartbeat;
+    if (!options.worker_heartbeat.empty()) {
+      double interval_s = options.worker_timeout_s > 0.0
+                              ? options.worker_timeout_s / 4.0
+                              : 1.0;
+      if (interval_s < 0.05) interval_s = 0.05;
+      heartbeat = exp::HeartbeatThread(options.worker_heartbeat, interval_s);
+    }
+    auto swept =
+        exp::RunResilientSweep(engine, point_labels, runs_per_point,
+                               sharded, body);
+    heartbeat.Stop();
+    if (!swept.ok()) {
+      std::fprintf(stderr, "fabric worker (shard %lld): %s\n",
+                   static_cast<long long>(options.worker_shard),
+                   swept.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::exit(swept->drained ? util::kDrainExitCode : 0);
+  }
+
+  // Dispatcher mode: lease shards to re-execs of this binary.
+  if (options.fabric > 0) {
+    if (options.fabric_dir.empty()) {
+      std::fprintf(stderr, "--fabric requires --fabric-dir\n");
+      std::exit(2);
+    }
+    exp::FabricOptions fabric;
+    fabric.workers = options.fabric;
+    fabric.dir = options.fabric_dir;
+    fabric.worker_timeout_s = options.worker_timeout_s;
+    fabric.shard_deadline_s = options.shard_deadline_s;
+    fabric.shard_retries = options.shard_retries;
+    fabric.chaos_kill_rate = options.chaos_kill_rate;
+    fabric.merged_journal_path = options.journal;
+
+    exp::JournalHeader header;
+    header.experiment = resilience.experiment;
+    header.config_hash = util::HashLabel(resilience.config_digest);
+    header.sweep_seed = resilience.sweep_seed;
+    header.total_runs = point_labels.size() * runs_per_point;
+
+    char timeout_flag[48];
+    std::snprintf(timeout_flag, sizeof(timeout_flag),
+                  "--worker-timeout=%g", options.worker_timeout_s);
+    const std::string binary = argv0;
+    const std::vector<std::string> forwarded = options.worker_args;
+    const std::string timeout_arg = timeout_flag;
+    const exp::WorkerCommand command =
+        [binary, forwarded, timeout_arg](const exp::WorkerSpec& spec) {
+          std::vector<std::string> argv;
+          argv.push_back(binary);
+          argv.insert(argv.end(), forwarded.begin(), forwarded.end());
+          // Processes are the parallelism; each worker sweeps serially.
+          argv.push_back("--jobs=1");
+          argv.push_back("--worker-shard=" + std::to_string(spec.shard));
+          argv.push_back("--worker-range=" + std::to_string(spec.lo) + ":" +
+                         std::to_string(spec.hi));
+          argv.push_back("--worker-heartbeat=" + spec.heartbeat);
+          argv.push_back(timeout_arg);
+          argv.push_back("--journal=" + spec.journal);
+          if (!spec.resume.empty()) {
+            argv.push_back("--resume=" + spec.resume);
+          }
+          return argv;
+        };
+
+    exp::FabricStats stats;
+    auto report = exp::RunFabricSweep(fabric, header, command, &stats);
+    if (report.ok()) {
+      std::fprintf(stderr,
+                   "fabric: %zu shards, %zu workers spawned, %zu deaths, "
+                   "%zu hung, %zu stragglers, %zu chaos kills, %zu shards "
+                   "failed; merge: %zu journals (%zu empty), %zu records, "
+                   "%zu duplicates, %zu corrupt lines\n",
+                   stats.shards, stats.spawned, stats.worker_deaths,
+                   stats.hung_revocations, stats.straggler_revocations,
+                   stats.chaos_kills, stats.failed_shards,
+                   stats.merge.journals, stats.merge.empty_journals,
+                   stats.merge.records, stats.merge.duplicates,
+                   stats.merge.corrupt_lines);
+    }
+    return report;
+  }
+
+  return exp::RunResilientSweep(engine, point_labels, runs_per_point,
+                                resilience, body);
+}
+
+void PrintDrainHint(const char* tool, const BenchOptions& options,
+                    const exp::ResilientReport& report, const char* argv0) {
+  if (options.fabric > 0) {
+    std::fprintf(stderr,
+                 "%s: drained with %zu/%zu runs journaled; re-run the same "
+                 "command (same --fabric-dir %s) to resume the fabric\n",
+                 tool, report.replayed + report.executed,
+                 report.runs.size(), options.fabric_dir.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "%s: drained with %zu/%zu runs journaled; resume with: %s "
+               "--resume %s\n",
+               tool, report.replayed + report.executed, report.runs.size(),
+               argv0,
+               report.journal_path.empty() ? "<journal>"
+                                           : report.journal_path.c_str());
 }
 
 std::vector<size_t> NetworkSizes() { return {200, 300, 400, 500, 600}; }

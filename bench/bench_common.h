@@ -15,6 +15,8 @@
 #include "agg/runner.h"
 #include "crypto/cipher.h"
 #include "exp/engine.h"
+#include "exp/resilient.h"
+#include "util/result.h"
 
 namespace ipda::bench {
 
@@ -41,13 +43,52 @@ struct BenchOptions {
   // --cipher: link cipher for encrypted arms (result-affecting: wire
   // bytes differ per backend, so it enters the canonical digest).
   crypto::CipherKind cipher = crypto::CipherKind::kXtea;
+  // --- Multi-process fabric (exp/fabric.h) ---
+  // --fabric: worker processes to lease shards to (0 = in-process).
+  size_t fabric = 0;
+  std::string fabric_dir;        // --fabric-dir: leases/journals/logs.
+  double worker_timeout_s = 30;  // --worker-timeout: heartbeat staleness.
+  double shard_deadline_s = 0;   // --shard-deadline: straggler cutoff.
+  uint32_t shard_retries = 3;    // --shard-retries: before degradation.
+  double chaos_kill_rate = 0;    // --chaos-kill-rate: self-test SIGKILLs.
+  // Worker mode (set by the dispatcher's re-exec, not by operators):
+  // --worker-shard K --worker-range lo:hi --worker-heartbeat path.
+  int64_t worker_shard = -1;
+  std::string worker_range;
+  std::string worker_heartbeat;
+  // Result-affecting flags explicitly set on this command line, in
+  // --name=value form — the dispatcher forwards them to workers so the
+  // shard journals carry the same config digest as the merge header.
+  std::vector<std::string> worker_args;
   // Canonical flag string minus the scheduling/IO flags that do not
-  // change results (jobs, journal, resume, run-deadline); hashed into
-  // the journal's config digest.
+  // change results (jobs, journal, resume, run-deadline, every fabric
+  // and worker flag); hashed into the journal's config digest.
   std::string canonical;
 };
 
 BenchOptions ParseBenchOptions(int argc, const char* const* argv);
+
+// Routes one crash-tolerant sweep through the right executor:
+//   - worker mode (--worker-shard): restricts the sweep to the leased
+//     shard range, heartbeats while running, journals to the private
+//     shard journal, then EXITS the process (0 done, 75 drained) —
+//     workers never print the bench's document;
+//   - fabric mode (--fabric N): runs the lease-based dispatcher
+//     (exp::RunFabricSweep), re-execing argv0 in worker mode per shard,
+//     and returns the merged report — shaped exactly like the
+//     single-process one, so the caller formats output identically;
+//   - otherwise: plain in-process exp::RunResilientSweep.
+// `resilience` must carry journal/resume/experiment/config_digest as for
+// RunResilientSweep; fabric and shard plumbing comes from `options`.
+util::Result<exp::ResilientReport> RunBenchSweep(
+    exp::Engine& engine, const BenchOptions& options, const char* argv0,
+    const std::vector<std::string>& point_labels, size_t runs_per_point,
+    const exp::ResilientOptions& resilience, const exp::AttemptBody& body);
+
+// Drain hint for a bench's stderr: the resume command that continues
+// this sweep (plain --resume, or re-running the fabric in place).
+void PrintDrainHint(const char* tool, const BenchOptions& options,
+                    const exp::ResilientReport& report, const char* argv0);
 
 // The paper's x-axis: N in [200, 600].
 std::vector<size_t> NetworkSizes();

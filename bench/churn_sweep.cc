@@ -242,7 +242,7 @@ int Run(int argc, char** argv) {
   };
 
   auto swept =
-      exp::RunResilientSweep(engine, labels, runs, resilience, body);
+      RunBenchSweep(engine, options, argv[0], labels, runs, resilience, body);
   if (!swept.ok()) {
     std::fprintf(stderr, "churn_sweep: %s\n",
                  swept.status().ToString().c_str());
@@ -253,13 +253,7 @@ int Run(int argc, char** argv) {
   if (report.drained) {
     // No partial JSON on stdout: the resumed invocation prints the whole
     // document, byte-identical to an uninterrupted sweep.
-    std::fprintf(stderr,
-                 "churn_sweep: drained with %zu/%zu runs journaled; resume "
-                 "with: %s --resume %s\n",
-                 report.replayed + report.executed, report.runs.size(),
-                 argv[0],
-                 report.journal_path.empty() ? "<journal>"
-                                             : report.journal_path.c_str());
+    PrintDrainHint("churn_sweep", options, report, argv[0]);
     return util::kDrainExitCode;
   }
 

@@ -226,7 +226,8 @@ int Run(int argc, char** argv) {
     return EncodeOutcome(out);
   };
 
-  auto swept = exp::RunResilientSweep(engine, labels, runs, resilience, body);
+  auto swept =
+      RunBenchSweep(engine, options, argv[0], labels, runs, resilience, body);
   if (!swept.ok()) {
     std::fprintf(stderr, "city_scale: %s\n",
                  swept.status().ToString().c_str());
@@ -235,13 +236,7 @@ int Run(int argc, char** argv) {
   const exp::ResilientReport& report = *swept;
 
   if (report.drained) {
-    std::fprintf(stderr,
-                 "city_scale: drained with %zu/%zu runs journaled; resume "
-                 "with: %s --resume %s\n",
-                 report.replayed + report.executed, report.runs.size(),
-                 argv[0],
-                 report.journal_path.empty() ? "<journal>"
-                                             : report.journal_path.c_str());
+    PrintDrainHint("city_scale", options, report, argv[0]);
     return util::kDrainExitCode;
   }
 

@@ -60,7 +60,7 @@ int Run(int argc, char** argv) {
   };
 
   auto swept =
-      exp::RunResilientSweep(engine, labels, runs, resilience, body);
+      RunBenchSweep(engine, options, argv[0], labels, runs, resilience, body);
   if (!swept.ok()) {
     std::fprintf(stderr, "table1_density: %s\n",
                  swept.status().ToString().c_str());
@@ -68,13 +68,7 @@ int Run(int argc, char** argv) {
   }
   const exp::ResilientReport& report = *swept;
   if (report.drained) {
-    std::fprintf(stderr,
-                 "table1_density: drained with %zu/%zu runs journaled; "
-                 "resume with: %s --resume %s\n",
-                 report.replayed + report.executed, report.runs.size(),
-                 argv[0],
-                 report.journal_path.empty() ? "<journal>"
-                                             : report.journal_path.c_str());
+    PrintDrainHint("table1_density", options, report, argv[0]);
     return util::kDrainExitCode;
   }
 

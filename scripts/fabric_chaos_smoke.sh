@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Chaos self-test for the multi-process sweep fabric (DESIGN.md §15).
+#
+# Runs a bench once single-process (--jobs 8, the golden) and once under
+# the fabric with chaos kill injection (--fabric N --chaos-kill-rate R:
+# the dispatcher SIGKILLs its own workers mid-shard, then re-dispatches
+# their leases resuming from the dead workers' journals). Requires:
+#   1. the fabric stdout is BYTE-IDENTICAL to the golden, and
+#   2. at least MIN_KILLS chaos SIGKILLs actually fired.
+#
+#   usage: fabric_chaos_smoke.sh <bench-binary> [workers] [kill-rate] [min-kills]
+#
+# IPDA_BENCH_RUNS should be set high enough that shards outlive the kill
+# delay; the ctest wiring picks per-bench values measured on CI.
+
+set -u
+
+BIN="${1:?usage: fabric_chaos_smoke.sh <bench-binary> [workers] [kill-rate] [min-kills]}"
+WORKERS="${2:-2}"
+RATE="${3:-1.0}"
+MIN_KILLS="${4:-1}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== fabric_chaos_smoke: $BIN (workers=$WORKERS, kill-rate=$RATE," \
+     "min-kills=$MIN_KILLS, runs/point=${IPDA_BENCH_RUNS:-default})"
+
+# Golden: uninterrupted single-process sweep.
+"$BIN" --jobs 8 > "$WORK/golden.out" 2> "$WORK/golden.err"
+GOLDEN_EXIT=$?
+if [ "$GOLDEN_EXIT" -ne 0 ]; then
+  echo "FAIL: golden run exited $GOLDEN_EXIT"
+  cat "$WORK/golden.err"
+  exit 1
+fi
+
+# Fabric under chaos: workers are SIGKILLed mid-shard and re-dispatched.
+"$BIN" --fabric "$WORKERS" --fabric-dir "$WORK/fabric" \
+    --chaos-kill-rate "$RATE" \
+    > "$WORK/fabric.out" 2> "$WORK/fabric.err"
+FABRIC_EXIT=$?
+if [ "$FABRIC_EXIT" -ne 0 ]; then
+  echo "FAIL: fabric run exited $FABRIC_EXIT"
+  tail -40 "$WORK/fabric.err"
+  exit 1
+fi
+
+KILLS=$(grep -c 'chaos SIGKILL' "$WORK/fabric.err" || true)
+echo "-- $KILLS chaos SIGKILLs fired"
+if [ "${KILLS:-0}" -lt "$MIN_KILLS" ]; then
+  echo "FAIL: only $KILLS chaos kills fired (want >= $MIN_KILLS);" \
+       "raise IPDA_BENCH_RUNS so shards outlive the kill delay"
+  tail -20 "$WORK/fabric.err"
+  exit 1
+fi
+
+if ! diff "$WORK/golden.out" "$WORK/fabric.out"; then
+  echo "FAIL: fabric output is not byte-identical to the single-process golden"
+  tail -20 "$WORK/fabric.err"
+  exit 1
+fi
+
+grep '^fabric: [0-9]* shards' "$WORK/fabric.err" || true
+echo "OK: fabric output byte-identical to --jobs 8 golden despite $KILLS kills"

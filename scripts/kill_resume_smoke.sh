@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Kill-and-resume smoke test for the crash-tolerant sweep executor.
 #
-# Starts a journaled sweep, SIGTERMs it mid-flight, resumes from the
-# journal, and requires the resumed stdout to be byte-identical to an
-# uninterrupted run — the determinism contract of ISSUE's tentpole.
+# For each signal in SIGTERM (graceful drain) and SIGKILL (hard crash —
+# nothing flushes, the journal may end in a torn line): starts a
+# journaled sweep, signals it mid-flight, resumes from the journal, and
+# requires the resumed stdout to be byte-identical to an uninterrupted
+# run — the determinism contract of the sweep executor.
+#
+# The SIGKILL phase additionally appends a torn partial record to the
+# journal before resuming, simulating a crash mid-write(2): replay must
+# skip the torn tail, never refuse the resume.
 #
 #   usage: kill_resume_smoke.sh <bench-binary> [kill-delay-seconds]
 #
 # Exits 0 on success. The interrupted process may legitimately finish
-# before the signal lands (exit 0) or drain (exit 75); anything else
-# fails the smoke.
+# before the signal lands (exit 0), drain (exit 75, SIGTERM only), or
+# die by the signal (128+signo); anything else fails the smoke.
 
 set -u
 
@@ -32,42 +38,75 @@ if [ "$CLEAN_EXIT" -ne 0 ]; then
   exit 1
 fi
 
-# Interrupted run: journal on, SIGTERM mid-flight.
-"$BIN" --jobs "$JOBS" --journal "$WORK/sweep.jsonl" \
-    > "$WORK/interrupted.out" 2> "$WORK/interrupted.err" &
-PID=$!
-sleep "$DELAY"
-kill -TERM "$PID" 2>/dev/null
-wait "$PID"
-INT_EXIT=$?
+for SIG in TERM KILL; do
+  JOURNAL="$WORK/sweep_$SIG.jsonl"
+  echo "-- phase SIG$SIG"
 
-if [ "$INT_EXIT" -eq 75 ]; then
-  echo "-- interrupted run drained (exit 75), $(grep -c '"type":"run"' \
-      "$WORK/sweep.jsonl" || true) run records journaled"
-elif [ "$INT_EXIT" -eq 0 ]; then
-  echo "-- interrupted run finished before the signal landed"
-  if ! diff -q "$WORK/clean.out" "$WORK/interrupted.out" > /dev/null; then
-    echo "FAIL: journaled run output differs from clean run"
+  # Interrupted run: journal on, signal mid-flight.
+  "$BIN" --jobs "$JOBS" --journal "$JOURNAL" \
+      > "$WORK/interrupted.out" 2> "$WORK/interrupted.err" &
+  PID=$!
+  sleep "$DELAY"
+  kill "-$SIG" "$PID" 2>/dev/null
+  wait "$PID"
+  INT_EXIT=$?
+
+  # 128+signo: the signal killed it (SIGKILL always; SIGTERM only if the
+  # drain handler lost the race).
+  SIG_EXIT=143
+  [ "$SIG" = "KILL" ] && SIG_EXIT=137
+  if [ "$INT_EXIT" -eq 75 ] || [ "$INT_EXIT" -eq "$SIG_EXIT" ]; then
+    echo "   interrupted (exit $INT_EXIT), $(grep -c '"type":"run"' \
+        "$JOURNAL" 2>/dev/null || true) run records journaled"
+  elif [ "$INT_EXIT" -eq 0 ]; then
+    echo "   interrupted run finished before the signal landed"
+    if ! diff -q "$WORK/clean.out" "$WORK/interrupted.out" > /dev/null; then
+      echo "FAIL: journaled run output differs from clean run"
+      exit 1
+    fi
+  else
+    echo "FAIL: interrupted run exited $INT_EXIT (want 0, 75, or $SIG_EXIT)"
+    cat "$WORK/interrupted.err"
     exit 1
   fi
-else
-  echo "FAIL: interrupted run exited $INT_EXIT (want 0 or 75)"
-  cat "$WORK/interrupted.err"
-  exit 1
-fi
 
-# Resume and require byte-identical output to the uninterrupted run.
-"$BIN" --jobs "$JOBS" --resume "$WORK/sweep.jsonl" \
-    > "$WORK/resumed.out" 2> "$WORK/resumed.err"
-RES_EXIT=$?
-if [ "$RES_EXIT" -ne 0 ]; then
-  echo "FAIL: resumed run exited $RES_EXIT"
-  cat "$WORK/resumed.err"
-  exit 1
-fi
-if ! diff "$WORK/clean.out" "$WORK/resumed.out"; then
-  echo "FAIL: resumed output is not byte-identical to the clean run"
-  exit 1
-fi
+  if [ "$SIG" = "KILL" ] && [ -s "$JOURNAL" ]; then
+    # Simulate the unluckiest SIGKILL: death mid-write leaves a torn,
+    # newline-less record at the journal tail.
+    printf '{"type":"run","index":0,"seed":123,"at' >> "$JOURNAL"
+  fi
 
-echo "OK: resumed output byte-identical to uninterrupted run"
+  # Resume and require byte-identical output to the uninterrupted run.
+  "$BIN" --jobs "$JOBS" --resume "$JOURNAL" \
+      > "$WORK/resumed.out" 2> "$WORK/resumed.err"
+  RES_EXIT=$?
+  if [ "$RES_EXIT" -ne 0 ]; then
+    echo "FAIL: resumed run exited $RES_EXIT"
+    cat "$WORK/resumed.err"
+    exit 1
+  fi
+  if ! diff "$WORK/clean.out" "$WORK/resumed.out"; then
+    echo "FAIL: resumed output is not byte-identical to the clean run"
+    exit 1
+  fi
+  echo "   resumed output byte-identical to uninterrupted run"
+done
+
+# Torn-header resume: a crash before the first fsync'd line completes
+# must read as an empty journal (fresh start), not refuse the resume.
+printf '{"type":"header","vers' > "$WORK/torn_header.jsonl"
+"$BIN" --jobs "$JOBS" --resume "$WORK/torn_header.jsonl" \
+    > "$WORK/torn.out" 2> "$WORK/torn.err"
+TORN_EXIT=$?
+if [ "$TORN_EXIT" -ne 0 ]; then
+  echo "FAIL: torn-header resume exited $TORN_EXIT"
+  cat "$WORK/torn.err"
+  exit 1
+fi
+if ! diff "$WORK/clean.out" "$WORK/torn.out"; then
+  echo "FAIL: torn-header resume output differs from clean run"
+  exit 1
+fi
+echo "-- torn-header journal resumed as a fresh start, byte-identical"
+
+echo "OK: kill-and-resume byte-identical for SIGTERM, SIGKILL, torn header"

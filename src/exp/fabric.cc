@@ -1,0 +1,594 @@
+#include "exp/fabric.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "util/io.h"
+#include "util/proc.h"
+#include "util/random.h"
+#include "util/signal.h"
+
+namespace ipda::exp {
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepSeconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+std::string ShardJournalPath(const std::string& dir, size_t shard,
+                             uint32_t attempt) {
+  return dir + "/shard" + std::to_string(shard) + "_a" +
+         std::to_string(attempt) + ".jsonl";
+}
+
+std::string HeartbeatPath(const std::string& dir, size_t shard,
+                          uint32_t attempt) {
+  return dir + "/hb_shard" + std::to_string(shard) + "_a" +
+         std::to_string(attempt);
+}
+
+std::string LeasePath(const std::string& dir, size_t shard) {
+  return dir + "/shard" + std::to_string(shard) + ".lease";
+}
+
+std::string WorkerLogPath(const std::string& dir, size_t shard,
+                          uint32_t attempt, const char* stream) {
+  return dir + "/worker_shard" + std::to_string(shard) + "_a" +
+         std::to_string(attempt) + "." + stream;
+}
+
+// Dispatcher-side view of one shard's lease lifecycle.
+struct ShardState {
+  ShardRange range;
+  uint32_t attempt = 0;  // Attempts started (adopted ones included).
+  bool done = false;
+  bool failed = false;
+  double eligible_at = 0.0;  // Monotonic time the next attempt may start.
+  int64_t pid = -1;          // Active worker, -1 when idle.
+  double started_at = 0.0;
+  std::string journal;    // Journal of the current/latest attempt.
+  std::string resume;     // What the next attempt resumes from.
+  std::string heartbeat;  // Current attempt's heartbeat file.
+  std::vector<std::string> journals;  // Every attempt's journal (merge).
+  uint32_t planned_chaos = 0;
+  uint32_t chaos_done = 0;
+  double chaos_at = 0.0;  // Pending chaos kill time; 0 = none armed.
+
+  bool terminal() const { return done || failed; }
+  bool active() const { return pid > 0; }
+};
+
+}  // namespace
+
+std::vector<ShardRange> PartitionShards(uint64_t total, size_t workers,
+                                        size_t shards_per_worker) {
+  std::vector<ShardRange> out;
+  if (total == 0) return out;
+  uint64_t shards = static_cast<uint64_t>(workers == 0 ? 1 : workers) *
+                    static_cast<uint64_t>(
+                        shards_per_worker == 0 ? 1 : shards_per_worker);
+  if (shards == 0) shards = 1;
+  if (shards > total) shards = total;
+  const uint64_t base = total / shards;
+  const uint64_t extra = total % shards;
+  out.reserve(shards);
+  uint64_t lo = 0;
+  for (uint64_t i = 0; i < shards; ++i) {
+    const uint64_t len = base + (i < extra ? 1 : 0);
+    out.push_back({lo, lo + len});
+    lo += len;
+  }
+  return out;
+}
+
+util::Status WriteLease(const std::string& path, const LeaseRecord& lease) {
+  // Tab-separated k=v, one fsync'd line; rewritten whole on every
+  // transition so the on-disk claim is never a mix of two states.
+  std::string line;
+  line += "shard=" + std::to_string(lease.shard);
+  line += "\tlo=" + std::to_string(lease.lo);
+  line += "\thi=" + std::to_string(lease.hi);
+  line += "\tattempt=" + std::to_string(lease.attempt);
+  line += "\tpid=" + std::to_string(lease.pid);
+  line += "\tstate=" + lease.state;
+  line += "\tjournal=" + lease.journal;
+  line += "\theartbeat=" + lease.heartbeat;
+  IPDA_ASSIGN_OR_RETURN(util::AppendFile file,
+                        util::AppendFile::Open(path, /*truncate=*/true));
+  return file.AppendLine(line);
+}
+
+util::Result<LeaseRecord> ReadLease(const std::string& path) {
+  IPDA_ASSIGN_OR_RETURN(std::string contents,
+                        util::ReadFileToString(path));
+  const size_t newline = contents.find('\n');
+  if (newline == std::string::npos) {
+    return util::InvalidArgumentError("lease '" + path +
+                                      "' has no complete record");
+  }
+  LeaseRecord lease;
+  bool saw_shard = false;
+  std::string_view line(contents.data(), newline);
+  while (!line.empty()) {
+    const size_t tab = line.find('\t');
+    const std::string_view field =
+        tab == std::string_view::npos ? line : line.substr(0, tab);
+    line = tab == std::string_view::npos ? std::string_view()
+                                         : line.substr(tab + 1);
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = field.substr(0, eq);
+    const std::string value(field.substr(eq + 1));
+    if (key == "shard") {
+      lease.shard = std::strtoull(value.c_str(), nullptr, 10);
+      saw_shard = true;
+    } else if (key == "lo") {
+      lease.lo = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "hi") {
+      lease.hi = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "attempt") {
+      lease.attempt =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "pid") {
+      lease.pid = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "state") {
+      lease.state = value;
+    } else if (key == "journal") {
+      lease.journal = value;
+    } else if (key == "heartbeat") {
+      lease.heartbeat = value;
+    }
+  }
+  if (!saw_shard || lease.state.empty()) {
+    return util::InvalidArgumentError("lease '" + path + "' is malformed");
+  }
+  return lease;
+}
+
+util::Result<ShardRange> ParseShardRange(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return util::InvalidArgumentError("shard range '" + text +
+                                      "' is not lo:hi");
+  }
+  ShardRange range;
+  char* end = nullptr;
+  range.lo = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + colon) {
+    return util::InvalidArgumentError("shard range '" + text +
+                                      "' has a bad lower bound");
+  }
+  range.hi = std::strtoull(text.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || range.hi < range.lo) {
+    return util::InvalidArgumentError("shard range '" + text +
+                                      "' has a bad upper bound");
+  }
+  return range;
+}
+
+// --- HeartbeatThread ---------------------------------------------------
+
+struct HeartbeatThread::State {
+  std::string path;
+  double interval_s = 1.0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
+HeartbeatThread::HeartbeatThread() = default;
+
+HeartbeatThread::HeartbeatThread(std::string path, double interval_s)
+    : state_(std::make_unique<State>()) {
+  state_->path = std::move(path);
+  state_->interval_s = interval_s > 0.0 ? interval_s : 1.0;
+  State* s = state_.get();
+  state_->thread = std::thread([s] {
+    std::unique_lock<std::mutex> lock(s->mutex);
+    for (;;) {
+      lock.unlock();
+      // Failures are tolerated: a missed touch only ages the heartbeat,
+      // and the dispatcher's staleness window absorbs transient blips.
+      (void)util::TouchFile(s->path);
+      lock.lock();
+      if (s->cv.wait_for(lock,
+                         std::chrono::duration<double>(s->interval_s),
+                         [s] { return s->stop; })) {
+        return;
+      }
+    }
+  });
+}
+
+HeartbeatThread::~HeartbeatThread() { Stop(); }
+
+HeartbeatThread::HeartbeatThread(HeartbeatThread&&) noexcept = default;
+
+HeartbeatThread& HeartbeatThread::operator=(HeartbeatThread&& other) noexcept {
+  if (this != &other) {
+    Stop();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+void HeartbeatThread::Stop() {
+  if (state_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  if (state_->thread.joinable()) state_->thread.join();
+  state_.reset();
+}
+
+// --- Dispatcher --------------------------------------------------------
+
+util::Result<ResilientReport> RunFabricSweep(const FabricOptions& options,
+                                             const JournalHeader& header,
+                                             const WorkerCommand& command,
+                                             FabricStats* stats) {
+  const uint64_t total = header.total_runs;
+  FabricStats tally;
+
+  if (options.dir.empty()) {
+    return util::InvalidArgumentError("fabric requires a fabric directory");
+  }
+  IPDA_RETURN_IF_ERROR(util::MakeDirs(options.dir));
+  // One dispatcher per fabric directory; a stale lock (dead dispatcher)
+  // is broken automatically so a crashed fabric can be re-run in place.
+  IPDA_ASSIGN_OR_RETURN(
+      util::LockFile lock,
+      util::LockFile::Acquire(options.dir + "/dispatcher.lock"));
+
+  const std::vector<ShardRange> ranges =
+      PartitionShards(total, options.workers, options.shards_per_worker);
+  tally.shards = ranges.size();
+  const uint32_t max_attempts = options.shard_retries + 1;
+  util::Rng rng(options.chaos_seed);
+
+  std::vector<ShardState> shards(ranges.size());
+  for (size_t k = 0; k < shards.size(); ++k) {
+    ShardState& shard = shards[k];
+    shard.range = ranges[k];
+    // Adopt attempt journals left by a drained/crashed dispatcher run:
+    // the next attempt resumes from the newest, so durable records of a
+    // previous fabric invocation are replayed, never recomputed.
+    // Adopted attempts count toward the retry budget.
+    for (uint32_t a = 1;; ++a) {
+      const std::string path = ShardJournalPath(options.dir, k, a);
+      if (!util::FileExists(path)) break;
+      shard.journals.push_back(path);
+      shard.resume = path;
+      shard.attempt = a;
+    }
+    if (options.chaos_kill_rate > 0.0) {
+      const double rate = options.chaos_kill_rate;
+      uint32_t planned = static_cast<uint32_t>(rate);
+      if (rng.Bernoulli(rate - std::floor(rate))) ++planned;
+      // Capped so every chaos kill leaves a retry: the sweep completes
+      // under chaos by construction.
+      if (planned > options.shard_retries) planned = options.shard_retries;
+      shard.planned_chaos = planned;
+    }
+  }
+
+  // Lease transitions are logged, not fatal: losing a lease rewrite
+  // must not abort a sweep whose journals are still durable.
+  const auto put_lease = [&](size_t k, const ShardState& shard,
+                             const std::string& state) {
+    LeaseRecord lease;
+    lease.shard = k;
+    lease.lo = shard.range.lo;
+    lease.hi = shard.range.hi;
+    lease.attempt = shard.attempt;
+    lease.pid = shard.pid;
+    lease.state = state;
+    lease.journal = shard.journal;
+    lease.heartbeat = shard.heartbeat;
+    const util::Status status =
+        WriteLease(LeasePath(options.dir, k), lease);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fabric: lease write for shard %zu failed: %s\n",
+                   k, status.ToString().c_str());
+    }
+  };
+
+  // Revoke the current attempt and schedule the retry (or the terminal
+  // degradation). The caller has already reaped/killed the worker.
+  const auto revoke = [&](size_t k, ShardState& shard,
+                          const std::string& why) {
+    shard.pid = -1;
+    shard.chaos_at = 0.0;
+    shard.resume = shard.journal;
+    if (shard.attempt >= max_attempts) {
+      shard.failed = true;
+      ++tally.failed_shards;
+      put_lease(k, shard, "failed");
+      std::fprintf(stderr,
+                   "fabric: shard %zu %s; retries exhausted after %u "
+                   "attempts, degrading its runs\n",
+                   k, why.c_str(), shard.attempt);
+      return;
+    }
+    // Jittered exponential backoff before the re-dispatch.
+    double backoff =
+        options.backoff_base_s * std::ldexp(1.0, shard.attempt - 1);
+    if (backoff > options.backoff_max_s) backoff = options.backoff_max_s;
+    backoff *= 0.5 + rng.UniformDouble();
+    shard.eligible_at = MonotonicSeconds() + backoff;
+    put_lease(k, shard, "revoked");
+    std::fprintf(stderr,
+                 "fabric: shard %zu %s; re-dispatching attempt %u in "
+                 "%.2fs (resume %s)\n",
+                 k, why.c_str(), shard.attempt + 1, backoff,
+                 shard.resume.c_str());
+  };
+
+  const auto active_count = [&] {
+    size_t n = 0;
+    for (const ShardState& shard : shards) {
+      if (shard.active()) ++n;
+    }
+    return n;
+  };
+
+  bool drained = false;
+  for (;;) {
+    bool all_terminal = true;
+    for (const ShardState& shard : shards) {
+      if (!shard.terminal()) {
+        all_terminal = false;
+        break;
+      }
+    }
+    if (all_terminal) break;
+    const double now = MonotonicSeconds();
+
+    // Drain: forward the signal, give workers a grace period to drain
+    // their own journals, then stop. Shards left non-terminal resume on
+    // the next invocation with the same fabric directory.
+    if (options.drain_on_signal && util::DrainRequested()) {
+      drained = true;
+      std::fprintf(stderr,
+                   "fabric: drain requested; terminating %zu workers\n",
+                   active_count());
+      for (ShardState& shard : shards) {
+        if (shard.active()) (void)util::KillProcess(shard.pid, SIGTERM);
+      }
+      const double grace_deadline =
+          MonotonicSeconds() +
+          (options.worker_timeout_s > 1.0 ? options.worker_timeout_s : 1.0);
+      while (active_count() > 0 && MonotonicSeconds() < grace_deadline) {
+        for (size_t k = 0; k < shards.size(); ++k) {
+          ShardState& shard = shards[k];
+          if (!shard.active()) continue;
+          auto outcome = util::TryWaitProcess(shard.pid);
+          if (outcome.ok() && !outcome->running) {
+            shard.pid = -1;
+            put_lease(k, shard, "revoked");
+          }
+        }
+        SleepSeconds(options.poll_interval_s);
+      }
+      for (size_t k = 0; k < shards.size(); ++k) {
+        ShardState& shard = shards[k];
+        if (!shard.active()) continue;
+        (void)util::KillProcess(shard.pid, SIGKILL);
+        (void)util::WaitProcess(shard.pid);
+        shard.pid = -1;
+        put_lease(k, shard, "revoked");
+      }
+      break;
+    }
+
+    // Lease eligible shards to free worker slots.
+    size_t active = active_count();
+    for (size_t k = 0; k < shards.size() && active < options.workers; ++k) {
+      ShardState& shard = shards[k];
+      if (shard.terminal() || shard.active() || now < shard.eligible_at) {
+        continue;
+      }
+      ++shard.attempt;
+      WorkerSpec spec;
+      spec.shard = k;
+      spec.lo = shard.range.lo;
+      spec.hi = shard.range.hi;
+      spec.attempt = shard.attempt;
+      spec.journal = ShardJournalPath(options.dir, k, shard.attempt);
+      spec.resume = shard.resume;
+      spec.heartbeat = HeartbeatPath(options.dir, k, shard.attempt);
+      // Baseline mtime: the staleness clock starts at spawn, not at the
+      // worker's first touch, so a worker that never comes up is hung.
+      (void)util::TouchFile(spec.heartbeat);
+      util::SpawnOptions spawn;
+      spawn.stdout_path = WorkerLogPath(options.dir, k, shard.attempt, "out");
+      spawn.stderr_path = WorkerLogPath(options.dir, k, shard.attempt, "err");
+      auto spawned = util::SpawnProcess(command(spec), spawn);
+      shard.journal = spec.journal;
+      shard.heartbeat = spec.heartbeat;
+      shard.journals.push_back(spec.journal);
+      if (!spawned.ok()) {
+        revoke(k, shard,
+               "spawn failed (" + spawned.status().message() + ")");
+        continue;
+      }
+      shard.pid = *spawned;
+      shard.started_at = now;
+      ++tally.spawned;
+      ++active;
+      // Chaos plan: kill this attempt shortly after launch, but never
+      // the final allowed attempt.
+      if (shard.chaos_done < shard.planned_chaos &&
+          shard.attempt < max_attempts) {
+        shard.chaos_at =
+            now + options.poll_interval_s * rng.UniformDouble(1.0, 4.0);
+      }
+      put_lease(k, shard, "running");
+      std::fprintf(stderr,
+                   "fabric: shard %zu [%llu,%llu) leased to pid %lld "
+                   "(attempt %u%s)\n",
+                   k, static_cast<unsigned long long>(shard.range.lo),
+                   static_cast<unsigned long long>(shard.range.hi),
+                   static_cast<long long>(shard.pid), shard.attempt,
+                   spec.resume.empty() ? "" : ", resuming");
+    }
+
+    // Chaos kills land mid-attempt; the normal reap below observes the
+    // death and the revoke/re-dispatch path takes over.
+    for (size_t k = 0; k < shards.size(); ++k) {
+      ShardState& shard = shards[k];
+      if (shard.active() && shard.chaos_at > 0.0 && now >= shard.chaos_at) {
+        std::fprintf(stderr,
+                     "fabric: chaos SIGKILL pid %lld (shard %zu attempt "
+                     "%u)\n",
+                     static_cast<long long>(shard.pid), k, shard.attempt);
+        (void)util::KillProcess(shard.pid, SIGKILL);
+        shard.chaos_at = 0.0;
+        ++shard.chaos_done;
+        ++tally.chaos_kills;
+      }
+    }
+
+    // Reap exits; probe heartbeats and deadlines of the still-running.
+    for (size_t k = 0; k < shards.size(); ++k) {
+      ShardState& shard = shards[k];
+      if (!shard.active()) continue;
+      auto outcome = util::TryWaitProcess(shard.pid);
+      if (!outcome.ok()) {
+        ++tally.worker_deaths;
+        revoke(k, shard,
+               "became unwaitable (" + outcome.status().message() + ")");
+        continue;
+      }
+      if (!outcome->running) {
+        if (!outcome->signaled && outcome->exit_code == 0) {
+          shard.done = true;
+          shard.pid = -1;
+          shard.chaos_at = 0.0;
+          put_lease(k, shard, "done");
+          std::fprintf(stderr, "fabric: shard %zu complete (attempt %u)\n",
+                       k, shard.attempt);
+        } else {
+          ++tally.worker_deaths;
+          revoke(k, shard,
+                 outcome->signaled
+                     ? "worker died (signal " +
+                           std::to_string(outcome->term_signal) + ")"
+                     : "worker exited " +
+                           std::to_string(outcome->exit_code));
+        }
+        continue;
+      }
+      if (options.worker_timeout_s > 0.0) {
+        auto age = util::FileAgeSeconds(shard.heartbeat);
+        if (age.ok() && *age > options.worker_timeout_s) {
+          ++tally.hung_revocations;
+          (void)util::KillProcess(shard.pid, SIGKILL);
+          (void)util::WaitProcess(shard.pid);
+          revoke(k, shard,
+                 "heartbeat stale for " + std::to_string(*age) + "s");
+          continue;
+        }
+      }
+      if (options.shard_deadline_s > 0.0 &&
+          now - shard.started_at > options.shard_deadline_s) {
+        ++tally.straggler_revocations;
+        (void)util::KillProcess(shard.pid, SIGKILL);
+        (void)util::WaitProcess(shard.pid);
+        revoke(k, shard, "straggling past the shard deadline");
+      }
+    }
+
+    SleepSeconds(options.poll_interval_s);
+  }
+
+  // Merge every attempt's journal. Duplicates (a revoked worker that
+  // finished anyway) resolve deterministically; torn files from SIGKILL
+  // mid-write are counted, never fatal.
+  std::vector<std::string> journal_paths;
+  for (const ShardState& shard : shards) {
+    for (const std::string& path : shard.journals) {
+      if (util::FileExists(path)) journal_paths.push_back(path);
+    }
+  }
+  IPDA_ASSIGN_OR_RETURN(
+      Journal merged,
+      MergeShardJournals(journal_paths, header, &tally.merge));
+
+  ResilientReport report;
+  report.runs.resize(total);
+  report.drained = drained;
+  report.journal_path = options.merged_journal_path;
+  for (size_t k = 0; k < shards.size(); ++k) {
+    const ShardState& shard = shards[k];
+    for (uint64_t i = shard.range.lo; i < shard.range.hi; ++i) {
+      RunStatus& slot = report.runs[i];
+      const auto it = merged.runs.find(i);
+      if (it != merged.runs.end()) {
+        slot.ok = it->second.ok;
+        slot.attempts = it->second.attempts;
+        slot.seed = it->second.seed;
+        slot.payload = it->second.payload;
+        ++report.executed;
+        if (!slot.ok) ++report.failed;
+      } else if (shard.failed || shard.done) {
+        // Terminal shard without a durable record for this index: the
+        // run degrades to an explicit failure, the sweep continues.
+        slot.ok = false;
+        slot.attempts = shard.attempt;
+        slot.payload = "shard " + std::to_string(k) +
+                       " failed terminally after " +
+                       std::to_string(shard.attempt) + " attempts";
+        ++tally.degraded_records;
+        ++report.executed;
+        ++report.failed;
+      } else {
+        // Drained before the shard finished; a re-run resumes it.
+        slot.skipped = true;
+        ++report.skipped;
+      }
+    }
+  }
+
+  // Optional merged journal: header + deduped terminal records in index
+  // order — consumable by the single-process --resume path. Degraded
+  // indices are left non-terminal so a later resume retries them.
+  if (!options.merged_journal_path.empty()) {
+    IPDA_ASSIGN_OR_RETURN(
+        JournalWriter writer,
+        JournalWriter::Create(options.merged_journal_path, header));
+    for (const auto& [index, record] : merged.runs) {
+      IPDA_RETURN_IF_ERROR(writer.WriteRun(record));
+    }
+  }
+
+  if (tally.degraded_records > 0) {
+    std::fprintf(stderr,
+                 "fabric: %zu runs degraded to ok:false across %zu "
+                 "terminally failed shards\n",
+                 tally.degraded_records, tally.failed_shards);
+  }
+  if (stats != nullptr) *stats = tally;
+  return report;
+}
+
+}  // namespace ipda::exp

@@ -1,0 +1,171 @@
+// Crash-tolerant multi-process sweep fabric (DESIGN.md §15).
+//
+// One dispatcher process partitions a sweep's flat run indices into
+// contiguous shards and leases each shard to a worker process — a
+// re-exec of the sweep binary in worker mode. Every lease is an fsync'd
+// claim record under the fabric directory (worker pid, shard range,
+// attempt, journal and heartbeat paths); every worker journals terminal
+// run records to a PRIVATE per-attempt shard journal while touching its
+// heartbeat file from a background thread.
+//
+// The dispatcher supervises the fleet: a dead worker (pid reaped after a
+// crash or SIGKILL), a hung worker (heartbeat mtime older than the
+// worker timeout), or a straggler (shard attempt past its deadline) has
+// its lease revoked and its shard re-dispatched to a fresh worker with
+// bounded retries and jittered exponential backoff — resuming from the
+// dead worker's journal, so no durable run is ever recomputed. A shard
+// that exhausts its retries degrades to ok:false records instead of
+// aborting the sweep.
+//
+// On completion the shard journals are merged by run index
+// (MergeShardJournals: deterministic dedup of records left by a
+// revoked-then-finished worker racing its replacement, torn/corrupt
+// lines counted and skipped) into a ResilientReport whose records are
+// byte-identical to a single-process `--jobs N` sweep — the chaos
+// self-test (scripts/fabric_chaos_smoke.sh) SIGKILLs workers mid-sweep
+// and diffs the merged output against the uninterrupted golden.
+//
+// Multi-host: nothing here assumes a shared process table beyond the
+// dispatcher's own children; pointing the fabric directory at shared
+// storage and spawning workers remotely reduces to swapping the spawn
+// hook — leases, heartbeats (mtime), journals, and the merge are already
+// plain files.
+
+#ifndef IPDA_EXP_FABRIC_H_
+#define IPDA_EXP_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/journal.h"
+#include "exp/resilient.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ipda::exp {
+
+struct FabricOptions {
+  size_t workers = 2;         // Concurrent worker processes.
+  std::string dir;            // Leases, heartbeats, shard journals, logs.
+  double worker_timeout_s = 30.0;  // Heartbeat staleness => hung, revoke.
+  double shard_deadline_s = 0.0;   // Straggler cutoff per attempt (0=off).
+  uint32_t shard_retries = 3;      // Re-dispatches before degradation.
+  size_t shards_per_worker = 2;    // Shard granularity vs. retry cost.
+  double poll_interval_s = 0.05;   // Supervision cadence.
+  double backoff_base_s = 0.25;    // Jittered exponential re-dispatch
+  double backoff_max_s = 5.0;      // backoff, base * 2^(attempt-1).
+  // Chaos self-test: expected SIGKILLs injected per shard. Kills are
+  // planned per shard (capped at shard_retries so the sweep still
+  // completes) and land while the victim attempt is mid-flight; merge
+  // output must stay byte-identical regardless.
+  double chaos_kill_rate = 0.0;
+  uint64_t chaos_seed = 0xC405;
+  bool drain_on_signal = true;  // Forward SIGINT/SIGTERM drain to workers.
+  // Optional: write the merged journal (header + deduped terminal
+  // records in index order) here — resumable by the single-process
+  // --resume path.
+  std::string merged_journal_path;
+};
+
+struct ShardRange {
+  uint64_t lo = 0;  // Inclusive.
+  uint64_t hi = 0;  // Exclusive.
+};
+
+// Contiguous near-equal partition of [0, total) into at most
+// workers * shards_per_worker shards (never more shards than runs).
+std::vector<ShardRange> PartitionShards(uint64_t total, size_t workers,
+                                        size_t shards_per_worker);
+
+// Everything a worker needs to execute one shard attempt. The command
+// callback turns it into an argv (binary path, result-affecting flags,
+// worker-mode flags); the fabric owns the paths.
+struct WorkerSpec {
+  size_t shard = 0;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint32_t attempt = 1;   // 1-based attempt number for this shard.
+  std::string journal;    // Private shard journal the worker writes.
+  std::string resume;     // Previous attempt's journal ("" on attempt 1).
+  std::string heartbeat;  // File the worker must keep touching.
+};
+using WorkerCommand =
+    std::function<std::vector<std::string>(const WorkerSpec&)>;
+
+// Supervision counters, exposed for tests and the chaos self-test.
+struct FabricStats {
+  size_t shards = 0;
+  size_t spawned = 0;             // Worker processes launched.
+  size_t worker_deaths = 0;       // Reaped after crash/kill/nonzero exit.
+  size_t hung_revocations = 0;    // Heartbeat went stale; SIGKILLed.
+  size_t straggler_revocations = 0;  // Shard deadline exceeded.
+  size_t chaos_kills = 0;         // SIGKILLs injected by the chaos plan.
+  size_t failed_shards = 0;       // Retries exhausted.
+  size_t degraded_records = 0;    // ok:false records synthesized for them.
+  ShardMergeStats merge;
+};
+
+// Runs the fabric to completion (or drain) and returns the merged
+// report, shaped exactly like RunResilientSweep's so sweep tools format
+// output identically in either mode. `header` carries the sweep identity
+// every shard journal must match (total_runs included). Errors only on
+// fabric-level problems (unusable directory, second dispatcher, merge
+// identity mismatch) — worker failures are policy, not errors.
+util::Result<ResilientReport> RunFabricSweep(const FabricOptions& options,
+                                             const JournalHeader& header,
+                                             const WorkerCommand& command,
+                                             FabricStats* stats = nullptr);
+
+// --- Lease records -----------------------------------------------------
+//
+// One file per shard (fabric-dir/shard<k>.lease), rewritten + fsync'd on
+// every transition so an operator (or a post-mortem) can read the
+// fabric's claim state off disk: who holds the shard, which attempt,
+// which journal, and in what state.
+
+struct LeaseRecord {
+  uint64_t shard = 0;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint32_t attempt = 0;
+  int64_t pid = 0;
+  std::string state;  // "running" | "done" | "revoked" | "failed".
+  std::string journal;
+  std::string heartbeat;
+};
+
+util::Status WriteLease(const std::string& path, const LeaseRecord& lease);
+util::Result<LeaseRecord> ReadLease(const std::string& path);
+
+// Parses a worker's "lo:hi" shard-range flag value.
+util::Result<ShardRange> ParseShardRange(const std::string& text);
+
+// Worker-side liveness signal: a background thread touching `path`
+// every interval until stopped (or destroyed). Movable so worker mains
+// can hold it across the sweep call.
+class HeartbeatThread {
+ public:
+  HeartbeatThread();  // Idle; assign a started thread to arm it.
+  HeartbeatThread(std::string path, double interval_s);
+  ~HeartbeatThread();
+
+  HeartbeatThread(HeartbeatThread&&) noexcept;
+  HeartbeatThread& operator=(HeartbeatThread&&) noexcept;
+
+  HeartbeatThread(const HeartbeatThread&) = delete;
+  HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+
+  // Stops touching and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace ipda::exp
+
+#endif  // IPDA_EXP_FABRIC_H_

@@ -1,5 +1,6 @@
 #include "exp/journal.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <mutex>
@@ -336,8 +337,10 @@ util::Result<Journal> JournalReader::Load(const std::string& path) {
     ++line_no;
 
     if (line_no == 1) {
-      // The header must be first and intact; without it the journal
-      // cannot be bound to a sweep configuration, so this is fatal.
+      // A COMPLETE first line (its newline landed) must be a parsable
+      // header; without it the journal cannot be bound to a sweep
+      // configuration, so this is fatal. A torn first line is handled
+      // after the loop (torn_header).
       if (line.find("\"type\":\"header\"") == std::string_view::npos) {
         return util::InvalidArgumentError(
             "journal '" + path + "' does not start with a header line");
@@ -426,9 +429,81 @@ util::Result<Journal> JournalReader::Load(const std::string& path) {
     ++journal.corrupt_lines;
   }
   if (!saw_header) {
-    return util::InvalidArgumentError("journal '" + path + "' is empty");
+    // Zero bytes, or a header torn at some byte k with no newline: the
+    // writer was killed before its first fsync'd line completed, so the
+    // journal provably holds no records. Report it as empty-and-torn
+    // rather than erroring — a resume from it is simply a fresh start.
+    journal.torn_header = true;
   }
   return journal;
+}
+
+namespace {
+
+// Dedup rule for duplicate terminal records of one run index: prefer ok
+// over !ok, then fewer attempts, then the smaller attempt seed, then the
+// smaller payload — a total order, so the merge result is independent of
+// the order shard journals are scanned in.
+bool PreferRecord(const JournalRecord& a, const JournalRecord& b) {
+  if (a.ok != b.ok) return a.ok;
+  if (a.attempts != b.attempts) return a.attempts < b.attempts;
+  if (a.seed != b.seed) return a.seed < b.seed;
+  return a.payload < b.payload;
+}
+
+}  // namespace
+
+util::Result<Journal> MergeShardJournals(const std::vector<std::string>& paths,
+                                         const JournalHeader& expect,
+                                         ShardMergeStats* stats) {
+  ShardMergeStats tally;
+  Journal merged;
+  merged.header = expect;
+
+  // Scan in sorted order so `failures` (kept in encounter order for
+  // post-mortems) is deterministic too, not just the deduped runs map.
+  std::vector<std::string> sorted(paths);
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const std::string& path : sorted) {
+    IPDA_ASSIGN_OR_RETURN(Journal shard, JournalReader::Load(path));
+    tally.corrupt_lines += shard.corrupt_lines;
+    if (shard.torn_header) {
+      // The worker died before its header landed; nothing to merge.
+      ++tally.empty_journals;
+      continue;
+    }
+    if (shard.header.experiment != expect.experiment ||
+        shard.header.config_hash != expect.config_hash ||
+        shard.header.sweep_seed != expect.sweep_seed ||
+        shard.header.total_runs != expect.total_runs) {
+      return util::FailedPreconditionError(
+          "shard journal '" + path +
+          "' belongs to a different sweep than the one being merged");
+    }
+    ++tally.journals;
+    for (auto& [index, record] : shard.runs) {
+      if (index >= expect.total_runs) {
+        // Passed the CRC but points outside the grid: corrupt in effect.
+        ++tally.corrupt_lines;
+        continue;
+      }
+      ++tally.records;
+      auto [it, inserted] = merged.runs.try_emplace(index);
+      if (inserted) {
+        it->second = std::move(record);
+      } else {
+        ++tally.duplicates;
+        if (PreferRecord(record, it->second)) it->second = std::move(record);
+      }
+    }
+    for (JournalFailure& failure : shard.failures) {
+      merged.failures.push_back(std::move(failure));
+    }
+  }
+  merged.corrupt_lines = tally.corrupt_lines;
+  if (stats != nullptr) *stats = tally;
+  return merged;
 }
 
 }  // namespace ipda::exp

@@ -67,6 +67,14 @@ struct Journal {
   std::map<uint64_t, JournalRecord> runs;  // Keyed by flat run index.
   std::vector<JournalFailure> failures;
   size_t corrupt_lines = 0;  // Checksum failures and torn tails skipped.
+  // True when the file held no complete header line: zero bytes, or a
+  // header torn mid-write(2) with no terminating newline. The writer
+  // died before its first fsync'd line landed, so the journal is empty
+  // by construction — callers treat it as a fresh start, not an error.
+  // A COMPLETE first line that fails to parse is still a hard error
+  // (wrong file / version drift), distinguishable because its newline
+  // proves the write finished.
+  bool torn_header = false;
 };
 
 // Thread-safe writer: workers append completed records concurrently;
@@ -98,10 +106,37 @@ class JournalWriter {
 
 class JournalReader {
  public:
-  // Loads and verifies a journal; fails only on IO errors or a missing/
-  // unparsable header (corrupt records are skipped and counted).
+  // Loads and verifies a journal; fails only on IO errors or a complete-
+  // but-unparsable header (corrupt records are skipped and counted; a
+  // torn or absent header yields an empty journal with torn_header set).
   static util::Result<Journal> Load(const std::string& path);
 };
+
+// --- Shard-journal merging (multi-process fabric) ----------------------
+
+struct ShardMergeStats {
+  size_t journals = 0;        // Files scanned with a valid header.
+  size_t empty_journals = 0;  // Torn-header/zero-byte files skipped whole.
+  size_t records = 0;         // Terminal records read before dedup.
+  size_t duplicates = 0;      // Records displaced by the dedup rule.
+  size_t corrupt_lines = 0;   // Torn/corrupt lines across all shards.
+};
+
+// Merges the per-shard journals of one fabric sweep into a single
+// Journal keyed by flat run index. Every shard journal must carry the
+// same identity as `expect` (experiment, config hash, sweep seed, total
+// runs) — a mismatch is an error; a torn-header journal (its writer died
+// before the first line was durable) counts as empty and is skipped.
+//
+// Duplicate terminal records for one index — a revoked worker that
+// finished anyway, racing its replacement — are resolved independently
+// of merge order: prefer ok over !ok, then fewer attempts, then the
+// numerically smaller attempt seed, then the lexicographically smaller
+// payload. Identical records (the common case: both attempts computed
+// the same seed-addressed run) collapse silently into one.
+util::Result<Journal> MergeShardJournals(const std::vector<std::string>& paths,
+                                         const JournalHeader& expect,
+                                         ShardMergeStats* stats = nullptr);
 
 // Checksum over a record's canonical fields; writer and reader agree.
 uint64_t JournalChecksum(const JournalRecord& record);

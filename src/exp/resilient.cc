@@ -66,6 +66,13 @@ util::Result<ResilientReport> RunResilientSweep(
   ResilientReport report;
   report.runs.resize(total);
 
+  // Shard window (whole grid unless a fabric worker narrowed it).
+  const uint64_t shard_lo =
+      options.shard_lo < total ? options.shard_lo : total;
+  const uint64_t shard_hi =
+      options.shard_hi < total ? options.shard_hi : total;
+  const uint64_t shard_len = shard_hi > shard_lo ? shard_hi - shard_lo : 0;
+
   JournalHeader header;
   header.experiment = options.experiment;
   header.config_hash = util::HashLabel(options.config_digest);
@@ -80,12 +87,23 @@ util::Result<ResilientReport> RunResilientSweep(
   if (!options.resume_path.empty()) {
     if (util::FileExists(options.resume_path)) {
       IPDA_ASSIGN_OR_RETURN(resumed, JournalReader::Load(options.resume_path));
-      const std::string mismatch = HeaderMismatch(header, resumed.header);
-      if (!mismatch.empty()) {
-        return util::FailedPreconditionError(
-            "cannot resume from '" + options.resume_path + "': " + mismatch);
+      if (resumed.torn_header) {
+        // The previous attempt died before its header line was durable:
+        // the journal provably holds nothing, so this is a fresh start,
+        // not a mismatch. (The writer below truncates the torn bytes.)
+        std::fprintf(stderr,
+                     "note: resume journal '%s' has no complete header "
+                     "(crash before the first record); starting fresh\n",
+                     options.resume_path.c_str());
+        resumed = Journal();
+      } else {
+        const std::string mismatch = HeaderMismatch(header, resumed.header);
+        if (!mismatch.empty()) {
+          return util::FailedPreconditionError(
+              "cannot resume from '" + options.resume_path + "': " + mismatch);
+        }
+        have_resume = true;
       }
-      have_resume = true;
     } else {
       std::fprintf(stderr,
                    "note: resume journal '%s' not found; starting fresh\n",
@@ -121,7 +139,7 @@ util::Result<ResilientReport> RunResilientSweep(
   // Prefill replayed slots: their payloads come from the journal, not a
   // re-simulation, so resumed output is byte-identical by construction.
   for (const auto& [index, record] : resumed.runs) {
-    if (index >= total) continue;
+    if (index < shard_lo || index >= shard_hi) continue;
     RunStatus& slot = report.runs[index];
     slot.ok = record.ok;
     slot.replayed = true;
@@ -133,7 +151,8 @@ util::Result<ResilientReport> RunResilientSweep(
   Watchdog watchdog;
   FirstError journal_error;
 
-  engine.pool().ParallelFor(total, [&](size_t i) {
+  engine.pool().ParallelFor(shard_len, [&](size_t offset) {
+    const size_t i = static_cast<size_t>(shard_lo) + offset;
     RunStatus& slot = report.runs[i];
     if (slot.replayed) return;
     if (ShouldDrain(options)) {
@@ -197,7 +216,8 @@ util::Result<ResilientReport> RunResilientSweep(
 
   IPDA_RETURN_IF_ERROR(journal_error.Take());
 
-  for (const RunStatus& slot : report.runs) {
+  for (uint64_t i = shard_lo; i < shard_hi; ++i) {
+    const RunStatus& slot = report.runs[i];
     if (slot.replayed) {
       ++report.replayed;
       if (!slot.ok) ++report.failed;

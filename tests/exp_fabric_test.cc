@@ -1,0 +1,408 @@
+// Multi-process sweep fabric: shard partitioning, lease records, shard
+// journal merging, and dispatcher supervision end-to-end against real
+// worker processes (tests/fabric_worker_helper.cc) — including SIGKILL
+// crash recovery, hung-worker revocation, retry exhaustion degrading to
+// ok:false records, and chaos-kill byte-identity.
+
+#include "exp/fabric.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/engine.h"
+#include "exp/journal.h"
+#include "util/proc.h"
+#include "util/random.h"
+
+#ifndef IPDA_FABRIC_WORKER
+#error "IPDA_FABRIC_WORKER (helper binary path) must be defined"
+#endif
+
+namespace ipda::exp {
+namespace {
+
+// Grid the helper sweeps: 4 points x 8 runs, sweep seed 77.
+constexpr size_t kPoints = 4;
+constexpr size_t kRuns = 8;
+constexpr uint64_t kSweepSeed = 77;
+constexpr uint64_t kTotal = kPoints * kRuns;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "exp_fabric_test_" + name;
+  // A stale directory would be adopted as a crashed fabric to resume.
+  const std::string scrub = "rm -rf '" + dir + "'";
+  EXPECT_EQ(std::system(scrub.c_str()), 0);
+  return dir;
+}
+
+JournalHeader HelperHeader() {
+  JournalHeader header;
+  header.experiment = "fabric_helper";
+  header.config_hash = util::HashLabel("fabric_helper|v=1");
+  header.sweep_seed = kSweepSeed;
+  header.total_runs = kTotal;
+  return header;
+}
+
+// What the helper's body returns for flat index i, attempt 0 — the
+// fabric must reproduce exactly this payload for every index no matter
+// how many workers died on the way.
+std::string ExpectedPayload(uint64_t i) {
+  const size_t point = i / kRuns;
+  const uint64_t seed =
+      DeriveRunSeed(kSweepSeed, "p" + std::to_string(point), i % kRuns);
+  return "index=" + std::to_string(i) + ",seed=" + std::to_string(seed);
+}
+
+// Worker command for the helper binary; `extra` appends fault-injection
+// flags (possibly keyed on spec.attempt by the caller).
+std::vector<std::string> HelperCommand(
+    const WorkerSpec& spec, const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> argv = {
+      IPDA_FABRIC_WORKER,
+      "--points=" + std::to_string(kPoints),
+      "--runs=" + std::to_string(kRuns),
+      "--sweep-seed=" + std::to_string(kSweepSeed),
+      "--range=" + std::to_string(spec.lo) + ":" + std::to_string(spec.hi),
+      "--journal=" + spec.journal,
+      "--heartbeat=" + spec.heartbeat,
+  };
+  if (!spec.resume.empty()) argv.push_back("--resume=" + spec.resume);
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  return argv;
+}
+
+FabricOptions FastFabric(const std::string& dir) {
+  FabricOptions options;
+  options.workers = 2;
+  options.dir = dir;
+  options.poll_interval_s = 0.02;
+  options.backoff_base_s = 0.01;
+  options.backoff_max_s = 0.05;
+  options.worker_timeout_s = 10.0;  // Effectively off unless a test hangs.
+  options.drain_on_signal = false;
+  return options;
+}
+
+void ExpectCleanReport(const ResilientReport& report) {
+  ASSERT_EQ(report.runs.size(), kTotal);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_FALSE(report.drained);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_TRUE(report.runs[i].ok) << i;
+    EXPECT_EQ(report.runs[i].payload, ExpectedPayload(i)) << i;
+  }
+}
+
+TEST(PartitionShards, CoversEveryIndexOnce) {
+  const auto shards = PartitionShards(100, 3, 2);
+  ASSERT_EQ(shards.size(), 6u);
+  uint64_t expect_lo = 0;
+  for (const ShardRange& s : shards) {
+    EXPECT_EQ(s.lo, expect_lo);
+    EXPECT_GT(s.hi, s.lo);
+    expect_lo = s.hi;
+  }
+  EXPECT_EQ(expect_lo, 100u);
+  // Near-equal: remainder spreads one extra run over the first shards.
+  EXPECT_EQ(shards[0].hi - shards[0].lo, 17u);
+  EXPECT_EQ(shards[5].hi - shards[5].lo, 16u);
+}
+
+TEST(PartitionShards, NeverMoreShardsThanRuns) {
+  const auto shards = PartitionShards(3, 4, 2);
+  ASSERT_EQ(shards.size(), 3u);
+  for (const ShardRange& s : shards) EXPECT_EQ(s.hi - s.lo, 1u);
+  EXPECT_TRUE(PartitionShards(0, 4, 2).empty());
+  // Degenerate worker counts still produce a usable partition.
+  EXPECT_EQ(PartitionShards(10, 0, 0).size(), 1u);
+}
+
+TEST(Lease, RoundTripsThroughDisk) {
+  const std::string dir = FreshDir("lease");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  LeaseRecord lease;
+  lease.shard = 3;
+  lease.lo = 24;
+  lease.hi = 32;
+  lease.attempt = 2;
+  lease.pid = 4242;
+  lease.state = "running";
+  lease.journal = dir + "/shard3_a2.jsonl";
+  lease.heartbeat = dir + "/hb_shard3_a2";
+  const std::string path = dir + "/shard3.lease";
+  ASSERT_TRUE(WriteLease(path, lease).ok());
+  auto read = ReadLease(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->shard, 3u);
+  EXPECT_EQ(read->lo, 24u);
+  EXPECT_EQ(read->hi, 32u);
+  EXPECT_EQ(read->attempt, 2u);
+  EXPECT_EQ(read->pid, 4242);
+  EXPECT_EQ(read->state, "running");
+  EXPECT_EQ(read->journal, lease.journal);
+  EXPECT_EQ(read->heartbeat, lease.heartbeat);
+  EXPECT_FALSE(ReadLease(dir + "/absent.lease").ok());
+}
+
+TEST(ParseShardRangeTest, AcceptsLoHiRejectsGarbage) {
+  auto range = ParseShardRange("24:32");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->lo, 24u);
+  EXPECT_EQ(range->hi, 32u);
+  EXPECT_FALSE(ParseShardRange("").ok());
+  EXPECT_FALSE(ParseShardRange("24").ok());
+  EXPECT_FALSE(ParseShardRange(":32").ok());
+  EXPECT_FALSE(ParseShardRange("24:").ok());
+  EXPECT_FALSE(ParseShardRange("x:y").ok());
+  EXPECT_FALSE(ParseShardRange("32:24").ok());  // hi < lo.
+}
+
+TEST(MergeShards, DedupsByDeterministicPreference) {
+  const std::string dir = FreshDir("merge_dedup");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  JournalHeader header = HelperHeader();
+  const std::string a = dir + "/a.jsonl";
+  const std::string b = dir + "/b.jsonl";
+  {
+    auto writer = JournalWriter::Create(a, header);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({0, 9, 2, true, "two-attempt"}).ok());
+    ASSERT_TRUE(writer->WriteRun({1, 5, 1, false, "gave up"}).ok());
+  }
+  {
+    auto writer = JournalWriter::Create(b, header);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({0, 9, 1, true, "one-attempt"}).ok());
+    ASSERT_TRUE(writer->WriteRun({1, 5, 1, true, "recovered"}).ok());
+  }
+  for (const auto& order :
+       {std::vector<std::string>{a, b}, std::vector<std::string>{b, a}}) {
+    ShardMergeStats stats;
+    auto merged = MergeShardJournals(order, header, &stats);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(stats.journals, 2u);
+    EXPECT_EQ(stats.records, 4u);
+    EXPECT_EQ(stats.duplicates, 2u);
+    // ok beats !ok; fewer attempts beats more — in either scan order.
+    EXPECT_EQ(merged->runs.at(0).payload, "one-attempt");
+    EXPECT_EQ(merged->runs.at(1).payload, "recovered");
+  }
+}
+
+TEST(MergeShards, TornHeaderJournalIsSkippedWhole) {
+  const std::string dir = FreshDir("merge_torn");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  JournalHeader header = HelperHeader();
+  const std::string good = dir + "/good.jsonl";
+  {
+    auto writer = JournalWriter::Create(good, header);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({4, 1, 1, true, "kept"}).ok());
+  }
+  const std::string torn = dir + "/torn.jsonl";
+  {
+    std::FILE* f = std::fopen(torn.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"head", f);  // Worker died before first fsync.
+    std::fclose(f);
+  }
+  ShardMergeStats stats;
+  auto merged = MergeShardJournals({good, torn}, header, &stats);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(stats.journals, 1u);
+  EXPECT_EQ(stats.empty_journals, 1u);
+  EXPECT_EQ(stats.corrupt_lines, 1u);
+  EXPECT_EQ(merged->runs.size(), 1u);
+}
+
+TEST(MergeShards, ForeignSweepIsRejected) {
+  const std::string dir = FreshDir("merge_foreign");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  JournalHeader other = HelperHeader();
+  other.sweep_seed ^= 1;
+  const std::string path = dir + "/foreign.jsonl";
+  ASSERT_TRUE(JournalWriter::Create(path, other).ok());
+  auto merged = MergeShardJournals({path}, HelperHeader(), nullptr);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(Heartbeat, KeepsFileFresh) {
+  const std::string dir = FreshDir("heartbeat");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  const std::string path = dir + "/hb";
+  {
+    HeartbeatThread thread(path, 0.02);
+    auto age = util::FileAgeSeconds(path);
+    // First touch happens on thread start.
+    for (int i = 0; i < 100 && !age.ok(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      age = util::FileAgeSeconds(path);
+    }
+    ASSERT_TRUE(age.ok());
+    EXPECT_LT(*age, 5.0);
+    thread.Stop();
+    thread.Stop();  // Idempotent.
+  }
+  // Destruction after Stop must not crash; default-constructed is inert.
+  HeartbeatThread idle;
+  idle.Stop();
+}
+
+// --- End-to-end against real worker processes -------------------------
+
+TEST(FabricSweep, CleanRunMatchesExpectedPayloads) {
+  const std::string dir = FreshDir("clean");
+  FabricStats stats;
+  auto report = RunFabricSweep(
+      FastFabric(dir), HelperHeader(),
+      [](const WorkerSpec& spec) { return HelperCommand(spec); }, &stats);
+  ASSERT_TRUE(report.ok());
+  ExpectCleanReport(*report);
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.spawned, 4u);
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.failed_shards, 0u);
+  EXPECT_EQ(stats.merge.records, kTotal);
+  // Leases ended in "done" with the final attempt on record.
+  auto lease = ReadLease(dir + "/shard0.lease");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(lease->state, "done");
+  EXPECT_EQ(lease->attempt, 1u);
+}
+
+TEST(FabricSweep, SecondDispatcherIsLockedOut) {
+  const std::string dir = FreshDir("locked");
+  ASSERT_TRUE(util::MakeDirs(dir).ok());
+  auto lock = util::LockFile::Acquire(dir + "/dispatcher.lock");
+  ASSERT_TRUE(lock.ok());
+  auto report = RunFabricSweep(
+      FastFabric(dir), HelperHeader(),
+      [](const WorkerSpec& spec) { return HelperCommand(spec); });
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FabricSweep, SigkilledWorkerIsResumedByteIdentically) {
+  const std::string dir = FreshDir("crash");
+  FabricStats stats;
+  // Every shard's FIRST attempt dies by SIGKILL mid-shard (after 4 runs,
+  // mimicking a machine crash); retries run clean and resume from the
+  // dead worker's journal.
+  const auto command = [](const WorkerSpec& spec) {
+    std::vector<std::string> extra;
+    if (spec.attempt == 1) extra.push_back("--crash-after=4");
+    return HelperCommand(spec, extra);
+  };
+  auto report =
+      RunFabricSweep(FastFabric(dir), HelperHeader(), command, &stats);
+  ASSERT_TRUE(report.ok());
+  ExpectCleanReport(*report);
+  EXPECT_EQ(stats.worker_deaths, 4u);
+  EXPECT_EQ(stats.spawned, 8u);  // 4 crashed + 4 resumed.
+  EXPECT_EQ(stats.failed_shards, 0u);
+  // Attempt 2 re-emits the resumed records into its own journal, so the
+  // merge sees (and dedups) duplicates of the pre-crash runs.
+  EXPECT_GE(stats.merge.duplicates, 4u);
+}
+
+TEST(FabricSweep, HungWorkerIsRevokedAndRedispatched) {
+  const std::string dir = FreshDir("hung");
+  FabricOptions options = FastFabric(dir);
+  options.worker_timeout_s = 0.4;
+  FabricStats stats;
+  // Shard 0's first attempt goes silent (stops heartbeating, stalls)
+  // after 2 runs; everyone else is healthy.
+  const auto command = [](const WorkerSpec& spec) {
+    std::vector<std::string> extra = {"--heartbeat-interval=0.05"};
+    if (spec.shard == 0 && spec.attempt == 1) {
+      extra.push_back("--hang-after=2");
+    }
+    return HelperCommand(spec, extra);
+  };
+  auto report = RunFabricSweep(options, HelperHeader(), command, &stats);
+  ASSERT_TRUE(report.ok());
+  ExpectCleanReport(*report);
+  EXPECT_GE(stats.hung_revocations, 1u);
+  EXPECT_EQ(stats.failed_shards, 0u);
+}
+
+TEST(FabricSweep, ExhaustedRetriesDegradeToFalseRecords) {
+  const std::string dir = FreshDir("terminal");
+  FabricOptions options = FastFabric(dir);
+  options.shard_retries = 1;  // 2 attempts per shard, then degrade.
+  FabricStats stats;
+  // The shard owning index 0 crashes INSTANTLY on every attempt — its
+  // retry budget exhausts and its runs degrade; other shards complete.
+  const auto command = [](const WorkerSpec& spec) {
+    std::vector<std::string> extra;
+    if (spec.lo == 0) extra.push_back("--crash-after=0");
+    return HelperCommand(spec, extra);
+  };
+  auto report = RunFabricSweep(options, HelperHeader(), command, &stats);
+  ASSERT_TRUE(report.ok());  // Degradation is policy, not an error.
+  EXPECT_EQ(stats.failed_shards, 1u);
+  EXPECT_EQ(stats.worker_deaths, 2u);
+  // 2 workers x 2 shards_per_worker = 4 shards of 8 runs each.
+  const uint64_t shard_len = kTotal / 4;
+  EXPECT_EQ(stats.degraded_records, shard_len);
+  EXPECT_EQ(report->failed, shard_len);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    if (i < shard_len) {
+      EXPECT_FALSE(report->runs[i].ok) << i;
+      EXPECT_NE(report->runs[i].payload.find("failed terminally"),
+                std::string::npos)
+          << i;
+    } else {
+      EXPECT_TRUE(report->runs[i].ok) << i;
+      EXPECT_EQ(report->runs[i].payload, ExpectedPayload(i)) << i;
+    }
+  }
+  auto lease = ReadLease(dir + "/shard0.lease");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(lease->state, "failed");
+}
+
+TEST(FabricSweep, ChaosKillsPreserveByteIdentity) {
+  const std::string dir = FreshDir("chaos");
+  FabricOptions options = FastFabric(dir);
+  options.chaos_kill_rate = 1.0;  // One planned SIGKILL per shard.
+  FabricStats stats;
+  // Slow runs stretch each shard so the planned kills land mid-flight.
+  const auto command = [](const WorkerSpec& spec) {
+    return HelperCommand(spec, {"--sleep-ms=20"});
+  };
+  auto report = RunFabricSweep(options, HelperHeader(), command, &stats);
+  ASSERT_TRUE(report.ok());
+  ExpectCleanReport(*report);  // Byte-identical payloads despite kills.
+  EXPECT_GE(stats.chaos_kills, 1u);
+  EXPECT_EQ(stats.failed_shards, 0u);
+}
+
+TEST(FabricSweep, WritesMergedJournalForSingleProcessResume) {
+  const std::string dir = FreshDir("merged_journal");
+  FabricOptions options = FastFabric(dir);
+  options.merged_journal_path = dir + "/merged.jsonl";
+  auto report = RunFabricSweep(
+      options, HelperHeader(),
+      [](const WorkerSpec& spec) { return HelperCommand(spec); }, nullptr);
+  ASSERT_TRUE(report.ok());
+  auto merged = JournalReader::Load(options.merged_journal_path);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->header.config_hash, HelperHeader().config_hash);
+  ASSERT_EQ(merged->runs.size(), kTotal);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(merged->runs.at(i).payload, ExpectedPayload(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ipda::exp

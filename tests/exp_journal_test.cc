@@ -132,6 +132,122 @@ TEST(Journal, TornTailIsTolerated) {
   EXPECT_EQ(journal->corrupt_lines, 1u);
 }
 
+TEST(Journal, TornHeaderIsEmptyJournalNotError) {
+  // Zero bytes: the writer was killed between open and the header write.
+  const std::string empty_path = TempPath("zero_byte");
+  {
+    std::FILE* f = std::fopen(empty_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  auto empty = JournalReader::Load(empty_path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->torn_header);
+  EXPECT_EQ(empty->runs.size(), 0u);
+  EXPECT_EQ(empty->corrupt_lines, 0u);
+
+  // Header torn mid-write (no newline ever landed): empty-and-torn, one
+  // counted torn line.
+  const std::string torn_path = TempPath("torn_header");
+  {
+    std::FILE* f = std::fopen(torn_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"header\",\"version\":1,\"config_ha", f);
+    std::fclose(f);
+  }
+  auto torn = JournalReader::Load(torn_path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn->torn_header);
+  EXPECT_EQ(torn->runs.size(), 0u);
+  EXPECT_EQ(torn->corrupt_lines, 1u);
+}
+
+TEST(Journal, CompleteButMalformedHeaderStillRejected) {
+  // A COMPLETE first line that is not a parsable header stays a hard
+  // error — only a torn (newline-less) header degrades to empty.
+  const std::string path = TempPath("malformed_header");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"header\",\"version\":1,\"garbage\":true}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(JournalReader::Load(path).ok());
+}
+
+// Property test: a valid journal truncated at EVERY byte offset must
+// load without error, never invent or double-count a record, replay only
+// payload-exact prefixes of the original, and report exactly one torn
+// line when (and only when) the cut landed mid-line.
+TEST(Journal, TruncationAtEveryByteOffsetIsSafe) {
+  const std::string path = TempPath("truncate_property");
+  {
+    auto writer = JournalWriter::Create(path, TestHeader());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRun({0, 11, 1, true, "alpha \"quoted\""}).ok());
+    ASSERT_TRUE(writer->WriteFailure({1, 0, 22, "flaky\nattempt"}).ok());
+    ASSERT_TRUE(writer->WriteRun({1, 23, 2, true, "beta"}).ok());
+    ASSERT_TRUE(writer->WriteRun({2, 33, 1, false, "gamma gave up"}).ok());
+  }
+  auto full_bytes = util::ReadFileToString(path);
+  ASSERT_TRUE(full_bytes.ok());
+  auto full = JournalReader::Load(path);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->runs.size(), 3u);
+
+  const size_t header_end = full_bytes->find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+
+  const std::string prefix_path = TempPath("truncate_prefix");
+  for (size_t cut = 0; cut <= full_bytes->size(); ++cut) {
+    {
+      std::FILE* f = std::fopen(prefix_path.c_str(), "w");
+      ASSERT_NE(f, nullptr);
+      std::fwrite(full_bytes->data(), 1, cut, f);
+      std::fclose(f);
+    }
+    auto loaded = JournalReader::Load(prefix_path);
+    ASSERT_TRUE(loaded.ok()) << "cut at byte " << cut;
+    const bool ends_mid_line = cut > 0 && (*full_bytes)[cut - 1] != '\n';
+    EXPECT_EQ(loaded->corrupt_lines, ends_mid_line ? 1u : 0u)
+        << "cut at byte " << cut;
+    if (cut <= header_end) {
+      // No complete header: provably empty, flagged torn, fresh start.
+      EXPECT_TRUE(loaded->torn_header) << "cut at byte " << cut;
+      EXPECT_EQ(loaded->runs.size(), 0u) << "cut at byte " << cut;
+      continue;
+    }
+    EXPECT_FALSE(loaded->torn_header) << "cut at byte " << cut;
+    EXPECT_EQ(loaded->header.config_hash, TestHeader().config_hash);
+    // Every surviving record must be one of the originals, bit-exact —
+    // never a paraphrase, never a duplicate (runs is keyed by index).
+    EXPECT_LE(loaded->runs.size(), full->runs.size());
+    for (const auto& [index, record] : loaded->runs) {
+      const auto original = full->runs.find(index);
+      ASSERT_NE(original, full->runs.end()) << "cut at byte " << cut;
+      EXPECT_EQ(record.payload, original->second.payload);
+      EXPECT_EQ(record.seed, original->second.seed);
+      EXPECT_EQ(record.attempts, original->second.attempts);
+      EXPECT_EQ(record.ok, original->second.ok);
+    }
+    // Records are recovered in order: a cut never drops record k but
+    // keeps record k+1 (the journal is append-only).
+    size_t newlines_seen = 0;
+    for (size_t i = 0; i < cut; ++i) {
+      if ((*full_bytes)[i] == '\n') ++newlines_seen;
+    }
+    // Lines: header, run0, failure, run1, run2 — complete lines in the
+    // prefix determine exactly which runs must have survived.
+    const size_t complete_lines = newlines_seen;
+    size_t expect_runs = 0;
+    if (complete_lines >= 2) ++expect_runs;  // run index 0.
+    if (complete_lines >= 4) ++expect_runs;  // run index 1.
+    if (complete_lines >= 5) ++expect_runs;  // run index 2.
+    EXPECT_EQ(loaded->runs.size(), expect_runs) << "cut at byte " << cut;
+    EXPECT_EQ(loaded->failures.size(), complete_lines >= 3 ? 1u : 0u);
+  }
+}
+
 TEST(Journal, MissingHeaderRejected) {
   const std::string path = TempPath("headerless");
   {
@@ -336,6 +452,65 @@ TEST(ResilientSweep, ExhaustedRetriesDegradeNotAbort) {
   EXPECT_EQ(calls, 0u);
   EXPECT_FALSE(resumed->runs[0].ok);
   EXPECT_EQ(resumed->failed, 1u);
+}
+
+TEST(ResilientSweep, ResumeFromTornHeaderJournalStartsFresh) {
+  // Regression: a worker SIGKILLed before its header line was fully
+  // fsync'd leaves a torn/empty journal. Resuming from it must start
+  // fresh (and truncate the torn bytes), not refuse the sweep.
+  util::ResetDrainForTest();
+  const std::string path = TempPath("torn_header_resume");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"header\",\"ver", f);  // No newline: torn.
+    std::fclose(f);
+  }
+  Engine engine(1);
+  auto clean =
+      RunResilientSweep(engine, kLabels, kRuns, BaseOptions(""), OkBody);
+  ASSERT_TRUE(clean.ok());
+
+  ResilientOptions resume = BaseOptions(path);
+  resume.resume_path = path;
+  auto swept = RunResilientSweep(engine, kLabels, kRuns, resume, OkBody);
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept->replayed, 0u);
+  EXPECT_EQ(swept->executed, swept->runs.size());
+  EXPECT_EQ(Payloads(*swept), Payloads(*clean));
+
+  // The rewritten journal is whole again: a second resume replays all.
+  auto reloaded = JournalReader::Load(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->torn_header);
+  EXPECT_EQ(reloaded->runs.size(), swept->runs.size());
+}
+
+TEST(ResilientSweep, ShardWindowRestrictsExecution) {
+  // Fabric workers sweep only their leased [lo, hi) slice; indices
+  // outside stay untouched and uncounted, and the journal still pins the
+  // full grid so shard journals share one identity.
+  util::ResetDrainForTest();
+  const std::string path = TempPath("shard_window");
+  Engine engine(2);
+  ResilientOptions options = BaseOptions(path);
+  options.shard_lo = 3;
+  options.shard_hi = 9;
+  auto report = RunResilientSweep(engine, kLabels, kRuns, options, OkBody);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->executed, 6u);
+  EXPECT_EQ(report->skipped, 0u);
+  EXPECT_FALSE(report->drained);
+  for (size_t i = 0; i < report->runs.size(); ++i) {
+    EXPECT_EQ(report->runs[i].ok, i >= 3 && i < 9) << i;
+  }
+  auto journal = JournalReader::Load(path);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->header.total_runs, kLabels.size() * kRuns);
+  EXPECT_EQ(journal->runs.size(), 6u);
+  EXPECT_TRUE(journal->runs.count(3));
+  EXPECT_FALSE(journal->runs.count(2));
+  EXPECT_FALSE(journal->runs.count(9));
 }
 
 TEST(ResilientSweep, ForkAttemptSeedContract) {

@@ -1,0 +1,133 @@
+// Scriptable fabric worker for exp_fabric_test: executes one shard of a
+// synthetic sweep through the real RunResilientSweep (private journal,
+// heartbeat), with fault injection flags so the test can stage worker
+// crashes (raise(SIGKILL) mid-shard), hangs (stop heartbeating), and
+// deterministic run failures. Payloads are a pure function of
+// (index, seed), so merged fabric output is comparable bit-for-bit to
+// an in-process run of the same grid.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exp/engine.h"
+#include "exp/fabric.h"
+#include "exp/resilient.h"
+#include "util/flags.h"
+#include "util/signal.h"
+
+namespace ipda {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::FlagSet flags;
+  flags.DefineInt("points", 4, "grid points");
+  flags.DefineInt("runs", 8, "runs per point");
+  flags.DefineInt("sweep-seed", 77, "sweep seed");
+  flags.DefineString("experiment", "fabric_helper", "journal experiment id");
+  flags.DefineString("config-digest", "fabric_helper|v=1", "journal digest");
+  flags.DefineString("range", "", "lo:hi shard range (empty = whole grid)");
+  flags.DefineString("journal", "", "shard journal to write");
+  flags.DefineString("resume", "", "journal to resume from");
+  flags.DefineString("heartbeat", "", "heartbeat file to touch");
+  flags.DefineDouble("heartbeat-interval", 0.05, "heartbeat period");
+  flags.DefineInt("sleep-ms", 0, "per-run sleep (stretches the shard)");
+  flags.DefineInt("crash-after", -1,
+                  "raise(SIGKILL) after this many EXECUTED runs (-1 off)");
+  flags.DefineInt("hang-after", -1,
+                  "stop heartbeating and stall after this many executed "
+                  "runs (-1 off)");
+  flags.DefineBool("fail", false, "every run errors (degradation path)");
+  const util::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  const size_t points = static_cast<size_t>(flags.GetInt("points"));
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs"));
+  std::vector<std::string> labels;
+  for (size_t p = 0; p < points; ++p) {
+    std::string label = "p";
+    label += std::to_string(p);
+    labels.push_back(std::move(label));
+  }
+
+  exp::ResilientOptions options;
+  options.sweep_seed = static_cast<uint64_t>(flags.GetInt("sweep-seed"));
+  options.journal_path = flags.GetString("journal");
+  options.resume_path = flags.GetString("resume");
+  options.experiment = flags.GetString("experiment");
+  options.config_digest = flags.GetString("config-digest");
+  options.drain_on_signal = true;
+  if (!flags.GetString("range").empty()) {
+    auto range = exp::ParseShardRange(flags.GetString("range"));
+    if (!range.ok()) {
+      std::fprintf(stderr, "bad --range: %s\n",
+                   range.status().ToString().c_str());
+      return 2;
+    }
+    options.shard_lo = range->lo;
+    options.shard_hi = range->hi;
+  }
+
+  exp::HeartbeatThread heartbeat;
+  if (!flags.GetString("heartbeat").empty()) {
+    heartbeat = exp::HeartbeatThread(flags.GetString("heartbeat"),
+                                     flags.GetDouble("heartbeat-interval"));
+  }
+
+  const int64_t sleep_ms = flags.GetInt("sleep-ms");
+  const int64_t crash_after = flags.GetInt("crash-after");
+  const int64_t hang_after = flags.GetInt("hang-after");
+  const bool fail = flags.GetBool("fail");
+  std::atomic<int64_t> executed{0};
+
+  const auto body =
+      [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    const int64_t done = ++executed;
+    if (crash_after >= 0 && done > crash_after) {
+      std::raise(SIGKILL);  // Same footprint as the chaos injector.
+    }
+    if (hang_after >= 0 && done > hang_after) {
+      heartbeat.Stop();  // Alive but silent: the dispatcher must notice.
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+    if (fail) return util::UnavailableError("scripted failure");
+    std::string payload = "index=";
+    payload += std::to_string(ctx.point * runs + ctx.run);
+    payload += ",seed=";
+    payload += std::to_string(ctx.seed);
+    return payload;
+  };
+
+  exp::Engine engine(1);
+  util::InstallDrainHandler();
+  auto swept = exp::RunResilientSweep(engine, labels, runs, options, body);
+  heartbeat.Stop();
+  if (!swept.ok()) {
+    std::fprintf(stderr, "helper sweep failed: %s\n",
+                 swept.status().ToString().c_str());
+    return 1;
+  }
+  if (fail && swept->failed > 0) {
+    // Terminal ok:false records were journaled; a real bench worker
+    // exits 0 here too (failures are policy, not worker errors).
+    return 0;
+  }
+  return swept->drained ? util::kDrainExitCode : 0;
+}
+
+}  // namespace
+}  // namespace ipda
+
+int main(int argc, char** argv) { return ipda::Run(argc, argv); }

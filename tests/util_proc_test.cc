@@ -1,0 +1,146 @@
+// Process-control primitives under the sweep fabric: spawn/wait/kill,
+// pid liveness, heartbeat files, and the pid-stamped lockfile.
+
+#include "util/proc.h"
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+
+namespace ipda::util {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "util_proc_test_" + name;
+}
+
+TEST(Proc, SpawnWaitExitCode) {
+  auto pid = SpawnProcess({"/bin/sh", "-c", "exit 0"});
+  ASSERT_TRUE(pid.ok());
+  auto outcome = WaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->running);
+  EXPECT_FALSE(outcome->signaled);
+  EXPECT_EQ(outcome->exit_code, 0);
+
+  pid = SpawnProcess({"/bin/sh", "-c", "exit 42"});
+  ASSERT_TRUE(pid.ok());
+  outcome = WaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->exit_code, 42);
+}
+
+TEST(Proc, ExecFailureSurfacesAs127) {
+  auto pid = SpawnProcess({"/no/such/binary/anywhere"});
+  ASSERT_TRUE(pid.ok());  // The fork succeeds; the exec fails in the child.
+  auto outcome = WaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->signaled);
+  EXPECT_EQ(outcome->exit_code, 127);
+}
+
+TEST(Proc, StdoutRedirect) {
+  const std::string out = TempPath("stdout.txt");
+  SpawnOptions options;
+  options.stdout_path = out;
+  auto pid = SpawnProcess({"/bin/sh", "-c", "echo fabric-worker-output"},
+                          options);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(WaitProcess(*pid).ok());
+  auto contents = ReadFileToString(out);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "fabric-worker-output\n");
+}
+
+TEST(Proc, KillIsReapableAsSignaled) {
+  auto pid = SpawnProcess({"/bin/sh", "-c", "sleep 30"});
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(PidAlive(*pid));
+  ASSERT_TRUE(KillProcess(*pid, SIGKILL).ok());
+  auto outcome = WaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->signaled);
+  EXPECT_EQ(outcome->term_signal, SIGKILL);
+  // Killing an already-reaped pid is not an error (ESRCH tolerated):
+  // revoking the lease of a just-exited worker must not fail.
+  EXPECT_TRUE(KillProcess(*pid, SIGKILL).ok());
+}
+
+TEST(Proc, TryWaitReportsRunningThenExit) {
+  auto pid = SpawnProcess({"/bin/sh", "-c", "sleep 30"});
+  ASSERT_TRUE(pid.ok());
+  auto outcome = TryWaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->running);
+  ASSERT_TRUE(KillProcess(*pid, SIGTERM).ok());
+  outcome = WaitProcess(*pid);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->running);
+  EXPECT_TRUE(outcome->signaled);
+  EXPECT_EQ(outcome->term_signal, SIGTERM);
+}
+
+TEST(Proc, PidLiveness) {
+  EXPECT_TRUE(PidAlive(static_cast<int64_t>(getpid())));
+  // Far above any default pid_max; a dead dispatcher's recorded pid.
+  EXPECT_FALSE(PidAlive(999999999));
+}
+
+TEST(Proc, TouchAndAge) {
+  const std::string path = TempPath("heartbeat");
+  std::remove(path.c_str());  // Drop leftovers from a previous run.
+  EXPECT_FALSE(FileAgeSeconds(path).ok());  // Missing file: no age.
+  ASSERT_TRUE(TouchFile(path).ok());
+  auto age = FileAgeSeconds(path);
+  ASSERT_TRUE(age.ok());
+  EXPECT_GE(*age, 0.0);
+  EXPECT_LT(*age, 60.0);  // Touched moments ago.
+  ASSERT_TRUE(TouchFile(path).ok());  // Re-touch of an existing file.
+}
+
+TEST(Proc, MakeDirsIsRecursiveAndIdempotent) {
+  const std::string root = TempPath("dirs");
+  const std::string nested = root + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  ASSERT_TRUE(MakeDirs(nested).ok());  // Already exists: fine.
+  ASSERT_TRUE(TouchFile(nested + "/probe").ok());
+}
+
+TEST(Proc, LockFileExcludesSecondHolder) {
+  const std::string path = TempPath("lock");
+  std::remove(path.c_str());
+  auto first = LockFile::Acquire(path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->held());
+  // The owner (this process) is alive, so a second acquire must refuse.
+  auto second = LockFile::Acquire(path);
+  EXPECT_FALSE(second.ok());
+  first->Release();
+  EXPECT_FALSE(first->held());
+  // Released: acquirable again.
+  auto third = LockFile::Acquire(path);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(Proc, StaleLockFromDeadPidIsBroken) {
+  const std::string path = TempPath("stale_lock");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("999999999\n", f);  // A pid that cannot be alive.
+    std::fclose(f);
+  }
+  auto lock = LockFile::Acquire(path);
+  ASSERT_TRUE(lock.ok());  // Stale claim broken and re-acquired.
+  EXPECT_TRUE(lock->held());
+}
+
+}  // namespace
+}  // namespace ipda::util
