@@ -5,6 +5,7 @@
 
 #include "exp/fabric.h"
 #include "util/flags.h"
+#include "util/io.h"
 #include "util/random.h"
 #include "util/signal.h"
 
@@ -89,6 +90,10 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   flags.DefineDouble("chaos-kill-rate", 0.0,
                      "chaos self-test: expected SIGKILLs injected per "
                      "shard (capped at --shard-retries)");
+  flags.DefineString("agg-memory-budget", "unlimited",
+                     "byte budget for the streaming result fold (e.g. "
+                     "64k, 256M; 0/unlimited = never spill); output is "
+                     "byte-identical at every budget");
   flags.DefineInt("worker-shard", -1,
                   "internal (fabric worker mode): shard id this process "
                   "executes");
@@ -131,6 +136,14 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   options.shard_retries =
       static_cast<uint32_t>(flags.GetInt("shard-retries"));
   options.chaos_kill_rate = flags.GetDouble("chaos-kill-rate");
+  const auto budget =
+      util::ParseByteSize(flags.GetString("agg-memory-budget"));
+  if (!budget.ok()) {
+    std::fprintf(stderr, "bad --agg-memory-budget: %s\n",
+                 budget.status().ToString().c_str());
+    std::exit(2);
+  }
+  options.agg_memory_budget = budget.value();
   options.worker_shard = flags.GetInt("worker-shard");
   options.worker_range = flags.GetString("worker-range");
   options.worker_heartbeat = flags.GetString("worker-heartbeat");
@@ -158,8 +171,8 @@ BenchOptions ParseBenchOptions(int argc, const char* const* argv) {
   options.canonical = flags.Canonical(
       {"jobs", "journal", "resume", "run-deadline", "help", "fabric",
        "fabric-dir", "worker-timeout", "shard-deadline", "shard-retries",
-       "chaos-kill-rate", "worker-shard", "worker-range",
-       "worker-heartbeat"});
+       "chaos-kill-rate", "agg-memory-budget", "worker-shard",
+       "worker-range", "worker-heartbeat"});
   return options;
 }
 
@@ -286,6 +299,75 @@ void PrintDrainHint(const char* tool, const BenchOptions& options,
                argv0,
                report.journal_path.empty() ? "<journal>"
                                            : report.journal_path.c_str());
+}
+
+namespace {
+
+exp::AggStoreOptions FoldStoreOptions(const BenchOptions& options) {
+  exp::AggStoreOptions store;
+  store.memory_budget_bytes = options.agg_memory_budget;
+  return store;
+}
+
+}  // namespace
+
+BenchFold::BenchFold(const BenchOptions& options, size_t runs_per_point,
+                     Decoder decoder)
+    : runs_per_point_(runs_per_point),
+      streamed_(options.fabric == 0),
+      decoder_(std::move(decoder)),
+      store_(FoldStoreOptions(options)) {}
+
+std::string BenchFold::Key(std::string_view cell, std::string_view metric) {
+  std::string key;
+  key.reserve(cell.size() + metric.size() + 1);
+  key.append(cell);
+  key.push_back('\x1f');
+  key.append(metric);
+  return key;
+}
+
+std::pair<std::string_view, std::string_view> BenchFold::SplitKey(
+    std::string_view key) {
+  const size_t sep = key.find('\x1f');
+  if (sep == std::string_view::npos) return {key, std::string_view()};
+  return {key.substr(0, sep), key.substr(sep + 1)};
+}
+
+void BenchFold::Attach(exp::ResilientOptions& resilience) {
+  resilience.record_sink = [this](size_t flat_index,
+                                  const exp::RunStatus& slot) {
+    Consume(flat_index, slot);
+  };
+  // In-process mode never needs the payloads after the sink has decoded
+  // them; a fabric dispatcher fills report.runs from the merged journal
+  // instead, and Finish() reads the payloads from there.
+  resilience.keep_payloads = !streamed_;
+}
+
+void BenchFold::Consume(size_t flat_index, const exp::RunStatus& slot) {
+  if (!slot.ok || slot.skipped) return;
+  const size_t point = flat_index / runs_per_point_;
+  const size_t run = flat_index % runs_per_point_;
+  const Emit emit = [this, flat_index](std::string_view key, double value) {
+    const util::Status status =
+        store_.Add(key, static_cast<uint64_t>(flat_index), value);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (error_.ok()) error_ = status;
+    }
+  };
+  decoder_(point, run, slot.payload, emit);
+}
+
+util::Status BenchFold::Finish(const exp::ResilientReport& report) {
+  if (!streamed_) {
+    for (size_t i = 0; i < report.runs.size(); ++i) {
+      Consume(i, report.runs[i]);
+    }
+  }
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_;
 }
 
 std::vector<size_t> NetworkSizes() { return {200, 300, 400, 500, 600}; }

@@ -9,14 +9,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "agg/runner.h"
 #include "crypto/cipher.h"
+#include "exp/agg_store.h"
 #include "exp/engine.h"
 #include "exp/resilient.h"
 #include "util/result.h"
+#include "util/status.h"
 
 namespace ipda::bench {
 
@@ -60,6 +66,11 @@ struct BenchOptions {
   // --name=value form — the dispatcher forwards them to workers so the
   // shard journals carry the same config digest as the merge header.
   std::vector<std::string> worker_args;
+  // --agg-memory-budget: byte budget for the streaming result fold
+  // (exp::PartialAggStore); 0 = unlimited. Purely a memory/scheduling
+  // knob — the folded tables are byte-identical at every budget — so it
+  // stays out of the canonical digest, like --jobs.
+  uint64_t agg_memory_budget = 0;
   // Canonical flag string minus the scheduling/IO flags that do not
   // change results (jobs, journal, resume, run-deadline, every fabric
   // and worker flag); hashed into the journal's config digest.
@@ -89,6 +100,62 @@ util::Result<exp::ResilientReport> RunBenchSweep(
 // this sweep (plain --resume, or re-running the fabric in place).
 void PrintDrainHint(const char* tool, const BenchOptions& options,
                     const exp::ResilientReport& report, const char* argv0);
+
+// Streaming fold of sweep results through the PAO spill store
+// (DESIGN.md §16). A bench registers one decoder that turns a
+// successful run record into (key, value) observations — key names a
+// (sweep-cell, metric) pair via BenchFold::Key. In-process sweeps
+// stream records into the store the moment they finish
+// (ResilientOptions::record_sink) and drop their payloads, so the sweep
+// reports in O(--agg-memory-budget) RSS; a fabric dispatcher's merged
+// report is replayed through the same decoder by Finish(). Either way
+// the store ends up holding the identical observation multiset, and its
+// canonical (key, seq) order makes the folded tables byte-identical at
+// any --jobs / --fabric / --agg-memory-budget setting.
+class BenchFold {
+ public:
+  using Emit = std::function<void(std::string_view key, double value)>;
+  // Decodes the payload of one successful run into observations. Called
+  // from pool threads concurrently (shared-nothing like the bodies);
+  // never called for failed or drain-skipped records.
+  using Decoder = std::function<void(size_t point, size_t run,
+                                     const std::string& payload,
+                                     const Emit& emit)>;
+
+  BenchFold(const BenchOptions& options, size_t runs_per_point,
+            Decoder decoder);
+
+  // "<cell>\x1f<metric>" — the unit separator never appears in labels.
+  static std::string Key(std::string_view cell, std::string_view metric);
+  // Splits a Key back into (cell, metric).
+  static std::pair<std::string_view, std::string_view> SplitKey(
+      std::string_view key);
+
+  // Wires the streaming sink into `resilience` (and turns payload
+  // retention off for non-fabric sweeps). Call before RunBenchSweep;
+  // `this` must outlive the sweep.
+  void Attach(exp::ResilientOptions& resilience);
+
+  // Completes the producing side after RunBenchSweep: replays the
+  // dispatcher-merged records that never saw the sink (fabric mode) and
+  // surfaces any spill IO error from the sweep. Call before store().
+  util::Status Finish(const exp::ResilientReport& report);
+
+  // Drain with store().ForEachSorted — observations arrive grouped by
+  // key, seq (= flat run index) ascending within each key, which is
+  // exactly the old per-point, run-ascending fold order.
+  exp::PartialAggStore& store() { return store_; }
+
+ private:
+  void Consume(size_t flat_index, const exp::RunStatus& slot);
+
+  const size_t runs_per_point_;
+  const bool streamed_;  // Sink feeds the store during the sweep itself.
+  Decoder decoder_;
+  exp::PartialAggStore store_;
+  std::mutex error_mutex_;
+  util::Status error_;
+};
 
 // The paper's x-axis: N in [200, 600].
 std::vector<size_t> NetworkSizes();

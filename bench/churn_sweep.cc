@@ -114,19 +114,59 @@ struct ArmResult {
   size_t control_msgs = 0;
   size_t retries = 0;
 
-  void Fold(const ArmOutcome& outcome) {
-    accuracy.Add(outcome.accuracy);
-    completeness.Add(outcome.completeness);
-    if (outcome.grafts > 0) repair_latency_ms.Add(outcome.repair_latency_ms);
-    accepted += outcome.accepted ? 1 : 0;
-    degraded += outcome.degraded ? 1 : 0;
-    grafts += outcome.grafts;
-    violations += outcome.violations;
-    joins += outcome.joins;
-    control_msgs += outcome.control_msgs;
-    retries += outcome.retries;
+  // Folds one observation from the streaming store. Counts were emitted
+  // as exact small integers, so the double round-trip is lossless.
+  void Apply(std::string_view field, double v) {
+    if (field == "accuracy") {
+      accuracy.Add(v);
+    } else if (field == "completeness") {
+      completeness.Add(v);
+    } else if (field == "repair_latency_ms") {
+      repair_latency_ms.Add(v);
+    } else if (field == "accepted") {
+      accepted += v != 0.0 ? 1 : 0;
+    } else if (field == "degraded") {
+      degraded += v != 0.0 ? 1 : 0;
+    } else if (field == "grafts") {
+      grafts += static_cast<size_t>(v);
+    } else if (field == "violations") {
+      violations += static_cast<size_t>(v);
+    } else if (field == "joins") {
+      joins += static_cast<size_t>(v);
+    } else if (field == "control_msgs") {
+      control_msgs += static_cast<size_t>(v);
+    } else if (field == "retries") {
+      retries += static_cast<size_t>(v);
+    }
   }
 };
+
+// Per-point fold target; "effective" counts runs that decoded.
+struct PointResult {
+  ArmResult none;
+  ArmResult repair;
+  ArmResult rebuild;
+  size_t effective = 0;
+};
+
+void EmitArm(const std::string& cell, const char* arm, const ArmOutcome& a,
+             const BenchFold::Emit& emit) {
+  const auto key = [&cell, arm](const char* field) {
+    return BenchFold::Key(cell, std::string(arm) + "." + field);
+  };
+  emit(key("accuracy"), a.accuracy);
+  emit(key("completeness"), a.completeness);
+  // The latency mean only exists when the run grafted at all; the
+  // conditional emit reproduces the old conditional Add.
+  if (a.grafts > 0) emit(key("repair_latency_ms"), a.repair_latency_ms);
+  emit(key("accepted"), a.accepted ? 1.0 : 0.0);
+  emit(key("degraded"), a.degraded ? 1.0 : 0.0);
+  emit(key("grafts"), static_cast<double>(a.grafts));
+  emit(key("violations"), static_cast<double>(a.violations));
+  emit(key("joins"), static_cast<double>(a.joins));
+  emit(key("control_msgs"), static_cast<double>(a.control_msgs));
+  emit(key("retries"), static_cast<double>(a.retries));
+}
 
 fault::ChurnPlan MakePlan(double churn_rate_hz, double speed_mps) {
   fault::ChurnPlan plan;
@@ -195,6 +235,22 @@ int Run(int argc, char** argv) {
                              "|runs=" + std::to_string(runs) + "|" +
                              options.canonical;
 
+  // Stream results through the spill store instead of retaining every
+  // payload (O(--agg-memory-budget) RSS however large the grid gets).
+  BenchFold fold(options, runs,
+                 [&labels](size_t point, size_t /*run*/,
+                           const std::string& payload,
+                           const BenchFold::Emit& emit) {
+                   RunOutcome outcome;
+                   if (!DecodeOutcome(payload, &outcome)) return;
+                   const std::string& cell = labels[point];
+                   EmitArm(cell, "none", outcome.none, emit);
+                   EmitArm(cell, "repair", outcome.repair, emit);
+                   EmitArm(cell, "rebuild", outcome.rebuild, emit);
+                   emit(BenchFold::Key(cell, "effective"), 1.0);
+                 });
+  fold.Attach(resilience);
+
   const auto body =
       [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
     const auto [rate, speed] = grid[ctx.point];
@@ -257,31 +313,53 @@ int Run(int argc, char** argv) {
     return util::kDrainExitCode;
   }
 
+  // Reduce the store: per (cell, metric) key the observations arrive
+  // with seq (= flat run index) ascending — the old per-point,
+  // run-ascending fold order, so every printed byte is unchanged.
+  if (const util::Status folded = fold.Finish(report); !folded.ok()) {
+    std::fprintf(stderr, "churn_sweep: %s\n", folded.ToString().c_str());
+    return 1;
+  }
+  std::vector<PointResult> points(labels.size());
+  const util::Status drained = fold.store().ForEachSorted(
+      [&](std::string_view key, uint64_t seq, double value) {
+        PointResult& p = points[seq / runs];
+        const auto [cell, metric] = BenchFold::SplitKey(key);
+        (void)cell;
+        if (metric == "effective") {
+          ++p.effective;
+          return;
+        }
+        const size_t dot = metric.find('.');
+        const std::string_view arm = metric.substr(0, dot);
+        const std::string_view field = metric.substr(dot + 1);
+        if (arm == "none") {
+          p.none.Apply(field, value);
+        } else if (arm == "repair") {
+          p.repair.Apply(field, value);
+        } else if (arm == "rebuild") {
+          p.rebuild.Apply(field, value);
+        }
+      });
+  if (!drained.ok()) {
+    std::fprintf(stderr, "churn_sweep: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+
   std::printf("{\n  \"experiment\": \"churn_sweep\",\n");
   std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
               runs);
   std::printf("  \"failed_runs\": %zu,\n", report.failed);
   std::printf("  \"grid\": [\n");
   for (size_t point = 0; point < labels.size(); ++point) {
-    ArmResult none, repair, rebuild;
-    size_t effective = 0;
-    for (size_t run = 0; run < runs; ++run) {
-      const exp::RunStatus& slot = report.runs[point * runs + run];
-      if (!slot.ok) continue;  // Permanent failure: the point degrades.
-      RunOutcome outcome;
-      if (!DecodeOutcome(slot.payload, &outcome)) continue;
-      none.Fold(outcome.none);
-      repair.Fold(outcome.repair);
-      rebuild.Fold(outcome.rebuild);
-      ++effective;
-    }
+    const PointResult& p = points[point];
     std::printf("    %s{\n", point == 0 ? "" : ",");
     std::printf("      \"churn_rate_hz\": %.2f, \"speed_mps\": %.1f, "
                 "\"requested\": %zu,\n",
                 grid[point].first, grid[point].second, runs);
-    PrintArm("ipda_none", none, effective, /*last=*/false);
-    PrintArm("ipda_repair", repair, effective, /*last=*/false);
-    PrintArm("ipda_rebuild", rebuild, effective, /*last=*/true);
+    PrintArm("ipda_none", p.none, p.effective, /*last=*/false);
+    PrintArm("ipda_repair", p.repair, p.effective, /*last=*/false);
+    PrintArm("ipda_rebuild", p.rebuild, p.effective, /*last=*/true);
     std::printf("    }\n");
   }
   std::printf("  ]\n}\n");

@@ -154,6 +154,36 @@ int Run(int argc, char** argv) {
       "city_scale|max_nodes=" + std::to_string(max_nodes) +
       "|runs=" + std::to_string(runs) + "|" + options.canonical;
 
+  // Stream results through the spill store instead of retaining every
+  // payload (O(--agg-memory-budget) RSS however large the grid gets).
+  // Build timings only exist on runs that measured them (brute > 0);
+  // the conditional emit reproduces the old "last timed run wins" rule
+  // because seq ascends within the key.
+  BenchFold fold(options, runs,
+                 [&labels](size_t point, size_t /*run*/,
+                           const std::string& payload,
+                           const BenchFold::Emit& emit) {
+                   RunOutcome out;
+                   if (!DecodeOutcome(payload, &out)) return;
+                   const std::string& cell = labels[point];
+                   emit(BenchFold::Key(cell, "accuracy"), out.accuracy);
+                   emit(BenchFold::Key(cell, "round_ms"), out.round_ms);
+                   emit(BenchFold::Key(cell, "bytes"),
+                        static_cast<double>(out.bytes_sent));
+                   emit(BenchFold::Key(cell, "accepted"),
+                        out.accepted ? 1.0 : 0.0);
+                   emit(BenchFold::Key(cell, "degraded"),
+                        out.degraded ? 1.0 : 0.0);
+                   if (out.build_brute_ms > 0.0) {
+                     emit(BenchFold::Key(cell, "build_spatial_ms"),
+                          out.build_spatial_ms);
+                     emit(BenchFold::Key(cell, "build_brute_ms"),
+                          out.build_brute_ms);
+                   }
+                   emit(BenchFold::Key(cell, "effective"), 1.0);
+                 });
+  fold.Attach(resilience);
+
   const auto body =
       [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
     const GridPoint point = grid[ctx.point];
@@ -240,6 +270,53 @@ int Run(int argc, char** argv) {
     return util::kDrainExitCode;
   }
 
+  // Reduce the store: per (cell, metric) key the observations arrive
+  // with seq (= flat run index) ascending — the old per-point,
+  // run-ascending fold order, so every printed byte is unchanged.
+  if (const util::Status folded = fold.Finish(report); !folded.ok()) {
+    std::fprintf(stderr, "city_scale: %s\n", folded.ToString().c_str());
+    return 1;
+  }
+  struct PointResult {
+    stats::Summary accuracy;
+    stats::Summary round_ms;
+    stats::Summary bytes;
+    size_t accepted = 0;
+    size_t degraded = 0;
+    size_t effective = 0;
+    double build_spatial_ms = 0.0;
+    double build_brute_ms = 0.0;
+    bool has_build = false;
+  };
+  std::vector<PointResult> points(grid.size());
+  const util::Status drained = fold.store().ForEachSorted(
+      [&](std::string_view key, uint64_t seq, double value) {
+        PointResult& p = points[seq / runs];
+        const std::string_view metric = BenchFold::SplitKey(key).second;
+        if (metric == "accuracy") {
+          p.accuracy.Add(value);
+        } else if (metric == "round_ms") {
+          p.round_ms.Add(value);
+        } else if (metric == "bytes") {
+          p.bytes.Add(value);
+        } else if (metric == "accepted") {
+          p.accepted += value != 0.0 ? 1 : 0;
+        } else if (metric == "degraded") {
+          p.degraded += value != 0.0 ? 1 : 0;
+        } else if (metric == "effective") {
+          ++p.effective;
+        } else if (metric == "build_spatial_ms") {
+          p.build_spatial_ms = value;  // Last timed run wins (seq order).
+        } else if (metric == "build_brute_ms") {
+          p.build_brute_ms = value;
+          p.has_build = true;
+        }
+      });
+  if (!drained.ok()) {
+    std::fprintf(stderr, "city_scale: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+
   PrintHeader("city_scale",
               "city-scale scaling: spatial-hash build speedup, round "
               "wall-clock, and multi-sink sharded accuracy (DESIGN.md §13)");
@@ -252,27 +329,16 @@ int Run(int argc, char** argv) {
   double spatial_ms = 0.0;
   double brute_ms = 0.0;
   for (size_t point = 0; point < grid.size(); ++point) {
-    stats::Summary accuracy;
-    stats::Summary round_ms;
-    stats::Summary bytes;
-    size_t accepted = 0;
-    size_t degraded = 0;
-    size_t effective = 0;
-    for (size_t run = 0; run < runs; ++run) {
-      const exp::RunStatus& slot = report.runs[point * runs + run];
-      if (!slot.ok) continue;
-      RunOutcome out;
-      if (!DecodeOutcome(slot.payload, &out)) continue;
-      accuracy.Add(out.accuracy);
-      round_ms.Add(out.round_ms);
-      bytes.Add(static_cast<double>(out.bytes_sent));
-      accepted += out.accepted ? 1 : 0;
-      degraded += out.degraded ? 1 : 0;
-      ++effective;
-      if (out.build_brute_ms > 0.0) {
-        spatial_ms = out.build_spatial_ms;
-        brute_ms = out.build_brute_ms;
-      }
+    const PointResult& p = points[point];
+    const stats::Summary& accuracy = p.accuracy;
+    const stats::Summary& round_ms = p.round_ms;
+    const stats::Summary& bytes = p.bytes;
+    const size_t accepted = p.accepted;
+    const size_t degraded = p.degraded;
+    const size_t effective = p.effective;
+    if (p.has_build) {
+      spatial_ms = p.build_spatial_ms;
+      brute_ms = p.build_brute_ms;
     }
     const double speedup =
         spatial_ms > 0.0 && brute_ms > 0.0 ? brute_ms / spatial_ms : 0.0;

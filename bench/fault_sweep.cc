@@ -111,16 +111,48 @@ struct ArmResult {
   size_t rerouted = 0;
   size_t orphaned = 0;
 
-  void Fold(const ArmOutcome& outcome) {
-    accuracy.Add(outcome.accuracy);
-    completeness.Add(outcome.completeness);
-    accepted += outcome.accepted ? 1 : 0;
-    degraded += outcome.degraded ? 1 : 0;
-    retargeted += outcome.retargeted;
-    rerouted += outcome.rerouted;
-    orphaned += outcome.orphaned;
+  // Folds one observation from the streaming store. Counts were emitted
+  // as exact small integers, so the double round-trip is lossless.
+  void Apply(std::string_view field, double v) {
+    if (field == "accuracy") {
+      accuracy.Add(v);
+    } else if (field == "completeness") {
+      completeness.Add(v);
+    } else if (field == "accepted") {
+      accepted += v != 0.0 ? 1 : 0;
+    } else if (field == "degraded") {
+      degraded += v != 0.0 ? 1 : 0;
+    } else if (field == "retargeted") {
+      retargeted += static_cast<size_t>(v);
+    } else if (field == "rerouted") {
+      rerouted += static_cast<size_t>(v);
+    } else if (field == "orphaned") {
+      orphaned += static_cast<size_t>(v);
+    }
   }
 };
+
+// Per-point fold target; "effective" counts runs that decoded.
+struct PointResult {
+  ArmResult tag;
+  ArmResult ipda;
+  ArmResult ipda_failover;
+  size_t effective = 0;
+};
+
+void EmitArm(const std::string& cell, const char* arm, const ArmOutcome& a,
+             const BenchFold::Emit& emit) {
+  const auto key = [&cell, arm](const char* field) {
+    return BenchFold::Key(cell, std::string(arm) + "." + field);
+  };
+  emit(key("accuracy"), a.accuracy);
+  emit(key("completeness"), a.completeness);
+  emit(key("accepted"), a.accepted ? 1.0 : 0.0);
+  emit(key("degraded"), a.degraded ? 1.0 : 0.0);
+  emit(key("retargeted"), static_cast<double>(a.retargeted));
+  emit(key("rerouted"), static_cast<double>(a.rerouted));
+  emit(key("orphaned"), static_cast<double>(a.orphaned));
+}
 
 fault::FaultPlan MakePlan(double crash_frac, double loss_rate,
                           sim::SimTime crash_at) {
@@ -177,6 +209,23 @@ int Run(int argc, char** argv) {
   resilience.config_digest = "fault_sweep|nodes=" + std::to_string(kNodes) +
                              "|runs=" + std::to_string(runs) + "|" +
                              options.canonical;
+
+  // Stream results through the spill store instead of retaining every
+  // payload (O(--agg-memory-budget) RSS however large the grid gets).
+  BenchFold fold(options, runs,
+                 [&labels](size_t point, size_t /*run*/,
+                           const std::string& payload,
+                           const BenchFold::Emit& emit) {
+                   RunOutcome outcome;
+                   if (!DecodeOutcome(payload, &outcome)) return;
+                   const std::string& cell = labels[point];
+                   EmitArm(cell, "tag", outcome.tag, emit);
+                   EmitArm(cell, "ipda", outcome.ipda, emit);
+                   EmitArm(cell, "ipda_failover", outcome.ipda_failover,
+                           emit);
+                   emit(BenchFold::Key(cell, "effective"), 1.0);
+                 });
+  fold.Attach(resilience);
 
   const auto body =
       [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
@@ -236,8 +285,39 @@ int Run(int argc, char** argv) {
     return util::kDrainExitCode;
   }
 
-  // Fold and print point by point (rows stream to stdout as they fold;
-  // durability lives in the journal, not in a buffered document).
+  // Reduce the store: per (cell, metric) key the observations arrive
+  // with seq (= flat run index) ascending — the old per-point,
+  // run-ascending fold order, so every printed byte is unchanged.
+  if (const util::Status folded = fold.Finish(report); !folded.ok()) {
+    std::fprintf(stderr, "fault_sweep: %s\n", folded.ToString().c_str());
+    return 1;
+  }
+  std::vector<PointResult> points(labels.size());
+  const util::Status drained = fold.store().ForEachSorted(
+      [&](std::string_view key, uint64_t seq, double value) {
+        PointResult& p = points[seq / runs];
+        const auto [cell, metric] = BenchFold::SplitKey(key);
+        (void)cell;
+        if (metric == "effective") {
+          ++p.effective;
+          return;
+        }
+        const size_t dot = metric.find('.');
+        const std::string_view arm = metric.substr(0, dot);
+        const std::string_view field = metric.substr(dot + 1);
+        if (arm == "tag") {
+          p.tag.Apply(field, value);
+        } else if (arm == "ipda") {
+          p.ipda.Apply(field, value);
+        } else if (arm == "ipda_failover") {
+          p.ipda_failover.Apply(field, value);
+        }
+      });
+  if (!drained.ok()) {
+    std::fprintf(stderr, "fault_sweep: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+
   std::printf("{\n  \"experiment\": \"fault_sweep\",\n");
   std::printf("  \"nodes\": %zu,\n  \"runs_per_point\": %zu,\n", kNodes,
               runs);
@@ -246,25 +326,14 @@ int Run(int argc, char** argv) {
   std::printf("  \"failed_runs\": %zu,\n", report.failed);
   std::printf("  \"grid\": [\n");
   for (size_t point = 0; point < labels.size(); ++point) {
-    ArmResult tag, ipda, ipda_failover;
-    size_t effective = 0;
-    for (size_t run = 0; run < runs; ++run) {
-      const exp::RunStatus& slot = report.runs[point * runs + run];
-      if (!slot.ok) continue;  // Permanent failure: the point degrades.
-      RunOutcome outcome;
-      if (!DecodeOutcome(slot.payload, &outcome)) continue;
-      tag.Fold(outcome.tag);
-      ipda.Fold(outcome.ipda);
-      ipda_failover.Fold(outcome.ipda_failover);
-      ++effective;
-    }
+    const PointResult& p = points[point];
     std::printf("    %s{\n", point == 0 ? "" : ",");
     std::printf("      \"crash_frac\": %.2f, \"loss_rate\": %.2f, "
                 "\"requested\": %zu,\n",
                 grid[point].first, grid[point].second, runs);
-    PrintArm("tag", tag, effective, /*last=*/false);
-    PrintArm("ipda", ipda, effective, /*last=*/false);
-    PrintArm("ipda_failover", ipda_failover, effective, /*last=*/true);
+    PrintArm("tag", p.tag, p.effective, /*last=*/false);
+    PrintArm("ipda", p.ipda, p.effective, /*last=*/false);
+    PrintArm("ipda_failover", p.ipda_failover, p.effective, /*last=*/true);
     std::printf("    }\n");
   }
   std::printf("  ]\n}\n");

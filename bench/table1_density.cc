@@ -47,6 +47,17 @@ int Run(int argc, char** argv) {
   resilience.config_digest = "table1_density|runs=" + std::to_string(runs) +
                              "|" + options.canonical;
 
+  // Stream results through the spill store instead of retaining every
+  // payload: one "degree" observation per successful run.
+  BenchFold fold(options, runs,
+                 [&labels](size_t point, size_t /*run*/,
+                           const std::string& payload,
+                           const BenchFold::Emit& emit) {
+                   emit(BenchFold::Key(labels[point], "degree"),
+                        std::strtod(payload.c_str(), nullptr));
+                 });
+  fold.Attach(resilience);
+
   const auto body =
       [&](const exp::AttemptContext& ctx) -> util::Result<std::string> {
     agg::RunConfig config = PaperRunConfig(sizes[ctx.point], ctx.seed);
@@ -72,17 +83,29 @@ int Run(int argc, char** argv) {
     return util::kDrainExitCode;
   }
 
+  if (const util::Status folded = fold.Finish(report); !folded.ok()) {
+    std::fprintf(stderr, "table1_density: %s\n", folded.ToString().c_str());
+    return 1;
+  }
+  // Reduce the store: observations arrive grouped by key with seq (flat
+  // run index) ascending, i.e. the old per-row, run-ascending order — a
+  // failed run simply never contributed, so the row degrades as before.
+  std::vector<stats::Summary> row_degrees(labels.size());
+  const util::Status drained = fold.store().ForEachSorted(
+      [&](std::string_view /*key*/, uint64_t seq, double value) {
+        row_degrees[seq / runs].Add(value);
+      });
+  if (!drained.ok()) {
+    std::fprintf(stderr, "table1_density: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+
   PrintHeader("Table I — network size vs. network density",
               "average node degree of the random geometric deployment");
   stats::Table table({"nodes", "avg degree (ours)", "min", "max", "paper",
                       "runs"});
   for (size_t row = 0; row < labels.size(); ++row) {
-    stats::Summary degrees;
-    for (size_t run = 0; run < runs; ++run) {
-      const exp::RunStatus& slot = report.runs[row * runs + run];
-      if (!slot.ok) continue;  // Degraded row, not an aborted table.
-      degrees.Add(std::strtod(slot.payload.c_str(), nullptr));
-    }
+    const stats::Summary& degrees = row_degrees[row];
     table.AddRow({stats::FormatInt(static_cast<long long>(sizes[row])),
                   stats::FormatDouble(degrees.mean(), 1),
                   stats::FormatDouble(degrees.min(), 1),

@@ -6,6 +6,11 @@
 # ipda_sim, metrics_report, and every bench binary. Fails on
 #   * phantom flags  — documented but absent from every binary's --help
 #   * undocumented flags — live in some --help but never mentioned in docs
+#   * table drift — user-facing flags that are alive but appear in no
+#     markdown flag-table row (`| `--flag` | ... |`), or table rows
+#     naming flags no binary implements. Prose mentions alone don't
+#     satisfy this one: the tables are the reference the docs point
+#     users at, so that's where every real flag must land.
 #
 # Usage: scripts/check_doc_flags.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -19,6 +24,10 @@ DOCS=(README.md EXPERIMENTS.md)
 # Flags owned by tools outside this repo that the docs legitimately
 # mention (ctest/cmake/gtest/google-benchmark command lines).
 IGNORE_RE='^--(gtest[a-z_-]*|benchmark[a-z_-]*|build|test-dir|output-on-failure|label-regex|parallel|rerun-failed|version)$'
+
+# Dispatcher-internal worker flags: documented in prose as "not for
+# interactive use", deliberately kept out of the user-facing tables.
+INTERNAL_RE='^--worker-(shard|range|heartbeat)$'
 
 binaries=()
 for bin in "$BUILD_DIR"/src/ipda_sim "$BUILD_DIR"/src/metrics_report \
@@ -47,8 +56,18 @@ doc_flags="$(
     grep -vE "$IGNORE_RE" || true
 )"
 
+# Flags named inside markdown table rows only — the user-facing tables.
+table_flags="$(
+  grep -hE '^\|' "${DOCS[@]}" |
+    grep -ohE -- '--[a-z][a-z0-9_-]+' | sort -u |
+    grep -vE "$IGNORE_RE" || true
+)"
+
 phantom="$(comm -23 <(echo "$doc_flags") <(echo "$live_flags"))"
 undocumented="$(comm -13 <(echo "$doc_flags") <(echo "$live_flags"))"
+not_in_tables="$(comm -13 <(echo "$table_flags") <(echo "$live_flags") |
+  grep -vE "$INTERNAL_RE" || true)"
+stale_table_rows="$(comm -23 <(echo "$table_flags") <(echo "$live_flags"))"
 
 status=0
 if [[ -n "$phantom" ]]; then
@@ -61,7 +80,18 @@ if [[ -n "$undocumented" ]]; then
   echo "$undocumented" | sed 's/^/  /'
   status=1
 fi
+if [[ -n "$not_in_tables" ]]; then
+  echo "FLAGS MISSING FROM TABLES (live but in no ${DOCS[*]} flag-table row):"
+  echo "$not_in_tables" | sed 's/^/  /'
+  status=1
+fi
+if [[ -n "$stale_table_rows" ]]; then
+  echo "STALE TABLE ROWS (flag-table entries no binary implements):"
+  echo "$stale_table_rows" | sed 's/^/  /'
+  status=1
+fi
 if [[ $status -eq 0 ]]; then
-  echo "check_doc_flags: OK ($(echo "$live_flags" | wc -l) flags documented)"
+  echo "check_doc_flags: OK ($(echo "$live_flags" | wc -l) flags," \
+       "$(echo "$table_flags" | wc -l) in tables)"
 fi
 exit $status

@@ -1,0 +1,313 @@
+#include "exp/agg_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.h"
+
+namespace ipda::exp {
+namespace {
+
+// On-disk record of one observation: the interned key id, the sequence
+// number, and the value, host-endian (spill runs never outlive the
+// process, let alone the host). 20 bytes packed.
+struct DiskRecord {
+  uint32_t key;
+  uint64_t seq;
+  double value;
+};
+
+constexpr size_t kDiskRecordBytes = sizeof(uint32_t) + sizeof(uint64_t) +
+                                    sizeof(double);
+
+void EncodeRecord(const DiskRecord& r, char* out) {
+  std::memcpy(out, &r.key, sizeof(r.key));
+  std::memcpy(out + sizeof(r.key), &r.seq, sizeof(r.seq));
+  std::memcpy(out + sizeof(r.key) + sizeof(r.seq), &r.value,
+              sizeof(r.value));
+}
+
+bool DecodeRecord(const char* in, DiskRecord* r) {
+  std::memcpy(&r->key, in, sizeof(r->key));
+  std::memcpy(&r->seq, in + sizeof(r->key), sizeof(r->seq));
+  std::memcpy(&r->value, in + sizeof(r->key) + sizeof(r->seq),
+              sizeof(r->value));
+  return true;
+}
+
+// Buffered reader over one sorted spill run.
+class RunCursor {
+ public:
+  explicit RunCursor(std::FILE* file) : file_(file) {}
+  ~RunCursor() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  RunCursor(RunCursor&& other) noexcept
+      : file_(other.file_), current_(other.current_), done_(other.done_) {
+    other.file_ = nullptr;
+  }
+  RunCursor(const RunCursor&) = delete;
+
+  bool Advance() {
+    char buf[kDiskRecordBytes];
+    const size_t n = std::fread(buf, 1, sizeof(buf), file_);
+    if (n != sizeof(buf)) {
+      done_ = true;
+      return false;
+    }
+    DecodeRecord(buf, &current_);
+    return true;
+  }
+
+  const DiskRecord& current() const { return current_; }
+  bool done() const { return done_; }
+
+ private:
+  std::FILE* file_;
+  DiskRecord current_{};
+  bool done_ = false;
+};
+
+// Cap on simultaneously open spill runs. At very small budgets a large
+// sweep can produce thousands of runs; merging the oldest batch into one
+// bigger (still sorted) run keeps fds and per-emission compares bounded
+// without changing the emitted order.
+constexpr size_t kMergeFanIn = 64;
+
+}  // namespace
+
+PartialAggStore::PartialAggStore(AggStoreOptions options)
+    : options_(std::move(options)) {}
+
+PartialAggStore::~PartialAggStore() {
+  for (const std::string& path : spill_paths_) ::remove(path.c_str());
+  if (!owned_dir_.empty()) util::RemoveDirTree(owned_dir_);
+}
+
+uint32_t PartialAggStore::Key(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  it = intern_.emplace(std::string(key), id).first;
+  names_.push_back(&it->first);  // std::map node addresses are stable.
+  stats_.keys = names_.size();
+  return id;
+}
+
+bool PartialAggStore::EntryLess(const Entry& a, const Entry& b) const {
+  if (a.key != b.key) {
+    const std::string& ka = *names_[a.key];
+    const std::string& kb = *names_[b.key];
+    if (ka != kb) return ka < kb;
+    // Distinct ids can never share a name (interning is injective), so
+    // falling through here is impossible; keep ids as a stable tiebreak
+    // for belt and braces.
+    return a.key < b.key;
+  }
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.value < b.value;
+}
+
+util::Status PartialAggStore::EnsureSpillDirLocked() {
+  if (!spill_dir_.empty()) return util::OkStatus();
+  if (!options_.spill_dir.empty()) {
+    spill_dir_ = options_.spill_dir;
+    return util::OkStatus();
+  }
+  IPDA_ASSIGN_OR_RETURN(owned_dir_, util::MakeTempDir("ipda-agg-spill-"));
+  spill_dir_ = owned_dir_;
+  return util::OkStatus();
+}
+
+util::Status PartialAggStore::SpillLocked() {
+  if (buffer_.empty()) return util::OkStatus();
+  IPDA_RETURN_IF_ERROR(EnsureSpillDirLocked());
+  std::sort(buffer_.begin(), buffer_.end(),
+            [this](const Entry& a, const Entry& b) {
+              return EntryLess(a, b);
+            });
+  const std::string path =
+      spill_dir_ + "/run-" + std::to_string(next_run_id_++) + ".bin";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::UnavailableError("cannot create spill run " + path + ": " +
+                                  std::strerror(errno));
+  }
+  char buf[kDiskRecordBytes];
+  for (const Entry& e : buffer_) {
+    EncodeRecord({e.key, e.seq, e.value}, buf);
+    if (std::fwrite(buf, 1, sizeof(buf), file) != sizeof(buf)) {
+      const std::string error = std::strerror(errno);
+      std::fclose(file);
+      ::remove(path.c_str());
+      return util::UnavailableError("short write to spill run " + path +
+                                    ": " + error);
+    }
+  }
+  if (std::fclose(file) != 0) {
+    ::remove(path.c_str());
+    return util::UnavailableError("cannot close spill run " + path + ": " +
+                                  std::strerror(errno));
+  }
+  spill_paths_.push_back(path);
+  stats_.spill_runs = spill_paths_.size();
+  stats_.spilled_entries += buffer_.size();
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return util::OkStatus();
+}
+
+util::Status PartialAggStore::Add(uint32_t key, uint64_t seq,
+                                  double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (consumed_) {
+    return util::FailedPreconditionError(
+        "PartialAggStore: Add after ForEachSorted");
+  }
+  buffer_.push_back(Entry{key, seq, value});
+  ++stats_.entries;
+  const uint64_t bytes =
+      static_cast<uint64_t>(buffer_.size()) * sizeof(Entry);
+  if (bytes > stats_.peak_buffer_bytes) stats_.peak_buffer_bytes = bytes;
+  if (options_.memory_budget_bytes > 0 &&
+      bytes >= options_.memory_budget_bytes) {
+    return SpillLocked();
+  }
+  return util::OkStatus();
+}
+
+util::Status PartialAggStore::CollapseRunsLocked(size_t fan_in) {
+  std::vector<RunCursor> runs;
+  runs.reserve(fan_in);
+  for (size_t i = 0; i < fan_in; ++i) {
+    std::FILE* file = std::fopen(spill_paths_[i].c_str(), "rb");
+    if (file == nullptr) {
+      return util::UnavailableError("cannot reopen spill run " +
+                                    spill_paths_[i] + ": " +
+                                    std::strerror(errno));
+    }
+    runs.emplace_back(file);
+    runs.back().Advance();
+  }
+  const std::string out_path =
+      spill_dir_ + "/run-" + std::to_string(next_run_id_++) + ".bin";
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    return util::UnavailableError("cannot create merge run " + out_path +
+                                  ": " + std::strerror(errno));
+  }
+  char buf[kDiskRecordBytes];
+  for (;;) {
+    int best = -1;
+    Entry best_entry;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (runs[r].done()) continue;
+      const DiskRecord& rec = runs[r].current();
+      const Entry candidate{rec.key, rec.seq, rec.value};
+      if (best < 0 || EntryLess(candidate, best_entry)) {
+        best = static_cast<int>(r);
+        best_entry = candidate;
+      }
+    }
+    if (best < 0) break;
+    EncodeRecord({best_entry.key, best_entry.seq, best_entry.value}, buf);
+    if (std::fwrite(buf, 1, sizeof(buf), out) != sizeof(buf)) {
+      const std::string error = std::strerror(errno);
+      std::fclose(out);
+      ::remove(out_path.c_str());
+      return util::UnavailableError("short write to merge run " + out_path +
+                                    ": " + error);
+    }
+    runs[static_cast<size_t>(best)].Advance();
+  }
+  if (std::fclose(out) != 0) {
+    ::remove(out_path.c_str());
+    return util::UnavailableError("cannot close merge run " + out_path +
+                                  ": " + std::strerror(errno));
+  }
+  runs.clear();  // Close inputs before unlinking them.
+  for (size_t i = 0; i < fan_in; ++i) ::remove(spill_paths_[i].c_str());
+  spill_paths_.erase(spill_paths_.begin(),
+                     spill_paths_.begin() + static_cast<long>(fan_in));
+  spill_paths_.push_back(out_path);
+  return util::OkStatus();
+}
+
+util::Status PartialAggStore::ForEachSorted(
+    const std::function<void(std::string_view key, uint64_t seq,
+                             double value)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (consumed_) {
+    return util::FailedPreconditionError(
+        "PartialAggStore: ForEachSorted called twice");
+  }
+  consumed_ = true;
+  std::sort(buffer_.begin(), buffer_.end(),
+            [this](const Entry& a, const Entry& b) {
+              return EntryLess(a, b);
+            });
+
+  // Merging sorted runs yields a sorted run, so collapse passes leave
+  // the emitted order (and thus every downstream byte) untouched.
+  while (spill_paths_.size() > kMergeFanIn) {
+    IPDA_RETURN_IF_ERROR(CollapseRunsLocked(kMergeFanIn));
+  }
+
+  std::vector<RunCursor> runs;
+  runs.reserve(spill_paths_.size());
+  for (const std::string& path : spill_paths_) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return util::UnavailableError("cannot reopen spill run " + path +
+                                    ": " + std::strerror(errno));
+    }
+    runs.emplace_back(file);
+    runs.back().Advance();
+  }
+
+  // K-way merge: the run count is small (entries / budget-sized batches),
+  // so a linear scan for the minimum beats heap bookkeeping in clarity
+  // and is nowhere near the cost of the fread decode itself.
+  size_t buffer_pos = 0;
+  for (;;) {
+    int best = -1;            // Index into runs, or -1 for the buffer.
+    Entry best_entry;
+    bool have = false;
+    if (buffer_pos < buffer_.size()) {
+      best_entry = buffer_[buffer_pos];
+      have = true;
+    }
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (runs[r].done()) continue;
+      const DiskRecord& rec = runs[r].current();
+      const Entry candidate{rec.key, rec.seq, rec.value};
+      if (!have || EntryLess(candidate, best_entry)) {
+        best = static_cast<int>(r);
+        best_entry = candidate;
+        have = true;
+      }
+    }
+    if (!have) break;
+    fn(*names_[best_entry.key], best_entry.seq, best_entry.value);
+    if (best < 0) {
+      ++buffer_pos;
+    } else {
+      runs[static_cast<size_t>(best)].Advance();
+    }
+  }
+
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  for (const std::string& path : spill_paths_) ::remove(path.c_str());
+  spill_paths_.clear();
+  return util::OkStatus();
+}
+
+PartialAggStore::Stats PartialAggStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ipda::exp

@@ -1,0 +1,264 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exp/agg_store.h"
+#include "obs/metrics.h"
+#include "stats/pao.h"
+
+namespace ipda::exp {
+namespace {
+
+using obs::HistogramData;
+using obs::ParsedLine;
+
+bool NameSelected(std::string_view name, const std::string& filter) {
+  return filter.empty() || name.find(filter) != std::string_view::npos;
+}
+
+void PrintHistogramBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts,
+                           std::FILE* out) {
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < bounds.size()) {
+      std::fprintf(out, "    <= %-12.6g %20" PRIu64 "\n", bounds[i],
+                   counts[i]);
+    } else {
+      std::fprintf(out, "    >  %-12.6g %20" PRIu64 "\n",
+                   bounds.empty() ? 0.0 : bounds.back(), counts[i]);
+    }
+  }
+}
+
+void PrintRun(const ParsedLine& line, const std::string& filter,
+              std::FILE* out) {
+  std::fprintf(out, "run %" PRIu64 " (seed %" PRIu64 ")\n", line.run,
+               line.seed);
+  for (const auto& [name, v] : line.snapshot.counters) {
+    if (NameSelected(name, filter)) {
+      std::fprintf(out, "  %-34s %20" PRIu64 "\n", name.c_str(), v);
+    }
+  }
+  for (const auto& [name, v] : line.snapshot.gauges) {
+    if (NameSelected(name, filter)) {
+      std::fprintf(out, "  %-34s %20.6g\n", name.c_str(), v);
+    }
+  }
+  for (const auto& [name, h] : line.snapshot.histograms) {
+    if (!NameSelected(name, filter)) continue;
+    std::fprintf(out, "  %-34s count=%" PRIu64 " sum=%.6g\n", name.c_str(),
+                 h.count, h.sum);
+    PrintHistogramBuckets(h.bounds, h.counts, out);
+  }
+  if (!line.snapshot.spans.empty()) std::fprintf(out, "  spans:\n");
+  for (const auto& span : line.snapshot.spans) {
+    std::fprintf(out,
+                 "    %-32s [%12" PRId64 " ns, %12" PRId64 " ns)  %.6g ms\n",
+                 span.name.c_str(), span.begin_ns, span.end_ns,
+                 static_cast<double>(span.end_ns - span.begin_ns) / 1e6);
+  }
+}
+
+}  // namespace
+
+int RunMetricsReport(const std::string& path,
+                     const MetricsReportOptions& options, std::FILE* out,
+                     std::FILE* err) {
+  // Stream the file line by line: a city-scale sweep's --metrics JSONL
+  // (one record per run, spans included) runs to hundreds of MiB, and
+  // the aggregation only ever holds one record plus the spill-store
+  // buffer in memory.
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(err, "metrics_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  AggStoreOptions store_options;
+  store_options.memory_budget_bytes = options.agg_memory_budget_bytes;
+  store_options.spill_dir = options.spill_dir;
+  PartialAggStore store(store_options);
+
+  // Counters stay exact integer sums and histograms merge bucket-wise —
+  // both are order-independent and O(#instrument names), so neither
+  // needs the spill store. Names are sorted within each snapshot and the
+  // instrument sets of runs of one sweep coincide, so a linear probe
+  // with insertion keeps these sorted without a map.
+  std::vector<std::pair<std::string, uint64_t>> counter_sums;
+  std::vector<std::pair<std::string, HistogramData>> merged_hists;
+
+  bool saw_header = false;
+  std::string header_experiment;
+  uint64_t run_lines = 0;
+  uint64_t skipped_lines = 0;
+  size_t line_no = 0;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (raw.empty()) continue;
+    ParsedLine line;
+    std::string error;
+    if (!obs::ParseMetricsLine(raw, line, &error)) {
+      // A corrupt line (torn write, truncation mid-crash) must not void
+      // the intact records around it: warn, count, move on.
+      std::fprintf(err,
+                   "metrics_report: %s:%zu: skipping corrupt line: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      ++skipped_lines;
+      continue;
+    }
+    if (line.kind == "metrics_header") {
+      saw_header = true;
+      header_experiment = line.experiment;
+      std::fprintf(out, "experiment %s: %" PRIu64 " runs, seed %" PRIu64 "\n",
+                   line.experiment.c_str(), line.runs, line.seed);
+      continue;
+    }
+    ++run_lines;
+    if (options.run >= 0) {
+      if (line.run == static_cast<uint64_t>(options.run)) {
+        PrintRun(line, options.metric_filter, out);
+      }
+      continue;
+    }
+    for (const auto& [name, v] : line.snapshot.counters) {
+      if (!NameSelected(name, options.metric_filter)) continue;
+      auto it = std::lower_bound(
+          counter_sums.begin(), counter_sums.end(), name,
+          [](const auto& a, const std::string& b) { return a.first < b; });
+      if (it == counter_sums.end() || it->first != name) {
+        it = counter_sums.insert(it, {name, 0});
+      }
+      it->second += v;
+    }
+    // Gauges route through the spill store: seq is the run-record
+    // ordinal, so the fold order (name, ordinal) is the file order per
+    // gauge — canonical and budget-independent.
+    for (const auto& [name, v] : line.snapshot.gauges) {
+      if (!NameSelected(name, options.metric_filter)) continue;
+      const auto status = store.Add(name, run_lines - 1, v);
+      if (!status.ok()) {
+        std::fprintf(err, "metrics_report: %s\n", status.message().c_str());
+        return 1;
+      }
+    }
+    for (const auto& [name, h] : line.snapshot.histograms) {
+      if (!NameSelected(name, options.metric_filter)) continue;
+      auto it = std::lower_bound(
+          merged_hists.begin(), merged_hists.end(), name,
+          [](const auto& a, const std::string& b) { return a.first < b; });
+      if (it == merged_hists.end() || it->first != name) {
+        merged_hists.insert(it, {name, h});
+        continue;
+      }
+      HistogramData& agg = it->second;
+      if (agg.bounds != h.bounds) {
+        std::fprintf(err,
+                     "metrics_report: %s:%zu: histogram '%s' changes "
+                     "bounds mid-file; skipping this record's buckets\n",
+                     path.c_str(), line_no, name.c_str());
+        continue;
+      }
+      for (size_t i = 0; i < agg.counts.size(); ++i) {
+        agg.counts[i] += h.counts[i];
+      }
+      agg.count += h.count;
+      agg.sum += h.sum;
+    }
+  }
+
+  if (skipped_lines > 0) {
+    std::fprintf(err,
+                 "metrics_report: skipped %" PRIu64
+                 " corrupt line(s) in %s\n",
+                 skipped_lines, path.c_str());
+  }
+  if (run_lines == 0) {
+    if (saw_header) {
+      // Valid header, zero run records: the producing sweep started and
+      // died before any run completed. Distinct from the corrupt/empty
+      // diagnostic so scripts can tell "never produced" from "torn".
+      std::fprintf(err,
+                   "metrics_report: %s: header for experiment '%s' but no "
+                   "run records (sweep wrote its header, then exited "
+                   "before any run completed?)\n",
+                   path.c_str(), header_experiment.c_str());
+    } else {
+      // Empty or fully truncated: no usable record at all — make that
+      // loud (and fatal for scripts) instead of printing an innocuous
+      // zero-run report.
+      std::fprintf(err,
+                   "metrics_report: %s contains no valid run records "
+                   "(empty or truncated --metrics file?)\n",
+                   path.c_str());
+    }
+    return 1;
+  }
+  if (options.run >= 0) return 0;
+
+  std::fprintf(out, "%" PRIu64 " run record(s)\n", run_lines);
+  if (!counter_sums.empty()) {
+    std::fprintf(out, "counters (summed over runs):\n");
+    for (const auto& [name, v] : counter_sums) {
+      std::fprintf(out, "  %-34s %20" PRIu64 "\n", name.c_str(), v);
+    }
+  }
+
+  // Reduce the gauge stream. ForEachSorted emits (name, ordinal, value)
+  // in canonical order, so each gauge's values arrive contiguously and
+  // in file order — one pass, one row per gauge.
+  struct GaugeRow {
+    std::string name;
+    stats::CountMeanM2Agg moments;
+    stats::GkQuantileAgg quantiles;
+  };
+  std::vector<GaugeRow> rows;
+  rows.reserve(store.stats().keys);  // No reallocation: `cur` stays valid.
+  GaugeRow* cur = nullptr;
+  const auto status = store.ForEachSorted(
+      [&](std::string_view key, uint64_t /*seq*/, double value) {
+        if (cur == nullptr || cur->name != key) {
+          rows.emplace_back();
+          cur = &rows.back();
+          cur->name = std::string(key);
+          cur->moments.Init();
+          cur->quantiles.Init();
+        }
+        cur->moments.Add(value);
+        cur->quantiles.Add(value);
+      });
+  if (!status.ok()) {
+    std::fprintf(err, "metrics_report: %s\n", status.message().c_str());
+    return 1;
+  }
+  if (!rows.empty()) {
+    std::fprintf(out,
+                 "gauges (min / p50 / p95 / p99 / max / mean over runs):\n");
+    for (const GaugeRow& row : rows) {
+      std::fprintf(out,
+                   "  %-34s %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+                   row.name.c_str(), row.moments.min(),
+                   row.quantiles.Quantile(0.5), row.quantiles.Quantile(0.95),
+                   row.quantiles.Quantile(0.99), row.moments.max(),
+                   row.moments.mean());
+    }
+  }
+
+  if (!merged_hists.empty()) {
+    std::fprintf(out, "histograms (merged over runs):\n");
+    for (const auto& [name, h] : merged_hists) {
+      std::fprintf(out, "  %-34s count=%" PRIu64 " sum=%.6g\n", name.c_str(),
+                   h.count, h.sum);
+      PrintHistogramBuckets(h.bounds, h.counts, out);
+    }
+  }
+  return 0;
+}
+
+}  // namespace ipda::exp

@@ -1,0 +1,47 @@
+// Streaming metrics-file reporting over the PAO spill store.
+//
+// This is the library core of the metrics_report tool (DESIGN.md §16):
+// it folds a --metrics JSONL file of any length into a bounded-memory
+// report. Counters are exact integer sums; gauges stream through
+// exp::PartialAggStore into CountMeanM2 + GK quantile aggregates (so the
+// aggregate view gains p50/p95/p99 without materializing per-run
+// records); snapshot histograms merge bucket-wise. RSS is
+// O(agg_memory_budget + #instrument names), and the printed report is
+// byte-identical at every budget (see agg_store.h for the argument).
+//
+// Living in exp/ rather than tools/ lets the acceptance tests (100k-run
+// journal under a 64 MiB budget, spill-at-every-budget byte identity)
+// drive it in-process instead of shelling out to the binary.
+
+#ifndef IPDA_EXP_REPORT_H_
+#define IPDA_EXP_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ipda::exp {
+
+struct MetricsReportOptions {
+  // >= 0: print that run's record in full instead of aggregating.
+  int64_t run = -1;
+  // Only instruments whose name contains this substring.
+  std::string metric_filter;
+  // Byte budget for the gauge observation buffer; 0 = unlimited
+  // (never spills). See util::ParseByteSize for the CLI spelling.
+  uint64_t agg_memory_budget_bytes = 0;
+  // Spill directory override; "" = private temp dir.
+  std::string spill_dir;
+};
+
+// Streams `path` and writes the report to `out`, diagnostics to `err`.
+// Returns a process exit code: 0 on success; 1 when the file is
+// unreadable, holds no valid run records, or aggregation IO fails.
+// (2 is reserved for the CLI's own flag errors.)
+int RunMetricsReport(const std::string& path,
+                     const MetricsReportOptions& options, std::FILE* out,
+                     std::FILE* err);
+
+}  // namespace ipda::exp
+
+#endif  // IPDA_EXP_REPORT_H_

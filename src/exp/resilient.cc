@@ -136,6 +136,17 @@ util::Result<ResilientReport> RunResilientSweep(
     report.journal_path = journal_path;
   }
 
+  // Hands one terminal record to the sink (if any) and then drops the
+  // payload in out-of-core mode. Every terminal path — replayed prefill,
+  // success, exhausted retries — funnels through here exactly once.
+  const auto finalize = [&options](size_t index, RunStatus& slot) {
+    if (options.record_sink) options.record_sink(index, slot);
+    if (!options.keep_payloads) {
+      slot.payload.clear();
+      slot.payload.shrink_to_fit();
+    }
+  };
+
   // Prefill replayed slots: their payloads come from the journal, not a
   // re-simulation, so resumed output is byte-identical by construction.
   for (const auto& [index, record] : resumed.runs) {
@@ -146,6 +157,7 @@ util::Result<ResilientReport> RunResilientSweep(
     slot.attempts = record.attempts;
     slot.seed = record.seed;
     slot.payload = record.payload;
+    finalize(index, slot);
   }
 
   Watchdog watchdog;
@@ -191,6 +203,7 @@ util::Result<ResilientReport> RunResilientSweep(
           journal_error.Record(writer.WriteRun(
               {i, seed, slot.attempts, true, slot.payload}));
         }
+        finalize(i, slot);
         return;
       }
       slot.payload = result.status().message();
@@ -212,6 +225,7 @@ util::Result<ResilientReport> RunResilientSweep(
       journal_error.Record(writer.WriteRun(
           {i, slot.seed, slot.attempts, false, slot.payload}));
     }
+    finalize(i, slot);
   });
 
   IPDA_RETURN_IF_ERROR(journal_error.Take());

@@ -34,6 +34,8 @@
 
 namespace ipda::exp {
 
+struct RunStatus;
+
 struct ResilientOptions {
   uint64_t sweep_seed = 0;
   // Per-attempt deterministic event cap (0 = unlimited). The body is
@@ -68,6 +70,17 @@ struct ResilientOptions {
   // with a pre-existing seed scheme override it to keep their output
   // bytes unchanged.
   std::function<uint64_t(size_t point, size_t run)> base_seed_fn;
+  // Streaming consumer of terminal records (executed or replayed; drain-
+  // skipped indices are not terminal and never reach it). Called from
+  // pool threads concurrently — must be thread-safe (e.g. feed an
+  // exp::PartialAggStore, which is). The RunStatus still carries its
+  // payload when the sink runs, regardless of keep_payloads.
+  std::function<void(size_t flat_index, const RunStatus&)> record_sink;
+  // When false, each RunStatus::payload is released right after the
+  // journal write and the sink call, so ResilientReport stays O(1) per
+  // run — the out-of-core mode for million-run sweeps whose folds live
+  // entirely in the sink.
+  bool keep_payloads = true;
 };
 
 // What one attempt sees. `cancel` and `event_budget` must be wired into

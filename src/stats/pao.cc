@@ -1,0 +1,254 @@
+#include "stats/pao.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ipda::stats {
+namespace {
+
+// All codecs share one field grammar: a tag, then ';'-separated scalars
+// (%.17g doubles round-trip exactly, so Serialize ∘ Deserialize is the
+// identity on state and byte-stable on re-encode).
+void AppendF64(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), ";%.17g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ";%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+// Cursor over the ';'-separated tail. Each Take* expects a leading ';'.
+struct FieldCursor {
+  const char* p;
+  const char* end;
+
+  bool TakeF64(double* v) {
+    if (p >= end || *p != ';') return false;
+    char* next = nullptr;
+    *v = std::strtod(p + 1, &next);
+    if (next == p + 1) return false;
+    p = next;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (p >= end || *p != ';') return false;
+    char* next = nullptr;
+    *v = std::strtoull(p + 1, &next, 10);
+    if (next == p + 1) return false;
+    p = next;
+    return true;
+  }
+  bool Done() const { return p == end; }
+};
+
+}  // namespace
+
+// --- CountMeanM2Agg ----------------------------------------------------
+
+void CountMeanM2Agg::Init() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void CountMeanM2Agg::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void CountMeanM2Agg::Merge(const PartialAgg& other) {
+  const auto& o = static_cast<const CountMeanM2Agg&>(other);
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  // Chan et al. pairwise update: exact in count, ~1e-9-relative in mean
+  // and M2 for any partition (header contract).
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(o.count_);
+  const double n = na + nb;
+  const double delta = o.mean_ - mean_;
+  mean_ += delta * (nb / n);
+  m2_ += o.m2_ + delta * delta * (na * nb / n);
+  count_ += o.count_;
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+void CountMeanM2Agg::Serialize(std::string* out) const {
+  *out += "cm2";
+  AppendU64(out, count_);
+  AppendF64(out, mean_);
+  AppendF64(out, m2_);
+  AppendF64(out, min_);
+  AppendF64(out, max_);
+}
+
+bool CountMeanM2Agg::Deserialize(std::string_view in) {
+  if (in.substr(0, 3) != "cm2") return false;
+  FieldCursor c{in.data() + 3, in.data() + in.size()};
+  return c.TakeU64(&count_) && c.TakeF64(&mean_) && c.TakeF64(&m2_) &&
+         c.TakeF64(&min_) && c.TakeF64(&max_) && c.Done();
+}
+
+double CountMeanM2Agg::min() const { return count_ > 0 ? min_ : 0.0; }
+double CountMeanM2Agg::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double CountMeanM2Agg::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double CountMeanM2Agg::stddev() const { return std::sqrt(variance()); }
+
+// --- MinMaxAgg ---------------------------------------------------------
+
+void MinMaxAgg::Init() {
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void MinMaxAgg::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+}
+
+void MinMaxAgg::Merge(const PartialAgg& other) {
+  const auto& o = static_cast<const MinMaxAgg&>(other);
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  count_ += o.count_;
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+void MinMaxAgg::Serialize(std::string* out) const {
+  *out += "mm";
+  AppendU64(out, count_);
+  AppendF64(out, min_);
+  AppendF64(out, max_);
+}
+
+bool MinMaxAgg::Deserialize(std::string_view in) {
+  if (in.substr(0, 2) != "mm") return false;
+  FieldCursor c{in.data() + 2, in.data() + in.size()};
+  return c.TakeU64(&count_) && c.TakeF64(&min_) && c.TakeF64(&max_) &&
+         c.Done();
+}
+
+double MinMaxAgg::min() const { return count_ > 0 ? min_ : 0.0; }
+double MinMaxAgg::max() const { return count_ > 0 ? max_ : 0.0; }
+
+// --- HistogramAgg ------------------------------------------------------
+
+HistogramAgg::HistogramAgg(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    IPDA_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void HistogramAgg::Init() {
+  counts_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+void HistogramAgg::Add(double x) {
+  size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += x;
+}
+
+void HistogramAgg::AddBucket(size_t bucket, uint64_t n, double sum_delta) {
+  IPDA_CHECK(bucket < counts_.size());
+  counts_[bucket] += n;
+  count_ += n;
+  sum_ += sum_delta;
+}
+
+void HistogramAgg::Merge(const PartialAgg& other) {
+  const auto& o = static_cast<const HistogramAgg&>(other);
+  if (o.count_ == 0 && o.bounds_.empty()) return;
+  if (bounds_.empty() && count_ == 0) {
+    *this = o;
+    return;
+  }
+  IPDA_CHECK(bounds_ == o.bounds_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+void HistogramAgg::Serialize(std::string* out) const {
+  *out += "hist";
+  AppendU64(out, bounds_.size());
+  for (double b : bounds_) AppendF64(out, b);
+  for (uint64_t c : counts_) AppendU64(out, c);
+  AppendU64(out, count_);
+  AppendF64(out, sum_);
+}
+
+bool HistogramAgg::Deserialize(std::string_view in) {
+  if (in.substr(0, 4) != "hist") return false;
+  FieldCursor c{in.data() + 4, in.data() + in.size()};
+  uint64_t n_bounds = 0;
+  if (!c.TakeU64(&n_bounds)) return false;
+  bounds_.clear();
+  bounds_.resize(n_bounds);
+  double prev = -std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i < n_bounds; ++i) {
+    if (!c.TakeF64(&bounds_[i]) || bounds_[i] <= prev) return false;
+    prev = bounds_[i];
+  }
+  counts_.clear();
+  counts_.resize(n_bounds + 1);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < n_bounds + 1; ++i) {
+    if (!c.TakeU64(&counts_[i])) return false;
+    total += counts_[i];
+  }
+  return c.TakeU64(&count_) && c.TakeF64(&sum_) && c.Done() &&
+         count_ == total;
+}
+
+// --- GkQuantileAgg -----------------------------------------------------
+
+void GkQuantileAgg::Merge(const PartialAgg& other) {
+  sketch_.Merge(static_cast<const GkQuantileAgg&>(other).sketch_);
+}
+
+}  // namespace ipda::stats

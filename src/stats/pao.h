@@ -1,0 +1,179 @@
+// Mergeable partial aggregates (PAOs) for out-of-core sweep reporting.
+//
+// A million-run campaign cannot afford to materialize per-run records to
+// compute a mean or a p99: the report must be a *reduction*, and the
+// reduction must be partitionable — workers fold their slice of runs
+// into a small partial, partials merge, and the merged state answers the
+// query. This is the PartialAgg discipline of external-aggregation
+// stores (sopwithcamel's `PartialAgg`/`merge` interface): every
+// aggregator implements Init / Add / Merge / Serialize / Deserialize, so
+// the same object works in-memory, in a spill file, and across process
+// boundaries (DESIGN.md §16).
+//
+// Error contracts (property-tested in tests/stats_pao_test.cc):
+//   - CountMeanM2Agg: count/min/max exact under any split; mean and
+//     variance match the batch computation to ~1e-9 relative error for
+//     any partition and merge order (Chan's parallel update).
+//   - HistogramAgg: bucket counts are integer sums — exact and
+//     merge-order independent.
+//   - GkQuantileAgg (stats/quantile.h): rank error <= eps*n streaming,
+//     <= 2*eps*n after arbitrary merges.
+//
+// Bit-exact reproducibility is NOT promised across different splits
+// (floating-point folds are order-sensitive in the last ulp); callers
+// that need byte-identical reports feed values in a canonical order —
+// that is exp::PartialAggStore's job, not the aggregator's.
+
+#ifndef IPDA_STATS_PAO_H_
+#define IPDA_STATS_PAO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/quantile.h"
+
+namespace ipda::stats {
+
+class PartialAgg {
+ public:
+  virtual ~PartialAgg() = default;
+
+  // Resets to the empty aggregate (the merge identity).
+  virtual void Init() = 0;
+  // Folds one observation.
+  virtual void Add(double x) = 0;
+  // Folds another partial of the same concrete type and shape; the
+  // argument is left untouched. Merging a shape mismatch (histogram
+  // bounds, sketch epsilon) is a programming error and asserts.
+  virtual void Merge(const PartialAgg& other) = 0;
+  // Appends a compact single-line text encoding ('\n'- and '\t'-free).
+  // Serialize ∘ Deserialize ∘ Serialize is byte-stable.
+  virtual void Serialize(std::string* out) const = 0;
+  // Replaces this state with the decoded one; false on malformed input
+  // (state is then unspecified — call Init() before reuse).
+  virtual bool Deserialize(std::string_view in) = 0;
+
+  size_t count() const { return DoCount(); }
+
+ protected:
+  virtual size_t DoCount() const = 0;
+};
+
+// count / mean / M2 (Welford online update; Chan et al. pairwise merge)
+// plus min/max in the same record — the workhorse for every "mean ± CI"
+// table cell.
+class CountMeanM2Agg final : public PartialAgg {
+ public:
+  void Init() override;
+  void Add(double x) override;
+  void Merge(const PartialAgg& other) override;
+  void Serialize(std::string* out) const override;
+  bool Deserialize(std::string_view in) override;
+
+  double mean() const { return mean_; }
+  double min() const;
+  double max() const;
+  // Sample variance (n-1 denominator); 0 below 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ protected:
+  size_t DoCount() const override { return static_cast<size_t>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// min/max alone, for callers that track extremes of integer-ish streams
+// without paying for moments.
+class MinMaxAgg final : public PartialAgg {
+ public:
+  void Init() override;
+  void Add(double x) override;
+  void Merge(const PartialAgg& other) override;
+  void Serialize(std::string* out) const override;
+  bool Deserialize(std::string_view in) override;
+
+  double min() const;
+  double max() const;
+
+ protected:
+  size_t DoCount() const override { return static_cast<size_t>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram: bucket i counts x <= bounds[i], one implicit
+// overflow bucket. Bounds are the aggregate's shape: Merge requires
+// identical bounds (matches obs::Histogram, so registry snapshots fold
+// straight in via AddBucket).
+class HistogramAgg final : public PartialAgg {
+ public:
+  HistogramAgg() = default;
+  explicit HistogramAgg(std::vector<double> bounds);
+
+  void Init() override;
+  void Add(double x) override;
+  void Merge(const PartialAgg& other) override;
+  void Serialize(std::string* out) const override;
+  bool Deserialize(std::string_view in) override;
+
+  // Bucket-wise fold of an already-binned histogram with these bounds.
+  void AddBucket(size_t bucket, uint64_t n, double sum_delta);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  double sum() const { return sum_; }
+
+ protected:
+  size_t DoCount() const override { return static_cast<size_t>(count_); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1, overflow last.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// PartialAgg adapter over the GK sketch so quantiles ride the same
+// Init/Merge/Serialize surface as the moment aggregators.
+class GkQuantileAgg final : public PartialAgg {
+ public:
+  explicit GkQuantileAgg(double eps = GkSketch::kDefaultEps)
+      : sketch_(eps) {}
+
+  void Init() override { sketch_.Reset(); }
+  void Add(double x) override { sketch_.Add(x); }
+  void Merge(const PartialAgg& other) override;
+  void Serialize(std::string* out) const override {
+    sketch_.Serialize(out);
+  }
+  bool Deserialize(std::string_view in) override {
+    return sketch_.Deserialize(in);
+  }
+
+  double Quantile(double q) const { return sketch_.Quantile(q); }
+  const GkSketch& sketch() const { return sketch_; }
+
+ protected:
+  size_t DoCount() const override {
+    return static_cast<size_t>(sketch_.count());
+  }
+
+ private:
+  GkSketch sketch_;
+};
+
+}  // namespace ipda::stats
+
+#endif  // IPDA_STATS_PAO_H_

@@ -1,0 +1,219 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ipda::stats {
+
+GkSketch::GkSketch(double eps) : eps_(eps) {
+  IPDA_CHECK(eps > 0.0 && eps < 0.5);
+}
+
+void GkSketch::Reset() {
+  count_ = 0;
+  since_compress_ = 0;
+  tuples_.clear();
+}
+
+uint64_t GkSketch::Threshold() const {
+  return static_cast<uint64_t>(2.0 * eps_ * static_cast<double>(count_));
+}
+
+void GkSketch::Add(double x) {
+  ++count_;
+  // First tuple with v >= x; inserting before it keeps the list sorted
+  // and, on ties, groups equal values (rank bounds stay valid either
+  // way — only byte layout depends on the choice, and it is fixed).
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), x,
+      [](const Tuple& t, double v) { return t.v < v; });
+  Tuple fresh;
+  fresh.v = x;
+  fresh.g = 1;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New extreme: its rank is pinned against the end of the list.
+    fresh.delta = 0;
+  } else {
+    const uint64_t t = Threshold();
+    fresh.delta = t >= 1 ? t - 1 : 0;
+  }
+  tuples_.insert(it, fresh);
+
+  // Amortized compress keeps the tuple list at O((1/eps) log(eps n)).
+  const uint64_t period =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * eps_)));
+  if (++since_compress_ >= period) {
+    since_compress_ = 0;
+    Compress();
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t t = Threshold();
+  // Right-to-left: tuple i folds into the nearest kept successor when
+  // the combined uncertainty stays under the invariant. Ends are never
+  // deleted, so min and max survive exactly (Quantile(0)/Quantile(1)
+  // stay sharp).
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  kept.push_back(tuples_.back());
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    Tuple& succ = kept.back();
+    const Tuple& cur = tuples_[i];
+    if (cur.g + succ.g + succ.delta <= t) {
+      succ.g += cur.g;
+    } else {
+      kept.push_back(cur);
+    }
+  }
+  kept.push_back(tuples_.front());
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+void GkSketch::Merge(const GkSketch& other) {
+  IPDA_CHECK(eps_ == other.eps_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Two-pointer merge computing exact combined rank bounds per tuple:
+  //   rmin_M(t from A) = rmin_A(t) + rmin_B(last consumed B tuple)
+  //   rmax_M(t from A) = rmax_A(t) + (upper bound on B elements <= t.v)
+  // The bounds are sums of valid bounds, so merging introduces no new
+  // error beyond the successor uncertainty — the invariant
+  // g + delta <= 2*eps*n survives by induction, which is what caps the
+  // merged-path rank error at 2*eps*n (header contract, with slack).
+  const std::vector<Tuple>& a = tuples_;
+  const std::vector<Tuple>& b = other.tuples_;
+  std::vector<Tuple> merged;
+  merged.reserve(a.size() + b.size());
+  size_t ia = 0, ib = 0;
+  uint64_t rmin_a = 0, rmin_b = 0;   // Prefix rank of consumed tuples.
+  uint64_t prev_rmin = 0;            // rmin_M of the last emitted tuple.
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib == b.size() || (ia < a.size() && a[ia].v <= b[ib].v);
+    const Tuple& t = take_a ? a[ia] : b[ib];
+    const std::vector<Tuple>& o = take_a ? b : a;
+    const size_t io = take_a ? ib : ia;
+    const uint64_t rmin_own = (take_a ? rmin_a : rmin_b) + t.g;
+    const uint64_t rmin_other = take_a ? rmin_b : rmin_a;
+    uint64_t rmax_other;  // Upper bound on other-elements <= t.v.
+    if (io < o.size()) {
+      const Tuple& succ = o[io];
+      rmax_other = rmin_other + succ.g + succ.delta;
+      if (succ.v > t.v && rmax_other > 0) --rmax_other;
+    } else {
+      rmax_other = take_a ? other.count_ : count_;
+    }
+    const uint64_t rmin_m = rmin_own + rmin_other;
+    const uint64_t rmax_m = rmin_own + t.delta + rmax_other;
+    Tuple out;
+    out.v = t.v;
+    out.g = rmin_m - prev_rmin;
+    out.delta = rmax_m - rmin_m;
+    merged.push_back(out);
+    prev_rmin = rmin_m;
+    if (take_a) {
+      rmin_a = rmin_own;
+      ++ia;
+    } else {
+      rmin_b = rmin_own;
+      ++ib;
+    }
+  }
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  since_compress_ = 0;
+  Compress();
+}
+
+double GkSketch::Quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q <= 0.0) return tuples_.front().v;
+  if (q >= 1.0) return tuples_.back().v;
+  const uint64_t r = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  // First tuple whose max rank overshoots r by more than the allowance
+  // ends the scan; its predecessor is within the error contract.
+  const uint64_t allow = Threshold() / 2;
+  uint64_t rmin = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    if (rmin + tuples_[i].delta > r + allow) {
+      return tuples_[i == 0 ? 0 : i - 1].v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+void GkSketch::Serialize(std::string* out) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "gk;%.17g;%llu;%zu", eps_,
+                static_cast<unsigned long long>(count_), tuples_.size());
+  *out += buf;
+  for (const Tuple& t : tuples_) {
+    std::snprintf(buf, sizeof(buf), ";%.17g:%llu:%llu", t.v,
+                  static_cast<unsigned long long>(t.g),
+                  static_cast<unsigned long long>(t.delta));
+    *out += buf;
+  }
+}
+
+bool GkSketch::Deserialize(std::string_view in) {
+  Reset();
+  if (in.substr(0, 3) != "gk;") return false;
+  const char* p = in.data() + 3;
+  const char* end = in.data() + in.size();
+  char* next = nullptr;
+  const double eps = std::strtod(p, &next);
+  if (next == p || next >= end || *next != ';' ||
+      !(eps > 0.0 && eps < 0.5)) {
+    return false;
+  }
+  p = next + 1;
+  const unsigned long long count = std::strtoull(p, &next, 10);
+  if (next == p || next >= end || *next != ';') return false;
+  p = next + 1;
+  const unsigned long long n_tuples = std::strtoull(p, &next, 10);
+  if (next == p) return false;
+  p = next;
+  eps_ = eps;
+  count_ = count;
+  tuples_.reserve(n_tuples);
+  double prev_v = -std::numeric_limits<double>::infinity();
+  uint64_t rank_sum = 0;
+  for (unsigned long long i = 0; i < n_tuples; ++i) {
+    if (p >= end || *p != ';') return false;
+    ++p;
+    Tuple t;
+    t.v = std::strtod(p, &next);
+    if (next == p || next >= end || *next != ':') return false;
+    p = next + 1;
+    t.g = std::strtoull(p, &next, 10);
+    if (next == p || next >= end || *next != ':') return false;
+    p = next + 1;
+    t.delta = std::strtoull(p, &next, 10);
+    if (next == p) return false;
+    p = next;
+    if (t.v < prev_v || t.g == 0) return false;  // Order/shape violated.
+    prev_v = t.v;
+    rank_sum += t.g;
+    tuples_.push_back(t);
+  }
+  if (p != end) return false;
+  if (count_ > 0 && (tuples_.empty() || rank_sum != count_)) return false;
+  if (count_ == 0 && !tuples_.empty()) return false;
+  return true;
+}
+
+}  // namespace ipda::stats

@@ -1,81 +1,48 @@
 // Pretty-printer for --metrics JSONL files (EXPERIMENTS.md, "Metrics
-// pipeline"). Default view aggregates every run in the file: counters sum
-// across runs, gauges report min/mean/max, histograms merge bucket-wise.
-// --run=N switches to the full single-run record, spans included.
+// pipeline"). Default view aggregates every run in the file: counters
+// sum across runs, gauges report min/p50/p95/p99/max/mean, histograms
+// merge bucket-wise. --run=N switches to the full single-run record,
+// spans included. All the work happens in exp::RunMetricsReport, which
+// keeps RSS bounded by --agg-memory-budget regardless of file size.
 
-#include <algorithm>
-#include <cinttypes>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <string>
-#include <string_view>
 #include <vector>
 
-#include "obs/metrics.h"
+#include "exp/report.h"
 #include "util/flags.h"
-
-namespace {
-
-using ipda::obs::ParsedLine;
-using ipda::obs::Snapshot;
-
-struct GaugeAgg {
-  double min = 0.0, max = 0.0, sum = 0.0;
-  uint64_t n = 0;
-};
-
-bool NameSelected(std::string_view name, const std::string& filter) {
-  return filter.empty() || name.find(filter) != std::string_view::npos;
-}
-
-void PrintRun(const ParsedLine& line, const std::string& filter) {
-  std::printf("run %" PRIu64 " (seed %" PRIu64 ")\n", line.run, line.seed);
-  for (const auto& [name, v] : line.snapshot.counters) {
-    if (NameSelected(name, filter)) {
-      std::printf("  %-34s %20" PRIu64 "\n", name.c_str(), v);
-    }
-  }
-  for (const auto& [name, v] : line.snapshot.gauges) {
-    if (NameSelected(name, filter)) {
-      std::printf("  %-34s %20.6g\n", name.c_str(), v);
-    }
-  }
-  for (const auto& [name, h] : line.snapshot.histograms) {
-    if (!NameSelected(name, filter)) continue;
-    std::printf("  %-34s count=%" PRIu64 " sum=%.6g\n", name.c_str(),
-                h.count, h.sum);
-    for (size_t i = 0; i < h.counts.size(); ++i) {
-      if (i < h.bounds.size()) {
-        std::printf("    <= %-12.6g %20" PRIu64 "\n", h.bounds[i],
-                    h.counts[i]);
-      } else {
-        std::printf("    >  %-12.6g %20" PRIu64 "\n",
-                    h.bounds.empty() ? 0.0 : h.bounds.back(), h.counts[i]);
-      }
-    }
-  }
-  if (!line.snapshot.spans.empty()) std::printf("  spans:\n");
-  for (const auto& span : line.snapshot.spans) {
-    std::printf("    %-32s [%12" PRId64 " ns, %12" PRId64 " ns)  %.6g ms\n",
-                span.name.c_str(), span.begin_ns, span.end_ns,
-                static_cast<double>(span.end_ns - span.begin_ns) / 1e6);
-  }
-}
-
-}  // namespace
+#include "util/io.h"
 
 int main(int argc, char** argv) {
   ipda::util::FlagSet flags;
   flags.DefineString("file", "", "Metrics JSONL file to report on");
   flags.DefineInt("run", -1, "Print one run in full instead of aggregating");
   flags.DefineString("metric", "", "Only metrics whose name contains this");
+  flags.DefineString("agg-memory-budget", "unlimited",
+                     "Byte budget for gauge aggregation (e.g. 64k, 256M; "
+                     "0/unlimited = never spill)");
+  flags.DefineString("spill-dir", "",
+                     "Directory for aggregation spill runs (default: a "
+                     "private temp dir)");
   flags.DefineBool("help", false, "Show usage");
 
-  // Accept the file as the sole positional argument too.
+  // Accept the file as the sole positional argument too. An arg is only
+  // positional if it isn't the space-separated value of the flag before
+  // it (`--run 3 file.jsonl` and `--agg-memory-budget 64k file.jsonl`
+  // must both leave file.jsonl as the file).
+  const auto takes_value = [](const char* arg) {
+    for (const char* name : {"--file", "--run", "--metric",
+                             "--agg-memory-budget", "--spill-dir"}) {
+      if (std::strcmp(arg, name) == 0) return true;
+    }
+    return false;
+  };
   std::vector<const char*> args;
   std::string positional;
   for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] != '-' && positional.empty()) {
+    if (argv[i][0] != '-' && positional.empty() &&
+        (args.empty() || !takes_value(args.back()))) {
       positional = argv[i];
     } else {
       args.push_back(argv[i]);
@@ -99,110 +66,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Stream the file line by line: a city-scale sweep's --metrics JSONL
-  // (one record per run, spans included) runs to hundreds of MiB, and
-  // the aggregation only ever needs one record in memory at a time.
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "metrics_report: cannot open %s\n", path.c_str());
-    return 1;
+  ipda::exp::MetricsReportOptions options;
+  options.run = flags.GetInt("run");
+  options.metric_filter = flags.GetString("metric");
+  options.spill_dir = flags.GetString("spill-dir");
+  const auto budget =
+      ipda::util::ParseByteSize(flags.GetString("agg-memory-budget"));
+  if (!budget.ok()) {
+    std::fprintf(stderr, "metrics_report: --agg-memory-budget: %s\n",
+                 budget.status().message().c_str());
+    return 2;
   }
+  options.agg_memory_budget_bytes = budget.value();
 
-  const int64_t want_run = flags.GetInt("run");
-  const std::string filter = flags.GetString("metric");
-
-  std::vector<std::pair<std::string, uint64_t>> counter_sums;
-  std::vector<std::pair<std::string, GaugeAgg>> gauge_aggs;
-  uint64_t run_lines = 0;
-  uint64_t skipped_lines = 0;
-  size_t line_no = 0;
-  std::string raw;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    if (raw.empty()) continue;
-    ParsedLine line;
-    std::string error;
-    if (!ipda::obs::ParseMetricsLine(raw, line, &error)) {
-      // A corrupt line (torn write, truncation mid-crash) must not void
-      // the intact records around it: warn, count, move on.
-      std::fprintf(stderr,
-                   "metrics_report: %s:%zu: skipping corrupt line: %s\n",
-                   path.c_str(), line_no, error.c_str());
-      ++skipped_lines;
-      continue;
-    }
-    if (line.kind == "metrics_header") {
-      std::printf("experiment %s: %" PRIu64 " runs, seed %" PRIu64 "\n",
-                  line.experiment.c_str(), line.runs, line.seed);
-      continue;
-    }
-    ++run_lines;
-    if (want_run >= 0) {
-      if (line.run == static_cast<uint64_t>(want_run)) {
-        PrintRun(line, filter);
-      }
-      continue;
-    }
-    // Aggregate. Names are sorted within each snapshot and the instrument
-    // sets of runs of one sweep coincide, so a merge by linear probe with
-    // insertion keeps the output sorted without a map.
-    for (const auto& [name, v] : line.snapshot.counters) {
-      if (!NameSelected(name, filter)) continue;
-      auto it = std::lower_bound(
-          counter_sums.begin(), counter_sums.end(), name,
-          [](const auto& a, const std::string& b) { return a.first < b; });
-      if (it == counter_sums.end() || it->first != name) {
-        it = counter_sums.insert(it, {name, 0});
-      }
-      it->second += v;
-    }
-    for (const auto& [name, v] : line.snapshot.gauges) {
-      if (!NameSelected(name, filter)) continue;
-      auto it = std::lower_bound(
-          gauge_aggs.begin(), gauge_aggs.end(), name,
-          [](const auto& a, const std::string& b) { return a.first < b; });
-      if (it == gauge_aggs.end() || it->first != name) {
-        it = gauge_aggs.insert(it, {name, GaugeAgg{v, v, 0.0, 0}});
-      }
-      GaugeAgg& agg = it->second;
-      if (v < agg.min) agg.min = v;
-      if (v > agg.max) agg.max = v;
-      agg.sum += v;
-      ++agg.n;
-    }
-  }
-
-  if (skipped_lines > 0) {
-    std::fprintf(stderr,
-                 "metrics_report: skipped %" PRIu64
-                 " corrupt line(s) in %s\n",
-                 skipped_lines, path.c_str());
-  }
-  if (run_lines == 0) {
-    // An empty or fully truncated file means the producing run wrote no
-    // usable record — make that loud (and fatal for scripts) instead of
-    // printing an innocuous zero-run report.
-    std::fprintf(stderr,
-                 "metrics_report: %s contains no valid run records "
-                 "(empty or truncated --metrics file?)\n",
-                 path.c_str());
-    return 1;
-  }
-  if (want_run >= 0) return 0;
-
-  std::printf("%" PRIu64 " run record(s)\n", run_lines);
-  if (!counter_sums.empty()) {
-    std::printf("counters (summed over runs):\n");
-    for (const auto& [name, v] : counter_sums) {
-      std::printf("  %-34s %20" PRIu64 "\n", name.c_str(), v);
-    }
-  }
-  if (!gauge_aggs.empty()) {
-    std::printf("gauges (min / mean / max over runs):\n");
-    for (const auto& [name, agg] : gauge_aggs) {
-      std::printf("  %-34s %14.6g %14.6g %14.6g\n", name.c_str(), agg.min,
-                  agg.sum / static_cast<double>(agg.n), agg.max);
-    }
-  }
-  return 0;
+  return ipda::exp::RunMetricsReport(path, options, stdout, stderr);
 }

@@ -1,10 +1,13 @@
 #include "util/io.h"
 
+#include <dirent.h>
 #include <errno.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -109,6 +112,78 @@ util::Result<std::string> ReadFileToString(const std::string& path) {
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix,
+                                const std::string& parent) {
+  std::string base = parent;
+  if (base.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    base = env != nullptr && *env != '\0' ? env : "/tmp";
+  }
+  std::string pattern = base + "/" + prefix + "XXXXXX";
+  if (::mkdtemp(pattern.data()) == nullptr) {
+    return UnavailableError(Errno("mkdtemp", pattern));
+  }
+  return pattern;
+}
+
+void RemoveDirTree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir != nullptr) {
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((path + "/" + name).c_str());
+    }
+    ::closedir(dir);
+  }
+  ::rmdir(path.c_str());
+}
+
+Result<uint64_t> ParseByteSize(std::string_view text) {
+  if (text.empty()) return InvalidArgumentError("empty byte size");
+  if (text == "unlimited") return uint64_t{0};
+  uint64_t value = 0;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') break;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return InvalidArgumentError("byte size overflows: '" +
+                                  std::string(text) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  if (i == 0) {
+    return InvalidArgumentError("malformed byte size: '" +
+                                std::string(text) + "'");
+  }
+  uint64_t shift = 0;
+  if (i < text.size()) {
+    switch (text[i]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default:
+        return InvalidArgumentError("bad byte-size suffix: '" +
+                                    std::string(text) + "'");
+    }
+    ++i;
+    // Tolerate an explicit "iB"/"B"/"b" tail ("64KiB", "64kb").
+    if (i < text.size() && (text[i] == 'i' || text[i] == 'I')) ++i;
+    if (i < text.size() && (text[i] == 'b' || text[i] == 'B')) ++i;
+  }
+  if (i != text.size()) {
+    return InvalidArgumentError("malformed byte size: '" +
+                                std::string(text) + "'");
+  }
+  if (shift > 0 && value > (UINT64_MAX >> shift)) {
+    return InvalidArgumentError("byte size overflows: '" +
+                                std::string(text) + "'");
+  }
+  return value << shift;
 }
 
 }  // namespace ipda::util

@@ -55,6 +55,22 @@ Result<std::string> ReadFileToString(const std::string& path);
 
 bool FileExists(const std::string& path);
 
+// --- Spill-file primitives (exp/agg_store.h) ---------------------------
+
+// Fresh private directory `<parent>/<prefix>XXXXXX` via mkdtemp; parent
+// defaults to $TMPDIR (or /tmp). Callers own cleanup (RemoveDirTree).
+Result<std::string> MakeTempDir(const std::string& prefix,
+                                const std::string& parent = "");
+
+// Best-effort recursive removal of one directory of regular files (the
+// shape spill dirs have — no nested traversal). Missing path is ok.
+void RemoveDirTree(const std::string& path);
+
+// "64k" / "256M" / "1g" / "4096" -> bytes (binary suffixes, case-
+// insensitive; bare numbers are bytes; "0" and "unlimited" -> 0).
+// Error on malformed or overflowing input.
+Result<uint64_t> ParseByteSize(std::string_view text);
+
 }  // namespace ipda::util
 
 #endif  // IPDA_UTIL_IO_H_

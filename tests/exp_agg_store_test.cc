@@ -1,0 +1,383 @@
+// Determinism and acceptance tests for the out-of-core aggregation
+// pipeline (DESIGN.md §16): PartialAggStore must emit the identical
+// byte sequence for ANY memory budget and ANY producer interleaving,
+// and RunMetricsReport built on it must print byte-identical reports
+// from a 4 KiB budget up to unlimited — including over a >=100k-record
+// journal under the 64 MiB acceptance budget.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/agg_store.h"
+#include "exp/report.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "util/io.h"
+
+namespace ipda::exp {
+namespace {
+
+struct Observation {
+  std::string key;
+  uint64_t seq = 0;
+  double value = 0.0;
+};
+
+std::vector<Observation> RandomObservations(size_t n, size_t keys,
+                                            uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  std::vector<Observation> obs(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Key names chosen so intern-id order (arrival) disagrees with
+    // lexicographic order: the canonical sort must use the strings.
+    obs[i].key = "cell=" + std::to_string(rng() % keys) + "\x1f" +
+                 (rng() % 2 == 0 ? "zeta" : "alpha");
+    obs[i].seq = rng() % (n / 2);
+    obs[i].value = dist(rng);
+  }
+  return obs;
+}
+
+// Serializes the full emission sequence; byte equality of two digests
+// means the downstream fold sees the identical Add sequence.
+std::string Drain(PartialAggStore& store) {
+  std::string digest;
+  const util::Status status = store.ForEachSorted(
+      [&digest](std::string_view key, uint64_t seq, double value) {
+        digest.append(key);
+        digest.push_back('|');
+        digest.append(std::to_string(seq));
+        digest.push_back('|');
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        digest.append(buf);
+        digest.push_back('\n');
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return digest;
+}
+
+std::string ReferenceDigest(const std::vector<Observation>& obs) {
+  AggStoreOptions options;  // Unlimited, single-threaded: the oracle.
+  PartialAggStore store(options);
+  for (const Observation& o : obs) {
+    const util::Status status = store.Add(o.key, o.seq, o.value);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) return std::string();
+  }
+  return Drain(store);
+}
+
+TEST(PartialAggStoreTest, UnboundedEmitsCanonicalOrder) {
+  AggStoreOptions options;
+  PartialAggStore store(options);
+  // Interned in reverse-lexicographic order on purpose.
+  ASSERT_TRUE(store.Add("zz", 0, 1.0).ok());
+  ASSERT_TRUE(store.Add("aa", 7, 2.0).ok());
+  ASSERT_TRUE(store.Add("aa", 3, 4.0).ok());
+  ASSERT_TRUE(store.Add("mm", 1, 3.0).ok());
+  ASSERT_TRUE(store.Add("aa", 3, -1.0).ok());  // Same key+seq: value order.
+  std::vector<std::string> seen;
+  const util::Status status = store.ForEachSorted(
+      [&seen](std::string_view key, uint64_t seq, double value) {
+        seen.push_back(std::string(key) + "/" + std::to_string(seq) + "/" +
+                       std::to_string(value));
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::vector<std::string> want = {
+      "aa/3/-1.000000", "aa/3/4.000000", "aa/7/2.000000", "mm/1/3.000000",
+      "zz/0/1.000000"};
+  EXPECT_EQ(seen, want);
+  const PartialAggStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.keys, 3u);
+  EXPECT_EQ(stats.entries, 5u);
+  EXPECT_EQ(stats.spill_runs, 0u);
+  EXPECT_EQ(stats.spilled_entries, 0u);
+}
+
+TEST(PartialAggStoreTest, ByteIdenticalAtEveryBudget) {
+  const auto obs = RandomObservations(20000, 37, 0xE0);
+  const std::string want = ReferenceDigest(obs);
+  ASSERT_FALSE(want.empty());
+  for (uint64_t budget :
+       {uint64_t{4} << 10, uint64_t{16} << 10, uint64_t{64} << 10,
+        uint64_t{1} << 20}) {
+    AggStoreOptions options;
+    options.memory_budget_bytes = budget;
+    PartialAggStore store(options);
+    for (const Observation& o : obs) {
+      ASSERT_TRUE(store.Add(o.key, o.seq, o.value).ok());
+    }
+    const PartialAggStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.entries, obs.size());
+    EXPECT_LE(stats.peak_buffer_bytes, budget + sizeof(uint64_t) * 3)
+        << "budget " << budget;
+    if (budget <= (64u << 10)) {
+      EXPECT_GT(stats.spill_runs, 0u) << "budget " << budget;
+      EXPECT_GT(stats.spilled_entries, 0u) << "budget " << budget;
+    }
+    EXPECT_EQ(Drain(store), want) << "budget " << budget;
+  }
+}
+
+TEST(PartialAggStoreTest, ByteIdenticalUnderConcurrentProducers) {
+  const auto obs = RandomObservations(24000, 23, 0xE1);
+  const std::string want = ReferenceDigest(obs);
+  ASSERT_FALSE(want.empty());
+  for (size_t threads : {2, 8}) {
+    AggStoreOptions options;
+    options.memory_budget_bytes = 8 << 10;  // Spills mid-stream.
+    PartialAggStore store(options);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&store, &obs, t, threads]() {
+        for (size_t i = t; i < obs.size(); i += threads) {
+          const util::Status status =
+              store.Add(obs[i].key, obs[i].seq, obs[i].value);
+          ASSERT_TRUE(status.ok()) << status.ToString();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    EXPECT_EQ(store.stats().entries, obs.size());
+    EXPECT_EQ(Drain(store), want) << threads << " threads";
+  }
+}
+
+TEST(PartialAggStoreTest, CollapsesRunsBeyondMergeFanIn) {
+  // 1 KiB budget and 24-byte entries: a spill every ~43 adds, so 20k
+  // observations produce ~470 run files — far past the 64-run fan-in
+  // cap, forcing multiple collapse passes in ForEachSorted.
+  const auto obs = RandomObservations(20000, 11, 0xE2);
+  const std::string want = ReferenceDigest(obs);
+  ASSERT_FALSE(want.empty());
+  AggStoreOptions options;
+  options.memory_budget_bytes = 1 << 10;
+  PartialAggStore store(options);
+  for (const Observation& o : obs) {
+    ASSERT_TRUE(store.Add(o.key, o.seq, o.value).ok());
+  }
+  EXPECT_GT(store.stats().spill_runs, 64u);
+  EXPECT_EQ(Drain(store), want);
+}
+
+TEST(PartialAggStoreTest, CallerProvidedSpillDirIsUsedAndCleaned) {
+  const auto dir = util::MakeTempDir("ipda-agg-test-");
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  {
+    AggStoreOptions options;
+    options.memory_budget_bytes = 1 << 10;
+    options.spill_dir = *dir;
+    PartialAggStore store(options);
+    for (const auto& o : RandomObservations(5000, 7, 0xE3)) {
+      ASSERT_TRUE(store.Add(o.key, o.seq, o.value).ok());
+    }
+    EXPECT_GT(store.stats().spill_runs, 0u);
+    size_t emitted = 0;
+    ASSERT_TRUE(store
+                    .ForEachSorted([&emitted](std::string_view, uint64_t,
+                                              double) { ++emitted; })
+                    .ok());
+    EXPECT_EQ(emitted, 5000u);
+  }
+  // Run files are gone; the caller's directory itself survives.
+  EXPECT_EQ(::remove(dir->c_str()), 0) << "spill dir not empty";
+}
+
+TEST(PartialAggStoreTest, SingleShotContract) {
+  AggStoreOptions options;
+  PartialAggStore store(options);
+  ASSERT_TRUE(store.Add("k", 0, 1.0).ok());
+  ASSERT_TRUE(
+      store.ForEachSorted([](std::string_view, uint64_t, double) {}).ok());
+  EXPECT_FALSE(store.Add("k", 1, 2.0).ok());
+  EXPECT_FALSE(
+      store.ForEachSorted([](std::string_view, uint64_t, double) {}).ok());
+}
+
+// ---- RunMetricsReport ----------------------------------------------------
+
+struct ReportResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string SlurpAndClose(std::FILE* f) {
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string text(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(text.data(), 1, text.size(), f);
+  text.resize(read);
+  std::fclose(f);
+  return text;
+}
+
+ReportResult RunReport(const std::string& path,
+                       const MetricsReportOptions& options) {
+  std::FILE* out = std::tmpfile();
+  std::FILE* err = std::tmpfile();
+  ReportResult result;
+  result.code = RunMetricsReport(path, options, out, err);
+  result.out = SlurpAndClose(out);
+  result.err = SlurpAndClose(err);
+  return result;
+}
+
+// Writes a synthetic --metrics journal of `runs` run records with a
+// realistic instrument mix: exact counters, noisy gauges, one histogram.
+std::string WriteJournal(const std::string& dir, size_t runs,
+                         uint64_t seed) {
+  const std::string path = dir + "/metrics.jsonl";
+  std::ofstream file(path, std::ios::binary);
+  file << obs::MetricsHeaderLine("agg_store_test", runs, seed);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (size_t run = 0; run < runs; ++run) {
+    obs::Snapshot snapshot;
+    snapshot.counters = {{"agg.reports_sent", rng() % 97},
+                         {"agg.slices_sent", rng() % 1009}};
+    snapshot.gauges = {{"round.accuracy", 0.9 + 0.1 * dist(rng)},
+                       {"round.bytes", 1e4 * dist(rng)},
+                       {"round.latency_ms", 5.0 + 20.0 * dist(rng)},
+                       {"tree.depth", static_cast<double>(rng() % 12)}};
+    obs::HistogramData hist;
+    hist.bounds = {64.0, 256.0, 1024.0};
+    hist.counts = {rng() % 10, rng() % 10, rng() % 10, rng() % 10};
+    for (uint64_t c : hist.counts) hist.count += c;
+    hist.sum = 300.0 * static_cast<double>(hist.count) * dist(rng);
+    snapshot.histograms = {{"msg.bytes", hist}};
+    file << obs::SnapshotJsonLine(snapshot, run, seed + run);
+  }
+  file.flush();
+  EXPECT_TRUE(file.good());
+  return path;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = util::MakeTempDir("ipda-report-test-");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    dir_ = *dir;
+  }
+  void TearDown() override { util::RemoveDirTree(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ReportTest, ByteIdenticalFromFourKibToUnlimited) {
+  const std::string path = WriteJournal(dir_, 2000, 0xF0);
+  MetricsReportOptions unbounded;
+  const ReportResult want = RunReport(path, unbounded);
+  ASSERT_EQ(want.code, 0) << want.err;
+  EXPECT_NE(want.out.find("gauges (min / p50 / p95 / p99 / max / mean"),
+            std::string::npos);
+  EXPECT_NE(want.out.find("histograms (merged over runs):"),
+            std::string::npos);
+  EXPECT_NE(want.out.find("round.accuracy"), std::string::npos);
+  for (uint64_t budget :
+       {uint64_t{4} << 10, uint64_t{16} << 10, uint64_t{64} << 10,
+        uint64_t{1} << 20}) {
+    MetricsReportOptions options;
+    options.agg_memory_budget_bytes = budget;
+    const ReportResult got = RunReport(path, options);
+    EXPECT_EQ(got.code, 0) << got.err;
+    EXPECT_EQ(got.out, want.out) << "budget " << budget;
+  }
+}
+
+TEST_F(ReportTest, AcceptanceHundredThousandRunsUnder64MiB) {
+  // ISSUE 10 acceptance: >=100k-record journal, 64 MiB budget, output
+  // byte-identical to the unbounded path, quantiles + histograms shown.
+  const std::string path = WriteJournal(dir_, 100000, 0xF1);
+  MetricsReportOptions unbounded;
+  const ReportResult want = RunReport(path, unbounded);
+  ASSERT_EQ(want.code, 0) << want.err;
+  MetricsReportOptions budgeted;
+  budgeted.agg_memory_budget_bytes = 64u << 20;
+  const ReportResult got = RunReport(path, budgeted);
+  EXPECT_EQ(got.code, 0) << got.err;
+  EXPECT_EQ(got.out, want.out);
+  // A tight budget that provably spills (400k observations * 24 B
+  // ≈ 9.6 MiB of tuples vs a 256 KiB buffer) must still match.
+  MetricsReportOptions tight;
+  tight.agg_memory_budget_bytes = 256u << 10;
+  tight.spill_dir = dir_;
+  const ReportResult spilled = RunReport(path, tight);
+  EXPECT_EQ(spilled.code, 0) << spilled.err;
+  EXPECT_EQ(spilled.out, want.out);
+  EXPECT_NE(want.out.find("100000 runs"), std::string::npos);
+  EXPECT_NE(want.out.find("p99"), std::string::npos);
+  EXPECT_NE(want.out.find("msg.bytes"), std::string::npos);
+}
+
+TEST_F(ReportTest, SingleRunAndFilterModesUnaffectedByBudget) {
+  const std::string path = WriteJournal(dir_, 50, 0xF2);
+  MetricsReportOptions run_mode;
+  run_mode.run = 7;
+  run_mode.agg_memory_budget_bytes = 4 << 10;
+  const ReportResult run_report = RunReport(path, run_mode);
+  EXPECT_EQ(run_report.code, 0) << run_report.err;
+  EXPECT_NE(run_report.out.find("run 7"), std::string::npos);
+
+  MetricsReportOptions filtered;
+  filtered.metric_filter = "round.";
+  filtered.agg_memory_budget_bytes = 4 << 10;
+  const ReportResult filter_report = RunReport(path, filtered);
+  EXPECT_EQ(filter_report.code, 0) << filter_report.err;
+  EXPECT_NE(filter_report.out.find("round.accuracy"), std::string::npos);
+  EXPECT_EQ(filter_report.out.find("tree.depth"), std::string::npos);
+}
+
+TEST_F(ReportTest, HeaderOnlyJournalFailsWithDistinctDiagnostic) {
+  // Satellite 4: a sweep that wrote its header and crashed before any
+  // run completed must exit 1 with a diagnostic naming the experiment,
+  // distinct from the generic empty-file message.
+  const std::string path = dir_ + "/header_only.jsonl";
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << obs::MetricsHeaderLine("fault_sweep", 128, 42);
+  }
+  const ReportResult got = RunReport(path, MetricsReportOptions{});
+  EXPECT_EQ(got.code, 1);
+  EXPECT_NE(got.err.find("no run records"), std::string::npos) << got.err;
+  EXPECT_NE(got.err.find("fault_sweep"), std::string::npos) << got.err;
+  EXPECT_EQ(got.err.find("no valid run records"), std::string::npos)
+      << "header-only must not reuse the empty-file diagnostic";
+}
+
+TEST_F(ReportTest, EmptyAndMissingFilesFail) {
+  const std::string empty = dir_ + "/empty.jsonl";
+  { std::ofstream file(empty, std::ios::binary); }
+  const ReportResult empty_report = RunReport(empty, MetricsReportOptions{});
+  EXPECT_EQ(empty_report.code, 1);
+  EXPECT_NE(empty_report.err.find("no valid run records"),
+            std::string::npos)
+      << empty_report.err;
+
+  const ReportResult missing =
+      RunReport(dir_ + "/nope.jsonl", MetricsReportOptions{});
+  EXPECT_EQ(missing.code, 1);
+}
+
+TEST_F(ReportTest, CorruptLinesAreSkippedNotFatal) {
+  const std::string path = WriteJournal(dir_, 20, 0xF3);
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    file << "{\"kind\":\"run_metrics\",\"run\":999,TRUNCATED\n";
+  }
+  const ReportResult got = RunReport(path, MetricsReportOptions{});
+  EXPECT_EQ(got.code, 0) << got.err;
+  EXPECT_NE(got.out.find("20 runs"), std::string::npos);
+  EXPECT_NE(got.err.find("skipping"), std::string::npos) << got.err;
+}
+
+}  // namespace
+}  // namespace ipda::exp

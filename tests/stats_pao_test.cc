@@ -1,0 +1,351 @@
+// Property tests for the mergeable partial aggregates (stats/pao.h) and
+// the GK quantile sketch (stats/quantile.h): streaming/merged results
+// must match exact batch computation within the documented error
+// contracts for ANY split of the stream and ANY merge order, and every
+// codec must round-trip byte-stably.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/pao.h"
+#include "stats/quantile.h"
+
+namespace ipda::stats {
+namespace {
+
+// Exact batch references.
+struct Batch {
+  double mean = 0.0;
+  double variance = 0.0;  // Sample variance, n-1.
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Batch ExactBatch(const std::vector<double>& xs) {
+  Batch b;
+  b.min = xs[0];
+  b.max = xs[0];
+  long double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    b.min = std::min(b.min, x);
+    b.max = std::max(b.max, x);
+  }
+  b.mean = static_cast<double>(sum / xs.size());
+  long double m2 = 0.0;
+  for (double x : xs) m2 += (x - b.mean) * (x - b.mean);
+  b.variance = xs.size() > 1
+                   ? static_cast<double>(m2 / (xs.size() - 1))
+                   : 0.0;
+  return b;
+}
+
+std::vector<double> RandomValues(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1e3, 1e3);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = dist(rng);
+  return xs;
+}
+
+// Splits xs into `parts` contiguous chunks, folds each into its own
+// aggregate, then merges in a shuffled order.
+template <typename Agg>
+Agg SplitAndMerge(const std::vector<double>& xs, size_t parts,
+                  uint64_t seed) {
+  std::vector<Agg> partials(parts);
+  for (Agg& p : partials) p.Init();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    partials[i * parts / xs.size()].Add(xs[i]);
+  }
+  std::vector<size_t> order(parts);
+  for (size_t i = 0; i < parts; ++i) order[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  Agg merged;
+  merged.Init();
+  for (size_t i : order) merged.Merge(partials[i]);
+  return merged;
+}
+
+TEST(CountMeanM2AggTest, MatchesBatchStreaming) {
+  const auto xs = RandomValues(5000, 0xA0);
+  const Batch batch = ExactBatch(xs);
+  CountMeanM2Agg agg;
+  agg.Init();
+  for (double x : xs) agg.Add(x);
+  EXPECT_EQ(agg.count(), xs.size());
+  EXPECT_EQ(agg.min(), batch.min);
+  EXPECT_EQ(agg.max(), batch.max);
+  EXPECT_NEAR(agg.mean(), batch.mean, 1e-9 * std::abs(batch.mean) + 1e-12);
+  EXPECT_NEAR(agg.variance(), batch.variance, 1e-9 * batch.variance);
+}
+
+TEST(CountMeanM2AggTest, SplitMergeAnyPartitionAndOrder) {
+  const auto xs = RandomValues(4000, 0xA1);
+  const Batch batch = ExactBatch(xs);
+  for (size_t parts : {2, 3, 7, 16, 100}) {
+    const CountMeanM2Agg merged =
+        SplitAndMerge<CountMeanM2Agg>(xs, parts, 0xA2 + parts);
+    EXPECT_EQ(merged.count(), xs.size()) << parts << " parts";
+    EXPECT_EQ(merged.min(), batch.min);
+    EXPECT_EQ(merged.max(), batch.max);
+    EXPECT_NEAR(merged.mean(), batch.mean,
+                1e-9 * std::abs(batch.mean) + 1e-12)
+        << parts << " parts";
+    EXPECT_NEAR(merged.variance(), batch.variance, 1e-9 * batch.variance)
+        << parts << " parts";
+  }
+}
+
+TEST(CountMeanM2AggTest, MergeWithEmptySidesIsIdentity) {
+  CountMeanM2Agg a;
+  a.Init();
+  a.Add(1.0);
+  a.Add(3.0);
+  CountMeanM2Agg empty;
+  empty.Init();
+  a.Merge(empty);  // Right identity.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  CountMeanM2Agg b;
+  b.Init();
+  b.Merge(a);  // Left identity.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_EQ(b.min(), 1.0);
+  EXPECT_EQ(b.max(), 3.0);
+}
+
+TEST(CountMeanM2AggTest, SerializeRoundTripsByteStably) {
+  const auto xs = RandomValues(257, 0xA3);
+  CountMeanM2Agg agg;
+  agg.Init();
+  for (double x : xs) agg.Add(x);
+  std::string one;
+  agg.Serialize(&one);
+  CountMeanM2Agg decoded;
+  ASSERT_TRUE(decoded.Deserialize(one));
+  std::string two;
+  decoded.Serialize(&two);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(decoded.count(), agg.count());
+  EXPECT_EQ(decoded.mean(), agg.mean());
+  EXPECT_EQ(decoded.variance(), agg.variance());
+  EXPECT_FALSE(decoded.Deserialize("cm2;not;a;record"));
+  EXPECT_FALSE(decoded.Deserialize("mm;1;2;3"));
+}
+
+TEST(MinMaxAggTest, SplitMergeAndRoundTrip) {
+  const auto xs = RandomValues(1000, 0xB0);
+  const Batch batch = ExactBatch(xs);
+  const MinMaxAgg merged = SplitAndMerge<MinMaxAgg>(xs, 9, 0xB1);
+  EXPECT_EQ(merged.count(), xs.size());
+  EXPECT_EQ(merged.min(), batch.min);
+  EXPECT_EQ(merged.max(), batch.max);
+  std::string one;
+  merged.Serialize(&one);
+  MinMaxAgg decoded;
+  ASSERT_TRUE(decoded.Deserialize(one));
+  std::string two;
+  decoded.Serialize(&two);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(decoded.min(), merged.min());
+  EXPECT_EQ(decoded.max(), merged.max());
+}
+
+TEST(HistogramAggTest, MergeIsExactAndOrderIndependent) {
+  const std::vector<double> bounds = {-500.0, 0.0, 250.0, 750.0};
+  const auto xs = RandomValues(3000, 0xC0);
+  HistogramAgg batch(bounds);
+  for (double x : xs) batch.Add(x);
+
+  for (size_t parts : {2, 5, 30}) {
+    std::vector<HistogramAgg> partials;
+    for (size_t p = 0; p < parts; ++p) partials.emplace_back(bounds);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      partials[i * parts / xs.size()].Add(xs[i]);
+    }
+    // Merge back-to-front so the order differs from the split order.
+    HistogramAgg merged(bounds);
+    for (size_t p = parts; p-- > 0;) merged.Merge(partials[p]);
+    EXPECT_EQ(merged.counts(), batch.counts()) << parts << " parts";
+    EXPECT_EQ(merged.count(), batch.count());
+    // Bucket counts are integer-exact; the value sum is a double fold,
+    // so merge order may shift its last ulps.
+    EXPECT_NEAR(merged.sum(), batch.sum(), 1e-9 * std::abs(batch.sum()));
+  }
+}
+
+TEST(HistogramAggTest, AddBucketFoldsPreBinnedData) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  HistogramAgg direct(bounds);
+  direct.Add(0.5);
+  direct.Add(1.5);
+  direct.Add(1.5);
+  direct.Add(9.0);
+  HistogramAgg binned(bounds);
+  binned.AddBucket(0, 1, 0.5);
+  binned.AddBucket(1, 2, 3.0);
+  binned.AddBucket(2, 1, 9.0);
+  EXPECT_EQ(binned.counts(), direct.counts());
+  EXPECT_EQ(binned.count(), direct.count());
+  EXPECT_DOUBLE_EQ(binned.sum(), direct.sum());
+}
+
+TEST(HistogramAggTest, SerializeRoundTripsByteStably) {
+  HistogramAgg agg({0.0, 10.0, 100.0});
+  for (double x : RandomValues(500, 0xC1)) agg.Add(std::abs(x));
+  std::string one;
+  agg.Serialize(&one);
+  HistogramAgg decoded;
+  ASSERT_TRUE(decoded.Deserialize(one));
+  std::string two;
+  decoded.Serialize(&two);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(decoded.bounds(), agg.bounds());
+  EXPECT_EQ(decoded.counts(), agg.counts());
+  EXPECT_FALSE(decoded.Deserialize("hist;2;1;0"));  // Truncated.
+}
+
+// ---- GK quantile sketch --------------------------------------------------
+
+// True rank bracket of value v in sorted xs: [#(x < v) + 1, #(x <= v)].
+// The sketch's answer passes for target rank r if the bracket comes
+// within `allow` of r.
+void ExpectRankWithin(const std::vector<double>& sorted, double v,
+                      double r, double allow, const char* what) {
+  const auto lo =
+      std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+  const auto hi =
+      std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+  const double rank_lo = static_cast<double>(lo) + 1.0;
+  const double rank_hi = static_cast<double>(hi);
+  EXPECT_LE(rank_lo - allow, r) << what << ": value " << v;
+  EXPECT_GE(rank_hi + allow, r) << what << ": value " << v;
+}
+
+void CheckQuantiles(const GkSketch& sketch, std::vector<double> xs,
+                    double allow, const char* what) {
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double r = std::max(1.0, std::ceil(q * n));
+    ExpectRankWithin(xs, sketch.Quantile(q), r, allow, what);
+  }
+  EXPECT_EQ(sketch.Quantile(0.0), xs.front()) << what;
+  EXPECT_EQ(sketch.Quantile(1.0), xs.back()) << what;
+}
+
+TEST(GkSketchTest, StreamingRankErrorWithinEps) {
+  for (uint64_t seed : {0xD0, 0xD1, 0xD2}) {
+    const auto xs = RandomValues(20000, seed);
+    GkSketch sketch;
+    for (double x : xs) sketch.Add(x);
+    EXPECT_EQ(sketch.count(), xs.size());
+    // Documented bound: eps * n; +1 covers the ceil discretization.
+    const double allow = sketch.eps() * static_cast<double>(xs.size()) + 1;
+    CheckQuantiles(sketch, xs, allow, "streaming");
+    // Space: O((1/eps) * log(eps n)), far below n.
+    EXPECT_LT(sketch.tuple_count(), 1000u);
+  }
+}
+
+TEST(GkSketchTest, StreamingHandlesDuplicatesAndSortedInput) {
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(static_cast<double>(i % 7));
+  GkSketch dup;
+  for (double x : xs) dup.Add(x);
+  CheckQuantiles(dup, xs, dup.eps() * 5000 + 1, "duplicates");
+
+  GkSketch sorted_in;
+  std::vector<double> ys(3000);
+  for (size_t i = 0; i < ys.size(); ++i) ys[i] = static_cast<double>(i);
+  for (double y : ys) sorted_in.Add(y);
+  CheckQuantiles(sorted_in, ys, sorted_in.eps() * 3000 + 1, "sorted");
+}
+
+TEST(GkSketchTest, MergedRankErrorWithinTwoEps) {
+  const auto xs = RandomValues(30000, 0xD3);
+  for (size_t parts : {2, 5, 16}) {
+    std::vector<GkSketch> partials(parts);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      partials[i * parts / xs.size()].Add(xs[i]);
+    }
+    std::vector<size_t> order(parts);
+    for (size_t i = 0; i < parts; ++i) order[i] = i;
+    std::mt19937_64 rng(0xD4 + parts);
+    std::shuffle(order.begin(), order.end(), rng);
+    GkSketch merged;
+    for (size_t i : order) merged.Merge(partials[i]);
+    EXPECT_EQ(merged.count(), xs.size());
+    // Documented merged bound: 2 * eps * n (+1 discretization slack).
+    const double allow =
+        2.0 * merged.eps() * static_cast<double>(xs.size()) + 1;
+    CheckQuantiles(merged, xs, allow, "merged");
+    EXPECT_LT(merged.tuple_count(), 2000u) << parts << " parts";
+  }
+}
+
+TEST(GkSketchTest, DeterministicForIdenticalAddSequence) {
+  const auto xs = RandomValues(10000, 0xD5);
+  GkSketch a, b;
+  for (double x : xs) a.Add(x);
+  for (double x : xs) b.Add(x);
+  std::string sa, sb;
+  a.Serialize(&sa);
+  b.Serialize(&sb);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(GkSketchTest, SerializeRoundTripsByteStably) {
+  const auto xs = RandomValues(5000, 0xD6);
+  GkSketch sketch;
+  for (double x : xs) sketch.Add(x);
+  std::string one;
+  sketch.Serialize(&one);
+  GkSketch decoded;
+  ASSERT_TRUE(decoded.Deserialize(one));
+  std::string two;
+  decoded.Serialize(&two);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(decoded.count(), sketch.count());
+  EXPECT_EQ(decoded.Quantile(0.5), sketch.Quantile(0.5));
+  EXPECT_FALSE(decoded.Deserialize("gk;0.005;10"));       // Truncated.
+  EXPECT_FALSE(decoded.Deserialize("cm2;1;2;3;4;5"));     // Wrong tag.
+  GkSketch empty;
+  std::string empty_enc;
+  empty.Serialize(&empty_enc);
+  GkSketch empty_decoded;
+  ASSERT_TRUE(empty_decoded.Deserialize(empty_enc));
+  EXPECT_EQ(empty_decoded.count(), 0u);
+  EXPECT_TRUE(std::isnan(empty_decoded.Quantile(0.5)));
+}
+
+TEST(GkQuantileAggTest, PaoSurfaceMatchesSketch) {
+  const auto xs = RandomValues(8000, 0xD7);
+  GkQuantileAgg left, right;
+  left.Init();
+  right.Init();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i < xs.size() / 2 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), xs.size());
+  const double allow = 2.0 * left.sketch().eps() * xs.size() + 1;
+  CheckQuantiles(left.sketch(), xs, allow, "pao merge");
+  std::string one;
+  left.Serialize(&one);
+  GkQuantileAgg decoded;
+  ASSERT_TRUE(decoded.Deserialize(one));
+  std::string two;
+  decoded.Serialize(&two);
+  EXPECT_EQ(one, two);
+}
+
+}  // namespace
+}  // namespace ipda::stats
